@@ -1,0 +1,75 @@
+//! Benchmarks for the nn-Meter substitute (Table 2 workload): kernel
+//! decomposition, four-device prediction, simulator measurement, and the
+//! full 288-model validation sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hydronas_graph::{ArchConfig, ModelGraph, BASELINE_RESNET18};
+use hydronas_latency::{
+    all_devices, decompose, measure, predict_all, predict_all_quantized, predict_energy,
+    validate_table2,
+};
+
+fn bench_decompose(c: &mut Criterion) {
+    let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
+    c.bench_function("kernel_decompose_resnet18", |bench| {
+        bench.iter(|| decompose(&g));
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
+    c.bench_function("predict_all_four_devices", |bench| {
+        bench.iter(|| predict_all(&g));
+    });
+    // Prediction including graph construction (what the NAS sweep pays).
+    c.bench_function("predict_from_arch", |bench| {
+        bench.iter(|| {
+            let g = ModelGraph::from_arch(&ArchConfig::baseline(7), 32).unwrap();
+            predict_all(&g)
+        });
+    });
+}
+
+fn bench_quantized_and_energy(c: &mut Criterion) {
+    let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
+    c.bench_function("predict_all_quantized", |bench| {
+        bench.iter(|| predict_all_quantized(&g));
+    });
+    c.bench_function("predict_energy", |bench| {
+        bench.iter(|| predict_energy(&g));
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
+    let devices = all_devices();
+    let mut seed = 0u64;
+    c.bench_function("simulator_measure_myriad", |bench| {
+        bench.iter(|| {
+            seed += 1;
+            measure(&g, &devices[3], seed)
+        });
+    });
+}
+
+fn bench_table2_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_validation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(4 * 288));
+    group.bench_function("full_zoo_4_devices", |bench| {
+        bench.iter(|| validate_table2(32, 42));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decompose,
+    bench_predict,
+    bench_quantized_and_energy,
+    bench_simulate,
+    bench_table2_validation
+);
+criterion_main!(benches);

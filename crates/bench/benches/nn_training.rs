@@ -1,0 +1,52 @@
+//! Benchmarks for the training stack: forward/backward passes and full
+//! training steps of search-space models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hydronas_graph::ArchConfig;
+use hydronas_nn::{CrossEntropyLoss, Optimizer, ParamVisitor, ResNet, Sgd};
+use hydronas_tensor::{uniform, TensorRng};
+
+fn tiny_arch(features: usize) -> ArchConfig {
+    ArchConfig {
+        in_channels: 5,
+        kernel_size: 3,
+        stride: 2,
+        padding: 1,
+        pool: None,
+        initial_features: features,
+        num_classes: 2,
+    }
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resnet_forward");
+    for &features in &[8usize, 16] {
+        let mut rng = TensorRng::seed_from_u64(1);
+        let mut model = ResNet::new(&tiny_arch(features), &mut rng);
+        let x = uniform(&[8, 5, 32, 32], -1.0, 1.0, &mut rng);
+        group.bench_function(format!("f{features}_batch8"), |bench| {
+            bench.iter(|| model.forward(&x, false));
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from_u64(2);
+    let mut model = ResNet::new(&tiny_arch(8), &mut rng);
+    let mut opt = Sgd::new(0.01, 0.9, 1e-4);
+    let x = uniform(&[8, 5, 24, 24], -1.0, 1.0, &mut rng);
+    let y: Vec<usize> = (0..8).map(|i| i % 2).collect();
+    c.bench_function("training_step_f8_batch8", |bench| {
+        bench.iter(|| {
+            model.zero_grad();
+            let logits = model.forward(&x, true);
+            let (_, grad) = CrossEntropyLoss.forward_backward(&logits, &y);
+            model.backward(&grad);
+            opt.step(&mut model);
+        });
+    });
+}
+
+criterion_group!(benches, bench_forward, bench_training_step);
+criterion_main!(benches);

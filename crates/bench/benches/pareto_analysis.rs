@@ -1,0 +1,69 @@
+//! Benchmarks for the Pareto machinery at study scale (Figure 3/4
+//! workload): front extraction and non-dominated sorting over ~1,717
+//! points, hypervolume, and the figure exports.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hydronas_pareto::{
+    hypervolume_3d, min_max_normalize, non_dominated_sort, pareto_front, radar_rows,
+    scatter_csv, Objective, Point,
+};
+use hydronas_tensor::TensorRng;
+
+const SENSES: [Objective; 3] =
+    [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+
+/// A synthetic population shaped like the study's outcomes.
+fn population(n: usize) -> Vec<Point> {
+    let mut rng = TensorRng::seed_from_u64(9);
+    (0..n)
+        .map(|id| {
+            let acc = 76.0 + 20.0 * f64::from(rng.uniform(0.0, 1.0));
+            let lat = 8.0 + 240.0 * f64::from(rng.uniform(0.0, 1.0)).powi(2);
+            let mem = [11.18, 25.0, 44.7][id % 3];
+            Point::new(id, vec![acc, lat, mem])
+        })
+        .collect()
+}
+
+fn bench_front(c: &mut Criterion) {
+    let pts = population(1717);
+    let mut group = c.benchmark_group("pareto");
+    group.throughput(Throughput::Elements(1717));
+    group.bench_function("front_1717", |bench| {
+        bench.iter(|| pareto_front(&pts, &SENSES));
+    });
+    group.sample_size(10);
+    group.bench_function("nds_1717", |bench| {
+        bench.iter(|| non_dominated_sort(&pts, &SENSES));
+    });
+    group.finish();
+}
+
+fn bench_hypervolume(c: &mut Criterion) {
+    let pts = population(1717);
+    let front = pareto_front(&pts, &SENSES);
+    let min_space: Vec<(f64, f64, f64)> =
+        front.iter().map(|p| (-p.values[0], p.values[1], p.values[2])).collect();
+    c.bench_function("hypervolume_3d_front", |bench| {
+        bench.iter(|| hypervolume_3d(&min_space, (-70.0, 260.0, 50.0)));
+    });
+}
+
+fn bench_exports(c: &mut Criterion) {
+    let pts = population(1717);
+    let front_ids: Vec<usize> =
+        pareto_front(&pts, &SENSES).iter().map(|p| p.id).collect();
+    c.bench_function("figure3_scatter_csv", |bench| {
+        bench.iter(|| scatter_csv(&pts, &["acc", "lat", "mem"], &front_ids));
+    });
+    let front = pareto_front(&pts, &SENSES);
+    c.bench_function("figure4_radar_rows", |bench| {
+        bench.iter(|| radar_rows(&front, &["acc", "lat", "mem"], |_| "red".into()));
+    });
+    c.bench_function("normalize_1717", |bench| {
+        bench.iter(|| min_max_normalize(&pts));
+    });
+}
+
+criterion_group!(benches, bench_front, bench_hypervolume, bench_exports);
+criterion_main!(benches);

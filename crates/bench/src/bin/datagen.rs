@@ -1,0 +1,108 @@
+//! `datagen` — synthesize the drainage-crossing dataset to disk (the
+//! analogue of the paper's data Artifacts 1-4).
+//!
+//! ```text
+//! datagen --scale 0.01 --tile 32 --channels 7 --seed 42 --out data/
+//! ```
+//!
+//! Writes the `HTIL` tile container plus quick-look previews (PGM/PPM) of
+//! the first positive and negative tiles, and a scene-level watershed
+//! rendering with its detected crossings.
+
+use hydronas_geodata::{
+    build_paper_dataset, heightmap_to_pgm, mask_to_pgm, save_tileset, synthesize_tile,
+    tile_to_ppm, ChannelMode, Scene, SceneParams, TileParams,
+};
+use std::path::PathBuf;
+
+struct Args {
+    scale: f64,
+    tile: usize,
+    channels: usize,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { scale: 0.01, tile: 32, channels: 7, seed: 42, out: PathBuf::from("data") };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut next = |what: &str| it.next().unwrap_or_else(|| panic!("{flag} needs {what}"));
+        match flag.as_str() {
+            "--scale" => args.scale = next("a fraction").parse().expect("bad --scale"),
+            "--tile" => args.tile = next("a size").parse().expect("bad --tile"),
+            "--channels" => args.channels = next("5 or 7").parse().expect("bad --channels"),
+            "--seed" => args.seed = next("a seed").parse().expect("bad --seed"),
+            "--out" => args.out = PathBuf::from(next("a path")),
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: datagen [--scale F] [--tile N] [--channels 5|7] [--seed N] [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+
+    // 1. The tile container.
+    let mode = ChannelMode::from_channels(args.channels);
+    let set = build_paper_dataset(mode, args.tile, args.scale, args.seed);
+    let container = args.out.join(format!(
+        "tiles_c{}_t{}_s{}.htil",
+        args.channels, args.tile, args.seed
+    ));
+    save_tileset(&set, &container).expect("write tile container");
+    println!(
+        "wrote {} ({} tiles, {} channels, {}x{})",
+        container.display(),
+        set.len(),
+        args.channels,
+        args.tile,
+        args.tile
+    );
+
+    // 2. Quick-look previews of one positive and one negative tile.
+    for (label, positive) in [("positive", true), ("negative", false)] {
+        let tile = synthesize_tile(&TileParams {
+            size: args.tile,
+            seed: args.seed,
+            has_crossing: positive,
+            ..Default::default()
+        });
+        let dem = args.out.join(format!("{label}_dem.pgm"));
+        std::fs::write(&dem, hydronas_geodata::raster_to_pgm(&tile.dem, args.tile))
+            .expect("write dem preview");
+        let rgb = args.out.join(format!("{label}_rgb.ppm"));
+        std::fs::write(&rgb, tile_to_ppm(&tile)).expect("write rgb preview");
+        println!("wrote {} and {}", dem.display(), rgb.display());
+    }
+
+    // 3. A scene-level watershed with crossings marked.
+    let scene = Scene::generate(&SceneParams { seed: args.seed, ..Default::default() });
+    std::fs::write(args.out.join("scene_dem.pgm"), heightmap_to_pgm(&scene.height))
+        .expect("write scene dem");
+    std::fs::write(
+        args.out.join("scene_streams.pgm"),
+        mask_to_pgm(&scene.streams, scene.size),
+    )
+    .expect("write stream mask");
+    let mut crossings = vec![false; scene.size * scene.size];
+    for &(x, y) in &scene.crossings {
+        crossings[y * scene.size + x] = true;
+    }
+    std::fs::write(
+        args.out.join("scene_crossings.pgm"),
+        mask_to_pgm(&crossings, scene.size),
+    )
+    .expect("write crossing mask");
+    println!(
+        "wrote scene previews ({} detected crossings) to {}",
+        scene.crossings.len(),
+        args.out.display()
+    );
+}

@@ -1,0 +1,34 @@
+//! Shared helpers for the HydroNAS benchmark harness and the `repro`
+//! binary.
+
+use hydronas_nas::space::{full_grid, SearchSpace, TrialSpec};
+use hydronas_nas::{run_experiment, ExperimentDb, SchedulerConfig, SurrogateEvaluator};
+
+/// Trials of a single input combination (288 configurations).
+pub fn combo_trials(channels: usize, batch: usize) -> Vec<TrialSpec> {
+    full_grid(&SearchSpace::paper())
+        .into_iter()
+        .filter(|t| t.combo.channels == channels && t.combo.batch_size == batch)
+        .collect()
+}
+
+/// Runs one combination through the surrogate sweep.
+pub fn run_combo(channels: usize, batch: usize) -> ExperimentDb {
+    run_experiment(
+        &combo_trials(channels, batch),
+        &SurrogateEvaluator::default(),
+        &SchedulerConfig { injected_failures: 0, ..Default::default() },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combo_helpers_produce_one_benchmark_variant() {
+        assert_eq!(combo_trials(5, 8).len(), 288);
+        let db = run_combo(7, 16);
+        assert_eq!(db.valid().len(), 288);
+    }
+}

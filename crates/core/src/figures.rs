@@ -1,0 +1,259 @@
+//! Data renderers for every figure in the paper.
+
+use hydronas_graph::{architecture_summary, ArchConfig, ModelGraph};
+use hydronas_nas::{ExperimentDb, SearchSpace};
+use hydronas_pareto::{radar_csv, radar_rows, scatter_csv, Point};
+
+/// Figure 1: the ResNet-18 architecture under both input variants
+/// (5- and 7-channel), rendered as layer tables.
+pub fn figure1(input_hw: usize) -> String {
+    let mut out = String::new();
+    for channels in [5usize, 7] {
+        let graph = ModelGraph::from_arch(&ArchConfig::baseline(channels), input_hw)
+            .expect("baseline fits the tile size");
+        out.push_str(&architecture_summary(&graph));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 2: the search space, rendered as dimension -> options with the
+/// total configuration count.
+pub fn figure2() -> String {
+    let space = SearchSpace::paper();
+    let fmt = |v: &[usize]| {
+        v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+    };
+    let mut out = String::new();
+    out.push_str("Search space (NNI adaptation of ResNet-18):\n");
+    out.push_str(&format!("  kernel_size        : {}\n", fmt(&space.kernel_sizes)));
+    out.push_str(&format!("  stride             : {}\n", fmt(&space.strides)));
+    out.push_str(&format!("  padding            : {}\n", fmt(&space.paddings)));
+    out.push_str(&format!("  pool_choice        : {}\n", fmt(&space.pool_choices)));
+    out.push_str(&format!("  kernel_size_pool   : {}\n", fmt(&space.pool_kernels)));
+    out.push_str(&format!("  stride_pool        : {}\n", fmt(&space.pool_strides)));
+    out.push_str(&format!("  initial_features   : {}\n", fmt(&space.initial_features)));
+    out.push_str(&format!(
+        "  => {} configurations per input combination, x 6 input combinations (channels in {{5, 7}}, batch in {{8, 16, 32}}) = {} trials\n",
+        space.cardinality(),
+        6 * space.cardinality()
+    ));
+    out
+}
+
+/// Figure 3: the 3-d scatter of all valid outcomes with the non-dominated
+/// solutions flagged, as CSV (`id,accuracy,latency_ms,memory_mb,on_front`).
+pub fn figure3_csv(db: &ExperimentDb) -> String {
+    let points = db.objective_points();
+    let front_ids: Vec<usize> = db.pareto_outcomes().iter().map(|o| o.spec.id).collect();
+    scatter_csv(&points, &["accuracy", "latency_ms", "memory_mb"], &front_ids)
+}
+
+/// Figure 4: radar rows of the non-dominated solutions — configuration
+/// axes plus the three objectives, normalized within the front, grouped
+/// red (no pool) / green (pool) like the paper.
+pub fn figure4_csv(db: &ExperimentDb) -> String {
+    let front = db.pareto_outcomes();
+    let points: Vec<Point> = front
+        .iter()
+        .map(|o| {
+            let a = &o.spec.arch;
+            Point::new(
+                o.spec.id,
+                vec![
+                    a.kernel_size as f64,
+                    a.stride as f64,
+                    a.padding as f64,
+                    o.spec.kernel_size_pool as f64,
+                    o.spec.stride_pool as f64,
+                    a.initial_features as f64,
+                    o.spec.combo.channels as f64,
+                    o.spec.combo.batch_size as f64,
+                    o.accuracy,
+                    o.latency_ms,
+                    o.memory_mb,
+                ],
+            )
+        })
+        .collect();
+    let labels = [
+        "kernel_size",
+        "stride",
+        "padding",
+        "kernel_size_pool",
+        "stride_pool",
+        "initial_output_feature",
+        "channels",
+        "batch",
+        "accuracy",
+        "latency",
+        "memory",
+    ];
+    let rows = radar_rows(&points, &labels, |id| {
+        let pooled = db
+            .by_id(id)
+            .map(|o| o.spec.arch.pool.is_some())
+            .unwrap_or(false);
+        if pooled { "green(pool)".to_string() } else { "red(no_pool)".to_string() }
+    });
+    radar_csv(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydronas_nas::space::{full_grid, SearchSpace};
+    use hydronas_nas::{run_experiment, SchedulerConfig, SurrogateEvaluator};
+
+    fn small_db() -> ExperimentDb {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .filter(|t| t.combo.channels == 5 && t.combo.batch_size == 16)
+            .collect();
+        run_experiment(
+            &trials,
+            &SurrogateEvaluator::default(),
+            &SchedulerConfig { injected_failures: 0, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn figure1_shows_both_channel_variants() {
+        let f = figure1(32);
+        assert!(f.contains("c5k7s2p3"));
+        assert!(f.contains("c7k7s2p3"));
+        assert!(f.contains("stem.conv"));
+    }
+
+    #[test]
+    fn figure2_counts_288_and_1728() {
+        let f = figure2();
+        assert!(f.contains("288 configurations"));
+        assert!(f.contains("1728 trials"));
+    }
+
+    #[test]
+    fn figure3_marks_front_members() {
+        let db = small_db();
+        let csv = figure3_csv(&db);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "id,accuracy,latency_ms,memory_mb,on_front");
+        assert_eq!(lines.len(), db.valid().len() + 1);
+        let flagged = lines.iter().filter(|l| l.ends_with(",1")).count();
+        assert_eq!(flagged, db.pareto_outcomes().len());
+        assert!(flagged >= 1);
+    }
+
+    #[test]
+    fn figure4_has_one_row_per_front_member() {
+        let db = small_db();
+        let csv = figure4_csv(&db);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("id,group,kernel_size"));
+        assert_eq!(lines.len(), db.pareto_outcomes().len() + 1);
+        assert!(csv.contains("red(no_pool)") || csv.contains("green(pool)"));
+    }
+}
+
+/// Figure 3 as a standalone interactive HTML page — the analogue of the
+/// paper's hosted interactive scatter. Pure inline SVG (no external
+/// assets): accuracy on x, latency on y (log scale), marker size by
+/// memory level, non-dominated solutions in red with hover tooltips.
+pub fn figure3_html(db: &ExperimentDb) -> String {
+    let valid = db.valid();
+    let front_ids: Vec<usize> = db.pareto_outcomes().iter().map(|o| o.spec.id).collect();
+    let r = db.objective_ranges();
+    let (w, h, pad) = (900.0f64, 560.0f64, 60.0f64);
+    let x_of = |acc: f64| {
+        pad + (acc - r.accuracy_min) / (r.accuracy_max - r.accuracy_min).max(1e-9)
+            * (w - 2.0 * pad)
+    };
+    let (ly_min, ly_max) = (r.latency_min_ms.ln(), r.latency_max_ms.ln());
+    let y_of = |lat: f64| {
+        h - pad - (lat.ln() - ly_min) / (ly_max - ly_min).max(1e-9) * (h - 2.0 * pad)
+    };
+
+    let mut svg = String::with_capacity(valid.len() * 160);
+    svg.push_str(&format!(
+        r#"<svg viewBox="0 0 {w} {h}" xmlns="http://www.w3.org/2000/svg" font-family="sans-serif" font-size="12">"#
+    ));
+    // Axes.
+    svg.push_str(&format!(
+        r##"<line x1="{pad}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="#444"/>
+<line x1="{pad}" y1="{pad}" x2="{pad}" y2="{y0}" stroke="#444"/>
+<text x="{xm}" y="{yl}" text-anchor="middle">inference accuracy (%)</text>
+<text x="16" y="{ym}" text-anchor="middle" transform="rotate(-90 16 {ym})">inference latency (ms, log)</text>"##,
+        y0 = h - pad,
+        x1 = w - pad,
+        xm = w / 2.0,
+        yl = h - 18.0,
+        ym = h / 2.0,
+    ));
+    // Dominated points first so the front renders on top.
+    let mut front_svg = String::new();
+    for o in &valid {
+        let on_front = front_ids.contains(&o.spec.id);
+        let radius = 2.0 + 4.0 * (o.memory_mb - r.memory_min_mb)
+            / (r.memory_max_mb - r.memory_min_mb).max(1e-9);
+        let circle = format!(
+            r##"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="{}" fill-opacity="{}"><title>{} | acc {:.2}% lat {:.2}ms mem {:.2}MB</title></circle>"##,
+            x_of(o.accuracy),
+            y_of(o.latency_ms),
+            if on_front { radius + 2.0 } else { radius },
+            if on_front { "#d62728" } else { "#4878a8" },
+            if on_front { 1.0 } else { 0.35 },
+            o.spec.arch.key(),
+            o.accuracy,
+            o.latency_ms,
+            o.memory_mb
+        );
+        if on_front {
+            front_svg.push_str(&circle);
+        } else {
+            svg.push_str(&circle);
+        }
+    }
+    svg.push_str(&front_svg);
+    svg.push_str("</svg>");
+
+    format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>HydroNAS Figure 3 — Pareto front analysis</title></head>\
+         <body><h1>Pareto front analysis ({} outcomes, {} non-dominated)</h1>\
+         <p>Hover a point for its configuration. Red = non-dominated; marker \
+         size tracks model memory.</p>{}</body></html>\n",
+        valid.len(),
+        front_ids.len(),
+        svg
+    )
+}
+
+#[cfg(test)]
+mod html_tests {
+    use super::*;
+    use hydronas_nas::space::{full_grid, SearchSpace};
+    use hydronas_nas::{run_experiment, SchedulerConfig, SurrogateEvaluator};
+
+    #[test]
+    fn html_contains_one_circle_per_outcome() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .filter(|t| t.combo.channels == 5 && t.combo.batch_size == 8)
+            .collect();
+        let db = run_experiment(
+            &trials,
+            &SurrogateEvaluator::default(),
+            &SchedulerConfig { injected_failures: 0, ..Default::default() },
+        );
+        let html = figure3_html(&db);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert_eq!(html.matches("<circle").count(), db.valid().len());
+        assert_eq!(
+            html.matches("#d62728").count(),
+            db.pareto_outcomes().len(),
+            "front markers"
+        );
+        assert!(html.contains("inference accuracy"));
+        assert!(html.contains("</svg>"));
+    }
+}

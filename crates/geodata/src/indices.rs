@@ -1,0 +1,87 @@
+//! Spectral indices from the paper's Section 2.1.
+
+/// Normalized Difference Vegetation Index (Eq. 1): `(NIR - RED)/(NIR + RED)`.
+///
+/// Returns 0 where the denominator vanishes (both bands zero).
+pub fn ndvi(nir: f32, red: f32) -> f32 {
+    let denom = nir + red;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (nir - red) / denom
+    }
+}
+
+/// Normalized Difference Water Index (Eq. 2): `(GREEN - NIR)/(GREEN + NIR)`.
+pub fn ndwi(green: f32, nir: f32) -> f32 {
+    let denom = green + nir;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (green - nir) / denom
+    }
+}
+
+/// Applies [`ndvi`] elementwise over co-registered band rasters.
+pub fn ndvi_raster(nir: &[f32], red: &[f32]) -> Vec<f32> {
+    assert_eq!(nir.len(), red.len(), "band size mismatch");
+    nir.iter().zip(red).map(|(&n, &r)| ndvi(n, r)).collect()
+}
+
+/// Applies [`ndwi`] elementwise over co-registered band rasters.
+pub fn ndwi_raster(green: &[f32], nir: &[f32]) -> Vec<f32> {
+    assert_eq!(green.len(), nir.len(), "band size mismatch");
+    green.iter().zip(nir).map(|(&g, &n)| ndwi(g, n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vegetation_has_high_ndvi() {
+        // Healthy vegetation: high NIR, low red.
+        assert!(ndvi(0.8, 0.1) > 0.7);
+        // Bare soil: similar bands.
+        assert!(ndvi(0.3, 0.3).abs() < 1e-6);
+        // Water: NIR strongly absorbed.
+        assert!(ndvi(0.05, 0.2) < 0.0);
+    }
+
+    #[test]
+    fn water_has_high_ndwi() {
+        assert!(ndwi(0.4, 0.05) > 0.7);
+        assert!(ndwi(0.2, 0.6) < 0.0);
+    }
+
+    #[test]
+    fn indices_are_bounded_for_nonnegative_bands() {
+        for i in 0..100 {
+            let a = i as f32 * 0.01;
+            let b = (99 - i) as f32 * 0.01;
+            assert!((-1.0..=1.0).contains(&ndvi(a, b)));
+            assert!((-1.0..=1.0).contains(&ndwi(a, b)));
+        }
+    }
+
+    #[test]
+    fn zero_denominator_is_zero_not_nan() {
+        assert_eq!(ndvi(0.0, 0.0), 0.0);
+        assert_eq!(ndwi(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ndvi_antisymmetric_in_bands() {
+        assert_eq!(ndvi(0.7, 0.2), -ndvi(0.2, 0.7));
+    }
+
+    #[test]
+    fn raster_helpers_match_scalar() {
+        let nir = [0.8, 0.05, 0.3];
+        let red = [0.1, 0.2, 0.3];
+        let out = ndvi_raster(&nir, &red);
+        for i in 0..3 {
+            assert_eq!(out[i], ndvi(nir[i], red[i]));
+        }
+    }
+}

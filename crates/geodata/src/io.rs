@@ -1,0 +1,239 @@
+//! Dataset persistence: a compact binary container for tile sets (the
+//! analogue of the paper's `ClippedSample_4Areas.zip` artifact), so a
+//! synthesized dataset can be generated once and reloaded byte-identically
+//! by training jobs.
+//!
+//! Format (`HTIL`, little-endian):
+//! `magic | version | n | channels | tile | labels[n] | region offsets |
+//!  region names | features[n * channels * tile^2]`.
+
+use crate::dataset::{ChannelMode, TileSet};
+use hydronas_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"HTIL";
+const VERSION: u32 = 1;
+
+/// I/O or format failure while reading a tile container.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TileIoError {
+    BadMagic,
+    BadVersion(u32),
+    Truncated,
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TileIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileIoError::BadMagic => write!(f, "bad magic"),
+            TileIoError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            TileIoError::Truncated => write!(f, "truncated tile container"),
+            TileIoError::Corrupt(what) => write!(f, "corrupt tile container: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TileIoError {}
+
+/// Serializes a tile set into the `HTIL` container.
+pub fn serialize_tileset(set: &TileSet) -> Vec<u8> {
+    let dims = set.features.dims();
+    let (n, channels, tile) = (dims[0], dims[1], dims[2]);
+    assert_eq!(dims[2], dims[3], "tiles must be square");
+    let mut out = Vec::with_capacity(16 + n * (1 + channels * tile * tile * 4));
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&(channels as u32).to_le_bytes());
+    out.extend_from_slice(&(tile as u32).to_le_bytes());
+    for &label in &set.labels {
+        out.push(label as u8);
+    }
+    // Region names: a name table plus per-sample index.
+    let mut names: Vec<&'static str> = Vec::new();
+    let mut indices = Vec::with_capacity(n);
+    for &r in &set.region_of {
+        let idx = match names.iter().position(|&x| x == r) {
+            Some(i) => i,
+            None => {
+                names.push(r);
+                names.len() - 1
+            }
+        };
+        indices.push(idx as u8);
+    }
+    out.push(names.len() as u8);
+    for name in &names {
+        out.push(name.len() as u8);
+        out.extend_from_slice(name.as_bytes());
+    }
+    out.extend_from_slice(&indices);
+    for v in set.features.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Parses an `HTIL` container.
+///
+/// Region names round-trip as owned strings re-matched against the known
+/// study regions (unknown regions are mapped to `"unknown"`).
+pub fn deserialize_tileset(data: &[u8]) -> Result<TileSet, TileIoError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], TileIoError> {
+        let end = pos.checked_add(n).ok_or(TileIoError::Truncated)?;
+        if end > data.len() {
+            return Err(TileIoError::Truncated);
+        }
+        let out = &data[*pos..end];
+        *pos = end;
+        Ok(out)
+    };
+    let u32_at = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4 bytes"));
+
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(TileIoError::BadMagic);
+    }
+    let version = u32_at(take(&mut pos, 4)?);
+    if version != VERSION {
+        return Err(TileIoError::BadVersion(version));
+    }
+    let n = u32_at(take(&mut pos, 4)?) as usize;
+    let channels = u32_at(take(&mut pos, 4)?) as usize;
+    let tile = u32_at(take(&mut pos, 4)?) as usize;
+    if channels != 5 && channels != 7 {
+        return Err(TileIoError::Corrupt("channel count must be 5 or 7"));
+    }
+    if n > 10_000_000 || tile > 4096 {
+        return Err(TileIoError::Corrupt("implausible dimensions"));
+    }
+
+    let labels: Vec<usize> = take(&mut pos, n)?.iter().map(|&b| b as usize).collect();
+    if labels.iter().any(|&l| l > 1) {
+        return Err(TileIoError::Corrupt("labels must be binary"));
+    }
+
+    let name_count = take(&mut pos, 1)?[0] as usize;
+    let mut names: Vec<String> = Vec::with_capacity(name_count);
+    for _ in 0..name_count {
+        let len = take(&mut pos, 1)?[0] as usize;
+        let bytes = take(&mut pos, len)?;
+        names.push(
+            String::from_utf8(bytes.to_vec())
+                .map_err(|_| TileIoError::Corrupt("non-utf8 region name"))?,
+        );
+    }
+    let indices = take(&mut pos, n)?.to_vec();
+
+    let payload = n * channels * tile * tile;
+    let raw = take(&mut pos, payload * 4)?;
+    let mut features = Vec::with_capacity(payload);
+    for chunk in raw.chunks_exact(4) {
+        features.push(f32::from_le_bytes(chunk.try_into().expect("4 bytes")));
+    }
+
+    // Re-intern region names against the static study regions.
+    let region_of: Vec<&'static str> = indices
+        .iter()
+        .map(|&i| {
+            let name = names.get(i as usize).map(String::as_str).unwrap_or("unknown");
+            crate::region::study_regions()
+                .iter()
+                .map(|r| r.name)
+                .find(|&r| r == name)
+                .unwrap_or("unknown")
+        })
+        .collect();
+
+    Ok(TileSet {
+        features: Tensor::from_vec(features, &[n, channels, tile, tile]),
+        labels,
+        region_of,
+        mode: ChannelMode::from_channels(channels),
+    })
+}
+
+/// Writes a tile set to disk.
+pub fn save_tileset(set: &TileSet, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, serialize_tileset(set))
+}
+
+/// Reads a tile set from disk.
+pub fn load_tileset(path: &std::path::Path) -> std::io::Result<TileSet> {
+    let data = std::fs::read(path)?;
+    deserialize_tileset(&data)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::build_dataset;
+    use crate::region::study_regions;
+
+    fn sample_set() -> TileSet {
+        build_dataset(&study_regions(), ChannelMode::Seven, 12, 0.002, 5)
+    }
+
+    #[test]
+    fn roundtrip_is_byte_exact() {
+        let set = sample_set();
+        let blob = serialize_tileset(&set);
+        let back = deserialize_tileset(&blob).unwrap();
+        assert_eq!(back.features, set.features);
+        assert_eq!(back.labels, set.labels);
+        assert_eq!(back.region_of, set.region_of);
+        assert_eq!(back.mode, set.mode);
+        // And serializing again is identical (canonical form).
+        assert_eq!(serialize_tileset(&back), blob);
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let blob = serialize_tileset(&sample_set());
+        for cut in [0usize, 3, 8, 15, 40, blob.len() - 1] {
+            let err = deserialize_tileset(&blob[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TileIoError::Truncated | TileIoError::BadMagic),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        assert_eq!(deserialize_tileset(b"XXXXxxxx").unwrap_err(), TileIoError::BadMagic);
+        let mut blob = serialize_tileset(&sample_set());
+        blob[4] = 9; // version
+        assert_eq!(deserialize_tileset(&blob).unwrap_err(), TileIoError::BadVersion(9));
+        let mut blob = serialize_tileset(&sample_set());
+        blob[12] = 4; // channels = 4
+        assert!(matches!(
+            deserialize_tileset(&blob).unwrap_err(),
+            TileIoError::Corrupt(_) | TileIoError::Truncated
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let set = sample_set();
+        let path = std::env::temp_dir().join(format!("hydronas_tiles_{}.htil", std::process::id()));
+        save_tileset(&set, &path).unwrap();
+        let back = load_tileset(&path).unwrap();
+        assert_eq!(back.labels, set.labels);
+        assert_eq!(back.features, set.features);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn region_names_survive() {
+        let set = sample_set();
+        let back = deserialize_tileset(&serialize_tileset(&set)).unwrap();
+        let mut regions: Vec<&str> = back.region_of.clone();
+        regions.sort_unstable();
+        regions.dedup();
+        // All four study regions appear (scale keeps >= 1 sample each).
+        assert_eq!(regions.len(), 4, "{regions:?}");
+        assert!(!regions.contains(&"unknown"));
+    }
+}

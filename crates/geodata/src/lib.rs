@@ -1,0 +1,37 @@
+//! # hydronas-geodata
+//!
+//! The synthetic geospatial substrate replacing the paper's HRDEM + NAIP
+//! orthophoto datasets (Table 1). Everything is procedural and seeded:
+//!
+//! * [`noise`] — deterministic value-noise / fBm fields.
+//! * [`terrain`] — heightmaps with slope/aspect analysis.
+//! * [`hydrology`] — D8 flow directions, flow accumulation, stream masks.
+//! * [`tile`] — the drainage-crossing tile synthesizer: carves a stream
+//!   channel into terrain, lays a road embankment, and for positive
+//!   samples injects a culvert crossing where the two meet; renders the
+//!   co-registered orthophoto (R, G, B, NIR).
+//! * [`indices`] — NDVI (Eq. 1) and NDWI (Eq. 2).
+//! * [`region`] — the four study watersheds with Table 1 sample counts.
+//! * [`dataset`] — balanced 5- or 7-channel tile sets ready for training.
+
+pub mod dataset;
+pub mod hydrology;
+pub mod indices;
+pub mod io;
+pub mod noise;
+pub mod region;
+pub mod scene;
+pub mod terrain;
+pub mod tile;
+pub mod viz;
+
+pub use dataset::{build_dataset, build_paper_dataset, ChannelMode, TileSet};
+pub use hydrology::{d8_flow_directions, flow_accumulation, stream_mask};
+pub use indices::{ndvi, ndwi};
+pub use io::{deserialize_tileset, load_tileset, save_tileset, serialize_tileset, TileIoError};
+pub use noise::{fbm, ValueNoise};
+pub use region::{study_regions, Region};
+pub use scene::{Scene, SceneParams};
+pub use terrain::Heightmap;
+pub use tile::{synthesize_tile, Tile, TileParams};
+pub use viz::{heightmap_to_pgm, mask_to_pgm, raster_to_pgm, tile_to_ppm};

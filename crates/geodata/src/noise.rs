@@ -1,0 +1,131 @@
+//! Deterministic value noise and fractal Brownian motion.
+//!
+//! A hash-based lattice noise (no stored permutation tables) keeps every
+//! field a pure function of `(seed, x, y)` — regenerating any tile of any
+//! region is reproducible without storing rasters.
+
+/// Hash-based 2-d value noise with smooth (quintic) interpolation.
+#[derive(Clone, Copy, Debug)]
+pub struct ValueNoise {
+    seed: u64,
+}
+
+impl ValueNoise {
+    pub fn new(seed: u64) -> ValueNoise {
+        ValueNoise { seed }
+    }
+
+    /// Pseudorandom value in `[0, 1)` at an integer lattice point.
+    fn lattice(&self, ix: i64, iy: i64) -> f32 {
+        let mut h = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((ix as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((iy as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        (h >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Smooth noise value in `[0, 1)` at a continuous coordinate.
+    pub fn sample(&self, x: f32, y: f32) -> f32 {
+        let ix = x.floor() as i64;
+        let iy = y.floor() as i64;
+        let fx = x - ix as f32;
+        let fy = y - iy as f32;
+        // Quintic fade for C2 continuity.
+        let u = fx * fx * fx * (fx * (fx * 6.0 - 15.0) + 10.0);
+        let v = fy * fy * fy * (fy * (fy * 6.0 - 15.0) + 10.0);
+        let a = self.lattice(ix, iy);
+        let b = self.lattice(ix + 1, iy);
+        let c = self.lattice(ix, iy + 1);
+        let d = self.lattice(ix + 1, iy + 1);
+        let top = a + (b - a) * u;
+        let bottom = c + (d - c) * u;
+        top + (bottom - top) * v
+    }
+}
+
+/// Fractal Brownian motion: `octaves` layers of value noise with geometric
+/// frequency/amplitude progression, normalized to `[0, 1)`.
+pub fn fbm(seed: u64, x: f32, y: f32, octaves: usize, lacunarity: f32, gain: f32) -> f32 {
+    assert!(octaves > 0, "need at least one octave");
+    let mut amp = 1.0f32;
+    let mut freq = 1.0f32;
+    let mut total = 0.0f32;
+    let mut norm = 0.0f32;
+    for o in 0..octaves {
+        let layer = ValueNoise::new(seed.wrapping_add(o as u64 * 0x51_7C_C1));
+        total += amp * layer.sample(x * freq, y * freq);
+        norm += amp;
+        amp *= gain;
+        freq *= lacunarity;
+    }
+    total / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let n = ValueNoise::new(7);
+        assert_eq!(n.sample(1.5, 2.5), n.sample(1.5, 2.5));
+        let m = ValueNoise::new(8);
+        assert_ne!(n.sample(1.5, 2.5), m.sample(1.5, 2.5));
+    }
+
+    #[test]
+    fn range_is_unit_interval() {
+        let n = ValueNoise::new(3);
+        for i in 0..500 {
+            let v = n.sample(i as f32 * 0.37, i as f32 * 0.61 - 20.0);
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn interpolates_lattice_values_exactly() {
+        let n = ValueNoise::new(11);
+        // At integer coordinates the sample equals the lattice value.
+        assert_eq!(n.sample(4.0, 9.0), n.lattice(4, 9));
+    }
+
+    #[test]
+    fn continuity_across_cells() {
+        let n = ValueNoise::new(5);
+        // Approaching a lattice line from both sides converges.
+        let left = n.sample(2.9999, 0.5);
+        let right = n.sample(3.0001, 0.5);
+        assert!((left - right).abs() < 1e-2, "{left} vs {right}");
+    }
+
+    #[test]
+    fn fbm_in_unit_range_and_rougher_with_more_octaves() {
+        let mut delta1 = 0.0f32;
+        let mut delta4 = 0.0f32;
+        for i in 0..200 {
+            let x = i as f32 * 0.05;
+            let a1 = fbm(9, x, 0.0, 1, 2.0, 0.5);
+            let b1 = fbm(9, x + 0.01, 0.0, 1, 2.0, 0.5);
+            let a4 = fbm(9, x, 0.0, 5, 2.0, 0.5);
+            let b4 = fbm(9, x + 0.01, 0.0, 5, 2.0, 0.5);
+            assert!((0.0..1.0).contains(&a1));
+            assert!((0.0..1.0).contains(&a4));
+            delta1 += (a1 - b1).abs();
+            delta4 += (a4 - b4).abs();
+        }
+        assert!(delta4 > delta1, "more octaves should add high-frequency detail");
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let n = ValueNoise::new(2);
+        let v = n.sample(-5.3, -2.7);
+        assert!((0.0..1.0).contains(&v));
+    }
+}

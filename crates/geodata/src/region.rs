@@ -1,0 +1,153 @@
+//! The four study watersheds (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// One study region with its Table 1 metadata.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    pub name: &'static str,
+    pub dem_source: &'static str,
+    /// DEM ground resolution in meters.
+    pub dem_resolution_m: f32,
+    /// Positive (drainage crossing) sample count.
+    pub true_samples: usize,
+    /// Negative sample count (balanced by random spatial sampling).
+    pub false_samples: usize,
+    pub orthophoto_source: &'static str,
+    /// Seed base so each region's tiles form an independent stream.
+    pub seed_base: u64,
+}
+
+impl Region {
+    /// Total samples contributed by this region.
+    pub fn total_samples(&self) -> usize {
+        self.true_samples + self.false_samples
+    }
+
+    /// Terrain roughness used by the synthesizer: finer DEMs resolve more
+    /// high-frequency microtopography.
+    pub fn roughness(&self) -> f32 {
+        // 1 m -> 1.0, 0.3 m -> ~1.8 (log-scaled).
+        1.0 + 0.7 * (1.0 / self.dem_resolution_m).ln().max(0.0)
+    }
+}
+
+/// Table 1: data sources and study regions.
+pub fn study_regions() -> Vec<Region> {
+    vec![
+        Region {
+            name: "Nebraska",
+            dem_source: "Nebraska Department of Natural Resource",
+            dem_resolution_m: 1.0,
+            true_samples: 2022,
+            false_samples: 2022,
+            orthophoto_source: "USGS NAIP (1m resolution)",
+            seed_base: 0x4E_45_00,
+        },
+        Region {
+            name: "Illinois",
+            dem_source: "Illinois Geospatial Data Clearinghouse",
+            dem_resolution_m: 0.3,
+            true_samples: 1011,
+            false_samples: 1011,
+            orthophoto_source: "USGS NAIP (1m resolution)",
+            seed_base: 0x49_4C_00,
+        },
+        Region {
+            name: "North Dakota",
+            dem_source: "North Dakota GIS Hub Data Portal",
+            dem_resolution_m: 0.61,
+            true_samples: 613,
+            false_samples: 613,
+            orthophoto_source: "USGS NAIP (1m resolution)",
+            seed_base: 0x4E_44_00,
+        },
+        Region {
+            name: "California",
+            dem_source: "USGS",
+            dem_resolution_m: 1.0,
+            true_samples: 2388,
+            false_samples: 2388,
+            orthophoto_source: "USGS NAIP (1m resolution)",
+            seed_base: 0x43_41_00,
+        },
+    ]
+}
+
+/// Renders Table 1 as aligned text.
+pub fn table1() -> String {
+    let regions = study_regions();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<42} {:>10} {:>8} {:>8} {:>8}  {}\n",
+        "Locations", "DEM Source", "DEM res", "True", "False", "Total", "Aerial Orthophoto Source"
+    ));
+    for r in &regions {
+        out.push_str(&format!(
+            "{:<14} {:<42} {:>9}m {:>8} {:>8} {:>8}  {}\n",
+            r.name,
+            r.dem_source,
+            r.dem_resolution_m,
+            r.true_samples,
+            r.false_samples,
+            r.total_samples(),
+            r.orthophoto_source
+        ));
+    }
+    let total: usize = regions.iter().map(|r| r.total_samples()).sum();
+    out.push_str(&format!("total samples: {total}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper_table1() {
+        let regions = study_regions();
+        assert_eq!(regions.len(), 4);
+        let by_name = |n: &str| regions.iter().find(|r| r.name == n).unwrap().clone();
+        assert_eq!(by_name("Nebraska").total_samples(), 4044);
+        assert_eq!(by_name("Illinois").total_samples(), 2022);
+        assert_eq!(by_name("North Dakota").total_samples(), 1226);
+        assert_eq!(by_name("California").total_samples(), 4776);
+        let total: usize = regions.iter().map(|r| r.total_samples()).sum();
+        assert_eq!(total, 12_068, "paper's comprehensive training data size");
+    }
+
+    #[test]
+    fn datasets_are_balanced() {
+        for r in study_regions() {
+            assert_eq!(r.true_samples, r.false_samples, "{} unbalanced", r.name);
+        }
+    }
+
+    #[test]
+    fn finer_dem_is_rougher() {
+        let regions = study_regions();
+        let il = regions.iter().find(|r| r.name == "Illinois").unwrap();
+        let ne = regions.iter().find(|r| r.name == "Nebraska").unwrap();
+        assert!(il.roughness() > ne.roughness());
+        assert_eq!(ne.roughness(), 1.0);
+    }
+
+    #[test]
+    fn seed_bases_are_distinct() {
+        let regions = study_regions();
+        for i in 0..regions.len() {
+            for j in i + 1..regions.len() {
+                assert_ne!(regions[i].seed_base, regions[j].seed_base);
+            }
+        }
+    }
+
+    #[test]
+    fn table1_renders_all_regions() {
+        let t = table1();
+        for r in study_regions() {
+            assert!(t.contains(r.name));
+        }
+        assert!(t.contains("12068"));
+    }
+}

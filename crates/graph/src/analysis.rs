@@ -1,0 +1,189 @@
+//! Static model analysis: parameters, FLOPs, and memory traffic per node.
+//!
+//! These numbers drive two of the paper's three objectives: the memory
+//! objective (serialized parameter bytes) and — through the roofline cost
+//! model in `hydronas-latency` — the latency objective.
+
+use crate::graph::{ModelGraph, Node, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// Cost of a single node at batch size 1.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeCost {
+    pub name: String,
+    /// Learnable parameters (conv weights, bn affine, fc weight+bias).
+    pub params: u64,
+    /// Non-learnable buffers serialized with the model (bn running stats).
+    pub buffers: u64,
+    /// Floating point operations (1 MAC = 2 FLOPs).
+    pub flops: u64,
+    /// Bytes of weights/buffers the kernel must stream from memory.
+    pub weight_bytes: u64,
+    /// Bytes of input activations read.
+    pub input_bytes: u64,
+    /// Bytes of output activations written.
+    pub output_bytes: u64,
+}
+
+/// Whole-model cost summary.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelCost {
+    pub params: u64,
+    pub buffers: u64,
+    pub flops: u64,
+    pub weight_bytes: u64,
+    pub activation_bytes: u64,
+    pub nodes: Vec<NodeCost>,
+}
+
+impl ModelCost {
+    /// Serialized parameter+buffer payload in (decimal) megabytes — the
+    /// paper's "memory (MB)" objective excluding format overhead.
+    pub fn payload_mb(&self) -> f64 {
+        (self.params + self.buffers) as f64 * 4.0 / 1e6
+    }
+}
+
+fn volume(shape: (usize, usize, usize)) -> u64 {
+    (shape.0 * shape.1 * shape.2) as u64
+}
+
+/// Cost of one node.
+pub fn node_cost(node: &Node) -> NodeCost {
+    let in_v = volume(node.in_shape);
+    let out_v = volume(node.out_shape);
+    let (params, buffers, flops) = match node.kind {
+        NodeKind::Conv { in_c, out_c, kernel, .. } => {
+            let params = (out_c * in_c * kernel * kernel) as u64;
+            let flops = 2 * out_v * (in_c * kernel * kernel) as u64;
+            (params, 0, flops)
+        }
+        NodeKind::BatchNorm { channels } => {
+            // Learnable gamma/beta plus running mean/var buffers; inference
+            // applies a fused scale+shift: 2 FLOPs per element.
+            ((2 * channels) as u64, (2 * channels) as u64, 2 * out_v)
+        }
+        NodeKind::Relu => (0, 0, out_v),
+        NodeKind::MaxPool { kernel, .. } => (0, 0, out_v * (kernel * kernel) as u64),
+        NodeKind::Add => (0, 0, out_v),
+        NodeKind::GlobalAvgPool => (0, 0, in_v),
+        NodeKind::Linear { in_f, out_f } => {
+            let params = (in_f * out_f + out_f) as u64;
+            (params, 0, 2 * (in_f * out_f) as u64)
+        }
+    };
+    // Residual add reads two inputs of equal size.
+    let input_bytes = if matches!(node.kind, NodeKind::Add) { 8 * in_v } else { 4 * in_v };
+    NodeCost {
+        name: node.name.clone(),
+        params,
+        buffers,
+        flops,
+        weight_bytes: 4 * (params + buffers),
+        input_bytes,
+        output_bytes: 4 * out_v,
+    }
+}
+
+/// Aggregates costs across all nodes of a graph (batch size 1).
+pub fn model_cost(graph: &ModelGraph) -> ModelCost {
+    let nodes: Vec<NodeCost> = graph.nodes.iter().map(node_cost).collect();
+    ModelCost {
+        params: nodes.iter().map(|n| n.params).sum(),
+        buffers: nodes.iter().map(|n| n.buffers).sum(),
+        flops: nodes.iter().map(|n| n.flops).sum(),
+        weight_bytes: nodes.iter().map(|n| n.weight_bytes).sum(),
+        activation_bytes: nodes.iter().map(|n| n.input_bytes + n.output_bytes).sum(),
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{ArchConfig, BASELINE_RESNET18};
+    use crate::graph::ModelGraph;
+
+    #[test]
+    fn baseline_param_count_matches_resnet18() {
+        // Hand-derived ResNet-18 parameter count for 5 input channels and
+        // 2 classes (matches the paper's ~44.7 MB ONNX size at 4 B/param).
+        let g = ModelGraph::from_arch(&BASELINE_RESNET18, 224).unwrap();
+        let cost = model_cost(&g);
+        assert_eq!(cost.params, 11_183_810);
+        let mb = cost.params as f64 * 4.0 / 1e6;
+        assert!((mb - 44.74).abs() < 0.02, "got {mb} MB");
+    }
+
+    #[test]
+    fn seven_channel_variant_adds_only_stem_params() {
+        let g5 = ModelGraph::from_arch(&ArchConfig::baseline(5), 224).unwrap();
+        let g7 = ModelGraph::from_arch(&ArchConfig::baseline(7), 224).unwrap();
+        let d = model_cost(&g7).params - model_cost(&g5).params;
+        // Two extra input channels through the 7x7x64 stem.
+        assert_eq!(d, 2 * 7 * 7 * 64);
+        // ~0.025 MB — the paper's 44.71 -> 44.73 MB delta.
+        assert!((d as f64 * 4.0 / 1e6 - 0.025) < 0.002);
+    }
+
+    #[test]
+    fn feat32_variant_is_about_one_quarter() {
+        let mut arch = BASELINE_RESNET18;
+        arch.initial_features = 32;
+        arch.kernel_size = 3;
+        arch.padding = 1;
+        let g = ModelGraph::from_arch(&arch, 224).unwrap();
+        let mb = model_cost(&g).params as f64 * 4.0 / 1e6;
+        // The paper's Pareto solutions all weigh 11.18 MB.
+        assert!((mb - 11.18).abs() < 0.05, "got {mb} MB");
+    }
+
+    #[test]
+    fn conv_flops_formula() {
+        // Single known conv: 3x3, 2->4 channels, 8x8 output.
+        let arch = ArchConfig {
+            in_channels: 2,
+            kernel_size: 3,
+            stride: 1,
+            padding: 1,
+            pool: None,
+            initial_features: 4,
+            num_classes: 2,
+        };
+        let g = ModelGraph::from_arch(&arch, 8).unwrap();
+        let stem = node_cost(&g.nodes[0]);
+        assert_eq!(stem.flops, 2 * (4 * 8 * 8) as u64 * (2 * 3 * 3) as u64);
+        assert_eq!(stem.params, 4 * 2 * 3 * 3);
+        assert_eq!(stem.weight_bytes, 4 * stem.params);
+    }
+
+    #[test]
+    fn flops_scale_with_resolution() {
+        let g32 = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
+        let g64 = ModelGraph::from_arch(&BASELINE_RESNET18, 64).unwrap();
+        let f32_ = model_cost(&g32).flops as f64;
+        let f64_ = model_cost(&g64).flops as f64;
+        // Roughly 4x (borders distort it slightly).
+        assert!(f64_ / f32_ > 3.0 && f64_ / f32_ < 5.0, "ratio {}", f64_ / f32_);
+    }
+
+    #[test]
+    fn add_counts_two_input_streams() {
+        let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
+        let add = g
+            .nodes
+            .iter()
+            .find(|n| matches!(n.kind, crate::graph::NodeKind::Add))
+            .unwrap();
+        let c = node_cost(add);
+        assert_eq!(c.input_bytes, 2 * c.output_bytes);
+    }
+
+    #[test]
+    fn payload_mb_includes_buffers() {
+        let g = ModelGraph::from_arch(&BASELINE_RESNET18, 224).unwrap();
+        let cost = model_cost(&g);
+        assert!(cost.buffers > 0);
+        assert!(cost.payload_mb() > cost.params as f64 * 4.0 / 1e6);
+    }
+}

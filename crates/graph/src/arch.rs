@@ -1,0 +1,142 @@
+//! Architecture configuration: one point of the paper's search space.
+
+use serde::{Deserialize, Serialize};
+
+/// Optional stem max-pool configuration (the paper's `pool_choice`,
+/// `kernel_size_pool`, `stride_pool` axes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Pooling window size (paper options: 2 or 3).
+    pub kernel: usize,
+    /// Pooling stride (paper options: 1 or 2).
+    pub stride: usize,
+}
+
+impl PoolConfig {
+    /// Padding used for the stem pool; follows the torch ResNet convention
+    /// (`kernel / 2` keeps borders for odd kernels, 0 for kernel 2).
+    pub fn padding(&self) -> usize {
+        if self.kernel % 2 == 1 {
+            self.kernel / 2
+        } else {
+            0
+        }
+    }
+}
+
+/// One ResNet-18 variant from the NNI search space (Figure 2).
+///
+/// The four backbone stages always hold two basic blocks each with widths
+/// `[f, 2f, 4f, 8f]` where `f = initial_features`; only the stem and `f`
+/// are searched, exactly as in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// Number of input image channels (5 or 7 in the paper).
+    pub in_channels: usize,
+    /// Initial conv kernel size (3 or 7).
+    pub kernel_size: usize,
+    /// Initial conv stride (1 or 2).
+    pub stride: usize,
+    /// Initial conv padding (0, 1, or 3).
+    pub padding: usize,
+    /// Optional stem max-pool; `None` is the paper's `pool_choice = 0`.
+    pub pool: Option<PoolConfig>,
+    /// Initial output feature width `f` (32, 48, or 64).
+    pub initial_features: usize,
+    /// Classifier output width (2: crossing / no crossing).
+    pub num_classes: usize,
+}
+
+/// The stock ResNet-18 stem used as the paper's baseline (Table 5):
+/// conv 7x7 stride 2 padding 3, max-pool 3x3 stride 2, 64 features.
+pub const BASELINE_RESNET18: ArchConfig = ArchConfig {
+    in_channels: 5,
+    kernel_size: 7,
+    stride: 2,
+    padding: 3,
+    pool: Some(PoolConfig { kernel: 3, stride: 2 }),
+    initial_features: 64,
+    num_classes: 2,
+};
+
+impl ArchConfig {
+    /// Baseline ResNet-18 for a given channel count.
+    pub fn baseline(in_channels: usize) -> ArchConfig {
+        ArchConfig { in_channels, ..BASELINE_RESNET18 }
+    }
+
+    /// Widths of the four backbone stages: `[f, 2f, 4f, 8f]`.
+    pub fn stage_widths(&self) -> [usize; 4] {
+        let f = self.initial_features;
+        [f, 2 * f, 4 * f, 8 * f]
+    }
+
+    /// Input width of the final fully-connected layer (`8f`).
+    pub fn fc_in_features(&self) -> usize {
+        8 * self.initial_features
+    }
+
+    /// The paper's integer encoding of `pool_choice` (0 = none, 1 = pool).
+    pub fn pool_choice(&self) -> usize {
+        usize::from(self.pool.is_some())
+    }
+
+    /// Compact human-readable identifier, stable across runs; used as the
+    /// trial key in experiment databases.
+    pub fn key(&self) -> String {
+        match self.pool {
+            Some(p) => format!(
+                "c{}k{}s{}p{}-pool{}x{}-f{}",
+                self.in_channels, self.kernel_size, self.stride, self.padding, p.kernel, p.stride,
+                self.initial_features
+            ),
+            None => format!(
+                "c{}k{}s{}p{}-nopool-f{}",
+                self.in_channels, self.kernel_size, self.stride, self.padding,
+                self.initial_features
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_description() {
+        assert_eq!(BASELINE_RESNET18.kernel_size, 7);
+        assert_eq!(BASELINE_RESNET18.stride, 2);
+        assert_eq!(BASELINE_RESNET18.padding, 3);
+        assert_eq!(BASELINE_RESNET18.initial_features, 64);
+        assert_eq!(BASELINE_RESNET18.pool, Some(PoolConfig { kernel: 3, stride: 2 }));
+        assert_eq!(BASELINE_RESNET18.stage_widths(), [64, 128, 256, 512]);
+        assert_eq!(BASELINE_RESNET18.fc_in_features(), 512);
+    }
+
+    #[test]
+    fn pool_padding_convention() {
+        assert_eq!(PoolConfig { kernel: 3, stride: 2 }.padding(), 1);
+        assert_eq!(PoolConfig { kernel: 2, stride: 2 }.padding(), 0);
+    }
+
+    #[test]
+    fn keys_are_unique_per_config() {
+        let a = ArchConfig::baseline(5);
+        let mut b = a;
+        b.pool = None;
+        let mut c = a;
+        c.initial_features = 32;
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_ne!(b.key(), c.key());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = ArchConfig::baseline(7);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: ArchConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

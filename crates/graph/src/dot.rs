@@ -1,0 +1,133 @@
+//! Graphviz (DOT) export of model graphs — quick-look architecture
+//! diagrams (`dot -Tsvg model.dot`), the visual counterpart of Figure 1.
+
+use crate::analysis::node_cost;
+use crate::graph::{ModelGraph, NodeKind};
+
+fn node_label(graph: &ModelGraph, idx: usize) -> String {
+    let node = &graph.nodes[idx];
+    let cost = node_cost(node);
+    let op = match node.kind {
+        NodeKind::Conv { kernel, stride, .. } => format!("conv {kernel}x{kernel}/{stride}"),
+        NodeKind::BatchNorm { .. } => "batchnorm".to_string(),
+        NodeKind::Relu => "relu".to_string(),
+        NodeKind::MaxPool { kernel, stride, .. } => format!("maxpool {kernel}/{stride}"),
+        NodeKind::Add => "add".to_string(),
+        NodeKind::GlobalAvgPool => "gap".to_string(),
+        NodeKind::Linear { .. } => "fc".to_string(),
+    };
+    let (c, h, w) = node.out_shape;
+    if cost.params > 0 {
+        format!("{op}\\n{c}x{h}x{w}\\n{} params", cost.params)
+    } else {
+        format!("{op}\\n{c}x{h}x{w}")
+    }
+}
+
+fn node_color(kind: &NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Conv { .. } => "#aec7e8",
+        NodeKind::BatchNorm { .. } => "#dddddd",
+        NodeKind::Relu => "#f7f7f7",
+        NodeKind::MaxPool { .. } => "#ffbb78",
+        NodeKind::Add => "#98df8a",
+        NodeKind::GlobalAvgPool => "#c5b0d5",
+        NodeKind::Linear { .. } => "#ff9896",
+    }
+}
+
+/// Renders the model as a DOT digraph. Residual skip edges are drawn from
+/// each block's entry to its `add` node (dashed), matching the actual
+/// dataflow the trainable model executes.
+pub fn to_dot(graph: &ModelGraph) -> String {
+    let mut out = String::with_capacity(graph.len() * 96);
+    out.push_str("digraph model {\n  rankdir=TB;\n  node [shape=box, style=filled, fontsize=10];\n");
+    out.push_str(&format!(
+        "  label=\"{} @ {}x{}\";\n",
+        graph.arch.key(),
+        graph.input_hw,
+        graph.input_hw
+    ));
+    for (i, node) in graph.nodes.iter().enumerate() {
+        out.push_str(&format!(
+            "  n{i} [label=\"{}\", fillcolor=\"{}\"];\n",
+            node_label(graph, i),
+            node_color(&node.kind)
+        ));
+    }
+    // Main-path edges: sequential, except downsample projections which
+    // branch from the block entry (the node before conv1) to the add.
+    let mut block_entry = 0usize;
+    for i in 1..graph.nodes.len() {
+        let name = &graph.nodes[i].name;
+        if name.ends_with(".conv1") {
+            block_entry = i - 1;
+        }
+        if name.ends_with("downsample.conv") {
+            // Branch off the skip path.
+            out.push_str(&format!("  n{block_entry} -> n{i} [style=dashed];\n"));
+            continue;
+        }
+        if name.ends_with("downsample.bn") {
+            out.push_str(&format!("  n{} -> n{i} [style=dashed];\n", i - 1));
+            out.push_str(&format!("  n{i} -> n{} [style=dashed];\n", i + 1));
+            continue;
+        }
+        let prev = if graph.nodes[i - 1].name.ends_with("downsample.bn") { i - 3 } else { i - 1 };
+        out.push_str(&format!("  n{prev} -> n{i};\n"));
+        // Identity skip: block entry feeds the add directly when no
+        // projection exists.
+        if matches!(graph.nodes[i].kind, NodeKind::Add)
+            && !graph.nodes[i - 1].name.ends_with("downsample.bn")
+        {
+            out.push_str(&format!("  n{block_entry} -> n{i} [style=dashed];\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::BASELINE_RESNET18;
+    use crate::graph::ModelGraph;
+
+    #[test]
+    fn dot_contains_every_node_once() {
+        let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph model {"));
+        assert!(dot.ends_with("}\n"));
+        for i in 0..g.len() {
+            assert!(dot.contains(&format!("n{i} [label=")), "node {i} missing");
+        }
+        // 8 residual adds -> 8 dashed skip edges at least.
+        assert!(dot.matches("[style=dashed]").count() >= 8);
+    }
+
+    #[test]
+    fn dot_is_structurally_balanced() {
+        let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
+        let dot = to_dot(&g);
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        // Every add node receives two incoming edges (main + skip).
+        for (i, node) in g.nodes.iter().enumerate() {
+            if matches!(node.kind, crate::graph::NodeKind::Add) {
+                let incoming = dot.matches(&format!("-> n{i};")).count()
+                    + dot.matches(&format!("-> n{i} [style=dashed];")).count();
+                assert_eq!(incoming, 2, "add node n{i} has {incoming} inputs");
+            }
+        }
+    }
+
+    #[test]
+    fn no_pool_variant_renders_without_pool_node() {
+        let mut arch = BASELINE_RESNET18;
+        arch.pool = None;
+        let g = ModelGraph::from_arch(&arch, 32).unwrap();
+        let dot = to_dot(&g);
+        assert!(!dot.contains("maxpool"));
+        assert!(dot.contains("conv 7x7/2"));
+    }
+}

@@ -1,0 +1,390 @@
+//! Flat model graph with shape inference.
+//!
+//! [`ModelGraph::from_arch`] expands an [`ArchConfig`] into the explicit
+//! operator sequence of the ResNet-18 variant (stem, four stages of two
+//! basic blocks, head) with every activation shape resolved. Construction
+//! fails with [`GraphError`] when a window no longer fits its feature map —
+//! the same failure mode that invalidates NNI trials in the paper.
+
+use crate::arch::ArchConfig;
+use serde::{Deserialize, Serialize};
+
+/// Operator type of one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// 2-d convolution (no bias; ResNet convention).
+    Conv { in_c: usize, out_c: usize, kernel: usize, stride: usize, padding: usize },
+    /// Batch normalization over `channels`.
+    BatchNorm { channels: usize },
+    /// Rectified linear unit.
+    Relu,
+    /// Max pooling.
+    MaxPool { kernel: usize, stride: usize, padding: usize },
+    /// Elementwise residual addition (two equal-shaped inputs).
+    Add,
+    /// Global average pooling `[C,H,W] -> [C]`.
+    GlobalAvgPool,
+    /// Fully connected layer (with bias).
+    Linear { in_f: usize, out_f: usize },
+}
+
+/// One node with resolved input/output activation shapes `(C, H, W)`;
+/// post-GAP shapes use `H = W = 1`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    pub kind: NodeKind,
+    /// Human-readable layer path, e.g. `"stage2.block0.conv1"`.
+    pub name: String,
+    pub in_shape: (usize, usize, usize),
+    pub out_shape: (usize, usize, usize),
+}
+
+/// Shape-inference failure during graph construction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphError {
+    /// A conv/pool window no longer fits the feature map at `layer`.
+    CollapsedFeatureMap { layer: String, height: usize, width: usize, kernel: usize },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::CollapsedFeatureMap { layer, height, width, kernel } => write!(
+                f,
+                "feature map {height}x{width} collapsed under kernel {kernel} at {layer}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A fully shape-inferred model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelGraph {
+    pub arch: ArchConfig,
+    /// Input spatial extent (square tiles).
+    pub input_hw: usize,
+    pub nodes: Vec<Node>,
+}
+
+fn out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
+    let padded = input + 2 * padding;
+    if padded < kernel {
+        return None;
+    }
+    let out = (padded - kernel) / stride + 1;
+    (out > 0).then_some(out)
+}
+
+struct Builder {
+    nodes: Vec<Node>,
+    shape: (usize, usize, usize),
+}
+
+impl Builder {
+    fn conv(
+        &mut self,
+        name: &str,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<(), GraphError> {
+        let (c, h, w) = self.shape;
+        let oh = out_dim(h, kernel, stride, padding);
+        let ow = out_dim(w, kernel, stride, padding);
+        let (oh, ow) = match (oh, ow) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(GraphError::CollapsedFeatureMap {
+                    layer: name.to_string(),
+                    height: h,
+                    width: w,
+                    kernel,
+                })
+            }
+        };
+        self.nodes.push(Node {
+            kind: NodeKind::Conv { in_c: c, out_c, kernel, stride, padding },
+            name: name.to_string(),
+            in_shape: self.shape,
+            out_shape: (out_c, oh, ow),
+        });
+        self.shape = (out_c, oh, ow);
+        Ok(())
+    }
+
+    fn bn(&mut self, name: &str) {
+        self.nodes.push(Node {
+            kind: NodeKind::BatchNorm { channels: self.shape.0 },
+            name: name.to_string(),
+            in_shape: self.shape,
+            out_shape: self.shape,
+        });
+    }
+
+    fn relu(&mut self, name: &str) {
+        self.nodes.push(Node {
+            kind: NodeKind::Relu,
+            name: name.to_string(),
+            in_shape: self.shape,
+            out_shape: self.shape,
+        });
+    }
+
+    fn maxpool(
+        &mut self,
+        name: &str,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<(), GraphError> {
+        let (c, h, w) = self.shape;
+        let oh = out_dim(h, kernel, stride, padding);
+        let ow = out_dim(w, kernel, stride, padding);
+        let (oh, ow) = match (oh, ow) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(GraphError::CollapsedFeatureMap {
+                    layer: name.to_string(),
+                    height: h,
+                    width: w,
+                    kernel,
+                })
+            }
+        };
+        self.nodes.push(Node {
+            kind: NodeKind::MaxPool { kernel, stride, padding },
+            name: name.to_string(),
+            in_shape: self.shape,
+            out_shape: (c, oh, ow),
+        });
+        self.shape = (c, oh, ow);
+        Ok(())
+    }
+
+    fn add(&mut self, name: &str) {
+        self.nodes.push(Node {
+            kind: NodeKind::Add,
+            name: name.to_string(),
+            in_shape: self.shape,
+            out_shape: self.shape,
+        });
+    }
+
+    /// One ResNet basic block: conv3x3 -> bn -> relu -> conv3x3 -> bn,
+    /// plus a 1x1 downsample projection when entering a new stage, then
+    /// residual add and relu.
+    fn basic_block(
+        &mut self,
+        prefix: &str,
+        out_c: usize,
+        stride: usize,
+    ) -> Result<(), GraphError> {
+        let needs_projection = stride != 1 || self.shape.0 != out_c;
+        let skip_entry = self.shape;
+        self.conv(&format!("{prefix}.conv1"), out_c, 3, stride, 1)?;
+        self.bn(&format!("{prefix}.bn1"));
+        self.relu(&format!("{prefix}.relu1"));
+        self.conv(&format!("{prefix}.conv2"), out_c, 3, 1, 1)?;
+        self.bn(&format!("{prefix}.bn2"));
+        if needs_projection {
+            // The projection runs on the skip path; emit its nodes with the
+            // skip-path input shape so analysis counts it correctly.
+            let main = self.shape;
+            self.shape = skip_entry;
+            self.conv(&format!("{prefix}.downsample.conv"), out_c, 1, stride, 0)?;
+            self.bn(&format!("{prefix}.downsample.bn"));
+            debug_assert_eq!(self.shape, main, "skip projection shape mismatch");
+            self.shape = main;
+        }
+        self.add(&format!("{prefix}.add"));
+        self.relu(&format!("{prefix}.relu2"));
+        Ok(())
+    }
+}
+
+impl ModelGraph {
+    /// Expands `arch` applied to square `input_hw` tiles into a full graph.
+    pub fn from_arch(arch: &ArchConfig, input_hw: usize) -> Result<ModelGraph, GraphError> {
+        let mut b = Builder { nodes: Vec::with_capacity(80), shape: (arch.in_channels, input_hw, input_hw) };
+
+        b.conv("stem.conv", arch.initial_features, arch.kernel_size, arch.stride, arch.padding)?;
+        b.bn("stem.bn");
+        b.relu("stem.relu");
+        if let Some(pool) = arch.pool {
+            b.maxpool("stem.maxpool", pool.kernel, pool.stride, pool.padding())?;
+        }
+
+        let widths = arch.stage_widths();
+        for (stage, &w) in widths.iter().enumerate() {
+            for block in 0..2 {
+                // Stage 1 keeps resolution; stages 2-4 halve it in block 0.
+                let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+                b.basic_block(&format!("stage{}.block{}", stage + 1, block), w, stride)?;
+            }
+        }
+
+        let (c, h, w) = b.shape;
+        b.nodes.push(Node {
+            kind: NodeKind::GlobalAvgPool,
+            name: "head.gap".to_string(),
+            in_shape: (c, h, w),
+            out_shape: (c, 1, 1),
+        });
+        b.nodes.push(Node {
+            kind: NodeKind::Linear { in_f: c, out_f: arch.num_classes },
+            name: "head.fc".to_string(),
+            in_shape: (c, 1, 1),
+            out_shape: (arch.num_classes, 1, 1),
+        });
+        debug_assert_eq!(c, arch.fc_in_features());
+
+        Ok(ModelGraph { arch: *arch, input_hw, nodes: b.nodes })
+    }
+
+    /// Number of operator nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph holds no nodes (never for constructed graphs).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Count of nodes matching a predicate on kind.
+    pub fn count_kind(&self, pred: impl Fn(&NodeKind) -> bool) -> usize {
+        self.nodes.iter().filter(|n| pred(&n.kind)).count()
+    }
+
+    /// Final spatial extent before global average pooling.
+    pub fn final_spatial(&self) -> (usize, usize) {
+        let gap = self
+            .nodes
+            .iter()
+            .find(|n| matches!(n.kind, NodeKind::GlobalAvgPool))
+            .expect("graph has a GAP node");
+        (gap.in_shape.1, gap.in_shape.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{PoolConfig, BASELINE_RESNET18};
+
+    #[test]
+    fn baseline_at_224_matches_torch_resnet18_shapes() {
+        let g = ModelGraph::from_arch(&BASELINE_RESNET18, 224).unwrap();
+        // Stem: 224 -> 112 (conv) -> 56 (pool)
+        assert_eq!(g.nodes[0].out_shape, (64, 112, 112));
+        assert_eq!(g.nodes[3].out_shape, (64, 56, 56));
+        // Stages end at 56, 28, 14, 7.
+        assert_eq!(g.final_spatial(), (7, 7));
+        // 20 convs: stem + 16 block convs + 3 downsample projections.
+        assert_eq!(g.count_kind(|k| matches!(k, NodeKind::Conv { .. })), 20);
+        // 8 residual adds.
+        assert_eq!(g.count_kind(|k| matches!(k, NodeKind::Add)), 8);
+        // Head FC is 512 -> 2.
+        assert!(matches!(
+            g.nodes.last().unwrap().kind,
+            NodeKind::Linear { in_f: 512, out_f: 2 }
+        ));
+    }
+
+    #[test]
+    fn no_pool_variant_keeps_double_resolution() {
+        let mut arch = BASELINE_RESNET18;
+        arch.pool = None;
+        let g = ModelGraph::from_arch(&arch, 224).unwrap();
+        assert_eq!(g.final_spatial(), (14, 14));
+        assert_eq!(g.count_kind(|k| matches!(k, NodeKind::MaxPool { .. })), 0);
+    }
+
+    #[test]
+    fn narrow_variant_scales_widths() {
+        let mut arch = BASELINE_RESNET18;
+        arch.initial_features = 32;
+        let g = ModelGraph::from_arch(&arch, 224).unwrap();
+        assert!(matches!(
+            g.nodes.last().unwrap().kind,
+            NodeKind::Linear { in_f: 256, out_f: 2 }
+        ));
+    }
+
+    #[test]
+    fn tiny_input_collapses_with_descriptive_error() {
+        // 4x4 tiles cannot host an unpadded 7x7 stem kernel.
+        let arch = ArchConfig {
+            in_channels: 5,
+            kernel_size: 7,
+            stride: 2,
+            padding: 0,
+            pool: Some(PoolConfig { kernel: 3, stride: 2 }),
+            initial_features: 32,
+            num_classes: 2,
+        };
+        let err = ModelGraph::from_arch(&arch, 4).unwrap_err();
+        match err {
+            GraphError::CollapsedFeatureMap { layer, kernel, .. } => {
+                assert_eq!(layer, "stem.conv");
+                assert_eq!(kernel, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn works_at_paper_tile_size() {
+        // All search-space stems must survive 32x32 tiles so that the
+        // enumeration yields the expected trial count.
+        for kernel in [3, 7] {
+            for stride in [1, 2] {
+                for padding in [0, 1, 3] {
+                    for feat in [32, 48, 64] {
+                        for pool in
+                            [None, Some(PoolConfig { kernel: 3, stride: 2 })]
+                        {
+                            let arch = ArchConfig {
+                                in_channels: 7,
+                                kernel_size: kernel,
+                                stride,
+                                padding,
+                                pool,
+                                initial_features: feat,
+                                num_classes: 2,
+                            };
+                            let g = ModelGraph::from_arch(&arch, 32);
+                            assert!(
+                                g.is_ok(),
+                                "config {:?} collapsed: {:?}",
+                                arch,
+                                g.err()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_blocks_only_on_stage_transitions() {
+        let g = ModelGraph::from_arch(&BASELINE_RESNET18, 224).unwrap();
+        let projections: Vec<&str> = g
+            .nodes
+            .iter()
+            .filter(|n| n.name.contains("downsample.conv"))
+            .map(|n| n.name.as_str())
+            .collect();
+        assert_eq!(
+            projections,
+            vec![
+                "stage2.block0.downsample.conv",
+                "stage3.block0.downsample.conv",
+                "stage4.block0.downsample.conv"
+            ]
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! ONNX-like binary model serialization.
+//!
+//! The paper's memory objective is "the memory requirement to store the
+//! model in the onnx file format". We reproduce it with a compact binary
+//! format (`HONX`): a header, the node table, and one initializer blob per
+//! parameterized node. As in a real ONNX export with constant folding,
+//! batch-norm running statistics are folded into the preceding convolution
+//! at export time, so the payload is the learnable parameters only —
+//! which is what reproduces the paper's 44.7 MB / 11.18 MB figures.
+
+use crate::analysis::node_cost;
+use crate::arch::ArchConfig;
+use crate::graph::{ModelGraph, Node, NodeKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes identifying the format.
+pub const MAGIC: &[u8; 4] = b"HONX";
+/// Format version.
+pub const VERSION: u32 = 1;
+
+/// A deserialized model: the graph plus named initializer blobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OnnxLikeModel {
+    pub arch: ArchConfig,
+    pub input_hw: u32,
+    /// `(node name, parameter blob)` for every parameterized node, in
+    /// graph order.
+    pub initializers: Vec<(String, Vec<f32>)>,
+}
+
+/// Deserialization failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum OnnxError {
+    BadMagic,
+    BadVersion(u32),
+    Truncated,
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for OnnxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnnxError::BadMagic => write!(f, "bad magic bytes"),
+            OnnxError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            OnnxError::Truncated => write!(f, "truncated model file"),
+            OnnxError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OnnxError {}
+
+fn kind_tag(kind: &NodeKind) -> u8 {
+    match kind {
+        NodeKind::Conv { .. } => 0,
+        NodeKind::BatchNorm { .. } => 1,
+        NodeKind::Relu => 2,
+        NodeKind::MaxPool { .. } => 3,
+        NodeKind::Add => 4,
+        NodeKind::GlobalAvgPool => 5,
+        NodeKind::Linear { .. } => 6,
+    }
+}
+
+/// Learnable parameter count of a node (what gets an initializer blob).
+fn node_params(node: &Node) -> usize {
+    node_cost(node).params as usize
+}
+
+fn put_node(buf: &mut BytesMut, node: &Node) {
+    buf.put_u8(kind_tag(&node.kind));
+    buf.put_u16_le(node.name.len() as u16);
+    buf.put_slice(node.name.as_bytes());
+    for v in [
+        node.in_shape.0,
+        node.in_shape.1,
+        node.in_shape.2,
+        node.out_shape.0,
+        node.out_shape.1,
+        node.out_shape.2,
+    ] {
+        buf.put_u32_le(v as u32);
+    }
+    match node.kind {
+        NodeKind::Conv { in_c, out_c, kernel, stride, padding } => {
+            for v in [in_c, out_c, kernel, stride, padding] {
+                buf.put_u32_le(v as u32);
+            }
+        }
+        NodeKind::MaxPool { kernel, stride, padding } => {
+            for v in [kernel, stride, padding] {
+                buf.put_u32_le(v as u32);
+            }
+        }
+        NodeKind::BatchNorm { channels } => buf.put_u32_le(channels as u32),
+        NodeKind::Linear { in_f, out_f } => {
+            buf.put_u32_le(in_f as u32);
+            buf.put_u32_le(out_f as u32);
+        }
+        NodeKind::Relu | NodeKind::Add | NodeKind::GlobalAvgPool => {}
+    }
+}
+
+fn node_meta_size(node: &Node) -> usize {
+    let extra = match node.kind {
+        NodeKind::Conv { .. } => 5 * 4,
+        NodeKind::MaxPool { .. } => 3 * 4,
+        NodeKind::BatchNorm { .. } => 4,
+        NodeKind::Linear { .. } => 2 * 4,
+        NodeKind::Relu | NodeKind::Add | NodeKind::GlobalAvgPool => 0,
+    };
+    1 + 2 + node.name.len() + 6 * 4 + extra
+}
+
+/// Serializes a graph with the given flat weight vector (concatenated
+/// per-node learnable parameters in graph order). Pass `None` to export a
+/// zero-initialized model (size is identical either way).
+pub fn serialize_model(graph: &ModelGraph, weights: Option<&[f32]>) -> Bytes {
+    let total_params: usize = graph.nodes.iter().map(node_params).sum();
+    if let Some(w) = weights {
+        assert_eq!(w.len(), total_params, "weight vector length mismatch");
+    }
+    let mut buf = BytesMut::with_capacity(64 + total_params * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    // Arch config fields.
+    for v in [
+        graph.arch.in_channels,
+        graph.arch.kernel_size,
+        graph.arch.stride,
+        graph.arch.padding,
+        graph.arch.pool_choice(),
+        graph.arch.pool.map_or(0, |p| p.kernel),
+        graph.arch.pool.map_or(0, |p| p.stride),
+        graph.arch.initial_features,
+        graph.arch.num_classes,
+    ] {
+        buf.put_u32_le(v as u32);
+    }
+    buf.put_u32_le(graph.input_hw as u32);
+    buf.put_u32_le(graph.nodes.len() as u32);
+
+    let mut offset = 0usize;
+    for node in &graph.nodes {
+        put_node(&mut buf, node);
+        let n = node_params(node);
+        buf.put_u32_le(n as u32);
+        match weights {
+            Some(w) => {
+                for &v in &w[offset..offset + n] {
+                    buf.put_f32_le(v);
+                }
+            }
+            None => {
+                buf.put_bytes(0, n * 4);
+            }
+        }
+        offset += n;
+    }
+    buf.freeze()
+}
+
+/// Exact serialized size in bytes, computed without materializing the blob.
+pub fn serialized_size_bytes(graph: &ModelGraph) -> u64 {
+    let header = 4 + 4 + 10 * 4 + 4;
+    let meta: usize = graph.nodes.iter().map(node_meta_size).sum();
+    let payload: usize = graph.nodes.iter().map(|n| 4 + node_params(n) * 4).sum();
+    (header + meta + payload) as u64
+}
+
+/// Parses a `HONX` blob back into arch + initializers.
+pub fn deserialize_model(data: &[u8]) -> Result<OnnxLikeModel, OnnxError> {
+    let mut buf = data;
+    if buf.remaining() < 8 {
+        return Err(OnnxError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(OnnxError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(OnnxError::BadVersion(version));
+    }
+    if buf.remaining() < 11 * 4 {
+        return Err(OnnxError::Truncated);
+    }
+    let mut fields = [0u32; 10];
+    for f in fields.iter_mut() {
+        *f = buf.get_u32_le();
+    }
+    let arch = ArchConfig {
+        in_channels: fields[0] as usize,
+        kernel_size: fields[1] as usize,
+        stride: fields[2] as usize,
+        padding: fields[3] as usize,
+        pool: if fields[4] == 1 {
+            Some(crate::arch::PoolConfig { kernel: fields[5] as usize, stride: fields[6] as usize })
+        } else {
+            None
+        },
+        initial_features: fields[7] as usize,
+        num_classes: fields[8] as usize,
+    };
+    let input_hw = fields[9];
+    let node_count = buf.get_u32_le() as usize;
+    if node_count > 10_000 {
+        return Err(OnnxError::Corrupt("implausible node count"));
+    }
+
+    let mut initializers = Vec::new();
+    for _ in 0..node_count {
+        if buf.remaining() < 3 {
+            return Err(OnnxError::Truncated);
+        }
+        let tag = buf.get_u8();
+        if tag > 6 {
+            return Err(OnnxError::Corrupt("unknown node tag"));
+        }
+        let name_len = buf.get_u16_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(OnnxError::Truncated);
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        let name =
+            String::from_utf8(name_bytes).map_err(|_| OnnxError::Corrupt("non-utf8 name"))?;
+        let extra_words = match tag {
+            0 => 5,
+            3 => 3,
+            1 => 1,
+            6 => 2,
+            _ => 0,
+        };
+        let skip = (6 + extra_words) * 4;
+        if buf.remaining() < skip + 4 {
+            return Err(OnnxError::Truncated);
+        }
+        buf.advance(skip);
+        let n = buf.get_u32_le() as usize;
+        if buf.remaining() < n * 4 {
+            return Err(OnnxError::Truncated);
+        }
+        if n > 0 {
+            let mut blob = Vec::with_capacity(n);
+            for _ in 0..n {
+                blob.push(buf.get_f32_le());
+            }
+            initializers.push((name, blob));
+        }
+    }
+    Ok(OnnxLikeModel { arch, input_hw, initializers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::BASELINE_RESNET18;
+    use crate::graph::ModelGraph;
+
+    #[test]
+    fn size_function_matches_actual_serialization() {
+        for feat in [32, 48, 64] {
+            let mut arch = BASELINE_RESNET18;
+            arch.initial_features = feat;
+            let g = ModelGraph::from_arch(&arch, 32).unwrap();
+            let blob = serialize_model(&g, None);
+            assert_eq!(blob.len() as u64, serialized_size_bytes(&g), "feat {feat}");
+        }
+    }
+
+    #[test]
+    fn baseline_size_reproduces_paper_memory() {
+        let g = ModelGraph::from_arch(&ArchConfigFixture::baseline5(), 32).unwrap();
+        let mb = serialized_size_bytes(&g) as f64 / 1e6;
+        // Paper Table 5: 44.71 MB for the 5-channel baseline.
+        assert!((mb - 44.74).abs() < 0.05, "got {mb}");
+    }
+
+    #[test]
+    fn pareto_config_size_is_11_18_mb() {
+        // Table 4: all five non-dominated solutions weigh 11.18 MB
+        // (feat 32, kernel 3, padding 1).
+        let arch = crate::arch::ArchConfig {
+            in_channels: 7,
+            kernel_size: 3,
+            stride: 2,
+            padding: 1,
+            pool: None,
+            initial_features: 32,
+            num_classes: 2,
+        };
+        let g = ModelGraph::from_arch(&arch, 32).unwrap();
+        let mb = serialized_size_bytes(&g) as f64 / 1e6;
+        assert!((mb - 11.18).abs() < 0.02, "got {mb}");
+    }
+
+    #[test]
+    fn roundtrip_preserves_arch_and_weights() {
+        let mut arch = BASELINE_RESNET18;
+        arch.initial_features = 32;
+        let g = ModelGraph::from_arch(&arch, 32).unwrap();
+        let total: usize = g
+            .nodes
+            .iter()
+            .map(|n| crate::analysis::node_cost(n).params as usize)
+            .sum();
+        let weights: Vec<f32> = (0..total).map(|i| (i % 97) as f32 * 0.01).collect();
+        let blob = serialize_model(&g, Some(&weights));
+        let model = deserialize_model(&blob).unwrap();
+        assert_eq!(model.arch, arch);
+        assert_eq!(model.input_hw, 32);
+        let restored: usize = model.initializers.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(restored, total);
+        let flat: Vec<f32> =
+            model.initializers.iter().flat_map(|(_, b)| b.iter().copied()).collect();
+        assert_eq!(flat, weights);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected_not_panicked() {
+        assert_eq!(deserialize_model(b"").unwrap_err(), OnnxError::Truncated);
+        assert_eq!(deserialize_model(b"XXXX\x01\x00\x00\x00").unwrap_err(), OnnxError::BadMagic);
+        let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
+        let blob = serialize_model(&g, None);
+        // Truncate mid-payload.
+        assert_eq!(
+            deserialize_model(&blob[..blob.len() / 2]).unwrap_err(),
+            OnnxError::Truncated
+        );
+        // Wrong version.
+        let mut v = blob.to_vec();
+        v[4] = 99;
+        assert_eq!(deserialize_model(&v).unwrap_err(), OnnxError::BadVersion(99));
+    }
+
+    /// Helper giving tests a stable 5-channel baseline.
+    struct ArchConfigFixture;
+    impl ArchConfigFixture {
+        fn baseline5() -> crate::arch::ArchConfig {
+            crate::arch::ArchConfig::baseline(5)
+        }
+    }
+}

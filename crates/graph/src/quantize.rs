@@ -1,0 +1,142 @@
+//! Post-training int8 quantization — the natural next step the paper's
+//! "resource-limited devices" framing points at: a 4x smaller serialized
+//! model and proportionally less weight traffic for the memory-bound
+//! kernels that dominate tile-resolution inference.
+//!
+//! Scheme: symmetric per-tensor affine quantization. Each initializer is
+//! stored as `i8` values plus one `f32` scale (`w ≈ scale * q`).
+
+use crate::analysis::node_cost;
+use crate::graph::ModelGraph;
+use serde::{Deserialize, Serialize};
+
+/// Quantization precision for serialized weights.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit float (the paper's deployment format).
+    Fp32,
+    /// Symmetric per-tensor int8.
+    Int8,
+}
+
+impl Precision {
+    /// Bytes per stored weight scalar.
+    pub fn bytes_per_param(&self) -> u64 {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Int8 => 1,
+        }
+    }
+}
+
+/// One quantized tensor: int8 payload plus its dequantization scale.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    pub scale: f32,
+    pub values: Vec<i8>,
+}
+
+/// Symmetric per-tensor quantization of a weight blob.
+///
+/// The scale maps the largest-magnitude weight to ±127; an all-zero blob
+/// gets scale 1 (any scale dequantizes zeros to zeros).
+pub fn quantize_tensor(weights: &[f32]) -> QuantizedTensor {
+    let max_abs = weights.iter().fold(0.0f32, |acc, &w| acc.max(w.abs()));
+    let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+    let values = weights
+        .iter()
+        .map(|&w| (w / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    QuantizedTensor { scale, values }
+}
+
+impl QuantizedTensor {
+    /// Reconstructs approximate fp32 weights.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.values.iter().map(|&q| f32::from(q) * self.scale).collect()
+    }
+
+    /// Worst-case absolute reconstruction error (half a quantization step).
+    pub fn max_error(&self) -> f32 {
+        self.scale * 0.5
+    }
+}
+
+/// Serialized size of the model at a given precision, in bytes. Int8
+/// models store one f32 scale per parameterized node; graph metadata is
+/// unchanged.
+pub fn quantized_size_bytes(graph: &ModelGraph, precision: Precision) -> u64 {
+    let fp32 = crate::onnx::serialized_size_bytes(graph);
+    match precision {
+        Precision::Fp32 => fp32,
+        Precision::Int8 => {
+            let params: u64 = graph.nodes.iter().map(|n| node_cost(n).params).sum();
+            let parameterized_nodes =
+                graph.nodes.iter().filter(|n| node_cost(n).params > 0).count() as u64;
+            // Replace the 4-byte payload with 1-byte + per-node scales.
+            fp32 - 4 * params + params + 4 * parameterized_nodes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::BASELINE_RESNET18;
+    use crate::graph::ModelGraph;
+
+    #[test]
+    fn quantize_roundtrip_bounds_error() {
+        let weights: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.013).collect();
+        let q = quantize_tensor(&weights);
+        let back = q.dequantize();
+        for (w, b) in weights.iter().zip(&back) {
+            assert!((w - b).abs() <= q.max_error() + 1e-7, "{w} vs {b}");
+        }
+    }
+
+    #[test]
+    fn extreme_values_map_to_127() {
+        let q = quantize_tensor(&[-2.0, 0.0, 2.0]);
+        assert_eq!(q.values, vec![-127, 0, 127]);
+        assert!((q.scale - 2.0 / 127.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_tensor_is_stable() {
+        let q = quantize_tensor(&[0.0; 8]);
+        assert_eq!(q.scale, 1.0);
+        assert!(q.dequantize().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn int8_model_is_about_4x_smaller() {
+        let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
+        let fp32 = quantized_size_bytes(&g, Precision::Fp32);
+        let int8 = quantized_size_bytes(&g, Precision::Int8);
+        let ratio = fp32 as f64 / int8 as f64;
+        assert!((3.5..4.1).contains(&ratio), "ratio {ratio}");
+        // ~44.7 MB -> ~11.2 MB: the int8 ResNet-18 matches the fp32
+        // Pareto models' memory budget.
+        assert!((int8 as f64 / 1e6 - 11.2).abs() < 0.3);
+    }
+
+    #[test]
+    fn fp32_matches_the_onnx_size() {
+        let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
+        assert_eq!(
+            quantized_size_bytes(&g, Precision::Fp32),
+            crate::onnx::serialized_size_bytes(&g)
+        );
+    }
+
+    #[test]
+    fn quantization_preserves_sign_and_order() {
+        let weights = [-1.0f32, -0.5, 0.0, 0.25, 0.9];
+        let q = quantize_tensor(&weights);
+        for w in q.values.windows(2) {
+            assert!(w[0] <= w[1], "order violated: {:?}", q.values);
+        }
+        assert!(q.values[0] < 0 && q.values[4] > 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Human-readable architecture summaries (Figure 1 reproduction).
+
+use crate::analysis::model_cost;
+use crate::graph::{ModelGraph, NodeKind};
+
+/// Renders the architecture table the paper sketches in Figure 1: one row
+/// per operator with shapes, parameters, and FLOPs, plus model totals.
+pub fn architecture_summary(graph: &ModelGraph) -> String {
+    let cost = model_cost(graph);
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "Model: ResNet-18 variant {} @ {}x{} input\n",
+        graph.arch.key(),
+        graph.input_hw,
+        graph.input_hw
+    ));
+    out.push_str(&format!(
+        "{:<28} {:<12} {:>14} {:>14} {:>12} {:>14}\n",
+        "layer", "op", "in (CxHxW)", "out (CxHxW)", "params", "FLOPs"
+    ));
+    for (node, nc) in graph.nodes.iter().zip(cost.nodes.iter()) {
+        let op = match node.kind {
+            NodeKind::Conv { kernel, stride, .. } => format!("conv{kernel}x{kernel}/{stride}"),
+            NodeKind::BatchNorm { .. } => "batchnorm".to_string(),
+            NodeKind::Relu => "relu".to_string(),
+            NodeKind::MaxPool { kernel, stride, .. } => format!("maxpool{kernel}/{stride}"),
+            NodeKind::Add => "add".to_string(),
+            NodeKind::GlobalAvgPool => "gap".to_string(),
+            NodeKind::Linear { .. } => "linear".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<28} {:<12} {:>14} {:>14} {:>12} {:>14}\n",
+            node.name,
+            op,
+            format!("{}x{}x{}", node.in_shape.0, node.in_shape.1, node.in_shape.2),
+            format!("{}x{}x{}", node.out_shape.0, node.out_shape.1, node.out_shape.2),
+            nc.params,
+            nc.flops
+        ));
+    }
+    out.push_str(&format!(
+        "total: {} params, {:.1} MFLOPs, {:.2} MB serialized\n",
+        cost.params,
+        cost.flops as f64 / 1e6,
+        crate::onnx::serialized_size_bytes(graph) as f64 / 1e6
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::BASELINE_RESNET18;
+
+    #[test]
+    fn summary_contains_every_layer_and_totals() {
+        let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
+        let s = architecture_summary(&g);
+        assert!(s.contains("stem.conv"));
+        assert!(s.contains("stage4.block1.relu2"));
+        assert!(s.contains("head.fc"));
+        assert!(s.contains("total:"));
+        // One line per node plus header/title/total.
+        assert_eq!(s.lines().count(), g.len() + 3);
+    }
+
+    #[test]
+    fn summary_reports_stem_shape() {
+        let g = ModelGraph::from_arch(&BASELINE_RESNET18, 224).unwrap();
+        let s = architecture_summary(&g);
+        assert!(s.contains("64x112x112"), "stem output shape missing:\n{s}");
+    }
+}

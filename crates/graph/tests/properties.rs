@@ -1,0 +1,123 @@
+//! Property-based tests for the graph IR over the whole search space.
+
+use hydronas_graph::{
+    model_cost, serialize_model, serialized_size_bytes, to_dot, ArchConfig, ModelGraph, NodeKind,
+    PoolConfig,
+};
+use proptest::prelude::*;
+
+fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
+    (
+        prop_oneof![Just(5usize), Just(7)],
+        prop_oneof![Just(3usize), Just(7)],
+        prop_oneof![Just(1usize), Just(2)],
+        prop_oneof![Just(0usize), Just(1), Just(3)],
+        prop_oneof![
+            Just(None),
+            (prop_oneof![Just(2usize), Just(3)], prop_oneof![Just(1usize), Just(2)])
+                .prop_map(|(kernel, stride)| Some(PoolConfig { kernel, stride })),
+        ],
+        prop_oneof![Just(32usize), Just(48), Just(64)],
+    )
+        .prop_map(|(in_channels, kernel_size, stride, padding, pool, initial_features)| {
+            ArchConfig {
+                in_channels,
+                kernel_size,
+                stride,
+                padding,
+                pool,
+                initial_features,
+                num_classes: 2,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shape inference chains: every node's input shape equals its
+    /// producer's output shape along the main path (skip-path projection
+    /// nodes take the block entry shape instead).
+    #[test]
+    fn shapes_chain_along_the_main_path(arch in arch_strategy()) {
+        let g = ModelGraph::from_arch(&arch, 32).unwrap();
+        let mut prev_out = (arch.in_channels, 32, 32);
+        let mut block_entry = prev_out;
+        for node in &g.nodes {
+            if node.name.ends_with(".conv1") {
+                block_entry = prev_out;
+            }
+            if node.name.contains("downsample") {
+                if node.name.ends_with("downsample.conv") {
+                    prop_assert_eq!(node.in_shape, block_entry, "{}", node.name);
+                }
+                // Projection output must match the main path (checked by
+                // the builder's debug_assert); skip chaining here.
+                continue;
+            }
+            prop_assert_eq!(node.in_shape, prev_out, "{}", node.name);
+            prev_out = node.out_shape;
+        }
+    }
+
+    /// Spatial extents never grow along the network.
+    #[test]
+    fn spatial_extent_is_monotone_nonincreasing(arch in arch_strategy()) {
+        let g = ModelGraph::from_arch(&arch, 32).unwrap();
+        for node in &g.nodes {
+            prop_assert!(node.out_shape.1 <= node.in_shape.1 + 2 * 3,
+                "{} grew from {:?} to {:?}", node.name, node.in_shape, node.out_shape);
+        }
+        // Stage boundaries strictly halve.
+        let gap = g.nodes.iter().find(|n| matches!(n.kind, NodeKind::GlobalAvgPool)).unwrap();
+        prop_assert!(gap.in_shape.1 <= 32 / arch.stride);
+    }
+
+    /// Serialized size = header + metadata + 4 bytes per learnable param,
+    /// for every architecture.
+    #[test]
+    fn serialized_size_decomposes(arch in arch_strategy()) {
+        let g = ModelGraph::from_arch(&arch, 32).unwrap();
+        let size = serialized_size_bytes(&g);
+        let params = model_cost(&g).params;
+        prop_assert!(size > 4 * params);
+        // Metadata overhead is small and bounded.
+        prop_assert!(size - 4 * params < 16_384, "overhead {}", size - 4 * params);
+        // Actual serialization agrees.
+        prop_assert_eq!(serialize_model(&g, None).len() as u64, size);
+    }
+
+    /// Channel widths follow the [f, 2f, 4f, 8f] ladder exactly.
+    #[test]
+    fn stage_widths_follow_the_ladder(arch in arch_strategy()) {
+        let g = ModelGraph::from_arch(&arch, 32).unwrap();
+        let f = arch.initial_features;
+        for node in &g.nodes {
+            if let NodeKind::Conv { out_c, .. } = node.kind {
+                prop_assert!(
+                    [f, 2 * f, 4 * f, 8 * f].contains(&out_c),
+                    "{} has width {out_c}",
+                    node.name
+                );
+            }
+        }
+    }
+
+    /// DOT export stays structurally valid for every architecture.
+    #[test]
+    fn dot_export_is_total(arch in arch_strategy()) {
+        let g = ModelGraph::from_arch(&arch, 32).unwrap();
+        let dot = to_dot(&g);
+        prop_assert!(dot.starts_with("digraph model"));
+        prop_assert_eq!(dot.matches("n0 [label=").count(), 1);
+        prop_assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    /// FLOPs are monotone in input resolution.
+    #[test]
+    fn flops_monotone_in_resolution(arch in arch_strategy()) {
+        let f32_ = model_cost(&ModelGraph::from_arch(&arch, 32).unwrap()).flops;
+        let f48 = model_cost(&ModelGraph::from_arch(&arch, 48).unwrap()).flops;
+        prop_assert!(f48 > f32_);
+    }
+}

@@ -1,0 +1,215 @@
+//! Predictor calibration: fitting a device profile from measurements.
+//!
+//! nn-Meter does not ship with analytic device models — it *fits* them
+//! from microbenchmark measurements on the physical device. This module
+//! reproduces that workflow against our device simulators: measure a
+//! model zoo, then recover the roofline parameters (effective bandwidth,
+//! effective compute throughput, dispatch overhead, pooling penalty) by
+//! coordinate-descent least squares. The round-trip test — fit against a
+//! simulator built from known parameters and recover them — is the
+//! correctness argument nn-Meter itself relies on.
+
+use crate::device::DeviceProfile;
+use crate::kernels::decompose;
+use crate::predictor::predict_kernels;
+use hydronas_graph::ModelGraph;
+use serde::{Deserialize, Serialize};
+
+/// One calibration observation: a model and its measured latency.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    pub graph: ModelGraph,
+    pub measured_ms: f64,
+}
+
+/// Fit quality summary.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FitReport {
+    /// Root-mean-square relative error over the observations.
+    pub rms_rel_error: f64,
+    /// Fraction of observations predicted within ±10% (the Table 2
+    /// metric, evaluated on the training observations).
+    pub within_10_pct: f64,
+    /// Coordinate-descent sweeps performed.
+    pub iterations: usize,
+}
+
+/// Prediction error of a candidate profile over the observations.
+fn loss(profile: &DeviceProfile, observations: &[Observation]) -> f64 {
+    observations
+        .iter()
+        .map(|o| {
+            let predicted = predict_kernels(&decompose(&o.graph), profile);
+            let rel = (predicted - o.measured_ms) / o.measured_ms;
+            rel * rel
+        })
+        .sum::<f64>()
+        / observations.len() as f64
+}
+
+/// Fits the four roofline parameters of `initial` to the observations by
+/// cyclic coordinate descent with multiplicative line search. Metadata
+/// fields (names, power) are carried through unchanged.
+pub fn fit_profile(
+    initial: &DeviceProfile,
+    observations: &[Observation],
+    sweeps: usize,
+) -> (DeviceProfile, FitReport) {
+    assert!(!observations.is_empty(), "need at least one observation");
+    assert!(sweeps > 0, "need at least one sweep");
+    let mut profile = initial.clone();
+    let mut best = loss(&profile, observations);
+
+    // Multiplicative line search per coordinate: keep stepping while the
+    // loss improves (a parameter may need to travel orders of magnitude),
+    // with the step annealed across sweeps for refinement.
+    let mut iterations = 0usize;
+    let apply = |p: &DeviceProfile, param: usize, factor: f64| -> DeviceProfile {
+        let mut c = p.clone();
+        match param {
+            0 => c.bandwidth_gbs *= factor,
+            1 => c.peak_gflops *= factor,
+            2 => c.kernel_overhead_ms = (c.kernel_overhead_ms * factor).max(1e-9),
+            _ => c.pool_penalty_ms = (c.pool_penalty_ms * factor).max(1e-6),
+        }
+        c
+    };
+    for sweep in 0..sweeps {
+        let step = 1.0 + 0.5 / (1.0 + 0.25 * sweep as f64);
+        for param in 0..4usize {
+            for &factor in &[step, 1.0 / step] {
+                loop {
+                    iterations += 1;
+                    let candidate = apply(&profile, param, factor);
+                    let candidate_loss = loss(&candidate, observations);
+                    if candidate_loss + 1e-15 < best {
+                        best = candidate_loss;
+                        profile = candidate;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let within = observations
+        .iter()
+        .filter(|o| {
+            let predicted = predict_kernels(&decompose(&o.graph), &profile);
+            (predicted - o.measured_ms).abs() <= 0.10 * o.measured_ms
+        })
+        .count();
+    let report = FitReport {
+        rms_rel_error: best.sqrt(),
+        within_10_pct: 100.0 * within as f64 / observations.len() as f64,
+        iterations,
+    };
+    (profile, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{device, DeviceId};
+    use crate::simulator::DeviceSimulator;
+    use crate::validation::validation_zoo;
+
+    /// Noise-free observations from a known ground-truth profile.
+    fn exact_observations(truth: &DeviceProfile, n: usize) -> Vec<Observation> {
+        validation_zoo(32)
+            .into_iter()
+            .step_by(288 / n.max(1))
+            .map(|graph| {
+                let measured_ms = predict_kernels(&decompose(&graph), truth);
+                Observation { graph, measured_ms }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_known_parameters_from_exact_measurements() {
+        // Ground truth: the cortex profile. Start the fit from a profile
+        // that is off by 2x in every parameter.
+        let truth = device(DeviceId::CortexA76Cpu);
+        let observations = exact_observations(&truth, 48);
+        let mut start = truth.clone();
+        start.bandwidth_gbs *= 2.0;
+        start.peak_gflops *= 0.5;
+        start.kernel_overhead_ms *= 3.0;
+        let (fitted, report) = fit_profile(&start, &observations, 40);
+        assert!(report.rms_rel_error < 0.05, "rms {}", report.rms_rel_error);
+        assert!(report.within_10_pct > 95.0, "within {}", report.within_10_pct);
+        // Individual roofline parameters are only weakly identifiable
+        // (zoo FLOPs and weight bytes are correlated - both scale with
+        // width^2), so assert the *predictions* match the truth, not the
+        // raw parameters: that is all nn-Meter itself guarantees.
+        for o in &observations {
+            let p = predict_kernels(&decompose(&o.graph), &fitted);
+            assert!(
+                (p - o.measured_ms).abs() < 0.15 * o.measured_ms,
+                "{p} vs {}",
+                o.measured_ms
+            );
+        }
+    }
+
+    #[test]
+    fn fit_reduces_loss_monotonically_with_sweeps() {
+        let truth = device(DeviceId::Adreno640Gpu);
+        let observations = exact_observations(&truth, 24);
+        let mut start = truth.clone();
+        start.bandwidth_gbs *= 0.4;
+        let (_, short) = fit_profile(&start, &observations, 2);
+        let (_, long) = fit_profile(&start, &observations, 30);
+        assert!(long.rms_rel_error <= short.rms_rel_error + 1e-12);
+    }
+
+    #[test]
+    fn calibration_against_noisy_simulator_reaches_table2_quality() {
+        // The real workflow: measure the zoo on the (noisy) simulator,
+        // fit, and check the predictor quality on its training set.
+        let truth = device(DeviceId::CortexA76Cpu);
+        let sim = DeviceSimulator::for_device(truth.clone());
+        let observations: Vec<Observation> = validation_zoo(32)
+            .into_iter()
+            .step_by(6)
+            .enumerate()
+            .map(|(i, graph)| {
+                let measured_ms = sim.measure_model(&graph, i as u64);
+                Observation { graph, measured_ms }
+            })
+            .collect();
+        let mut start = truth.clone();
+        start.bandwidth_gbs *= 1.7;
+        start.peak_gflops *= 0.6;
+        let (_, report) = fit_profile(&start, &observations, 25);
+        // Noise floors the achievable fit, but ±10% accuracy should be in
+        // the high-90s like the paper's TFLite predictors.
+        assert!(report.within_10_pct > 85.0, "within {}", report.within_10_pct);
+    }
+
+    #[test]
+    fn pool_penalty_is_identifiable_from_pooled_models() {
+        // The Myriad penalty only shows on pooled models; with the zoo
+        // containing both families, the fit should recover a large value.
+        let truth = device(DeviceId::MyriadVpu);
+        let observations = exact_observations(&truth, 48);
+        let mut start = truth.clone();
+        start.pool_penalty_ms = 1.0; // badly wrong
+        let (fitted, report) = fit_profile(&start, &observations, 40);
+        assert!(report.rms_rel_error < 0.08, "rms {}", report.rms_rel_error);
+        assert!(
+            fitted.pool_penalty_ms > 15.0,
+            "penalty not recovered: {}",
+            fitted.pool_penalty_ms
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_observations_rejected() {
+        let truth = device(DeviceId::CortexA76Cpu);
+        let _ = fit_profile(&truth, &[], 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! The four target devices (paper Table 2) with calibrated roofline
+//! parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one nn-Meter predictor target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceId {
+    CortexA76Cpu,
+    Adreno640Gpu,
+    Adreno630Gpu,
+    MyriadVpu,
+}
+
+impl DeviceId {
+    /// nn-Meter's predictor name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceId::CortexA76Cpu => "cortexA76cpu",
+            DeviceId::Adreno640Gpu => "adreno640gpu",
+            DeviceId::Adreno630Gpu => "adreno630gpu",
+            DeviceId::MyriadVpu => "myriadvpu",
+        }
+    }
+}
+
+/// Roofline + overhead cost parameters for one device, plus the Table 2
+/// metadata. Throughputs are *effective* (sustained on small kernels),
+/// not datasheet peaks.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    pub id: DeviceId,
+    /// Host device (Table 2 column "Device").
+    pub device: &'static str,
+    /// Inference framework (Table 2 column "Framework").
+    pub framework: &'static str,
+    /// Processor (Table 2 column "Processor").
+    pub processor: &'static str,
+    /// Effective compute throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Effective memory bandwidth in GB/s (weights + activations stream).
+    pub bandwidth_gbs: f64,
+    /// Fixed dispatch overhead per kernel in milliseconds.
+    pub kernel_overhead_ms: f64,
+    /// Extra fixed cost per pooling kernel in milliseconds (op-support
+    /// penalty; dominated by the Myriad VPU's pool fallback).
+    pub pool_penalty_ms: f64,
+    /// Average board power draw during inference, watts (for the
+    /// energy-per-inference extension objective).
+    pub power_w: f64,
+}
+
+/// The four calibrated device profiles.
+pub fn all_devices() -> Vec<DeviceProfile> {
+    vec![
+        DeviceProfile {
+            id: DeviceId::CortexA76Cpu,
+            device: "Pixel4",
+            framework: "TFLite v2.1",
+            processor: "CortexA76 CPU",
+            peak_gflops: 8.0,
+            bandwidth_gbs: 2.4,
+            kernel_overhead_ms: 0.02,
+            pool_penalty_ms: 0.05,
+            power_w: 2.5,
+        },
+        DeviceProfile {
+            id: DeviceId::Adreno640Gpu,
+            device: "Mi9",
+            framework: "TFLite v2.1",
+            processor: "Adreno 640 GPU",
+            peak_gflops: 18.0,
+            bandwidth_gbs: 4.0,
+            kernel_overhead_ms: 0.04,
+            pool_penalty_ms: 0.08,
+            power_w: 4.0,
+        },
+        DeviceProfile {
+            id: DeviceId::Adreno630Gpu,
+            device: "Pixel3XL",
+            framework: "TFLite v2.1",
+            processor: "Adreno 630 GPU",
+            peak_gflops: 13.0,
+            bandwidth_gbs: 3.2,
+            kernel_overhead_ms: 0.05,
+            pool_penalty_ms: 0.1,
+            power_w: 3.6,
+        },
+        DeviceProfile {
+            id: DeviceId::MyriadVpu,
+            device: "Intel Movidius NCS2",
+            framework: "OpenVINO2019R2",
+            processor: "Myriad VPU",
+            peak_gflops: 8.0,
+            bandwidth_gbs: 1.15,
+            kernel_overhead_ms: 0.10,
+            pool_penalty_ms: 38.0,
+            power_w: 1.5,
+        },
+    ]
+}
+
+/// Looks up one profile.
+pub fn device(id: DeviceId) -> DeviceProfile {
+    all_devices().into_iter().find(|d| d.id == id).expect("all ids are present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_devices_match_table2_metadata() {
+        let devs = all_devices();
+        assert_eq!(devs.len(), 4);
+        let names: Vec<&str> = devs.iter().map(|d| d.id.name()).collect();
+        assert_eq!(names, vec!["cortexA76cpu", "adreno640gpu", "adreno630gpu", "myriadvpu"]);
+        let cortex = device(DeviceId::CortexA76Cpu);
+        assert_eq!(cortex.device, "Pixel4");
+        assert_eq!(cortex.framework, "TFLite v2.1");
+        let vpu = device(DeviceId::MyriadVpu);
+        assert_eq!(vpu.framework, "OpenVINO2019R2");
+    }
+
+    #[test]
+    fn parameters_are_physical() {
+        for d in all_devices() {
+            assert!(d.peak_gflops > 0.0);
+            assert!(d.bandwidth_gbs > 0.0);
+            assert!(d.kernel_overhead_ms >= 0.0);
+            assert!(d.pool_penalty_ms >= 0.0);
+            assert!(d.power_w > 0.0);
+        }
+    }
+
+    #[test]
+    fn the_vpu_is_the_low_power_target() {
+        // The NCS2 is a USB-stick accelerator; it must draw the least
+        // power even though it is the slowest target.
+        let devs = all_devices();
+        let vpu = device(DeviceId::MyriadVpu);
+        for d in &devs {
+            if d.id != DeviceId::MyriadVpu {
+                assert!(vpu.power_w < d.power_w);
+            }
+        }
+    }
+
+    #[test]
+    fn myriad_is_the_pooling_outlier() {
+        let devs = all_devices();
+        let vpu = devs.iter().find(|d| d.id == DeviceId::MyriadVpu).unwrap();
+        for d in &devs {
+            if d.id != DeviceId::MyriadVpu {
+                assert!(vpu.pool_penalty_ms > 50.0 * d.pool_penalty_ms);
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Energy-per-inference: the fourth deployment objective.
+//!
+//! Battery-powered field deployments (the paper's motivating IoT setting)
+//! care about joules per classified tile at least as much as wall-clock.
+//! Energy = board power x latency per device; the headline metric is the
+//! cross-device mean, mirroring how the paper aggregates latency.
+
+use crate::device::{all_devices, DeviceId};
+use crate::predictor::predict_all;
+use hydronas_graph::ModelGraph;
+use serde::{Deserialize, Serialize};
+
+/// Predicted energy of one inference across the four devices.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyPrediction {
+    /// `(device, millijoules)` in `all_devices()` order.
+    pub per_device: Vec<(DeviceId, f64)>,
+    /// Mean across devices, millijoules.
+    pub mean_mj: f64,
+}
+
+/// Predicts energy per inference (mJ) for every device: `P * t`.
+pub fn predict_energy(graph: &ModelGraph) -> EnergyPrediction {
+    let latency = predict_all(graph);
+    let per_device: Vec<(DeviceId, f64)> = all_devices()
+        .iter()
+        .zip(&latency.per_device)
+        .map(|(profile, (id, ms))| {
+            debug_assert_eq!(profile.id, *id);
+            (*id, profile.power_w * ms) // W * ms = mJ
+        })
+        .collect();
+    let mean = per_device.iter().map(|(_, v)| v).sum::<f64>() / per_device.len() as f64;
+    EnergyPrediction { per_device, mean_mj: mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydronas_graph::{ArchConfig, BASELINE_RESNET18};
+
+    fn graph(arch: &ArchConfig) -> ModelGraph {
+        ModelGraph::from_arch(arch, 32).unwrap()
+    }
+
+    #[test]
+    fn energy_is_power_times_latency() {
+        let g = graph(&BASELINE_RESNET18);
+        let lat = predict_all(&g);
+        let e = predict_energy(&g);
+        for ((profile, (_, ms)), (_, mj)) in
+            all_devices().iter().zip(&lat.per_device).zip(&e.per_device)
+        {
+            assert!((mj - profile.power_w * ms).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn narrow_models_save_energy() {
+        let base = predict_energy(&graph(&BASELINE_RESNET18));
+        let mut narrow = BASELINE_RESNET18;
+        narrow.initial_features = 32;
+        let thin = predict_energy(&graph(&narrow));
+        assert!(thin.mean_mj < base.mean_mj);
+    }
+
+    #[test]
+    fn vpu_can_win_on_energy_despite_losing_on_latency() {
+        // The NCS2 is slow but frugal: on small models its energy is
+        // competitive with the faster, hungrier mobile GPUs.
+        let mut arch = BASELINE_RESNET18;
+        arch.initial_features = 32;
+        arch.kernel_size = 3;
+        arch.padding = 1;
+        arch.pool = None;
+        let e = predict_energy(&graph(&arch));
+        let by = |id: DeviceId| e.per_device.iter().find(|(d, _)| *d == id).unwrap().1;
+        // Latency: VPU is the slowest; energy: within 2x of the CPU.
+        assert!(by(DeviceId::MyriadVpu) < 2.0 * by(DeviceId::CortexA76Cpu));
+    }
+
+    #[test]
+    fn energy_is_finite_across_the_space() {
+        for kernel in [3, 7] {
+            for feat in [32, 64] {
+                let arch = ArchConfig {
+                    in_channels: 5,
+                    kernel_size: kernel,
+                    stride: 2,
+                    padding: 1,
+                    pool: None,
+                    initial_features: feat,
+                    num_classes: 2,
+                };
+                let e = predict_energy(&graph(&arch));
+                assert!(e.mean_mj.is_finite() && e.mean_mj > 0.0);
+            }
+        }
+    }
+}

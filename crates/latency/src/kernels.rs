@@ -1,0 +1,250 @@
+//! Kernel decomposition: fusing graph nodes into the executable units a
+//! mobile inference runtime actually dispatches (nn-Meter's "kernels").
+
+use hydronas_graph::{node_cost, ModelGraph, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// Fused kernel category.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Convolution with folded BN and optional fused ReLU.
+    ConvBnRelu,
+    /// Max pooling.
+    MaxPool,
+    /// Residual add with fused ReLU.
+    AddRelu,
+    /// Global average pooling.
+    GlobalAvgPool,
+    /// Fully connected.
+    Fc,
+    /// Anything left unfused (standalone relu/bn).
+    Elementwise,
+}
+
+/// One dispatched kernel with its resource footprint.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    pub kind: KernelKind,
+    /// Name of the leading fused node.
+    pub name: String,
+    pub flops: u64,
+    /// Weight/constant bytes streamed (conv filters incl. folded BN, fc).
+    pub weight_bytes: u64,
+    /// Activation bytes read + written.
+    pub activation_bytes: u64,
+    /// Output spatial extent (H, W); (1, 1) for FC/GAP.
+    pub out_hw: (usize, usize),
+}
+
+/// Fuses a shape-inferred graph into kernels.
+///
+/// Fusion rules (standard mobile-runtime behaviour, and what nn-Meter's
+/// kernel detection assumes):
+/// * `Conv -> BatchNorm -> Relu` and `Conv -> BatchNorm` fold into one
+///   conv kernel (BN constants folded into the filter).
+/// * `Add -> Relu` fuses into one elementwise kernel.
+/// * `MaxPool`, `GlobalAvgPool`, `Linear` dispatch standalone.
+pub fn decompose(graph: &ModelGraph) -> Vec<Kernel> {
+    let mut kernels = Vec::with_capacity(graph.nodes.len() / 2);
+    let nodes = &graph.nodes;
+    let mut i = 0usize;
+    while i < nodes.len() {
+        let node = &nodes[i];
+        let cost = node_cost(node);
+        match node.kind {
+            NodeKind::Conv { .. } => {
+                let mut flops = cost.flops;
+                let mut act_in = cost.input_bytes;
+                let mut act_out = cost.output_bytes;
+                let mut consumed = 1usize;
+                // Fold a following BatchNorm (its scale/shift becomes part
+                // of the filter; its buffers disappear at export).
+                if let Some(next) = nodes.get(i + 1) {
+                    if matches!(next.kind, NodeKind::BatchNorm { .. }) {
+                        consumed += 1;
+                        // Fused BN costs nothing extra at inference.
+                        // Fuse a following ReLU too.
+                        if let Some(next2) = nodes.get(i + 2) {
+                            if matches!(next2.kind, NodeKind::Relu) {
+                                consumed += 1;
+                                flops += node_cost(next2).flops;
+                            }
+                        }
+                        act_out = node_cost(&nodes[i + consumed - 1]).output_bytes;
+                    }
+                }
+                let _ = &mut act_in;
+                kernels.push(Kernel {
+                    kind: KernelKind::ConvBnRelu,
+                    name: node.name.clone(),
+                    flops,
+                    weight_bytes: 4 * cost.params,
+                    activation_bytes: act_in + act_out,
+                    out_hw: (node.out_shape.1, node.out_shape.2),
+                });
+                i += consumed;
+            }
+            NodeKind::Add => {
+                let mut flops = cost.flops;
+                let mut consumed = 1usize;
+                if let Some(next) = nodes.get(i + 1) {
+                    if matches!(next.kind, NodeKind::Relu) {
+                        consumed += 1;
+                        flops += node_cost(next).flops;
+                    }
+                }
+                kernels.push(Kernel {
+                    kind: KernelKind::AddRelu,
+                    name: node.name.clone(),
+                    out_hw: (node.out_shape.1, node.out_shape.2),
+                    flops,
+                    weight_bytes: 0,
+                    activation_bytes: cost.input_bytes + cost.output_bytes,
+                });
+                i += consumed;
+            }
+            NodeKind::MaxPool { .. } => {
+                kernels.push(Kernel {
+                    kind: KernelKind::MaxPool,
+                    name: node.name.clone(),
+                    out_hw: (node.out_shape.1, node.out_shape.2),
+                    flops: cost.flops,
+                    weight_bytes: 0,
+                    activation_bytes: cost.input_bytes + cost.output_bytes,
+                });
+                i += 1;
+            }
+            NodeKind::GlobalAvgPool => {
+                kernels.push(Kernel {
+                    kind: KernelKind::GlobalAvgPool,
+                    name: node.name.clone(),
+                    out_hw: (node.out_shape.1, node.out_shape.2),
+                    flops: cost.flops,
+                    weight_bytes: 0,
+                    activation_bytes: cost.input_bytes + cost.output_bytes,
+                });
+                i += 1;
+            }
+            NodeKind::Linear { .. } => {
+                kernels.push(Kernel {
+                    kind: KernelKind::Fc,
+                    name: node.name.clone(),
+                    out_hw: (node.out_shape.1, node.out_shape.2),
+                    flops: cost.flops,
+                    weight_bytes: 4 * cost.params,
+                    activation_bytes: cost.input_bytes + cost.output_bytes,
+                });
+                i += 1;
+            }
+            NodeKind::BatchNorm { .. } | NodeKind::Relu => {
+                // Unfused stragglers (should not occur in our graphs, but
+                // the decomposition stays total).
+                kernels.push(Kernel {
+                    kind: KernelKind::Elementwise,
+                    name: node.name.clone(),
+                    out_hw: (node.out_shape.1, node.out_shape.2),
+                    flops: cost.flops,
+                    weight_bytes: 4 * (cost.params + cost.buffers),
+                    activation_bytes: cost.input_bytes + cost.output_bytes,
+                });
+                i += 1;
+            }
+        }
+    }
+    kernels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydronas_graph::{model_cost, ArchConfig, ModelGraph, BASELINE_RESNET18};
+
+    fn baseline_graph() -> ModelGraph {
+        ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap()
+    }
+
+    #[test]
+    fn baseline_kernel_census() {
+        let kernels = decompose(&baseline_graph());
+        let count = |k: KernelKind| kernels.iter().filter(|x| x.kind == k).count();
+        // 20 convs (stem + 16 block + 3 downsample), each fused with BN.
+        assert_eq!(count(KernelKind::ConvBnRelu), 20);
+        assert_eq!(count(KernelKind::AddRelu), 8);
+        assert_eq!(count(KernelKind::MaxPool), 1);
+        assert_eq!(count(KernelKind::GlobalAvgPool), 1);
+        assert_eq!(count(KernelKind::Fc), 1);
+        // Everything fused: no stragglers.
+        assert_eq!(count(KernelKind::Elementwise), 0);
+        assert_eq!(kernels.len(), 31);
+    }
+
+    #[test]
+    fn no_pool_variant_drops_the_pool_kernel() {
+        let mut arch = BASELINE_RESNET18;
+        arch.pool = None;
+        let g = ModelGraph::from_arch(&arch, 32).unwrap();
+        let kernels = decompose(&g);
+        assert!(kernels.iter().all(|k| k.kind != KernelKind::MaxPool));
+        assert_eq!(kernels.len(), 30);
+    }
+
+    #[test]
+    fn weight_bytes_match_model_params() {
+        // Folded BN removes bn params/buffers from the streamed weights;
+        // conv + fc weights must account for all remaining parameter bytes.
+        let g = baseline_graph();
+        let kernels = decompose(&g);
+        let kernel_weights: u64 = kernels.iter().map(|k| k.weight_bytes).sum();
+        let cost = model_cost(&g);
+        // conv + fc params = total params - bn affine params.
+        let bn_params: u64 = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, hydronas_graph::NodeKind::BatchNorm { .. }))
+            .map(|n| hydronas_graph::node_cost(n).params)
+            .sum();
+        assert_eq!(kernel_weights, 4 * (cost.params - bn_params));
+    }
+
+    #[test]
+    fn flops_are_preserved_up_to_fused_bn() {
+        let g = baseline_graph();
+        let kernels = decompose(&g);
+        let kernel_flops: u64 = kernels.iter().map(|k| k.flops).sum();
+        let full = model_cost(&g).flops;
+        // Fusion removes BN flops only.
+        assert!(kernel_flops <= full);
+        assert!(kernel_flops as f64 > 0.9 * full as f64);
+    }
+
+    #[test]
+    fn narrow_model_streams_quarter_weights() {
+        let mut arch = BASELINE_RESNET18;
+        arch.initial_features = 32;
+        let g32 = ModelGraph::from_arch(&arch, 32).unwrap();
+        let w32: u64 = decompose(&g32).iter().map(|k| k.weight_bytes).sum();
+        let w64: u64 = decompose(&baseline_graph()).iter().map(|k| k.weight_bytes).sum();
+        let ratio = w64 as f64 / w32 as f64;
+        assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn decomposition_is_total_for_all_search_space_stems() {
+        for kernel in [3, 7] {
+            for pool in [None, Some(hydronas_graph::PoolConfig { kernel: 2, stride: 1 })] {
+                let arch = ArchConfig {
+                    in_channels: 7,
+                    kernel_size: kernel,
+                    stride: 1,
+                    padding: 1,
+                    pool,
+                    initial_features: 48,
+                    num_classes: 2,
+                };
+                let g = ModelGraph::from_arch(&arch, 32).unwrap();
+                let kernels = decompose(&g);
+                assert!(kernels.iter().all(|k| k.kind != KernelKind::Elementwise));
+            }
+        }
+    }
+}

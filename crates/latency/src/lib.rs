@@ -1,0 +1,35 @@
+//! # hydronas-latency
+//!
+//! The nn-Meter substitute: predicts single-image inference latency of a
+//! [`hydronas_graph::ModelGraph`] on four embedded targets by (1) fusing
+//! the graph into executable *kernels* the way mobile inference runtimes
+//! do (conv+bn+relu, add+relu, ...), (2) costing each kernel with a
+//! roofline model over a calibrated [`DeviceProfile`], and (3) summing
+//! kernel times plus per-dispatch overhead.
+//!
+//! A parallel [`simulator`] module provides noisy "measured" latencies per
+//! device — the ground truth against which predictor accuracy (paper
+//! Table 2, the ±10% metric) is evaluated in [`validation`].
+//!
+//! Key regime reproduced from the paper: at tile resolution the backbone
+//! is *weight-traffic bound*, so quarter-width (feat 32) models run ~4x
+//! faster than ResNet-18 regardless of their spatial FLOPs, and the
+//! Myriad VPU pays a large fixed penalty per pooling kernel (poor OpenVINO
+//! pool support), which splits the pool/no-pool Pareto rows (8 ms vs
+//! 18 ms) and inflates their latency std.
+
+pub mod calibration;
+pub mod device;
+pub mod energy;
+pub mod kernels;
+pub mod predictor;
+pub mod simulator;
+pub mod validation;
+
+pub use calibration::{fit_profile, FitReport, Observation};
+pub use device::{all_devices, DeviceId, DeviceProfile};
+pub use energy::{predict_energy, EnergyPrediction};
+pub use kernels::{decompose, Kernel, KernelKind};
+pub use predictor::{predict, predict_all, predict_all_quantized, predict_quantized, LatencyPrediction};
+pub use simulator::{measure, DeviceSimulator};
+pub use validation::{validate_predictor, validate_table2, ValidationReport};

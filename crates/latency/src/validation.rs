@@ -1,0 +1,154 @@
+//! Predictor validation against the device simulators — reproduces the
+//! paper's Table 2 (±10% accuracy per predictor).
+
+use crate::device::{all_devices, DeviceProfile};
+use crate::predictor::predict;
+use crate::simulator::DeviceSimulator;
+use hydronas_graph::{ArchConfig, ModelGraph, PoolConfig};
+use serde::{Deserialize, Serialize};
+
+/// Accuracy of one predictor against its simulated device.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    pub hardware_name: String,
+    pub device: String,
+    pub framework: String,
+    pub processor: String,
+    /// Fraction of models predicted within ±10% of the measurement, in %.
+    pub within_10_pct: f64,
+    pub models_evaluated: usize,
+}
+
+/// The model zoo used for validation: every stem configuration of the
+/// paper's search space at 5 input channels (288 models).
+pub fn validation_zoo(input_hw: usize) -> Vec<ModelGraph> {
+    let mut zoo = Vec::with_capacity(288);
+    for kernel_size in [3, 7] {
+        for stride in [1, 2] {
+            for padding in [0, 1, 3] {
+                for feat in [32, 48, 64] {
+                    for pool_choice in [0, 1] {
+                        for pool_kernel in [2, 3] {
+                            for pool_stride in [1, 2] {
+                                let pool = (pool_choice == 1).then_some(PoolConfig {
+                                    kernel: pool_kernel,
+                                    stride: pool_stride,
+                                });
+                                let arch = ArchConfig {
+                                    in_channels: 5,
+                                    kernel_size,
+                                    stride,
+                                    padding,
+                                    pool,
+                                    initial_features: feat,
+                                    num_classes: 2,
+                                };
+                                if let Ok(g) = ModelGraph::from_arch(&arch, input_hw) {
+                                    zoo.push(g);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    zoo
+}
+
+/// Validates one predictor over a zoo: one simulated measurement per model.
+pub fn validate_predictor(
+    profile: &DeviceProfile,
+    zoo: &[ModelGraph],
+    seed: u64,
+) -> ValidationReport {
+    assert!(!zoo.is_empty(), "empty validation zoo");
+    let sim = DeviceSimulator::for_device(profile.clone());
+    let mut hits = 0usize;
+    for (i, graph) in zoo.iter().enumerate() {
+        let predicted = predict(graph, profile);
+        let measured = sim.measure_model(graph, seed.wrapping_add(i as u64));
+        if (predicted - measured).abs() <= 0.10 * measured {
+            hits += 1;
+        }
+    }
+    ValidationReport {
+        hardware_name: profile.id.name().to_string(),
+        device: profile.device.to_string(),
+        framework: profile.framework.to_string(),
+        processor: profile.processor.to_string(),
+        within_10_pct: 100.0 * hits as f64 / zoo.len() as f64,
+        models_evaluated: zoo.len(),
+    }
+}
+
+/// Reproduces Table 2: all four predictors over the standard zoo.
+pub fn validate_table2(input_hw: usize, seed: u64) -> Vec<ValidationReport> {
+    let zoo = validation_zoo(input_hw);
+    all_devices().iter().map(|d| validate_predictor(d, &zoo, seed)).collect()
+}
+
+/// Renders Table 2 as aligned text.
+pub fn table2(reports: &[ValidationReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<22} {:<16} {:<16} {:>14}\n",
+        "Hardware name", "Device", "Framework", "Processor", "±10% Accuracy"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<14} {:<22} {:<16} {:<16} {:>13.2}%\n",
+            r.hardware_name, r.device, r.framework, r.processor, r.within_10_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+
+    #[test]
+    fn zoo_covers_the_search_space() {
+        let zoo = validation_zoo(32);
+        assert_eq!(zoo.len(), 288, "all 288 stem configs fit 32x32 tiles");
+    }
+
+    #[test]
+    fn table2_bands_are_reproduced() {
+        // Paper Table 2: 99.0 / 99.1 / 99.0 / 83.4 (±10% accuracy).
+        let reports = validate_table2(32, 42);
+        assert_eq!(reports.len(), 4);
+        let by_name = |n: &str| {
+            reports.iter().find(|r| r.hardware_name == n).unwrap().within_10_pct
+        };
+        for name in ["cortexA76cpu", "adreno640gpu", "adreno630gpu"] {
+            let acc = by_name(name);
+            assert!((96.0..=100.0).contains(&acc), "{name}: {acc}");
+        }
+        let vpu = by_name("myriadvpu");
+        assert!((75.0..=92.0).contains(&vpu), "myriadvpu: {vpu}");
+        // The VPU must be clearly worse than the TFLite targets.
+        assert!(vpu < by_name("cortexA76cpu") - 5.0);
+    }
+
+    #[test]
+    fn validation_is_deterministic_per_seed() {
+        let zoo = validation_zoo(32);
+        let d = crate::device::device(DeviceId::MyriadVpu);
+        let a = validate_predictor(&d, &zoo[..40], 7);
+        let b = validate_predictor(&d, &zoo[..40], 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let reports = validate_table2(32, 1);
+        let t = table2(&reports);
+        for r in &reports {
+            assert!(t.contains(&r.hardware_name));
+        }
+        assert!(t.contains("±10% Accuracy"));
+    }
+}

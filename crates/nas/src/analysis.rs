@@ -1,0 +1,446 @@
+//! Post-hoc sensitivity analysis of the experiment database: which search
+//! dimensions actually move each objective?
+//!
+//! The paper reads its Figure 4 radar plots qualitatively ("all winners
+//! use the smallest kernel, minimal padding, larger stride"); this module
+//! quantifies the same question with main-effects analysis — the mean
+//! objective per level of each dimension, plus the explained-variance
+//! share (eta squared) of a one-way decomposition — and answers the
+//! paper's stated future-work question about "the correlation of
+//! different neural architectures or input feature combinations".
+
+use crate::experiment::{ExperimentDb, TrialOutcome};
+use serde::{Deserialize, Serialize};
+
+/// The objective a main-effect is computed against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Response {
+    Accuracy,
+    LatencyMs,
+    MemoryMb,
+}
+
+impl Response {
+    fn of(&self, o: &TrialOutcome) -> f64 {
+        match self {
+            Response::Accuracy => o.accuracy,
+            Response::LatencyMs => o.latency_ms,
+            Response::MemoryMb => o.memory_mb,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Response::Accuracy => "accuracy",
+            Response::LatencyMs => "latency_ms",
+            Response::MemoryMb => "memory_mb",
+        }
+    }
+}
+
+/// A search dimension that can be read off a trial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Factor {
+    Channels,
+    BatchSize,
+    KernelSize,
+    Stride,
+    Padding,
+    PoolChoice,
+    PoolKernel,
+    PoolStride,
+    InitialFeatures,
+}
+
+impl Factor {
+    /// All analyzable dimensions.
+    pub const ALL: [Factor; 9] = [
+        Factor::Channels,
+        Factor::BatchSize,
+        Factor::KernelSize,
+        Factor::Stride,
+        Factor::Padding,
+        Factor::PoolChoice,
+        Factor::PoolKernel,
+        Factor::PoolStride,
+        Factor::InitialFeatures,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Factor::Channels => "channels",
+            Factor::BatchSize => "batch",
+            Factor::KernelSize => "kernel_size",
+            Factor::Stride => "stride",
+            Factor::Padding => "padding",
+            Factor::PoolChoice => "pool_choice",
+            Factor::PoolKernel => "kernel_size_pool",
+            Factor::PoolStride => "stride_pool",
+            Factor::InitialFeatures => "initial_output_feature",
+        }
+    }
+
+    /// The level this trial sits at.
+    pub fn level(&self, o: &TrialOutcome) -> usize {
+        let a = &o.spec.arch;
+        match self {
+            Factor::Channels => a.in_channels,
+            Factor::BatchSize => o.spec.combo.batch_size,
+            Factor::KernelSize => a.kernel_size,
+            Factor::Stride => a.stride,
+            Factor::Padding => a.padding,
+            Factor::PoolChoice => a.pool_choice(),
+            Factor::PoolKernel => o.spec.kernel_size_pool,
+            Factor::PoolStride => o.spec.stride_pool,
+            Factor::InitialFeatures => a.initial_features,
+        }
+    }
+}
+
+/// Main effect of one factor on one response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MainEffect {
+    pub factor: Factor,
+    pub response: Response,
+    /// `(level, mean response, count)` sorted by level.
+    pub level_means: Vec<(usize, f64, usize)>,
+    /// Between-level variance share of the total variance (eta squared,
+    /// in `[0, 1]`).
+    pub eta_squared: f64,
+}
+
+impl MainEffect {
+    /// Largest minus smallest level mean (the effect magnitude).
+    pub fn range(&self) -> f64 {
+        let means: Vec<f64> = self.level_means.iter().map(|(_, m, _)| *m).collect();
+        let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        hi - lo
+    }
+
+    /// The best level for the given sense (max for accuracy, min
+    /// otherwise).
+    pub fn best_level(&self) -> usize {
+        let pick = |cmp: fn(&f64, &f64) -> std::cmp::Ordering| {
+            self.level_means
+                .iter()
+                .max_by(|(_, a, _), (_, b, _)| cmp(a, b))
+                .map(|(l, _, _)| *l)
+                .expect("non-empty levels")
+        };
+        match self.response {
+            Response::Accuracy => pick(|a, b| a.partial_cmp(b).unwrap()),
+            _ => pick(|a, b| b.partial_cmp(a).unwrap()),
+        }
+    }
+}
+
+/// Computes the main effect of `factor` on `response` over the valid
+/// outcomes.
+pub fn main_effect(db: &ExperimentDb, factor: Factor, response: Response) -> MainEffect {
+    let valid = db.valid();
+    assert!(!valid.is_empty(), "no valid outcomes to analyze");
+    let grand_mean =
+        valid.iter().map(|o| response.of(o)).sum::<f64>() / valid.len() as f64;
+
+    let mut levels: Vec<usize> = valid.iter().map(|o| factor.level(o)).collect();
+    levels.sort_unstable();
+    levels.dedup();
+
+    let mut level_means = Vec::with_capacity(levels.len());
+    let mut ss_between = 0.0f64;
+    for &level in &levels {
+        let values: Vec<f64> = valid
+            .iter()
+            .filter(|o| factor.level(o) == level)
+            .map(|o| response.of(o))
+            .collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        ss_between += values.len() as f64 * (mean - grand_mean) * (mean - grand_mean);
+        level_means.push((level, mean, values.len()));
+    }
+    let ss_total: f64 = valid
+        .iter()
+        .map(|o| {
+            let v = response.of(o) - grand_mean;
+            v * v
+        })
+        .sum();
+    let eta_squared = if ss_total > 0.0 { ss_between / ss_total } else { 0.0 };
+    MainEffect { factor, response, level_means, eta_squared }
+}
+
+/// Full sensitivity table: every factor against one response, sorted by
+/// explained variance descending.
+pub fn sensitivity(db: &ExperimentDb, response: Response) -> Vec<MainEffect> {
+    let mut effects: Vec<MainEffect> =
+        Factor::ALL.iter().map(|&f| main_effect(db, f, response)).collect();
+    effects.sort_by(|a, b| {
+        b.eta_squared.partial_cmp(&a.eta_squared).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    effects
+}
+
+/// Renders a sensitivity table as aligned text.
+pub fn sensitivity_table(db: &ExperimentDb, response: Response) -> String {
+    let effects = sensitivity(db, response);
+    let mut out = format!(
+        "Main effects on {} (eta^2 = explained variance share):\n",
+        response.name()
+    );
+    out.push_str(&format!(
+        "{:<24} {:>8} {:>10} {:>12}   per-level means\n",
+        "factor", "eta^2", "range", "best level"
+    ));
+    for e in &effects {
+        let levels: Vec<String> = e
+            .level_means
+            .iter()
+            .map(|(l, m, _)| format!("{l}:{m:.2}"))
+            .collect();
+        out.push_str(&format!(
+            "{:<24} {:>8.3} {:>10.2} {:>12}   {}\n",
+            e.factor.name(),
+            e.eta_squared,
+            e.range(),
+            e.best_level(),
+            levels.join(" ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SurrogateEvaluator;
+    use crate::scheduler::{run_experiment, SchedulerConfig};
+    use crate::space::{full_grid, SearchSpace};
+
+    fn db() -> ExperimentDb {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .filter(|t| t.combo.batch_size == 16)
+            .collect();
+        run_experiment(
+            &trials,
+            &SurrogateEvaluator::default(),
+            &SchedulerConfig { injected_failures: 0, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn eta_squared_is_a_variance_share() {
+        let db = db();
+        for factor in Factor::ALL {
+            for response in [Response::Accuracy, Response::LatencyMs, Response::MemoryMb] {
+                let e = main_effect(&db, factor, response);
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&e.eta_squared),
+                    "{:?}/{:?}: {}",
+                    factor,
+                    response,
+                    e.eta_squared
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_dominated_by_feature_width() {
+        // Memory depends almost entirely on initial_output_feature.
+        let db = db();
+        let effects = sensitivity(&db, Response::MemoryMb);
+        assert_eq!(effects[0].factor, Factor::InitialFeatures, "{:?}", effects[0]);
+        assert!(effects[0].eta_squared > 0.9, "eta {}", effects[0].eta_squared);
+        assert_eq!(effects[0].best_level(), 32);
+    }
+
+    #[test]
+    fn padding_and_kernel_drive_accuracy() {
+        // The surrogate's largest accuracy effects come from the padding
+        // interaction (k7/p0 is catastrophic) and downsampling.
+        let db = db();
+        let effects = sensitivity(&db, Response::Accuracy);
+        let top3: Vec<Factor> = effects.iter().take(3).map(|e| e.factor).collect();
+        assert!(top3.contains(&Factor::Padding), "top3 {:?}", top3);
+        // Channels matter for accuracy (7 > 5) but explain less variance
+        // than padding.
+        let channels = effects.iter().find(|e| e.factor == Factor::Channels).unwrap();
+        assert_eq!(channels.best_level(), 7);
+    }
+
+    #[test]
+    fn latency_prefers_the_figure4_traits() {
+        // The paper's Figure 4 commentary, quantified: small kernels,
+        // larger stride, smallest width all reduce latency.
+        let db = db();
+        let best = |f: Factor| main_effect(&db, f, Response::LatencyMs).best_level();
+        assert_eq!(best(Factor::InitialFeatures), 32);
+        assert_eq!(best(Factor::Stride), 2);
+        assert_eq!(best(Factor::PoolStride), 2, "more downsampling is faster");
+        // Kernel size and pool_choice are deliberately NOT asserted:
+        // averaged over the whole grid both are ambiguous (k3 stems with
+        // padding 3 yield *larger* maps than k7 at stride 1, and pooling
+        // trades the Myriad penalty against halved downstream compute) —
+        // which is exactly why the paper's winners are specific
+        // *combinations* (k3 + p1 + s2) rather than single settings.
+    }
+
+    #[test]
+    fn level_counts_partition_the_population() {
+        let db = db();
+        let e = main_effect(&db, Factor::PoolChoice, Response::Accuracy);
+        let total: usize = e.level_means.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(total, db.valid().len());
+        assert_eq!(e.level_means.len(), 2);
+    }
+
+    #[test]
+    fn table_renders_all_factors() {
+        let db = db();
+        let t = sensitivity_table(&db, Response::Accuracy);
+        for f in Factor::ALL {
+            assert!(t.contains(f.name()), "missing {}", f.name());
+        }
+        assert!(t.contains("eta^2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no valid outcomes")]
+    fn empty_db_panics() {
+        let empty = ExperimentDb::default();
+        let _ = main_effect(&empty, Factor::Channels, Response::Accuracy);
+    }
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+/// Average ranks (ties share the mean rank).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0f64; xs.len()];
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            out[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson over average ranks; tie-safe).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// The pairwise Spearman correlation matrix of the three objectives over
+/// the valid outcomes — the paper's future-work question about objective
+/// interplay, answered from the data.
+pub fn objective_correlations(db: &ExperimentDb) -> [[f64; 3]; 3] {
+    let valid = db.valid();
+    assert!(valid.len() >= 2, "need at least two valid outcomes");
+    let series: [Vec<f64>; 3] = [
+        valid.iter().map(|o| o.accuracy).collect(),
+        valid.iter().map(|o| o.latency_ms).collect(),
+        valid.iter().map(|o| o.memory_mb).collect(),
+    ];
+    let mut m = [[0.0f64; 3]; 3];
+    for (i, si) in series.iter().enumerate() {
+        for (j, sj) in series.iter().enumerate() {
+            m[i][j] = spearman(si, sj);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod correlation_tests {
+    use super::*;
+    use crate::evaluator::SurrogateEvaluator;
+    use crate::scheduler::{run_experiment, SchedulerConfig};
+    use crate::space::{full_grid, SearchSpace};
+
+    #[test]
+    fn pearson_recognizes_perfect_relations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // A monotone nonlinear relation: Spearman 1, Pearson < 1.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[3.0, 1.0, 3.0, 2.0]);
+        assert_eq!(r, vec![3.5, 1.0, 3.5, 2.0]);
+    }
+
+    #[test]
+    fn objective_correlations_match_the_study() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .filter(|t| t.combo.batch_size == 16)
+            .collect();
+        let db = run_experiment(
+            &trials,
+            &SurrogateEvaluator::default(),
+            &SchedulerConfig { injected_failures: 0, ..Default::default() },
+        );
+        let m = objective_correlations(&db);
+        // Diagonal is 1.
+        for (i, row) in m.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-9);
+        }
+        // Symmetric.
+        for (i, row) in m.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-9);
+            }
+        }
+        // Latency and memory are positively correlated (both scale with
+        // width) — the conflict driving the Pareto analysis is between
+        // accuracy and the cost objectives being *weakly* coupled, so a
+        // cheap accurate model exists at all.
+        assert!(m[1][2] > 0.3, "lat-mem correlation {}", m[1][2]);
+        // Accuracy is not strongly coupled to memory (width saturates).
+        assert!(m[0][2].abs() < 0.4, "acc-mem correlation {}", m[0][2]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # hydronas-nas
+//!
+//! The hardware-aware NAS engine — HydroNAS's substitute for NNI Retiarii.
+//!
+//! * [`space`] — the paper's search space (Figure 2): 288 stem
+//!   configurations per input combination, six input combinations
+//!   (channels x batch size), 1,728 enumerated trials.
+//! * [`evaluator`] — pluggable trial evaluation: [`RealTrainer`] actually
+//!   trains the candidate CNN with 5-fold cross-validation on synthetic
+//!   drainage tiles; [`SurrogateEvaluator`] is the deterministic
+//!   training-dynamics surrogate calibrated against the paper's Table 5
+//!   anchors (used for full-scale sweeps where A100-weeks are not
+//!   available).
+//! * [`scheduler`] — rayon-parallel trial execution with deterministic
+//!   failure injection (the paper's 1,728 - 11 = 1,717 valid outcomes).
+//! * [`experiment`] — the experiment database: outcomes, objective
+//!   extraction, Table 3/4/5 queries, JSON persistence.
+//! * [`strategies`] — beyond the paper's grid: random search and
+//!   regularized evolution over the same space.
+//! * [`clock`] — the simulated wall-clock accounting reproducing the
+//!   paper's Section 5 runtime observations.
+
+pub mod analysis;
+pub mod clock;
+pub mod evaluator;
+pub mod experiment;
+pub mod halving;
+pub mod nsga2;
+pub mod scheduler;
+pub mod space;
+pub mod strategies;
+pub mod surrogate;
+
+pub use analysis::{
+    main_effect, objective_correlations, pearson, sensitivity, sensitivity_table, spearman,
+    Factor, MainEffect, Response,
+};
+pub use clock::{experiment_wall_clock, makespan_lpt, profile_trial, trial_duration_s, TrialProfile};
+pub use evaluator::{EvalOutcome, Evaluator, RealTrainer, SurrogateEvaluator, TrialFailure};
+pub use experiment::{ComboSummary, ExperimentDb, TrialOutcome, TrialStatus};
+pub use halving::{successive_halving, HalvingConfig, HalvingResult, Rung};
+pub use nsga2::{nsga2, Individual, Nsga2Config, Nsga2Result};
+pub use scheduler::{run_experiment, run_full_grid, SchedulerConfig};
+pub use space::{InputCombo, SearchSpace, TrialSpec};
+pub use strategies::{random_search, regularized_evolution, EvolutionConfig, SearchResult};

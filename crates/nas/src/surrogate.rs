@@ -1,0 +1,238 @@
+//! The training-dynamics surrogate: a deterministic, seeded model of the
+//! 5-fold mean accuracy a candidate would reach after 5 training epochs.
+//!
+//! Full-fidelity reproduction would need ~10^13 training FLOPs per trial
+//! fold on an A100; the surrogate replaces that while preserving exactly
+//! what the downstream Pareto analysis consumes — the *ordering and
+//! spread* of accuracies across the space. It is anchored at the paper's
+//! measured baselines (Table 5 is reproduced exactly at zero arch delta)
+//! and perturbs them with effects whose signs come from the paper's own
+//! observations (Section 4: small kernels, minimal padding, larger
+//! strides, and fewer channels-per-filter win on 32 m tiles; Table 5:
+//! batch 16 best, batch 32 fragile on 5-channel inputs).
+
+use hydronas_graph::ArchConfig;
+use hydronas_tensor::TensorRng;
+
+/// Per-fold accuracy noise (sigma, percentage points). Five-fold means
+/// then vary by ~sigma/sqrt(5).
+pub const FOLD_NOISE_SIGMA: f64 = 0.55;
+
+/// Table 5 anchors: measured baseline accuracy per (channels, batch).
+pub fn baseline_anchor(channels: usize, batch_size: usize) -> f64 {
+    match (channels, batch_size) {
+        (5, 8) => 92.90,
+        (5, 16) => 93.60,
+        (5, 32) => 89.67,
+        (7, 8) => 94.76,
+        (7, 16) => 95.37,
+        (7, 32) => 94.51,
+        _ => panic!("unsupported input combination ({channels} ch, batch {batch_size})"),
+    }
+}
+
+/// Total stem downsampling factor: conv stride x pool stride (if pooling).
+pub fn stem_downsample(arch: &ArchConfig) -> usize {
+    arch.stride * arch.pool.map_or(1, |p| p.stride)
+}
+
+/// Deterministic architecture effect in percentage points, relative to the
+/// stock ResNet-18 stem (which scores 0 by construction).
+pub fn arch_delta(arch: &ArchConfig) -> f64 {
+    let mut delta = 0.0;
+
+    // Kernel: 7x7 stems over-smooth 32 m context windows; 3x3 preserves
+    // the embankment/channel edge (paper Figure 4: all winners use k=3).
+    if arch.kernel_size == 3 {
+        delta += 0.25;
+    }
+
+    // Padding interacts with the kernel: unpadded large kernels crop the
+    // centered crossing signature hard.
+    delta += match (arch.kernel_size, arch.padding) {
+        (7, 0) => -10.0,
+        (7, 1) => -1.5,
+        (7, 3) => 0.0,
+        (3, 0) => -3.5,
+        (3, 1) => 0.15,
+        (3, 3) => -0.8,
+        _ => 0.0,
+    };
+
+    // Stem downsampling: ds=2 is the sweet spot at tile scale; ds=1 blows
+    // up the effective receptive field mismatch and overfits in 5 epochs;
+    // ds=4 (the stock stem) loses fine structure but remains workable.
+    delta += match stem_downsample(arch) {
+        1 => -3.5,
+        2 => 0.15,
+        _ => 0.0,
+    };
+
+    // Non-strided pooling is mild smoothing; kernel-2 pooling slightly
+    // noisier than kernel-3.
+    if let Some(pool) = arch.pool {
+        if pool.kernel == 2 {
+            delta -= 0.1;
+        }
+    }
+
+    // Width: 12k tiles + 5 epochs saturate by f=32; wider adds nothing
+    // and lightly overfits.
+    // Width: 12k tiles in 5 epochs favour the narrow model; the wide
+    // stock width mildly overfits (and f=32 is what every Table 4 row
+    // uses).
+    delta += match arch.initial_features {
+        32 => 0.55,
+        48 => 0.15,
+        _ => 0.0,
+    };
+
+    delta
+}
+
+/// Deterministic 5-fold accuracies for one trial, in percent.
+///
+/// `trial_seed` must be stable per trial so reruns reproduce bit-for-bit.
+pub fn surrogate_fold_accuracies(
+    arch: &ArchConfig,
+    batch_size: usize,
+    folds: usize,
+    trial_seed: u64,
+) -> Vec<f64> {
+    let base = baseline_anchor(arch.in_channels, batch_size) + arch_delta(arch);
+    let mut rng = TensorRng::seed_from_u64(trial_seed);
+    (0..folds)
+        .map(|_| {
+            let noisy = base + FOLD_NOISE_SIGMA * f64::from(rng.normal());
+            noisy.clamp(50.0, 99.5)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydronas_graph::{PoolConfig, BASELINE_RESNET18};
+
+    fn mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn baseline_arch_scores_zero_delta() {
+        assert_eq!(arch_delta(&BASELINE_RESNET18), 0.0);
+    }
+
+    #[test]
+    fn anchors_match_table5() {
+        assert_eq!(baseline_anchor(5, 8), 92.90);
+        assert_eq!(baseline_anchor(7, 16), 95.37);
+        assert_eq!(baseline_anchor(7, 32), 94.51);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported input combination")]
+    fn unknown_combo_panics() {
+        let _ = baseline_anchor(3, 8);
+    }
+
+    #[test]
+    fn best_known_config_beats_baseline_modestly() {
+        // Table 4 row 1: 7ch b16, k3 s2 p1 no-pool f32 reaches 96.13 vs
+        // the 95.37 baseline: a sub-1.5-point win.
+        let winner = ArchConfig {
+            in_channels: 7,
+            kernel_size: 3,
+            stride: 2,
+            padding: 1,
+            pool: None,
+            initial_features: 32,
+            num_classes: 2,
+        };
+        let delta = arch_delta(&winner);
+        assert!(delta > 0.5 && delta < 2.5, "delta {delta}");
+        let acc = baseline_anchor(7, 16) + delta;
+        assert!((95.8..97.2).contains(&acc), "acc {acc}");
+    }
+
+    #[test]
+    fn worst_config_lands_near_paper_minimum() {
+        // Table 3 minimum: 76.19%. Worst combo: 5ch b32 with an unpadded
+        // 7x7 stride-1 no-pool stem.
+        let worst = ArchConfig {
+            in_channels: 5,
+            kernel_size: 7,
+            stride: 1,
+            padding: 0,
+            pool: None,
+            initial_features: 64,
+            num_classes: 2,
+        };
+        let acc = baseline_anchor(5, 32) + arch_delta(&worst);
+        assert!((74.0..79.0).contains(&acc), "acc {acc}");
+    }
+
+    #[test]
+    fn stem_downsample_accounts_for_pool() {
+        let mut arch = BASELINE_RESNET18;
+        assert_eq!(stem_downsample(&arch), 4); // stride 2 x pool stride 2
+        arch.pool = Some(PoolConfig { kernel: 3, stride: 1 });
+        assert_eq!(stem_downsample(&arch), 2);
+        arch.pool = None;
+        assert_eq!(stem_downsample(&arch), 2);
+        arch.stride = 1;
+        assert_eq!(stem_downsample(&arch), 1);
+    }
+
+    #[test]
+    fn fold_accuracies_are_deterministic_and_spread() {
+        let arch = BASELINE_RESNET18;
+        let a = surrogate_fold_accuracies(&arch, 8, 5, 42);
+        let b = surrogate_fold_accuracies(&arch, 8, 5, 42);
+        assert_eq!(a, b);
+        let c = surrogate_fold_accuracies(&arch, 8, 5, 43);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 5);
+        // Folds differ from each other (noise present).
+        assert!(a.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9));
+        // Mean sits near the anchor.
+        assert!((mean(&a) - 92.9).abs() < 1.5, "mean {}", mean(&a));
+    }
+
+    #[test]
+    fn seven_channels_beat_five_on_average() {
+        let make = |ch: usize| ArchConfig { in_channels: ch, ..BASELINE_RESNET18 };
+        for batch in [8, 16, 32] {
+            let acc5 = baseline_anchor(5, batch) + arch_delta(&make(5));
+            let acc7 = baseline_anchor(7, batch) + arch_delta(&make(7));
+            assert!(acc7 > acc5, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn batch16_is_the_sweet_spot() {
+        for ch in [5, 7] {
+            let b16 = baseline_anchor(ch, 16);
+            assert!(b16 > baseline_anchor(ch, 8));
+            assert!(b16 > baseline_anchor(ch, 32));
+        }
+    }
+
+    #[test]
+    fn accuracies_stay_clamped() {
+        let worst = ArchConfig {
+            in_channels: 5,
+            kernel_size: 7,
+            stride: 1,
+            padding: 0,
+            pool: None,
+            initial_features: 64,
+            num_classes: 2,
+        };
+        for seed in 0..50 {
+            for acc in surrogate_fold_accuracies(&worst, 32, 5, seed) {
+                assert!((50.0..=99.5).contains(&acc));
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the NAS engine.
+
+use hydronas_nas::scheduler::injected_failure_ids;
+use hydronas_nas::space::{full_grid, SearchSpace};
+use hydronas_nas::surrogate::{arch_delta, surrogate_fold_accuracies, stem_downsample};
+use hydronas_nas::{run_experiment, SchedulerConfig, SurrogateEvaluator};
+use hydronas_graph::{ArchConfig, PoolConfig};
+use proptest::prelude::*;
+
+fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
+    (
+        prop_oneof![Just(5usize), Just(7)],
+        prop_oneof![Just(3usize), Just(7)],
+        prop_oneof![Just(1usize), Just(2)],
+        prop_oneof![Just(0usize), Just(1), Just(3)],
+        prop_oneof![
+            Just(None),
+            (prop_oneof![Just(2usize), Just(3)], prop_oneof![Just(1usize), Just(2)])
+                .prop_map(|(kernel, stride)| Some(PoolConfig { kernel, stride })),
+        ],
+        prop_oneof![Just(32usize), Just(48), Just(64)],
+    )
+        .prop_map(|(in_channels, kernel_size, stride, padding, pool, initial_features)| {
+            ArchConfig {
+                in_channels,
+                kernel_size,
+                stride,
+                padding,
+                pool,
+                initial_features,
+                num_classes: 2,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The surrogate's architecture delta is bounded: no configuration is
+    /// better than +3 or worse than -20 points relative to the baseline.
+    #[test]
+    fn arch_delta_is_bounded(arch in arch_strategy()) {
+        let d = arch_delta(&arch);
+        prop_assert!((-20.0..=3.0).contains(&d), "delta {d}");
+    }
+
+    /// Fold accuracies stay clamped and deterministic, and more folds
+    /// extend (not change) earlier draws of the same stream length.
+    #[test]
+    fn surrogate_draws_are_stable(
+        arch in arch_strategy(),
+        batch in prop_oneof![Just(8usize), Just(16), Just(32)],
+        seed in 0u64..10_000,
+    ) {
+        let a = surrogate_fold_accuracies(&arch, batch, 5, seed);
+        let b = surrogate_fold_accuracies(&arch, batch, 5, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|v| (50.0..=99.5).contains(v)));
+    }
+
+    /// The downsample factor equals stride when pooling is absent and
+    /// multiplies by the pool stride when present.
+    #[test]
+    fn downsample_factorization(arch in arch_strategy()) {
+        let ds = stem_downsample(&arch);
+        match arch.pool {
+            None => prop_assert_eq!(ds, arch.stride),
+            Some(p) => prop_assert_eq!(ds, arch.stride * p.stride),
+        }
+    }
+
+    /// Failure injection selects exactly n distinct scheduled ids.
+    #[test]
+    fn failure_injection_selects_distinct_ids(seed in 0u64..500, n in 0usize..30) {
+        let trials = full_grid(&SearchSpace::paper());
+        let ids = injected_failure_ids(&trials, seed, n);
+        prop_assert_eq!(ids.len(), n);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), n);
+        prop_assert!(ids.iter().all(|&id| id < trials.len()));
+    }
+
+    /// Scheduling any slice of the grid yields a database whose valid
+    /// count equals slice size minus injected failures landing inside it.
+    #[test]
+    fn scheduler_census_is_exact(start in 0usize..1600, len in 1usize..64) {
+        let all = full_grid(&SearchSpace::paper());
+        let end = (start + len).min(all.len());
+        let trials = &all[start..end];
+        let config = SchedulerConfig { injected_failures: 3, ..Default::default() };
+        let db = run_experiment(trials, &SurrogateEvaluator::default(), &config);
+        prop_assert_eq!(db.outcomes.len(), trials.len());
+        let failed = db.outcomes.iter().filter(|o| !o.is_valid()).count();
+        prop_assert!(failed <= 3);
+        prop_assert_eq!(db.valid().len(), trials.len() - failed);
+        // Ordered by trial id.
+        for pair in db.outcomes.windows(2) {
+            prop_assert!(pair[0].spec.id < pair[1].spec.id);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Training-time data augmentation for NCHW image batches.
+//!
+//! Drainage-crossing tiles have no canonical orientation (a culvert is a
+//! culvert from any compass direction), so the dihedral group — flips and
+//! 90-degree rotations — is label-preserving. This is the standard
+//! augmentation family for overhead imagery.
+
+use hydronas_tensor::{Tensor, TensorRng};
+
+/// One label-preserving transform of an overhead tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Augmentation {
+    Identity,
+    FlipHorizontal,
+    FlipVertical,
+    Rotate90,
+    Rotate180,
+    Rotate270,
+}
+
+impl Augmentation {
+    /// All supported transforms.
+    pub const ALL: [Augmentation; 6] = [
+        Augmentation::Identity,
+        Augmentation::FlipHorizontal,
+        Augmentation::FlipVertical,
+        Augmentation::Rotate90,
+        Augmentation::Rotate180,
+        Augmentation::Rotate270,
+    ];
+
+    /// Uniformly sampled transform.
+    pub fn random(rng: &mut TensorRng) -> Augmentation {
+        Self::ALL[rng.index(Self::ALL.len())]
+    }
+
+    /// Source coordinate `(x, y)` that maps to output `(x, y)` on an
+    /// `n x n` plane.
+    fn source(&self, x: usize, y: usize, n: usize) -> (usize, usize) {
+        let m = n - 1;
+        match self {
+            Augmentation::Identity => (x, y),
+            Augmentation::FlipHorizontal => (m - x, y),
+            Augmentation::FlipVertical => (x, m - y),
+            // out(x, y) = in(y, m - x) rotates the content 90 deg CCW...
+            // conventions only need to be self-consistent and bijective.
+            Augmentation::Rotate90 => (y, m - x),
+            Augmentation::Rotate180 => (m - x, m - y),
+            Augmentation::Rotate270 => (m - y, x),
+        }
+    }
+
+    /// Applies the transform to every channel of one CHW sample (square
+    /// planes only).
+    pub fn apply_sample(&self, sample: &[f32], channels: usize, n: usize) -> Vec<f32> {
+        assert_eq!(sample.len(), channels * n * n, "sample size mismatch");
+        if *self == Augmentation::Identity {
+            return sample.to_vec();
+        }
+        let mut out = vec![0.0f32; sample.len()];
+        for c in 0..channels {
+            let src = &sample[c * n * n..(c + 1) * n * n];
+            let dst = &mut out[c * n * n..(c + 1) * n * n];
+            for y in 0..n {
+                for x in 0..n {
+                    let (sx, sy) = self.source(x, y, n);
+                    dst[y * n + x] = src[sy * n + sx];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Applies an independently sampled random transform to every sample of
+/// an NCHW batch. Labels are untouched (all transforms preserve them).
+pub fn augment_batch(batch: &Tensor, rng: &mut TensorRng) -> Tensor {
+    let dims = batch.dims();
+    assert_eq!(dims.len(), 4, "augment expects NCHW");
+    assert_eq!(dims[2], dims[3], "augment expects square tiles");
+    let (n_samples, channels, n) = (dims[0], dims[1], dims[2]);
+    let sample_len = channels * n * n;
+    let src = batch.as_slice();
+    let mut out = Vec::with_capacity(src.len());
+    for i in 0..n_samples {
+        let aug = Augmentation::random(rng);
+        out.extend(aug.apply_sample(&src[i * sample_len..(i + 1) * sample_len], channels, n));
+    }
+    Tensor::from_vec(out, dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane4() -> Vec<f32> {
+        (0..16).map(|v| v as f32).collect()
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let s = plane4();
+        assert_eq!(Augmentation::Identity.apply_sample(&s, 1, 4), s);
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let s = plane4();
+        for aug in [Augmentation::FlipHorizontal, Augmentation::FlipVertical] {
+            let once = aug.apply_sample(&s, 1, 4);
+            let twice = aug.apply_sample(&once, 1, 4);
+            assert_eq!(twice, s, "{aug:?} twice is not identity");
+            assert_ne!(once, s, "{aug:?} did nothing");
+        }
+    }
+
+    #[test]
+    fn rotations_compose_to_identity() {
+        let s = plane4();
+        let r90 = Augmentation::Rotate90.apply_sample(&s, 1, 4);
+        let r180 = Augmentation::Rotate90.apply_sample(&r90, 1, 4);
+        let r270 = Augmentation::Rotate90.apply_sample(&r180, 1, 4);
+        let r360 = Augmentation::Rotate90.apply_sample(&r270, 1, 4);
+        assert_eq!(r360, s);
+        assert_eq!(r180, Augmentation::Rotate180.apply_sample(&s, 1, 4));
+        assert_eq!(r270, Augmentation::Rotate270.apply_sample(&s, 1, 4));
+    }
+
+    #[test]
+    fn transforms_are_permutations() {
+        // Every transform preserves the multiset of values per channel.
+        let s: Vec<f32> = (0..2 * 25).map(|v| v as f32).collect();
+        for aug in Augmentation::ALL {
+            let out = aug.apply_sample(&s, 2, 5);
+            for c in 0..2 {
+                let mut a: Vec<f32> = s[c * 25..(c + 1) * 25].to_vec();
+                let mut b: Vec<f32> = out[c * 25..(c + 1) * 25].to_vec();
+                a.sort_by(f32::total_cmp);
+                b.sort_by(f32::total_cmp);
+                assert_eq!(a, b, "{aug:?} not a permutation");
+            }
+        }
+    }
+
+    #[test]
+    fn channels_transform_together() {
+        // A feature at (x, y) in channel 0 must land at the same output
+        // coordinate as the feature at (x, y) in channel 1 — co-registered
+        // bands must stay co-registered.
+        let mut s = vec![0.0f32; 2 * 16];
+        s[4 + 2] = 7.0; // channel 0, (2,1)
+        s[16 + 4 + 2] = 9.0; // channel 1, same cell
+        for aug in Augmentation::ALL {
+            let out = aug.apply_sample(&s, 2, 4);
+            let pos0 = out[..16].iter().position(|&v| v == 7.0).unwrap();
+            let pos1 = out[16..].iter().position(|&v| v == 9.0).unwrap();
+            assert_eq!(pos0, pos1, "{aug:?} decoupled the bands");
+        }
+    }
+
+    #[test]
+    fn batch_augmentation_is_deterministic_and_shaped() {
+        let data: Vec<f32> = (0..3 * 2 * 16).map(|v| v as f32).collect();
+        let batch = Tensor::from_vec(data, &[3, 2, 4, 4]);
+        let mut rng1 = TensorRng::seed_from_u64(5);
+        let mut rng2 = TensorRng::seed_from_u64(5);
+        let a = augment_batch(&batch, &mut rng1);
+        let b = augment_batch(&batch, &mut rng2);
+        assert_eq!(a, b);
+        assert_eq!(a.dims(), batch.dims());
+    }
+
+    #[test]
+    fn random_covers_all_transforms() {
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(format!("{:?}", Augmentation::random(&mut rng)));
+        }
+        assert_eq!(seen.len(), 6, "not all transforms sampled: {seen:?}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Softmax cross-entropy with logits.
+
+use hydronas_tensor::Tensor;
+
+/// Numerically stable softmax cross-entropy computed jointly with its
+/// gradient (the standard `softmax - onehot` form).
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Returns `(mean loss, grad wrt logits)` for integer class targets.
+    pub fn forward_backward(&self, logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+        assert_eq!(logits.shape().ndim(), 2, "logits must be [N, classes]");
+        let (n, c) = (logits.dims()[0], logits.dims()[1]);
+        assert_eq!(targets.len(), n, "target count mismatch");
+        let mut grad = Tensor::zeros(&[n, c]);
+        let mut loss = 0.0f64;
+        let x = logits.as_slice();
+        let g = grad.as_mut_slice();
+        for i in 0..n {
+            let row = &x[i * c..(i + 1) * c];
+            let t = targets[i];
+            assert!(t < c, "target {t} out of range for {c} classes");
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
+            let z: f32 = exps.iter().sum();
+            let log_z = z.ln();
+            loss += f64::from(log_z - (row[t] - m));
+            for j in 0..c {
+                let p = exps[j] / z;
+                g[i * c + j] = (p - if j == t { 1.0 } else { 0.0 }) / n as f32;
+            }
+        }
+        ((loss / n as f64) as f32, grad)
+    }
+
+    /// Softmax probabilities (for calibration/inspection).
+    pub fn softmax(&self, logits: &Tensor) -> Tensor {
+        assert_eq!(logits.shape().ndim(), 2);
+        let (n, c) = (logits.dims()[0], logits.dims()[1]);
+        let mut out = logits.clone();
+        let o = out.as_mut_slice();
+        for i in 0..n {
+            let row = &mut o[i * c..(i + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydronas_tensor::approx_eq;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[4, 2]);
+        let (loss, grad) = CrossEntropyLoss.forward_backward(&logits, &[0, 1, 0, 1]);
+        assert!(approx_eq(loss, (2.0f32).ln(), 1e-5));
+        // grad = (0.5 - onehot)/N
+        assert!(approx_eq(grad.at(&[0, 0]), (0.5 - 1.0) / 4.0, 1e-5));
+        assert!(approx_eq(grad.at(&[0, 1]), 0.5 / 4.0, 1e-5));
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]);
+        let (loss, _) = CrossEntropyLoss.forward_backward(&logits, &[0]);
+        assert!(loss < 1e-4, "loss {loss}");
+        let (bad_loss, _) = CrossEntropyLoss.forward_backward(&logits, &[1]);
+        assert!(bad_loss > 19.0, "loss {bad_loss}");
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 1.1, 0.6, -0.5, 0.0], &[2, 3]);
+        let targets = [2usize, 0];
+        let (_, grad) = CrossEntropyLoss.forward_backward(&logits, &targets);
+        let eps = 1e-3f32;
+        for idx in 0..logits.numel() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let (lp, _) = CrossEntropyLoss.forward_backward(&plus, &targets);
+            let (lm, _) = CrossEntropyLoss.forward_backward(&minus, &targets);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad.as_slice()[idx]).abs() < 1e-3,
+                "grad at {idx}: {num} vs {}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn large_logits_stay_finite() {
+        let logits = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]);
+        let (loss, grad) = CrossEntropyLoss.forward_backward(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(!grad.has_non_finite());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = CrossEntropyLoss.softmax(&logits);
+        for i in 0..2 {
+            let s: f32 = p.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(approx_eq(s, 1.0, 1e-5));
+        }
+        // Monotone in logits.
+        assert!(p.at(&[0, 2]) > p.at(&[0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let _ = CrossEntropyLoss.forward_backward(&logits, &[2]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Classification metrics: accuracy, confusion matrix, precision/recall/F1.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of matching prediction/target pairs, in percent (paper
+/// convention).
+pub fn accuracy(predictions: &[usize], targets: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions.iter().zip(targets).filter(|(p, t)| p == t).count();
+    100.0 * hits as f64 / predictions.len() as f64
+}
+
+/// `matrix[t][p]` = number of samples with target `t` predicted as `p`.
+pub fn confusion_matrix(predictions: &[usize], targets: &[usize], classes: usize) -> Vec<Vec<u64>> {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    let mut m = vec![vec![0u64; classes]; classes];
+    for (&p, &t) in predictions.iter().zip(targets) {
+        assert!(p < classes && t < classes, "class index out of range");
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Per-class F1 from a confusion matrix (0 when precision+recall = 0).
+pub fn f1_score(confusion: &[Vec<u64>], class: usize) -> f64 {
+    let tp = confusion[class][class] as f64;
+    let fp: f64 = confusion
+        .iter()
+        .enumerate()
+        .filter(|(t, _)| *t != class)
+        .map(|(_, row)| row[class] as f64)
+        .sum();
+    let fn_: f64 = confusion[class]
+        .iter()
+        .enumerate()
+        .filter(|(p, _)| *p != class)
+        .map(|(_, v)| *v as f64)
+        .sum();
+    let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+    let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Bundled evaluation result for one model on one split.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    pub accuracy_pct: f64,
+    pub confusion: Vec<Vec<u64>>,
+    pub f1_per_class: Vec<f64>,
+    pub samples: usize,
+}
+
+impl ClassificationReport {
+    /// Builds the full report from raw predictions.
+    pub fn from_predictions(
+        predictions: &[usize],
+        targets: &[usize],
+        classes: usize,
+    ) -> ClassificationReport {
+        let confusion = confusion_matrix(predictions, targets, classes);
+        let f1_per_class = (0..classes).map(|c| f1_score(&confusion, c)).collect();
+        ClassificationReport {
+            accuracy_pct: accuracy(predictions, targets),
+            confusion,
+            f1_per_class,
+            samples: predictions.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 75.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 100.0);
+    }
+
+    #[test]
+    fn confusion_layout_is_target_major() {
+        let m = confusion_matrix(&[1, 0, 1, 1], &[1, 0, 0, 1], 2);
+        assert_eq!(m[0][0], 1); // true 0 predicted 0
+        assert_eq!(m[0][1], 1); // true 0 predicted 1
+        assert_eq!(m[1][1], 2); // true 1 predicted 1
+        assert_eq!(m[1][0], 0);
+    }
+
+    #[test]
+    fn perfect_predictions_give_f1_one() {
+        let m = confusion_matrix(&[0, 1, 0, 1], &[0, 1, 0, 1], 2);
+        assert_eq!(f1_score(&m, 0), 1.0);
+        assert_eq!(f1_score(&m, 1), 1.0);
+    }
+
+    #[test]
+    fn degenerate_class_gives_f1_zero() {
+        // Class 1 never predicted and never true.
+        let m = confusion_matrix(&[0, 0], &[0, 0], 2);
+        assert_eq!(f1_score(&m, 1), 0.0);
+        assert_eq!(f1_score(&m, 0), 1.0);
+    }
+
+    #[test]
+    fn f1_hand_computed() {
+        // true 0: predicted [0,0,1]; true 1: predicted [1,1,0]
+        let m = confusion_matrix(&[0, 0, 1, 1, 1, 0], &[0, 0, 0, 1, 1, 1], 2);
+        // class 1: tp=2, fp=1, fn=1 -> p=2/3, r=2/3 -> f1=2/3
+        assert!((f1_score(&m, 1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_bundles_everything() {
+        let r = ClassificationReport::from_predictions(&[0, 1, 1], &[0, 1, 0], 2);
+        assert_eq!(r.samples, 3);
+        assert!((r.accuracy_pct - 200.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.f1_per_class.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+}
+
+/// A binary classifier score paired with its true label (1 = positive).
+pub type ScoredLabel = (f32, usize);
+
+/// Area under the ROC curve for binary classification, computed by the
+/// rank statistic (equivalent to the Mann-Whitney U), with ties handled
+/// by midranks. Scores are the positive-class probabilities or logits.
+pub fn roc_auc(scored: &[ScoredLabel]) -> f64 {
+    let positives = scored.iter().filter(|(_, l)| *l == 1).count();
+    let negatives = scored.len() - positives;
+    assert!(
+        positives > 0 && negatives > 0,
+        "AUC needs both classes present"
+    );
+    // Midranks over the scores.
+    let mut order: Vec<usize> = (0..scored.len()).collect();
+    order.sort_by(|&a, &b| {
+        scored[a].0.partial_cmp(&scored[b].0).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scored[order[j + 1]].0 == scored[order[i]].0 {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            if scored[k].1 == 1 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let p = positives as f64;
+    let n = negatives as f64;
+    (rank_sum_pos - p * (p + 1.0) / 2.0) / (p * n)
+}
+
+/// ROC curve points `(false positive rate, true positive rate)` sorted by
+/// decreasing threshold, starting at (0,0) and ending at (1,1).
+pub fn roc_curve(scored: &[ScoredLabel]) -> Vec<(f64, f64)> {
+    let positives = scored.iter().filter(|(_, l)| *l == 1).count() as f64;
+    let negatives = scored.len() as f64 - positives;
+    assert!(positives > 0.0 && negatives > 0.0, "ROC needs both classes");
+    let mut order: Vec<usize> = (0..scored.len()).collect();
+    order.sort_by(|&a, &b| {
+        scored[b].0.partial_cmp(&scored[a].0).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut curve = vec![(0.0, 0.0)];
+    let (mut tp, mut fp) = (0.0f64, 0.0f64);
+    let mut i = 0usize;
+    while i < order.len() {
+        // Advance through ties as one threshold step.
+        let mut j = i;
+        while j + 1 < order.len() && scored[order[j + 1]].0 == scored[order[i]].0 {
+            j += 1;
+        }
+        for &k in &order[i..=j] {
+            if scored[k].1 == 1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+        }
+        curve.push((fp / negatives, tp / positives));
+        i = j + 1;
+    }
+    curve
+}
+
+#[cfg(test)]
+mod auc_tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let scored = vec![(0.9, 1), (0.8, 1), (0.2, 0), (0.1, 0)];
+        assert_eq!(roc_auc(&scored), 1.0);
+        let reversed = vec![(0.1, 1), (0.2, 1), (0.8, 0), (0.9, 0)];
+        assert_eq!(roc_auc(&reversed), 0.0);
+    }
+
+    #[test]
+    fn random_scores_give_auc_half() {
+        // All scores tied: AUC must be exactly 0.5 via midranks.
+        let scored = vec![(0.5, 1), (0.5, 0), (0.5, 1), (0.5, 0)];
+        assert_eq!(roc_auc(&scored), 0.5);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // positives at 0.9, 0.4; negatives at 0.6, 0.1.
+        // Pairs: (0.9>0.6)=1, (0.9>0.1)=1, (0.4<0.6)=0, (0.4>0.1)=1 -> 3/4.
+        let scored = vec![(0.9, 1), (0.4, 1), (0.6, 0), (0.1, 0)];
+        assert_eq!(roc_auc(&scored), 0.75);
+    }
+
+    #[test]
+    fn curve_starts_at_origin_and_ends_at_one_one() {
+        let scored = vec![(0.9, 1), (0.7, 0), (0.6, 1), (0.2, 0)];
+        let curve = roc_curve(&scored);
+        assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+        // Monotone non-decreasing in both coordinates.
+        for pair in curve.windows(2) {
+            assert!(pair[1].0 >= pair[0].0);
+            assert!(pair[1].1 >= pair[0].1);
+        }
+    }
+
+    #[test]
+    fn auc_equals_trapezoid_area_of_the_curve() {
+        let scored = vec![
+            (0.95, 1),
+            (0.8, 0),
+            (0.7, 1),
+            (0.6, 1),
+            (0.4, 0),
+            (0.3, 1),
+            (0.2, 0),
+        ];
+        let auc = roc_auc(&scored);
+        let curve = roc_curve(&scored);
+        let mut area = 0.0;
+        for pair in curve.windows(2) {
+            area += (pair[1].0 - pair[0].0) * (pair[0].1 + pair[1].1) / 2.0;
+        }
+        assert!((auc - area).abs() < 1e-12, "{auc} vs {area}");
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_rejected() {
+        let _ = roc_auc(&[(0.5, 1), (0.6, 1)]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Optimizers: SGD with momentum/weight decay, and Adam.
+//!
+//! State is keyed by parameter visit position, which the
+//! [`ParamVisitor`] contract guarantees is stable.
+
+use crate::param::ParamVisitor;
+use hydronas_tensor::Tensor;
+
+/// Common optimizer interface.
+pub trait Optimizer {
+    /// Applies one update step from accumulated gradients, then leaves the
+    /// gradients untouched (call [`ParamVisitor::zero_grad`] separately).
+    fn step(&mut self, model: &mut dyn ParamVisitor);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and decoupled L2
+/// weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Sgd {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum in [0,1)");
+        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn ParamVisitor) {
+        let mut idx = 0usize;
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+        let velocity = &mut self.velocity;
+        model.visit_params(&mut |p| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.value.dims()));
+            }
+            let v = &mut velocity[idx];
+            assert_eq!(v.dims(), p.value.dims(), "optimizer state shape drift");
+            let vd = v.as_mut_slice();
+            let pv = p.value.as_mut_slice();
+            let g = p.grad.as_slice();
+            for i in 0..pv.len() {
+                let grad = g[i] + wd * pv[i];
+                vd[i] = mu * vd[i] + grad;
+                pv[i] -= lr * vd[i];
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Adam {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn ParamVisitor) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let mut idx = 0usize;
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        model.visit_params(&mut |p| {
+            if ms.len() <= idx {
+                ms.push(Tensor::zeros(p.value.dims()));
+                vs.push(Tensor::zeros(p.value.dims()));
+            }
+            let m = ms[idx].as_mut_slice();
+            let v = vs[idx].as_mut_slice();
+            let pv = p.value.as_mut_slice();
+            let g = p.grad.as_slice();
+            for i in 0..pv.len() {
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                pv[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    /// Quadratic bowl: loss = 0.5 * ||w - target||^2, grad = w - target.
+    struct Bowl {
+        w: Param,
+        target: Vec<f32>,
+    }
+
+    impl Bowl {
+        fn new(start: &[f32], target: &[f32]) -> Bowl {
+            Bowl { w: Param::new(Tensor::from_slice(start)), target: target.to_vec() }
+        }
+
+        fn compute_grad(&mut self) {
+            self.w.zero_grad();
+            let g: Vec<f32> = self
+                .w
+                .value
+                .as_slice()
+                .iter()
+                .zip(&self.target)
+                .map(|(w, t)| w - t)
+                .collect();
+            self.w.accumulate(&Tensor::from_slice(&g));
+        }
+
+        fn loss(&self) -> f32 {
+            self.w
+                .value
+                .as_slice()
+                .iter()
+                .zip(&self.target)
+                .map(|(w, t)| 0.5 * (w - t) * (w - t))
+                .sum()
+        }
+    }
+
+    impl ParamVisitor for Bowl {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.w);
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut bowl = Bowl::new(&[5.0, -3.0], &[1.0, 2.0]);
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        for _ in 0..200 {
+            bowl.compute_grad();
+            opt.step(&mut bowl);
+        }
+        assert!(bowl.loss() < 1e-8, "loss {}", bowl.loss());
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| {
+            let mut bowl = Bowl::new(&[10.0], &[0.0]);
+            let mut opt = Sgd::new(0.01, momentum, 0.0);
+            for _ in 0..100 {
+                bowl.compute_grad();
+                opt.step(&mut bowl);
+            }
+            bowl.loss()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should converge faster on a bowl");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        // With zero task gradient, decay alone pulls weights toward zero.
+        let mut bowl = Bowl::new(&[4.0], &[4.0]); // grad = 0 at start
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        bowl.compute_grad();
+        opt.step(&mut bowl);
+        let w = bowl.w.value.as_slice()[0];
+        assert!(w < 4.0, "decay should shrink weight, got {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut bowl = Bowl::new(&[5.0, -3.0, 7.0], &[1.0, 2.0, -2.0]);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..300 {
+            bowl.compute_grad();
+            opt.step(&mut bowl);
+        }
+        assert!(bowl.loss() < 1e-4, "loss {}", bowl.loss());
+    }
+
+    #[test]
+    fn adam_first_step_size_is_about_lr() {
+        // With bias correction, the first Adam step has magnitude ~lr.
+        let mut bowl = Bowl::new(&[10.0], &[0.0]);
+        let mut opt = Adam::new(0.1);
+        bowl.compute_grad();
+        opt.step(&mut bowl);
+        let w = bowl.w.value.as_slice()[0];
+        assert!((10.0 - w - 0.1).abs() < 1e-3, "step was {}", 10.0 - w);
+    }
+
+    #[test]
+    fn set_learning_rate() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_lr_rejected() {
+        let _ = Sgd::new(0.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Learnable parameters and the visitor used by optimizers.
+
+use hydronas_tensor::Tensor;
+
+/// A learnable tensor paired with its gradient accumulator.
+#[derive(Clone, Debug)]
+pub struct Param {
+    pub value: Tensor,
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initialized value with a zeroed gradient.
+    pub fn new(value: Tensor) -> Param {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad }
+    }
+
+    /// Clears the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Accumulates `g` into the gradient.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        self.grad.axpy(1.0, g);
+    }
+}
+
+/// Anything owning parameters exposes them through this visitor so
+/// optimizers stay decoupled from model structure. Visit order must be
+/// deterministic — optimizer state is keyed by position.
+pub trait ParamVisitor {
+    /// Calls `f` once per parameter, in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Total learnable scalar count.
+    fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.numel());
+        n
+    }
+
+    /// Zeroes every gradient.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Flattens all parameter values in visit order (for serialization).
+    fn flat_params(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.extend_from_slice(p.value.as_slice()));
+        out
+    }
+
+    /// Loads a flat vector produced by [`ParamVisitor::flat_params`].
+    fn load_flat_params(&mut self, flat: &[f32]) {
+        let mut offset = 0usize;
+        self.visit_params(&mut |p| {
+            let n = p.value.numel();
+            assert!(
+                offset + n <= flat.len(),
+                "flat parameter vector length mismatch: need more than {}",
+                flat.len()
+            );
+            p.value
+                .as_mut_slice()
+                .copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        });
+        assert_eq!(offset, flat.len(), "flat parameter vector length mismatch");
+    }
+
+    /// Global gradient L2 norm (for clipping / divergence checks).
+    fn grad_norm(&mut self) -> f32 {
+        let mut acc = 0.0f32;
+        self.visit_params(&mut |p| acc += p.grad.sq_norm());
+        acc.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TwoParams {
+        a: Param,
+        b: Param,
+    }
+
+    impl ParamVisitor for TwoParams {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.a);
+            f(&mut self.b);
+        }
+    }
+
+    fn fixture() -> TwoParams {
+        TwoParams {
+            a: Param::new(Tensor::from_slice(&[1.0, 2.0])),
+            b: Param::new(Tensor::from_slice(&[3.0])),
+        }
+    }
+
+    #[test]
+    fn num_params_counts_scalars() {
+        assert_eq!(fixture().num_params(), 3);
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let mut m = fixture();
+        let flat = m.flat_params();
+        assert_eq!(flat, vec![1.0, 2.0, 3.0]);
+        let mut m2 = fixture();
+        m2.load_flat_params(&[9.0, 8.0, 7.0]);
+        assert_eq!(m2.flat_params(), vec![9.0, 8.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn load_wrong_length_panics() {
+        fixture().load_flat_params(&[1.0]);
+    }
+
+    #[test]
+    fn zero_grad_and_norm() {
+        let mut m = fixture();
+        m.a.accumulate(&Tensor::from_slice(&[3.0, 4.0]));
+        assert_eq!(m.grad_norm(), 5.0);
+        m.zero_grad();
+        assert_eq!(m.grad_norm(), 0.0);
+    }
+}

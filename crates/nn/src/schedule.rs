@@ -1,0 +1,94 @@
+//! Learning-rate schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-epoch learning-rate policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate (the paper's 5-epoch protocol).
+    #[default]
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    Step { every: usize, gamma: f32 },
+    /// Cosine annealing from the base rate to `min_lr` over the run.
+    Cosine { min_lr: f32 },
+}
+
+impl LrSchedule {
+    /// Learning rate for `epoch` (0-based) of a `total_epochs` run.
+    pub fn rate(&self, base_lr: f32, epoch: usize, total_epochs: usize) -> f32 {
+        assert!(total_epochs > 0, "total_epochs must be positive");
+        match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::Step { every, gamma } => {
+                assert!(every > 0, "step interval must be positive");
+                base_lr * gamma.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine { min_lr } => {
+                if total_epochs == 1 {
+                    return base_lr;
+                }
+                let t = epoch as f32 / (total_epochs - 1) as f32;
+                min_lr
+                    + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant;
+        for e in 0..10 {
+            assert_eq!(s.rate(0.1, e, 10), 0.1);
+        }
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = LrSchedule::Step { every: 2, gamma: 0.1 };
+        assert_eq!(s.rate(1.0, 0, 6), 1.0);
+        assert_eq!(s.rate(1.0, 1, 6), 1.0);
+        assert!((s.rate(1.0, 2, 6) - 0.1).abs() < 1e-7);
+        assert!((s.rate(1.0, 4, 6) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_starts_at_base_and_ends_at_min() {
+        let s = LrSchedule::Cosine { min_lr: 0.001 };
+        let first = s.rate(0.1, 0, 5);
+        let last = s.rate(0.1, 4, 5);
+        assert!((first - 0.1).abs() < 1e-7);
+        assert!((last - 0.001).abs() < 1e-7);
+        // Strictly decreasing in between.
+        let mut prev = first;
+        for e in 1..5 {
+            let r = s.rate(0.1, e, 5);
+            assert!(r < prev, "epoch {e}: {r} >= {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn cosine_single_epoch_is_base() {
+        let s = LrSchedule::Cosine { min_lr: 0.0 };
+        assert_eq!(s.rate(0.1, 0, 1), 0.1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for s in [
+            LrSchedule::Constant,
+            LrSchedule::Step { every: 2, gamma: 0.5 },
+            LrSchedule::Cosine { min_lr: 1e-4 },
+        ] {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: LrSchedule = serde_json::from_str(&json).unwrap();
+            assert_eq!(s, back);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the training stack.
+
+use hydronas_nn::{
+    augment_batch, Augmentation, BatchNorm2d, CrossEntropyLoss, Linear, LrSchedule, Relu,
+};
+use hydronas_tensor::{Tensor, TensorRng};
+use proptest::prelude::*;
+
+fn batch_strategy(n: usize, c: usize, hw: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, n * c * hw * hw)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every augmentation preserves the per-channel value multiset of
+    /// every sample (they are coordinate permutations).
+    #[test]
+    fn augmentations_preserve_values(data in batch_strategy(2, 3, 6), seed in 0u64..1000) {
+        let batch = Tensor::from_vec(data.clone(), &[2, 3, 6, 6]);
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let out = augment_batch(&batch, &mut rng);
+        prop_assert_eq!(out.dims(), batch.dims());
+        let plane = 36;
+        for s in 0..2 {
+            for ch in 0..3 {
+                let base = (s * 3 + ch) * plane;
+                let mut a: Vec<f32> = data[base..base + plane].to_vec();
+                let mut b: Vec<f32> = out.as_slice()[base..base + plane].to_vec();
+                a.sort_by(f32::total_cmp);
+                b.sort_by(f32::total_cmp);
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// Rotate90 applied four times is the identity for any plane size.
+    #[test]
+    fn rotate90_has_order_four(data in proptest::collection::vec(-2.0f32..2.0, 49)) {
+        let mut cur = data.clone();
+        for _ in 0..4 {
+            cur = Augmentation::Rotate90.apply_sample(&cur, 1, 7);
+        }
+        prop_assert_eq!(cur, data);
+    }
+
+    /// Cross-entropy gradient rows sum to zero (softmax minus one-hot).
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero(
+        logits in proptest::collection::vec(-5.0f32..5.0, 4 * 3),
+        targets in proptest::collection::vec(0usize..3, 4),
+    ) {
+        let t = Tensor::from_vec(logits, &[4, 3]);
+        let (loss, grad) = CrossEntropyLoss.forward_backward(&t, &targets);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        for row in grad.as_slice().chunks(3) {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row sums to {s}");
+        }
+    }
+
+    /// Lower loss for the true class: raising the target logit can only
+    /// decrease the loss.
+    #[test]
+    fn loss_decreases_when_target_logit_rises(
+        logits in proptest::collection::vec(-3.0f32..3.0, 3),
+        target in 0usize..3,
+    ) {
+        let t = Tensor::from_vec(logits.clone(), &[1, 3]);
+        let (l0, _) = CrossEntropyLoss.forward_backward(&t, &[target]);
+        let mut raised = logits;
+        raised[target] += 1.0;
+        let t2 = Tensor::from_vec(raised, &[1, 3]);
+        let (l1, _) = CrossEntropyLoss.forward_backward(&t2, &[target]);
+        prop_assert!(l1 <= l0 + 1e-6, "{l1} > {l0}");
+    }
+
+    /// ReLU backward never increases gradient magnitude.
+    #[test]
+    fn relu_backward_is_contraction(
+        x in proptest::collection::vec(-2.0f32..2.0, 24),
+        g in proptest::collection::vec(-2.0f32..2.0, 24),
+    ) {
+        let mut relu = Relu::new();
+        let _ = relu.forward(&Tensor::from_slice(&x), true);
+        let out = relu.backward(&Tensor::from_slice(&g));
+        for (o, gi) in out.as_slice().iter().zip(&g) {
+            prop_assert!(o.abs() <= gi.abs() + 1e-7);
+        }
+    }
+
+    /// Linear layers are affine: f(ax) = a f(x) + (1-a) f(0).
+    #[test]
+    fn linear_is_affine(
+        x in proptest::collection::vec(-2.0f32..2.0, 4),
+        alpha in -2.0f32..2.0,
+    ) {
+        let mut rng = TensorRng::seed_from_u64(7);
+        let mut lin = Linear::new(4, 3, &mut rng);
+        let xt = Tensor::from_vec(x.clone(), &[1, 4]);
+        let scaled = Tensor::from_vec(x.iter().map(|v| v * alpha).collect(), &[1, 4]);
+        let zero = Tensor::zeros(&[1, 4]);
+        let f_x = lin.forward(&xt, false);
+        let f_ax = lin.forward(&scaled, false);
+        let f_0 = lin.forward(&zero, false);
+        for i in 0..3 {
+            let want = alpha * f_x.as_slice()[i] + (1.0 - alpha) * f_0.as_slice()[i];
+            prop_assert!((f_ax.as_slice()[i] - want).abs() < 1e-3,
+                "{} vs {}", f_ax.as_slice()[i], want);
+        }
+    }
+
+    /// Batch norm output in train mode is bounded by gamma-scaled
+    /// normalized extremes regardless of input scale.
+    #[test]
+    fn batchnorm_output_is_scale_invariant(
+        data in proptest::collection::vec(-1.0f32..1.0, 2 * 2 * 9),
+        scale in 1.0f32..100.0,
+    ) {
+        // BN(x) == BN(s * x) in train mode (mean/var rescale together).
+        let x1 = Tensor::from_vec(data.clone(), &[2, 2, 3, 3]);
+        let x2 = Tensor::from_vec(data.iter().map(|v| v * scale).collect(), &[2, 2, 3, 3]);
+        let mut bn1 = BatchNorm2d::new(2);
+        let mut bn2 = BatchNorm2d::new(2);
+        let y1 = bn1.forward(&x1, true);
+        let y2 = bn2.forward(&x2, true);
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!((a - b).abs() < 2e-2, "{a} vs {b}");
+        }
+    }
+
+    /// Schedules always yield positive, bounded learning rates.
+    #[test]
+    fn schedules_stay_in_range(
+        epoch in 0usize..20,
+        total in 1usize..21,
+        base in 0.001f32..1.0,
+    ) {
+        prop_assume!(epoch < total);
+        for schedule in [
+            LrSchedule::Constant,
+            LrSchedule::Step { every: 3, gamma: 0.5 },
+            LrSchedule::Cosine { min_lr: base * 0.01 },
+        ] {
+            let lr = schedule.rate(base, epoch, total);
+            prop_assert!(lr > 0.0 && lr <= base + 1e-9, "{schedule:?}: {lr}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure data exports: the 3-d scatter behind Figure 3 and the radar
+//! rows behind Figure 4.
+
+use crate::normalize::{normalize_point, ValueRange};
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// One axis of a radar plot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RadarAxis {
+    pub label: String,
+    /// Normalized value in `[0, 1]`.
+    pub value: f64,
+}
+
+/// One radar polygon (one non-dominated solution in Figure 4).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RadarRow {
+    pub id: usize,
+    /// The paper colors rows by pool choice: red = no pool, green = pool.
+    pub group: String,
+    pub axes: Vec<RadarAxis>,
+}
+
+/// Renders the full population as CSV (`id,<obj...>,on_front`), the data
+/// behind the paper's Figure 3 scatter.
+pub fn scatter_csv(
+    points: &[Point],
+    headers: &[&str],
+    front_ids: &[usize],
+) -> String {
+    assert!(!headers.is_empty(), "need objective headers");
+    let mut out = String::with_capacity(points.len() * 32);
+    out.push_str("id,");
+    out.push_str(&headers.join(","));
+    out.push_str(",on_front\n");
+    for p in points {
+        assert_eq!(p.values.len(), headers.len(), "arity mismatch");
+        out.push_str(&p.id.to_string());
+        for v in &p.values {
+            out.push(',');
+            out.push_str(&format!("{v:.6}"));
+        }
+        out.push(',');
+        out.push_str(if front_ids.contains(&p.id) { "1" } else { "0" });
+        out.push('\n');
+    }
+    out
+}
+
+/// Builds normalized radar rows: each solution contributes one polygon
+/// whose axes are `labels` (config dimensions + objectives), normalized
+/// within the population ranges. `group_of` labels each row (the paper's
+/// red/green pool-choice split).
+pub fn radar_rows(
+    points: &[Point],
+    labels: &[&str],
+    group_of: impl Fn(usize) -> String,
+) -> Vec<RadarRow> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let ranges = ValueRange::of(points);
+    points
+        .iter()
+        .map(|p| {
+            let normed = normalize_point(p, &ranges);
+            RadarRow {
+                id: p.id,
+                group: group_of(p.id),
+                axes: labels
+                    .iter()
+                    .zip(normed)
+                    .map(|(&label, value)| RadarAxis { label: label.to_string(), value })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Renders radar rows as CSV (`id,group,<axis...>`).
+pub fn radar_csv(rows: &[RadarRow]) -> String {
+    let mut out = String::new();
+    if rows.is_empty() {
+        return out;
+    }
+    out.push_str("id,group");
+    for axis in &rows[0].axes {
+        out.push(',');
+        out.push_str(&axis.label);
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{},{}", row.id, row.group));
+        for axis in &row.axes {
+            out.push_str(&format!(",{:.4}", axis.value));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_marks_front_members() {
+        let pts = vec![Point::new(0, vec![1.0, 2.0]), Point::new(1, vec![3.0, 4.0])];
+        let csv = scatter_csv(&pts, &["acc", "lat"], &[1]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "id,acc,lat,on_front");
+        assert!(lines[1].starts_with("0,") && lines[1].ends_with(",0"));
+        assert!(lines[2].starts_with("1,") && lines[2].ends_with(",1"));
+    }
+
+    #[test]
+    fn radar_rows_are_normalized() {
+        let pts = vec![Point::new(0, vec![0.0, 10.0]), Point::new(1, vec![4.0, 20.0])];
+        let rows = radar_rows(&pts, &["a", "b"], |id| {
+            if id == 0 { "red".into() } else { "green".into() }
+        });
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].axes[0].value, 0.0);
+        assert_eq!(rows[1].axes[0].value, 1.0);
+        assert_eq!(rows[0].group, "red");
+        assert_eq!(rows[1].group, "green");
+    }
+
+    #[test]
+    fn radar_csv_layout() {
+        let pts = vec![Point::new(3, vec![1.0, 2.0])];
+        let rows = radar_rows(&pts, &["kernel", "stride"], |_| "red".into());
+        let csv = radar_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "id,group,kernel,stride");
+        assert!(lines[1].starts_with("3,red,"));
+    }
+
+    #[test]
+    fn empty_exports() {
+        assert!(radar_rows(&[], &["x"], |_| String::new()).is_empty());
+        assert_eq!(radar_csv(&[]), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn scatter_arity_checked() {
+        let pts = vec![Point::new(0, vec![1.0])];
+        let _ = scatter_csv(&pts, &["a", "b"], &[]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Non-dominated extraction, fast non-dominated sorting, crowding
+//! distance, and knee-point selection.
+
+use crate::point::{dominates, Objective, Point};
+
+/// Extracts the (first) Pareto front: all points dominated by no other.
+/// Duplicate-objective points all survive (they do not dominate each
+/// other), matching the paper's treatment of coinciding configurations.
+pub fn pareto_front(points: &[Point], senses: &[Objective]) -> Vec<Point> {
+    points
+        .iter()
+        .filter(|candidate| !points.iter().any(|other| dominates(other, candidate, senses)))
+        .cloned()
+        .collect()
+}
+
+/// Fast non-dominated sort (Deb et al., NSGA-II): partitions points into
+/// fronts; `result[0]` is the Pareto front, `result[1]` the next layer, etc.
+pub fn non_dominated_sort(points: &[Point], senses: &[Objective]) -> Vec<Vec<Point>> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // dominated_by[i]: count of points dominating i;
+    // dominating[i]: indices i dominates.
+    let mut dominated_by = vec![0usize; n];
+    let mut dominating: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&points[i], &points[j], senses) {
+                dominating[i].push(j);
+                dominated_by[j] += 1;
+            } else if dominates(&points[j], &points[i], senses) {
+                dominating[j].push(i);
+                dominated_by[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominating[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+        .into_iter()
+        .map(|front| front.into_iter().map(|i| points[i].clone()).collect())
+        .collect()
+}
+
+/// NSGA-II crowding distance within one front. Boundary points get
+/// `f64::INFINITY`. Returned in the order of the input slice.
+pub fn crowding_distance(front: &[Point]) -> Vec<f64> {
+    let n = front.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = front[0].values.len();
+    let mut distance = vec![0.0f64; n];
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    for obj in 0..m {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            front[a].values[obj]
+                .partial_cmp(&front[b].values[obj])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let lo = front[order[0]].values[obj];
+        let hi = front[order[n - 1]].values[obj];
+        distance[order[0]] = f64::INFINITY;
+        distance[order[n - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        for k in 1..n - 1 {
+            let prev = front[order[k - 1]].values[obj];
+            let next = front[order[k + 1]].values[obj];
+            distance[order[k]] += (next - prev) / span;
+        }
+    }
+    distance
+}
+
+/// Knee point: the front member with the largest minimal improvement over
+/// its normalized neighbors — a simple max-min-normalized-distance-to-
+/// extremes heuristic useful for picking "the" deployment model.
+pub fn knee_point(front: &[Point], senses: &[Objective]) -> Option<usize> {
+    if front.is_empty() {
+        return None;
+    }
+    let m = senses.len();
+    // Normalize each objective to [0,1] with 1 = best.
+    let mut lo = vec![f64::INFINITY; m];
+    let mut hi = vec![f64::NEG_INFINITY; m];
+    for p in front {
+        for (k, &v) in p.values.iter().enumerate() {
+            lo[k] = lo[k].min(v);
+            hi[k] = hi[k].max(v);
+        }
+    }
+    let score = |p: &Point| -> f64 {
+        // Sum of normalized goodness across objectives.
+        p.values
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                let span = (hi[k] - lo[k]).max(1e-12);
+                let unit = (v - lo[k]) / span;
+                match senses[k] {
+                    Objective::Maximize => unit,
+                    Objective::Minimize => 1.0 - unit,
+                }
+            })
+            .sum()
+    };
+    front
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            score(a).partial_cmp(&score(b)).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MM: [Objective; 2] = [Objective::Maximize, Objective::Minimize];
+
+    fn pts(vals: &[(f64, f64)]) -> Vec<Point> {
+        vals.iter().enumerate().map(|(i, &(a, b))| Point::new(i, vec![a, b])).collect()
+    }
+
+    #[test]
+    fn front_extracts_non_dominated() {
+        let points = pts(&[(96.0, 8.0), (90.0, 30.0), (97.0, 20.0), (80.0, 50.0)]);
+        let front = pareto_front(&points, &MM);
+        let ids: Vec<usize> = front.iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn all_incomparable_yields_full_front() {
+        let points = pts(&[(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+        assert_eq!(pareto_front(&points, &MM).len(), 3);
+    }
+
+    #[test]
+    fn duplicates_all_survive() {
+        let points = pts(&[(5.0, 5.0), (5.0, 5.0), (1.0, 9.0)]);
+        let front = pareto_front(&points, &MM);
+        // Both duplicates are on the front (neither dominates the other);
+        // the third point is incomparable (better latency is false: 9 > 5,
+        // worse in both) -> dominated.
+        let ids: Vec<usize> = front.iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn sort_layers_are_consistent() {
+        let points = pts(&[
+            (10.0, 1.0), // front 0
+            (9.0, 2.0),  // front 1 (dominated by 0 only)
+            (8.0, 3.0),  // front 2
+            (10.0, 3.0), // dominated by 0, not by 1 (10>9) -> front 1
+        ]);
+        let fronts = non_dominated_sort(&points, &MM);
+        assert_eq!(fronts.len(), 3);
+        let ids0: Vec<usize> = fronts[0].iter().map(|p| p.id).collect();
+        assert_eq!(ids0, vec![0]);
+        let mut ids1: Vec<usize> = fronts[1].iter().map(|p| p.id).collect();
+        ids1.sort_unstable();
+        assert_eq!(ids1, vec![1, 3]);
+        // Layer 0 of the sort equals the direct Pareto front.
+        let direct: Vec<usize> = pareto_front(&points, &MM).iter().map(|p| p.id).collect();
+        assert_eq!(ids0, direct);
+    }
+
+    #[test]
+    fn sort_partitions_every_point_once() {
+        let points = pts(&[(1.0, 5.0), (2.0, 4.0), (3.0, 3.0), (2.5, 3.5), (0.5, 0.5)]);
+        let fronts = non_dominated_sort(&points, &MM);
+        let total: usize = fronts.iter().map(|f| f.len()).sum();
+        assert_eq!(total, points.len());
+        let mut ids: Vec<usize> = fronts.iter().flatten().map(|p| p.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_front(&[], &MM).is_empty());
+        assert!(non_dominated_sort(&[], &MM).is_empty());
+        assert!(crowding_distance(&[]).is_empty());
+        assert_eq!(knee_point(&[], &MM), None);
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite() {
+        let front = pts(&[(1.0, 9.0), (5.0, 5.0), (9.0, 1.0)]);
+        let d = crowding_distance(&front);
+        assert!(d[0].is_infinite());
+        assert!(d[2].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+    }
+
+    #[test]
+    fn crowding_prefers_isolated_points() {
+        // Four points on a line; the two inner ones have different gaps.
+        let front = pts(&[(0.0, 10.0), (1.0, 9.0), (8.0, 2.0), (10.0, 0.0)]);
+        let d = crowding_distance(&front);
+        // Point 2 sits in a sparser neighborhood than point 1.
+        assert!(d[2] > d[1], "{d:?}");
+    }
+
+    #[test]
+    fn knee_balances_objectives() {
+        // Extremes: (100, 100ms) and (60, 5ms); knee (95, 10ms) is close
+        // to best in both.
+        let front = pts(&[(100.0, 100.0), (95.0, 10.0), (60.0, 5.0)]);
+        assert_eq!(knee_point(&front, &MM), Some(1));
+    }
+}

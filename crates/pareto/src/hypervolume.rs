@@ -1,0 +1,129 @@
+//! Hypervolume indicators (2-d exact, 3-d by slicing).
+//!
+//! Values are computed in *minimization space*: callers convert maximize
+//! objectives by negation or `ref - v` before calling. The hypervolume is
+//! the measure of the region dominated by the front and bounded by the
+//! reference point (which must be worse than every point).
+
+/// 2-d hypervolume for minimization, reference point `ref_pt`.
+pub fn hypervolume_2d(points: &[(f64, f64)], ref_pt: (f64, f64)) -> f64 {
+    let mut pts: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(x, y)| x <= ref_pt.0 && y <= ref_pt.1)
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sort by x ascending; sweep keeping the best (lowest) y so far.
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut hv = 0.0;
+    let mut best_y = ref_pt.1;
+    let mut prev_x = None::<f64>;
+    // Walk from left to right, adding the rectangle each point contributes
+    // to the staircase between itself and the next x.
+    for &(x, y) in &pts {
+        if let Some(px) = prev_x {
+            if x > px {
+                hv += (x - px) * (ref_pt.1 - best_y).max(0.0);
+            }
+        }
+        prev_x = Some(x);
+        if y < best_y {
+            best_y = y;
+        }
+    }
+    hv += (ref_pt.0 - prev_x.unwrap()) * (ref_pt.1 - best_y).max(0.0);
+    hv
+}
+
+/// 3-d hypervolume for minimization by sweeping the third axis and
+/// accumulating 2-d slices (simple HSO variant; O(n^2 log n), fine for the
+/// front sizes in this study).
+pub fn hypervolume_3d(points: &[(f64, f64, f64)], ref_pt: (f64, f64, f64)) -> f64 {
+    let mut pts: Vec<(f64, f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(x, y, z)| x <= ref_pt.0 && y <= ref_pt.1 && z <= ref_pt.2)
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    pts.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+    let mut hv = 0.0;
+    for i in 0..pts.len() {
+        let z_lo = pts[i].2;
+        let z_hi = if i + 1 < pts.len() { pts[i + 1].2 } else { ref_pt.2 };
+        if z_hi <= z_lo {
+            continue;
+        }
+        // All points with z <= z_lo contribute to this slab's 2-d slice.
+        let slice: Vec<(f64, f64)> =
+            pts[..=i].iter().map(|&(x, y, _)| (x, y)).collect();
+        hv += (z_hi - z_lo) * hypervolume_2d(&slice, (ref_pt.0, ref_pt.1));
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_2d_is_rectangle() {
+        let hv = hypervolume_2d(&[(1.0, 1.0)], (3.0, 4.0));
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staircase_2d() {
+        // Two incomparable points: union of two rectangles minus overlap.
+        let hv = hypervolume_2d(&[(1.0, 2.0), (2.0, 1.0)], (3.0, 3.0));
+        // rect1 = 2*1=2, rect2 = 1*2=2, overlap = 1*1=1 -> 3.
+        assert!((hv - 3.0).abs() < 1e-12, "{hv}");
+    }
+
+    #[test]
+    fn dominated_point_adds_nothing_2d() {
+        let base = hypervolume_2d(&[(1.0, 1.0)], (4.0, 4.0));
+        let with_dom = hypervolume_2d(&[(1.0, 1.0), (2.0, 2.0)], (4.0, 4.0));
+        assert!((base - with_dom).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_reference_points_ignored() {
+        let hv = hypervolume_2d(&[(5.0, 5.0)], (3.0, 3.0));
+        assert_eq!(hv, 0.0);
+        assert_eq!(hypervolume_3d(&[(5.0, 1.0, 1.0)], (3.0, 3.0, 3.0)), 0.0);
+    }
+
+    #[test]
+    fn single_point_3d_is_box() {
+        let hv = hypervolume_3d(&[(1.0, 1.0, 1.0)], (3.0, 4.0, 2.0)); // 2*3*1
+        assert!((hv - 6.0).abs() < 1e-12, "{hv}");
+    }
+
+    #[test]
+    fn two_point_3d_union() {
+        // Boxes from (0,0,0)-style corners: p1=(1,1,2), p2=(2,2,1), ref (3,3,3).
+        // vol1 = 2*2*1 = 4, vol2 = 1*1*2 = 2, overlap = 1*1*1 = 1 -> 5.
+        let hv = hypervolume_3d(&[(1.0, 1.0, 2.0), (2.0, 2.0, 1.0)], (3.0, 3.0, 3.0));
+        assert!((hv - 5.0).abs() < 1e-12, "{hv}");
+    }
+
+    #[test]
+    fn hv_is_monotone_in_front_quality() {
+        let worse = hypervolume_3d(&[(2.0, 2.0, 2.0)], (4.0, 4.0, 4.0));
+        let better = hypervolume_3d(&[(1.0, 2.0, 2.0)], (4.0, 4.0, 4.0));
+        assert!(better > worse);
+        // Adding an incomparable point never reduces HV.
+        let more = hypervolume_3d(&[(1.0, 2.0, 2.0), (3.0, 1.0, 1.0)], (4.0, 4.0, 4.0));
+        assert!(more >= better);
+    }
+
+    #[test]
+    fn empty_front_is_zero() {
+        assert_eq!(hypervolume_2d(&[], (1.0, 1.0)), 0.0);
+        assert_eq!(hypervolume_3d(&[], (1.0, 1.0, 1.0)), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # hydronas-pareto
+//!
+//! Multi-objective optimization analysis for the HydroNAS reproduction:
+//! dominance relations over mixed maximize/minimize objectives, fast
+//! non-dominated sorting (Deb et al.), crowding distance, hypervolume,
+//! min-max normalization, and the scatter/radar exports behind the
+//! paper's Figures 3 and 4.
+//!
+//! ```
+//! use hydronas_pareto::{pareto_front, Objective, Point};
+//!
+//! let senses = [Objective::Maximize, Objective::Minimize];
+//! let points = vec![
+//!     Point::new(0, vec![96.0, 8.0]),   // accurate and fast
+//!     Point::new(1, vec![90.0, 30.0]),  // dominated
+//!     Point::new(2, vec![97.0, 20.0]),  // accuracy/latency trade-off
+//! ];
+//! let front = pareto_front(&points, &senses);
+//! let ids: Vec<usize> = front.iter().map(|p| p.id).collect();
+//! assert_eq!(ids, vec![0, 2]);
+//! ```
+
+mod export;
+mod front;
+mod hypervolume;
+mod normalize;
+mod point;
+mod scalarize;
+
+pub use export::{radar_csv, radar_rows, scatter_csv, RadarAxis, RadarRow};
+pub use front::{crowding_distance, knee_point, non_dominated_sort, pareto_front};
+pub use hypervolume::{hypervolume_2d, hypervolume_3d};
+pub use normalize::{min_max_normalize, normalize_point, ValueRange};
+pub use point::{dominates, Objective, Point};
+pub use scalarize::{
+    epsilon_constraint, supported_fraction, weighted_best, weighted_score, weighted_sum_front,
+};

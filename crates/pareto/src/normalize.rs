@@ -1,0 +1,112 @@
+//! Min-max normalization of objective values (Figure 3/4 preprocessing).
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Observed value range of one objective across a population.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ValueRange {
+    pub min: f64,
+    pub max: f64,
+}
+
+impl ValueRange {
+    /// Computes ranges for every objective across the points.
+    pub fn of(points: &[Point]) -> Vec<ValueRange> {
+        assert!(!points.is_empty(), "cannot compute ranges of an empty set");
+        let m = points[0].values.len();
+        let mut ranges = vec![ValueRange { min: f64::INFINITY, max: f64::NEG_INFINITY }; m];
+        for p in points {
+            assert_eq!(p.values.len(), m, "inconsistent objective arity");
+            for (r, &v) in ranges.iter_mut().zip(&p.values) {
+                r.min = r.min.min(v);
+                r.max = r.max.max(v);
+            }
+        }
+        ranges
+    }
+
+    /// Maps `v` to `[0, 1]` within this range (0.5 for degenerate ranges).
+    pub fn unit(&self, v: f64) -> f64 {
+        let span = self.max - self.min;
+        if span <= 0.0 {
+            0.5
+        } else {
+            ((v - self.min) / span).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Normalizes one point against precomputed ranges.
+pub fn normalize_point(point: &Point, ranges: &[ValueRange]) -> Vec<f64> {
+    assert_eq!(point.values.len(), ranges.len(), "arity mismatch");
+    point.values.iter().zip(ranges).map(|(&v, r)| r.unit(v)).collect()
+}
+
+/// Normalizes a whole population to the unit hypercube (the paper
+/// normalizes the non-dominated solutions "within their respective
+/// ranges" for Figure 3).
+pub fn min_max_normalize(points: &[Point]) -> Vec<Point> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let ranges = ValueRange::of(points);
+    points
+        .iter()
+        .map(|p| Point { id: p.id, values: normalize_point(p, &ranges) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_extremes() {
+        let pts = vec![
+            Point::new(0, vec![1.0, 100.0]),
+            Point::new(1, vec![3.0, 50.0]),
+            Point::new(2, vec![2.0, 75.0]),
+        ];
+        let r = ValueRange::of(&pts);
+        assert_eq!(r[0], ValueRange { min: 1.0, max: 3.0 });
+        assert_eq!(r[1], ValueRange { min: 50.0, max: 100.0 });
+    }
+
+    #[test]
+    fn unit_maps_linearly() {
+        let r = ValueRange { min: 10.0, max: 20.0 };
+        assert_eq!(r.unit(10.0), 0.0);
+        assert_eq!(r.unit(20.0), 1.0);
+        assert_eq!(r.unit(15.0), 0.5);
+        // Clamped outside the range.
+        assert_eq!(r.unit(30.0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_range_maps_to_half() {
+        let r = ValueRange { min: 5.0, max: 5.0 };
+        assert_eq!(r.unit(5.0), 0.5);
+    }
+
+    #[test]
+    fn normalize_population() {
+        let pts = vec![Point::new(0, vec![0.0, 8.0]), Point::new(7, vec![10.0, 16.0])];
+        let normed = min_max_normalize(&pts);
+        assert_eq!(normed[0].values, vec![0.0, 0.0]);
+        assert_eq!(normed[1].values, vec![1.0, 1.0]);
+        // Ids are preserved.
+        assert_eq!(normed[1].id, 7);
+    }
+
+    #[test]
+    fn empty_population_is_fine() {
+        assert!(min_max_normalize(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn ranges_of_empty_panic() {
+        let _ = ValueRange::of(&[]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Objective senses, points, and the dominance relation.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of improvement for one objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    Maximize,
+    Minimize,
+}
+
+impl Objective {
+    /// True when `a` is strictly better than `b` in this sense.
+    pub fn better(&self, a: f64, b: f64) -> bool {
+        match self {
+            Objective::Maximize => a > b,
+            Objective::Minimize => a < b,
+        }
+    }
+
+    /// True when `a` is at least as good as `b`.
+    pub fn no_worse(&self, a: f64, b: f64) -> bool {
+        match self {
+            Objective::Maximize => a >= b,
+            Objective::Minimize => a <= b,
+        }
+    }
+}
+
+/// A candidate solution: an opaque id plus one value per objective.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub id: usize,
+    pub values: Vec<f64>,
+}
+
+impl Point {
+    pub fn new(id: usize, values: Vec<f64>) -> Point {
+        assert!(!values.is_empty(), "point needs at least one objective");
+        assert!(values.iter().all(|v| v.is_finite()), "objective values must be finite");
+        Point { id, values }
+    }
+}
+
+/// Pareto dominance: `a` dominates `b` iff `a` is no worse in every
+/// objective and strictly better in at least one.
+pub fn dominates(a: &Point, b: &Point, senses: &[Objective]) -> bool {
+    assert_eq!(a.values.len(), senses.len(), "objective arity mismatch");
+    assert_eq!(b.values.len(), senses.len(), "objective arity mismatch");
+    let mut strictly_better = false;
+    for ((&av, &bv), sense) in a.values.iter().zip(&b.values).zip(senses) {
+        if !sense.no_worse(av, bv) {
+            return false;
+        }
+        if sense.better(av, bv) {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MM: [Objective; 2] = [Objective::Maximize, Objective::Minimize];
+
+    #[test]
+    fn strict_dominance() {
+        let a = Point::new(0, vec![10.0, 1.0]);
+        let b = Point::new(1, vec![5.0, 2.0]);
+        assert!(dominates(&a, &b, &MM));
+        assert!(!dominates(&b, &a, &MM));
+    }
+
+    #[test]
+    fn equal_points_do_not_dominate() {
+        let a = Point::new(0, vec![1.0, 1.0]);
+        let b = Point::new(1, vec![1.0, 1.0]);
+        assert!(!dominates(&a, &b, &MM));
+        assert!(!dominates(&b, &a, &MM));
+    }
+
+    #[test]
+    fn trade_off_is_incomparable() {
+        let a = Point::new(0, vec![10.0, 10.0]);
+        let b = Point::new(1, vec![5.0, 1.0]);
+        assert!(!dominates(&a, &b, &MM));
+        assert!(!dominates(&b, &a, &MM));
+    }
+
+    #[test]
+    fn weak_improvement_in_one_objective_suffices() {
+        let a = Point::new(0, vec![10.0, 1.0]);
+        let b = Point::new(1, vec![10.0, 2.0]);
+        assert!(dominates(&a, &b, &MM));
+    }
+
+    #[test]
+    fn sense_direction_matters() {
+        let a = Point::new(0, vec![10.0]);
+        let b = Point::new(1, vec![5.0]);
+        assert!(dominates(&a, &b, &[Objective::Maximize]));
+        assert!(dominates(&b, &a, &[Objective::Minimize]));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_values_rejected() {
+        let _ = Point::new(0, vec![f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let a = Point::new(0, vec![1.0, 2.0]);
+        let b = Point::new(1, vec![1.0]);
+        let _ = dominates(&a, &b, &MM);
+    }
+}

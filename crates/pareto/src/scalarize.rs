@@ -1,0 +1,218 @@
+//! Scalarization baselines: weighted-sum and epsilon-constraint.
+//!
+//! Classic single-objective reductions of a multi-objective problem. They
+//! are cheaper than dominance-based analysis but provably weaker: a
+//! weighted sum can only reach *supported* (convex-hull) points of the
+//! front, so non-convex trade-offs — common when one objective is
+//! near-discrete, like this study's memory levels — are invisible to it.
+//! [`weighted_sum_front`] quantifies exactly how much of the dominance
+//! front a sweep of weights recovers.
+
+use crate::front::pareto_front;
+use crate::normalize::ValueRange;
+use crate::point::{Objective, Point};
+
+/// Scalarizes one point: a weighted sum over unit-normalized objectives,
+/// where every objective is converted so larger is better.
+pub fn weighted_score(
+    point: &Point,
+    weights: &[f64],
+    senses: &[Objective],
+    ranges: &[ValueRange],
+) -> f64 {
+    assert_eq!(point.values.len(), weights.len(), "weight arity mismatch");
+    assert_eq!(point.values.len(), senses.len(), "sense arity mismatch");
+    point
+        .values
+        .iter()
+        .zip(weights)
+        .zip(senses.iter().zip(ranges))
+        .map(|((&v, &w), (sense, range))| {
+            let unit = range.unit(v);
+            let goodness = match sense {
+                Objective::Maximize => unit,
+                Objective::Minimize => 1.0 - unit,
+            };
+            w * goodness
+        })
+        .sum()
+}
+
+/// Best point under one weight vector.
+pub fn weighted_best<'a>(
+    points: &'a [Point],
+    weights: &[f64],
+    senses: &[Objective],
+) -> Option<&'a Point> {
+    if points.is_empty() {
+        return None;
+    }
+    let ranges = ValueRange::of(points);
+    points.iter().max_by(|a, b| {
+        weighted_score(a, weights, senses, &ranges)
+            .partial_cmp(&weighted_score(b, weights, senses, &ranges))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
+}
+
+/// Sweeps a lattice of weight vectors (steps per dimension) and returns
+/// the distinct winners — the *supported* subset of the Pareto front.
+pub fn weighted_sum_front(
+    points: &[Point],
+    senses: &[Objective],
+    steps: usize,
+) -> Vec<Point> {
+    assert!(steps >= 2, "need at least 2 weight steps");
+    assert_eq!(senses.len(), 3, "lattice sweep implemented for 3 objectives");
+    let mut winners: Vec<Point> = Vec::new();
+    for i in 0..=steps {
+        for j in 0..=(steps - i) {
+            let k = steps - i - j;
+            let w = [
+                i as f64 / steps as f64,
+                j as f64 / steps as f64,
+                k as f64 / steps as f64,
+            ];
+            if let Some(best) = weighted_best(points, &w, senses) {
+                if !winners.iter().any(|p| p.id == best.id) {
+                    winners.push(best.clone());
+                }
+            }
+        }
+    }
+    winners
+}
+
+/// Epsilon-constraint: maximize/minimize `objective` subject to every
+/// other objective being within its epsilon bound (same arity as the
+/// senses; the entry at `objective` is ignored).
+pub fn epsilon_constraint<'a>(
+    points: &'a [Point],
+    senses: &[Objective],
+    objective: usize,
+    epsilons: &[f64],
+) -> Option<&'a Point> {
+    assert!(objective < senses.len(), "objective index out of range");
+    assert_eq!(epsilons.len(), senses.len(), "epsilon arity mismatch");
+    points
+        .iter()
+        .filter(|p| {
+            p.values.iter().zip(senses).zip(epsilons).enumerate().all(
+                |(k, ((&v, sense), &eps))| {
+                    if k == objective {
+                        return true;
+                    }
+                    match sense {
+                        Objective::Maximize => v >= eps,
+                        Objective::Minimize => v <= eps,
+                    }
+                },
+            )
+        })
+        .max_by(|a, b| {
+            let (va, vb) = (a.values[objective], b.values[objective]);
+            let ord = va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal);
+            match senses[objective] {
+                Objective::Maximize => ord,
+                Objective::Minimize => ord.reverse(),
+            }
+        })
+}
+
+/// Fraction of the dominance front a weighted-sum sweep recovers.
+pub fn supported_fraction(points: &[Point], senses: &[Objective], steps: usize) -> f64 {
+    let front = pareto_front(points, senses);
+    if front.is_empty() {
+        return 1.0;
+    }
+    let supported = weighted_sum_front(points, senses, steps);
+    let hits = front.iter().filter(|p| supported.iter().any(|s| s.id == p.id)).count();
+    hits as f64 / front.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MM3: [Objective; 3] =
+        [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+
+    fn pts(vals: &[(f64, f64, f64)]) -> Vec<Point> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &(a, b, c))| Point::new(i, vec![a, b, c]))
+            .collect()
+    }
+
+    #[test]
+    fn weighted_best_follows_the_weights() {
+        let points = pts(&[(99.0, 100.0, 50.0), (80.0, 10.0, 11.0)]);
+        // All weight on accuracy -> point 0.
+        let best_acc = weighted_best(&points, &[1.0, 0.0, 0.0], &MM3).unwrap();
+        assert_eq!(best_acc.id, 0);
+        // All weight on latency -> point 1.
+        let best_lat = weighted_best(&points, &[0.0, 1.0, 0.0], &MM3).unwrap();
+        assert_eq!(best_lat.id, 1);
+    }
+
+    #[test]
+    fn weighted_winners_are_non_dominated() {
+        let points = pts(&[
+            (96.0, 8.0, 11.0),
+            (90.0, 30.0, 44.0), // dominated
+            (97.0, 20.0, 11.0),
+            (85.0, 5.0, 11.0),
+        ]);
+        let supported = weighted_sum_front(&points, &MM3, 8);
+        let front = pareto_front(&points, &MM3);
+        for w in &supported {
+            assert!(front.iter().any(|p| p.id == w.id), "winner {} off the front", w.id);
+        }
+    }
+
+    #[test]
+    fn weighted_sum_misses_non_convex_points() {
+        // Three points on a strongly concave front (middle point is
+        // non-supported): the sweep must miss it.
+        let points = pts(&[
+            (100.0, 100.0, 1.0), // extreme accuracy
+            (55.0, 52.0, 1.0),   // non-dominated but barely off the segment
+            (50.0, 0.0, 1.0),    // extreme latency
+        ]);
+        let front = pareto_front(&points, &MM3);
+        assert_eq!(front.len(), 3);
+        let frac = supported_fraction(&points, &MM3, 16);
+        assert!(frac < 1.0, "sweep recovered the non-supported point: {frac}");
+    }
+
+    #[test]
+    fn epsilon_constraint_respects_bounds() {
+        let points = pts(&[
+            (96.0, 8.0, 11.0),
+            (97.0, 20.0, 11.0),
+            (99.0, 40.0, 44.0),
+        ]);
+        // Max accuracy subject to latency <= 25 and memory <= 12.
+        let pick = epsilon_constraint(&points, &MM3, 0, &[0.0, 25.0, 12.0]).unwrap();
+        assert_eq!(pick.id, 1);
+        // Tighten latency: only point 0 qualifies.
+        let pick = epsilon_constraint(&points, &MM3, 0, &[0.0, 10.0, 12.0]).unwrap();
+        assert_eq!(pick.id, 0);
+        // Infeasible bounds: none.
+        assert!(epsilon_constraint(&points, &MM3, 0, &[0.0, 1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(weighted_best(&[], &[1.0, 0.0, 0.0], &MM3).is_none());
+        assert_eq!(supported_fraction(&[], &MM3, 4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight arity mismatch")]
+    fn arity_checked() {
+        let p = Point::new(0, vec![1.0, 2.0, 3.0]);
+        let ranges = ValueRange::of(std::slice::from_ref(&p));
+        let _ = weighted_score(&p, &[1.0], &MM3, &ranges);
+    }
+}

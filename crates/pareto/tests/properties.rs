@@ -1,0 +1,106 @@
+//! Property-based tests for the Pareto machinery.
+
+use hydronas_pareto::{
+    dominates, hypervolume_2d, min_max_normalize, non_dominated_sort, pareto_front, Objective,
+    Point,
+};
+use proptest::prelude::*;
+
+const MM3: [Objective; 3] =
+    [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+
+fn points_strategy(n: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0), 1..n).prop_map(
+        |vals| {
+            vals.into_iter()
+                .enumerate()
+                .map(|(i, (a, b, c))| Point::new(i, vec![a, b, c]))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dominance is irreflexive and antisymmetric.
+    #[test]
+    fn dominance_is_strict_partial_order(pts in points_strategy(12)) {
+        for a in &pts {
+            prop_assert!(!dominates(a, a, &MM3));
+            for b in &pts {
+                prop_assert!(!(dominates(a, b, &MM3) && dominates(b, a, &MM3)));
+            }
+        }
+    }
+
+    /// No front member is dominated by any population member, and every
+    /// non-member is dominated by someone.
+    #[test]
+    fn front_is_exactly_the_non_dominated_set(pts in points_strategy(24)) {
+        let front = pareto_front(&pts, &MM3);
+        prop_assert!(!front.is_empty());
+        let front_ids: Vec<usize> = front.iter().map(|p| p.id).collect();
+        for p in &pts {
+            let dominated = pts.iter().any(|q| dominates(q, p, &MM3));
+            prop_assert_eq!(front_ids.contains(&p.id), !dominated);
+        }
+    }
+
+    /// Non-dominated sorting partitions the population, its first layer is
+    /// the Pareto front, and no point in layer k dominates a point in an
+    /// earlier layer.
+    #[test]
+    fn sort_layering_invariants(pts in points_strategy(20)) {
+        let fronts = non_dominated_sort(&pts, &MM3);
+        let total: usize = fronts.iter().map(|f| f.len()).sum();
+        prop_assert_eq!(total, pts.len());
+        let direct: Vec<usize> = pareto_front(&pts, &MM3).iter().map(|p| p.id).collect();
+        let mut layer0: Vec<usize> = fronts[0].iter().map(|p| p.id).collect();
+        let mut direct_sorted = direct.clone();
+        layer0.sort_unstable();
+        direct_sorted.sort_unstable();
+        prop_assert_eq!(layer0, direct_sorted);
+        for (k, layer) in fronts.iter().enumerate() {
+            for earlier in fronts.iter().take(k) {
+                for p in layer {
+                    for q in earlier {
+                        prop_assert!(!dominates(p, q, &MM3));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Normalization preserves per-objective ordering and lands in [0,1].
+    #[test]
+    fn normalization_preserves_order(pts in points_strategy(16)) {
+        let normed = min_max_normalize(&pts);
+        for obj in 0..3 {
+            for i in 0..pts.len() {
+                prop_assert!((0.0..=1.0).contains(&normed[i].values[obj]));
+                for j in 0..pts.len() {
+                    if pts[i].values[obj] < pts[j].values[obj] {
+                        prop_assert!(normed[i].values[obj] <= normed[j].values[obj]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hypervolume is monotone: adding a point never decreases it.
+    #[test]
+    fn hypervolume_monotone(
+        pts in proptest::collection::vec((0.0f64..9.0, 0.0f64..9.0), 1..10),
+        extra in (0.0f64..9.0, 0.0f64..9.0),
+    ) {
+        let r = (10.0, 10.0);
+        let base = hypervolume_2d(&pts, r);
+        let mut more = pts.clone();
+        more.push(extra);
+        let bigger = hypervolume_2d(&more, r);
+        prop_assert!(bigger + 1e-9 >= base, "{bigger} < {base}");
+        // And bounded by the reference box.
+        prop_assert!(bigger <= 100.0 + 1e-9);
+    }
+}

@@ -1,0 +1,371 @@
+//! 2-d convolution via im2col + GEMM, with full backward passes.
+//!
+//! Layout conventions follow PyTorch: activations are NCHW, weights are
+//! `[out_c, in_c, kh, kw]`. Batch samples are independent, so forward and
+//! backward parallelize across the batch with rayon.
+
+use crate::gemm::gemm;
+use crate::shape::conv_out_dim;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Resolved convolution geometry for one (input, kernel) pairing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dDims {
+    pub batch: usize,
+    pub in_c: usize,
+    pub in_h: usize,
+    pub in_w: usize,
+    pub out_c: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub padding: usize,
+    pub out_h: usize,
+    pub out_w: usize,
+}
+
+impl Conv2dDims {
+    /// Validates shapes and computes output extents.
+    ///
+    /// Returns `None` when the kernel does not fit the (padded) input —
+    /// the "collapsed feature map" failure the NAS scheduler must reject.
+    pub fn resolve(
+        input_dims: &[usize],
+        weight_dims: &[usize],
+        stride: usize,
+        padding: usize,
+    ) -> Option<Conv2dDims> {
+        assert_eq!(input_dims.len(), 4, "conv input must be NCHW");
+        assert_eq!(weight_dims.len(), 4, "conv weight must be [O,I,Kh,Kw]");
+        assert_eq!(weight_dims[2], weight_dims[3], "only square kernels supported");
+        assert_eq!(input_dims[1], weight_dims[1], "in_channels mismatch");
+        let kernel = weight_dims[2];
+        let out_h = conv_out_dim(input_dims[2], kernel, stride, padding)?;
+        let out_w = conv_out_dim(input_dims[3], kernel, stride, padding)?;
+        if out_h == 0 || out_w == 0 {
+            return None;
+        }
+        Some(Conv2dDims {
+            batch: input_dims[0],
+            in_c: input_dims[1],
+            in_h: input_dims[2],
+            in_w: input_dims[3],
+            out_c: weight_dims[0],
+            kernel,
+            stride,
+            padding,
+            out_h,
+            out_w,
+        })
+    }
+
+    /// Rows of the im2col matrix: `in_c * k * k`.
+    pub fn col_rows(&self) -> usize {
+        self.in_c * self.kernel * self.kernel
+    }
+
+    /// Columns of the im2col matrix: `out_h * out_w`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+/// Unfolds one CHW image into the `[in_c*k*k, out_h*out_w]` column matrix.
+pub fn im2col(img: &[f32], d: &Conv2dDims, col: &mut [f32]) {
+    assert_eq!(img.len(), d.in_c * d.in_h * d.in_w);
+    assert_eq!(col.len(), d.col_rows() * d.col_cols());
+    let cols = d.col_cols();
+    for c in 0..d.in_c {
+        let plane = &img[c * d.in_h * d.in_w..(c + 1) * d.in_h * d.in_w];
+        for ky in 0..d.kernel {
+            for kx in 0..d.kernel {
+                let row = (c * d.kernel + ky) * d.kernel + kx;
+                let dst = &mut col[row * cols..(row + 1) * cols];
+                for oy in 0..d.out_h {
+                    let iy = (oy * d.stride + ky) as isize - d.padding as isize;
+                    let base = oy * d.out_w;
+                    if iy < 0 || iy >= d.in_h as isize {
+                        dst[base..base + d.out_w].fill(0.0);
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * d.in_w..(iy as usize + 1) * d.in_w];
+                    for ox in 0..d.out_w {
+                        let ix = (ox * d.stride + kx) as isize - d.padding as isize;
+                        dst[base + ox] = if ix < 0 || ix >= d.in_w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds a column matrix back into a CHW image, accumulating overlaps —
+/// the adjoint of [`im2col`], used for input gradients.
+pub fn col2im(col: &[f32], d: &Conv2dDims, img: &mut [f32]) {
+    assert_eq!(img.len(), d.in_c * d.in_h * d.in_w);
+    assert_eq!(col.len(), d.col_rows() * d.col_cols());
+    img.fill(0.0);
+    let cols = d.col_cols();
+    for c in 0..d.in_c {
+        let plane = &mut img[c * d.in_h * d.in_w..(c + 1) * d.in_h * d.in_w];
+        for ky in 0..d.kernel {
+            for kx in 0..d.kernel {
+                let row = (c * d.kernel + ky) * d.kernel + kx;
+                let src = &col[row * cols..(row + 1) * cols];
+                for oy in 0..d.out_h {
+                    let iy = (oy * d.stride + ky) as isize - d.padding as isize;
+                    if iy < 0 || iy >= d.in_h as isize {
+                        continue;
+                    }
+                    for ox in 0..d.out_w {
+                        let ix = (ox * d.stride + kx) as isize - d.padding as isize;
+                        if ix < 0 || ix >= d.in_w as isize {
+                            continue;
+                        }
+                        plane[iy as usize * d.in_w + ix as usize] += src[oy * d.out_w + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convolution forward: `input [N,C,H,W] * weight [O,C,k,k] -> [N,O,H',W']`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, padding: usize) -> Tensor {
+    let d = Conv2dDims::resolve(input.dims(), weight.dims(), stride, padding)
+        .expect("conv2d: kernel does not fit input");
+    let mut out = Tensor::zeros(&[d.batch, d.out_c, d.out_h, d.out_w]);
+    let in_sz = d.in_c * d.in_h * d.in_w;
+    let out_sz = d.out_c * d.out_h * d.out_w;
+    let w = weight.as_slice();
+    let inp = input.as_slice();
+
+    out.as_mut_slice()
+        .par_chunks_mut(out_sz)
+        .enumerate()
+        .for_each(|(n, out_n)| {
+            let mut col = vec![0.0f32; d.col_rows() * d.col_cols()];
+            im2col(&inp[n * in_sz..(n + 1) * in_sz], &d, &mut col);
+            // [out_c, col_rows] x [col_rows, col_cols] -> [out_c, col_cols]
+            gemm(w, &col, out_n, d.out_c, d.col_rows(), d.col_cols());
+        });
+    out
+}
+
+/// Convolution backward.
+///
+/// Given upstream `grad_out [N,O,H',W']`, returns
+/// `(grad_input [N,C,H,W], grad_weight [O,C,k,k])`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> (Tensor, Tensor) {
+    let d = Conv2dDims::resolve(input.dims(), weight.dims(), stride, padding)
+        .expect("conv2d_backward: kernel does not fit input");
+    assert_eq!(grad_out.dims(), &[d.batch, d.out_c, d.out_h, d.out_w]);
+
+    let in_sz = d.in_c * d.in_h * d.in_w;
+    let out_sz = d.out_c * d.out_h * d.out_w;
+    let cr = d.col_rows();
+    let cc = d.col_cols();
+    let w_t = weight.reshape(&[d.out_c, cr]).transpose2(); // [cr, out_c]
+
+    let inp = input.as_slice();
+    let go = grad_out.as_slice();
+
+    // Per-sample partial results, reduced at the end; each sample is
+    // independent so the map side runs lock-free in parallel.
+    let mut grad_input = Tensor::zeros(input.dims());
+    let grad_w_partial: Vec<Vec<f32>> = grad_input
+        .as_mut_slice()
+        .par_chunks_mut(in_sz)
+        .enumerate()
+        .map(|(n, gi_n)| {
+            let go_n = &go[n * out_sz..(n + 1) * out_sz];
+            // grad wrt columns: W^T [cr, out_c] x grad_out [out_c, cc]
+            let mut gcol = vec![0.0f32; cr * cc];
+            gemm(w_t.as_slice(), go_n, &mut gcol, cr, d.out_c, cc);
+            col2im(&gcol, &d, gi_n);
+
+            // grad wrt weight: grad_out [out_c, cc] x col^T [cc, cr]
+            let mut col = vec![0.0f32; cr * cc];
+            im2col(&inp[n * in_sz..(n + 1) * in_sz], &d, &mut col);
+            let mut col_t = vec![0.0f32; cc * cr];
+            for r in 0..cr {
+                for c in 0..cc {
+                    col_t[c * cr + r] = col[r * cc + c];
+                }
+            }
+            let mut gw = vec![0.0f32; d.out_c * cr];
+            gemm(go_n, &col_t, &mut gw, d.out_c, cc, cr);
+            gw
+        })
+        .collect();
+
+    let mut grad_weight = Tensor::zeros(weight.dims());
+    for gw in &grad_w_partial {
+        for (dst, &src) in grad_weight.as_mut_slice().iter_mut().zip(gw.iter()) {
+            *dst += src;
+        }
+    }
+    (grad_input, grad_weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::init::{uniform, TensorRng};
+
+    /// Direct (non-im2col) reference convolution.
+    fn naive_conv(input: &Tensor, weight: &Tensor, stride: usize, padding: usize) -> Tensor {
+        let d = Conv2dDims::resolve(input.dims(), weight.dims(), stride, padding).unwrap();
+        let mut out = Tensor::zeros(&[d.batch, d.out_c, d.out_h, d.out_w]);
+        for n in 0..d.batch {
+            for o in 0..d.out_c {
+                for oy in 0..d.out_h {
+                    for ox in 0..d.out_w {
+                        let mut acc = 0.0;
+                        for c in 0..d.in_c {
+                            for ky in 0..d.kernel {
+                                for kx in 0..d.kernel {
+                                    let iy = (oy * stride + ky) as isize - padding as isize;
+                                    let ix = (ox * stride + kx) as isize - padding as isize;
+                                    if iy < 0
+                                        || ix < 0
+                                        || iy >= d.in_h as isize
+                                        || ix >= d.in_w as isize
+                                    {
+                                        continue;
+                                    }
+                                    acc += input.at(&[n, c, iy as usize, ix as usize])
+                                        * weight.at(&[o, c, ky, kx]);
+                                }
+                            }
+                        }
+                        *out.at_mut(&[n, o, oy, ox]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1 kernel with weight 1.0 on a single channel is identity.
+        let input = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let weight = Tensor::ones(&[1, 1, 1, 1]);
+        let out = conv2d(&input, &weight, 1, 0);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn matches_naive_over_geometry_grid() {
+        let mut rng = TensorRng::seed_from_u64(99);
+        for &(h, k, s, p) in &[(8, 3, 1, 1), (8, 3, 2, 1), (9, 7, 2, 3), (5, 2, 2, 0), (6, 3, 1, 0)]
+        {
+            let input = uniform(&[2, 3, h, h], -1.0, 1.0, &mut rng);
+            let weight = uniform(&[4, 3, k, k], -0.5, 0.5, &mut rng);
+            let fast = conv2d(&input, &weight, s, p);
+            let slow = naive_conv(&input, &weight, s, p);
+            assert_eq!(fast.dims(), slow.dims());
+            for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!(approx_eq(*a, *b, 1e-4), "h={h} k={k} s={s} p={p}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_rejects_oversized_kernel() {
+        assert!(Conv2dDims::resolve(&[1, 1, 3, 3], &[1, 1, 7, 7], 1, 0).is_none());
+        assert!(Conv2dDims::resolve(&[1, 1, 3, 3], &[1, 1, 7, 7], 1, 3).is_some());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property that makes the backward pass correct.
+        let d = Conv2dDims::resolve(&[1, 2, 6, 6], &[3, 2, 3, 3], 2, 1).unwrap();
+        let mut rng = TensorRng::seed_from_u64(3);
+        let x = uniform(&[d.in_c * d.in_h * d.in_w], -1.0, 1.0, &mut rng);
+        let y = uniform(&[d.col_rows() * d.col_cols()], -1.0, 1.0, &mut rng);
+        let mut cx = vec![0.0; d.col_rows() * d.col_cols()];
+        im2col(x.as_slice(), &d, &mut cx);
+        let mut iy = vec![0.0; d.in_c * d.in_h * d.in_w];
+        col2im(y.as_slice(), &d, &mut iy);
+        let lhs: f32 = cx.iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(iy.iter()).map(|(a, b)| a * b).sum();
+        assert!(approx_eq(lhs, rhs, 1e-4), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = TensorRng::seed_from_u64(17);
+        let input = uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let weight = uniform(&[2, 2, 3, 3], -0.5, 0.5, &mut rng);
+        let (stride, padding) = (2, 1);
+
+        // Loss = sum(conv(x, w)); analytic grads.
+        let out = conv2d(&input, &weight, stride, padding);
+        let grad_out = Tensor::ones(out.dims());
+        let (gi, gw) = conv2d_backward(&input, &weight, &grad_out, stride, padding);
+
+        let eps = 1e-2f32;
+        // Check a scattering of input coordinates.
+        for &idx in &[0usize, 7, 13, 24, 33, 49] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let num = (conv2d(&plus, &weight, stride, padding).sum()
+                - conv2d(&minus, &weight, stride, padding).sum())
+                / (2.0 * eps);
+            assert!(
+                approx_eq(num, gi.as_slice()[idx], 2e-2),
+                "input grad at {idx}: {num} vs {}",
+                gi.as_slice()[idx]
+            );
+        }
+        // And of weight coordinates.
+        for &idx in &[0usize, 5, 11, 17, 23, 35] {
+            let mut plus = weight.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = weight.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let num = (conv2d(&input, &plus, stride, padding).sum()
+                - conv2d(&input, &minus, stride, padding).sum())
+                / (2.0 * eps);
+            assert!(
+                approx_eq(num, gw.as_slice()[idx], 2e-2),
+                "weight grad at {idx}: {num} vs {}",
+                gw.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_samples_are_independent() {
+        let mut rng = TensorRng::seed_from_u64(5);
+        let a = uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let b = uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let weight = uniform(&[3, 2, 3, 3], -0.5, 0.5, &mut rng);
+        let both = Tensor::from_vec(
+            a.as_slice().iter().chain(b.as_slice()).copied().collect(),
+            &[2, 2, 6, 6],
+        );
+        let out_both = conv2d(&both, &weight, 1, 1);
+        let out_a = conv2d(&a, &weight, 1, 1);
+        let out_b = conv2d(&b, &weight, 1, 1);
+        let half = out_a.numel();
+        assert_eq!(&out_both.as_slice()[..half], out_a.as_slice());
+        assert_eq!(&out_both.as_slice()[half..], out_b.as_slice());
+    }
+}

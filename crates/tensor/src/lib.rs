@@ -1,0 +1,60 @@
+//! # hydronas-tensor
+//!
+//! A compact, dependency-light N-dimensional `f32` tensor library with the
+//! parallel CPU kernels needed to train convolutional networks from scratch:
+//! blocked GEMM, im2col/col2im convolution, max/average pooling, reductions,
+//! broadcasting elementwise arithmetic, and deterministic random
+//! initialization.
+//!
+//! This crate is the substrate that replaces PyTorch's tensor runtime in the
+//! HydroNAS reproduction. Everything is `f32`, row-major (C-contiguous), and
+//! CPU-only; heavy inner loops are parallelized with rayon across the
+//! outermost independent dimension (batch or output channel), following the
+//! data-parallel iterator idiom.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hydronas_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! ```
+
+mod conv;
+mod gemm;
+mod init;
+mod ops;
+mod pool;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dDims};
+pub use gemm::{gemm, gemm_bias};
+pub use init::{kaiming_normal, kaiming_uniform, uniform, TensorRng};
+pub use pool::{avg_pool2d_global, max_pool2d, max_pool2d_backward, PoolDims};
+pub use shape::{conv_out_dim, Shape};
+pub use tensor::Tensor;
+
+/// Relative-tolerance float comparison used throughout tests and validation.
+///
+/// Returns `true` when `a` and `b` agree to within `rel` relative tolerance
+/// (with an absolute floor of `rel * 1e-2` near zero).
+pub fn approx_eq(a: f32, b: f32, rel: f32) -> bool {
+    let scale = a.abs().max(b.abs()).max(1e-2);
+    (a - b).abs() <= rel * scale
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0 + 1e-7, 1e-5));
+        assert!(!approx_eq(1.0, 1.1, 1e-5));
+        assert!(approx_eq(0.0, 1e-8, 1e-5));
+    }
+}

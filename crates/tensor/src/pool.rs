@@ -1,0 +1,253 @@
+//! Max pooling (with backward) and global average pooling.
+
+use crate::shape::conv_out_dim;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Resolved pooling geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolDims {
+    pub batch: usize,
+    pub channels: usize,
+    pub in_h: usize,
+    pub in_w: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub padding: usize,
+    pub out_h: usize,
+    pub out_w: usize,
+}
+
+impl PoolDims {
+    /// Validates and computes output extents; `None` when the window does
+    /// not fit.
+    pub fn resolve(
+        input_dims: &[usize],
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Option<PoolDims> {
+        assert_eq!(input_dims.len(), 4, "pool input must be NCHW");
+        assert!(padding <= kernel / 2, "pool padding must be <= kernel/2");
+        let out_h = conv_out_dim(input_dims[2], kernel, stride, padding)?;
+        let out_w = conv_out_dim(input_dims[3], kernel, stride, padding)?;
+        Some(PoolDims {
+            batch: input_dims[0],
+            channels: input_dims[1],
+            in_h: input_dims[2],
+            in_w: input_dims[3],
+            kernel,
+            stride,
+            padding,
+            out_h,
+            out_w,
+        })
+    }
+}
+
+/// Max pool forward. Returns the pooled tensor and the flat argmax index
+/// (within each input plane) per output element, needed by the backward pass.
+pub fn max_pool2d(
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> (Tensor, Vec<u32>) {
+    let d = PoolDims::resolve(input.dims(), kernel, stride, padding)
+        .expect("max_pool2d: window does not fit input");
+    let mut out = Tensor::zeros(&[d.batch, d.channels, d.out_h, d.out_w]);
+    let mut argmax = vec![0u32; out.numel()];
+    let plane_in = d.in_h * d.in_w;
+    let plane_out = d.out_h * d.out_w;
+    let inp = input.as_slice();
+
+    out.as_mut_slice()
+        .par_chunks_mut(plane_out)
+        .zip(argmax.par_chunks_mut(plane_out))
+        .enumerate()
+        .for_each(|(pc, (out_p, arg_p))| {
+            let src = &inp[pc * plane_in..(pc + 1) * plane_in];
+            for oy in 0..d.out_h {
+                for ox in 0..d.out_w {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for ky in 0..d.kernel {
+                        let iy = (oy * d.stride + ky) as isize - d.padding as isize;
+                        if iy < 0 || iy >= d.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..d.kernel {
+                            let ix = (ox * d.stride + kx) as isize - d.padding as isize;
+                            if ix < 0 || ix >= d.in_w as isize {
+                                continue;
+                            }
+                            let i = iy as usize * d.in_w + ix as usize;
+                            if src[i] > best {
+                                best = src[i];
+                                best_i = i;
+                            }
+                        }
+                    }
+                    out_p[oy * d.out_w + ox] = best;
+                    arg_p[oy * d.out_w + ox] = best_i as u32;
+                }
+            }
+        });
+    (out, argmax)
+}
+
+/// Max pool backward: routes each upstream gradient to its argmax source.
+pub fn max_pool2d_backward(
+    input_dims: &[usize],
+    grad_out: &Tensor,
+    argmax: &[u32],
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let d = PoolDims::resolve(input_dims, kernel, stride, padding)
+        .expect("max_pool2d_backward: window does not fit");
+    assert_eq!(grad_out.dims(), &[d.batch, d.channels, d.out_h, d.out_w]);
+    assert_eq!(argmax.len(), grad_out.numel());
+    let mut grad_in = Tensor::zeros(input_dims);
+    let plane_in = d.in_h * d.in_w;
+    let plane_out = d.out_h * d.out_w;
+    let go = grad_out.as_slice();
+
+    grad_in
+        .as_mut_slice()
+        .par_chunks_mut(plane_in)
+        .enumerate()
+        .for_each(|(pc, gi_p)| {
+            let go_p = &go[pc * plane_out..(pc + 1) * plane_out];
+            let arg_p = &argmax[pc * plane_out..(pc + 1) * plane_out];
+            for (g, &a) in go_p.iter().zip(arg_p.iter()) {
+                gi_p[a as usize] += g;
+            }
+        });
+    grad_in
+}
+
+/// Global average pooling: `[N,C,H,W] -> [N,C]`.
+pub fn avg_pool2d_global(input: &Tensor) -> Tensor {
+    assert_eq!(input.shape().ndim(), 4, "global avg pool input must be NCHW");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[n, c]);
+    let inp = input.as_slice();
+    for (i, slot) in out.as_mut_slice().iter_mut().enumerate() {
+        let src = &inp[i * plane..(i + 1) * plane];
+        *slot = src.iter().sum::<f32>() / plane as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{uniform, TensorRng};
+
+    #[test]
+    fn max_pool_basic_2x2() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (out, arg) = max_pool2d(&input, 2, 2, 0);
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_stride1_overlapping() {
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let (out, _) = max_pool2d(&input, 2, 1, 0);
+        assert_eq!(out.dims(), &[1, 1, 1, 1]);
+        assert_eq!(out.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn max_pool_with_padding_ignores_pad_cells() {
+        // Negative inputs: padding cells must never win (they are skipped,
+        // not treated as zeros).
+        let input = Tensor::full(&[1, 1, 2, 2], -5.0);
+        let (out, _) = max_pool2d(&input, 3, 2, 1);
+        assert_eq!(out.dims(), &[1, 1, 1, 1]);
+        assert_eq!(out.as_slice(), &[-5.0]);
+    }
+
+    #[test]
+    fn resnet_stem_pool_shape() {
+        // 112 -> pool3/2/1 -> 56 (matches torch)
+        let input = Tensor::zeros(&[1, 8, 112, 112]);
+        let (out, _) = max_pool2d(&input, 3, 2, 1);
+        assert_eq!(out.dims(), &[1, 8, 56, 56]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        );
+        let (out, arg) = max_pool2d(&input, 2, 1, 0);
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        let grad_out = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let gi = max_pool2d_backward(input.dims(), &grad_out, &arg, 2, 1, 0);
+        // Argmaxes are 4,5,7,8 -> gradients land there, overlaps accumulate.
+        assert_eq!(gi.as_slice(), &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn backward_finite_difference_on_sum() {
+        let mut rng = TensorRng::seed_from_u64(8);
+        // Distinct values so the max is stable under the FD perturbation.
+        let mut input = uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
+            *v += i as f32 * 1e-3;
+        }
+        let (out, arg) = max_pool2d(&input, 3, 2, 1);
+        let grad_out = Tensor::ones(out.dims());
+        let gi = max_pool2d_backward(input.dims(), &grad_out, &arg, 3, 2, 1);
+        let eps = 1e-4f32;
+        for &idx in &[0usize, 6, 12, 24, 30, 49] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let (op, _) = max_pool2d(&plus, 3, 2, 1);
+            let num = (op.sum() - out.sum()) / eps;
+            assert!(
+                (num - gi.as_slice()[idx]).abs() < 1e-2,
+                "grad at {idx}: {num} vs {}",
+                gi.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn global_avg_pool() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        );
+        let out = avg_pool2d_global(&input);
+        assert_eq!(out.dims(), &[1, 2]);
+        assert_eq!(out.as_slice(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn window_that_does_not_fit_is_rejected() {
+        assert!(PoolDims::resolve(&[1, 1, 2, 2], 3, 2, 0).is_none());
+        assert!(PoolDims::resolve(&[1, 1, 2, 2], 3, 2, 1).is_some());
+    }
+}

@@ -1,0 +1,62 @@
+//! Predictor calibration workflow (extension): build a latency predictor
+//! the way nn-Meter does — measure a model zoo on the device (here: the
+//! noisy device simulator), fit roofline parameters, validate at ±10%.
+//!
+//! Run with: `cargo run --release --example calibrate_predictor`
+
+use hydronas_latency::{
+    all_devices, decompose, fit_profile, predictor::predict_kernels, validation::validation_zoo,
+    DeviceSimulator, Observation,
+};
+
+fn main() {
+    let zoo = validation_zoo(32);
+    println!("calibration zoo: {} models (the full 288-config space)\n", zoo.len());
+
+    for truth in all_devices() {
+        // 1. "Measure" a training split of the zoo on the device.
+        let sim = DeviceSimulator::for_device(truth.clone());
+        let (train, test): (Vec<_>, Vec<_>) =
+            zoo.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+        let observations: Vec<Observation> = train
+            .iter()
+            .map(|(i, graph)| Observation {
+                graph: (*graph).clone(),
+                measured_ms: sim.measure_model(graph, *i as u64),
+            })
+            .collect();
+
+        // 2. Fit from a deliberately wrong starting profile.
+        let mut start = truth.clone();
+        start.bandwidth_gbs *= 2.0;
+        start.peak_gflops *= 0.5;
+        start.pool_penalty_ms = 1.0;
+        let (fitted, report) = fit_profile(&start, &observations, 30);
+
+        // 3. Validate on the held-out half (fresh measurement seeds).
+        let hits = test
+            .iter()
+            .filter(|(i, graph)| {
+                let measured = sim.measure_model(graph, (*i + 10_000) as u64);
+                let predicted = predict_kernels(&decompose(graph), &fitted);
+                (predicted - measured).abs() <= 0.10 * measured
+            })
+            .count();
+        println!(
+            "{:<14} fit rms {:.3} | train ±10%: {:>5.1}% | held-out ±10%: {:>5.1}% | pool penalty {:.1} -> {:.1} ms",
+            truth.id.name(),
+            report.rms_rel_error,
+            report.within_10_pct,
+            100.0 * hits as f64 / test.len() as f64,
+            1.0,
+            fitted.pool_penalty_ms
+        );
+    }
+    println!(
+        "\nThe TFLite targets calibrate into the high 90s and generalize; the \
+         Myriad VPU's unmodeled pool variability caps its fit quality and \
+         transfers poorly to fresh measurements — the same asymmetry behind \
+         Table 2's 99% vs 83.4% split, amplified here because the fit has \
+         only half the zoo to average the pool noise over."
+    );
+}

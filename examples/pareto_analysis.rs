@@ -1,0 +1,88 @@
+//! Three-objective Pareto analysis on a single input combination:
+//! accuracy vs latency vs memory, with hypervolume and knee-point
+//! selection for deployment.
+//!
+//! Run with: `cargo run --release --example pareto_analysis`
+
+use hydronas::prelude::*;
+use hydronas_nas::space::full_grid;
+use hydronas_pareto::{crowding_distance, hypervolume_3d, knee_point, min_max_normalize};
+
+fn main() {
+    // Evaluate every configuration of the (5-channel, batch 16) benchmark.
+    let trials: Vec<TrialSpec> = full_grid(&SearchSpace::paper())
+        .into_iter()
+        .filter(|t| t.combo.channels == 5 && t.combo.batch_size == 16)
+        .collect();
+    let db = hydronas_nas::run_experiment(
+        &trials,
+        &SurrogateEvaluator::default(),
+        &SchedulerConfig { injected_failures: 0, ..Default::default() },
+    );
+    println!("evaluated {} configurations", db.valid().len());
+
+    // The strict 3-objective front.
+    let senses = [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+    let points = db.objective_points();
+    let front = pareto_front(&points, &senses);
+    println!("\nnon-dominated solutions ({}):", front.len());
+    for p in &front {
+        let o = db.by_id(p.id).unwrap();
+        println!(
+            "  {}  acc {:.2}%  lat {:.2} ms  mem {:.2} MB",
+            o.spec.arch.key(),
+            o.accuracy,
+            o.latency_ms,
+            o.memory_mb
+        );
+    }
+
+    // Crowding distance over the front (diversity of the trade-offs).
+    let crowding = crowding_distance(&front);
+    let finite: Vec<f64> = crowding.iter().copied().filter(|d| d.is_finite()).collect();
+    println!(
+        "\ncrowding: {} boundary points, interior mean {:.3}",
+        crowding.iter().filter(|d| d.is_infinite()).count(),
+        if finite.is_empty() { 0.0 } else { finite.iter().sum::<f64>() / finite.len() as f64 }
+    );
+
+    // Hypervolume (minimization space: negate accuracy) against the
+    // worst-corner reference — how much of the objective space the front
+    // covers, and how much the stock ResNet-18 alone covers.
+    let to_min = |p: &Point| (-p.values[0], p.values[1], p.values[2]);
+    let r = db.objective_ranges();
+    let ref_pt = (-r.accuracy_min + 1.0, r.latency_max_ms + 1.0, r.memory_max_mb + 1.0);
+    let hv_front = hypervolume_3d(&front.iter().map(to_min).collect::<Vec<_>>(), ref_pt);
+    let baseline = db
+        .valid()
+        .into_iter()
+        .find(|o| o.spec.arch == ArchConfig::baseline(5))
+        .expect("baseline is part of the grid");
+    let hv_base = hypervolume_3d(
+        &[(-baseline.accuracy, baseline.latency_ms, baseline.memory_mb)],
+        ref_pt,
+    );
+    println!("hypervolume: front {hv_front:.0} vs ResNet-18 alone {hv_base:.0} ({:.2}x)", hv_front / hv_base);
+
+    // Knee point: the balanced deployment choice.
+    if let Some(k) = knee_point(&front, &senses) {
+        let o = db.by_id(front[k].id).unwrap();
+        println!(
+            "\nknee point (deployment pick): {}  acc {:.2}%  lat {:.2} ms  mem {:.2} MB",
+            o.spec.arch.key(),
+            o.accuracy,
+            o.latency_ms,
+            o.memory_mb
+        );
+    }
+
+    // Normalized front (the paper normalizes Figure 3 within ranges).
+    let normed = min_max_normalize(&front);
+    println!("\nnormalized front (unit cube):");
+    for p in &normed {
+        println!(
+            "  id {:>4}: [{:.2}, {:.2}, {:.2}]",
+            p.id, p.values[0], p.values[1], p.values[2]
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Consistency invariants that span crate boundaries: the trainable model
+//! (`nn`), the static IR (`graph`), the latency predictor (`latency`),
+//! and the serializer must all describe the same architecture.
+
+use hydronas::prelude::*;
+use hydronas_latency::{decompose, KernelKind};
+use hydronas_nn::ParamVisitor;
+
+fn sample_space() -> Vec<ArchConfig> {
+    let mut archs = Vec::new();
+    for kernel_size in [3, 7] {
+        for pool in [None, Some(PoolConfig { kernel: 3, stride: 2 })] {
+            for feat in [4, 8] {
+                archs.push(ArchConfig {
+                    in_channels: 5,
+                    kernel_size,
+                    stride: 2,
+                    padding: 1,
+                    pool,
+                    initial_features: feat,
+                    num_classes: 2,
+                });
+            }
+        }
+    }
+    archs
+}
+
+#[test]
+fn trainable_model_and_ir_agree_on_parameters() {
+    let mut rng = TensorRng::seed_from_u64(1);
+    for arch in sample_space() {
+        let mut model = ResNet::new(&arch, &mut rng);
+        let graph = ModelGraph::from_arch(&arch, 32).unwrap();
+        assert_eq!(
+            model.num_params() as u64,
+            model_cost(&graph).params,
+            "{:?}",
+            arch
+        );
+    }
+}
+
+#[test]
+fn serialized_model_holds_exactly_the_trained_weights() {
+    let arch = ArchConfig {
+        in_channels: 5,
+        kernel_size: 3,
+        stride: 2,
+        padding: 1,
+        pool: None,
+        initial_features: 4,
+        num_classes: 2,
+    };
+    let mut rng = TensorRng::seed_from_u64(2);
+    let mut model = ResNet::new(&arch, &mut rng);
+    let graph = ModelGraph::from_arch(&arch, 32).unwrap();
+
+    let flat = model.flat_params();
+    let blob = hydronas_graph::serialize_model(&graph, Some(&flat));
+    assert_eq!(blob.len() as u64, serialized_size_bytes(&graph));
+
+    let restored = hydronas_graph::deserialize_model(&blob).unwrap();
+    assert_eq!(restored.arch, arch);
+    let total: usize = restored.initializers.iter().map(|(_, b)| b.len()).sum();
+    assert_eq!(total, flat.len());
+
+    // Load the restored weights into a fresh model: outputs must match.
+    let restored_flat: Vec<f32> =
+        restored.initializers.iter().flat_map(|(_, b)| b.iter().copied()).collect();
+    let mut rng2 = TensorRng::seed_from_u64(99);
+    let mut model2 = ResNet::new(&arch, &mut rng2);
+    model2.load_flat_params(&restored_flat);
+    let x = hydronas_tensor::uniform(&[1, 5, 32, 32], -1.0, 1.0, &mut rng2);
+    assert_eq!(model.forward(&x, false), model2.forward(&x, false));
+}
+
+#[test]
+fn graph_node_count_tracks_architecture_options() {
+    for arch in sample_space() {
+        let graph = ModelGraph::from_arch(&arch, 32).unwrap();
+        let expected_pool = usize::from(arch.pool.is_some());
+        assert_eq!(
+            graph.count_kind(|k| matches!(k, hydronas_graph::NodeKind::MaxPool { .. })),
+            expected_pool
+        );
+        let kernels = decompose(&graph);
+        assert_eq!(
+            kernels.iter().filter(|k| k.kind == KernelKind::MaxPool).count(),
+            expected_pool
+        );
+        // 20 convs always (stem + 16 + 3 projections).
+        assert_eq!(
+            kernels.iter().filter(|k| k.kind == KernelKind::ConvBnRelu).count(),
+            20
+        );
+    }
+}
+
+#[test]
+fn latency_prediction_is_monotone_in_width() {
+    // Wider models stream more weights, so every device's latency must be
+    // monotone in initial_features (same stem geometry).
+    for pool in [None, Some(PoolConfig { kernel: 3, stride: 2 })] {
+        let mut last = 0.0;
+        for feat in [32, 48, 64] {
+            let arch = ArchConfig {
+                in_channels: 5,
+                kernel_size: 3,
+                stride: 2,
+                padding: 1,
+                pool,
+                initial_features: feat,
+                num_classes: 2,
+            };
+            let graph = ModelGraph::from_arch(&arch, 32).unwrap();
+            let pred = predict_all(&graph);
+            assert!(pred.mean_ms > last, "feat {feat}: {} <= {last}", pred.mean_ms);
+            last = pred.mean_ms;
+        }
+    }
+}
+
+#[test]
+fn memory_is_monotone_in_width_and_independent_of_stride() {
+    let base = ArchConfig {
+        in_channels: 5,
+        kernel_size: 3,
+        stride: 2,
+        padding: 1,
+        pool: None,
+        initial_features: 32,
+        num_classes: 2,
+    };
+    let size = |arch: &ArchConfig| {
+        serialized_size_bytes(&ModelGraph::from_arch(arch, 32).unwrap())
+    };
+    let s32 = size(&base);
+    let s48 = size(&ArchConfig { initial_features: 48, ..base });
+    let s64 = size(&ArchConfig { initial_features: 64, ..base });
+    assert!(s32 < s48 && s48 < s64);
+    // Stride changes activations, not parameters.
+    let strided = size(&ArchConfig { stride: 1, ..base });
+    assert_eq!(s32, strided);
+}
+
+#[test]
+fn dataset_feeds_models_of_matching_channel_count() {
+    for (mode, channels) in [(ChannelMode::Five, 5), (ChannelMode::Seven, 7)] {
+        let tiles = build_dataset(&study_regions()[..1], mode, 16, 0.002, 3);
+        let arch = ArchConfig {
+            in_channels: channels,
+            kernel_size: 3,
+            stride: 2,
+            padding: 1,
+            pool: None,
+            initial_features: 4,
+            num_classes: 2,
+        };
+        let mut rng = TensorRng::seed_from_u64(0);
+        let mut model = ResNet::new(&arch, &mut rng);
+        let logits = model.forward(&tiles.features, false);
+        assert_eq!(logits.dims(), &[tiles.labels.len(), 2]);
+        assert!(!logits.has_non_finite());
+    }
+}
