@@ -14,7 +14,12 @@ fn bench_tile_synthesis(c: &mut Criterion) {
             let mut seed = 0u64;
             bench.iter(|| {
                 seed += 1;
-                synthesize_tile(&TileParams { size, seed, has_crossing: seed % 2 == 0, ..Default::default() })
+                synthesize_tile(&TileParams {
+                    size,
+                    seed,
+                    has_crossing: seed % 2 == 0,
+                    ..Default::default()
+                })
             });
         });
     }
@@ -46,5 +51,10 @@ fn bench_dataset_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tile_synthesis, bench_hydrology, bench_dataset_build);
+criterion_group!(
+    benches,
+    bench_tile_synthesis,
+    bench_hydrology,
+    bench_dataset_build
+);
 criterion_main!(benches);

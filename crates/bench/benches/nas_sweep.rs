@@ -3,11 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hydronas_bench::{combo_trials, run_combo};
+use hydronas_nas::space::full_grid;
 use hydronas_nas::{
     makespan_lpt, nsga2, random_search, regularized_evolution, run_experiment, run_full_grid,
     EvolutionConfig, InputCombo, Nsga2Config, SchedulerConfig, SearchSpace, SurrogateEvaluator,
 };
-use hydronas_nas::space::full_grid;
 
 fn bench_single_combo(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_one_combo");
@@ -38,7 +38,10 @@ fn bench_scheduler_overhead(c: &mut Criterion) {
     // Scheduling cost without objective computation noise: a small slice.
     let trials: Vec<_> = combo_trials(5, 8).into_iter().take(32).collect();
     let evaluator = SurrogateEvaluator::default();
-    let config = SchedulerConfig { injected_failures: 0, ..Default::default() };
+    let config = SchedulerConfig {
+        injected_failures: 0,
+        ..Default::default()
+    };
     c.bench_function("scheduler_32_trials", |bench| {
         bench.iter(|| run_experiment(&trials, &evaluator, &config));
     });
@@ -50,7 +53,10 @@ fn bench_strategies(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(5));
     group.warm_up_time(std::time::Duration::from_secs(1));
     let space = SearchSpace::paper();
-    let combo = InputCombo { channels: 7, batch_size: 16 };
+    let combo = InputCombo {
+        channels: 7,
+        batch_size: 16,
+    };
     let evaluator = SurrogateEvaluator::default();
     group.bench_function("random_96", |bench| {
         bench.iter(|| random_search(&space, combo, &evaluator, 96, 3));
@@ -61,7 +67,11 @@ fn bench_strategies(c: &mut Criterion) {
                 &space,
                 combo,
                 &evaluator,
-                &EvolutionConfig { population: 12, sample_size: 4, budget: 96 },
+                &EvolutionConfig {
+                    population: 12,
+                    sample_size: 4,
+                    budget: 96,
+                },
                 3,
             )
         });
@@ -72,7 +82,11 @@ fn bench_strategies(c: &mut Criterion) {
                 &space,
                 combo,
                 &evaluator,
-                &Nsga2Config { population: 16, generations: 5, input_hw: 32 },
+                &Nsga2Config {
+                    population: 16,
+                    generations: 5,
+                    input_hw: 32,
+                },
                 3,
             )
         });

@@ -4,13 +4,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hydronas_pareto::{
-    hypervolume_3d, min_max_normalize, non_dominated_sort, pareto_front, radar_rows,
-    scatter_csv, Objective, Point,
+    hypervolume_3d, min_max_normalize, non_dominated_sort, pareto_front, radar_rows, scatter_csv,
+    Objective, Point,
 };
 use hydronas_tensor::TensorRng;
 
-const SENSES: [Objective; 3] =
-    [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+const SENSES: [Objective; 3] = [
+    Objective::Maximize,
+    Objective::Minimize,
+    Objective::Minimize,
+];
 
 /// A synthetic population shaped like the study's outcomes.
 fn population(n: usize) -> Vec<Point> {
@@ -42,8 +45,10 @@ fn bench_front(c: &mut Criterion) {
 fn bench_hypervolume(c: &mut Criterion) {
     let pts = population(1717);
     let front = pareto_front(&pts, &SENSES);
-    let min_space: Vec<(f64, f64, f64)> =
-        front.iter().map(|p| (-p.values[0], p.values[1], p.values[2])).collect();
+    let min_space: Vec<(f64, f64, f64)> = front
+        .iter()
+        .map(|p| (-p.values[0], p.values[1], p.values[2]))
+        .collect();
     c.bench_function("hypervolume_3d_front", |bench| {
         bench.iter(|| hypervolume_3d(&min_space, (-70.0, 260.0, 50.0)));
     });
@@ -51,8 +56,7 @@ fn bench_hypervolume(c: &mut Criterion) {
 
 fn bench_exports(c: &mut Criterion) {
     let pts = population(1717);
-    let front_ids: Vec<usize> =
-        pareto_front(&pts, &SENSES).iter().map(|p| p.id).collect();
+    let front_ids: Vec<usize> = pareto_front(&pts, &SENSES).iter().map(|p| p.id).collect();
     c.bench_function("figure3_scatter_csv", |bench| {
         bench.iter(|| scatter_csv(&pts, &["acc", "lat", "mem"], &front_ids));
     });

@@ -10,8 +10,8 @@
 //! rendering with its detected crossings.
 
 use hydronas_geodata::{
-    build_paper_dataset, heightmap_to_pgm, mask_to_pgm, save_tileset, synthesize_tile,
-    tile_to_ppm, ChannelMode, Scene, SceneParams, TileParams,
+    build_paper_dataset, heightmap_to_pgm, mask_to_pgm, save_tileset, synthesize_tile, tile_to_ppm,
+    ChannelMode, Scene, SceneParams, TileParams,
 };
 use std::path::PathBuf;
 
@@ -24,8 +24,13 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { scale: 0.01, tile: 32, channels: 7, seed: 42, out: PathBuf::from("data") };
+    let mut args = Args {
+        scale: 0.01,
+        tile: 32,
+        channels: 7,
+        seed: 42,
+        out: PathBuf::from("data"),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut next = |what: &str| it.next().unwrap_or_else(|| panic!("{flag} needs {what}"));
@@ -37,7 +42,9 @@ fn parse_args() -> Args {
             "--out" => args.out = PathBuf::from(next("a path")),
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: datagen [--scale F] [--tile N] [--channels 5|7] [--seed N] [--out DIR]");
+                eprintln!(
+                    "usage: datagen [--scale F] [--tile N] [--channels 5|7] [--seed N] [--out DIR]"
+                );
                 std::process::exit(2);
             }
         }
@@ -83,9 +90,15 @@ fn main() {
     }
 
     // 3. A scene-level watershed with crossings marked.
-    let scene = Scene::generate(&SceneParams { seed: args.seed, ..Default::default() });
-    std::fs::write(args.out.join("scene_dem.pgm"), heightmap_to_pgm(&scene.height))
-        .expect("write scene dem");
+    let scene = Scene::generate(&SceneParams {
+        seed: args.seed,
+        ..Default::default()
+    });
+    std::fs::write(
+        args.out.join("scene_dem.pgm"),
+        heightmap_to_pgm(&scene.height),
+    )
+    .expect("write scene dem");
     std::fs::write(
         args.out.join("scene_streams.pgm"),
         mask_to_pgm(&scene.streams, scene.size),

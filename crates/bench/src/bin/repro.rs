@@ -8,6 +8,8 @@
 //! repro --discussion         # Section 5 wall-clock reproduction
 //! repro --ablation           # design-choice ablations
 //! repro --out DIR            # artifact directory (default repro_out)
+//! repro --resume JOURNAL     # write-ahead journal: resume a killed sweep
+//! repro --progress           # live sweep progress on stderr
 //! ```
 
 use hydronas::prelude::*;
@@ -21,6 +23,16 @@ struct Args {
     report: bool,
     all: bool,
     out: PathBuf,
+    resume: Option<PathBuf>,
+    progress: bool,
+}
+
+const USAGE: &str = "usage: repro [--all|--table N|--figure N|--discussion|--ablation|--report] [--out DIR] [--resume JOURNAL] [--progress]";
+
+fn usage_exit(problem: &str) -> ! {
+    eprintln!("{problem}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
@@ -32,30 +44,44 @@ fn parse_args() -> Args {
         report: false,
         all: false,
         out: PathBuf::from("repro_out"),
+        resume: None,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--table" => {
                 args.table = Some(
-                    it.next().and_then(|v| v.parse().ok()).expect("--table needs a number 1-5"),
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage_exit("--table needs a number 1-5")),
                 )
             }
             "--figure" => {
                 args.figure = Some(
-                    it.next().and_then(|v| v.parse().ok()).expect("--figure needs a number 1-4"),
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage_exit("--figure needs a number 1-4")),
                 )
             }
             "--discussion" => args.discussion = true,
             "--report" => args.report = true,
             "--ablation" => args.ablation = true,
             "--all" => args.all = true,
-            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a path")),
-            other => {
-                eprintln!("unknown flag {other}");
-                eprintln!("usage: repro [--all|--table N|--figure N|--discussion|--ablation|--report] [--out DIR]");
-                std::process::exit(2);
+            "--out" => {
+                args.out = PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage_exit("--out needs a path")),
+                )
             }
+            "--resume" => {
+                args.resume =
+                    Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                        usage_exit("--resume needs a journal path")
+                    })))
+            }
+            "--progress" => args.progress = true,
+            other => usage_exit(&format!("unknown flag {other}")),
         }
     }
     if args.table.is_none()
@@ -71,8 +97,28 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    eprintln!("running the full 1,728-trial experiment (seed {})...", ReproConfig::default().seed);
-    let artifacts = ReproConfig::default().run();
+    eprintln!(
+        "running the full 1,728-trial experiment (seed {})...",
+        ReproConfig::default().seed
+    );
+    if let Some(journal) = &args.resume {
+        eprintln!(
+            "journaling to {} (finished trials are replayed on restart)",
+            journal.display()
+        );
+    }
+    let mut ticker = StderrTicker::default();
+    let sink: Option<&mut dyn ProgressSink> = if args.progress {
+        Some(&mut ticker)
+    } else {
+        None
+    };
+    let artifacts = ReproConfig::default()
+        .run_with(args.resume.as_deref(), sink)
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot use journal: {e}");
+            std::process::exit(1);
+        });
 
     if args.all {
         let written = artifacts.write_to(&args.out).expect("write artifacts");
@@ -80,7 +126,10 @@ fn main() {
         println!("{}", artifacts.table2);
         println!("{}", artifacts.table3);
         println!("Table 4 (strict 3-objective front):\n{}", artifacts.table4);
-        println!("Table 4 (pool-grouped, as published):\n{}", artifacts.table4_pool_grouped);
+        println!(
+            "Table 4 (pool-grouped, as published):\n{}",
+            artifacts.table4_pool_grouped
+        );
         println!("{}", artifacts.table5);
         println!("{}", artifacts.figure2);
         println!("{}", artifacts.discussion);
@@ -93,7 +142,10 @@ fn main() {
             3 => print!("{}", artifacts.table3),
             4 => {
                 print!("{}", artifacts.table4);
-                println!("\npool-grouped protocol:\n{}", artifacts.table4_pool_grouped);
+                println!(
+                    "\npool-grouped protocol:\n{}",
+                    artifacts.table4_pool_grouped
+                );
             }
             5 => print!("{}", artifacts.table5),
             _ => eprintln!("tables are numbered 1-5"),
@@ -144,7 +196,11 @@ fn ablations(db: &ExperimentDb) {
 fn ablation_scalarization(db: &ExperimentDb) {
     use hydronas_pareto::{epsilon_constraint, supported_fraction};
     let points = db.objective_points();
-    let senses = [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+    let senses = [
+        Objective::Maximize,
+        Objective::Minimize,
+        Objective::Minimize,
+    ];
     let frac = supported_fraction(&points, &senses, 12);
     println!(
         "weighted-sum sweep (91 weight vectors) recovers {:.0}% of the dominance front",
@@ -174,7 +230,11 @@ fn sensitivity_section(db: &ExperimentDb) {
 fn ablation_energy(db: &ExperimentDb) {
     use hydronas_latency::predict_energy;
     use hydronas_pareto::{pareto_front, Point};
-    let senses3 = [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+    let senses3 = [
+        Objective::Maximize,
+        Objective::Minimize,
+        Objective::Minimize,
+    ];
     let senses4 = [
         Objective::Maximize,
         Objective::Minimize,
@@ -187,7 +247,10 @@ fn ablation_energy(db: &ExperimentDb) {
         .map(|o| {
             let g = ModelGraph::from_arch(&o.spec.arch, 32).unwrap();
             let energy = predict_energy(&g).mean_mj;
-            Point::new(o.spec.id, vec![o.accuracy, o.latency_ms, o.memory_mb, energy])
+            Point::new(
+                o.spec.id,
+                vec![o.accuracy, o.latency_ms, o.memory_mb, energy],
+            )
         })
         .collect();
     let points3: Vec<Point> = points4
@@ -196,7 +259,11 @@ fn ablation_energy(db: &ExperimentDb) {
         .collect();
     let f3 = pareto_front(&points3, &senses3);
     let f4 = pareto_front(&points4, &senses4);
-    println!("3-objective front: {} rows | +energy: {} rows", f3.len(), f4.len());
+    println!(
+        "3-objective front: {} rows | +energy: {} rows",
+        f3.len(),
+        f4.len()
+    );
     let best_energy = points4
         .iter()
         .map(|p| p.values[3])
@@ -210,7 +277,10 @@ fn ablation_makespan() {
     use hydronas_nas::space::{full_grid, SearchSpace};
     let trials = full_grid(&SearchSpace::paper());
     let (serial, _) = makespan_lpt(&trials, 1);
-    println!("1 GPU: {:.1} h (the paper's serial NNI run)", serial / 3600.0);
+    println!(
+        "1 GPU: {:.1} h (the paper's serial NNI run)",
+        serial / 3600.0
+    );
     for workers in [2usize, 4, 8] {
         let (m, _) = makespan_lpt(&trials, workers);
         println!(
@@ -226,7 +296,11 @@ fn ablation_makespan() {
 /// regime disappears and the front composition flips.
 fn ablation_flops_only(db: &ExperimentDb) {
     use hydronas_pareto::{pareto_front, Point};
-    let senses = [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+    let senses = [
+        Objective::Maximize,
+        Objective::Minimize,
+        Objective::Minimize,
+    ];
     let flops_points: Vec<Point> = db
         .valid()
         .iter()
@@ -245,7 +319,11 @@ fn ablation_flops_only(db: &ExperimentDb) {
     );
     let pooled = |ids: &[usize]| {
         ids.iter()
-            .filter(|id| db.by_id(**id).map(|o| o.spec.arch.pool.is_some()).unwrap_or(false))
+            .filter(|id| {
+                db.by_id(**id)
+                    .map(|o| o.spec.arch.pool.is_some())
+                    .unwrap_or(false)
+            })
             .count()
     };
     let roofline_ids: Vec<usize> = roofline_front.iter().map(|o| o.spec.id).collect();
@@ -261,14 +339,21 @@ fn ablation_flops_only(db: &ExperimentDb) {
 /// much of the front and wall-clock survives?
 fn ablation_padding_pruning(db: &ExperimentDb) {
     let full_front = db.pareto_outcomes();
-    let pruned: Vec<_> =
-        db.outcomes.iter().filter(|o| o.spec.arch.padding == 1).cloned().collect();
+    let pruned: Vec<_> = db
+        .outcomes
+        .iter()
+        .filter(|o| o.spec.arch.padding == 1)
+        .cloned()
+        .collect();
     let pruned_db = ExperimentDb { outcomes: pruned };
     let pruned_front = pruned_db.pareto_outcomes();
     let full_clock: f64 = db.outcomes.iter().map(|o| o.train_seconds).sum();
     let pruned_clock: f64 = pruned_db.outcomes.iter().map(|o| o.train_seconds).sum();
     let best = |front: &[&hydronas_nas::TrialOutcome]| {
-        front.iter().map(|o| o.accuracy).fold(f64::NEG_INFINITY, f64::max)
+        front
+            .iter()
+            .map(|o| o.accuracy)
+            .fold(f64::NEG_INFINITY, f64::max)
     };
     println!(
         "full grid: {} trials, front {} rows, best {:.2}%, {:.1} GPU-hours",
@@ -290,7 +375,10 @@ fn ablation_padding_pruning(db: &ExperimentDb) {
 /// How stable is the front cardinality across master seeds?
 fn ablation_seed_sensitivity() {
     for seed in [1u64, 2, 3, 4, 5, 7, 9] {
-        let config = SchedulerConfig { seed, ..Default::default() };
+        let config = SchedulerConfig {
+            seed,
+            ..Default::default()
+        };
         let db = hydronas_nas::run_full_grid(&SurrogateEvaluator::default(), &config);
         let front = db.pareto_outcomes();
         let all_f32 = front.iter().all(|o| o.spec.arch.initial_features == 32);
@@ -305,7 +393,10 @@ fn ablation_seed_sensitivity() {
 /// optimum.
 fn ablation_strategies() {
     let space = SearchSpace::paper();
-    let combo = InputCombo { channels: 7, batch_size: 16 };
+    let combo = InputCombo {
+        channels: 7,
+        batch_size: 16,
+    };
     let evaluator = SurrogateEvaluator::default();
     let grid_best = hydronas_bench::run_combo(7, 16)
         .valid()
@@ -319,7 +410,11 @@ fn ablation_strategies() {
             &space,
             combo,
             &evaluator,
-            &EvolutionConfig { population: 12.min(budget / 2), sample_size: 4, budget },
+            &EvolutionConfig {
+                population: 12.min(budget / 2),
+                sample_size: 4,
+                budget,
+            },
             3,
         );
         println!(

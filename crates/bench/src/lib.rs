@@ -17,7 +17,10 @@ pub fn run_combo(channels: usize, batch: usize) -> ExperimentDb {
     run_experiment(
         &combo_trials(channels, batch),
         &SurrogateEvaluator::default(),
-        &SchedulerConfig { injected_failures: 0, ..Default::default() },
+        &SchedulerConfig {
+            injected_failures: 0,
+            ..Default::default()
+        },
     )
 }
 

@@ -22,17 +22,38 @@ pub fn figure1(input_hw: usize) -> String {
 pub fn figure2() -> String {
     let space = SearchSpace::paper();
     let fmt = |v: &[usize]| {
-        v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     let mut out = String::new();
     out.push_str("Search space (NNI adaptation of ResNet-18):\n");
-    out.push_str(&format!("  kernel_size        : {}\n", fmt(&space.kernel_sizes)));
+    out.push_str(&format!(
+        "  kernel_size        : {}\n",
+        fmt(&space.kernel_sizes)
+    ));
     out.push_str(&format!("  stride             : {}\n", fmt(&space.strides)));
-    out.push_str(&format!("  padding            : {}\n", fmt(&space.paddings)));
-    out.push_str(&format!("  pool_choice        : {}\n", fmt(&space.pool_choices)));
-    out.push_str(&format!("  kernel_size_pool   : {}\n", fmt(&space.pool_kernels)));
-    out.push_str(&format!("  stride_pool        : {}\n", fmt(&space.pool_strides)));
-    out.push_str(&format!("  initial_features   : {}\n", fmt(&space.initial_features)));
+    out.push_str(&format!(
+        "  padding            : {}\n",
+        fmt(&space.paddings)
+    ));
+    out.push_str(&format!(
+        "  pool_choice        : {}\n",
+        fmt(&space.pool_choices)
+    ));
+    out.push_str(&format!(
+        "  kernel_size_pool   : {}\n",
+        fmt(&space.pool_kernels)
+    ));
+    out.push_str(&format!(
+        "  stride_pool        : {}\n",
+        fmt(&space.pool_strides)
+    ));
+    out.push_str(&format!(
+        "  initial_features   : {}\n",
+        fmt(&space.initial_features)
+    ));
     out.push_str(&format!(
         "  => {} configurations per input combination, x 6 input combinations (channels in {{5, 7}}, batch in {{8, 16, 32}}) = {} trials\n",
         space.cardinality(),
@@ -46,7 +67,11 @@ pub fn figure2() -> String {
 pub fn figure3_csv(db: &ExperimentDb) -> String {
     let points = db.objective_points();
     let front_ids: Vec<usize> = db.pareto_outcomes().iter().map(|o| o.spec.id).collect();
-    scatter_csv(&points, &["accuracy", "latency_ms", "memory_mb"], &front_ids)
+    scatter_csv(
+        &points,
+        &["accuracy", "latency_ms", "memory_mb"],
+        &front_ids,
+    )
 }
 
 /// Figure 4: radar rows of the non-dominated solutions — configuration
@@ -94,7 +119,11 @@ pub fn figure4_csv(db: &ExperimentDb) -> String {
             .by_id(id)
             .map(|o| o.spec.arch.pool.is_some())
             .unwrap_or(false);
-        if pooled { "green(pool)".to_string() } else { "red(no_pool)".to_string() }
+        if pooled {
+            "green(pool)".to_string()
+        } else {
+            "red(no_pool)".to_string()
+        }
     });
     radar_csv(&rows)
 }
@@ -113,7 +142,10 @@ mod tests {
         run_experiment(
             &trials,
             &SurrogateEvaluator::default(),
-            &SchedulerConfig { injected_failures: 0, ..Default::default() },
+            &SchedulerConfig {
+                injected_failures: 0,
+                ..Default::default()
+            },
         )
     }
 
@@ -165,13 +197,11 @@ pub fn figure3_html(db: &ExperimentDb) -> String {
     let r = db.objective_ranges();
     let (w, h, pad) = (900.0f64, 560.0f64, 60.0f64);
     let x_of = |acc: f64| {
-        pad + (acc - r.accuracy_min) / (r.accuracy_max - r.accuracy_min).max(1e-9)
-            * (w - 2.0 * pad)
+        pad + (acc - r.accuracy_min) / (r.accuracy_max - r.accuracy_min).max(1e-9) * (w - 2.0 * pad)
     };
     let (ly_min, ly_max) = (r.latency_min_ms.ln(), r.latency_max_ms.ln());
-    let y_of = |lat: f64| {
-        h - pad - (lat.ln() - ly_min) / (ly_max - ly_min).max(1e-9) * (h - 2.0 * pad)
-    };
+    let y_of =
+        |lat: f64| h - pad - (lat.ln() - ly_min) / (ly_max - ly_min).max(1e-9) * (h - 2.0 * pad);
 
     let mut svg = String::with_capacity(valid.len() * 160);
     svg.push_str(&format!(
@@ -193,8 +223,8 @@ pub fn figure3_html(db: &ExperimentDb) -> String {
     let mut front_svg = String::new();
     for o in &valid {
         let on_front = front_ids.contains(&o.spec.id);
-        let radius = 2.0 + 4.0 * (o.memory_mb - r.memory_min_mb)
-            / (r.memory_max_mb - r.memory_min_mb).max(1e-9);
+        let radius = 2.0
+            + 4.0 * (o.memory_mb - r.memory_min_mb) / (r.memory_max_mb - r.memory_min_mb).max(1e-9);
         let circle = format!(
             r##"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="{}" fill-opacity="{}"><title>{} | acc {:.2}% lat {:.2}ms mem {:.2}MB</title></circle>"##,
             x_of(o.accuracy),
@@ -243,7 +273,10 @@ mod html_tests {
         let db = run_experiment(
             &trials,
             &SurrogateEvaluator::default(),
-            &SchedulerConfig { injected_failures: 0, ..Default::default() },
+            &SchedulerConfig {
+                injected_failures: 0,
+                ..Default::default()
+            },
         );
         let html = figure3_html(&db);
         assert!(html.starts_with("<!DOCTYPE html>"));

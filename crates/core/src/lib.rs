@@ -54,23 +54,24 @@ pub use report::markdown_report;
 pub mod prelude {
     pub use crate::figures::{figure1, figure2, figure3_csv, figure3_html, figure4_csv};
     pub use crate::pipeline::{ReproArtifacts, ReproConfig};
+    pub use crate::report::markdown_report;
     pub use crate::tables::{table1, table2, table3, table4, table5};
     pub use hydronas_geodata::{
         build_dataset, build_paper_dataset, study_regions, ChannelMode, TileSet,
     };
-    pub use crate::report::markdown_report;
     pub use hydronas_graph::{
-        architecture_summary, model_cost, quantized_size_bytes, serialized_size_bytes,
-        ArchConfig, ModelGraph, PoolConfig, Precision, BASELINE_RESNET18,
+        architecture_summary, model_cost, quantized_size_bytes, serialized_size_bytes, ArchConfig,
+        ModelGraph, PoolConfig, Precision, BASELINE_RESNET18,
     };
     pub use hydronas_latency::{
         predict_all, predict_all_quantized, predict_energy, validate_table2, DeviceId,
         EnergyPrediction, LatencyPrediction,
     };
     pub use hydronas_nas::{
-        makespan_lpt, nsga2, profile_trial, random_search, regularized_evolution,
-        run_full_grid, EvolutionConfig, Evaluator, ExperimentDb, InputCombo, Nsga2Config,
-        RealTrainer, SchedulerConfig, SearchSpace, SurrogateEvaluator, TrialSpec,
+        makespan_lpt, nsga2, profile_trial, random_search, read_journal, regularized_evolution,
+        run_full_grid, run_sweep, CollectingSink, Evaluator, EvolutionConfig, ExperimentDb,
+        InputCombo, Nsga2Config, ProgressSink, RealTrainer, SchedulerConfig, SearchSpace,
+        StderrTicker, SurrogateEvaluator, SweepOptions, SweepReport, SweepStats, TrialSpec,
     };
     pub use hydronas_nn::{
         augment_batch, kfold_cross_validate, train, Dataset, LrSchedule, ResNet, TrainConfig,
@@ -101,7 +102,11 @@ mod tests {
         ];
         let front = pareto_front(
             &points,
-            &[Objective::Maximize, Objective::Minimize, Objective::Minimize],
+            &[
+                Objective::Maximize,
+                Objective::Minimize,
+                Objective::Minimize,
+            ],
         );
         assert_eq!(front.len(), 1);
         assert_eq!(front[0].id, 1);

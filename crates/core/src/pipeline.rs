@@ -2,7 +2,11 @@
 //! render every table and figure into an artifact bundle.
 
 use crate::{figures, tables};
-use hydronas_nas::{run_full_grid, ExperimentDb, SchedulerConfig, SurrogateEvaluator};
+use hydronas_nas::space::{full_grid, SearchSpace};
+use hydronas_nas::{
+    run_sweep, ExperimentDb, ProgressSink, SchedulerConfig, SurrogateEvaluator, SweepOptions,
+    SweepStats,
+};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -26,7 +30,11 @@ pub struct ReproConfig {
 impl Default for ReproConfig {
     fn default() -> ReproConfig {
         let s = SchedulerConfig::default();
-        ReproConfig { seed: s.seed, input_hw: s.input_hw, injected_failures: s.injected_failures }
+        ReproConfig {
+            seed: s.seed,
+            input_hw: s.input_hw,
+            injected_failures: s.injected_failures,
+        }
     }
 }
 
@@ -45,6 +53,9 @@ pub struct ReproArtifacts {
     pub figure3_csv: String,
     pub figure4_csv: String,
     pub discussion: String,
+    /// Execution counters of the sweep that produced `db`. Zeroed when
+    /// artifacts are rendered from a pre-existing database.
+    pub sweep: SweepStats,
 }
 
 impl ReproConfig {
@@ -53,14 +64,41 @@ impl ReproConfig {
             seed: self.seed,
             input_hw: self.input_hw,
             injected_failures: self.injected_failures,
+            ..SchedulerConfig::default()
         }
     }
 
     /// Runs the full 1,728-trial experiment (surrogate evaluator) and
     /// renders every artifact.
     pub fn run(&self) -> ReproArtifacts {
-        let db = run_full_grid(&SurrogateEvaluator::default(), &self.scheduler());
-        self.render(db)
+        self.run_with(None, None)
+            .expect("a sweep without a journal performs no I/O")
+    }
+
+    /// [`ReproConfig::run`] with sweep machinery attached: an optional
+    /// write-ahead journal (replayed on restart, so a killed run resumes
+    /// where it stopped) and an optional progress sink. Errs only on
+    /// journal I/O problems — an unreadable/corrupt journal file or one
+    /// recorded against a different trial set.
+    pub fn run_with(
+        &self,
+        journal: Option<&Path>,
+        sink: Option<&mut dyn ProgressSink>,
+    ) -> std::io::Result<ReproArtifacts> {
+        let trials = full_grid(&SearchSpace::paper());
+        let report = run_sweep(
+            &trials,
+            &SurrogateEvaluator::default(),
+            &self.scheduler(),
+            SweepOptions {
+                journal,
+                sink,
+                workers: None,
+            },
+        )?;
+        let mut artifacts = self.render(report.db);
+        artifacts.sweep = report.stats;
+        Ok(artifacts)
     }
 
     /// Renders artifacts from an existing database (e.g. loaded from
@@ -83,6 +121,7 @@ impl ReproConfig {
             figure3_csv: figures::figure3_csv(&db),
             figure4_csv: figures::figure4_csv(&db),
             discussion,
+            sweep: SweepStats::default(),
             db,
         }
     }
@@ -110,14 +149,32 @@ pub fn discussion_section(db: &ExperimentDb) -> String {
 }
 
 impl ReproArtifacts {
+    /// Human-readable sweep execution summary. Falls back to
+    /// database-derived counts when the artifacts were rendered from a
+    /// pre-existing database (no live sweep ran).
+    pub fn sweep_summary(&self) -> String {
+        if self.sweep.scheduled > 0 {
+            self.sweep.summary()
+        } else {
+            format!(
+                "scheduled : {}\ncompleted : {}\nfailed    : {}\n(reconstructed from the database; no live sweep ran)",
+                self.db.outcomes.len(),
+                self.db.valid().len(),
+                self.db.outcomes.len() - self.db.valid().len()
+            )
+        }
+    }
+
     /// Writes the bundle to `dir` (created if missing). Returns the list
     /// of written files.
     pub fn write_to(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
         std::fs::create_dir_all(dir)?;
         let report = crate::report::markdown_report(self);
         let figure3_html = crate::figures::figure3_html(&self.db);
-        let entries: [(&str, &str); 14] = [
+        let sweep = self.sweep_summary();
+        let entries: [(&str, &str); 15] = [
             ("report.md", &report),
+            ("sweep.txt", &sweep),
             ("figure3_interactive.html", &figure3_html),
             ("table1.txt", &self.table1),
             ("table2.txt", &self.table2),
@@ -145,8 +202,8 @@ impl ReproArtifacts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hydronas_nas::space::{full_grid, SearchSpace};
     use hydronas_nas::run_experiment;
+    use hydronas_nas::space::{full_grid, SearchSpace};
 
     /// A reduced pipeline over one input combination, for test speed.
     fn reduced_artifacts() -> ReproArtifacts {
@@ -161,7 +218,10 @@ mod tests {
         let db = run_experiment(
             &trials,
             &SurrogateEvaluator::default(),
-            &SchedulerConfig { injected_failures: 0, ..Default::default() },
+            &SchedulerConfig {
+                injected_failures: 0,
+                ..Default::default()
+            },
         );
         config.render(db)
     }
@@ -190,7 +250,7 @@ mod tests {
         let a = reduced_artifacts();
         let dir = std::env::temp_dir().join(format!("hydronas_test_{}", std::process::id()));
         let written = a.write_to(&dir).unwrap();
-        assert_eq!(written.len(), 14);
+        assert_eq!(written.len(), 15);
         for path in &written {
             assert!(path.exists(), "{} missing", path.display());
         }
@@ -199,6 +259,29 @@ mod tests {
         let db = ExperimentDb::from_json(&json).unwrap();
         assert_eq!(db.outcomes.len(), a.db.outcomes.len());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_journals_and_reports_progress() {
+        let journal =
+            std::env::temp_dir().join(format!("hydronas_pipeline_journal_{}", std::process::id()));
+        std::fs::remove_file(&journal).ok();
+        let config = ReproConfig::default();
+        let mut sink = hydronas_nas::CollectingSink::default();
+        let a = config.run_with(Some(&journal), Some(&mut sink)).unwrap();
+        assert_eq!(a.sweep.scheduled, 1728);
+        assert_eq!(a.sweep.replayed, 0);
+        assert_eq!(a.sweep.completed, 1717);
+        assert_eq!(sink.started, 1);
+        assert_eq!(sink.finished, 1);
+        assert_eq!(sink.trials.len(), 1728);
+        assert_eq!(hydronas_nas::read_journal(&journal).unwrap().len(), 1728);
+        // A second run replays the whole journal and lands on the same db.
+        let b = config.run_with(Some(&journal), None).unwrap();
+        assert_eq!(b.sweep.replayed, 1728);
+        assert_eq!(b.db.to_json(), a.db.to_json());
+        assert!(b.sweep_summary().contains("replayed  : 1728"));
+        std::fs::remove_file(&journal).ok();
     }
 
     #[test]

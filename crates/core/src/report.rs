@@ -64,9 +64,9 @@ pub fn markdown_report(artifacts: &ReproArtifacts) -> String {
             && o.spec.stride_pool == 2
     });
     let baseline_row = baseline_row.or_else(|| {
-        db.valid().into_iter().find(|o| {
-            o.spec.arch == hydronas_graph::ArchConfig::baseline(o.spec.arch.in_channels)
-        })
+        db.valid()
+            .into_iter()
+            .find(|o| o.spec.arch == hydronas_graph::ArchConfig::baseline(o.spec.arch.in_channels))
     });
     if let (Some(best), Some(baseline)) = (front.first(), baseline_row) {
         out.push_str(&format!(
@@ -84,6 +84,9 @@ pub fn markdown_report(artifacts: &ReproArtifacts) -> String {
             baseline.memory_mb
         ));
     }
+
+    out.push_str("\n## Sweep execution\n\n");
+    out.push_str(&code_block(&artifacts.sweep_summary()));
 
     out.push_str("\n## Search wall-clock (Section 5)\n\n");
     out.push_str("| combination | simulated wall-clock |\n|---|---|\n");
@@ -130,7 +133,10 @@ mod tests {
         let db = run_experiment(
             &trials,
             &SurrogateEvaluator::default(),
-            &SchedulerConfig { injected_failures: 0, ..Default::default() },
+            &SchedulerConfig {
+                injected_failures: 0,
+                ..Default::default()
+            },
         );
         ReproConfig::default().render(db)
     }
@@ -145,6 +151,7 @@ mod tests {
             "## Objective ranges (Table 3)",
             "## Non-dominated solutions (Table 4)",
             "## ResNet-18 baselines (Table 5)",
+            "## Sweep execution",
             "## Search wall-clock (Section 5)",
             "## Figures",
         ] {

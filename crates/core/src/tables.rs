@@ -130,8 +130,8 @@ pub fn table5(db: &ExperimentDb) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hydronas_nas::{run_experiment, SchedulerConfig, SurrogateEvaluator};
     use hydronas_nas::space::{full_grid, SearchSpace};
+    use hydronas_nas::{run_experiment, SchedulerConfig, SurrogateEvaluator};
 
     fn small_db() -> ExperimentDb {
         // Every trial of one combo plus all baseline rows.
@@ -145,7 +145,10 @@ mod tests {
         run_experiment(
             &trials,
             &SurrogateEvaluator::default(),
-            &SchedulerConfig { injected_failures: 0, ..Default::default() },
+            &SchedulerConfig {
+                injected_failures: 0,
+                ..Default::default()
+            },
         )
     }
 

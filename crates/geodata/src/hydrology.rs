@@ -9,8 +9,16 @@
 use crate::terrain::Heightmap;
 
 /// D8 neighbor offsets (E, SE, S, SW, W, NW, N, NE).
-const D8: [(i32, i32); 8] =
-    [(1, 0), (1, 1), (0, 1), (-1, 1), (-1, 0), (-1, -1), (0, -1), (1, -1)];
+const D8: [(i32, i32); 8] = [
+    (1, 0),
+    (1, 1),
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+];
 
 /// Per-cell steepest-descent direction: index into the D8 table, or `None`
 /// for pits/flats and cells draining off the raster edge.
@@ -28,7 +36,11 @@ pub fn d8_flow_directions(h: &Heightmap) -> Vec<Option<u8>> {
                     continue;
                 }
                 let dz = z - h.at(nx as usize, ny as usize);
-                let dist = if dx.abs() + dy.abs() == 2 { std::f32::consts::SQRT_2 } else { 1.0 };
+                let dist = if dx.abs() + dy.abs() == 2 {
+                    std::f32::consts::SQRT_2
+                } else {
+                    1.0
+                };
                 let grad = dz / dist;
                 if grad > 0.0 && best.map_or(true, |(_, g)| grad > g) {
                     best = Some((i as u8, grad));

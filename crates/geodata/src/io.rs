@@ -136,7 +136,10 @@ pub fn deserialize_tileset(data: &[u8]) -> Result<TileSet, TileIoError> {
     let region_of: Vec<&'static str> = indices
         .iter()
         .map(|&i| {
-            let name = names.get(i as usize).map(String::as_str).unwrap_or("unknown");
+            let name = names
+                .get(i as usize)
+                .map(String::as_str)
+                .unwrap_or("unknown");
             crate::region::study_regions()
                 .iter()
                 .map(|r| r.name)
@@ -202,10 +205,16 @@ mod tests {
 
     #[test]
     fn corruption_is_rejected() {
-        assert_eq!(deserialize_tileset(b"XXXXxxxx").unwrap_err(), TileIoError::BadMagic);
+        assert_eq!(
+            deserialize_tileset(b"XXXXxxxx").unwrap_err(),
+            TileIoError::BadMagic
+        );
         let mut blob = serialize_tileset(&sample_set());
         blob[4] = 9; // version
-        assert_eq!(deserialize_tileset(&blob).unwrap_err(), TileIoError::BadVersion(9));
+        assert_eq!(
+            deserialize_tileset(&blob).unwrap_err(),
+            TileIoError::BadVersion(9)
+        );
         let mut blob = serialize_tileset(&sample_set());
         blob[12] = 4; // channels = 4
         assert!(matches!(

@@ -119,7 +119,10 @@ mod tests {
             delta1 += (a1 - b1).abs();
             delta4 += (a4 - b4).abs();
         }
-        assert!(delta4 > delta1, "more octaves should add high-frequency detail");
+        assert!(
+            delta4 > delta1,
+            "more octaves should add high-frequency detail"
+        );
     }
 
     #[test]

@@ -47,7 +47,13 @@ pub struct SceneParams {
 
 impl Default for SceneParams {
     fn default() -> SceneParams {
-        SceneParams { size: 128, seed: 0, roads: 3, stream_threshold: 60, relief_m: 10.0 }
+        SceneParams {
+            size: 128,
+            seed: 0,
+            roads: 3,
+            stream_threshold: 60,
+            relief_m: 10.0,
+        }
     }
 }
 
@@ -118,7 +124,10 @@ impl Scene {
             lay_road(
                 &mut height,
                 &mut roads,
-                (n as f32 * rng.uniform(0.2, 0.8), n as f32 * rng.uniform(0.2, 0.8)),
+                (
+                    n as f32 * rng.uniform(0.2, 0.8),
+                    n as f32 * rng.uniform(0.2, 0.8),
+                ),
                 (theta.cos(), theta.sin()),
                 rng.uniform(1.2, 2.2),
                 rng.uniform(1.0, 2.0),
@@ -142,7 +151,13 @@ impl Scene {
                 }
             }
         }
-        Scene { size: n, height, streams, roads, crossings }
+        Scene {
+            size: n,
+            height,
+            streams,
+            roads,
+            crossings,
+        }
     }
 
     /// Extracts a square window of the DEM centered at `(cx, cy)` (clamped
@@ -207,7 +222,10 @@ mod tests {
     use super::*;
 
     fn scene(seed: u64) -> Scene {
-        Scene::generate(&SceneParams { seed, ..Default::default() })
+        Scene::generate(&SceneParams {
+            seed,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -231,7 +249,10 @@ mod tests {
             assert!(s.roads.iter().any(|&v| v), "seed {seed}: no roads");
             total_crossings += s.crossings.len();
         }
-        assert!(total_crossings >= 6, "almost no crossings detected: {total_crossings}");
+        assert!(
+            total_crossings >= 6,
+            "almost no crossings detected: {total_crossings}"
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@ pub struct Heightmap {
 impl Heightmap {
     /// Flat raster at a constant elevation.
     pub fn flat(size: usize, elevation: f32) -> Heightmap {
-        Heightmap { size, data: vec![elevation; size * size] }
+        Heightmap {
+            size,
+            data: vec![elevation; size * size],
+        }
     }
 
     /// Procedural terrain: fBm relief scaled to `relief_m` meters with a
@@ -102,7 +105,12 @@ mod tests {
         let h = Heightmap::generate(64, 1, 20.0, 1.0);
         let (lo, hi) = h.range();
         assert!(hi - lo > 2.0, "terrain too flat: {}..{}", lo, hi);
-        assert!(hi - lo <= 20.0 * 1.15 + 1e-3, "terrain exceeds relief: {}..{}", lo, hi);
+        assert!(
+            hi - lo <= 20.0 * 1.15 + 1e-3,
+            "terrain exceeds relief: {}..{}",
+            lo,
+            hi
+        );
         assert!(lo >= 0.0);
     }
 
@@ -110,9 +118,7 @@ mod tests {
     fn regional_tilt_drains_east() {
         let h = Heightmap::generate(64, 2, 10.0, 0.5);
         // Column means should generally fall toward +x.
-        let col_mean = |x: usize| -> f32 {
-            (0..64).map(|y| h.at(x, y)).sum::<f32>() / 64.0
-        };
+        let col_mean = |x: usize| -> f32 { (0..64).map(|y| h.at(x, y)).sum::<f32>() / 64.0 };
         assert!(col_mean(0) > col_mean(63), "no west->east tilt");
     }
 

@@ -28,7 +28,13 @@ pub struct TileParams {
 
 impl Default for TileParams {
     fn default() -> TileParams {
-        TileParams { size: 32, seed: 0, has_crossing: false, roughness: 1.0, relief_m: 6.0 }
+        TileParams {
+            size: 32,
+            seed: 0,
+            has_crossing: false,
+            roughness: 1.0,
+            relief_m: 6.0,
+        }
     }
 }
 
@@ -155,8 +161,13 @@ pub fn synthesize_tile(params: &TileParams) -> Tile {
                 let channel = Channel::new(n, &mut rng);
                 // Road runs alongside the channel, offset far enough that
                 // the embankment never touches the channel bed.
-                let offset = n as f32 * rng.uniform(0.28, 0.4)
-                    * if channel.path[0] > n as f32 / 2.0 { -1.0 } else { 1.0 };
+                let offset = n as f32
+                    * rng.uniform(0.28, 0.4)
+                    * if channel.path[0] > n as f32 / 2.0 {
+                        -1.0
+                    } else {
+                        1.0
+                    };
                 let road = Road {
                     origin: (n as f32 * 0.5, channel.path[n / 2] + offset),
                     dir: (1.0, 0.0),
@@ -211,8 +222,7 @@ pub fn synthesize_tile(params: &TileParams) -> Tile {
             let rel_elev = (height.at(x, y) - lo) / span;
             let channel_moisture = (channel_depth_map[i] / 1.5).clamp(0.0, 1.0);
             // Vegetation density: moist lowlands are greener.
-            let veg = (0.25 + 0.6 * channel_moisture + 0.3 * (1.0 - rel_elev))
-                .clamp(0.0, 1.0)
+            let veg = (0.25 + 0.6 * channel_moisture + 0.3 * (1.0 - rel_elev)).clamp(0.0, 1.0)
                 * (1.0 - road_mask[i]);
             let water = f32::from(channel_depth_map[i] > 0.85 && road_mask[i] < 0.3);
 
@@ -322,7 +332,8 @@ mod tests {
             for y in n / 4..3 * n / 4 {
                 for x in n / 4..3 * n / 4 {
                     let c = t.dem[y * n + x];
-                    let l = t.dem[y * n + x - 1] + t.dem[y * n + x + 1]
+                    let l = t.dem[y * n + x - 1]
+                        + t.dem[y * n + x + 1]
                         + t.dem[(y - 1) * n + x]
                         + t.dem[(y + 1) * n + x]
                         - 4.0 * c;
@@ -337,7 +348,10 @@ mod tests {
             pos += lap_energy(&make(seed, true));
             neg += lap_energy(&make(seed + 1000, false));
         }
-        assert!(pos > neg, "positives should carry more structure: {pos} vs {neg}");
+        assert!(
+            pos > neg,
+            "positives should carry more structure: {pos} vs {neg}"
+        );
     }
 
     #[test]
@@ -371,7 +385,10 @@ mod tests {
                 );
             }
         }
-        assert!(checked >= 5, "too few channel negatives generated: {checked}");
+        assert!(
+            checked >= 5,
+            "too few channel negatives generated: {checked}"
+        );
     }
 
     #[test]
@@ -460,13 +477,19 @@ mod tests {
             let crossing_cells = (0..t.dem.len())
                 .filter(|&i| t.channel_depth[i] > 0.5 && t.road_mask[i] > 0.5)
                 .count();
-            assert!(crossing_cells > 0, "seed {seed}: no crossing cells in positive tile");
+            assert!(
+                crossing_cells > 0,
+                "seed {seed}: no crossing cells in positive tile"
+            );
         }
     }
 
     #[test]
     #[should_panic(expected = "too small")]
     fn rejects_tiny_tiles() {
-        let _ = synthesize_tile(&TileParams { size: 4, ..Default::default() });
+        let _ = synthesize_tile(&TileParams {
+            size: 4,
+            ..Default::default()
+        });
     }
 }

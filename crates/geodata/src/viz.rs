@@ -25,7 +25,10 @@ fn to_gray(values: &[f32]) -> Vec<u8> {
 
 /// Renders a square f32 raster as binary PGM (P5).
 pub fn raster_to_pgm(values: &[f32], width: usize) -> Vec<u8> {
-    assert!(width > 0 && values.len() % width == 0, "raster shape mismatch");
+    assert!(
+        width > 0 && values.len() % width == 0,
+        "raster shape mismatch"
+    );
     let height = values.len() / width;
     let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
     out.extend(to_gray(values));
@@ -126,7 +129,11 @@ mod tests {
 
     #[test]
     fn ppm_has_three_bytes_per_pixel() {
-        let tile = synthesize_tile(&TileParams { size: 16, seed: 2, ..Default::default() });
+        let tile = synthesize_tile(&TileParams {
+            size: 16,
+            seed: 2,
+            ..Default::default()
+        });
         let blob = tile_to_ppm(&tile);
         let (magic, w, h, _) = parse_header(&blob).unwrap();
         assert_eq!(magic, "P6");

@@ -53,7 +53,12 @@ pub fn node_cost(node: &Node) -> NodeCost {
     let in_v = volume(node.in_shape);
     let out_v = volume(node.out_shape);
     let (params, buffers, flops) = match node.kind {
-        NodeKind::Conv { in_c, out_c, kernel, .. } => {
+        NodeKind::Conv {
+            in_c,
+            out_c,
+            kernel,
+            ..
+        } => {
             let params = (out_c * in_c * kernel * kernel) as u64;
             let flops = 2 * out_v * (in_c * kernel * kernel) as u64;
             (params, 0, flops)
@@ -73,7 +78,11 @@ pub fn node_cost(node: &Node) -> NodeCost {
         }
     };
     // Residual add reads two inputs of equal size.
-    let input_bytes = if matches!(node.kind, NodeKind::Add) { 8 * in_v } else { 4 * in_v };
+    let input_bytes = if matches!(node.kind, NodeKind::Add) {
+        8 * in_v
+    } else {
+        4 * in_v
+    };
     NodeCost {
         name: node.name.clone(),
         params,
@@ -164,7 +173,11 @@ mod tests {
         let f32_ = model_cost(&g32).flops as f64;
         let f64_ = model_cost(&g64).flops as f64;
         // Roughly 4x (borders distort it slightly).
-        assert!(f64_ / f32_ > 3.0 && f64_ / f32_ < 5.0, "ratio {}", f64_ / f32_);
+        assert!(
+            f64_ / f32_ > 3.0 && f64_ / f32_ < 5.0,
+            "ratio {}",
+            f64_ / f32_
+        );
     }
 
     #[test]

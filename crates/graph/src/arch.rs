@@ -54,7 +54,10 @@ pub const BASELINE_RESNET18: ArchConfig = ArchConfig {
     kernel_size: 7,
     stride: 2,
     padding: 3,
-    pool: Some(PoolConfig { kernel: 3, stride: 2 }),
+    pool: Some(PoolConfig {
+        kernel: 3,
+        stride: 2,
+    }),
     initial_features: 64,
     num_classes: 2,
 };
@@ -62,7 +65,10 @@ pub const BASELINE_RESNET18: ArchConfig = ArchConfig {
 impl ArchConfig {
     /// Baseline ResNet-18 for a given channel count.
     pub fn baseline(in_channels: usize) -> ArchConfig {
-        ArchConfig { in_channels, ..BASELINE_RESNET18 }
+        ArchConfig {
+            in_channels,
+            ..BASELINE_RESNET18
+        }
     }
 
     /// Widths of the four backbone stages: `[f, 2f, 4f, 8f]`.
@@ -87,12 +93,20 @@ impl ArchConfig {
         match self.pool {
             Some(p) => format!(
                 "c{}k{}s{}p{}-pool{}x{}-f{}",
-                self.in_channels, self.kernel_size, self.stride, self.padding, p.kernel, p.stride,
+                self.in_channels,
+                self.kernel_size,
+                self.stride,
+                self.padding,
+                p.kernel,
+                p.stride,
                 self.initial_features
             ),
             None => format!(
                 "c{}k{}s{}p{}-nopool-f{}",
-                self.in_channels, self.kernel_size, self.stride, self.padding,
+                self.in_channels,
+                self.kernel_size,
+                self.stride,
+                self.padding,
                 self.initial_features
             ),
         }
@@ -109,15 +123,35 @@ mod tests {
         assert_eq!(BASELINE_RESNET18.stride, 2);
         assert_eq!(BASELINE_RESNET18.padding, 3);
         assert_eq!(BASELINE_RESNET18.initial_features, 64);
-        assert_eq!(BASELINE_RESNET18.pool, Some(PoolConfig { kernel: 3, stride: 2 }));
+        assert_eq!(
+            BASELINE_RESNET18.pool,
+            Some(PoolConfig {
+                kernel: 3,
+                stride: 2
+            })
+        );
         assert_eq!(BASELINE_RESNET18.stage_widths(), [64, 128, 256, 512]);
         assert_eq!(BASELINE_RESNET18.fc_in_features(), 512);
     }
 
     #[test]
     fn pool_padding_convention() {
-        assert_eq!(PoolConfig { kernel: 3, stride: 2 }.padding(), 1);
-        assert_eq!(PoolConfig { kernel: 2, stride: 2 }.padding(), 0);
+        assert_eq!(
+            PoolConfig {
+                kernel: 3,
+                stride: 2
+            }
+            .padding(),
+            1
+        );
+        assert_eq!(
+            PoolConfig {
+                kernel: 2,
+                stride: 2
+            }
+            .padding(),
+            0
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@ fn node_color(kind: &NodeKind) -> &'static str {
 /// dataflow the trainable model executes.
 pub fn to_dot(graph: &ModelGraph) -> String {
     let mut out = String::with_capacity(graph.len() * 96);
-    out.push_str("digraph model {\n  rankdir=TB;\n  node [shape=box, style=filled, fontsize=10];\n");
+    out.push_str(
+        "digraph model {\n  rankdir=TB;\n  node [shape=box, style=filled, fontsize=10];\n",
+    );
     out.push_str(&format!(
         "  label=\"{} @ {}x{}\";\n",
         graph.arch.key(),
@@ -73,7 +75,11 @@ pub fn to_dot(graph: &ModelGraph) -> String {
             out.push_str(&format!("  n{i} -> n{} [style=dashed];\n", i + 1));
             continue;
         }
-        let prev = if graph.nodes[i - 1].name.ends_with("downsample.bn") { i - 3 } else { i - 1 };
+        let prev = if graph.nodes[i - 1].name.ends_with("downsample.bn") {
+            i - 3
+        } else {
+            i - 1
+        };
         out.push_str(&format!("  n{prev} -> n{i};\n"));
         // Identity skip: block entry feeds the add directly when no
         // projection exists.

@@ -13,13 +13,23 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum NodeKind {
     /// 2-d convolution (no bias; ResNet convention).
-    Conv { in_c: usize, out_c: usize, kernel: usize, stride: usize, padding: usize },
+    Conv {
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    },
     /// Batch normalization over `channels`.
     BatchNorm { channels: usize },
     /// Rectified linear unit.
     Relu,
     /// Max pooling.
-    MaxPool { kernel: usize, stride: usize, padding: usize },
+    MaxPool {
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    },
     /// Elementwise residual addition (two equal-shaped inputs).
     Add,
     /// Global average pooling `[C,H,W] -> [C]`.
@@ -43,13 +53,23 @@ pub struct Node {
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum GraphError {
     /// A conv/pool window no longer fits the feature map at `layer`.
-    CollapsedFeatureMap { layer: String, height: usize, width: usize, kernel: usize },
+    CollapsedFeatureMap {
+        layer: String,
+        height: usize,
+        width: usize,
+        kernel: usize,
+    },
 }
 
 impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GraphError::CollapsedFeatureMap { layer, height, width, kernel } => write!(
+            GraphError::CollapsedFeatureMap {
+                layer,
+                height,
+                width,
+                kernel,
+            } => write!(
                 f,
                 "feature map {height}x{width} collapsed under kernel {kernel} at {layer}"
             ),
@@ -106,7 +126,13 @@ impl Builder {
             }
         };
         self.nodes.push(Node {
-            kind: NodeKind::Conv { in_c: c, out_c, kernel, stride, padding },
+            kind: NodeKind::Conv {
+                in_c: c,
+                out_c,
+                kernel,
+                stride,
+                padding,
+            },
             name: name.to_string(),
             in_shape: self.shape,
             out_shape: (out_c, oh, ow),
@@ -117,7 +143,9 @@ impl Builder {
 
     fn bn(&mut self, name: &str) {
         self.nodes.push(Node {
-            kind: NodeKind::BatchNorm { channels: self.shape.0 },
+            kind: NodeKind::BatchNorm {
+                channels: self.shape.0,
+            },
             name: name.to_string(),
             in_shape: self.shape,
             out_shape: self.shape,
@@ -155,7 +183,11 @@ impl Builder {
             }
         };
         self.nodes.push(Node {
-            kind: NodeKind::MaxPool { kernel, stride, padding },
+            kind: NodeKind::MaxPool {
+                kernel,
+                stride,
+                padding,
+            },
             name: name.to_string(),
             in_shape: self.shape,
             out_shape: (c, oh, ow),
@@ -176,12 +208,7 @@ impl Builder {
     /// One ResNet basic block: conv3x3 -> bn -> relu -> conv3x3 -> bn,
     /// plus a 1x1 downsample projection when entering a new stage, then
     /// residual add and relu.
-    fn basic_block(
-        &mut self,
-        prefix: &str,
-        out_c: usize,
-        stride: usize,
-    ) -> Result<(), GraphError> {
+    fn basic_block(&mut self, prefix: &str, out_c: usize, stride: usize) -> Result<(), GraphError> {
         let needs_projection = stride != 1 || self.shape.0 != out_c;
         let skip_entry = self.shape;
         self.conv(&format!("{prefix}.conv1"), out_c, 3, stride, 1)?;
@@ -208,9 +235,18 @@ impl Builder {
 impl ModelGraph {
     /// Expands `arch` applied to square `input_hw` tiles into a full graph.
     pub fn from_arch(arch: &ArchConfig, input_hw: usize) -> Result<ModelGraph, GraphError> {
-        let mut b = Builder { nodes: Vec::with_capacity(80), shape: (arch.in_channels, input_hw, input_hw) };
+        let mut b = Builder {
+            nodes: Vec::with_capacity(80),
+            shape: (arch.in_channels, input_hw, input_hw),
+        };
 
-        b.conv("stem.conv", arch.initial_features, arch.kernel_size, arch.stride, arch.padding)?;
+        b.conv(
+            "stem.conv",
+            arch.initial_features,
+            arch.kernel_size,
+            arch.stride,
+            arch.padding,
+        )?;
         b.bn("stem.bn");
         b.relu("stem.relu");
         if let Some(pool) = arch.pool {
@@ -234,14 +270,21 @@ impl ModelGraph {
             out_shape: (c, 1, 1),
         });
         b.nodes.push(Node {
-            kind: NodeKind::Linear { in_f: c, out_f: arch.num_classes },
+            kind: NodeKind::Linear {
+                in_f: c,
+                out_f: arch.num_classes,
+            },
             name: "head.fc".to_string(),
             in_shape: (c, 1, 1),
             out_shape: (arch.num_classes, 1, 1),
         });
         debug_assert_eq!(c, arch.fc_in_features());
 
-        Ok(ModelGraph { arch: *arch, input_hw, nodes: b.nodes })
+        Ok(ModelGraph {
+            arch: *arch,
+            input_hw,
+            nodes: b.nodes,
+        })
     }
 
     /// Number of operator nodes.
@@ -290,7 +333,10 @@ mod tests {
         // Head FC is 512 -> 2.
         assert!(matches!(
             g.nodes.last().unwrap().kind,
-            NodeKind::Linear { in_f: 512, out_f: 2 }
+            NodeKind::Linear {
+                in_f: 512,
+                out_f: 2
+            }
         ));
     }
 
@@ -310,7 +356,10 @@ mod tests {
         let g = ModelGraph::from_arch(&arch, 224).unwrap();
         assert!(matches!(
             g.nodes.last().unwrap().kind,
-            NodeKind::Linear { in_f: 256, out_f: 2 }
+            NodeKind::Linear {
+                in_f: 256,
+                out_f: 2
+            }
         ));
     }
 
@@ -322,7 +371,10 @@ mod tests {
             kernel_size: 7,
             stride: 2,
             padding: 0,
-            pool: Some(PoolConfig { kernel: 3, stride: 2 }),
+            pool: Some(PoolConfig {
+                kernel: 3,
+                stride: 2,
+            }),
             initial_features: 32,
             num_classes: 2,
         };
@@ -343,9 +395,13 @@ mod tests {
             for stride in [1, 2] {
                 for padding in [0, 1, 3] {
                     for feat in [32, 48, 64] {
-                        for pool in
-                            [None, Some(PoolConfig { kernel: 3, stride: 2 })]
-                        {
+                        for pool in [
+                            None,
+                            Some(PoolConfig {
+                                kernel: 3,
+                                stride: 2,
+                            }),
+                        ] {
                             let arch = ArchConfig {
                                 in_channels: 7,
                                 kernel_size: kernel,
@@ -356,12 +412,7 @@ mod tests {
                                 num_classes: 2,
                             };
                             let g = ModelGraph::from_arch(&arch, 32);
-                            assert!(
-                                g.is_ok(),
-                                "config {:?} collapsed: {:?}",
-                                arch,
-                                g.err()
-                            );
+                            assert!(g.is_ok(), "config {:?} collapsed: {:?}", arch, g.err());
                         }
                     }
                 }

@@ -16,16 +16,16 @@
 //!   paper's memory objective.
 
 pub mod analysis;
-pub mod dot;
 pub mod arch;
+pub mod dot;
 pub mod graph;
 pub mod onnx;
 pub mod quantize;
 pub mod summary;
 
 pub use analysis::{model_cost, node_cost, ModelCost, NodeCost};
-pub use dot::to_dot;
 pub use arch::{ArchConfig, PoolConfig, BASELINE_RESNET18};
+pub use dot::to_dot;
 pub use graph::{GraphError, ModelGraph, Node, NodeKind};
 pub use onnx::{deserialize_model, serialize_model, serialized_size_bytes, OnnxLikeModel};
 pub use quantize::{quantize_tensor, quantized_size_bytes, Precision, QuantizedTensor};

@@ -82,12 +82,22 @@ fn put_node(buf: &mut BytesMut, node: &Node) {
         buf.put_u32_le(v as u32);
     }
     match node.kind {
-        NodeKind::Conv { in_c, out_c, kernel, stride, padding } => {
+        NodeKind::Conv {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            padding,
+        } => {
             for v in [in_c, out_c, kernel, stride, padding] {
                 buf.put_u32_le(v as u32);
             }
         }
-        NodeKind::MaxPool { kernel, stride, padding } => {
+        NodeKind::MaxPool {
+            kernel,
+            stride,
+            padding,
+        } => {
             for v in [kernel, stride, padding] {
                 buf.put_u32_le(v as u32);
             }
@@ -196,7 +206,10 @@ pub fn deserialize_model(data: &[u8]) -> Result<OnnxLikeModel, OnnxError> {
         stride: fields[2] as usize,
         padding: fields[3] as usize,
         pool: if fields[4] == 1 {
-            Some(crate::arch::PoolConfig { kernel: fields[5] as usize, stride: fields[6] as usize })
+            Some(crate::arch::PoolConfig {
+                kernel: fields[5] as usize,
+                stride: fields[6] as usize,
+            })
         } else {
             None
         },
@@ -250,7 +263,11 @@ pub fn deserialize_model(data: &[u8]) -> Result<OnnxLikeModel, OnnxError> {
             initializers.push((name, blob));
         }
     }
-    Ok(OnnxLikeModel { arch, input_hw, initializers })
+    Ok(OnnxLikeModel {
+        arch,
+        input_hw,
+        initializers,
+    })
 }
 
 #[cfg(test)]
@@ -313,15 +330,21 @@ mod tests {
         assert_eq!(model.input_hw, 32);
         let restored: usize = model.initializers.iter().map(|(_, b)| b.len()).sum();
         assert_eq!(restored, total);
-        let flat: Vec<f32> =
-            model.initializers.iter().flat_map(|(_, b)| b.iter().copied()).collect();
+        let flat: Vec<f32> = model
+            .initializers
+            .iter()
+            .flat_map(|(_, b)| b.iter().copied())
+            .collect();
         assert_eq!(flat, weights);
     }
 
     #[test]
     fn corrupt_inputs_are_rejected_not_panicked() {
         assert_eq!(deserialize_model(b"").unwrap_err(), OnnxError::Truncated);
-        assert_eq!(deserialize_model(b"XXXX\x01\x00\x00\x00").unwrap_err(), OnnxError::BadMagic);
+        assert_eq!(
+            deserialize_model(b"XXXX\x01\x00\x00\x00").unwrap_err(),
+            OnnxError::BadMagic
+        );
         let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
         let blob = serialize_model(&g, None);
         // Truncate mid-payload.
@@ -332,7 +355,10 @@ mod tests {
         // Wrong version.
         let mut v = blob.to_vec();
         v[4] = 99;
-        assert_eq!(deserialize_model(&v).unwrap_err(), OnnxError::BadVersion(99));
+        assert_eq!(
+            deserialize_model(&v).unwrap_err(),
+            OnnxError::BadVersion(99)
+        );
     }
 
     /// Helper giving tests a stable 5-channel baseline.

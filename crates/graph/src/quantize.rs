@@ -53,7 +53,10 @@ pub fn quantize_tensor(weights: &[f32]) -> QuantizedTensor {
 impl QuantizedTensor {
     /// Reconstructs approximate fp32 weights.
     pub fn dequantize(&self) -> Vec<f32> {
-        self.values.iter().map(|&q| f32::from(q) * self.scale).collect()
+        self.values
+            .iter()
+            .map(|&q| f32::from(q) * self.scale)
+            .collect()
     }
 
     /// Worst-case absolute reconstruction error (half a quantization step).
@@ -71,8 +74,11 @@ pub fn quantized_size_bytes(graph: &ModelGraph, precision: Precision) -> u64 {
         Precision::Fp32 => fp32,
         Precision::Int8 => {
             let params: u64 = graph.nodes.iter().map(|n| node_cost(n).params).sum();
-            let parameterized_nodes =
-                graph.nodes.iter().filter(|n| node_cost(n).params > 0).count() as u64;
+            let parameterized_nodes = graph
+                .nodes
+                .iter()
+                .filter(|n| node_cost(n).params > 0)
+                .count() as u64;
             // Replace the 4-byte payload with 1-byte + per-node scales.
             fp32 - 4 * params + params + 4 * parameterized_nodes
         }

@@ -32,8 +32,14 @@ pub fn architecture_summary(graph: &ModelGraph) -> String {
             "{:<28} {:<12} {:>14} {:>14} {:>12} {:>14}\n",
             node.name,
             op,
-            format!("{}x{}x{}", node.in_shape.0, node.in_shape.1, node.in_shape.2),
-            format!("{}x{}x{}", node.out_shape.0, node.out_shape.1, node.out_shape.2),
+            format!(
+                "{}x{}x{}",
+                node.in_shape.0, node.in_shape.1, node.in_shape.2
+            ),
+            format!(
+                "{}x{}x{}",
+                node.out_shape.0, node.out_shape.1, node.out_shape.2
+            ),
             nc.params,
             nc.flops
         ));

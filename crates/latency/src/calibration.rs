@@ -139,7 +139,11 @@ mod tests {
         start.kernel_overhead_ms *= 3.0;
         let (fitted, report) = fit_profile(&start, &observations, 40);
         assert!(report.rms_rel_error < 0.05, "rms {}", report.rms_rel_error);
-        assert!(report.within_10_pct > 95.0, "within {}", report.within_10_pct);
+        assert!(
+            report.within_10_pct > 95.0,
+            "within {}",
+            report.within_10_pct
+        );
         // Individual roofline parameters are only weakly identifiable
         // (zoo FLOPs and weight bytes are correlated - both scale with
         // width^2), so assert the *predictions* match the truth, not the
@@ -186,7 +190,11 @@ mod tests {
         let (_, report) = fit_profile(&start, &observations, 25);
         // Noise floors the achievable fit, but ±10% accuracy should be in
         // the high-90s like the paper's TFLite predictors.
-        assert!(report.within_10_pct > 85.0, "within {}", report.within_10_pct);
+        assert!(
+            report.within_10_pct > 85.0,
+            "within {}",
+            report.within_10_pct
+        );
     }
 
     #[test]

@@ -102,7 +102,10 @@ pub fn all_devices() -> Vec<DeviceProfile> {
 
 /// Looks up one profile.
 pub fn device(id: DeviceId) -> DeviceProfile {
-    all_devices().into_iter().find(|d| d.id == id).expect("all ids are present")
+    all_devices()
+        .into_iter()
+        .find(|d| d.id == id)
+        .expect("all ids are present")
 }
 
 #[cfg(test)]
@@ -114,7 +117,10 @@ mod tests {
         let devs = all_devices();
         assert_eq!(devs.len(), 4);
         let names: Vec<&str> = devs.iter().map(|d| d.id.name()).collect();
-        assert_eq!(names, vec!["cortexA76cpu", "adreno640gpu", "adreno630gpu", "myriadvpu"]);
+        assert_eq!(
+            names,
+            vec!["cortexA76cpu", "adreno640gpu", "adreno630gpu", "myriadvpu"]
+        );
         let cortex = device(DeviceId::CortexA76Cpu);
         assert_eq!(cortex.device, "Pixel4");
         assert_eq!(cortex.framework, "TFLite v2.1");

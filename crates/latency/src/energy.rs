@@ -31,7 +31,10 @@ pub fn predict_energy(graph: &ModelGraph) -> EnergyPrediction {
         })
         .collect();
     let mean = per_device.iter().map(|(_, v)| v).sum::<f64>() / per_device.len() as f64;
-    EnergyPrediction { per_device, mean_mj: mean }
+    EnergyPrediction {
+        per_device,
+        mean_mj: mean,
+    }
 }
 
 #[cfg(test)]

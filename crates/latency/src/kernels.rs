@@ -223,7 +223,10 @@ mod tests {
         arch.initial_features = 32;
         let g32 = ModelGraph::from_arch(&arch, 32).unwrap();
         let w32: u64 = decompose(&g32).iter().map(|k| k.weight_bytes).sum();
-        let w64: u64 = decompose(&baseline_graph()).iter().map(|k| k.weight_bytes).sum();
+        let w64: u64 = decompose(&baseline_graph())
+            .iter()
+            .map(|k| k.weight_bytes)
+            .sum();
         let ratio = w64 as f64 / w32 as f64;
         assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
     }
@@ -231,7 +234,13 @@ mod tests {
     #[test]
     fn decomposition_is_total_for_all_search_space_stems() {
         for kernel in [3, 7] {
-            for pool in [None, Some(hydronas_graph::PoolConfig { kernel: 2, stride: 1 })] {
+            for pool in [
+                None,
+                Some(hydronas_graph::PoolConfig {
+                    kernel: 2,
+                    stride: 1,
+                }),
+            ] {
                 let arch = ArchConfig {
                     in_channels: 7,
                     kernel_size: kernel,

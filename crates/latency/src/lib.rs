@@ -30,6 +30,8 @@ pub use calibration::{fit_profile, FitReport, Observation};
 pub use device::{all_devices, DeviceId, DeviceProfile};
 pub use energy::{predict_energy, EnergyPrediction};
 pub use kernels::{decompose, Kernel, KernelKind};
-pub use predictor::{predict, predict_all, predict_all_quantized, predict_quantized, LatencyPrediction};
+pub use predictor::{
+    predict, predict_all, predict_all_quantized, predict_quantized, LatencyPrediction,
+};
 pub use simulator::{measure, DeviceSimulator};
 pub use validation::{validate_predictor, validate_table2, ValidationReport};

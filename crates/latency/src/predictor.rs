@@ -98,8 +98,16 @@ fn aggregate(kernels: &[Kernel]) -> LatencyPrediction {
         .collect();
     let n = per_device.len() as f64;
     let mean = per_device.iter().map(|(_, v)| v).sum::<f64>() / n;
-    let var = per_device.iter().map(|(_, v)| (v - mean) * (v - mean)).sum::<f64>() / n;
-    LatencyPrediction { per_device, mean_ms: mean, std_ms: var.sqrt() }
+    let var = per_device
+        .iter()
+        .map(|(_, v)| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / n;
+    LatencyPrediction {
+        per_device,
+        mean_ms: mean,
+        std_ms: var.sqrt(),
+    }
 }
 
 /// Predicts across all four devices and aggregates mean/std, matching the
@@ -139,7 +147,10 @@ mod tests {
         assert!((14.0..30.0).contains(&p5.std_ms), "std {}", p5.std_ms);
         let p7 = predict_all(&graph(&ArchConfig::baseline(7)));
         assert!(p7.mean_ms > p5.mean_ms, "7ch should cost slightly more");
-        assert!(p7.mean_ms - p5.mean_ms < 2.0, "channel delta should be small");
+        assert!(
+            p7.mean_ms - p5.mean_ms < 2.0,
+            "channel delta should be small"
+        );
     }
 
     #[test]
@@ -153,7 +164,10 @@ mod tests {
     #[test]
     fn pareto_pool_band_matches_table4() {
         // Table 4 rows 3/5: feat-32 pool models at ~18.3 ms, std ~16.
-        let p = predict_all(&graph(&pareto_arch(Some(PoolConfig { kernel: 3, stride: 2 }))));
+        let p = predict_all(&graph(&pareto_arch(Some(PoolConfig {
+            kernel: 3,
+            stride: 2,
+        }))));
         assert!((14.0..23.0).contains(&p.mean_ms), "mean {}", p.mean_ms);
         assert!(p.std_ms > 10.0, "std {}", p.std_ms);
     }
@@ -161,7 +175,10 @@ mod tests {
     #[test]
     fn pooling_split_comes_from_myriad() {
         let no_pool = predict_all(&graph(&pareto_arch(None)));
-        let pool = predict_all(&graph(&pareto_arch(Some(PoolConfig { kernel: 3, stride: 2 }))));
+        let pool = predict_all(&graph(&pareto_arch(Some(PoolConfig {
+            kernel: 3,
+            stride: 2,
+        }))));
         let myriad_delta = no_pool
             .per_device
             .iter()
@@ -251,7 +268,12 @@ mod tests {
         let base = graph(&ArchConfig::baseline(5));
         let fp32 = predict_all(&base);
         let int8 = predict_all_quantized(&base);
-        assert!(int8.mean_ms < fp32.mean_ms, "{} vs {}", int8.mean_ms, fp32.mean_ms);
+        assert!(
+            int8.mean_ms < fp32.mean_ms,
+            "{} vs {}",
+            int8.mean_ms,
+            fp32.mean_ms
+        );
         let ratio = fp32.mean_ms / int8.mean_ms;
         assert!((1.5..4.0).contains(&ratio), "ratio {ratio}");
         // Compute-bound models barely benefit.

@@ -31,7 +31,10 @@ impl DeviceSimulator {
             DeviceId::Adreno630Gpu => 0.038,
             DeviceId::MyriadVpu => 0.055,
         };
-        DeviceSimulator { profile, noise_sigma }
+        DeviceSimulator {
+            profile,
+            noise_sigma,
+        }
     }
 
     /// "Measures" one kernel, applying device-specific unmodeled effects.
@@ -106,7 +109,10 @@ mod tests {
         let pred = predict(&g, &d);
         let n = 200;
         let mean: f64 = (0..n).map(|s| measure(&g, &d, s)).sum::<f64>() / n as f64;
-        assert!((mean / pred - 1.0).abs() < 0.03, "mean {mean} vs pred {pred}");
+        assert!(
+            (mean / pred - 1.0).abs() < 0.03,
+            "mean {mean} vs pred {pred}"
+        );
     }
 
     #[test]
@@ -116,8 +122,9 @@ mod tests {
             let d = device(id);
             let pred = predict(&g, &d);
             let n = 200;
-            let errs: Vec<f64> =
-                (0..n).map(|s| (measure(&g, &d, s) / pred - 1.0).abs()).collect();
+            let errs: Vec<f64> = (0..n)
+                .map(|s| (measure(&g, &d, s) / pred - 1.0).abs())
+                .collect();
             errs.iter().sum::<f64>() / n as f64
         };
         assert!(spread(DeviceId::MyriadVpu) > 1.5 * spread(DeviceId::CortexA76Cpu));

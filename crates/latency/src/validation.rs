@@ -85,7 +85,10 @@ pub fn validate_predictor(
 /// Reproduces Table 2: all four predictors over the standard zoo.
 pub fn validate_table2(input_hw: usize, seed: u64) -> Vec<ValidationReport> {
     let zoo = validation_zoo(input_hw);
-    all_devices().iter().map(|d| validate_predictor(d, &zoo, seed)).collect()
+    all_devices()
+        .iter()
+        .map(|d| validate_predictor(d, &zoo, seed))
+        .collect()
 }
 
 /// Renders Table 2 as aligned text.
@@ -121,7 +124,11 @@ mod tests {
         let reports = validate_table2(32, 42);
         assert_eq!(reports.len(), 4);
         let by_name = |n: &str| {
-            reports.iter().find(|r| r.hardware_name == n).unwrap().within_10_pct
+            reports
+                .iter()
+                .find(|r| r.hardware_name == n)
+                .unwrap()
+                .within_10_pct
         };
         for name in ["cortexA76cpu", "adreno640gpu", "adreno630gpu"] {
             let acc = by_name(name);

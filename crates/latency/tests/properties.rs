@@ -4,7 +4,9 @@
 use hydronas_graph::{
     quantized_size_bytes, serialized_size_bytes, ArchConfig, ModelGraph, PoolConfig, Precision,
 };
-use hydronas_latency::{decompose, predict, predict_all, predict_all_quantized, all_devices, KernelKind};
+use hydronas_latency::{
+    all_devices, decompose, predict, predict_all, predict_all_quantized, KernelKind,
+};
 use proptest::prelude::*;
 
 fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
@@ -15,13 +17,16 @@ fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
         prop_oneof![Just(0usize), Just(1), Just(3)],
         prop_oneof![
             Just(None),
-            (prop_oneof![Just(2usize), Just(3)], prop_oneof![Just(1usize), Just(2)])
+            (
+                prop_oneof![Just(2usize), Just(3)],
+                prop_oneof![Just(1usize), Just(2)]
+            )
                 .prop_map(|(kernel, stride)| Some(PoolConfig { kernel, stride })),
         ],
         prop_oneof![Just(32usize), Just(48), Just(64)],
     )
-        .prop_map(|(in_channels, kernel_size, stride, padding, pool, initial_features)| {
-            ArchConfig {
+        .prop_map(
+            |(in_channels, kernel_size, stride, padding, pool, initial_features)| ArchConfig {
                 in_channels,
                 kernel_size,
                 stride,
@@ -29,8 +34,8 @@ fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
                 pool,
                 initial_features,
                 num_classes: 2,
-            }
-        })
+            },
+        )
 }
 
 proptest! {

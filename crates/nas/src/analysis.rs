@@ -140,8 +140,7 @@ impl MainEffect {
 pub fn main_effect(db: &ExperimentDb, factor: Factor, response: Response) -> MainEffect {
     let valid = db.valid();
     assert!(!valid.is_empty(), "no valid outcomes to analyze");
-    let grand_mean =
-        valid.iter().map(|o| response.of(o)).sum::<f64>() / valid.len() as f64;
+    let grand_mean = valid.iter().map(|o| response.of(o)).sum::<f64>() / valid.len() as f64;
 
     let mut levels: Vec<usize> = valid.iter().map(|o| factor.level(o)).collect();
     levels.sort_unstable();
@@ -166,17 +165,30 @@ pub fn main_effect(db: &ExperimentDb, factor: Factor, response: Response) -> Mai
             v * v
         })
         .sum();
-    let eta_squared = if ss_total > 0.0 { ss_between / ss_total } else { 0.0 };
-    MainEffect { factor, response, level_means, eta_squared }
+    let eta_squared = if ss_total > 0.0 {
+        ss_between / ss_total
+    } else {
+        0.0
+    };
+    MainEffect {
+        factor,
+        response,
+        level_means,
+        eta_squared,
+    }
 }
 
 /// Full sensitivity table: every factor against one response, sorted by
 /// explained variance descending.
 pub fn sensitivity(db: &ExperimentDb, response: Response) -> Vec<MainEffect> {
-    let mut effects: Vec<MainEffect> =
-        Factor::ALL.iter().map(|&f| main_effect(db, f, response)).collect();
+    let mut effects: Vec<MainEffect> = Factor::ALL
+        .iter()
+        .map(|&f| main_effect(db, f, response))
+        .collect();
     effects.sort_by(|a, b| {
-        b.eta_squared.partial_cmp(&a.eta_squared).unwrap_or(std::cmp::Ordering::Equal)
+        b.eta_squared
+            .partial_cmp(&a.eta_squared)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     effects
 }
@@ -225,7 +237,10 @@ mod tests {
         run_experiment(
             &trials,
             &SurrogateEvaluator::default(),
-            &SchedulerConfig { injected_failures: 0, ..Default::default() },
+            &SchedulerConfig {
+                injected_failures: 0,
+                ..Default::default()
+            },
         )
     }
 
@@ -251,8 +266,17 @@ mod tests {
         // Memory depends almost entirely on initial_output_feature.
         let db = db();
         let effects = sensitivity(&db, Response::MemoryMb);
-        assert_eq!(effects[0].factor, Factor::InitialFeatures, "{:?}", effects[0]);
-        assert!(effects[0].eta_squared > 0.9, "eta {}", effects[0].eta_squared);
+        assert_eq!(
+            effects[0].factor,
+            Factor::InitialFeatures,
+            "{:?}",
+            effects[0]
+        );
+        assert!(
+            effects[0].eta_squared > 0.9,
+            "eta {}",
+            effects[0].eta_squared
+        );
         assert_eq!(effects[0].best_level(), 32);
     }
 
@@ -266,7 +290,10 @@ mod tests {
         assert!(top3.contains(&Factor::Padding), "top3 {:?}", top3);
         // Channels matter for accuracy (7 > 5) but explain less variance
         // than padding.
-        let channels = effects.iter().find(|e| e.factor == Factor::Channels).unwrap();
+        let channels = effects
+            .iter()
+            .find(|e| e.factor == Factor::Channels)
+            .unwrap();
         assert_eq!(channels.best_level(), 7);
     }
 
@@ -339,7 +366,11 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 /// Average ranks (ties share the mean rank).
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0f64; xs.len()];
     let mut i = 0usize;
     while i < order.len() {
@@ -422,7 +453,10 @@ mod correlation_tests {
         let db = run_experiment(
             &trials,
             &SurrogateEvaluator::default(),
-            &SchedulerConfig { injected_failures: 0, ..Default::default() },
+            &SchedulerConfig {
+                injected_failures: 0,
+                ..Default::default()
+            },
         );
         let m = objective_correlations(&db);
         // Diagonal is 1.

@@ -68,7 +68,13 @@ mod tests {
     fn combo_trials(channels: usize, batch: usize) -> Vec<TrialSpec> {
         full_grid(&SearchSpace::paper())
             .into_iter()
-            .filter(|t| t.combo == InputCombo { channels, batch_size: batch })
+            .filter(|t| {
+                t.combo
+                    == InputCombo {
+                        channels,
+                        batch_size: batch,
+                    }
+            })
             .collect()
     }
 
@@ -220,8 +226,10 @@ mod parallel_tests {
 
     #[test]
     fn makespan_shrinks_with_workers() {
-        let trials: Vec<_> =
-            full_grid(&SearchSpace::paper()).into_iter().take(64).collect();
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(64)
+            .collect();
         let (m1, _) = makespan_lpt(&trials, 1);
         let (m2, _) = makespan_lpt(&trials, 2);
         let (m4, loads4) = makespan_lpt(&trials, 4);
@@ -237,8 +245,10 @@ mod parallel_tests {
 
     #[test]
     fn single_worker_makespan_equals_wall_clock() {
-        let trials: Vec<_> =
-            full_grid(&SearchSpace::paper()).into_iter().take(20).collect();
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(20)
+            .collect();
         let (m, loads) = makespan_lpt(&trials, 1);
         assert!((m - experiment_wall_clock(&trials)).abs() < 1e-9);
         assert_eq!(loads.len(), 1);
@@ -247,8 +257,10 @@ mod parallel_tests {
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
-        let trials: Vec<_> =
-            full_grid(&SearchSpace::paper()).into_iter().take(2).collect();
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(2)
+            .collect();
         let _ = makespan_lpt(&trials, 0);
     }
 }

@@ -67,7 +67,10 @@ pub struct SurrogateEvaluator {
 
 impl Default for SurrogateEvaluator {
     fn default() -> SurrogateEvaluator {
-        SurrogateEvaluator { folds: 5, input_hw: 32 }
+        SurrogateEvaluator {
+            folds: 5,
+            input_hw: 32,
+        }
     }
 }
 
@@ -133,7 +136,13 @@ impl Evaluator for RealTrainer {
             .map_err(|e| TrialFailure::InvalidArchitecture(e.to_string()))?;
 
         let mode = ChannelMode::from_channels(spec.combo.channels);
-        let tiles = build_dataset(&self.regions, mode, self.tile_size, self.dataset_scale, seed);
+        let tiles = build_dataset(
+            &self.regions,
+            mode,
+            self.tile_size,
+            self.dataset_scale,
+            seed,
+        );
         let data = Dataset::new(tiles.features, tiles.labels);
 
         let config = TrainConfig {
@@ -171,7 +180,10 @@ mod tests {
     fn spec(arch: ArchConfig, batch: usize) -> TrialSpec {
         TrialSpec {
             id: 0,
-            combo: InputCombo { channels: arch.in_channels, batch_size: batch },
+            combo: InputCombo {
+                channels: arch.in_channels,
+                batch_size: batch,
+            },
             arch,
             kernel_size_pool: arch.pool.map_or(3, |p| p.kernel),
             stride_pool: arch.pool.map_or(2, |p| p.stride),
@@ -191,7 +203,10 @@ mod tests {
 
     #[test]
     fn surrogate_rejects_collapsing_arch() {
-        let ev = SurrogateEvaluator { folds: 5, input_hw: 4 };
+        let ev = SurrogateEvaluator {
+            folds: 5,
+            input_hw: 4,
+        };
         let arch = ArchConfig {
             in_channels: 5,
             kernel_size: 7,
@@ -218,7 +233,10 @@ mod tests {
     #[test]
     fn surrogate_covers_whole_grid_without_panic() {
         let ev = SurrogateEvaluator::default();
-        for s in crate::space::full_grid(&SearchSpace::paper()).iter().step_by(37) {
+        for s in crate::space::full_grid(&SearchSpace::paper())
+            .iter()
+            .step_by(37)
+        {
             let out = ev.evaluate(s, 1).unwrap();
             assert!((50.0..=99.5).contains(&out.mean_accuracy));
         }

@@ -43,8 +43,11 @@ impl TrialOutcome {
     pub fn with_latency(mut self, pred: &LatencyPrediction, memory_mb: f64) -> TrialOutcome {
         self.latency_ms = pred.mean_ms;
         self.latency_std_ms = pred.std_ms;
-        self.per_device_ms =
-            pred.per_device.iter().map(|(id, v)| (id.name().to_string(), *v)).collect();
+        self.per_device_ms = pred
+            .per_device
+            .iter()
+            .map(|(id, v)| (id.name().to_string(), *v))
+            .collect();
         self.memory_mb = memory_mb;
         self
     }
@@ -63,8 +66,11 @@ pub struct ObjectiveRanges {
 
 /// The objective senses of the study: maximize accuracy, minimize latency
 /// and memory.
-pub const OBJECTIVE_SENSES: [Objective; 3] =
-    [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+pub const OBJECTIVE_SENSES: [Objective; 3] = [
+    Objective::Maximize,
+    Objective::Minimize,
+    Objective::Minimize,
+];
 
 /// A whole experiment's outcomes.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -119,7 +125,9 @@ impl ExperimentDb {
             })
             .collect();
         rows.sort_by(|a, b| {
-            b.accuracy.partial_cmp(&a.accuracy).unwrap_or(std::cmp::Ordering::Equal)
+            b.accuracy
+                .partial_cmp(&a.accuracy)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         rows
     }
@@ -153,7 +161,9 @@ impl ExperimentDb {
             }));
         }
         rows.sort_by(|a, b| {
-            b.accuracy.partial_cmp(&a.accuracy).unwrap_or(std::cmp::Ordering::Equal)
+            b.accuracy
+                .partial_cmp(&a.accuracy)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         rows
     }
@@ -184,7 +194,10 @@ mod tests {
         TrialOutcome {
             spec: TrialSpec {
                 id,
-                combo: InputCombo { channels: 5, batch_size: 8 },
+                combo: InputCombo {
+                    channels: 5,
+                    batch_size: 8,
+                },
                 arch: ArchConfig::baseline(5),
                 kernel_size_pool: 3,
                 stride_pool: 2,
@@ -207,7 +220,10 @@ mod tests {
     #[test]
     fn valid_filters_failures() {
         let db = ExperimentDb {
-            outcomes: vec![outcome(0, 90.0, 10.0, 11.0, true), outcome(1, 0.0, 0.0, 0.0, false)],
+            outcomes: vec![
+                outcome(0, 90.0, 10.0, 11.0, true),
+                outcome(1, 0.0, 0.0, 0.0, false),
+            ],
         };
         assert_eq!(db.valid().len(), 1);
     }
@@ -245,7 +261,9 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let db = ExperimentDb { outcomes: vec![outcome(0, 90.0, 10.0, 11.0, true)] };
+        let db = ExperimentDb {
+            outcomes: vec![outcome(0, 90.0, 10.0, 11.0, true)],
+        };
         let back = ExperimentDb::from_json(&db.to_json()).unwrap();
         assert_eq!(back.outcomes.len(), 1);
         assert_eq!(back.outcomes[0].accuracy, 90.0);
@@ -282,8 +300,11 @@ impl ExperimentDb {
         crate::space::InputCombo::all()
             .into_iter()
             .filter_map(|combo| {
-                let rows: Vec<&TrialOutcome> =
-                    self.valid().into_iter().filter(|o| o.spec.combo == combo).collect();
+                let rows: Vec<&TrialOutcome> = self
+                    .valid()
+                    .into_iter()
+                    .filter(|o| o.spec.combo == combo)
+                    .collect();
                 if rows.is_empty() {
                     return None;
                 }

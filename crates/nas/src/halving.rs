@@ -28,7 +28,12 @@ pub struct HalvingConfig {
 
 impl Default for HalvingConfig {
     fn default() -> HalvingConfig {
-        HalvingConfig { initial_candidates: 64, eta: 2, min_folds: 1, max_folds: 5 }
+        HalvingConfig {
+            initial_candidates: 64,
+            eta: 2,
+            min_folds: 1,
+            max_folds: 5,
+        }
     }
 }
 
@@ -64,7 +69,10 @@ pub fn successive_halving(
     seed: u64,
 ) -> HalvingResult {
     assert!(config.eta >= 2, "eta must be at least 2");
-    assert!(config.initial_candidates >= config.eta, "too few candidates");
+    assert!(
+        config.initial_candidates >= config.eta,
+        "too few candidates"
+    );
     assert!(config.min_folds >= 1 && config.min_folds <= config.max_folds);
     let mut rng = TensorRng::seed_from_u64(seed);
 
@@ -109,26 +117,33 @@ pub fn successive_halving(
             .iter()
             .map(|spec| {
                 let trial_seed = seed ^ crate::evaluator::key_hash(&spec.key());
-                let accs = surrogate_fold_accuracies(
-                    &spec.arch,
-                    spec.combo.batch_size,
-                    folds,
-                    trial_seed,
-                );
+                let accs =
+                    surrogate_fold_accuracies(&spec.arch, spec.combo.batch_size, folds, trial_seed);
                 fold_evaluations += folds;
                 (spec.clone(), accs.iter().sum::<f64>() / folds as f64)
             })
             .collect();
         evaluated.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        rungs.push(Rung { folds, evaluated: evaluated.clone() });
+        rungs.push(Rung {
+            folds,
+            evaluated: evaluated.clone(),
+        });
 
         if folds >= config.max_folds || evaluated.len() <= config.eta {
             let best = evaluated.into_iter().next().expect("non-empty rung");
-            return HalvingResult { rungs, best, fold_evaluations };
+            return HalvingResult {
+                rungs,
+                best,
+                fold_evaluations,
+            };
         }
         // Keep the top 1/eta, raise fidelity.
         let survivors = (evaluated.len() / config.eta).max(1);
-        candidates = evaluated.into_iter().take(survivors).map(|(s, _)| s).collect();
+        candidates = evaluated
+            .into_iter()
+            .take(survivors)
+            .map(|(s, _)| s)
+            .collect();
         folds = (folds * 2).min(config.max_folds);
     }
 }
@@ -138,10 +153,18 @@ mod tests {
     use super::*;
     use crate::surrogate::{arch_delta, baseline_anchor};
 
-    const COMBO: InputCombo = InputCombo { channels: 7, batch_size: 16 };
+    const COMBO: InputCombo = InputCombo {
+        channels: 7,
+        batch_size: 16,
+    };
 
     fn run(seed: u64) -> HalvingResult {
-        successive_halving(&SearchSpace::paper(), COMBO, &HalvingConfig::default(), seed)
+        successive_halving(
+            &SearchSpace::paper(),
+            COMBO,
+            &HalvingConfig::default(),
+            seed,
+        )
     }
 
     #[test]
@@ -180,8 +203,7 @@ mod tests {
         // The halving winner's *deterministic* quality (anchor + delta)
         // should be close to the global optimum (within a point).
         let r = run(4);
-        let winner_quality =
-            baseline_anchor(7, 16) + arch_delta(&r.best.0.arch);
+        let winner_quality = baseline_anchor(7, 16) + arch_delta(&r.best.0.arch);
         let optimum = baseline_anchor(7, 16) + 1.1; // k3 p1 ds2 f32
         assert!(
             winner_quality > optimum - 1.0,
@@ -210,7 +232,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "eta must be at least 2")]
     fn eta_one_rejected() {
-        let config = HalvingConfig { eta: 1, ..Default::default() };
+        let config = HalvingConfig {
+            eta: 1,
+            ..Default::default()
+        };
         let _ = successive_halving(&SearchSpace::paper(), COMBO, &config, 0);
     }
 }

@@ -11,8 +11,14 @@
 //!   training-dynamics surrogate calibrated against the paper's Table 5
 //!   anchors (used for full-scale sweeps where A100-weeks are not
 //!   available).
-//! * [`scheduler`] — rayon-parallel trial execution with deterministic
-//!   failure injection (the paper's 1,728 - 11 = 1,717 valid outcomes).
+//! * [`scheduler`] — thread-pool trial execution with deterministic
+//!   failure injection (the paper's 1,728 - 11 = 1,717 valid outcomes),
+//!   bounded retries of transient environment failures, and journaled
+//!   crash/resume.
+//! * [`journal`] — write-ahead JSONL trial journal: a killed sweep
+//!   resumes by replaying finished trials and scheduling only the rest.
+//! * [`progress`] — sweep observability: live counters, per-trial wall
+//!   time, and a simulated-clock ETA through pluggable sinks.
 //! * [`experiment`] — the experiment database: outcomes, objective
 //!   extraction, Table 3/4/5 queries, JSON persistence.
 //! * [`strategies`] — beyond the paper's grid: random search and
@@ -25,21 +31,30 @@ pub mod clock;
 pub mod evaluator;
 pub mod experiment;
 pub mod halving;
+pub mod journal;
 pub mod nsga2;
+pub mod progress;
 pub mod scheduler;
 pub mod space;
 pub mod strategies;
 pub mod surrogate;
 
 pub use analysis::{
-    main_effect, objective_correlations, pearson, sensitivity, sensitivity_table, spearman,
-    Factor, MainEffect, Response,
+    main_effect, objective_correlations, pearson, sensitivity, sensitivity_table, spearman, Factor,
+    MainEffect, Response,
 };
-pub use clock::{experiment_wall_clock, makespan_lpt, profile_trial, trial_duration_s, TrialProfile};
+pub use clock::{
+    experiment_wall_clock, makespan_lpt, profile_trial, trial_duration_s, TrialProfile,
+};
 pub use evaluator::{EvalOutcome, Evaluator, RealTrainer, SurrogateEvaluator, TrialFailure};
 pub use experiment::{ComboSummary, ExperimentDb, TrialOutcome, TrialStatus};
 pub use halving::{successive_halving, HalvingConfig, HalvingResult, Rung};
+pub use journal::{read_journal, Journal, TrialRecord};
 pub use nsga2::{nsga2, Individual, Nsga2Config, Nsga2Result};
-pub use scheduler::{run_experiment, run_full_grid, SchedulerConfig};
+pub use progress::{CollectingSink, ProgressSink, StderrTicker, SweepEvent, SweepStats};
+pub use scheduler::{
+    attempt_seed, injected_failure_ids, run_experiment, run_full_grid, run_sweep,
+    transient_failure_ids, SchedulerConfig, SweepOptions, SweepReport,
+};
 pub use space::{InputCombo, SearchSpace, TrialSpec};
 pub use strategies::{random_search, regularized_evolution, EvolutionConfig, SearchResult};

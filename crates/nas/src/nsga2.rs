@@ -40,7 +40,11 @@ pub struct Nsga2Config {
 
 impl Default for Nsga2Config {
     fn default() -> Nsga2Config {
-        Nsga2Config { population: 24, generations: 8, input_hw: 32 }
+        Nsga2Config {
+            population: 24,
+            generations: 8,
+            input_hw: 32,
+        }
     }
 }
 
@@ -96,11 +100,19 @@ fn crossover(a: &ArchConfig, b: &ArchConfig, rng: &mut TensorRng) -> ArchConfig 
     let coin = |rng: &mut TensorRng| rng.index(2) == 0;
     ArchConfig {
         in_channels: a.in_channels,
-        kernel_size: if coin(rng) { a.kernel_size } else { b.kernel_size },
+        kernel_size: if coin(rng) {
+            a.kernel_size
+        } else {
+            b.kernel_size
+        },
         stride: if coin(rng) { a.stride } else { b.stride },
         padding: if coin(rng) { a.padding } else { b.padding },
         pool: if coin(rng) { a.pool } else { b.pool },
-        initial_features: if coin(rng) { a.initial_features } else { b.initial_features },
+        initial_features: if coin(rng) {
+            a.initial_features
+        } else {
+            b.initial_features
+        },
         num_classes: 2,
     }
 }
@@ -126,17 +138,27 @@ impl Search<'_> {
         self.next_id += 1;
         self.evaluations += 1;
         let graph = ModelGraph::from_arch(&arch, self.config.input_hw).ok()?;
-        let accuracy = self.evaluator.evaluate(&spec, self.seed).ok()?.mean_accuracy;
+        let accuracy = self
+            .evaluator
+            .evaluate(&spec, self.seed)
+            .ok()?
+            .mean_accuracy;
         let latency = predict_all(&graph).mean_ms;
         let memory = serialized_size_bytes(&graph) as f64 / 1e6;
-        Some(Individual { spec, objectives: [accuracy, latency, memory] })
+        Some(Individual {
+            spec,
+            objectives: [accuracy, latency, memory],
+        })
     }
 
     /// Environmental selection: keep the best `population` individuals by
     /// (front rank, crowding distance).
     fn select(&self, pool: Vec<Individual>) -> Vec<Individual> {
-        let points: Vec<Point> =
-            pool.iter().enumerate().map(|(i, ind)| ind.point(i)).collect();
+        let points: Vec<Point> = pool
+            .iter()
+            .enumerate()
+            .map(|(i, ind)| ind.point(i))
+            .collect();
         let fronts = non_dominated_sort(&points, &OBJECTIVE_SENSES);
         let mut selected: Vec<Individual> = Vec::with_capacity(self.config.population);
         for front in fronts {
@@ -148,10 +170,15 @@ impl Search<'_> {
                 let crowding = crowding_distance(&front);
                 let mut order: Vec<usize> = (0..front.len()).collect();
                 order.sort_by(|&a, &b| {
-                    crowding[b].partial_cmp(&crowding[a]).unwrap_or(std::cmp::Ordering::Equal)
+                    crowding[b]
+                        .partial_cmp(&crowding[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
                 selected.extend(
-                    order.into_iter().take(remaining).map(|i| pool[front[i].id].clone()),
+                    order
+                        .into_iter()
+                        .take(remaining)
+                        .map(|i| pool[front[i].id].clone()),
                 );
             }
             if selected.len() == self.config.population {
@@ -221,8 +248,11 @@ pub fn nsga2(
         population = search.select(pool);
     }
 
-    let points: Vec<Point> =
-        population.iter().enumerate().map(|(i, ind)| ind.point(i)).collect();
+    let points: Vec<Point> = population
+        .iter()
+        .enumerate()
+        .map(|(i, ind)| ind.point(i))
+        .collect();
     let front_points = pareto_front(&points, &OBJECTIVE_SENSES);
     // Converged populations carry many copies of the same architecture
     // (copies never dominate each other); report each architecture once.
@@ -233,7 +263,11 @@ pub fn nsga2(
         .filter(|ind| seen.insert(ind.spec.arch.key()))
         .collect();
     let evaluations = search.evaluations;
-    Nsga2Result { population, front, evaluations }
+    Nsga2Result {
+        population,
+        front,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -242,14 +276,21 @@ mod tests {
     use crate::evaluator::SurrogateEvaluator;
     use hydronas_pareto::dominates;
 
-    const COMBO: InputCombo = InputCombo { channels: 5, batch_size: 16 };
+    const COMBO: InputCombo = InputCombo {
+        channels: 5,
+        batch_size: 16,
+    };
 
     fn run(seed: u64) -> Nsga2Result {
         nsga2(
             &SearchSpace::paper(),
             COMBO,
             &SurrogateEvaluator::default(),
-            &Nsga2Config { population: 16, generations: 6, input_hw: 32 },
+            &Nsga2Config {
+                population: 16,
+                generations: 6,
+                input_hw: 32,
+            },
             seed,
         )
     }
@@ -296,7 +337,10 @@ mod tests {
         // with a budget far below the 288-trial grid.
         let result = run(4);
         assert!(
-            result.front.iter().any(|ind| ind.spec.arch.initial_features == 32),
+            result
+                .front
+                .iter()
+                .any(|ind| ind.spec.arch.initial_features == 32),
             "no minimum-width individual on the front"
         );
         let best_mem = result
@@ -310,8 +354,7 @@ mod tests {
     #[test]
     fn front_has_no_duplicate_architectures() {
         let result = run(6);
-        let mut keys: Vec<String> =
-            result.front.iter().map(|i| i.spec.arch.key()).collect();
+        let mut keys: Vec<String> = result.front.iter().map(|i| i.spec.arch.key()).collect();
         let before = keys.len();
         keys.sort();
         keys.dedup();
@@ -337,7 +380,11 @@ mod tests {
             &SearchSpace::paper(),
             COMBO,
             &SurrogateEvaluator::default(),
-            &Nsga2Config { population: 2, generations: 1, input_hw: 32 },
+            &Nsga2Config {
+                population: 2,
+                generations: 1,
+                input_hw: 32,
+            },
             0,
         );
     }

@@ -1,0 +1,254 @@
+//! Sweep observability: live counters, per-trial wall time, and an ETA
+//! derived from the simulated-clock cost model.
+//!
+//! The scheduler emits [`SweepEvent`]s into a pluggable [`ProgressSink`]
+//! as results stream off the collector channel. Two sinks ship with the
+//! crate: [`StderrTicker`] (a rate-limited stderr progress line for the
+//! `repro` binary's `--progress` flag) and [`CollectingSink`] (a silent
+//! recorder for tests and programmatic consumers).
+
+use crate::experiment::TrialOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Running counters of one sweep, updated as each trial finishes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Trials in the experiment, including journal-replayed ones.
+    pub scheduled: usize,
+    /// Trials restored from a write-ahead journal instead of re-run.
+    pub replayed: usize,
+    /// Trials that finished with usable objectives.
+    pub completed: usize,
+    /// Trials whose terminal status is a failure.
+    pub failed: usize,
+    /// Extra attempts spent on transient environment failures (attempts
+    /// beyond each trial's first).
+    pub retried: usize,
+    /// Real elapsed wall-clock of the sweep, seconds.
+    pub wall_s: f64,
+    /// Simulated training seconds of the live (non-replayed) trials
+    /// finished so far — the ETA's progress measure.
+    pub sim_done_s: f64,
+    /// Simulated training seconds of all live trials.
+    pub sim_total_s: f64,
+}
+
+impl SweepStats {
+    /// Trials with a terminal outcome so far (replayed ones count).
+    pub fn finished(&self) -> usize {
+        self.completed + self.failed
+    }
+
+    /// Estimated seconds until the sweep finishes, extrapolating the
+    /// observed rate through the simulated cost of the remaining trials
+    /// ([`crate::clock::trial_duration_s`]). Cheap trials therefore move
+    /// the ETA less than expensive ones. `None` until the first live
+    /// trial lands.
+    pub fn eta_s(&self) -> Option<f64> {
+        if self.sim_done_s <= 0.0 || self.wall_s <= 0.0 {
+            return None;
+        }
+        let remaining = (self.sim_total_s - self.sim_done_s).max(0.0);
+        Some(self.wall_s * remaining / self.sim_done_s)
+    }
+
+    /// Multi-line human-readable summary (the `sweep.txt` artifact).
+    pub fn summary(&self) -> String {
+        format!(
+            "scheduled : {}\nreplayed  : {}\ncompleted : {}\nfailed    : {}\nretried   : {}\nwall-clock: {:.2} s",
+            self.scheduled, self.replayed, self.completed, self.failed, self.retried, self.wall_s
+        )
+    }
+}
+
+/// One observable moment of a sweep.
+#[derive(Debug)]
+pub enum SweepEvent<'a> {
+    /// Emitted once before any trial runs; `stats` already carries the
+    /// journal-replay counts.
+    Started { stats: &'a SweepStats },
+    /// One live trial reached a terminal state. `wall_s` is the real
+    /// time this trial spent in its worker (all attempts included).
+    Trial {
+        outcome: &'a TrialOutcome,
+        attempts: usize,
+        wall_s: f64,
+        stats: &'a SweepStats,
+    },
+    /// Emitted once after the collector drains.
+    Finished { stats: &'a SweepStats },
+}
+
+/// Receives [`SweepEvent`]s from the scheduler's collector thread.
+pub trait ProgressSink {
+    fn on_event(&mut self, event: &SweepEvent);
+}
+
+/// Prints a rate-limited progress line to stderr.
+pub struct StderrTicker {
+    /// Print every `every`-th trial event (plus start/finish).
+    every: usize,
+}
+
+impl StderrTicker {
+    pub fn new(every: usize) -> StderrTicker {
+        StderrTicker {
+            every: every.max(1),
+        }
+    }
+}
+
+impl Default for StderrTicker {
+    /// Ticks every 32 trials — ~54 lines over the full 1,728-trial grid.
+    fn default() -> StderrTicker {
+        StderrTicker::new(32)
+    }
+}
+
+impl ProgressSink for StderrTicker {
+    fn on_event(&mut self, event: &SweepEvent) {
+        match event {
+            SweepEvent::Started { stats } => {
+                eprintln!(
+                    "[sweep] {} trials scheduled ({} replayed from journal)",
+                    stats.scheduled, stats.replayed
+                );
+            }
+            SweepEvent::Trial {
+                outcome,
+                attempts,
+                wall_s,
+                stats,
+            } => {
+                if stats.finished() % self.every != 0 && stats.finished() != stats.scheduled {
+                    return;
+                }
+                let eta = match stats.eta_s() {
+                    Some(s) => format!("{s:.1}s"),
+                    None => "--".to_string(),
+                };
+                eprintln!(
+                    "[sweep] {}/{} ({:.1}%) ok {} fail {} retry {} | trial {} took {:.1} ms ({} attempt{}) | elapsed {:.1}s eta {}",
+                    stats.finished(),
+                    stats.scheduled,
+                    100.0 * stats.finished() as f64 / stats.scheduled.max(1) as f64,
+                    stats.completed,
+                    stats.failed,
+                    stats.retried,
+                    outcome.spec.id,
+                    wall_s * 1e3,
+                    attempts,
+                    if *attempts == 1 { "" } else { "s" },
+                    stats.wall_s,
+                    eta
+                );
+            }
+            SweepEvent::Finished { stats } => {
+                eprintln!(
+                    "[sweep] done: {} completed, {} failed, {} retried in {:.2}s",
+                    stats.completed, stats.failed, stats.retried, stats.wall_s
+                );
+            }
+        }
+    }
+}
+
+/// Silent sink that records what it saw — the test-side counterpart of
+/// [`StderrTicker`].
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    pub started: usize,
+    pub finished: usize,
+    /// `(trial id, attempts, wall seconds)` per live trial event.
+    pub trials: Vec<(usize, usize, f64)>,
+    /// Stats snapshot from the `Finished` event.
+    pub final_stats: Option<SweepStats>,
+}
+
+impl ProgressSink for CollectingSink {
+    fn on_event(&mut self, event: &SweepEvent) {
+        match event {
+            SweepEvent::Started { .. } => self.started += 1,
+            SweepEvent::Trial {
+                outcome,
+                attempts,
+                wall_s,
+                ..
+            } => {
+                self.trials.push((outcome.spec.id, *attempts, *wall_s));
+            }
+            SweepEvent::Finished { stats } => {
+                self.finished += 1;
+                self.final_stats = Some(**stats);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_extrapolates_through_simulated_work() {
+        let stats = SweepStats {
+            scheduled: 10,
+            completed: 5,
+            wall_s: 2.0,
+            sim_done_s: 100.0,
+            sim_total_s: 300.0,
+            ..Default::default()
+        };
+        // 2 s bought 100 simulated seconds; 200 remain -> 4 s.
+        assert_eq!(stats.eta_s(), Some(4.0));
+    }
+
+    #[test]
+    fn eta_is_unknown_before_progress() {
+        let stats = SweepStats {
+            scheduled: 10,
+            sim_total_s: 300.0,
+            ..Default::default()
+        };
+        assert_eq!(stats.eta_s(), None);
+    }
+
+    #[test]
+    fn summary_lists_every_counter() {
+        let stats = SweepStats {
+            scheduled: 24,
+            replayed: 8,
+            completed: 22,
+            failed: 2,
+            retried: 3,
+            wall_s: 1.25,
+            ..Default::default()
+        };
+        let s = stats.summary();
+        for needle in [
+            "scheduled : 24",
+            "replayed  : 8",
+            "completed : 22",
+            "failed    : 2",
+            "retried   : 3",
+            "1.25 s",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in {s}");
+        }
+        assert_eq!(stats.finished(), 24);
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let stats = SweepStats {
+            scheduled: 3,
+            completed: 2,
+            failed: 1,
+            wall_s: 0.5,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: SweepStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

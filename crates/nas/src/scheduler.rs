@@ -1,16 +1,31 @@
-//! Parallel trial scheduling with deterministic failure injection.
+//! Checkpointed, observable trial scheduling with deterministic failure
+//! injection and bounded retries.
 //!
-//! Trials are independent, so they fan out over rayon's work-stealing
-//! pool; results stream through a crossbeam channel into the collector
-//! (keeping the hot path allocation-light) and are re-ordered by trial id
-//! so the database is reproducible regardless of scheduling order.
+//! Trials are independent, so they fan out over a scoped worker pool
+//! (one OS thread per core, pulling indices off a shared atomic cursor);
+//! results stream through a crossbeam channel into the collector, which
+//! journals each terminal outcome ([`crate::journal`]), feeds the
+//! progress sink ([`crate::progress`]), and finally re-orders by trial
+//! id so the database is reproducible regardless of scheduling order.
+//!
+//! Determinism contract: every trial's outcome is a pure function of
+//! `(spec, config)` — attempt `k` evaluates with [`attempt_seed`]`(seed,
+//! k)` and the injected failure sets are seed-derived — so a sweep
+//! resumed from a journal is byte-identical to an uninterrupted one.
 
+use crate::clock::trial_duration_s;
 use crate::evaluator::{key_hash, Evaluator, TrialFailure};
 use crate::experiment::{ExperimentDb, TrialOutcome, TrialStatus};
+use crate::journal::{Journal, TrialRecord};
+use crate::progress::{ProgressSink, SweepEvent, SweepStats};
 use crate::space::{full_grid, SearchSpace, TrialSpec};
 use hydronas_graph::{serialized_size_bytes, ModelGraph};
 use hydronas_latency::predict_all;
-use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Scheduler parameters.
 #[derive(Clone, Debug)]
@@ -21,8 +36,18 @@ pub struct SchedulerConfig {
     pub input_hw: usize,
     /// How many trials fail with simulated environment errors. The paper
     /// schedules 1,728 trials and reports 1,717 valid outcomes, so the
-    /// default is 11.
+    /// default is 11. These failures are *permanent*: they exhaust every
+    /// retry attempt (the paper's lost trials stayed lost).
     pub injected_failures: usize,
+    /// Retry budget per trial for environment failures (total attempts,
+    /// so `1` disables retries). Attempt `k` evaluates with
+    /// [`attempt_seed`]`(seed, k)`, keeping retried runs deterministic.
+    pub max_attempts: usize,
+    /// How many trials fail their *first* attempt with a transient
+    /// environment error but succeed when retried — the recoverable
+    /// counterpart of `injected_failures`, for exercising the retry
+    /// path. Chosen deterministically, disjoint from the permanent set.
+    pub transient_failures: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -34,34 +59,76 @@ impl Default for SchedulerConfig {
     /// Nearby seeds give 2-7 rows of the same shape; the seed-sensitivity
     /// ablation in `hydronas-bench` quantifies this.
     fn default() -> SchedulerConfig {
-        SchedulerConfig { seed: 3, input_hw: 32, injected_failures: 11 }
+        SchedulerConfig {
+            seed: 3,
+            input_hw: 32,
+            injected_failures: 11,
+            max_attempts: 3,
+            transient_failures: 0,
+        }
     }
 }
 
-/// Deterministically selects which trial keys fail: the `n` smallest
-/// key hashes (salted by seed) — stable across runs and platforms.
+/// splitmix64-style finalizer so a seed genuinely reshuffles hash-derived
+/// selections (a plain XOR salt would preserve hash ordering).
+fn mix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministically selects which trial keys fail permanently: the `n`
+/// smallest key hashes (salted by seed) — stable across runs and
+/// platforms.
 pub fn injected_failure_ids(trials: &[TrialSpec], seed: u64, n: usize) -> Vec<usize> {
-    // splitmix64-style finalizer so the seed genuinely reshuffles the
-    // selection (a plain XOR salt would preserve hash ordering).
-    let mix = |v: u64| -> u64 {
-        let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    };
-    let mut hashed: Vec<(u64, usize)> =
-        trials.iter().map(|t| (mix(key_hash(&t.key()) ^ mix(seed)), t.id)).collect();
+    let mut hashed: Vec<(u64, usize)> = trials
+        .iter()
+        .map(|t| (mix64(key_hash(&t.key()) ^ mix64(seed)), t.id))
+        .collect();
     hashed.sort_unstable();
     hashed.into_iter().take(n).map(|(_, id)| id).collect()
 }
 
-/// Runs one trial end-to-end: accuracy via the evaluator, latency via the
-/// four predictors, memory via the ONNX-like serializer.
+/// Salt separating the transient-failure stream from the permanent one.
+const TRANSIENT_SALT: u64 = 0xA076_1D64_78BD_642F;
+
+/// Deterministically selects which trials fail their first attempt with
+/// a *recoverable* environment error. Disjoint from `permanent` so the
+/// two failure populations never overlap.
+pub fn transient_failure_ids(
+    trials: &[TrialSpec],
+    seed: u64,
+    n: usize,
+    permanent: &HashSet<usize>,
+) -> Vec<usize> {
+    injected_failure_ids(trials, seed ^ TRANSIENT_SALT, trials.len())
+        .into_iter()
+        .filter(|id| !permanent.contains(id))
+        .take(n)
+        .collect()
+}
+
+/// The evaluation seed for attempt `attempt` (1-based) of a trial. The
+/// first attempt uses the master seed unchanged — so runs that never
+/// retry are unaffected — and later attempts derive fresh deterministic
+/// streams, so resumed and uninterrupted sweeps agree byte for byte.
+pub fn attempt_seed(seed: u64, attempt: usize) -> u64 {
+    if attempt <= 1 {
+        seed
+    } else {
+        mix64(seed ^ (attempt as u64).wrapping_mul(TRANSIENT_SALT))
+    }
+}
+
+/// Runs one attempt of a trial end-to-end: accuracy via the evaluator,
+/// latency via the four predictors, memory via the ONNX-like serializer.
 fn run_trial(
     spec: &TrialSpec,
     evaluator: &dyn Evaluator,
     config: &SchedulerConfig,
     fail: bool,
+    seed: u64,
 ) -> TrialOutcome {
     let base = TrialOutcome {
         spec: spec.clone(),
@@ -91,7 +158,7 @@ fn run_trial(
             }
         }
     };
-    match evaluator.evaluate(spec, config.seed) {
+    match evaluator.evaluate(spec, seed) {
         Ok(eval) => {
             let pred = predict_all(&graph);
             let memory_mb = serialized_size_bytes(&graph) as f64 / 1e6;
@@ -103,8 +170,223 @@ fn run_trial(
             }
             .with_latency(&pred, memory_mb)
         }
-        Err(failure) => TrialOutcome { status: TrialStatus::Failed(failure.to_string()), ..base },
+        Err(failure) => TrialOutcome {
+            status: TrialStatus::Failed(failure.to_string()),
+            ..base
+        },
     }
+}
+
+/// Is this terminal status a (retryable) environment failure?
+fn is_environment_failure(status: &TrialStatus) -> bool {
+    matches!(status, TrialStatus::Failed(msg)
+        if msg == &TrialFailure::EnvironmentFailure.to_string())
+}
+
+/// Runs a trial with the bounded retry policy: environment failures are
+/// re-attempted up to `config.max_attempts` times, each attempt with its
+/// own deterministic seed. Returns the terminal outcome and the number
+/// of attempts spent.
+fn run_trial_with_retry(
+    spec: &TrialSpec,
+    evaluator: &dyn Evaluator,
+    config: &SchedulerConfig,
+    permanent_fail: bool,
+    transient_fail: bool,
+) -> (TrialOutcome, usize) {
+    let max_attempts = config.max_attempts.max(1);
+    let mut attempt = 1;
+    loop {
+        let inject = permanent_fail || (transient_fail && attempt == 1);
+        let outcome = run_trial(
+            spec,
+            evaluator,
+            config,
+            inject,
+            attempt_seed(config.seed, attempt),
+        );
+        if !is_environment_failure(&outcome.status) || attempt >= max_attempts {
+            return (outcome, attempt);
+        }
+        attempt += 1;
+    }
+}
+
+/// Optional sweep machinery: journaling, observability, worker sizing.
+/// `SweepOptions::default()` reproduces plain [`run_experiment`].
+#[derive(Default)]
+pub struct SweepOptions<'a, 'b> {
+    /// Write-ahead journal: replayed if the file already has records,
+    /// appended to as live trials finish.
+    pub journal: Option<&'a Path>,
+    /// Progress event receiver.
+    pub sink: Option<&'b mut dyn ProgressSink>,
+    /// Worker thread count; defaults to the available parallelism,
+    /// capped at 8.
+    pub workers: Option<usize>,
+}
+
+/// A finished sweep: the ordered database plus its execution counters.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    pub db: ExperimentDb,
+    pub stats: SweepStats,
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Runs a set of trials on the worker pool and collects an ordered
+/// database, with optional journaling and progress reporting.
+///
+/// When `options.journal` points at a journal with existing records
+/// (e.g. from a killed sweep), those trials are replayed instead of
+/// re-run and only the missing ids are scheduled; the result is
+/// byte-identical to an uninterrupted sweep. Journal records that do not
+/// match the scheduled trial set (a stale or foreign journal) are
+/// rejected with `InvalidData`.
+pub fn run_sweep(
+    trials: &[TrialSpec],
+    evaluator: &dyn Evaluator,
+    config: &SchedulerConfig,
+    mut options: SweepOptions,
+) -> io::Result<SweepReport> {
+    // Build both failure sets once, up front — membership tests sit on
+    // the per-trial hot path.
+    let permanent: HashSet<usize> =
+        injected_failure_ids(trials, config.seed, config.injected_failures)
+            .into_iter()
+            .collect();
+    let transient: HashSet<usize> =
+        transient_failure_ids(trials, config.seed, config.transient_failures, &permanent)
+            .into_iter()
+            .collect();
+
+    let mut journal = None;
+    let mut replayed: HashMap<usize, TrialRecord> = HashMap::new();
+    if let Some(path) = options.journal {
+        let (j, records) = Journal::resume(path)?;
+        let by_id: HashMap<usize, &TrialSpec> = trials.iter().map(|t| (t.id, t)).collect();
+        for record in records {
+            let id = record.outcome.spec.id;
+            match by_id.get(&id) {
+                Some(spec) if **spec == record.outcome.spec => {
+                    replayed.insert(id, record);
+                }
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "journal record for trial {id} does not match the scheduled trial set"
+                        ),
+                    ))
+                }
+            }
+        }
+        journal = Some(j);
+    }
+
+    let pending: Vec<&TrialSpec> = trials
+        .iter()
+        .filter(|t| !replayed.contains_key(&t.id))
+        .collect();
+
+    let mut stats = SweepStats {
+        scheduled: trials.len(),
+        replayed: replayed.len(),
+        sim_total_s: pending.iter().map(|t| trial_duration_s(t)).sum(),
+        ..Default::default()
+    };
+    for record in replayed.values() {
+        if record.outcome.is_valid() {
+            stats.completed += 1;
+        } else {
+            stats.failed += 1;
+        }
+        stats.retried += record.attempts.saturating_sub(1);
+    }
+
+    let started = Instant::now();
+    if let Some(sink) = options.sink.as_deref_mut() {
+        sink.on_event(&SweepEvent::Started { stats: &stats });
+    }
+
+    let workers = options
+        .workers
+        .unwrap_or_else(default_workers)
+        .clamp(1, pending.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(TrialOutcome, usize, f64)>();
+
+    let mut live: Vec<TrialRecord> = Vec::with_capacity(pending.len());
+    let (pending, cursor, permanent, transient) = (&pending, &cursor, &permanent, &transient);
+    let collected: io::Result<()> = std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            s.spawn(move || loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = pending.get(idx) else { break };
+                let t0 = Instant::now();
+                let (outcome, attempts) = run_trial_with_retry(
+                    spec,
+                    evaluator,
+                    config,
+                    permanent.contains(&spec.id),
+                    transient.contains(&spec.id),
+                );
+                // A send error means the collector bailed on a journal
+                // I/O failure; just drain the remaining work.
+                let _ = tx.send((outcome, attempts, t0.elapsed().as_secs_f64()));
+            });
+        }
+        drop(tx);
+        for (outcome, attempts, wall_s) in rx.iter() {
+            let record = TrialRecord { attempts, outcome };
+            // Write-ahead: the journal line lands before the record is
+            // admitted to the in-memory database.
+            if let Some(j) = journal.as_mut() {
+                j.append(&record)?;
+            }
+            if record.outcome.is_valid() {
+                stats.completed += 1;
+            } else {
+                stats.failed += 1;
+            }
+            stats.retried += attempts - 1;
+            stats.sim_done_s += trial_duration_s(&record.outcome.spec);
+            stats.wall_s = started.elapsed().as_secs_f64();
+            if let Some(sink) = options.sink.as_deref_mut() {
+                sink.on_event(&SweepEvent::Trial {
+                    outcome: &record.outcome,
+                    attempts,
+                    wall_s,
+                    stats: &stats,
+                });
+            }
+            live.push(record);
+        }
+        Ok(())
+    });
+    collected?;
+
+    stats.wall_s = started.elapsed().as_secs_f64();
+    let mut outcomes: Vec<TrialOutcome> = replayed
+        .into_values()
+        .map(|r| r.outcome)
+        .chain(live.into_iter().map(|r| r.outcome))
+        .collect();
+    outcomes.sort_by_key(|o| o.spec.id);
+    if let Some(sink) = options.sink.as_deref_mut() {
+        sink.on_event(&SweepEvent::Finished { stats: &stats });
+    }
+    Ok(SweepReport {
+        db: ExperimentDb { outcomes },
+        stats,
+    })
 }
 
 /// Runs a set of trials in parallel and collects an ordered database.
@@ -113,15 +395,9 @@ pub fn run_experiment(
     evaluator: &dyn Evaluator,
     config: &SchedulerConfig,
 ) -> ExperimentDb {
-    let failures = injected_failure_ids(trials, config.seed, config.injected_failures);
-    let (tx, rx) = crossbeam::channel::unbounded::<TrialOutcome>();
-    trials.par_iter().for_each_with(tx, |tx, spec| {
-        let outcome = run_trial(spec, evaluator, config, failures.contains(&spec.id));
-        tx.send(outcome).expect("collector outlives workers");
-    });
-    let mut outcomes: Vec<TrialOutcome> = rx.into_iter().collect();
-    outcomes.sort_by_key(|o| o.spec.id);
-    ExperimentDb { outcomes }
+    run_sweep(trials, evaluator, config, SweepOptions::default())
+        .expect("a sweep without a journal performs no I/O")
+        .db
 }
 
 /// The paper's full experiment: all 1,728 grid trials.
@@ -133,6 +409,7 @@ pub fn run_full_grid(evaluator: &dyn Evaluator, config: &SchedulerConfig) -> Exp
 mod tests {
     use super::*;
     use crate::evaluator::SurrogateEvaluator;
+    use crate::progress::CollectingSink;
     use crate::space::{full_grid, SearchSpace};
 
     #[test]
@@ -147,9 +424,34 @@ mod tests {
     }
 
     #[test]
+    fn transient_set_is_disjoint_from_permanent() {
+        let trials = full_grid(&SearchSpace::paper());
+        let permanent: HashSet<usize> = injected_failure_ids(&trials, 3, 11).into_iter().collect();
+        let transient = transient_failure_ids(&trials, 3, 20, &permanent);
+        assert_eq!(transient.len(), 20);
+        assert!(transient.iter().all(|id| !permanent.contains(id)));
+    }
+
+    #[test]
+    fn attempt_seeds_are_distinct_and_stable() {
+        assert_eq!(attempt_seed(3, 1), 3, "first attempt keeps the master seed");
+        let s2 = attempt_seed(3, 2);
+        let s3 = attempt_seed(3, 3);
+        assert_ne!(s2, 3);
+        assert_ne!(s2, s3);
+        assert_eq!(s2, attempt_seed(3, 2), "derivation is pure");
+    }
+
+    #[test]
     fn small_experiment_round_trips() {
-        let trials: Vec<_> = full_grid(&SearchSpace::paper()).into_iter().take(24).collect();
-        let config = SchedulerConfig { injected_failures: 2, ..Default::default() };
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(24)
+            .collect();
+        let config = SchedulerConfig {
+            injected_failures: 2,
+            ..Default::default()
+        };
         let db = run_experiment(&trials, &SurrogateEvaluator::default(), &config);
         assert_eq!(db.outcomes.len(), 24);
         assert_eq!(db.valid().len(), 22);
@@ -168,7 +470,10 @@ mod tests {
 
     #[test]
     fn rerun_reproduces_identical_database() {
-        let trials: Vec<_> = full_grid(&SearchSpace::paper()).into_iter().take(16).collect();
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(16)
+            .collect();
         let config = SchedulerConfig::default();
         let ev = SurrogateEvaluator::default();
         let a = run_experiment(&trials, &ev, &config);
@@ -182,5 +487,134 @@ mod tests {
         let db = run_full_grid(&SurrogateEvaluator::default(), &config);
         assert_eq!(db.outcomes.len(), 1728);
         assert_eq!(db.valid().len(), 1717, "the paper's valid trial count");
+    }
+
+    #[test]
+    fn transient_failures_recover_on_retry() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(24)
+            .collect();
+        let config = SchedulerConfig {
+            injected_failures: 0,
+            transient_failures: 3,
+            max_attempts: 3,
+            ..Default::default()
+        };
+        let mut sink = CollectingSink::default();
+        let report = run_sweep(
+            &trials,
+            &SurrogateEvaluator::default(),
+            &config,
+            SweepOptions {
+                sink: Some(&mut sink),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Every trial recovers; exactly the transient ones took 2 attempts.
+        assert_eq!(report.db.valid().len(), 24);
+        assert_eq!(report.stats.retried, 3);
+        assert_eq!(
+            sink.trials
+                .iter()
+                .filter(|(_, attempts, _)| *attempts == 2)
+                .count(),
+            3
+        );
+        assert_eq!(sink.started, 1);
+        assert_eq!(sink.finished, 1);
+    }
+
+    #[test]
+    fn max_attempts_one_disables_retry() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(12)
+            .collect();
+        let config = SchedulerConfig {
+            injected_failures: 0,
+            transient_failures: 2,
+            max_attempts: 1,
+            ..Default::default()
+        };
+        let report = run_sweep(
+            &trials,
+            &SurrogateEvaluator::default(),
+            &config,
+            SweepOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.db.valid().len(), 10);
+        assert_eq!(report.stats.failed, 2);
+        assert_eq!(report.stats.retried, 0);
+    }
+
+    #[test]
+    fn permanent_failures_exhaust_the_retry_budget() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(12)
+            .collect();
+        let config = SchedulerConfig {
+            injected_failures: 2,
+            max_attempts: 3,
+            ..Default::default()
+        };
+        let mut sink = CollectingSink::default();
+        let report = run_sweep(
+            &trials,
+            &SurrogateEvaluator::default(),
+            &config,
+            SweepOptions {
+                sink: Some(&mut sink),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.stats.failed, 2);
+        // Each permanent failure burned all three attempts.
+        assert_eq!(report.stats.retried, 4);
+        assert_eq!(
+            sink.trials
+                .iter()
+                .filter(|(_, attempts, _)| *attempts == 3)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_database() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(24)
+            .collect();
+        let config = SchedulerConfig {
+            injected_failures: 2,
+            ..Default::default()
+        };
+        let ev = SurrogateEvaluator::default();
+        let one = run_sweep(
+            &trials,
+            &ev,
+            &config,
+            SweepOptions {
+                workers: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let many = run_sweep(
+            &trials,
+            &ev,
+            &config,
+            SweepOptions {
+                workers: Some(7),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(one.db.to_json(), many.db.to_json());
     }
 }

@@ -17,7 +17,10 @@ impl InputCombo {
         let mut combos = Vec::with_capacity(6);
         for channels in [5, 7] {
             for batch_size in [8, 16, 32] {
-                combos.push(InputCombo { channels, batch_size });
+                combos.push(InputCombo {
+                    channels,
+                    batch_size,
+                });
             }
         }
         combos
@@ -81,8 +84,10 @@ impl SearchSpace {
                         for &pool_choice in &self.pool_choices {
                             for &pool_kernel in &self.pool_kernels {
                                 for &pool_stride in &self.pool_strides {
-                                    let pool = (pool_choice == 1)
-                                        .then_some(PoolConfig { kernel: pool_kernel, stride: pool_stride });
+                                    let pool = (pool_choice == 1).then_some(PoolConfig {
+                                        kernel: pool_kernel,
+                                        stride: pool_stride,
+                                    });
                                     out.push(ArchConfig {
                                         in_channels: channels,
                                         kernel_size,
@@ -190,8 +195,20 @@ mod tests {
     fn six_input_combinations() {
         let combos = InputCombo::all();
         assert_eq!(combos.len(), 6);
-        assert_eq!(combos[0], InputCombo { channels: 5, batch_size: 8 });
-        assert_eq!(combos[5], InputCombo { channels: 7, batch_size: 32 });
+        assert_eq!(
+            combos[0],
+            InputCombo {
+                channels: 5,
+                batch_size: 8
+            }
+        );
+        assert_eq!(
+            combos[5],
+            InputCombo {
+                channels: 7,
+                batch_size: 32
+            }
+        );
     }
 
     #[test]

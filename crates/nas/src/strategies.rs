@@ -76,7 +76,10 @@ pub fn random_search(
     for id in 0..budget {
         let arch = sample_arch(space, combo.channels, &mut rng);
         let spec = spec_of(arch, combo, id);
-        let acc = evaluator.evaluate(&spec, seed).map(|o| o.mean_accuracy).unwrap_or(0.0);
+        let acc = evaluator
+            .evaluate(&spec, seed)
+            .map(|o| o.mean_accuracy)
+            .unwrap_or(0.0);
         history.push((spec, acc));
     }
     let best = history
@@ -98,7 +101,11 @@ pub struct EvolutionConfig {
 
 impl Default for EvolutionConfig {
     fn default() -> EvolutionConfig {
-        EvolutionConfig { population: 16, sample_size: 4, budget: 64 }
+        EvolutionConfig {
+            population: 16,
+            sample_size: 4,
+            budget: 64,
+        }
     }
 }
 
@@ -132,7 +139,10 @@ pub fn regularized_evolution(
 ) -> SearchResult {
     assert!(config.population >= 2, "population too small");
     assert!(config.sample_size >= 1 && config.sample_size <= config.population);
-    assert!(config.budget >= config.population, "budget below population size");
+    assert!(
+        config.budget >= config.population,
+        "budget below population size"
+    );
     let mut rng = TensorRng::seed_from_u64(seed);
     let mut history: Vec<(TrialSpec, f64)> = Vec::with_capacity(config.budget);
     // Ring buffer of (history index) for the living population.
@@ -148,7 +158,10 @@ pub fn regularized_evolution(
         seed: u64,
     ) {
         let spec = spec_of(arch, combo, id);
-        let acc = evaluator.evaluate(&spec, seed).map(|o| o.mean_accuracy).unwrap_or(0.0);
+        let acc = evaluator
+            .evaluate(&spec, seed)
+            .map(|o| o.mean_accuracy)
+            .unwrap_or(0.0);
         history.push((spec, acc));
     }
 
@@ -186,7 +199,10 @@ mod tests {
     use super::*;
     use crate::evaluator::SurrogateEvaluator;
 
-    const COMBO: InputCombo = InputCombo { channels: 7, batch_size: 16 };
+    const COMBO: InputCombo = InputCombo {
+        channels: 7,
+        batch_size: 16,
+    };
 
     #[test]
     fn random_search_finds_good_configs() {
@@ -214,7 +230,11 @@ mod tests {
     #[test]
     fn evolution_beats_its_own_initial_population() {
         let ev = SurrogateEvaluator::default();
-        let config = EvolutionConfig { population: 8, sample_size: 3, budget: 48 };
+        let config = EvolutionConfig {
+            population: 8,
+            sample_size: 3,
+            budget: 48,
+        };
         let res = regularized_evolution(&SearchSpace::paper(), COMBO, &ev, &config, 3);
         assert_eq!(res.history.len(), 48);
         let init_best = res.history[..8]
@@ -233,7 +253,11 @@ mod tests {
         // The surrogate's optimum uses k=3, p=1, ds=2, f=32; evolution
         // with a decent budget should concentrate there.
         let ev = SurrogateEvaluator::default();
-        let config = EvolutionConfig { population: 12, sample_size: 4, budget: 120 };
+        let config = EvolutionConfig {
+            population: 12,
+            sample_size: 4,
+            budget: 120,
+        };
         let res = regularized_evolution(&SearchSpace::paper(), COMBO, &ev, &config, 7);
         let best = res.best_spec();
         assert_eq!(best.arch.kernel_size, 3, "best {:?}", best.arch);
@@ -262,7 +286,11 @@ mod tests {
     #[should_panic(expected = "budget below population")]
     fn evolution_rejects_tiny_budget() {
         let ev = SurrogateEvaluator::default();
-        let config = EvolutionConfig { population: 8, sample_size: 2, budget: 4 };
+        let config = EvolutionConfig {
+            population: 8,
+            sample_size: 2,
+            budget: 4,
+        };
         let _ = regularized_evolution(&SearchSpace::paper(), COMBO, &ev, &config, 0);
     }
 }

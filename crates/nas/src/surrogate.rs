@@ -176,7 +176,10 @@ mod tests {
     fn stem_downsample_accounts_for_pool() {
         let mut arch = BASELINE_RESNET18;
         assert_eq!(stem_downsample(&arch), 4); // stride 2 x pool stride 2
-        arch.pool = Some(PoolConfig { kernel: 3, stride: 1 });
+        arch.pool = Some(PoolConfig {
+            kernel: 3,
+            stride: 1,
+        });
         assert_eq!(stem_downsample(&arch), 2);
         arch.pool = None;
         assert_eq!(stem_downsample(&arch), 2);
@@ -201,7 +204,10 @@ mod tests {
 
     #[test]
     fn seven_channels_beat_five_on_average() {
-        let make = |ch: usize| ArchConfig { in_channels: ch, ..BASELINE_RESNET18 };
+        let make = |ch: usize| ArchConfig {
+            in_channels: ch,
+            ..BASELINE_RESNET18
+        };
         for batch in [8, 16, 32] {
             let acc5 = baseline_anchor(5, batch) + arch_delta(&make(5));
             let acc7 = baseline_anchor(7, batch) + arch_delta(&make(7));

@@ -1,10 +1,10 @@
 //! Property-based tests for the NAS engine.
 
+use hydronas_graph::{ArchConfig, PoolConfig};
 use hydronas_nas::scheduler::injected_failure_ids;
 use hydronas_nas::space::{full_grid, SearchSpace};
-use hydronas_nas::surrogate::{arch_delta, surrogate_fold_accuracies, stem_downsample};
+use hydronas_nas::surrogate::{arch_delta, stem_downsample, surrogate_fold_accuracies};
 use hydronas_nas::{run_experiment, SchedulerConfig, SurrogateEvaluator};
-use hydronas_graph::{ArchConfig, PoolConfig};
 use proptest::prelude::*;
 
 fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
@@ -15,13 +15,16 @@ fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
         prop_oneof![Just(0usize), Just(1), Just(3)],
         prop_oneof![
             Just(None),
-            (prop_oneof![Just(2usize), Just(3)], prop_oneof![Just(1usize), Just(2)])
+            (
+                prop_oneof![Just(2usize), Just(3)],
+                prop_oneof![Just(1usize), Just(2)]
+            )
                 .prop_map(|(kernel, stride)| Some(PoolConfig { kernel, stride })),
         ],
         prop_oneof![Just(32usize), Just(48), Just(64)],
     )
-        .prop_map(|(in_channels, kernel_size, stride, padding, pool, initial_features)| {
-            ArchConfig {
+        .prop_map(
+            |(in_channels, kernel_size, stride, padding, pool, initial_features)| ArchConfig {
                 in_channels,
                 kernel_size,
                 stride,
@@ -29,8 +32,8 @@ fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
                 pool,
                 initial_features,
                 num_classes: 2,
-            }
-        })
+            },
+        )
 }
 
 proptest! {

@@ -19,8 +19,12 @@ impl BasicBlock {
     /// New block mapping `in_c -> out_c`; `stride != 1` or a channel change
     /// adds a 1x1 projection on the skip path (torch semantics).
     pub fn new(in_c: usize, out_c: usize, stride: usize, rng: &mut TensorRng) -> BasicBlock {
-        let downsample = (stride != 1 || in_c != out_c)
-            .then(|| (Conv2d::new(in_c, out_c, 1, stride, 0, rng), BatchNorm2d::new(out_c)));
+        let downsample = (stride != 1 || in_c != out_c).then(|| {
+            (
+                Conv2d::new(in_c, out_c, 1, stride, 0, rng),
+                BatchNorm2d::new(out_c),
+            )
+        });
         BasicBlock {
             conv1: Conv2d::new(in_c, out_c, 3, stride, 1, rng),
             bn1: BatchNorm2d::new(out_c),
@@ -177,7 +181,11 @@ mod tests {
         let loss = |x: &Tensor| -> f32 {
             let mut b = make();
             let y = b.forward(x, true);
-            y.as_slice().iter().zip(gout.as_slice()).map(|(a, g)| a * g).sum()
+            y.as_slice()
+                .iter()
+                .zip(gout.as_slice())
+                .map(|(a, g)| a * g)
+                .sum()
         };
         let eps = 1e-2f32;
         for &idx in &[0usize, 7, 13, 21, 31] {

@@ -29,7 +29,12 @@ impl Conv2d {
     ) -> Conv2d {
         let fan_in = in_c * kernel * kernel;
         let weight = kaiming_normal(&[out_c, in_c, kernel, kernel], fan_in, rng);
-        Conv2d { weight: Param::new(weight), stride, padding, cached_input: None }
+        Conv2d {
+            weight: Param::new(weight),
+            stride,
+            padding,
+            cached_input: None,
+        }
     }
 
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
@@ -39,9 +44,17 @@ impl Conv2d {
     }
 
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("Conv2d::backward before forward");
-        let (gi, gw) =
-            conv2d_backward(input, &self.weight.value, grad_out, self.stride, self.padding);
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Conv2d::backward before forward");
+        let (gi, gw) = conv2d_backward(
+            input,
+            &self.weight.value,
+            grad_out,
+            self.stride,
+            self.padding,
+        );
         self.weight.accumulate(&gw);
         gi
     }
@@ -89,7 +102,12 @@ impl BatchNorm2d {
 
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.shape().ndim(), 4, "BatchNorm2d expects NCHW");
-        let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
         assert_eq!(c, self.channels(), "channel mismatch");
         let plane = h * w;
         let m = (n * plane) as f32;
@@ -124,7 +142,10 @@ impl BatchNorm2d {
             }
             (mean, var)
         } else {
-            (self.running_mean.as_slice().to_vec(), self.running_var.as_slice().to_vec())
+            (
+                self.running_mean.as_slice().to_vec(),
+                self.running_var.as_slice().to_vec(),
+            )
         };
 
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
@@ -152,7 +173,10 @@ impl BatchNorm2d {
     }
 
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("BatchNorm2d::backward before forward(train)");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward before forward(train)");
         let (n, c, h, w) = (
             grad_out.dims()[0],
             grad_out.dims()[1],
@@ -224,7 +248,10 @@ impl Relu {
     }
 
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("Relu::backward before forward(train)");
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("Relu::backward before forward(train)");
         assert_eq!(mask.len(), grad_out.numel());
         let mut out = grad_out.clone();
         for (v, &keep) in out.as_mut_slice().iter_mut().zip(mask.iter()) {
@@ -246,7 +273,12 @@ pub struct MaxPool2d {
 
 impl MaxPool2d {
     pub fn new(kernel: usize, stride: usize, padding: usize) -> MaxPool2d {
-        MaxPool2d { kernel, stride, padding, cache: None }
+        MaxPool2d {
+            kernel,
+            stride,
+            padding,
+            cache: None,
+        }
     }
 
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
@@ -256,7 +288,10 @@ impl MaxPool2d {
     }
 
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (dims, arg) = self.cache.as_ref().expect("MaxPool2d::backward before forward");
+        let (dims, arg) = self
+            .cache
+            .as_ref()
+            .expect("MaxPool2d::backward before forward");
         max_pool2d_backward(dims, grad_out, arg, self.kernel, self.stride, self.padding)
     }
 }
@@ -280,7 +315,10 @@ impl GlobalAvgPool {
     }
 
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let dims = self.cached_dims.as_ref().expect("GlobalAvgPool::backward before forward");
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .expect("GlobalAvgPool::backward before forward");
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         assert_eq!(grad_out.dims(), &[n, c]);
         let plane = (h * w) as f32;
@@ -318,7 +356,10 @@ impl Linear {
     }
 
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("Linear::backward before forward");
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward before forward");
         // dW = x^T dy ; db = sum_rows dy ; dx = dy W^T
         let gw = input.transpose2().matmul(grad_out);
         self.weight.accumulate(&gw);
@@ -365,7 +406,11 @@ mod tests {
             let fp = lin.forward(&plus, false).sum();
             let fm = lin.forward(&minus, false).sum();
             let num = (fp - fm) / (2.0 * eps);
-            assert!(approx_eq(num, gx.as_slice()[idx], 3e-2), "{num} vs {}", gx.as_slice()[idx]);
+            assert!(
+                approx_eq(num, gx.as_slice()[idx], 3e-2),
+                "{num} vs {}",
+                gx.as_slice()[idx]
+            );
         }
         // Weight gradient for loss=sum: dW[i][j] = sum_batch x[b][i].
         let mut want = [0.0f32; 12];
@@ -380,7 +425,12 @@ mod tests {
             assert!(approx_eq(*a, *b, 1e-4));
         }
         // Bias gradient is the batch count per output.
-        assert!(lin.bias.grad.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-5));
+        assert!(lin
+            .bias
+            .grad
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 2.0).abs() < 1e-5));
     }
 
     #[test]
@@ -418,7 +468,11 @@ mod tests {
         let x = Tensor::full(&[1, 2, 3, 3], 2.0);
         let y = bn.forward(&x, false);
         // mean(U(1,3)) = 2 so output ~ 0.
-        assert!(y.as_slice().iter().all(|v| v.abs() < 0.2), "{:?}", y.as_slice());
+        assert!(
+            y.as_slice().iter().all(|v| v.abs() < 0.2),
+            "{:?}",
+            y.as_slice()
+        );
     }
 
     #[test]
@@ -437,7 +491,11 @@ mod tests {
 
         let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
             let y = bn.forward(x, true);
-            y.as_slice().iter().zip(gout.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(gout.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let eps = 1e-2f32;
         for &idx in &[0usize, 5, 9, 17, 23, 35] {

@@ -44,9 +44,7 @@ pub use augment::{augment_batch, Augmentation};
 pub use block::BasicBlock;
 pub use layers::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, Relu};
 pub use loss::CrossEntropyLoss;
-pub use metrics::{
-    accuracy, confusion_matrix, f1_score, roc_auc, roc_curve, ClassificationReport,
-};
+pub use metrics::{accuracy, confusion_matrix, f1_score, roc_auc, roc_curve, ClassificationReport};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::{Param, ParamVisitor};
 pub use resnet::ResNet;

@@ -9,7 +9,11 @@ pub fn accuracy(predictions: &[usize], targets: &[usize]) -> f64 {
     if predictions.is_empty() {
         return 0.0;
     }
-    let hits = predictions.iter().zip(targets).filter(|(p, t)| p == t).count();
+    let hits = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(p, t)| p == t)
+        .count();
     100.0 * hits as f64 / predictions.len() as f64
 }
 
@@ -149,7 +153,10 @@ pub fn roc_auc(scored: &[ScoredLabel]) -> f64 {
     // Midranks over the scores.
     let mut order: Vec<usize> = (0..scored.len()).collect();
     order.sort_by(|&a, &b| {
-        scored[a].0.partial_cmp(&scored[b].0).unwrap_or(std::cmp::Ordering::Equal)
+        scored[a]
+            .0
+            .partial_cmp(&scored[b].0)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0usize;
@@ -179,7 +186,10 @@ pub fn roc_curve(scored: &[ScoredLabel]) -> Vec<(f64, f64)> {
     assert!(positives > 0.0 && negatives > 0.0, "ROC needs both classes");
     let mut order: Vec<usize> = (0..scored.len()).collect();
     order.sort_by(|&a, &b| {
-        scored[b].0.partial_cmp(&scored[a].0).unwrap_or(std::cmp::Ordering::Equal)
+        scored[b]
+            .0
+            .partial_cmp(&scored[a].0)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut curve = vec![(0.0, 0.0)];
     let (mut tp, mut fp) = (0.0f64, 0.0f64);

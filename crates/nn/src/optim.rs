@@ -32,7 +32,12 @@ impl Sgd {
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Sgd {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum in [0,1)");
-        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -81,7 +86,15 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f32) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -135,7 +148,10 @@ mod tests {
 
     impl Bowl {
         fn new(start: &[f32], target: &[f32]) -> Bowl {
-            Bowl { w: Param::new(Tensor::from_slice(start)), target: target.to_vec() }
+            Bowl {
+                w: Param::new(Tensor::from_slice(start)),
+                target: target.to_vec(),
+            }
         }
 
         fn compute_grad(&mut self) {
@@ -190,7 +206,10 @@ mod tests {
             }
             bowl.loss()
         };
-        assert!(run(0.9) < run(0.0), "momentum should converge faster on a bowl");
+        assert!(
+            run(0.9) < run(0.0),
+            "momentum should converge faster on a bowl"
+        );
     }
 
     #[test]

@@ -140,7 +140,13 @@ mod tests {
         // The trainable model and the static graph IR must agree on the
         // parameter count for every search-space shape feature.
         let mut rng = TensorRng::seed_from_u64(2);
-        for pool in [None, Some(PoolConfig { kernel: 3, stride: 2 })] {
+        for pool in [
+            None,
+            Some(PoolConfig {
+                kernel: 3,
+                stride: 2,
+            }),
+        ] {
             for feat in [4, 8] {
                 for kernel in [3, 7] {
                     let arch = ArchConfig {
@@ -189,7 +195,10 @@ mod tests {
     #[test]
     fn pooled_variant_runs() {
         let mut arch = tiny_arch();
-        arch.pool = Some(PoolConfig { kernel: 2, stride: 2 });
+        arch.pool = Some(PoolConfig {
+            kernel: 2,
+            stride: 2,
+        });
         let mut rng = TensorRng::seed_from_u64(4);
         let mut model = ResNet::new(&arch, &mut rng);
         let x = uniform(&[1, 5, 32, 32], -1.0, 1.0, &mut rng);
@@ -244,8 +253,11 @@ impl ResNet {
         let model = hydronas_graph::deserialize_model(blob).map_err(|e| e.to_string())?;
         let mut rng = TensorRng::seed_from_u64(0);
         let mut net = ResNet::new(&model.arch, &mut rng);
-        let flat: Vec<f32> =
-            model.initializers.iter().flat_map(|(_, b)| b.iter().copied()).collect();
+        let flat: Vec<f32> = model
+            .initializers
+            .iter()
+            .flat_map(|(_, b)| b.iter().copied())
+            .collect();
         if flat.len() != net.num_params() {
             return Err(format!(
                 "weight count mismatch: blob has {}, model needs {}",

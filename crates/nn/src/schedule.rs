@@ -29,8 +29,7 @@ impl LrSchedule {
                     return base_lr;
                 }
                 let t = epoch as f32 / (total_epochs - 1) as f32;
-                min_lr
-                    + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+                min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
             }
         }
     }
@@ -50,7 +49,10 @@ mod tests {
 
     #[test]
     fn step_decays_at_boundaries() {
-        let s = LrSchedule::Step { every: 2, gamma: 0.1 };
+        let s = LrSchedule::Step {
+            every: 2,
+            gamma: 0.1,
+        };
         assert_eq!(s.rate(1.0, 0, 6), 1.0);
         assert_eq!(s.rate(1.0, 1, 6), 1.0);
         assert!((s.rate(1.0, 2, 6) - 0.1).abs() < 1e-7);
@@ -83,7 +85,10 @@ mod tests {
     fn serde_roundtrip() {
         for s in [
             LrSchedule::Constant,
-            LrSchedule::Step { every: 2, gamma: 0.5 },
+            LrSchedule::Step {
+                every: 2,
+                gamma: 0.5,
+            },
             LrSchedule::Cosine { min_lr: 1e-4 },
         ] {
             let json = serde_json::to_string(&s).unwrap();

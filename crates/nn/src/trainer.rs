@@ -3,11 +3,11 @@
 
 use crate::augment::augment_batch;
 use crate::loss::CrossEntropyLoss;
-use crate::schedule::LrSchedule;
 use crate::metrics::ClassificationReport;
 use crate::optim::{Optimizer, Sgd};
 use crate::param::ParamVisitor;
 use crate::resnet::ResNet;
+use crate::schedule::LrSchedule;
 use hydronas_graph::ArchConfig;
 use hydronas_tensor::{Tensor, TensorRng};
 use serde::{Deserialize, Serialize};
@@ -23,7 +23,11 @@ impl Dataset {
     /// Validates the feature/label pairing.
     pub fn new(features: Tensor, labels: Vec<usize>) -> Dataset {
         assert_eq!(features.shape().ndim(), 4, "features must be NCHW");
-        assert_eq!(features.dims()[0], labels.len(), "feature/label count mismatch");
+        assert_eq!(
+            features.dims()[0],
+            labels.len(),
+            "feature/label count mismatch"
+        );
         Dataset { features, labels }
     }
 
@@ -73,8 +77,7 @@ impl Dataset {
         for f in 0..k {
             let size = base + usize::from(f < extra);
             let val: Vec<usize> = order[start..start + size].to_vec();
-            let train: Vec<usize> =
-                order.iter().copied().filter(|i| !val.contains(i)).collect();
+            let train: Vec<usize> = order.iter().copied().filter(|i| !val.contains(i)).collect();
             folds.push((train, val));
             start += size;
         }
@@ -156,7 +159,11 @@ pub fn train(
     val_set: &Dataset,
     config: &TrainConfig,
 ) -> TrainResult {
-    assert_eq!(train_set.channels(), arch.in_channels, "dataset channel mismatch");
+    assert_eq!(
+        train_set.channels(),
+        arch.in_channels,
+        "dataset channel mismatch"
+    );
     let mut rng = TensorRng::seed_from_u64(config.seed);
     let mut model = ResNet::new(arch, &mut rng);
     let mut opt = Sgd::new(config.learning_rate, config.momentum, config.weight_decay);
@@ -168,11 +175,11 @@ pub fn train(
     let mut diverged = false;
 
     'epochs: for epoch in 0..config.epochs {
-        opt.set_learning_rate(config.lr_schedule.rate(
-            config.learning_rate,
-            epoch,
-            config.epochs,
-        ));
+        opt.set_learning_rate(
+            config
+                .lr_schedule
+                .rate(config.learning_rate, epoch, config.epochs),
+        );
         let mut order: Vec<usize> = (0..train_set.len()).collect();
         let mut shuffle_rng = rng.fork(epoch as u64 + 1);
         shuffle_rng.shuffle(&mut order);
@@ -189,8 +196,7 @@ pub fn train(
                 );
                 targets.push(train_set.labels[i]);
             }
-            let mut batch =
-                Tensor::from_vec(data, &[chunk.len(), dims[1], dims[2], dims[3]]);
+            let mut batch = Tensor::from_vec(data, &[chunk.len(), dims[1], dims[2], dims[3]]);
             if config.augment {
                 batch = augment_batch(&batch, &mut augment_rng);
             }
@@ -211,7 +217,11 @@ pub fn train(
     }
 
     let report = evaluate(&mut model, val_set, config.batch_size);
-    TrainResult { epoch_losses, report, diverged }
+    TrainResult {
+        epoch_losses,
+        report,
+        diverged,
+    }
 }
 
 /// The paper's evaluation protocol: k-fold cross-validation, reporting the
@@ -227,11 +237,18 @@ pub fn kfold_cross_validate(
     for (fold, (train_idx, val_idx)) in folds.into_iter().enumerate() {
         let train_set = data.subset(&train_idx);
         let val_set = data.subset(&val_idx);
-        let fold_config = TrainConfig { seed: config.seed.wrapping_add(fold as u64), ..*config };
+        let fold_config = TrainConfig {
+            seed: config.seed.wrapping_add(fold as u64),
+            ..*config
+        };
         let result = train(arch, &train_set, &val_set, &fold_config);
         results.push(FoldResult { fold, result });
     }
-    let mean_acc = results.iter().map(|f| f.result.report.accuracy_pct).sum::<f64>() / k as f64;
+    let mean_acc = results
+        .iter()
+        .map(|f| f.result.report.accuracy_pct)
+        .sum::<f64>()
+        / k as f64;
     (mean_acc, results)
 }
 
@@ -276,7 +293,10 @@ mod tests {
         let data = toy_dataset(6, 4, 1);
         let sub = data.subset(&[5, 0, 3]);
         assert_eq!(sub.len(), 3);
-        assert_eq!(sub.labels, vec![data.labels[5], data.labels[0], data.labels[3]]);
+        assert_eq!(
+            sub.labels,
+            vec![data.labels[5], data.labels[0], data.labels[3]]
+        );
         assert_eq!(sub.features.index_axis0(1), data.features.index_axis0(0));
     }
 
@@ -311,8 +331,12 @@ mod tests {
             ((0..48).collect(), (48..64).collect());
         let train_set = data.subset(&train_idx);
         let val_set = data.subset(&val_idx);
-        let config =
-            TrainConfig { epochs: 8, batch_size: 8, learning_rate: 0.05, ..Default::default() };
+        let config = TrainConfig {
+            epochs: 8,
+            batch_size: 8,
+            learning_rate: 0.05,
+            ..Default::default()
+        };
         let result = train(&tiny_arch(), &train_set, &val_set, &config);
         assert!(!result.diverged);
         assert_eq!(result.epoch_losses.len(), 8);
@@ -341,12 +365,19 @@ mod tests {
     #[test]
     fn kfold_cross_validation_runs_all_folds() {
         let data = toy_dataset(20, 8, 6);
-        let config = TrainConfig { epochs: 1, batch_size: 4, ..Default::default() };
+        let config = TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            ..Default::default()
+        };
         let (mean, folds) = kfold_cross_validate(&tiny_arch(), &data, 2, &config);
         assert_eq!(folds.len(), 2);
         assert!((0.0..=100.0).contains(&mean));
-        let manual: f64 =
-            folds.iter().map(|f| f.result.report.accuracy_pct).sum::<f64>() / 2.0;
+        let manual: f64 = folds
+            .iter()
+            .map(|f| f.result.report.accuracy_pct)
+            .sum::<f64>()
+            / 2.0;
         assert!((mean - manual).abs() < 1e-12);
     }
 
@@ -356,7 +387,10 @@ mod tests {
         let data = toy_dataset(4, 8, 7); // 2 channels
         let mut arch = tiny_arch();
         arch.in_channels = 5;
-        let config = TrainConfig { epochs: 1, ..Default::default() };
+        let config = TrainConfig {
+            epochs: 1,
+            ..Default::default()
+        };
         let _ = train(&arch, &data, &data, &config);
     }
 
@@ -372,7 +406,12 @@ mod tests {
             augment: true,
             ..Default::default()
         };
-        let result = train(&tiny_arch(), &data.subset(&train_idx), &data.subset(&val_idx), &config);
+        let result = train(
+            &tiny_arch(),
+            &data.subset(&train_idx),
+            &data.subset(&val_idx),
+            &config,
+        );
         assert!(!result.diverged);
         // The toy task's signal (channel-0 mean sign) is invariant under
         // the dihedral group, so augmentation must not block learning.
@@ -387,13 +426,20 @@ mod tests {
     fn augmentation_changes_the_training_trajectory() {
         let data = toy_dataset(32, 8, 13);
         let idx: Vec<usize> = (0..32).collect();
-        let base = TrainConfig { epochs: 2, batch_size: 8, ..Default::default() };
+        let base = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        };
         let plain = train(&tiny_arch(), &data.subset(&idx), &data.subset(&idx), &base);
         let aug = train(
             &tiny_arch(),
             &data.subset(&idx),
             &data.subset(&idx),
-            &TrainConfig { augment: true, ..base },
+            &TrainConfig {
+                augment: true,
+                ..base
+            },
         );
         assert_ne!(plain.epoch_losses, aug.epoch_losses);
     }
@@ -409,7 +455,12 @@ mod tests {
             lr_schedule: crate::schedule::LrSchedule::Cosine { min_lr: 1e-4 },
             ..Default::default()
         };
-        let result = train(&tiny_arch(), &data.subset(&idx), &data.subset(&idx), &config);
+        let result = train(
+            &tiny_arch(),
+            &data.subset(&idx),
+            &data.subset(&idx),
+            &config,
+        );
         assert!(!result.diverged);
         assert_eq!(result.epoch_losses.len(), 4);
     }

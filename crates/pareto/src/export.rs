@@ -24,11 +24,7 @@ pub struct RadarRow {
 
 /// Renders the full population as CSV (`id,<obj...>,on_front`), the data
 /// behind the paper's Figure 3 scatter.
-pub fn scatter_csv(
-    points: &[Point],
-    headers: &[&str],
-    front_ids: &[usize],
-) -> String {
+pub fn scatter_csv(points: &[Point], headers: &[&str], front_ids: &[usize]) -> String {
     assert!(!headers.is_empty(), "need objective headers");
     let mut out = String::with_capacity(points.len() * 32);
     out.push_str("id,");
@@ -71,7 +67,10 @@ pub fn radar_rows(
                 axes: labels
                     .iter()
                     .zip(normed)
-                    .map(|(&label, value)| RadarAxis { label: label.to_string(), value })
+                    .map(|(&label, value)| RadarAxis {
+                        label: label.to_string(),
+                        value,
+                    })
                     .collect(),
             }
         })
@@ -116,9 +115,16 @@ mod tests {
 
     #[test]
     fn radar_rows_are_normalized() {
-        let pts = vec![Point::new(0, vec![0.0, 10.0]), Point::new(1, vec![4.0, 20.0])];
+        let pts = vec![
+            Point::new(0, vec![0.0, 10.0]),
+            Point::new(1, vec![4.0, 20.0]),
+        ];
         let rows = radar_rows(&pts, &["a", "b"], |id| {
-            if id == 0 { "red".into() } else { "green".into() }
+            if id == 0 {
+                "red".into()
+            } else {
+                "green".into()
+            }
         });
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].axes[0].value, 0.0);

@@ -9,7 +9,11 @@ use crate::point::{dominates, Objective, Point};
 pub fn pareto_front(points: &[Point], senses: &[Objective]) -> Vec<Point> {
     points
         .iter()
-        .filter(|candidate| !points.iter().any(|other| dominates(other, candidate, senses)))
+        .filter(|candidate| {
+            !points
+                .iter()
+                .any(|other| dominates(other, candidate, senses))
+        })
         .cloned()
         .collect()
 }
@@ -95,6 +99,12 @@ pub fn crowding_distance(front: &[Point]) -> Vec<f64> {
 /// Knee point: the front member with the largest minimal improvement over
 /// its normalized neighbors — a simple max-min-normalized-distance-to-
 /// extremes heuristic useful for picking "the" deployment model.
+///
+/// Each objective is normalized to `[0, 1]` with 1 = best; a point's
+/// score is its *worst* normalized objective, and the highest score
+/// wins. Unlike a sum (a weighted-sum scalarization, which rewards
+/// lopsided extremes), max-min favors points that sacrifice no
+/// objective — the balanced "knee" of the front.
 pub fn knee_point(front: &[Point], senses: &[Objective]) -> Option<usize> {
     if front.is_empty() {
         return None;
@@ -110,7 +120,7 @@ pub fn knee_point(front: &[Point], senses: &[Objective]) -> Option<usize> {
         }
     }
     let score = |p: &Point| -> f64 {
-        // Sum of normalized goodness across objectives.
+        // Minimum normalized goodness across objectives (max-min rule).
         p.values
             .iter()
             .enumerate()
@@ -122,13 +132,15 @@ pub fn knee_point(front: &[Point], senses: &[Objective]) -> Option<usize> {
                     Objective::Minimize => 1.0 - unit,
                 }
             })
-            .sum()
+            .fold(f64::INFINITY, f64::min)
     };
     front
         .iter()
         .enumerate()
         .max_by(|(_, a), (_, b)| {
-            score(a).partial_cmp(&score(b)).unwrap_or(std::cmp::Ordering::Equal)
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
         })
         .map(|(i, _)| i)
 }
@@ -140,7 +152,10 @@ mod tests {
     const MM: [Objective; 2] = [Objective::Maximize, Objective::Minimize];
 
     fn pts(vals: &[(f64, f64)]) -> Vec<Point> {
-        vals.iter().enumerate().map(|(i, &(a, b))| Point::new(i, vec![a, b])).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &(a, b))| Point::new(i, vec![a, b]))
+            .collect()
     }
 
     #[test]
@@ -231,5 +246,18 @@ mod tests {
         // to best in both.
         let front = pts(&[(100.0, 100.0), (95.0, 10.0), (60.0, 5.0)]);
         assert_eq!(knee_point(&front, &MM), Some(1));
+    }
+
+    #[test]
+    fn knee_uses_max_min_not_summed_goodness() {
+        // Normalized goodness (accuracy/100, 1 - latency/100):
+        //   id 0: (1.0, 0.0)   extreme        sum 1.00  min 0.00
+        //   id 1: (0.0, 1.0)   extreme        sum 1.00  min 0.00
+        //   id 2: (1.0, 0.55)  lopsided       sum 1.55  min 0.55
+        //   id 3: (0.7, 0.7)   balanced       sum 1.40  min 0.70
+        // A summed scalarization would pick id 2; the documented max-min
+        // rule picks the balanced id 3.
+        let front = pts(&[(100.0, 100.0), (0.0, 0.0), (100.0, 45.0), (70.0, 30.0)]);
+        assert_eq!(knee_point(&front, &MM), Some(3));
     }
 }

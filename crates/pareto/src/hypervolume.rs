@@ -53,13 +53,16 @@ pub fn hypervolume_3d(points: &[(f64, f64, f64)], ref_pt: (f64, f64, f64)) -> f6
     let mut hv = 0.0;
     for i in 0..pts.len() {
         let z_lo = pts[i].2;
-        let z_hi = if i + 1 < pts.len() { pts[i + 1].2 } else { ref_pt.2 };
+        let z_hi = if i + 1 < pts.len() {
+            pts[i + 1].2
+        } else {
+            ref_pt.2
+        };
         if z_hi <= z_lo {
             continue;
         }
         // All points with z <= z_lo contribute to this slab's 2-d slice.
-        let slice: Vec<(f64, f64)> =
-            pts[..=i].iter().map(|&(x, y, _)| (x, y)).collect();
+        let slice: Vec<(f64, f64)> = pts[..=i].iter().map(|&(x, y, _)| (x, y)).collect();
         hv += (z_hi - z_lo) * hypervolume_2d(&slice, (ref_pt.0, ref_pt.1));
     }
     hv

@@ -15,7 +15,13 @@ impl ValueRange {
     pub fn of(points: &[Point]) -> Vec<ValueRange> {
         assert!(!points.is_empty(), "cannot compute ranges of an empty set");
         let m = points[0].values.len();
-        let mut ranges = vec![ValueRange { min: f64::INFINITY, max: f64::NEG_INFINITY }; m];
+        let mut ranges = vec![
+            ValueRange {
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY
+            };
+            m
+        ];
         for p in points {
             assert_eq!(p.values.len(), m, "inconsistent objective arity");
             for (r, &v) in ranges.iter_mut().zip(&p.values) {
@@ -40,7 +46,12 @@ impl ValueRange {
 /// Normalizes one point against precomputed ranges.
 pub fn normalize_point(point: &Point, ranges: &[ValueRange]) -> Vec<f64> {
     assert_eq!(point.values.len(), ranges.len(), "arity mismatch");
-    point.values.iter().zip(ranges).map(|(&v, r)| r.unit(v)).collect()
+    point
+        .values
+        .iter()
+        .zip(ranges)
+        .map(|(&v, r)| r.unit(v))
+        .collect()
 }
 
 /// Normalizes a whole population to the unit hypercube (the paper
@@ -53,7 +64,10 @@ pub fn min_max_normalize(points: &[Point]) -> Vec<Point> {
     let ranges = ValueRange::of(points);
     points
         .iter()
-        .map(|p| Point { id: p.id, values: normalize_point(p, &ranges) })
+        .map(|p| Point {
+            id: p.id,
+            values: normalize_point(p, &ranges),
+        })
         .collect()
 }
 
@@ -70,12 +84,21 @@ mod tests {
         ];
         let r = ValueRange::of(&pts);
         assert_eq!(r[0], ValueRange { min: 1.0, max: 3.0 });
-        assert_eq!(r[1], ValueRange { min: 50.0, max: 100.0 });
+        assert_eq!(
+            r[1],
+            ValueRange {
+                min: 50.0,
+                max: 100.0
+            }
+        );
     }
 
     #[test]
     fn unit_maps_linearly() {
-        let r = ValueRange { min: 10.0, max: 20.0 };
+        let r = ValueRange {
+            min: 10.0,
+            max: 20.0,
+        };
         assert_eq!(r.unit(10.0), 0.0);
         assert_eq!(r.unit(20.0), 1.0);
         assert_eq!(r.unit(15.0), 0.5);
@@ -91,7 +114,10 @@ mod tests {
 
     #[test]
     fn normalize_population() {
-        let pts = vec![Point::new(0, vec![0.0, 8.0]), Point::new(7, vec![10.0, 16.0])];
+        let pts = vec![
+            Point::new(0, vec![0.0, 8.0]),
+            Point::new(7, vec![10.0, 16.0]),
+        ];
         let normed = min_max_normalize(&pts);
         assert_eq!(normed[0].values, vec![0.0, 0.0]);
         assert_eq!(normed[1].values, vec![1.0, 1.0]);

@@ -37,7 +37,10 @@ pub struct Point {
 impl Point {
     pub fn new(id: usize, values: Vec<f64>) -> Point {
         assert!(!values.is_empty(), "point needs at least one objective");
-        assert!(values.iter().all(|v| v.is_finite()), "objective values must be finite");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "objective values must be finite"
+        );
         Point { id, values }
     }
 }

@@ -57,13 +57,13 @@ pub fn weighted_best<'a>(
 
 /// Sweeps a lattice of weight vectors (steps per dimension) and returns
 /// the distinct winners — the *supported* subset of the Pareto front.
-pub fn weighted_sum_front(
-    points: &[Point],
-    senses: &[Objective],
-    steps: usize,
-) -> Vec<Point> {
+pub fn weighted_sum_front(points: &[Point], senses: &[Objective], steps: usize) -> Vec<Point> {
     assert!(steps >= 2, "need at least 2 weight steps");
-    assert_eq!(senses.len(), 3, "lattice sweep implemented for 3 objectives");
+    assert_eq!(
+        senses.len(),
+        3,
+        "lattice sweep implemented for 3 objectives"
+    );
     let mut winners: Vec<Point> = Vec::new();
     for i in 0..=steps {
         for j in 0..=(steps - i) {
@@ -97,8 +97,12 @@ pub fn epsilon_constraint<'a>(
     points
         .iter()
         .filter(|p| {
-            p.values.iter().zip(senses).zip(epsilons).enumerate().all(
-                |(k, ((&v, sense), &eps))| {
+            p.values
+                .iter()
+                .zip(senses)
+                .zip(epsilons)
+                .enumerate()
+                .all(|(k, ((&v, sense), &eps))| {
                     if k == objective {
                         return true;
                     }
@@ -106,8 +110,7 @@ pub fn epsilon_constraint<'a>(
                         Objective::Maximize => v >= eps,
                         Objective::Minimize => v <= eps,
                     }
-                },
-            )
+                })
         })
         .max_by(|a, b| {
             let (va, vb) = (a.values[objective], b.values[objective]);
@@ -126,7 +129,10 @@ pub fn supported_fraction(points: &[Point], senses: &[Objective], steps: usize) 
         return 1.0;
     }
     let supported = weighted_sum_front(points, senses, steps);
-    let hits = front.iter().filter(|p| supported.iter().any(|s| s.id == p.id)).count();
+    let hits = front
+        .iter()
+        .filter(|p| supported.iter().any(|s| s.id == p.id))
+        .count();
     hits as f64 / front.len() as f64
 }
 
@@ -134,8 +140,11 @@ pub fn supported_fraction(points: &[Point], senses: &[Objective], steps: usize) 
 mod tests {
     use super::*;
 
-    const MM3: [Objective; 3] =
-        [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+    const MM3: [Objective; 3] = [
+        Objective::Maximize,
+        Objective::Minimize,
+        Objective::Minimize,
+    ];
 
     fn pts(vals: &[(f64, f64, f64)]) -> Vec<Point> {
         vals.iter()
@@ -166,7 +175,11 @@ mod tests {
         let supported = weighted_sum_front(&points, &MM3, 8);
         let front = pareto_front(&points, &MM3);
         for w in &supported {
-            assert!(front.iter().any(|p| p.id == w.id), "winner {} off the front", w.id);
+            assert!(
+                front.iter().any(|p| p.id == w.id),
+                "winner {} off the front",
+                w.id
+            );
         }
     }
 
@@ -182,16 +195,15 @@ mod tests {
         let front = pareto_front(&points, &MM3);
         assert_eq!(front.len(), 3);
         let frac = supported_fraction(&points, &MM3, 16);
-        assert!(frac < 1.0, "sweep recovered the non-supported point: {frac}");
+        assert!(
+            frac < 1.0,
+            "sweep recovered the non-supported point: {frac}"
+        );
     }
 
     #[test]
     fn epsilon_constraint_respects_bounds() {
-        let points = pts(&[
-            (96.0, 8.0, 11.0),
-            (97.0, 20.0, 11.0),
-            (99.0, 40.0, 44.0),
-        ]);
+        let points = pts(&[(96.0, 8.0, 11.0), (97.0, 20.0, 11.0), (99.0, 40.0, 44.0)]);
         // Max accuracy subject to latency <= 25 and memory <= 12.
         let pick = epsilon_constraint(&points, &MM3, 0, &[0.0, 25.0, 12.0]).unwrap();
         assert_eq!(pick.id, 1);

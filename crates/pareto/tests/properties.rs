@@ -6,8 +6,11 @@ use hydronas_pareto::{
 };
 use proptest::prelude::*;
 
-const MM3: [Objective; 3] =
-    [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+const MM3: [Objective; 3] = [
+    Objective::Maximize,
+    Objective::Minimize,
+    Objective::Minimize,
+];
 
 fn points_strategy(n: usize) -> impl Strategy<Value = Vec<Point>> {
     proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0), 1..n).prop_map(

@@ -4,7 +4,7 @@
 //! `[out_c, in_c, kh, kw]`. Batch samples are independent, so forward and
 //! backward parallelize across the batch with rayon.
 
-use crate::gemm::gemm;
+use crate::gemm::{gemm, gemm_nt};
 use crate::shape::conv_out_dim;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
@@ -37,7 +37,10 @@ impl Conv2dDims {
     ) -> Option<Conv2dDims> {
         assert_eq!(input_dims.len(), 4, "conv input must be NCHW");
         assert_eq!(weight_dims.len(), 4, "conv weight must be [O,I,Kh,Kw]");
-        assert_eq!(weight_dims[2], weight_dims[3], "only square kernels supported");
+        assert_eq!(
+            weight_dims[2], weight_dims[3],
+            "only square kernels supported"
+        );
         assert_eq!(input_dims[1], weight_dims[1], "in_channels mismatch");
         let kernel = weight_dims[2];
         let out_h = conv_out_dim(input_dims[2], kernel, stride, padding)?;
@@ -194,17 +197,15 @@ pub fn conv2d_backward(
             gemm(w_t.as_slice(), go_n, &mut gcol, cr, d.out_c, cc);
             col2im(&gcol, &d, gi_n);
 
-            // grad wrt weight: grad_out [out_c, cc] x col^T [cc, cr]
+            // grad wrt weight: grad_out [out_c, cc] x col^T [cc, cr].
+            // The im2col matrix [cr, cc] already *is* col^T in
+            // transposed storage, so the NT GEMM variant reads it
+            // directly instead of materializing a transposed copy per
+            // sample.
             let mut col = vec![0.0f32; cr * cc];
             im2col(&inp[n * in_sz..(n + 1) * in_sz], &d, &mut col);
-            let mut col_t = vec![0.0f32; cc * cr];
-            for r in 0..cr {
-                for c in 0..cc {
-                    col_t[c * cr + r] = col[r * cc + c];
-                }
-            }
             let mut gw = vec![0.0f32; d.out_c * cr];
-            gemm(go_n, &col_t, &mut gw, d.out_c, cc, cr);
+            gemm_nt(go_n, &col, &mut gw, d.out_c, cc, cr);
             gw
         })
         .collect();
@@ -270,15 +271,23 @@ mod tests {
     #[test]
     fn matches_naive_over_geometry_grid() {
         let mut rng = TensorRng::seed_from_u64(99);
-        for &(h, k, s, p) in &[(8, 3, 1, 1), (8, 3, 2, 1), (9, 7, 2, 3), (5, 2, 2, 0), (6, 3, 1, 0)]
-        {
+        for &(h, k, s, p) in &[
+            (8, 3, 1, 1),
+            (8, 3, 2, 1),
+            (9, 7, 2, 3),
+            (5, 2, 2, 0),
+            (6, 3, 1, 0),
+        ] {
             let input = uniform(&[2, 3, h, h], -1.0, 1.0, &mut rng);
             let weight = uniform(&[4, 3, k, k], -0.5, 0.5, &mut rng);
             let fast = conv2d(&input, &weight, s, p);
             let slow = naive_conv(&input, &weight, s, p);
             assert_eq!(fast.dims(), slow.dims());
             for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
-                assert!(approx_eq(*a, *b, 1e-4), "h={h} k={k} s={s} p={p}: {a} vs {b}");
+                assert!(
+                    approx_eq(*a, *b, 1e-4),
+                    "h={h} k={k} s={s} p={p}: {a} vs {b}"
+                );
             }
         }
     }

@@ -54,6 +54,45 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     }
 }
 
+/// Matrix multiply with the right operand stored transposed:
+/// `c[m x n] = a[m x k] * b_t^T` where `b_t` is `[n x k]` row-major.
+///
+/// Both operands stream contiguously (each output element is a dot
+/// product of an A row with a `b_t` row), so callers that would
+/// otherwise materialize a transposed copy of B — conv2d's
+/// weight-gradient GEMM against the im2col matrix — skip the transpose
+/// allocation entirely.
+pub fn gemm_nt(a: &[f32], b_t: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b_t.len(), n * k, "B^T size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+
+    let row_body = |i: usize, c_row: &mut [f32]| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, cj) in c_row.iter_mut().enumerate() {
+            let b_row = &b_t[j * k..(j + 1) * k];
+            // Contiguous dot product; auto-vectorizes like the saxpy in
+            // `gemm` and accumulates in the same k order, so results
+            // match the transpose-then-gemm path bit for bit.
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *cj = acc;
+        }
+    };
+
+    if m * n >= PAR_CELLS && m > 1 {
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, c_row)| row_body(i, c_row));
+    } else {
+        for (i, c_row) in c.chunks_mut(n).enumerate() {
+            row_body(i, c_row);
+        }
+    }
+}
+
 /// GEMM with a per-output-column bias: `c = a * b + bias` (bias length `n`).
 pub fn gemm_bias(a: &[f32], b: &[f32], bias: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(bias.len(), n, "bias length mismatch");
@@ -74,7 +113,14 @@ impl Tensor {
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
         let mut out = Tensor::zeros(&[m, n]);
-        gemm(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k, n);
+        gemm(
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            m,
+            k,
+            n,
+        );
         out
     }
 }
@@ -146,6 +192,45 @@ mod tests {
         let b: Vec<f32> = (0..k * n).map(|v| ((v % 19) as f32) * 0.2 - 1.0).collect();
         let mut c = vec![0.0; m * n];
         gemm(&a, &b, &mut c, m, k, n);
+        let want = naive(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(want.iter()) {
+            assert!(approx_eq(*x, *y, 1e-4));
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let (m, k, n) = (7, 13, 5);
+        let a: Vec<f32> = (0..m * k).map(|v| ((v * 37 % 11) as f32) - 5.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|v| ((v * 17 % 7) as f32) - 3.0).collect();
+        // b_t[n x k] = b[k x n] transposed.
+        let mut b_t = vec![0.0; n * k];
+        for r in 0..k {
+            for c in 0..n {
+                b_t[c * k + r] = b[r * n + c];
+            }
+        }
+        let mut via_nt = vec![0.0; m * n];
+        gemm_nt(&a, &b_t, &mut via_nt, m, k, n);
+        let want = naive(&a, &b, m, k, n);
+        for (x, y) in via_nt.iter().zip(want.iter()) {
+            assert!(approx_eq(*x, *y, 1e-5), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_nt_parallel_path_matches_naive() {
+        let (m, k, n) = (130, 20, 140); // m*n = 18200 > PAR_CELLS
+        let a: Vec<f32> = (0..m * k).map(|v| ((v % 23) as f32) * 0.1).collect();
+        let b_t: Vec<f32> = (0..n * k).map(|v| ((v % 19) as f32) * 0.2 - 1.0).collect();
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for r in 0..k {
+                b[r * n + j] = b_t[j * k + r];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_nt(&a, &b_t, &mut c, m, k, n);
         let want = naive(&a, &b, m, k, n);
         for (x, y) in c.iter().zip(want.iter()) {
             assert!(approx_eq(*x, *y, 1e-4));

@@ -15,7 +15,9 @@ pub struct TensorRng {
 impl TensorRng {
     /// New stream from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        TensorRng { rng: ChaCha8Rng::seed_from_u64(seed) }
+        TensorRng {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child stream (`label` distinguishes siblings).
@@ -58,7 +60,9 @@ impl TensorRng {
 /// Tensor filled with `U(lo, hi)` samples.
 pub fn uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut TensorRng) -> Tensor {
     let mut t = Tensor::zeros(dims);
-    t.as_mut_slice().iter_mut().for_each(|v| *v = rng.uniform(lo, hi));
+    t.as_mut_slice()
+        .iter_mut()
+        .for_each(|v| *v = rng.uniform(lo, hi));
     t
 }
 
@@ -70,7 +74,9 @@ pub fn kaiming_normal(dims: &[usize], fan_in: usize, rng: &mut TensorRng) -> Ten
     assert!(fan_in > 0, "fan_in must be positive");
     let std = (2.0 / fan_in as f32).sqrt();
     let mut t = Tensor::zeros(dims);
-    t.as_mut_slice().iter_mut().for_each(|v| *v = rng.normal() * std);
+    t.as_mut_slice()
+        .iter_mut()
+        .for_each(|v| *v = rng.normal() * std);
     t
 }
 
@@ -110,7 +116,11 @@ mod tests {
         let fan_in = 128;
         let t = kaiming_normal(&[20_000], fan_in, &mut rng);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / t.numel() as f32;
         let want = 2.0 / fan_in as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
@@ -136,7 +146,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left order unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left order unchanged"
+        );
     }
 
     #[test]

@@ -126,13 +126,19 @@ impl Tensor {
     /// Maximum element; panics on empty tensors.
     pub fn max(&self) -> f32 {
         assert!(self.numel() > 0, "max of empty tensor");
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element; panics on empty tensors.
     pub fn min(&self) -> f32 {
         assert!(self.numel() > 0, "min of empty tensor");
-        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Index of the maximum element in a 1-d tensor (ties -> first).

@@ -130,7 +130,11 @@ pub fn max_pool2d_backward(
 
 /// Global average pooling: `[N,C,H,W] -> [N,C]`.
 pub fn avg_pool2d_global(input: &Tensor) -> Tensor {
-    assert_eq!(input.shape().ndim(), 4, "global avg pool input must be NCHW");
+    assert_eq!(
+        input.shape().ndim(),
+        4,
+        "global avg pool input must be NCHW"
+    );
     let (n, c, h, w) = (
         input.dims()[0],
         input.dims()[1],
@@ -206,7 +210,10 @@ mod tests {
         let grad_out = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
         let gi = max_pool2d_backward(input.dims(), &grad_out, &arg, 2, 1, 0);
         // Argmaxes are 4,5,7,8 -> gradients land there, overlaps accumulate.
-        assert_eq!(gi.as_slice(), &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 3.0, 4.0]);
+        assert_eq!(
+            gi.as_slice(),
+            &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 3.0, 4.0]
+        );
     }
 
     #[test]

@@ -50,8 +50,16 @@ impl Shape {
         let n = self.0.len().max(other.0.len());
         let mut out = vec![0usize; n];
         for i in 0..n {
-            let x = if i < self.0.len() { self.0[self.0.len() - 1 - i] } else { 1 };
-            let y = if i < other.0.len() { other.0[other.0.len() - 1 - i] } else { 1 };
+            let x = if i < self.0.len() {
+                self.0[self.0.len() - 1 - i]
+            } else {
+                1
+            };
+            let y = if i < other.0.len() {
+                other.0[other.0.len() - 1 - i]
+            } else {
+                1
+            };
             out[n - 1 - i] = x.max(y);
         }
         Some(Shape(out))

@@ -16,7 +16,10 @@ impl Tensor {
     /// Zero-filled tensor of the given shape.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::from(dims);
-        Tensor { data: vec![0.0; shape.numel()], shape }
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
     }
 
     /// One-filled tensor.
@@ -27,7 +30,10 @@ impl Tensor {
     /// Constant-filled tensor.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::from(dims);
-        Tensor { data: vec![value; shape.numel()], shape }
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -95,13 +101,20 @@ impl Tensor {
             "cannot reshape {} elements into {shape}",
             self.numel()
         );
-        Tensor { data: self.data.clone(), shape }
+        Tensor {
+            data: self.data.clone(),
+            shape,
+        }
     }
 
     /// In-place reshape (no copy).
     pub fn reshape_in_place(&mut self, dims: &[usize]) {
         let shape = Shape::from(dims);
-        assert_eq!(shape.numel(), self.numel(), "reshape element count mismatch");
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape element count mismatch"
+        );
         self.shape = shape;
     }
 

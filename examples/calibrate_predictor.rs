@@ -11,13 +11,15 @@ use hydronas_latency::{
 
 fn main() {
     let zoo = validation_zoo(32);
-    println!("calibration zoo: {} models (the full 288-config space)\n", zoo.len());
+    println!(
+        "calibration zoo: {} models (the full 288-config space)\n",
+        zoo.len()
+    );
 
     for truth in all_devices() {
         // 1. "Measure" a training split of the zoo on the device.
         let sim = DeviceSimulator::for_device(truth.clone());
-        let (train, test): (Vec<_>, Vec<_>) =
-            zoo.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+        let (train, test): (Vec<_>, Vec<_>) = zoo.iter().enumerate().partition(|(i, _)| i % 2 == 0);
         let observations: Vec<Observation> = train
             .iter()
             .map(|(i, graph)| Observation {

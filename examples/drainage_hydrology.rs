@@ -4,8 +4,8 @@
 //! Run with: `cargo run --release --example drainage_hydrology`
 
 use hydronas_geodata::{
-    d8_flow_directions, flow_accumulation, stream_mask, study_regions, synthesize_tile,
-    Heightmap, TileParams,
+    d8_flow_directions, flow_accumulation, stream_mask, study_regions, synthesize_tile, Heightmap,
+    TileParams,
 };
 
 /// Renders a boolean raster as ASCII art.

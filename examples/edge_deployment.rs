@@ -7,7 +7,7 @@
 
 use hydronas::prelude::*;
 use hydronas_graph::{quantized_size_bytes, Precision};
-use hydronas_latency::{predict_all_quantized, predict_quantized, all_devices};
+use hydronas_latency::{all_devices, predict_all_quantized, predict_quantized};
 use hydronas_nas::{nsga2, Nsga2Config};
 
 fn row(name: &str, acc: f64, lat: f64, mem: f64) {
@@ -31,22 +31,42 @@ fn main() {
         .clone();
 
     println!("deployment candidates (7ch/b16 benchmark):");
-    row("ResNet-18 fp32 (paper baseline)", baseline.accuracy, baseline.latency_ms, baseline.memory_mb);
+    row(
+        "ResNet-18 fp32 (paper baseline)",
+        baseline.accuracy,
+        baseline.latency_ms,
+        baseline.memory_mb,
+    );
 
     // 2. Quantize the baseline: 4x memory, big latency win in the
     //    weight-bound regime — but still behind the NAS front.
     let base_graph = ModelGraph::from_arch(&baseline.spec.arch, 32).unwrap();
     let int8_lat = predict_all_quantized(&base_graph);
     let int8_mem = quantized_size_bytes(&base_graph, Precision::Int8) as f64 / 1e6;
-    row("ResNet-18 int8", baseline.accuracy, int8_lat.mean_ms, int8_mem);
+    row(
+        "ResNet-18 int8",
+        baseline.accuracy,
+        int8_lat.mean_ms,
+        int8_mem,
+    );
 
     // 3. The NAS front, fp32 and int8.
     for o in &front {
         let g = ModelGraph::from_arch(&o.spec.arch, 32).unwrap();
-        row(&format!("NAS {} fp32", o.spec.arch.key()), o.accuracy, o.latency_ms, o.memory_mb);
+        row(
+            &format!("NAS {} fp32", o.spec.arch.key()),
+            o.accuracy,
+            o.latency_ms,
+            o.memory_mb,
+        );
         let q_lat = predict_all_quantized(&g);
         let q_mem = quantized_size_bytes(&g, Precision::Int8) as f64 / 1e6;
-        row(&format!("NAS {} int8", o.spec.arch.key()), o.accuracy, q_lat.mean_ms, q_mem);
+        row(
+            &format!("NAS {} int8", o.spec.arch.key()),
+            o.accuracy,
+            q_lat.mean_ms,
+            q_mem,
+        );
     }
 
     // 4. Per-device budget check for the best int8 NAS model.
@@ -54,14 +74,21 @@ fn main() {
     let g = ModelGraph::from_arch(&best.spec.arch, 32).unwrap();
     println!("\nper-device int8 latency of the top-accuracy NAS model:");
     for d in all_devices() {
-        println!("  {:<14} {:>7.2} ms", d.id.name(), predict_quantized(&g, &d));
+        println!(
+            "  {:<14} {:>7.2} ms",
+            d.id.name(),
+            predict_quantized(&g, &d)
+        );
     }
 
     // 5. Direct multi-objective search (NSGA-II) reaches a comparable
     //    front with a fraction of the 1,728-trial grid.
     let result = nsga2(
         &SearchSpace::paper(),
-        InputCombo { channels: 7, batch_size: 16 },
+        InputCombo {
+            channels: 7,
+            batch_size: 16,
+        },
         &SurrogateEvaluator::default(),
         &Nsga2Config::default(),
         3,

@@ -8,7 +8,10 @@ use hydronas::prelude::*;
 
 fn main() {
     let space = SearchSpace::paper();
-    let combo = InputCombo { channels: 7, batch_size: 16 };
+    let combo = InputCombo {
+        channels: 7,
+        batch_size: 16,
+    };
     let evaluator = SurrogateEvaluator::default();
 
     // 1. Exhaustive grid over one input combination (288 trials) — the
@@ -25,7 +28,10 @@ fn main() {
                 kernel_size_pool: arch.pool.map_or(3, |p| p.kernel),
                 stride_pool: arch.pool.map_or(2, |p| p.stride),
             };
-            let acc = evaluator.evaluate(&spec, 3).map(|o| o.mean_accuracy).unwrap_or(0.0);
+            let acc = evaluator
+                .evaluate(&spec, 3)
+                .map(|o| o.mean_accuracy)
+                .unwrap_or(0.0);
             (arch, acc)
         })
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
@@ -45,7 +51,11 @@ fn main() {
     );
 
     // 3. Regularized evolution with the same quarter budget.
-    let evo_config = EvolutionConfig { population: 16, sample_size: 4, budget: 72 };
+    let evo_config = EvolutionConfig {
+        population: 16,
+        sample_size: 4,
+        budget: 72,
+    };
     let evolved = regularized_evolution(&space, combo, &evaluator, &evo_config, 3);
     println!(
         "evolution (72 trials)      : best {:.2}%  {}",

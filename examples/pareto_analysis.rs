@@ -17,12 +17,19 @@ fn main() {
     let db = hydronas_nas::run_experiment(
         &trials,
         &SurrogateEvaluator::default(),
-        &SchedulerConfig { injected_failures: 0, ..Default::default() },
+        &SchedulerConfig {
+            injected_failures: 0,
+            ..Default::default()
+        },
     );
     println!("evaluated {} configurations", db.valid().len());
 
     // The strict 3-objective front.
-    let senses = [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+    let senses = [
+        Objective::Maximize,
+        Objective::Minimize,
+        Objective::Minimize,
+    ];
     let points = db.objective_points();
     let front = pareto_front(&points, &senses);
     println!("\nnon-dominated solutions ({}):", front.len());
@@ -43,7 +50,11 @@ fn main() {
     println!(
         "\ncrowding: {} boundary points, interior mean {:.3}",
         crowding.iter().filter(|d| d.is_infinite()).count(),
-        if finite.is_empty() { 0.0 } else { finite.iter().sum::<f64>() / finite.len() as f64 }
+        if finite.is_empty() {
+            0.0
+        } else {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        }
     );
 
     // Hypervolume (minimization space: negate accuracy) against the
@@ -51,7 +62,11 @@ fn main() {
     // covers, and how much the stock ResNet-18 alone covers.
     let to_min = |p: &Point| (-p.values[0], p.values[1], p.values[2]);
     let r = db.objective_ranges();
-    let ref_pt = (-r.accuracy_min + 1.0, r.latency_max_ms + 1.0, r.memory_max_mb + 1.0);
+    let ref_pt = (
+        -r.accuracy_min + 1.0,
+        r.latency_max_ms + 1.0,
+        r.memory_max_mb + 1.0,
+    );
     let hv_front = hypervolume_3d(&front.iter().map(to_min).collect::<Vec<_>>(), ref_pt);
     let baseline = db
         .valid()
@@ -62,7 +77,10 @@ fn main() {
         &[(-baseline.accuracy, baseline.latency_ms, baseline.memory_mb)],
         ref_pt,
     );
-    println!("hypervolume: front {hv_front:.0} vs ResNet-18 alone {hv_base:.0} ({:.2}x)", hv_front / hv_base);
+    println!(
+        "hypervolume: front {hv_front:.0} vs ResNet-18 alone {hv_base:.0} ({:.2}x)",
+        hv_front / hv_base
+    );
 
     // Knee point: the balanced deployment choice.
     if let Some(k) = knee_point(&front, &senses) {

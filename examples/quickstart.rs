@@ -57,7 +57,10 @@ fn main() {
 
     // 4. Hardware-aware objectives for the *full-width* candidate
     //    (initial_features = 32, what the NAS search would deploy).
-    let deploy = ArchConfig { initial_features: 32, ..arch };
+    let deploy = ArchConfig {
+        initial_features: 32,
+        ..arch
+    };
     let graph = ModelGraph::from_arch(&deploy, 32).expect("stem fits 32x32 tiles");
     let latency = predict_all(&graph);
     let memory_mb = serialized_size_bytes(&graph) as f64 / 1e6;

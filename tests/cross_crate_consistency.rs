@@ -9,7 +9,13 @@ use hydronas_nn::ParamVisitor;
 fn sample_space() -> Vec<ArchConfig> {
     let mut archs = Vec::new();
     for kernel_size in [3, 7] {
-        for pool in [None, Some(PoolConfig { kernel: 3, stride: 2 })] {
+        for pool in [
+            None,
+            Some(PoolConfig {
+                kernel: 3,
+                stride: 2,
+            }),
+        ] {
             for feat in [4, 8] {
                 archs.push(ArchConfig {
                     in_channels: 5,
@@ -66,8 +72,11 @@ fn serialized_model_holds_exactly_the_trained_weights() {
     assert_eq!(total, flat.len());
 
     // Load the restored weights into a fresh model: outputs must match.
-    let restored_flat: Vec<f32> =
-        restored.initializers.iter().flat_map(|(_, b)| b.iter().copied()).collect();
+    let restored_flat: Vec<f32> = restored
+        .initializers
+        .iter()
+        .flat_map(|(_, b)| b.iter().copied())
+        .collect();
     let mut rng2 = TensorRng::seed_from_u64(99);
     let mut model2 = ResNet::new(&arch, &mut rng2);
     model2.load_flat_params(&restored_flat);
@@ -86,12 +95,18 @@ fn graph_node_count_tracks_architecture_options() {
         );
         let kernels = decompose(&graph);
         assert_eq!(
-            kernels.iter().filter(|k| k.kind == KernelKind::MaxPool).count(),
+            kernels
+                .iter()
+                .filter(|k| k.kind == KernelKind::MaxPool)
+                .count(),
             expected_pool
         );
         // 20 convs always (stem + 16 + 3 projections).
         assert_eq!(
-            kernels.iter().filter(|k| k.kind == KernelKind::ConvBnRelu).count(),
+            kernels
+                .iter()
+                .filter(|k| k.kind == KernelKind::ConvBnRelu)
+                .count(),
             20
         );
     }
@@ -101,7 +116,13 @@ fn graph_node_count_tracks_architecture_options() {
 fn latency_prediction_is_monotone_in_width() {
     // Wider models stream more weights, so every device's latency must be
     // monotone in initial_features (same stem geometry).
-    for pool in [None, Some(PoolConfig { kernel: 3, stride: 2 })] {
+    for pool in [
+        None,
+        Some(PoolConfig {
+            kernel: 3,
+            stride: 2,
+        }),
+    ] {
         let mut last = 0.0;
         for feat in [32, 48, 64] {
             let arch = ArchConfig {
@@ -115,7 +136,11 @@ fn latency_prediction_is_monotone_in_width() {
             };
             let graph = ModelGraph::from_arch(&arch, 32).unwrap();
             let pred = predict_all(&graph);
-            assert!(pred.mean_ms > last, "feat {feat}: {} <= {last}", pred.mean_ms);
+            assert!(
+                pred.mean_ms > last,
+                "feat {feat}: {} <= {last}",
+                pred.mean_ms
+            );
             last = pred.mean_ms;
         }
     }
@@ -132,12 +157,16 @@ fn memory_is_monotone_in_width_and_independent_of_stride() {
         initial_features: 32,
         num_classes: 2,
     };
-    let size = |arch: &ArchConfig| {
-        serialized_size_bytes(&ModelGraph::from_arch(arch, 32).unwrap())
-    };
+    let size = |arch: &ArchConfig| serialized_size_bytes(&ModelGraph::from_arch(arch, 32).unwrap());
     let s32 = size(&base);
-    let s48 = size(&ArchConfig { initial_features: 48, ..base });
-    let s64 = size(&ArchConfig { initial_features: 64, ..base });
+    let s48 = size(&ArchConfig {
+        initial_features: 48,
+        ..base
+    });
+    let s64 = size(&ArchConfig {
+        initial_features: 64,
+        ..base
+    });
     assert!(s32 < s48 && s48 < s64);
     // Stride changes activations, not parameters.
     let strided = size(&ArchConfig { stride: 1, ..base });

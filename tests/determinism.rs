@@ -3,8 +3,8 @@
 //! reviewable (and the experiment database diffable).
 
 use hydronas::prelude::*;
-use hydronas_nas::space::{full_grid, SearchSpace};
 use hydronas_nas::run_experiment;
+use hydronas_nas::space::{full_grid, SearchSpace};
 
 fn reduced_db(seed: u64) -> ExperimentDb {
     let trials: Vec<TrialSpec> = full_grid(&SearchSpace::paper())
@@ -14,7 +14,11 @@ fn reduced_db(seed: u64) -> ExperimentDb {
     run_experiment(
         &trials,
         &SurrogateEvaluator::default(),
-        &SchedulerConfig { seed, injected_failures: 3, ..Default::default() },
+        &SchedulerConfig {
+            seed,
+            injected_failures: 3,
+            ..Default::default()
+        },
     )
 }
 
@@ -68,7 +72,12 @@ fn dataset_generation_is_platform_stable() {
     assert_eq!(set.len(), 8);
     let checksum: f64 = set.features.as_slice().iter().map(|&v| f64::from(v)).sum();
     let again = build_dataset(&study_regions()[..1], ChannelMode::Five, 8, 0.002, 9);
-    let checksum2: f64 = again.features.as_slice().iter().map(|&v| f64::from(v)).sum();
+    let checksum2: f64 = again
+        .features
+        .as_slice()
+        .iter()
+        .map(|&v| f64::from(v))
+        .sum();
     assert_eq!(checksum, checksum2);
     assert!(checksum.is_finite() && checksum.abs() > 1.0);
 }

@@ -15,7 +15,10 @@ fn one_combo_db(channels: usize, batch: usize, failures: usize) -> ExperimentDb 
     run_experiment(
         &trials,
         &SurrogateEvaluator::default(),
-        &SchedulerConfig { injected_failures: failures, ..Default::default() },
+        &SchedulerConfig {
+            injected_failures: failures,
+            ..Default::default()
+        },
     )
 }
 
@@ -51,7 +54,11 @@ fn front_members_are_mutually_non_dominated() {
     let db = one_combo_db(5, 16, 0);
     let front = db.pareto_outcomes();
     assert!(!front.is_empty());
-    let senses = [Objective::Maximize, Objective::Minimize, Objective::Minimize];
+    let senses = [
+        Objective::Maximize,
+        Objective::Minimize,
+        Objective::Minimize,
+    ];
     for a in &front {
         for b in &front {
             let pa = Point::new(a.spec.id, vec![a.accuracy, a.latency_ms, a.memory_mb]);
@@ -75,7 +82,11 @@ fn front_members_are_mutually_non_dominated() {
             let pq = Point::new(q.spec.id, vec![q.accuracy, q.latency_ms, q.memory_mb]);
             hydronas_pareto::dominates(&pq, &p, &senses)
         });
-        assert!(dominated, "outcome {} is non-dominated but off the front", o.spec.id);
+        assert!(
+            dominated,
+            "outcome {} is non-dominated but off the front",
+            o.spec.id
+        );
     }
 }
 
@@ -115,7 +126,11 @@ fn database_json_roundtrip_preserves_analysis() {
     let restored = ExperimentDb::from_json(&db.to_json()).unwrap();
     assert_eq!(restored.outcomes.len(), db.outcomes.len());
     let f1: Vec<usize> = db.pareto_outcomes().iter().map(|o| o.spec.id).collect();
-    let f2: Vec<usize> = restored.pareto_outcomes().iter().map(|o| o.spec.id).collect();
+    let f2: Vec<usize> = restored
+        .pareto_outcomes()
+        .iter()
+        .map(|o| o.spec.id)
+        .collect();
     assert_eq!(f1, f2);
 }
 
@@ -123,12 +138,19 @@ fn database_json_roundtrip_preserves_analysis() {
 fn search_strategies_agree_with_grid_on_the_winner_family() {
     // Evolution on the surrogate should land in the same architecture
     // family the grid's front shows: k3, p<=1, f32.
-    let combo = InputCombo { channels: 5, batch_size: 16 };
+    let combo = InputCombo {
+        channels: 5,
+        batch_size: 16,
+    };
     let result = regularized_evolution(
         &SearchSpace::paper(),
         combo,
         &SurrogateEvaluator::default(),
-        &EvolutionConfig { population: 12, sample_size: 4, budget: 96 },
+        &EvolutionConfig {
+            population: 12,
+            sample_size: 4,
+            budget: 96,
+        },
         3,
     );
     let best = result.best_spec();
@@ -137,5 +159,9 @@ fn search_strategies_agree_with_grid_on_the_winner_family() {
     // point of the k3/s2/p1 optimum), but the width choice and a clear
     // margin over the stock baseline anchor (93.60 here) are robust.
     assert_eq!(best.arch.initial_features, 32, "best {:?}", best.arch);
-    assert!(result.best_accuracy() > 94.0, "best {}", result.best_accuracy());
+    assert!(
+        result.best_accuracy() > 94.0,
+        "best {}",
+        result.best_accuracy()
+    );
 }

@@ -2,15 +2,18 @@
 //! tiles -> manual-backprop ResNet -> k-fold CV) on miniature instances.
 
 use hydronas::prelude::*;
-use hydronas_nas::space::full_grid;
 use hydronas_nas::run_experiment;
+use hydronas_nas::space::full_grid;
 
 #[test]
 fn real_trainer_separates_crossings_from_negatives() {
     let trainer = RealTrainer::miniature();
     let spec = TrialSpec {
         id: 0,
-        combo: InputCombo { channels: 5, batch_size: 8 },
+        combo: InputCombo {
+            channels: 5,
+            batch_size: 8,
+        },
         arch: ArchConfig {
             in_channels: 5,
             kernel_size: 3,
@@ -24,7 +27,11 @@ fn real_trainer_separates_crossings_from_negatives() {
         stride_pool: 2,
     };
     let out = trainer.evaluate(&spec, 11).expect("training succeeds");
-    assert!(out.mean_accuracy > 55.0, "real training above chance: {}", out.mean_accuracy);
+    assert!(
+        out.mean_accuracy > 55.0,
+        "real training above chance: {}",
+        out.mean_accuracy
+    );
     assert_eq!(out.fold_accuracies.len(), 2);
 }
 
@@ -33,13 +40,19 @@ fn real_trainer_handles_seven_channel_inputs() {
     let trainer = RealTrainer::miniature();
     let spec = TrialSpec {
         id: 1,
-        combo: InputCombo { channels: 7, batch_size: 8 },
+        combo: InputCombo {
+            channels: 7,
+            batch_size: 8,
+        },
         arch: ArchConfig {
             in_channels: 7,
             kernel_size: 3,
             stride: 2,
             padding: 1,
-            pool: Some(PoolConfig { kernel: 2, stride: 2 }),
+            pool: Some(PoolConfig {
+                kernel: 2,
+                stride: 2,
+            }),
             initial_features: 8,
             num_classes: 2,
         },
@@ -71,7 +84,10 @@ fn scheduler_runs_real_trials_end_to_end() {
     let db = run_experiment(
         &trials,
         &RealTrainer::miniature(),
-        &SchedulerConfig { injected_failures: 0, ..Default::default() },
+        &SchedulerConfig {
+            injected_failures: 0,
+            ..Default::default()
+        },
     );
     assert_eq!(db.valid().len(), 3);
     for o in db.valid() {
@@ -98,7 +114,10 @@ fn training_is_deterministic_per_seed() {
     let trainer = RealTrainer::miniature();
     let spec = TrialSpec {
         id: 0,
-        combo: InputCombo { channels: 5, batch_size: 8 },
+        combo: InputCombo {
+            channels: 5,
+            batch_size: 8,
+        },
         arch: ArchConfig {
             in_channels: 5,
             kernel_size: 3,

@@ -12,7 +12,10 @@ fn scene_dataset(scenes: usize, tile: usize, seed: u64) -> Dataset {
     let mut data = Vec::new();
     let mut labels = Vec::new();
     for s in 0..scenes {
-        let scene = Scene::generate(&SceneParams { seed: seed + s as u64, ..Default::default() });
+        let scene = Scene::generate(&SceneParams {
+            seed: seed + s as u64,
+            ..Default::default()
+        });
         let (centers, tile_labels) = scene.sample_tile_centers(tile, &mut rng);
         for (&(x, y), &label) in centers.iter().zip(&tile_labels) {
             if let Some(dem) = scene.extract_dem_tile(x, y, tile) {
@@ -24,10 +27,7 @@ fn scene_dataset(scenes: usize, tile: usize, seed: u64) -> Dataset {
         }
     }
     let n = labels.len();
-    Dataset::new(
-        Tensor::from_vec(data, &[n, 1, tile, tile]),
-        labels,
-    )
+    Dataset::new(Tensor::from_vec(data, &[n, 1, tile, tile]), labels)
 }
 
 #[test]
@@ -73,7 +73,10 @@ fn scene_tiles_center_on_the_crossing() {
     // Positive tiles must actually contain the detected crossing cell at
     // their center (the segmentation-centered property the synthesizer
     // mimics).
-    let scene = Scene::generate(&SceneParams { seed: 3, ..Default::default() });
+    let scene = Scene::generate(&SceneParams {
+        seed: 3,
+        ..Default::default()
+    });
     let tile = 24;
     let mut rng = TensorRng::seed_from_u64(0);
     let (centers, labels) = scene.sample_tile_centers(tile, &mut rng);

@@ -1,0 +1,215 @@
+//! Offline subset of `criterion`.
+//!
+//! Exposes the API the workspace benches use — groups, throughput,
+//! `bench_function` / `bench_with_input`, the `criterion_group!` /
+//! `criterion_main!` macros — but replaces statistical sampling with a
+//! fixed iteration count: one pass when driven by `cargo test` (cargo
+//! passes `--test` to `harness = false` targets), a short timed run
+//! otherwise. Results are printed to stderr as `name ... time/iter`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque to the optimizer, like `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo test` invokes harness = false bench targets with
+        // `--test`; run each routine once there so the suite stays fast.
+        let test_mode = std::env::args().any(|arg| arg == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut routine: F,
+    ) -> &mut Criterion {
+        let name = id.into_id();
+        self.run_one(&name, &mut routine);
+        self
+    }
+
+    pub fn final_summary(self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: &mut F) {
+        let iterations = if self.test_mode { 1 } else { 10 };
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let per_iter = bencher
+            .elapsed
+            .checked_div(iterations as u32)
+            .unwrap_or_default();
+        eprintln!("bench {name:<40} {per_iter:>12.2?}/iter ({iterations} iters)");
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut routine: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&name, &mut routine);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(&name, &mut |bencher| routine(bencher, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_direct_benches_run() {
+        let mut criterion = Criterion { test_mode: true };
+        criterion.bench_function("direct", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = criterion.benchmark_group("grp");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64, |b, &n| {
+            b.iter(|| black_box(n + 1))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline subset of `proptest`.
+//!
+//! Keeps the macro surface and `Strategy` trait the workspace's property
+//! tests are written against, but swaps the engine for deterministic
+//! pseudo-random case generation (seeded from the test name, so runs are
+//! reproducible across machines). Shrinking and failure persistence are
+//! intentionally omitted — a failing case prints its inputs via the
+//! assertion message instead.
+
+// The `proptest!` macro wraps each test body in an immediately-invoked
+// closure (mirroring upstream's expansion); silence the resulting
+// `redundant_closure_call` at every expansion site.
+#![allow(clippy::redundant_closure_call)]
+
+pub mod test_runner {
+    /// SplitMix64 generator used for case generation. Seeded from the
+    /// test function name so every test gets an independent, stable
+    /// stream.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> TestRng {
+            // FNV-1a over the test name.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: hash }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`.
+        pub fn next_below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty range in strategy");
+            // Widening multiply avoids modulo bias well enough for tests.
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, mapper: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                inner: self,
+                mapper,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        mapper: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.mapper)(self.inner.generate(rng))
+        }
+    }
+
+    /// Object-safe adapter so heterogeneous strategies with a common
+    /// value type can share a `Vec` (what `prop_oneof!` needs).
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies.
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let index = rng.next_below(self.arms.len() as u64) as usize;
+            self.arms[index].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.next_below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            (self.start as f64 + rng.next_f64() * (self.end as f64 - self.start as f64)) as f32
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident : $index:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$index.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    }
+
+    /// Length specification for `collection::vec`: either exact or a
+    /// half-open range.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            Strategy::generate(self, rng)
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+        _marker: PhantomData<()>,
+    }
+
+    impl<S, L> VecStrategy<S, L> {
+        pub(crate) fn new(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy {
+                element,
+                len,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// `vec(element, len)` where `len` is a `usize` or `Range<usize>`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy::new(element, len)
+    }
+}
+
+/// Per-block configuration; only the case count is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Skips the rest of the current case when the precondition fails. Works
+/// because `proptest!` runs each case body inside a closure returning
+/// `Option<()>`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::option::Option::None;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __case_result = (move || -> ::core::option::Option<()> {
+                        $body
+                        ::core::option::Option::Some(())
+                    })();
+                    let _ = __case_result;
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Shape {
+        None,
+        Pool(usize, usize),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f32..3.0, n in 0usize..5, s in 10u64..20) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!(n < 5);
+            prop_assert!((10..20).contains(&s), "{s} out of range");
+        }
+
+        #[test]
+        fn vec_lengths_follow_spec(
+            fixed in crate::collection::vec(0.0f64..1.0, 7),
+            ranged in crate::collection::vec(0u32..9, 1..4),
+        ) {
+            prop_assert_eq!(fixed.len(), 7);
+            prop_assert!((1..4).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn oneof_mixes_heterogeneous_arms(
+            shape in prop_oneof![
+                Just(Shape::None),
+                (prop_oneof![Just(2usize), Just(3)], prop_oneof![Just(1usize), Just(2)])
+                    .prop_map(|(k, s)| Shape::Pool(k, s)),
+            ],
+        ) {
+            match shape {
+                Shape::None => {}
+                Shape::Pool(k, s) => {
+                    prop_assert!(k == 2 || k == 3);
+                    prop_assert!(s == 1 || s == 2);
+                }
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a < b);
+            prop_assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn generated_fns_run() {
+        ranges_respect_bounds();
+        vec_lengths_follow_spec();
+        oneof_mixes_heterogeneous_arms();
+        assume_skips_cases();
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::from_name("t");
+        let mut b = TestRng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,337 @@
+//! Offline subset of the `rand` crate (0.8 API).
+//!
+//! Beyond the trait surface ([`RngCore`], [`Rng`], [`SeedableRng`]), the
+//! sampling algorithms replicate upstream rand 0.8.5 **bit for bit**:
+//! the repository's paper-reproduction tests pin expectations that were
+//! produced with upstream's streams, so `seed_from_u64` (PCG32-based
+//! seed expansion), `gen_range` for floats (the `[1, 2)` mantissa-fill
+//! method) and for integers (widening-multiply rejection), and the
+//! `Standard` float distributions all follow the upstream definitions
+//! exactly.
+
+/// Core random source: everything derives from `next_u32`/`next_u64`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+/// A type samplable from the "standard" distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i8
+    }
+}
+
+impl Standard for i16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i16
+    }
+}
+
+impl Standard for i32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for isize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as isize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream samples a u32 and tests the lowest bit.
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream: 24 high bits scaled into [0, 1).
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream: 53 high bits scaled into [0, 1).
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+/// A range form accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Upstream integer uniform sampling (rand 0.8.5 `uniform_int_impl!`):
+// widening multiply of a full-width draw with the range, rejecting the
+// low half when it exceeds the bias-free zone. The wide type is u32 for
+// types up to 32 bits and the native width above that.
+macro_rules! int_sample_range {
+    ($($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty);* $(;)?) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(
+                    self.start < self.end,
+                    "UniformSampler::sample_single: low >= high"
+                );
+                (self.start..=self.end - 1).sample_from(rng)
+            }
+        }
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(
+                    low <= high,
+                    "UniformSampler::sample_single_inclusive: low > high"
+                );
+                let range =
+                    high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // The full type range: any draw is uniform.
+                    return Standard::sample(rng);
+                }
+                let zone = if (<$unsigned>::MAX as $u_large) <= u16::MAX as $u_large {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = Standard::sample(rng);
+                    let product = (v as $wide) * (range as $wide);
+                    let hi = (product >> <$u_large>::BITS) as $u_large;
+                    let lo = product as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_sample_range! {
+    u8, u8, u32, u64;
+    u16, u16, u32, u64;
+    u32, u32, u32, u64;
+    u64, u64, u64, u128;
+    usize, usize, u64, u128;
+    i8, u8, u32, u64;
+    i16, u16, u32, u64;
+    i32, u32, u32, u64;
+    i64, u64, u64, u128;
+    isize, usize, u64, u128;
+}
+
+// Upstream float uniform sampling (rand 0.8.5 `UniformFloat`): fill the
+// mantissa to get a value in [1, 2), shift to [0, 1), then scale; reject
+// the (rare) rounding case that lands on `high`.
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "UniformSampler::sample_single: low >= high");
+        let scale = high - low;
+        loop {
+            // 23 mantissa bits; exponent of 1.0f32.
+            let value1_2 = f32::from_bits((rng.next_u32() >> 9) | 0x3F80_0000);
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "UniformSampler::sample_single: low >= high");
+        let scale = high - low;
+        loop {
+            // 52 mantissa bits; exponent of 1.0f64.
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | 0x3FF0_0000_0000_0000);
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // Upstream Bernoulli: compare a u64 draw against p scaled to 2^64.
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p outside [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * ((1u64 << 63) as f64 * 2.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction; `seed_from_u64` expands the seed with a PCG32
+/// stream exactly like upstream `rand_core 0.6`.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // Advance the PCG state first, then apply its output function.
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f32 = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i: usize = rng.gen_range(0..=4);
+            assert!(i <= 4);
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = Counter(1);
+        let samples: Vec<f64> = (0..4000).map(|_| rng.gen::<f64>()).collect();
+        assert!(samples.iter().all(|v| (0.0..1.0).contains(v)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    /// Fixed-source regression: the sampling paths must keep producing
+    /// exactly these values (they encode the upstream rand algorithms the
+    /// paper-reproduction expectations were generated with).
+    struct Fixed(Vec<u64>, usize);
+    impl RngCore for Fixed {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let v = self.0[self.1 % self.0.len()];
+            self.1 += 1;
+            v
+        }
+    }
+
+    #[test]
+    fn integer_sampling_matches_upstream_widening_multiply() {
+        // v * range = (1 << 62) * 10 -> hi = 2, lo = 1 << 63 <= zone.
+        let mut rng = Fixed(vec![1u64 << 62], 0);
+        let v: usize = rng.gen_range(0..10);
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn float_sampling_matches_upstream_mantissa_fill() {
+        // next_u32 = u64 as u32 = 0 -> value1_2 = 1.0 -> res = low.
+        let mut rng = Fixed(vec![0], 0);
+        let v: f32 = rng.gen_range(0.25f32..0.75);
+        assert_eq!(v, 0.25);
+        // All mantissa bits set -> value0_1 just under 1 -> just under high.
+        let mut rng = Fixed(vec![u32::MAX as u64], 0);
+        let v: f32 = rng.gen_range(0.0f32..1.0);
+        assert!(v > 0.999_999 && v < 1.0, "{v}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline shim of the `rayon` crate.
+//!
+//! The sandbox cannot fetch rayon (or its proc-macro-free dependency
+//! tree), so this shim keeps the workspace source unchanged by mapping
+//! the `par_*` entry points onto ordinary sequential `std` iterators.
+//! Every combinator the codebase chains after a `par_*` call
+//! (`map`/`enumerate`/`zip`/`for_each`/`sum`/`collect`) is then the std
+//! implementation, so results are identical to rayon's — rayon only
+//! promises unordered *execution*, and every call site already reduces
+//! into order-insensitive outputs.
+//!
+//! Genuine multithreading for the one hot path that needs it (the NAS
+//! trial scheduler) lives in `hydronas-nas::scheduler`, which spawns
+//! scoped `std::thread` workers instead of relying on this shim.
+
+pub mod prelude {
+    /// `par_iter`/`par_iter_mut`/`par_chunks`/`par_chunks_mut` on slices.
+    pub trait ParallelSliceExt<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceExt<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+
+    /// `into_par_iter` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// rayon's `for_each_with`/`for_each_init`, shimmed for any iterator.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        fn for_each_with<S, F>(self, mut init: S, mut f: F)
+        where
+            F: FnMut(&mut S, Self::Item),
+        {
+            for item in self {
+                f(&mut init, item);
+            }
+        }
+
+        fn for_each_init<S, I, F>(self, mut make: I, mut f: F)
+        where
+            I: FnMut() -> S,
+            F: FnMut(&mut S, Self::Item),
+        {
+            let mut state = make();
+            for item in self {
+                f(&mut state, item);
+            }
+        }
+
+        fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Reports the machine parallelism (used for sizing worker pools).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1, 2, 3, 4];
+        let s: i32 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_through() {
+        let mut v = vec![0u32; 8];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn for_each_with_threads_state() {
+        let mut sink: Vec<i32> = Vec::new();
+        vec![1, 2, 3]
+            .into_par_iter()
+            .for_each_with(&mut sink, |s, v| s.push(v * 10));
+        assert_eq!(sink, [10, 20, 30]);
+    }
+}

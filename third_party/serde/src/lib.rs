@@ -1,0 +1,436 @@
+//! Offline subset of the `serde` crate.
+//!
+//! The real serde's visitor-based data model exists to decouple formats
+//! from types; this workspace serializes exclusively to and from JSON
+//! (via the sibling `serde_json` stub), so the vendored version
+//! collapses the data model to one JSON-shaped [`Content`] tree. The
+//! public surface the workspace relies on is preserved exactly:
+//! `serde::{Serialize, Deserialize}` trait imports, `#[derive(Serialize,
+//! Deserialize)]` (via the `derive` feature and the sibling
+//! `serde_derive` proc macro), and serde's externally-tagged enum
+//! representation, so emitted JSON matches what upstream serde_json
+//! would produce for these types.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped intermediate representation. Maps preserve insertion
+/// order (struct field order), which keeps serialized output stable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F32(f32),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) | Content::F32(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn new(message: impl Into<String>) -> DeError {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    pub fn expected(what: &str, context: &str, got: &Content) -> DeError {
+        DeError::new(format!("expected {what} for {context}, got {}", got.kind()))
+    }
+
+    pub fn missing_field(field: &str, context: &str) -> DeError {
+        DeError::new(format!("missing field `{field}` in {context}"))
+    }
+
+    pub fn unknown_variant(context: &str, got: &Content) -> DeError {
+        DeError::new(format!("unrecognized {context} variant ({})", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Reconstruction from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Looks up a struct field by name — the helper the derive macro calls.
+pub fn field<T: Deserialize>(
+    map: &[(String, Content)],
+    name: &str,
+    context: &str,
+) -> Result<T, DeError> {
+    map.iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| T::from_content(value))
+        .unwrap_or_else(|| Err(DeError::missing_field(name, context)))
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw = match *content {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    _ => return Err(DeError::expected("unsigned integer", stringify!($t), content)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw = match *content {
+                    Content::I64(v) => v,
+                    Content::U64(v) if v <= i64::MAX as u64 => v as i64,
+                    _ => return Err(DeError::expected("integer", stringify!($t), content)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+signed_impls!(i8, i16, i32, i64, isize);
+
+fn content_as_f64(content: &Content) -> Option<f64> {
+    match *content {
+        Content::F64(v) => Some(v),
+        Content::F32(v) => Some(v as f64),
+        Content::I64(v) => Some(v as f64),
+        Content::U64(v) => Some(v as f64),
+        Content::Null => Some(f64::NAN), // serde_json emits null for non-finite floats
+        _ => None,
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content_as_f64(content).ok_or_else(|| DeError::expected("number", "f64", content))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F32(*self)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content_as_f64(content)
+            .map(|v| v as f32)
+            .ok_or_else(|| DeError::expected("number", "f32", content))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            _ => Err(DeError::expected("bool", "bool", content)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String", content)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+/// Upstream serde deserializes `&str` by borrowing from the input; the
+/// content tree owns its strings, so this impl leaks instead. Only
+/// small fixed label sets (device metadata) round-trip through it.
+impl Deserialize for &'static str {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::expected("string", "&str", content)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            _ => Err(DeError::expected(
+                "single-character string",
+                "char",
+                content,
+            )),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            _ => Err(DeError::expected("null", "()", content)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(value) => value.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::from_content(content)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected {N}-element array, got {len}")))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $index:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$index.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let seq = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("sequence", "tuple", content))?;
+                let want = [$($index),+].len();
+                if seq.len() != want {
+                    return Err(DeError::new(format!(
+                        "expected {want}-element tuple, got {}", seq.len()
+                    )));
+                }
+                Ok(($($name::from_content(&seq[$index])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(Some(3u32).to_content(), Content::U64(3));
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let map = vec![("a".to_string(), Content::U64(1))];
+        assert_eq!(field::<u64>(&map, "a", "T").unwrap(), 1);
+        assert!(field::<u64>(&map, "b", "T").is_err());
+    }
+
+    #[test]
+    fn tuples_are_sequences() {
+        let content = ("x".to_string(), 1.5f64).to_content();
+        assert_eq!(
+            content,
+            Content::Seq(vec![Content::Str("x".into()), Content::F64(1.5)])
+        );
+        let back: (String, f64) = Deserialize::from_content(&content).unwrap();
+        assert_eq!(back, ("x".to_string(), 1.5));
+    }
+}

@@ -1,0 +1,431 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no syn/quote — the
+//! vendor tree is dependency-free). Supports what the workspace derives:
+//! non-generic structs (named, tuple, unit) and enums whose variants are
+//! unit, newtype, tuple, or struct-shaped. Generated impls target the
+//! content-tree traits in the sibling `serde` crate and reproduce
+//! serde's externally-tagged enum representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Field names, in declaration order.
+    Named(Vec<String>),
+    /// Field count (0 is a `Variant()`-style empty tuple).
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                // `struct Name;`
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: `{other}` items are not supported"),
+    }
+}
+
+/// Consumes any leading `#[...]` attributes (including doc comments,
+/// which reach the macro in attribute form).
+fn skip_attributes(tokens: &mut Tokens) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde_derive: malformed attribute, got {other:?}"),
+        }
+    }
+}
+
+/// Consumes `pub`, `pub(crate)`, `pub(super)`, `pub(in ...)`.
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Consumes a type (or any token run) up to a top-level `,`, tracking
+/// angle-bracket depth so commas inside `Vec<(A, B)>`-style generics
+/// don't terminate early. Parenthesized/bracketed commas are already
+/// hidden inside `Group` tokens.
+fn skip_past_type(tokens: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.peek() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    tokens.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        tokens.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_past_type(&mut tokens);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    while tokens.peek().is_some() {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break; // trailing comma
+        }
+        skip_past_type(&mut tokens);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(stream))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                tokens.next();
+                Fields::Tuple(count_tuple_fields(stream))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        while let Some(token) = tokens.peek() {
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                tokens.next();
+                break;
+            }
+            tokens.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn named_to_content(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&{access_prefix}{f}))")
+        })
+        .collect();
+    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+}
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Content::Null".to_string(),
+        Fields::Named(names) => named_to_content(names, "self."),
+        // Newtype structs serialize transparently, wider tuples as sequences.
+        Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+        }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("let _ = content; Ok({name})"),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(map, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "let map = content.as_map().ok_or_else(|| \
+                     ::serde::DeError::expected(\"map\", \"{name}\", content))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_content(content)?))"),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = content.as_seq().ok_or_else(|| \
+                     ::serde::DeError::expected(\"sequence\", \"{name}\", content))?;\n\
+                 if seq.len() != {n} {{\n\
+                     return Err(::serde::DeError::new(format!(\
+                         \"expected {n} elements for {name}, got {{}}\", seq.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_content(content: &::serde::Content) \
+                -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+        }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let variant = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{variant} => ::serde::Content::Str(\"{variant}\".to_string()),"
+                ),
+                Fields::Tuple(0) => format!(
+                    "{name}::{variant}() => \
+                     ::serde::Content::Str(\"{variant}\".to_string()),"
+                ),
+                Fields::Tuple(1) => format!(
+                    "{name}::{variant}(f0) => ::serde::Content::Map(vec![\
+                        (\"{variant}\".to_string(), ::serde::Serialize::to_content(f0))]),"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{variant}({binds}) => ::serde::Content::Map(vec![\
+                            (\"{variant}\".to_string(), \
+                             ::serde::Content::Seq(vec![{items}]))]),",
+                        binds = binds.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let inner = named_to_content(fields, "");
+                    format!(
+                        "{name}::{variant} {{ {binds} }} => ::serde::Content::Map(vec![\
+                            (\"{variant}\".to_string(), {inner})]),"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_content(&self) -> ::serde::Content {{\n\
+                match self {{\n{}\n}}\n\
+            }}\n\
+        }}",
+        arms.join("\n")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for v in variants {
+        let variant = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push(format!("\"{variant}\" => Ok({name}::{variant}),"));
+            }
+            Fields::Tuple(0) => {
+                unit_arms.push(format!("\"{variant}\" => Ok({name}::{variant}()),"));
+            }
+            Fields::Tuple(1) => tagged_arms.push(format!(
+                "\"{variant}\" => \
+                 Ok({name}::{variant}(::serde::Deserialize::from_content(value)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{variant}\" => {{\n\
+                         let seq = value.as_seq().ok_or_else(|| ::serde::DeError::expected(\
+                             \"sequence\", \"{name}::{variant}\", value))?;\n\
+                         if seq.len() != {n} {{\n\
+                             return Err(::serde::DeError::new(format!(\
+                                 \"expected {n} elements for {name}::{variant}, got {{}}\", \
+                                 seq.len())));\n\
+                         }}\n\
+                         Ok({name}::{variant}({}))\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::field(map, \"{f}\", \"{name}::{variant}\")?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{variant}\" => {{\n\
+                         let map = value.as_map().ok_or_else(|| ::serde::DeError::expected(\
+                             \"map\", \"{name}::{variant}\", value))?;\n\
+                         Ok({name}::{variant} {{ {} }})\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_content(content: &::serde::Content) \
+                -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                match content {{\n\
+                    ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                        {unit_arms}\n\
+                        other => Err(::serde::DeError::new(format!(\
+                            \"unknown {name} variant `{{other}}`\"))),\n\
+                    }},\n\
+                    ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                        let (tag, value) = &entries[0];\n\
+                        match tag.as_str() {{\n\
+                            {tagged_arms}\n\
+                            other => Err(::serde::DeError::new(format!(\
+                                \"unknown {name} variant `{{other}}`\"))),\n\
+                        }}\n\
+                    }}\n\
+                    other => Err(::serde::DeError::unknown_variant(\"{name}\", other)),\n\
+                }}\n\
+            }}\n\
+        }}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n"),
+    )
+}
