@@ -13,6 +13,7 @@ use hydronas_geodata::{
     build_paper_dataset, heightmap_to_pgm, mask_to_pgm, save_tileset, synthesize_tile, tile_to_ppm,
     ChannelMode, Scene, SceneParams, TileParams,
 };
+use hydronas_telemetry::log_info;
 use std::path::PathBuf;
 
 struct Args {
@@ -21,6 +22,7 @@ struct Args {
     channels: usize,
     seed: u64,
     out: PathBuf,
+    quiet: bool,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +32,7 @@ fn parse_args() -> Args {
         channels: 7,
         seed: 42,
         out: PathBuf::from("data"),
+        quiet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -40,10 +43,11 @@ fn parse_args() -> Args {
             "--channels" => args.channels = next("5 or 7").parse().expect("bad --channels"),
             "--seed" => args.seed = next("a seed").parse().expect("bad --seed"),
             "--out" => args.out = PathBuf::from(next("a path")),
+            "--quiet" => args.quiet = true,
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
-                    "usage: datagen [--scale F] [--tile N] [--channels 5|7] [--seed N] [--out DIR]"
+                    "usage: datagen [--scale F] [--tile N] [--channels 5|7] [--seed N] [--out DIR] [--quiet]"
                 );
                 std::process::exit(2);
             }
@@ -54,6 +58,9 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.quiet {
+        hydronas_telemetry::set_log_level(hydronas_telemetry::Level::Error);
+    }
     std::fs::create_dir_all(&args.out).expect("create output dir");
 
     // 1. The tile container.
@@ -64,7 +71,7 @@ fn main() {
         args.channels, args.tile, args.seed
     ));
     save_tileset(&set, &container).expect("write tile container");
-    println!(
+    log_info!(
         "wrote {} ({} tiles, {} channels, {}x{})",
         container.display(),
         set.len(),
@@ -86,7 +93,7 @@ fn main() {
             .expect("write dem preview");
         let rgb = args.out.join(format!("{label}_rgb.ppm"));
         std::fs::write(&rgb, tile_to_ppm(&tile)).expect("write rgb preview");
-        println!("wrote {} and {}", dem.display(), rgb.display());
+        log_info!("wrote {} and {}", dem.display(), rgb.display());
     }
 
     // 3. A scene-level watershed with crossings marked.
@@ -113,7 +120,7 @@ fn main() {
         mask_to_pgm(&crossings, scene.size),
     )
     .expect("write crossing mask");
-    println!(
+    log_info!(
         "wrote scene previews ({} detected crossings) to {}",
         scene.crossings.len(),
         args.out.display()

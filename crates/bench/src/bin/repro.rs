@@ -10,9 +10,13 @@
 //! repro --out DIR            # artifact directory (default repro_out)
 //! repro --resume JOURNAL     # write-ahead journal: resume a killed sweep
 //! repro --progress           # live sweep progress on stderr
+//! repro --trace PATH         # Chrome-trace (chrome://tracing / Perfetto)
+//! repro --metrics PATH       # telemetry counters/series + sweep stats
+//! repro --quiet              # errors only on stderr
 //! ```
 
 use hydronas::prelude::*;
+use hydronas_telemetry::{log_error, log_info, log_warn};
 use std::path::PathBuf;
 
 struct Args {
@@ -25,9 +29,12 @@ struct Args {
     out: PathBuf,
     resume: Option<PathBuf>,
     progress: bool,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    quiet: bool,
 }
 
-const USAGE: &str = "usage: repro [--all|--table N|--figure N|--discussion|--ablation|--report] [--out DIR] [--resume JOURNAL] [--progress]";
+const USAGE: &str = "usage: repro [--all|--table N|--figure N|--discussion|--ablation|--report] [--out DIR] [--resume JOURNAL] [--progress] [--trace PATH] [--metrics PATH] [--quiet]";
 
 fn usage_exit(problem: &str) -> ! {
     eprintln!("{problem}");
@@ -46,6 +53,9 @@ fn parse_args() -> Args {
         out: PathBuf::from("repro_out"),
         resume: None,
         progress: false,
+        trace: None,
+        metrics: None,
+        quiet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -81,6 +91,19 @@ fn parse_args() -> Args {
                     })))
             }
             "--progress" => args.progress = true,
+            "--trace" => {
+                args.trace = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage_exit("--trace needs a path")),
+                ))
+            }
+            "--metrics" => {
+                args.metrics = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| usage_exit("--metrics needs a path")),
+                ))
+            }
+            "--quiet" => args.quiet = true,
             other => usage_exit(&format!("unknown flag {other}")),
         }
     }
@@ -97,12 +120,19 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    eprintln!(
+    if args.quiet {
+        hydronas_telemetry::set_log_level(hydronas_telemetry::Level::Error);
+    }
+    // Collect telemetry whenever an export was requested, and always for
+    // `--all` (trace.json/metrics.json join the artifact bundle).
+    let observing = args.trace.is_some() || args.metrics.is_some() || args.all;
+    let session = observing.then(hydronas_telemetry::session);
+    log_info!(
         "running the full 1,728-trial experiment (seed {})...",
         ReproConfig::default().seed
     );
     if let Some(journal) = &args.resume {
-        eprintln!(
+        log_info!(
             "journaling to {} (finished trials are replayed on restart)",
             journal.display()
         );
@@ -116,9 +146,20 @@ fn main() {
     let artifacts = ReproConfig::default()
         .run_with(args.resume.as_deref(), sink)
         .unwrap_or_else(|e| {
-            eprintln!("error: cannot use journal: {e}");
+            log_error!("cannot use journal: {e}");
             std::process::exit(1);
         });
+
+    // The sweep itself runs the surrogate evaluator; a miniature real
+    // training pass fills the telemetry snapshot with genuine kernel
+    // counters and per-epoch series.
+    if session.is_some() {
+        log_info!("running the kernel probe (miniature real training)...");
+        match hydronas::kernel_probe(ReproConfig::default().seed) {
+            Some(acc) => log_info!("kernel probe: {acc:.2}% cross-validated accuracy"),
+            None => log_warn!("kernel probe failed; op counters will be empty"),
+        }
+    }
 
     if args.all {
         let written = artifacts.write_to(&args.out).expect("write artifacts");
@@ -133,7 +174,7 @@ fn main() {
         println!("{}", artifacts.table5);
         println!("{}", artifacts.figure2);
         println!("{}", artifacts.discussion);
-        eprintln!("wrote {} files to {}", written.len(), args.out.display());
+        log_info!("wrote {} files to {}", written.len(), args.out.display());
     }
     if let Some(n) = args.table {
         match n {
@@ -148,7 +189,7 @@ fn main() {
                 );
             }
             5 => print!("{}", artifacts.table5),
-            _ => eprintln!("tables are numbered 1-5"),
+            _ => log_error!("tables are numbered 1-5"),
         }
     }
     if let Some(n) = args.figure {
@@ -157,7 +198,7 @@ fn main() {
             2 => print!("{}", artifacts.figure2),
             3 => print!("{}", artifacts.figure3_csv),
             4 => print!("{}", artifacts.figure4_csv),
-            _ => eprintln!("figures are numbered 1-4"),
+            _ => log_error!("figures are numbered 1-4"),
         }
     }
     if args.discussion {
@@ -168,6 +209,38 @@ fn main() {
     }
     if args.ablation || args.all {
         ablations(&artifacts.db);
+    }
+
+    // Export last, so the trace and metrics cover everything above
+    // (sweep, kernel probe, rendering, and ablations).
+    if let Some(session) = session {
+        export_telemetry(&session, &artifacts.sweep, &args);
+    }
+}
+
+/// Writes the Chrome trace and the metrics snapshot to every requested
+/// destination: explicit `--trace`/`--metrics` paths, plus the artifact
+/// directory on `--all` runs.
+fn export_telemetry(session: &hydronas_telemetry::Session, sweep: &SweepStats, args: &Args) {
+    let trace = session.chrome_trace();
+    let metrics = hydronas::metrics_json(&session.metrics(), sweep);
+    let mut targets: Vec<(PathBuf, &String)> = Vec::new();
+    if let Some(path) = &args.trace {
+        targets.push((path.clone(), &trace));
+    }
+    if let Some(path) = &args.metrics {
+        targets.push((path.clone(), &metrics));
+    }
+    if args.all {
+        targets.push((args.out.join("trace.json"), &trace));
+        targets.push((args.out.join("metrics.json"), &metrics));
+    }
+    for (path, content) in targets {
+        if let Err(e) = std::fs::write(&path, content) {
+            log_error!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        log_info!("wrote {}", path.display());
     }
 }
 

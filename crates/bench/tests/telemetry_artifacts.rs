@@ -1,0 +1,133 @@
+//! End-to-end observability contract of the `repro` binary: a run with
+//! `--trace`/`--metrics` produces a loadable Chrome trace with per-trial
+//! and per-stage spans, and a metrics snapshot carrying kernel op
+//! counters, per-epoch training series, and the sweep's execution stats.
+
+use serde_json::Value;
+use std::path::Path;
+use std::process::Command;
+
+/// Looks up `key` in a JSON object.
+fn get<'a>(value: &'a Value, key: &str) -> &'a Value {
+    value
+        .as_map()
+        .unwrap_or_else(|| panic!("expected object around {key:?}"))
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("missing key {key:?}"))
+}
+
+fn as_u64(value: &Value) -> u64 {
+    match value {
+        Value::U64(v) => *v,
+        Value::I64(v) => *v as u64,
+        Value::F64(v) => *v as u64,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn parse(path: &Path) -> Value {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {}: {e:?}", path.display()))
+}
+
+#[test]
+fn repro_writes_a_chrome_trace_and_a_metrics_snapshot() {
+    let dir = std::env::temp_dir().join(format!("hydronas_repro_telemetry_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let metrics_path = dir.join("metrics.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--table", "5", "--quiet"])
+        .arg("--trace")
+        .arg(&trace_path)
+        .arg("--metrics")
+        .arg(&metrics_path)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // `--quiet` filters everything below error level; a successful run
+    // must leave stderr silent.
+    assert!(
+        out.stderr.is_empty(),
+        "stderr not quiet: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("latency (ms)"),
+        "--table 5 still prints to stdout"
+    );
+
+    // --- metrics.json: telemetry snapshot + sweep execution stats. ---
+    let metrics = parse(&metrics_path);
+    let telemetry = get(&metrics, "telemetry");
+    let counters = get(telemetry, "counters");
+    // The kernel probe ran real training, so op accounting is non-zero.
+    for key in [
+        "tensor.gemm.calls",
+        "tensor.gemm.flops",
+        "tensor.conv2d.calls",
+        "tensor.conv2d.flops",
+        "tensor.max_pool2d.calls",
+        "latency.predict.calls",
+        "pareto.front.calls",
+    ] {
+        assert!(as_u64(get(counters, key)) > 0, "counter {key} is zero");
+    }
+    let series = get(telemetry, "series");
+    for key in ["nn.train.loss", "nn.train.accuracy_pct", "nn.train.lr"] {
+        assert!(
+            !get(series, key).as_seq().unwrap().is_empty(),
+            "series {key} is empty"
+        );
+    }
+    let spans = get(telemetry, "spans");
+    assert_eq!(as_u64(get(get(spans, "nas.trial"), "count")), 1728);
+    assert_eq!(as_u64(get(get(spans, "nas.sweep"), "count")), 1);
+    let sweep = get(&metrics, "sweep");
+    assert_eq!(as_u64(get(sweep, "scheduled")), 1728);
+    assert_eq!(as_u64(get(sweep, "completed")), 1717);
+
+    // --- trace.json: Chrome trace with per-trial and per-stage spans. ---
+    let trace = parse(&trace_path);
+    let events = get(&trace, "traceEvents").as_seq().unwrap();
+    let mut trials = 0usize;
+    let mut stages = Vec::new();
+    let mut last_ts = 0u64;
+    for event in events {
+        let phase = get(event, "ph");
+        if *phase != Value::Str("X".into()) {
+            continue;
+        }
+        let ts = as_u64(get(event, "ts"));
+        assert!(ts >= last_ts, "X events must be sorted by ts");
+        last_ts = ts;
+        as_u64(get(event, "dur")); // every complete event carries a duration
+        match get(event, "cat") {
+            Value::Str(cat) if cat == "nas.trial" => {
+                get(get(event, "args"), "id"); // trial spans carry their id
+                trials += 1;
+            }
+            Value::Str(cat) if cat == "repro.stage" => {
+                let Value::Str(name) = get(event, "name") else {
+                    panic!("stage span names are strings")
+                };
+                stages.push(name.clone());
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(trials, 1728, "one complete event per trial");
+    for stage in ["sweep", "render", "kernel_probe"] {
+        assert!(stages.contains(&stage.to_string()), "missing stage {stage}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

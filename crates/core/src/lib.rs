@@ -47,13 +47,13 @@ pub mod pipeline;
 pub mod report;
 pub mod tables;
 
-pub use pipeline::{ReproArtifacts, ReproConfig};
+pub use pipeline::{kernel_probe, metrics_json, ReproArtifacts, ReproConfig};
 pub use report::markdown_report;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::figures::{figure1, figure2, figure3_csv, figure3_html, figure4_csv};
-    pub use crate::pipeline::{ReproArtifacts, ReproConfig};
+    pub use crate::pipeline::{kernel_probe, metrics_json, ReproArtifacts, ReproConfig};
     pub use crate::report::markdown_report;
     pub use crate::tables::{table1, table2, table3, table4, table5};
     pub use hydronas_geodata::{

@@ -2,10 +2,11 @@
 //! render every table and figure into an artifact bundle.
 
 use crate::{figures, tables};
+use hydronas_graph::{ArchConfig, PoolConfig};
 use hydronas_nas::space::{full_grid, SearchSpace};
 use hydronas_nas::{
-    run_sweep, ExperimentDb, ProgressSink, SchedulerConfig, SurrogateEvaluator, SweepOptions,
-    SweepStats,
+    run_sweep, Evaluator, ExperimentDb, InputCombo, ProgressSink, RealTrainer, SchedulerConfig,
+    SurrogateEvaluator, SweepOptions, SweepStats, TrialSpec,
 };
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -86,16 +87,20 @@ impl ReproConfig {
         sink: Option<&mut dyn ProgressSink>,
     ) -> std::io::Result<ReproArtifacts> {
         let trials = full_grid(&SearchSpace::paper());
-        let report = run_sweep(
-            &trials,
-            &SurrogateEvaluator::default(),
-            &self.scheduler(),
-            SweepOptions {
-                journal,
-                sink,
-                workers: None,
-            },
-        )?;
+        let report = {
+            let mut span = hydronas_telemetry::span("repro.stage", "sweep");
+            span.attr("trials", trials.len());
+            run_sweep(
+                &trials,
+                &SurrogateEvaluator::default(),
+                &self.scheduler(),
+                SweepOptions {
+                    journal,
+                    sink,
+                    workers: None,
+                },
+            )?
+        };
         let mut artifacts = self.render(report.db);
         artifacts.sweep = report.stats;
         Ok(artifacts)
@@ -104,6 +109,7 @@ impl ReproConfig {
     /// Renders artifacts from an existing database (e.g. loaded from
     /// JSON, or produced with a different evaluator).
     pub fn render(&self, db: ExperimentDb) -> ReproArtifacts {
+        let _span = hydronas_telemetry::span("repro.stage", "render");
         let discussion = discussion_section(&db);
         ReproArtifacts {
             table1: tables::table1(),
@@ -148,6 +154,57 @@ pub fn discussion_section(db: &ExperimentDb) -> String {
     out
 }
 
+/// Composes the machine-readable `metrics.json` document: the session's
+/// telemetry snapshot (counters, histograms, series, span summaries)
+/// alongside the sweep's execution counters.
+pub fn metrics_json(metrics: &hydronas_telemetry::MetricsSnapshot, sweep: &SweepStats) -> String {
+    let doc = serde_json::Value::Map(vec![
+        ("telemetry".to_string(), metrics.to_content()),
+        ("sweep".to_string(), sweep.to_content()),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("metrics document serializes")
+}
+
+/// A miniature *real-training* pass that exercises the genuine
+/// conv/GEMM/pool kernels. The full-grid sweep runs the surrogate
+/// evaluator (no tensor math), so an observability run alone would
+/// capture no op counters; this probe fills `metrics.json` with real
+/// kernel counts, FLOP totals, and per-epoch training series.
+/// Deterministic per seed. Returns the probe's mean cross-validated
+/// accuracy, or `None` if the miniature training failed.
+pub fn kernel_probe(seed: u64) -> Option<f64> {
+    let mut span = hydronas_telemetry::span("repro.stage", "kernel_probe");
+    let trainer = RealTrainer {
+        epochs: 2,
+        ..RealTrainer::miniature()
+    };
+    // One pool-bearing architecture so max-pool kernels are counted too.
+    let spec = TrialSpec {
+        id: 0,
+        combo: InputCombo {
+            channels: 5,
+            batch_size: 8,
+        },
+        arch: ArchConfig {
+            in_channels: 5,
+            kernel_size: 3,
+            stride: 2,
+            padding: 1,
+            pool: Some(PoolConfig {
+                kernel: 2,
+                stride: 2,
+            }),
+            initial_features: 8,
+            num_classes: 2,
+        },
+        kernel_size_pool: 2,
+        stride_pool: 2,
+    };
+    let outcome = trainer.evaluate(&spec, seed).ok()?;
+    span.attr("accuracy_pct", format!("{:.2}", outcome.mean_accuracy));
+    Some(outcome.mean_accuracy)
+}
+
 impl ReproArtifacts {
     /// Human-readable sweep execution summary. Falls back to
     /// database-derived counts when the artifacts were rendered from a
@@ -168,13 +225,16 @@ impl ReproArtifacts {
     /// Writes the bundle to `dir` (created if missing). Returns the list
     /// of written files.
     pub fn write_to(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let _span = hydronas_telemetry::span("repro.stage", "write");
         std::fs::create_dir_all(dir)?;
         let report = crate::report::markdown_report(self);
         let figure3_html = crate::figures::figure3_html(&self.db);
         let sweep = self.sweep_summary();
-        let entries: [(&str, &str); 15] = [
+        let sweep_json = serde_json::to_string_pretty(&self.sweep).expect("sweep stats serialize");
+        let entries: [(&str, &str); 16] = [
             ("report.md", &report),
             ("sweep.txt", &sweep),
+            ("sweep.json", &sweep_json),
             ("figure3_interactive.html", &figure3_html),
             ("table1.txt", &self.table1),
             ("table2.txt", &self.table2),
@@ -250,7 +310,7 @@ mod tests {
         let a = reduced_artifacts();
         let dir = std::env::temp_dir().join(format!("hydronas_test_{}", std::process::id()));
         let written = a.write_to(&dir).unwrap();
-        assert_eq!(written.len(), 15);
+        assert_eq!(written.len(), 16);
         for path in &written {
             assert!(path.exists(), "{} missing", path.display());
         }
@@ -258,6 +318,10 @@ mod tests {
         let json = std::fs::read_to_string(dir.join("experiment_db.json")).unwrap();
         let db = ExperimentDb::from_json(&json).unwrap();
         assert_eq!(db.outcomes.len(), a.db.outcomes.len());
+        // The machine-readable sweep stats round-trip too.
+        let sweep_json = std::fs::read_to_string(dir.join("sweep.json")).unwrap();
+        let stats: SweepStats = serde_json::from_str(&sweep_json).unwrap();
+        assert_eq!(stats, a.sweep);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -113,7 +113,12 @@ fn aggregate(kernels: &[Kernel]) -> LatencyPrediction {
 /// Predicts across all four devices and aggregates mean/std, matching the
 /// paper's `latency`/`lat_std` columns.
 pub fn predict_all(graph: &ModelGraph) -> LatencyPrediction {
+    let _span = hydronas_telemetry::span("latency.predict", "predict_all");
     let kernels = decompose(graph);
+    hydronas_telemetry::add_all(&[
+        ("latency.predict.calls", 1),
+        ("latency.predict.kernels", kernels.len() as u64),
+    ]);
     aggregate(&kernels)
 }
 

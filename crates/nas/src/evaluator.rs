@@ -76,6 +76,8 @@ impl Default for SurrogateEvaluator {
 
 impl Evaluator for SurrogateEvaluator {
     fn evaluate(&self, spec: &TrialSpec, seed: u64) -> Result<EvalOutcome, TrialFailure> {
+        let mut span = hydronas_telemetry::span("nas.evaluate", "surrogate");
+        span.attr("id", spec.id);
         // Validity: the architecture must shape-infer at the tile size.
         ModelGraph::from_arch(&spec.arch, self.input_hw)
             .map_err(|e| TrialFailure::InvalidArchitecture(e.to_string()))?;
@@ -128,6 +130,8 @@ impl RealTrainer {
 
 impl Evaluator for RealTrainer {
     fn evaluate(&self, spec: &TrialSpec, seed: u64) -> Result<EvalOutcome, TrialFailure> {
+        let mut span = hydronas_telemetry::span("nas.evaluate", "real");
+        span.attr("id", spec.id);
         let mut arch = spec.arch;
         if let Some(cap) = self.max_features {
             arch.initial_features = arch.initial_features.min(cap);

@@ -214,6 +214,62 @@ mod tests {
     }
 
     #[test]
+    fn eta_is_unknown_on_replay_only_resume() {
+        // A fully-journaled sweep resumes with no live trials: all
+        // progress is replayed, the live sim counters stay zero, and no
+        // rate can be extrapolated — even though wall time accrues.
+        let stats = SweepStats {
+            scheduled: 10,
+            replayed: 10,
+            completed: 10,
+            wall_s: 0.3,
+            sim_done_s: 0.0,
+            sim_total_s: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(stats.eta_s(), None);
+    }
+
+    #[test]
+    fn eta_is_unknown_at_zero_wall_time() {
+        // Simulated progress without elapsed wall time (first trial lands
+        // within clock resolution) must not divide by zero or claim an
+        // instant finish.
+        let stats = SweepStats {
+            scheduled: 10,
+            completed: 1,
+            wall_s: 0.0,
+            sim_done_s: 50.0,
+            sim_total_s: 300.0,
+            ..Default::default()
+        };
+        assert_eq!(stats.eta_s(), None);
+    }
+
+    #[test]
+    fn eta_shrinks_monotonically_under_constant_rate() {
+        // At a constant rate (100 simulated seconds per wall second) the
+        // estimate must only ever decrease as trials land.
+        let sim_total_s = 1000.0;
+        let mut last = f64::INFINITY;
+        for k in 1..=10 {
+            let stats = SweepStats {
+                scheduled: 10,
+                completed: k,
+                wall_s: k as f64,
+                sim_done_s: 100.0 * k as f64,
+                sim_total_s,
+                ..Default::default()
+            };
+            let eta = stats.eta_s().expect("live progress has an ETA");
+            assert!(eta < last, "eta went {last} -> {eta} at step {k}");
+            last = eta;
+        }
+        // And the final step reports zero remaining work.
+        assert_eq!(last, 0.0);
+    }
+
+    #[test]
     fn summary_lists_every_counter() {
         let stats = SweepStats {
             scheduled: 24,

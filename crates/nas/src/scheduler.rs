@@ -310,6 +310,13 @@ pub fn run_sweep(
         stats.retried += record.attempts.saturating_sub(1);
     }
 
+    // One span covers the whole sweep; per-trial spans open on the
+    // worker threads (true thread attribution in the Chrome trace).
+    let mut sweep_span = hydronas_telemetry::span("nas.sweep", "sweep");
+    sweep_span.attr("scheduled", trials.len());
+    sweep_span.attr("replayed", stats.replayed);
+    sweep_span.sim_s(stats.sim_total_s);
+
     let started = Instant::now();
     if let Some(sink) = options.sink.as_deref_mut() {
         sink.on_event(&SweepEvent::Started { stats: &stats });
@@ -330,6 +337,16 @@ pub fn run_sweep(
             s.spawn(move || loop {
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = pending.get(idx) else { break };
+                // The `enabled` guard keeps the format! off the hot path
+                // of uninstrumented sweeps.
+                let mut trial_span = hydronas_telemetry::enabled().then(|| {
+                    let mut sp =
+                        hydronas_telemetry::span("nas.trial", &format!("trial {}", spec.id));
+                    sp.attr("id", spec.id);
+                    sp.attr("key", spec.key());
+                    sp.sim_s(trial_duration_s(spec));
+                    sp
+                });
                 let t0 = Instant::now();
                 let (outcome, attempts) = run_trial_with_retry(
                     spec,
@@ -338,6 +355,10 @@ pub fn run_sweep(
                     permanent.contains(&spec.id),
                     transient.contains(&spec.id),
                 );
+                if let Some(sp) = trial_span.as_mut() {
+                    sp.attr("attempts", attempts);
+                }
+                drop(trial_span);
                 // A send error means the collector bailed on a journal
                 // I/O failure; just drain the remaining work.
                 let _ = tx.send((outcome, attempts, t0.elapsed().as_secs_f64()));
@@ -359,6 +380,18 @@ pub fn run_sweep(
             stats.retried += attempts - 1;
             stats.sim_done_s += trial_duration_s(&record.outcome.spec);
             stats.wall_s = started.elapsed().as_secs_f64();
+            // Telemetry rides the same stream the progress sink sees:
+            // per-trial wall time and the sweep's progress/ETA series
+            // (all wall-clock derived, so they live outside the
+            // deterministic outputs).
+            if hydronas_telemetry::enabled() {
+                hydronas_telemetry::record_value("nas.trial.wall_s", wall_s);
+                let step = stats.finished() as f64;
+                hydronas_telemetry::push_series("nas.sweep.sim_done_s", step, stats.sim_done_s);
+                if let Some(eta) = stats.eta_s() {
+                    hydronas_telemetry::push_series("nas.sweep.eta_s", step, eta);
+                }
+            }
             if let Some(sink) = options.sink.as_deref_mut() {
                 sink.on_event(&SweepEvent::Trial {
                     outcome: &record.outcome,

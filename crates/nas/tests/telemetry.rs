@@ -1,0 +1,148 @@
+//! Sweep telemetry: per-trial spans from the multi-worker pool, the
+//! Chrome-trace export contract, and the determinism guarantee that an
+//! instrumented sweep produces a byte-identical database.
+//!
+//! Own integration-test binary (own process) so span/counter assertions
+//! cannot race with unrelated tests.
+
+use hydronas_nas::evaluator::SurrogateEvaluator;
+use hydronas_nas::scheduler::{run_sweep, SchedulerConfig, SweepOptions};
+use hydronas_nas::space::{full_grid, SearchSpace, TrialSpec};
+
+fn trials(n: usize) -> Vec<TrialSpec> {
+    full_grid(&SearchSpace::paper())
+        .into_iter()
+        .take(n)
+        .collect()
+}
+
+fn sweep(trials: &[TrialSpec], workers: usize) -> String {
+    run_sweep(
+        trials,
+        &SurrogateEvaluator::default(),
+        &SchedulerConfig {
+            injected_failures: 1,
+            ..Default::default()
+        },
+        SweepOptions {
+            workers: Some(workers),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .db
+    .to_json()
+}
+
+#[test]
+fn multi_worker_sweep_exports_a_stable_chrome_trace() {
+    let trials = trials(24);
+    let session = hydronas_telemetry::session();
+    let _ = sweep(&trials, 4);
+
+    let m = session.metrics();
+    assert_eq!(m.spans["nas.sweep"].count, 1);
+    assert_eq!(m.spans["nas.trial"].count, 24);
+    assert_eq!(m.spans["nas.evaluate"].count as usize, 24 - 1); // injected failure skips evaluate
+    assert_eq!(m.counters["latency.predict.calls"], 23);
+    assert_eq!(m.histograms["nas.trial.wall_s"].count, 24);
+    // The progress series advances one point per finished trial, with
+    // monotonically growing simulated progress.
+    let progress = &m.series["nas.sweep.sim_done_s"];
+    assert_eq!(progress.len(), 24);
+    assert!(progress.windows(2).all(|w| w[0].value <= w[1].value));
+    // Sweep span carries the simulated total of all live trials.
+    assert!(m.spans["nas.sweep"].sim_s > 0.0);
+
+    // Chrome export: valid JSON, one complete event per span, sorted by
+    // (ts, span id), every trial id present in args.
+    let spans = session.spans();
+    let trace = session.chrome_trace();
+    let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
+    let events = v
+        .as_map()
+        .unwrap()
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v.as_seq().unwrap())
+        .unwrap();
+    let mut xs = 0usize;
+    let mut trial_ids = Vec::new();
+    let mut last_ts = 0u64;
+    for e in events {
+        let map = e.as_map().unwrap();
+        let field = |name: &str| map.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        match field("ph") {
+            Some(serde_json::Value::Str(ph)) if ph == "X" => {
+                xs += 1;
+                let serde_json::Value::U64(ts) = field("ts").unwrap() else {
+                    panic!("ts must be u64")
+                };
+                assert!(*ts >= last_ts, "X events must be sorted by ts");
+                last_ts = *ts;
+                let serde_json::Value::Str(cat) = field("cat").unwrap() else {
+                    panic!("cat must be a string")
+                };
+                if cat == "nas.trial" {
+                    let args = field("args").unwrap().as_map().unwrap();
+                    let id = args
+                        .iter()
+                        .find(|(k, _)| k == "id")
+                        .map(|(_, v)| v.clone())
+                        .expect("trial spans carry an id arg");
+                    let serde_json::Value::Str(id) = id else {
+                        panic!("id arg is a string attr")
+                    };
+                    trial_ids.push(id.parse::<usize>().unwrap());
+                }
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(xs, spans.len(), "one complete event per recorded span");
+    trial_ids.sort_unstable();
+    let mut want: Vec<usize> = trials.iter().map(|t| t.id).collect();
+    want.sort_unstable();
+    assert_eq!(trial_ids, want, "every trial appears exactly once");
+
+    // How many worker lanes actually ran is scheduling-dependent (a fast
+    // worker may drain the queue alone), but every lane that did run must
+    // have a thread-name metadata event.
+    let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    let meta = events
+        .iter()
+        .filter(|e| {
+            e.as_map()
+                .unwrap()
+                .iter()
+                .any(|(k, v)| k == "ph" && *v == serde_json::Value::Str("M".into()))
+        })
+        .count();
+    assert_eq!(meta, tids.len(), "one thread_name event per lane");
+}
+
+#[test]
+fn chrome_trace_is_identical_across_reruns_of_the_same_spans() {
+    let trials = trials(12);
+    let session = hydronas_telemetry::session();
+    let _ = sweep(&trials, 3);
+    let spans = session.spans();
+    // The exporter itself is a pure function of the span set.
+    assert_eq!(
+        hydronas_telemetry::chrome_trace(&spans),
+        hydronas_telemetry::chrome_trace(&spans)
+    );
+}
+
+#[test]
+fn telemetry_does_not_change_the_database() {
+    let trials = trials(24);
+    let plain = sweep(&trials, 4);
+    let observed = {
+        let _session = hydronas_telemetry::session();
+        sweep(&trials, 4)
+    };
+    assert_eq!(plain, observed, "db bytes must not depend on telemetry");
+}

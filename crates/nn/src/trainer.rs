@@ -169,17 +169,27 @@ pub fn train(
     let mut opt = Sgd::new(config.learning_rate, config.momentum, config.weight_decay);
     let loss_fn = CrossEntropyLoss;
 
+    // Telemetry is a pure side channel: when no session is active every
+    // hook below is a single branch, and nothing here feeds back into
+    // the training computation.
+    let telemetry_on = hydronas_telemetry::enabled();
+    let mut train_span = hydronas_telemetry::span("nn.train", "train");
+    train_span.attr("epochs", config.epochs);
+    train_span.attr("samples", train_set.len());
+
     let dims = train_set.features.dims();
     let sample = dims[1] * dims[2] * dims[3];
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     let mut diverged = false;
 
     'epochs: for epoch in 0..config.epochs {
-        opt.set_learning_rate(
-            config
-                .lr_schedule
-                .rate(config.learning_rate, epoch, config.epochs),
-        );
+        let lr = config
+            .lr_schedule
+            .rate(config.learning_rate, epoch, config.epochs);
+        opt.set_learning_rate(lr);
+        let epoch_start = telemetry_on.then(std::time::Instant::now);
+        let mut correct = 0usize;
+        let mut seen = 0usize;
         let mut order: Vec<usize> = (0..train_set.len()).collect();
         let mut shuffle_rng = rng.fork(epoch as u64 + 1);
         shuffle_rng.shuffle(&mut order);
@@ -208,12 +218,44 @@ pub fn train(
                 diverged = true;
                 break 'epochs;
             }
+            if telemetry_on {
+                correct += logits
+                    .argmax_rows()
+                    .iter()
+                    .zip(targets.iter())
+                    .filter(|(p, t)| p == t)
+                    .count();
+                seen += targets.len();
+            }
             model.backward(&grad);
             opt.step(&mut model);
             epoch_loss += f64::from(loss);
             batches += 1;
         }
-        epoch_losses.push((epoch_loss / batches.max(1) as f64) as f32);
+        let mean_loss = epoch_loss / batches.max(1) as f64;
+        epoch_losses.push(mean_loss as f32);
+        if telemetry_on {
+            let step = epoch as f64;
+            hydronas_telemetry::push_series("nn.train.loss", step, mean_loss);
+            hydronas_telemetry::push_series("nn.train.lr", step, f64::from(lr));
+            hydronas_telemetry::push_series(
+                "nn.train.accuracy_pct",
+                step,
+                100.0 * correct as f64 / seen.max(1) as f64,
+            );
+            // Throughput is wall-clock derived (wall field by contract).
+            let wall = epoch_start
+                .expect("timed when enabled")
+                .elapsed()
+                .as_secs_f64();
+            if wall > 0.0 {
+                hydronas_telemetry::push_series(
+                    "nn.train.throughput_sps",
+                    step,
+                    seen as f64 / wall,
+                );
+            }
+        }
     }
 
     let report = evaluate(&mut model, val_set, config.batch_size);

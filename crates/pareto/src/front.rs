@@ -7,7 +7,8 @@ use crate::point::{dominates, Objective, Point};
 /// Duplicate-objective points all survive (they do not dominate each
 /// other), matching the paper's treatment of coinciding configurations.
 pub fn pareto_front(points: &[Point], senses: &[Objective]) -> Vec<Point> {
-    points
+    let _span = hydronas_telemetry::span("pareto.front", "pareto_front");
+    let front: Vec<Point> = points
         .iter()
         .filter(|candidate| {
             !points
@@ -15,7 +16,13 @@ pub fn pareto_front(points: &[Point], senses: &[Objective]) -> Vec<Point> {
                 .any(|other| dominates(other, candidate, senses))
         })
         .cloned()
-        .collect()
+        .collect();
+    hydronas_telemetry::add_all(&[
+        ("pareto.front.calls", 1),
+        ("pareto.front.points_in", points.len() as u64),
+        ("pareto.front.points_out", front.len() as u64),
+    ]);
+    front
 }
 
 /// Fast non-dominated sort (Deb et al., NSGA-II): partitions points into

@@ -1,0 +1,174 @@
+//! Chrome trace format exporter.
+//!
+//! Emits the JSON Object Format of the Trace Event specification —
+//! `{"traceEvents": [...]}` — loadable in `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev). Every span becomes one complete
+//! (`"ph": "X"`) event, so begin/end pairing is balanced by
+//! construction; thread-name metadata (`"ph": "M"`) events label each
+//! worker lane.
+//!
+//! Output ordering is stable for a given span set: events are sorted by
+//! `(ts, span id)` before serialization, so the multi-worker pool's
+//! nondeterministic completion order never reaches the file.
+
+use crate::registry::SpanRecord;
+use serde_json::Value;
+
+fn string(v: impl Into<String>) -> Value {
+    Value::Str(v.into())
+}
+
+fn object(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(key, value)| (key.to_string(), value))
+            .collect(),
+    )
+}
+
+/// Renders spans as Chrome-trace JSON. Timestamps are microseconds since
+/// session start (the `ts`/`dur` fields are wall-clock); a span's
+/// simulated duration, attributes, and parent id travel in `args`.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.start_us, s.id));
+
+    let mut events: Vec<Value> = Vec::with_capacity(sorted.len() + 8);
+    let mut tids: Vec<u64> = sorted.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        events.push(object(vec![
+            ("ph", string("M")),
+            ("name", string("thread_name")),
+            ("pid", Value::U64(1)),
+            ("tid", Value::U64(tid)),
+            (
+                "args",
+                object(vec![("name", string(format!("worker-{tid}")))]),
+            ),
+        ]));
+    }
+    for s in sorted {
+        let mut args: Vec<(String, Value)> = vec![("span_id".to_string(), Value::U64(s.id))];
+        if let Some(parent) = s.parent {
+            args.push(("parent_id".to_string(), Value::U64(parent)));
+        }
+        if let Some(sim) = s.sim_s {
+            args.push(("sim_s".to_string(), Value::F64(sim)));
+        }
+        for (k, v) in &s.attrs {
+            args.push((k.clone(), string(v.clone())));
+        }
+        events.push(object(vec![
+            ("ph", string("X")),
+            ("name", string(s.name.clone())),
+            ("cat", string(s.category.clone())),
+            ("pid", Value::U64(1)),
+            ("tid", Value::U64(s.tid)),
+            ("ts", Value::U64(s.start_us)),
+            ("dur", Value::U64(s.end_us - s.start_us)),
+            ("args", Value::Map(args)),
+        ]));
+    }
+    let root = object(vec![
+        ("traceEvents", Value::Seq(events)),
+        ("displayTimeUnit", string("ms")),
+    ]);
+    serde_json::to_string_pretty(&root).expect("trace events serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, tid: u64, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: None,
+            tid,
+            category: "test.cat".into(),
+            name: format!("span {id}"),
+            start_us: start,
+            end_us: end,
+            sim_s: None,
+            attrs: Vec::new(),
+        }
+    }
+
+    fn get<'a>(v: &'a Value, key: &str) -> &'a Value {
+        v.as_map()
+            .expect("object")
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, value)| value)
+            .unwrap_or_else(|| panic!("missing key `{key}`"))
+    }
+
+    fn as_u64(v: &Value) -> u64 {
+        match v {
+            Value::U64(n) => *n,
+            Value::I64(n) => u64::try_from(*n).expect("non-negative"),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn events(trace: &str) -> Vec<Value> {
+        let v: Value = serde_json::from_str(trace).unwrap();
+        get(&v, "traceEvents").as_seq().unwrap().to_vec()
+    }
+
+    fn phase(e: &Value) -> String {
+        match get(e, "ph") {
+            Value::Str(s) => s.clone(),
+            other => panic!("expected string ph, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_span_set_is_valid_json() {
+        assert_eq!(events(&chrome_trace(&[])).len(), 0);
+    }
+
+    #[test]
+    fn events_are_complete_and_sorted_regardless_of_input_order() {
+        // Completion order (as the collector would see it) is scrambled.
+        let spans = vec![
+            record(3, 2, 50, 80),
+            record(1, 1, 0, 100),
+            record(2, 1, 10, 40),
+            record(4, 2, 50, 60), // ties on ts with id 3 -> id breaks it
+        ];
+        let all = events(&chrome_trace(&spans));
+        let xs: Vec<&Value> = all.iter().filter(|e| phase(e) == "X").collect();
+        assert_eq!(xs.len(), 4);
+        let order: Vec<(u64, u64)> = xs
+            .iter()
+            .map(|e| (as_u64(get(e, "ts")), as_u64(get(get(e, "args"), "span_id"))))
+            .collect();
+        assert_eq!(order, vec![(0, 1), (10, 2), (50, 3), (50, 4)]);
+        // Every X event carries a non-negative duration.
+        for e in &xs {
+            as_u64(get(e, "dur"));
+        }
+        // One thread-name metadata event per distinct tid.
+        let ms = all.iter().filter(|e| phase(e) == "M").count();
+        assert_eq!(ms, 2);
+    }
+
+    #[test]
+    fn args_carry_parent_sim_and_attrs() {
+        let mut s = record(7, 1, 5, 9);
+        s.parent = Some(3);
+        s.sim_s = Some(12.5);
+        s.attrs = vec![("trial".into(), "42".into())];
+        let all = events(&chrome_trace(&[s]));
+        let e = &all[1]; // [0] is thread meta
+        let args = get(e, "args");
+        assert_eq!(as_u64(get(args, "parent_id")), 3);
+        assert_eq!(*get(args, "sim_s"), Value::F64(12.5));
+        assert_eq!(*get(args, "trial"), Value::Str("42".into()));
+        assert_eq!(*get(e, "cat"), Value::Str("test.cat".into()));
+    }
+}

@@ -1,0 +1,116 @@
+//! A small leveled stderr logger for the workspace binaries.
+//!
+//! Independent of the telemetry session: logging works with or without
+//! collection enabled. Everything goes to stderr (stdout is reserved
+//! for the tables/figures the binaries print), and `Error` is never
+//! filtered, so `--quiet` runs still report failures and exit codes are
+//! unaffected.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Default: `Info` and more severe.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the most verbose level that still prints (`Level::Error` for
+/// `--quiet`).
+pub fn set_log_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current most-verbose-printed level.
+pub fn log_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Would a message at `level` print right now?
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Prints one message to stderr if `level` passes the filter. Prefer the
+/// [`log_error!`](crate::log_error)..[`log_debug!`](crate::log_debug)
+/// macros, which build the `Arguments` lazily.
+pub fn log(level: Level, args: std::fmt::Arguments) {
+    if log_enabled(level) {
+        eprintln!("[{}] {}", level.tag(), args);
+    }
+}
+
+/// Logs at `Error` level (never filtered by `--quiet`).
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Error, format_args!($($arg)*)) };
+}
+
+/// Logs at `Warn` level.
+#[macro_export]
+macro_rules! log_warn {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Warn, format_args!($($arg)*)) };
+}
+
+/// Logs at `Info` level (the default verbosity of the binaries).
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Info, format_args!($($arg)*)) };
+}
+
+/// Logs at `Debug` level (off by default).
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => { $crate::log($crate::Level::Debug, format_args!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_filter_monotonically() {
+        // Note: the level is process-global; this test sets and restores
+        // it around each assertion block.
+        let initial = log_level();
+        set_log_level(Level::Error);
+        assert!(log_enabled(Level::Error));
+        assert!(!log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        set_log_level(Level::Debug);
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Debug));
+        set_log_level(Level::Info);
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Debug));
+        set_log_level(initial);
+    }
+
+    #[test]
+    fn log_respects_filter_without_panicking() {
+        log(Level::Debug, format_args!("filtered {}", 1));
+        log(Level::Error, format_args!("printed {}", 2));
+        crate::log_info!("macro path {}", 3);
+    }
+}

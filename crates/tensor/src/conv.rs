@@ -141,6 +141,19 @@ pub fn col2im(col: &[f32], d: &Conv2dDims, img: &mut [f32]) {
 pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, padding: usize) -> Tensor {
     let d = Conv2dDims::resolve(input.dims(), weight.dims(), stride, padding)
         .expect("conv2d: kernel does not fit input");
+    if hydronas_telemetry::enabled() {
+        hydronas_telemetry::add_all(&[
+            ("tensor.conv2d.calls", 1),
+            (
+                "tensor.conv2d.flops",
+                (d.batch * 2 * d.out_c * d.col_rows() * d.col_cols()) as u64,
+            ),
+            (
+                "tensor.conv2d.bytes",
+                (4 * (input.numel() + weight.numel() + d.batch * d.out_c * d.col_cols())) as u64,
+            ),
+        ]);
+    }
     let mut out = Tensor::zeros(&[d.batch, d.out_c, d.out_h, d.out_w]);
     let in_sz = d.in_c * d.in_h * d.in_w;
     let out_sz = d.out_c * d.out_h * d.out_w;
@@ -178,6 +191,21 @@ pub fn conv2d_backward(
     let out_sz = d.out_c * d.out_h * d.out_w;
     let cr = d.col_rows();
     let cc = d.col_cols();
+    if hydronas_telemetry::enabled() {
+        // Two GEMMs per sample (input grad + weight grad), 2*out_c*cr*cc
+        // multiply-adds each.
+        hydronas_telemetry::add_all(&[
+            ("tensor.conv2d_backward.calls", 1),
+            (
+                "tensor.conv2d_backward.flops",
+                (d.batch * 4 * d.out_c * cr * cc) as u64,
+            ),
+            (
+                "tensor.conv2d_backward.bytes",
+                (4 * (2 * input.numel() + 2 * weight.numel() + grad_out.numel())) as u64,
+            ),
+        ]);
+    }
     let w_t = weight.reshape(&[d.out_c, cr]).transpose2(); // [cr, out_c]
 
     let inp = input.as_slice();

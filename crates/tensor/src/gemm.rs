@@ -13,6 +13,20 @@ const KC: usize = 256;
 /// Minimum `m * n` before the row loop fans out to rayon.
 const PAR_CELLS: usize = 16 * 1024;
 
+/// Op accounting shared by both GEMM variants: one call, `2*m*k*n`
+/// multiply-add FLOPs, and the operand + result bytes. A pure telemetry
+/// side channel — gone after one branch when no session is active.
+#[inline]
+fn record_gemm(m: usize, k: usize, n: usize) {
+    if hydronas_telemetry::enabled() {
+        hydronas_telemetry::add_all(&[
+            ("tensor.gemm.calls", 1),
+            ("tensor.gemm.flops", (2 * m * k * n) as u64),
+            ("tensor.gemm.bytes", (4 * (m * k + k * n + m * n)) as u64),
+        ]);
+    }
+}
+
 /// Matrix multiply of raw row-major slices: `c[m x n] = a[m x k] * b[k x n]`.
 ///
 /// `c` is overwritten (not accumulated into).
@@ -20,6 +34,7 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "A size mismatch");
     assert_eq!(b.len(), k * n, "B size mismatch");
     assert_eq!(c.len(), m * n, "C size mismatch");
+    record_gemm(m, k, n);
     c.fill(0.0);
 
     let row_body = |i: usize, c_row: &mut [f32]| {
@@ -66,6 +81,7 @@ pub fn gemm_nt(a: &[f32], b_t: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     assert_eq!(a.len(), m * k, "A size mismatch");
     assert_eq!(b_t.len(), n * k, "B^T size mismatch");
     assert_eq!(c.len(), m * n, "C size mismatch");
+    record_gemm(m, k, n);
 
     let row_body = |i: usize, c_row: &mut [f32]| {
         let a_row = &a[i * k..(i + 1) * k];

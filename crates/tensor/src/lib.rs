@@ -32,7 +32,7 @@ mod shape;
 mod tensor;
 
 pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dDims};
-pub use gemm::{gemm, gemm_bias};
+pub use gemm::{gemm, gemm_bias, gemm_nt};
 pub use init::{kaiming_normal, kaiming_uniform, uniform, TensorRng};
 pub use pool::{avg_pool2d_global, max_pool2d, max_pool2d_backward, PoolDims};
 pub use shape::{conv_out_dim, Shape};

@@ -55,6 +55,15 @@ pub fn max_pool2d(
 ) -> (Tensor, Vec<u32>) {
     let d = PoolDims::resolve(input.dims(), kernel, stride, padding)
         .expect("max_pool2d: window does not fit input");
+    if hydronas_telemetry::enabled() {
+        hydronas_telemetry::add_all(&[
+            ("tensor.max_pool2d.calls", 1),
+            (
+                "tensor.max_pool2d.bytes",
+                (4 * (input.numel() + 2 * d.batch * d.channels * d.out_h * d.out_w)) as u64,
+            ),
+        ]);
+    }
     let mut out = Tensor::zeros(&[d.batch, d.channels, d.out_h, d.out_w]);
     let mut argmax = vec![0u32; out.numel()];
     let plane_in = d.in_h * d.in_w;
@@ -142,6 +151,15 @@ pub fn avg_pool2d_global(input: &Tensor) -> Tensor {
         input.dims()[3],
     );
     let plane = h * w;
+    if hydronas_telemetry::enabled() {
+        hydronas_telemetry::add_all(&[
+            ("tensor.avg_pool2d_global.calls", 1),
+            (
+                "tensor.avg_pool2d_global.bytes",
+                (4 * (input.numel() + n * c)) as u64,
+            ),
+        ]);
+    }
     let mut out = Tensor::zeros(&[n, c]);
     let inp = input.as_slice();
     for (i, slot) in out.as_mut_slice().iter_mut().enumerate() {

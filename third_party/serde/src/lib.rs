@@ -394,6 +394,30 @@ tuple_impls! {
     (A: 0, B: 1, C: 2, D: 3)
 }
 
+/// Maps with string keys serialize as JSON objects. `BTreeMap` keeps
+/// keys sorted, so emitted output is deterministic — matching upstream
+/// serde_json, where `BTreeMap` iteration order drives field order.
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(key, value)| (key.clone(), value.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "BTreeMap", content))?
+            .iter()
+            .map(|(key, value)| V::from_content(value).map(|v| (key.clone(), v)))
+            .collect()
+    }
+}
+
 impl Serialize for Content {
     fn to_content(&self) -> Content {
         self.clone()
@@ -421,6 +445,24 @@ mod tests {
         let map = vec![("a".to_string(), Content::U64(1))];
         assert_eq!(field::<u64>(&map, "a", "T").unwrap(), 1);
         assert!(field::<u64>(&map, "b", "T").is_err());
+    }
+
+    #[test]
+    fn string_keyed_maps_are_objects() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("b".to_string(), 2u64);
+        map.insert("a".to_string(), 1u64);
+        let content = map.to_content();
+        assert_eq!(
+            content,
+            Content::Map(vec![
+                ("a".to_string(), Content::U64(1)),
+                ("b".to_string(), Content::U64(2)),
+            ])
+        );
+        let back: std::collections::BTreeMap<String, u64> =
+            Deserialize::from_content(&content).unwrap();
+        assert_eq!(back, map);
     }
 
     #[test]
