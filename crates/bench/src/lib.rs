@@ -1,6 +1,8 @@
 //! Shared helpers for the HydroNAS benchmark harness and the `repro`
 //! binary.
 
+pub mod reference;
+
 use hydronas_nas::space::{full_grid, SearchSpace, TrialSpec};
 use hydronas_nas::{run_experiment, ExperimentDb, SchedulerConfig, SurrogateEvaluator};
 

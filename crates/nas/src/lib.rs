@@ -15,6 +15,11 @@
 //!   failure injection (the paper's 1,728 - 11 = 1,717 valid outcomes),
 //!   bounded retries of transient environment failures, and journaled
 //!   crash/resume.
+//! * [`metrics_cache`] — memoized per-architecture latency/memory
+//!   metrics: the 1,728-trial grid holds only 360 distinct graphs
+//!   (batch size never reaches the graph, pool-less rows enumerate
+//!   redundant pool fields), so each is built once and served
+//!   lock-free to the worker pool.
 //! * [`journal`] — write-ahead JSONL trial journal: a killed sweep
 //!   resumes by replaying finished trials and scheduling only the rest.
 //! * [`progress`] — sweep observability: live counters, per-trial wall
@@ -32,6 +37,7 @@ pub mod evaluator;
 pub mod experiment;
 pub mod halving;
 pub mod journal;
+pub mod metrics_cache;
 pub mod nsga2;
 pub mod progress;
 pub mod scheduler;
@@ -50,6 +56,7 @@ pub use evaluator::{EvalOutcome, Evaluator, RealTrainer, SurrogateEvaluator, Tri
 pub use experiment::{ComboSummary, ExperimentDb, TrialOutcome, TrialStatus};
 pub use halving::{successive_halving, HalvingConfig, HalvingResult, Rung};
 pub use journal::{read_journal, Journal, TrialRecord};
+pub use metrics_cache::{ArchMetrics, GraphMetricsCache};
 pub use nsga2::{nsga2, Individual, Nsga2Config, Nsga2Result};
 pub use progress::{CollectingSink, ProgressSink, StderrTicker, SweepEvent, SweepStats};
 pub use scheduler::{

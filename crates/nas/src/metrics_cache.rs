@@ -1,0 +1,168 @@
+//! Memoized per-architecture graph metrics for the sweep hot path.
+//!
+//! The full grid schedules 1,728 trials, but a trial's latency
+//! prediction and serialized model size depend only on the architecture
+//! (batch size never reaches the graph, and pool-less rows enumerate
+//! redundant pool kernel/stride values), so only 360 distinct graphs
+//! exist — a 4.8x collapse. The cache computes each one once and
+//! serves the rest lock-free: the key map is frozen at construction
+//! (pre-seeded from the trial list), and each entry is a [`OnceLock`]
+//! that the first arriving worker initializes while later readers take
+//! the fast already-initialized path — no mutex, no contention on hits.
+//!
+//! Failures are cached too: `ModelGraph::from_arch` errors are stored as
+//! the exact `to_string()` the scheduler previously produced inline, so
+//! a cached sweep's failure statuses are byte-identical to an uncached
+//! one.
+
+use hydronas_graph::{serialized_size_bytes, ArchConfig, ModelGraph};
+use hydronas_latency::{predict_all, LatencyPrediction};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// The graph-derived objectives of one architecture: everything
+/// `run_trial` needs that does not depend on the evaluation seed or
+/// batch size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArchMetrics {
+    /// Per-device latency prediction.
+    pub latency: LatencyPrediction,
+    /// Serialized (ONNX-like) model size in MB.
+    pub memory_mb: f64,
+}
+
+/// Computes the metrics for one architecture, or the graph-construction
+/// error string (exactly `e.to_string()` of the `from_arch` error).
+fn compute(arch: &ArchConfig, input_hw: usize) -> Result<ArchMetrics, String> {
+    let graph = ModelGraph::from_arch(arch, input_hw).map_err(|e| e.to_string())?;
+    Ok(ArchMetrics {
+        latency: predict_all(&graph),
+        memory_mb: serialized_size_bytes(&graph) as f64 / 1e6,
+    })
+}
+
+/// Everything that distinguishes one graph construction from another
+/// within a sweep: the architecture key plus the classifier width,
+/// which [`ArchConfig::key`] does not encode.
+fn cache_key(arch: &ArchConfig) -> String {
+    format!("{}-nc{}", arch.key(), arch.num_classes)
+}
+
+/// Shared, read-mostly map from architecture key to lazily computed
+/// metrics. Construct once per sweep ([`GraphMetricsCache::for_trials`])
+/// and share by reference across the worker pool.
+pub struct GraphMetricsCache {
+    input_hw: usize,
+    entries: HashMap<String, OnceLock<Result<ArchMetrics, String>>>,
+}
+
+impl GraphMetricsCache {
+    /// Pre-seeds one (empty) entry per distinct architecture in the
+    /// trial list. The map never grows afterwards, which is what makes
+    /// concurrent reads safe without a lock around the map itself.
+    pub fn for_trials<'a>(
+        trials: impl IntoIterator<Item = &'a crate::space::TrialSpec>,
+        input_hw: usize,
+    ) -> GraphMetricsCache {
+        let entries = trials
+            .into_iter()
+            .map(|t| (cache_key(&t.arch), OnceLock::new()))
+            .collect();
+        GraphMetricsCache { input_hw, entries }
+    }
+
+    /// Number of distinct architectures the cache was seeded with.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds no architectures.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the metrics for `arch`, computing them at most once per
+    /// architecture. An architecture outside the seeded set (possible
+    /// only if callers evaluate trials the cache was not built from) is
+    /// computed directly, uncached — correctness never depends on the
+    /// seeding being complete.
+    pub fn get(&self, arch: &ArchConfig) -> Result<ArchMetrics, String> {
+        let Some(cell) = self.entries.get(&cache_key(arch)) else {
+            hydronas_telemetry::add("nas.graph_cache.misses", 1);
+            return compute(arch, self.input_hw);
+        };
+        let mut computed = false;
+        let result = cell.get_or_init(|| {
+            computed = true;
+            compute(arch, self.input_hw)
+        });
+        if computed {
+            hydronas_telemetry::add("nas.graph_cache.misses", 1);
+        } else {
+            hydronas_telemetry::add("nas.graph_cache.hits", 1);
+        }
+        result.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{full_grid, SearchSpace};
+
+    #[test]
+    fn full_grid_collapses_to_360_distinct_graphs() {
+        let trials = full_grid(&SearchSpace::paper());
+        assert_eq!(trials.len(), 1728);
+        let cache = GraphMetricsCache::for_trials(&trials, 32);
+        // The three batch sizes fold away (1728 -> 576), and the four
+        // redundant pool kernel/stride enumerations of every pool-less
+        // stem fold with them: per channel count, 36 conv stems x (1
+        // pool-less + 4 pooled) = 180 architectures.
+        assert_eq!(cache.len(), 360);
+    }
+
+    #[test]
+    fn cached_metrics_equal_direct_computation() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(6)
+            .collect();
+        let cache = GraphMetricsCache::for_trials(&trials, 32);
+        for t in &trials {
+            let cached = cache.get(&t.arch);
+            let direct = compute(&t.arch, 32);
+            assert_eq!(cached, direct, "trial {}", t.id);
+            // Second read serves the memoized value.
+            assert_eq!(cache.get(&t.arch), cached);
+        }
+    }
+
+    #[test]
+    fn unseeded_architectures_fall_back_to_direct_compute() {
+        let cache = GraphMetricsCache::for_trials([], 32);
+        assert!(cache.is_empty());
+        let arch = ArchConfig::baseline(5);
+        assert_eq!(cache.get(&arch), compute(&arch, 32));
+    }
+
+    #[test]
+    fn graph_errors_are_cached_verbatim() {
+        // kernel 7, padding 0, stride 2 on a tiny input shrinks below
+        // 1x1 somewhere in the stack — from_arch rejects it. Whatever
+        // the message, the cache must return it unchanged, twice.
+        let mut trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(1)
+            .collect();
+        trials[0].arch.kernel_size = 7;
+        trials[0].arch.padding = 0;
+        trials[0].arch.stride = 2;
+        let input_hw = 4;
+        let direct = compute(&trials[0].arch, input_hw);
+        assert!(direct.is_err(), "test premise: this graph must not build");
+        let cache = GraphMetricsCache::for_trials(&trials, input_hw);
+        assert_eq!(cache.get(&trials[0].arch), direct);
+        assert_eq!(cache.get(&trials[0].arch), direct);
+    }
+}

@@ -1,0 +1,66 @@
+//! Graph-metrics cache behavior observed through telemetry: trials that
+//! share an architecture (same stem, different batch size) must hit the
+//! cache, and every distinct architecture is built exactly once.
+//!
+//! Lives in its own integration binary: telemetry counters are
+//! process-global, so no other session-opening test may share the
+//! process.
+
+use hydronas_nas::space::{full_grid, SearchSpace};
+use hydronas_nas::{
+    run_sweep, GraphMetricsCache, SchedulerConfig, SurrogateEvaluator, SweepOptions,
+};
+
+#[test]
+fn trials_sharing_an_architecture_hit_the_cache() {
+    // A slice of the full grid spanning several batch sizes: the same
+    // 288 stem configurations repeat at batch 8/16/32, so distinct
+    // architectures number far fewer than trials.
+    let trials: Vec<_> = full_grid(&SearchSpace::paper())
+        .into_iter()
+        .filter(|t| t.id % 17 == 0)
+        .collect();
+    let config = SchedulerConfig {
+        injected_failures: 0,
+        ..Default::default()
+    };
+    let distinct = GraphMetricsCache::for_trials(&trials, config.input_hw).len();
+    assert!(
+        distinct < trials.len(),
+        "test premise: the slice must repeat architectures ({} trials, {distinct} archs)",
+        trials.len()
+    );
+
+    let session = hydronas_telemetry::session();
+    let report = run_sweep(
+        &trials,
+        &SurrogateEvaluator::default(),
+        &config,
+        SweepOptions::default(),
+    )
+    .unwrap();
+    let metrics = session.metrics();
+    drop(session);
+
+    assert_eq!(report.db.valid().len(), trials.len());
+    let misses = metrics
+        .counters
+        .get("nas.graph_cache.misses")
+        .copied()
+        .unwrap();
+    let hits = metrics
+        .counters
+        .get("nas.graph_cache.hits")
+        .copied()
+        .unwrap();
+    assert_eq!(
+        misses, distinct as u64,
+        "each distinct architecture is built exactly once"
+    );
+    assert_eq!(
+        hits + misses,
+        trials.len() as u64,
+        "every trial consults the cache exactly once"
+    );
+    assert!(hits > 0, "shared architectures must be served from cache");
+}

@@ -350,7 +350,20 @@ impl Linear {
 
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.shape().ndim(), 2, "Linear expects [N, in]");
-        let out = input.matmul(&self.weight.value).add(&self.bias.value);
+        let (n, in_f) = (input.dims()[0], input.dims()[1]);
+        let out_f = self.weight.value.dims()[1];
+        // Bias is fused into the GEMM's final write-back — one pass over
+        // the output instead of matmul + broadcast add.
+        let mut out = Tensor::zeros(&[n, out_f]);
+        hydronas_tensor::gemm_bias(
+            input.as_slice(),
+            self.weight.value.as_slice(),
+            self.bias.value.as_slice(),
+            out.as_mut_slice(),
+            n,
+            in_f,
+            out_f,
+        );
         self.cached_input = train.then(|| input.clone());
         out
     }

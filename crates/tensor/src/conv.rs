@@ -4,6 +4,7 @@
 //! `[out_c, in_c, kh, kw]`. Batch samples are independent, so forward and
 //! backward parallelize across the batch with rayon.
 
+use crate::arena::scratch;
 use crate::gemm::{gemm, gemm_nt};
 use crate::shape::conv_out_dim;
 use crate::tensor::Tensor;
@@ -27,8 +28,11 @@ pub struct Conv2dDims {
 impl Conv2dDims {
     /// Validates shapes and computes output extents.
     ///
-    /// Returns `None` when the kernel does not fit the (padded) input —
-    /// the "collapsed feature map" failure the NAS scheduler must reject.
+    /// Returns `None` for any invalid geometry — a kernel that does not
+    /// fit the (padded) input (the "collapsed feature map" failure), a
+    /// non-square kernel, or an input/weight channel mismatch. The NAS
+    /// scheduler rejects such candidates as failed trials; resolving must
+    /// therefore never abort the sweep.
     pub fn resolve(
         input_dims: &[usize],
         weight_dims: &[usize],
@@ -37,11 +41,9 @@ impl Conv2dDims {
     ) -> Option<Conv2dDims> {
         assert_eq!(input_dims.len(), 4, "conv input must be NCHW");
         assert_eq!(weight_dims.len(), 4, "conv weight must be [O,I,Kh,Kw]");
-        assert_eq!(
-            weight_dims[2], weight_dims[3],
-            "only square kernels supported"
-        );
-        assert_eq!(input_dims[1], weight_dims[1], "in_channels mismatch");
+        if weight_dims[2] != weight_dims[3] || input_dims[1] != weight_dims[1] {
+            return None;
+        }
         let kernel = weight_dims[2];
         let out_h = conv_out_dim(input_dims[2], kernel, stride, padding)?;
         let out_w = conv_out_dim(input_dims[3], kernel, stride, padding)?;
@@ -164,7 +166,10 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, padding: usize) ->
         .par_chunks_mut(out_sz)
         .enumerate()
         .for_each(|(n, out_n)| {
-            let mut col = vec![0.0f32; d.col_rows() * d.col_cols()];
+            // im2col fully overwrites the column matrix, so the scratch
+            // checkout never clears — zero allocations per sample once
+            // the per-thread arena is warm.
+            let mut col = scratch(d.col_rows() * d.col_cols());
             im2col(&inp[n * in_sz..(n + 1) * in_sz], &d, &mut col);
             // [out_c, col_rows] x [col_rows, col_cols] -> [out_c, col_cols]
             gemm(w, &col, out_n, d.out_c, d.col_rows(), d.col_cols());
@@ -211,17 +216,24 @@ pub fn conv2d_backward(
     let inp = input.as_slice();
     let go = grad_out.as_slice();
 
-    // Per-sample partial results, reduced at the end; each sample is
-    // independent so the map side runs lock-free in parallel.
+    // Per-sample partials land in disjoint slices of one flat scratch
+    // buffer (not a Vec per sample), then reduce sequentially in sample
+    // order — deterministic for any worker count, and zero per-sample
+    // heap allocations once the arenas are warm.
+    let gw_sz = d.out_c * cr;
     let mut grad_input = Tensor::zeros(input.dims());
-    let grad_w_partial: Vec<Vec<f32>> = grad_input
+    let mut gw_all = scratch(d.batch * gw_sz);
+    grad_input
         .as_mut_slice()
         .par_chunks_mut(in_sz)
+        .zip(gw_all.par_chunks_mut(gw_sz))
         .enumerate()
-        .map(|(n, gi_n)| {
+        .for_each(|(n, (gi_n, gw_n))| {
             let go_n = &go[n * out_sz..(n + 1) * out_sz];
-            // grad wrt columns: W^T [cr, out_c] x grad_out [out_c, cc]
-            let mut gcol = vec![0.0f32; cr * cc];
+            // grad wrt columns: W^T [cr, out_c] x grad_out [out_c, cc].
+            // The GEMM fully overwrites gcol, so unspecified scratch
+            // contents are fine.
+            let mut gcol = scratch(cr * cc);
             gemm(w_t.as_slice(), go_n, &mut gcol, cr, d.out_c, cc);
             col2im(&gcol, &d, gi_n);
 
@@ -230,16 +242,13 @@ pub fn conv2d_backward(
             // transposed storage, so the NT GEMM variant reads it
             // directly instead of materializing a transposed copy per
             // sample.
-            let mut col = vec![0.0f32; cr * cc];
+            let mut col = scratch(cr * cc);
             im2col(&inp[n * in_sz..(n + 1) * in_sz], &d, &mut col);
-            let mut gw = vec![0.0f32; d.out_c * cr];
-            gemm_nt(go_n, &col, &mut gw, d.out_c, cc, cr);
-            gw
-        })
-        .collect();
+            gemm_nt(go_n, &col, gw_n, d.out_c, cc, cr);
+        });
 
     let mut grad_weight = Tensor::zeros(weight.dims());
-    for gw in &grad_w_partial {
+    for gw in gw_all.chunks_exact(gw_sz) {
         for (dst, &src) in grad_weight.as_mut_slice().iter_mut().zip(gw.iter()) {
             *dst += src;
         }
@@ -324,6 +333,15 @@ mod tests {
     fn resolve_rejects_oversized_kernel() {
         assert!(Conv2dDims::resolve(&[1, 1, 3, 3], &[1, 1, 7, 7], 1, 0).is_none());
         assert!(Conv2dDims::resolve(&[1, 1, 3, 3], &[1, 1, 7, 7], 1, 3).is_some());
+    }
+
+    #[test]
+    fn resolve_rejects_non_square_kernels_and_channel_mismatch() {
+        // Previously assert!-aborts; invalid candidates must be plain
+        // `None` rejections so the NAS sweep survives them.
+        assert!(Conv2dDims::resolve(&[1, 2, 8, 8], &[4, 2, 3, 5], 1, 1).is_none());
+        assert!(Conv2dDims::resolve(&[1, 2, 8, 8], &[4, 3, 3, 3], 1, 1).is_none());
+        assert!(Conv2dDims::resolve(&[1, 2, 8, 8], &[4, 2, 3, 3], 1, 1).is_some());
     }
 
     #[test]

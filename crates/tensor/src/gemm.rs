@@ -1,19 +1,93 @@
-//! Blocked, rayon-parallel single-precision GEMM.
+//! Packed, register-blocked single-precision GEMM with fused epilogues.
 //!
-//! `C = A (m x k) * B (k x n)` with row-major storage. The kernel tiles the
-//! `k` dimension for cache locality and parallelizes across rows of `C`
-//! (each row is written by exactly one task, so no synchronization is
-//! needed — the rayon "independent output partitions" idiom).
+//! `C = A (m x k) * B (k x n)` with row-major storage, structured the way
+//! high-performance BLAS implementations (BLIS/GotoBLAS) are: operands
+//! are repacked into cache-resident panels and the innermost computation
+//! is an `MR x NR` register tile the compiler keeps entirely in vector
+//! registers.
+//!
+//! ## Blocking
+//!
+//! * `NC`-wide column blocks of C/B (outer loop, bounds the B panel),
+//! * `KC`-deep k blocks (B panel of `KC x NC` floats stays L2-resident),
+//! * `MC`-tall row blocks of C/A (the unit of parallel work),
+//! * an `MR x NR` register-tile microkernel: `MR * NR` scalar
+//!   accumulators the compiler keeps in vector registers, so the hot
+//!   loop performs `MR * NR` multiply-adds per `MR + NR` loads and
+//!   touches memory for C only at tile boundaries.
+//!
+//! The microkernel shape is chosen once per process by CPU detection
+//! ([`kernel`]): a 6 x 16 AVX2+FMA instantiation (12 ymm accumulators,
+//! `mul_add` lowered to vfmadd) when the host supports it, else a
+//! portable 4 x 8 instantiation sized for SSE2's register file. Pack
+//! buffers come from the per-thread scratch arena ([`crate::arena`]),
+//! so steady-state GEMM calls allocate nothing.
+//!
+//! ## Determinism contract
+//!
+//! Every C element accumulates its k products in a fixed order: k blocks
+//! ascending, and within a block strictly ascending k (the microkernel
+//! holds one scalar accumulator per C element — no horizontal
+//! reductions). Row blocks are written by exactly one task each, and the
+//! kernel instantiation is fixed for the process lifetime, so results
+//! are bit-identical run-to-run and across worker counts on a given
+//! machine. Tiny problems take an unpacked path (packing overhead would
+//! dominate); path selection depends only on the shape, never on thread
+//! count.
+//!
+//! ## NaN transparency
+//!
+//! The kernel performs the full `2mkn` multiply-adds with no
+//! "skip zero operand" shortcuts: IEEE `0 * NaN = NaN`, so a NaN or Inf
+//! anywhere in the operands propagates to C. Divergence detection in the
+//! trainer (`Diverged` trial failures) depends on this.
 
+use crate::arena::scratch;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
+use std::sync::OnceLock;
 
-/// k-dimension tile, sized so one A-row tile + the B panel rows stay in L1/L2.
+/// k-block depth: one `KC x NC` B panel plus an `MC x KC` A panel stay
+/// cache-resident.
 const KC: usize = 256;
-/// Minimum `m * n` before the row loop fans out to rayon.
-const PAR_CELLS: usize = 16 * 1024;
+/// Column-block width (multiple of every kernel's `NR`).
+const NC: usize = 512;
+/// `m * k * n` below which the unpacked small-problem path runs.
+const SMALL_FLOPS: usize = 32 * 1024;
 
-/// Op accounting shared by both GEMM variants: one call, `2*m*k*n`
+/// Fused operation applied to C while the last k block is written back.
+#[derive(Clone, Copy)]
+enum Epilogue<'a> {
+    /// Plain `C = A * B`.
+    None,
+    /// `C = A * B + bias` (bias indexed by output column).
+    Bias(&'a [f32]),
+    /// `C = relu(A * B + bias)`.
+    BiasRelu(&'a [f32]),
+}
+
+impl Epilogue<'_> {
+    /// Applies the epilogue to one already-accumulated value.
+    #[inline(always)]
+    fn apply(&self, v: f32, col: usize) -> f32 {
+        match self {
+            Epilogue::None => v,
+            Epilogue::Bias(bias) => v + bias[col],
+            Epilogue::BiasRelu(bias) => (v + bias[col]).max(0.0),
+        }
+    }
+}
+
+/// Where the B operand lives.
+#[derive(Clone, Copy)]
+enum BSource<'a> {
+    /// `[k x n]` row-major.
+    RowMajor(&'a [f32]),
+    /// `[n x k]` row-major (i.e. B stored transposed).
+    Transposed(&'a [f32]),
+}
+
+/// Op accounting shared by all GEMM variants: one call, `2*m*k*n`
 /// multiply-add FLOPs, and the operand + result bytes. A pure telemetry
 /// side channel — gone after one branch when no session is active.
 #[inline]
@@ -27,6 +101,362 @@ fn record_gemm(m: usize, k: usize, n: usize) {
     }
 }
 
+/// Geometry of one packed row-block invocation: which slice of the
+/// problem this task computes and where it sits in the k schedule.
+#[derive(Clone, Copy)]
+struct BlockArgs {
+    /// Full problem k and n (operand strides).
+    k: usize,
+    n: usize,
+    /// Row-block origin and height.
+    ic: usize,
+    mc: usize,
+    /// k-block origin and depth.
+    pc: usize,
+    kc: usize,
+    /// Column-block origin and width.
+    jc: usize,
+    nc: usize,
+    /// First/last k block: overwrite vs accumulate, fuse epilogue.
+    first: bool,
+    last: bool,
+}
+
+/// One microkernel instantiation: the register-tile shape it was
+/// monomorphized for, the row-block height to parallelize over, and the
+/// monomorphized row-block driver. Selected once per process
+/// ([`kernel`]), so path choice never varies within a run — part of the
+/// determinism contract.
+#[derive(Clone, Copy)]
+struct Kernel {
+    /// Register tile width (columns of B per tile; the row-panel height
+    /// `MR` is baked into `block` by monomorphization).
+    nr: usize,
+    /// Row-block height, the unit of parallel work (multiple of `mr`).
+    mc: usize,
+    /// Computes one `mc x nc` row block from packed panels.
+    block: for<'a> fn(&[f32], &[f32], &mut [f32], BlockArgs, Epilogue<'a>),
+}
+
+/// Returns the per-process microkernel: AVX2+FMA 6x16 when the CPU
+/// supports it (12 ymm accumulators + broadcast + B loads fill the
+/// 16-register file), portable 4x8 otherwise (fits SSE2's 8 xmm with
+/// room to spare). Detection runs once; every GEMM in the process uses
+/// the same kernel, so results are bit-identical run-to-run.
+fn kernel() -> Kernel {
+    static KERNEL: OnceLock<Kernel> = OnceLock::new();
+    *KERNEL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Kernel {
+                nr: 16,
+                mc: 96,
+                block: row_block_avx2,
+            };
+        }
+        Kernel {
+            nr: 8,
+            mc: 64,
+            block: row_block_portable,
+        }
+    })
+}
+
+/// Packs `kc` steps of `mc` A rows (starting at `ic`, `pc`) into
+/// `ceil(mc/mr)` row panels; panel layout is k-major: step `kk` holds the
+/// `mr` row values contiguously. Rows past `mc` pad with zeros.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    a: &[f32],
+    out: &mut [f32],
+    k: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    mr: usize,
+) {
+    for (pi, panel) in out.chunks_exact_mut(mr * kc).enumerate() {
+        let r0 = ic + pi * mr;
+        let rows = mr.min(ic + mc - r0);
+        for (kk, dst) in panel.chunks_exact_mut(mr).enumerate() {
+            let col = pc + kk;
+            for (r, d) in dst.iter_mut().enumerate() {
+                *d = if r < rows { a[(r0 + r) * k + col] } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Packs `kc` steps of `nc` B columns (starting at `pc`, `jc`) into
+/// `ceil(nc/nr)` column panels; panel layout is k-major: step `kk` holds
+/// the `nr` column values contiguously. Columns past `nc` pad with zeros.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    src: BSource,
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    nr: usize,
+) {
+    for (pj, panel) in out.chunks_exact_mut(nr * kc).enumerate() {
+        let c0 = jc + pj * nr;
+        let cols = nr.min(jc + nc - c0);
+        match src {
+            BSource::RowMajor(b) => {
+                for (kk, dst) in panel.chunks_exact_mut(nr).enumerate() {
+                    let row = &b[(pc + kk) * n..][..n];
+                    for (cc, d) in dst.iter_mut().enumerate() {
+                        *d = if cc < cols { row[c0 + cc] } else { 0.0 };
+                    }
+                }
+            }
+            BSource::Transposed(bt) => {
+                for (kk, dst) in panel.chunks_exact_mut(nr).enumerate() {
+                    for (cc, d) in dst.iter_mut().enumerate() {
+                        *d = if cc < cols {
+                            bt[(c0 + cc) * k + pc + kk]
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The register tile: accumulates `kc` rank-1 updates into `MR x NR`
+/// scalar accumulators. Strictly ascending k per element — the
+/// determinism contract. With `FMA` the update is `mul_add`, which the
+/// enclosing `#[target_feature(fma)]` context lowers to a single
+/// hardware vfmadd (without that context it would be a libm call — the
+/// portable instantiation uses plain mul+add instead).
+#[inline(always)]
+fn micro_tile<const MR: usize, const NR: usize, const FMA: bool>(
+    a_panel: &[f32],
+    b_panel: &[f32],
+) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (a_k, b_k) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
+        let a_k: &[f32; MR] = a_k.try_into().unwrap();
+        let b_k: &[f32; NR] = b_k.try_into().unwrap();
+        for r in 0..MR {
+            let ar = a_k[r];
+            for c in 0..NR {
+                acc[r][c] = if FMA {
+                    ar.mul_add(b_k[c], acc[r][c])
+                } else {
+                    ar * b_k[c] + acc[r][c]
+                };
+            }
+        }
+    }
+    acc
+}
+
+/// Writes one microkernel tile into the C row block. `first` overwrites
+/// (the first k block needs no prior zeroing of C), later blocks
+/// accumulate; the epilogue is fused into the `last` block's store so no
+/// separate pass over C ever runs.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn store_tile<const MR: usize, const NR: usize>(
+    c_block: &mut [f32],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    acc: &[[f32; NR]; MR],
+    first: bool,
+    last: bool,
+    epi: Epilogue,
+) {
+    for (r, acc_row) in acc.iter().enumerate().take(mr_eff) {
+        let row = &mut c_block[(row0 + r) * n + col0..][..nr_eff];
+        for (j, cj) in row.iter_mut().enumerate() {
+            let mut v = acc_row[j];
+            if !first {
+                v += *cj;
+            }
+            if last {
+                v = epi.apply(v, col0 + j);
+            }
+            *cj = v;
+        }
+    }
+}
+
+/// Computes one `mc x nc` row block: packs its A panels, then sweeps the
+/// `MR x NR` register tiles. Monomorphized per kernel so the tile loops
+/// have constant bounds and vectorize.
+#[inline(always)]
+fn row_block_body<const MR: usize, const NR: usize, const FMA: bool>(
+    a: &[f32],
+    b_pack: &[f32],
+    c_block: &mut [f32],
+    g: BlockArgs,
+    epi: Epilogue,
+) {
+    let a_panels = g.mc.div_ceil(MR);
+    let mut a_pack = scratch(a_panels * MR * g.kc);
+    pack_a(a, &mut a_pack, g.k, g.ic, g.mc, g.pc, g.kc, MR);
+    let b_panels = g.nc.div_ceil(NR);
+    for pj in 0..b_panels {
+        let b_panel = &b_pack[pj * NR * g.kc..][..NR * g.kc];
+        let col0 = g.jc + pj * NR;
+        let nr_eff = NR.min(g.jc + g.nc - col0);
+        for pi in 0..a_panels {
+            let a_panel = &a_pack[pi * MR * g.kc..][..MR * g.kc];
+            let row0 = pi * MR;
+            let mr_eff = MR.min(g.mc - row0);
+            let acc = micro_tile::<MR, NR, FMA>(a_panel, b_panel);
+            store_tile::<MR, NR>(
+                c_block, g.n, row0, col0, mr_eff, nr_eff, &acc, g.first, g.last, epi,
+            );
+        }
+    }
+}
+
+/// Baseline instantiation: 4x8 tiles, plain mul+add. Correct on every
+/// target the workspace builds for.
+fn row_block_portable(a: &[f32], b_pack: &[f32], c_block: &mut [f32], g: BlockArgs, epi: Epilogue) {
+    row_block_body::<4, 8, false>(a, b_pack, c_block, g, epi);
+}
+
+/// AVX2+FMA instantiation: 6x16 tiles, `mul_add` lowered to vfmadd. The
+/// `#[target_feature]` context lets the compiler use ymm registers and
+/// FMA throughout the inlined body.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn row_block_avx2_impl(
+    a: &[f32],
+    b_pack: &[f32],
+    c_block: &mut [f32],
+    g: BlockArgs,
+    epi: Epilogue,
+) {
+    row_block_body::<6, 16, true>(a, b_pack, c_block, g, epi);
+}
+
+/// Safe shim around the AVX2 kernel. Only ever installed by [`kernel`]
+/// after `is_x86_feature_detected!` confirms avx2+fma, which is exactly
+/// the safety contract of the `#[target_feature]` function.
+#[cfg(target_arch = "x86_64")]
+fn row_block_avx2(a: &[f32], b_pack: &[f32], c_block: &mut [f32], g: BlockArgs, epi: Epilogue) {
+    unsafe { row_block_avx2_impl(a, b_pack, c_block, g, epi) }
+}
+
+/// The packed path: NC/KC/MC blocking around the microkernel, row blocks
+/// fanned out as independent parallel tasks.
+fn gemm_packed(a: &[f32], b: BSource, c: &mut [f32], m: usize, k: usize, n: usize, epi: Epilogue) {
+    let kern = kernel();
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let b_panels = nc.div_ceil(kern.nr);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let first = pc == 0;
+            let last = pc + kc == k;
+            // B panel packed once per (jc, pc) on the calling thread,
+            // read-shared by every row task.
+            let mut b_pack = scratch(b_panels * kern.nr * kc);
+            pack_b(b, &mut b_pack, k, n, pc, kc, jc, nc, kern.nr);
+            let b_pack = &b_pack[..];
+            c.par_chunks_mut(kern.mc * n)
+                .enumerate()
+                .for_each(|(bi, c_block)| {
+                    let ic = bi * kern.mc;
+                    let mc = kern.mc.min(m - ic);
+                    let g = BlockArgs {
+                        k,
+                        n,
+                        ic,
+                        mc,
+                        pc,
+                        kc,
+                        jc,
+                        nc,
+                        first,
+                        last,
+                    };
+                    (kern.block)(a, b_pack, c_block, g, epi);
+                });
+        }
+    }
+}
+
+/// Unpacked path for problems too small to amortize packing. Same
+/// per-element ascending-k accumulation; no zero-operand shortcuts.
+fn gemm_small(a: &[f32], b: BSource, c: &mut [f32], k: usize, n: usize, epi: Epilogue) {
+    match b {
+        BSource::RowMajor(b) => {
+            for (i, c_row) in c.chunks_exact_mut(n).enumerate() {
+                c_row.fill(0.0);
+                let a_row = &a[i * k..(i + 1) * k];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    let b_row = &b[kk * n..kk * n + n];
+                    for (cj, &bj) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cj += aik * bj;
+                    }
+                }
+                for (j, cj) in c_row.iter_mut().enumerate() {
+                    *cj = epi.apply(*cj, j);
+                }
+            }
+        }
+        BSource::Transposed(bt) => {
+            for (i, c_row) in c.chunks_exact_mut(n).enumerate() {
+                let a_row = &a[i * k..(i + 1) * k];
+                for (j, cj) in c_row.iter_mut().enumerate() {
+                    let b_row = &bt[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                        acc += av * bv;
+                    }
+                    *cj = epi.apply(acc, j);
+                }
+            }
+        }
+    }
+}
+
+/// Shared entry: shape-dispatches between the packed and small paths and
+/// handles degenerate extents.
+fn gemm_dispatch(
+    a: &[f32],
+    b: BSource,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // Empty inner dimension: C is the epilogue of zero.
+        for row in c.chunks_exact_mut(n) {
+            for (j, cj) in row.iter_mut().enumerate() {
+                *cj = epi.apply(0.0, j);
+            }
+        }
+        return;
+    }
+    if m * k * n < SMALL_FLOPS {
+        gemm_small(a, b, c, k, n, epi);
+    } else {
+        gemm_packed(a, b, c, m, k, n, epi);
+    }
+}
+
 /// Matrix multiply of raw row-major slices: `c[m x n] = a[m x k] * b[k x n]`.
 ///
 /// `c` is overwritten (not accumulated into).
@@ -35,89 +465,59 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(b.len(), k * n, "B size mismatch");
     assert_eq!(c.len(), m * n, "C size mismatch");
     record_gemm(m, k, n);
-    c.fill(0.0);
-
-    let row_body = |i: usize, c_row: &mut [f32]| {
-        let a_row = &a[i * k..(i + 1) * k];
-        let mut k0 = 0;
-        while k0 < k {
-            let k1 = (k0 + KC).min(k);
-            for kk in k0..k1 {
-                let aik = a_row[kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..kk * n + n];
-                // Innermost loop is a saxpy over contiguous memory, which
-                // the compiler auto-vectorizes.
-                for (cj, &bj) in c_row.iter_mut().zip(b_row.iter()) {
-                    *cj += aik * bj;
-                }
-            }
-            k0 = k1;
-        }
-    };
-
-    if m * n >= PAR_CELLS && m > 1 {
-        c.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, c_row)| row_body(i, c_row));
-    } else {
-        for (i, c_row) in c.chunks_mut(n).enumerate() {
-            row_body(i, c_row);
-        }
-    }
+    gemm_dispatch(a, BSource::RowMajor(b), c, m, k, n, Epilogue::None);
 }
 
 /// Matrix multiply with the right operand stored transposed:
 /// `c[m x n] = a[m x k] * b_t^T` where `b_t` is `[n x k]` row-major.
 ///
-/// Both operands stream contiguously (each output element is a dot
-/// product of an A row with a `b_t` row), so callers that would
-/// otherwise materialize a transposed copy of B — conv2d's
-/// weight-gradient GEMM against the im2col matrix — skip the transpose
-/// allocation entirely.
+/// Callers that would otherwise materialize a transposed copy of B —
+/// conv2d's weight-gradient GEMM against the im2col matrix — pack
+/// straight from the transposed storage instead.
 pub fn gemm_nt(a: &[f32], b_t: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "A size mismatch");
     assert_eq!(b_t.len(), n * k, "B^T size mismatch");
     assert_eq!(c.len(), m * n, "C size mismatch");
     record_gemm(m, k, n);
-
-    let row_body = |i: usize, c_row: &mut [f32]| {
-        let a_row = &a[i * k..(i + 1) * k];
-        for (j, cj) in c_row.iter_mut().enumerate() {
-            let b_row = &b_t[j * k..(j + 1) * k];
-            // Contiguous dot product; auto-vectorizes like the saxpy in
-            // `gemm` and accumulates in the same k order, so results
-            // match the transpose-then-gemm path bit for bit.
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                acc += av * bv;
-            }
-            *cj = acc;
-        }
-    };
-
-    if m * n >= PAR_CELLS && m > 1 {
-        c.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, c_row)| row_body(i, c_row));
-    } else {
-        for (i, c_row) in c.chunks_mut(n).enumerate() {
-            row_body(i, c_row);
-        }
-    }
+    gemm_dispatch(a, BSource::Transposed(b_t), c, m, k, n, Epilogue::None);
 }
 
-/// GEMM with a per-output-column bias: `c = a * b + bias` (bias length `n`).
+/// GEMM with a per-output-column bias: `c = a * b + bias` (bias length
+/// `n`), fused into the final write-back — no second pass over C.
 pub fn gemm_bias(a: &[f32], b: &[f32], bias: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
     assert_eq!(bias.len(), n, "bias length mismatch");
-    gemm(a, b, c, m, k, n);
-    for row in c.chunks_mut(n) {
-        for (v, &bv) in row.iter_mut().zip(bias.iter()) {
-            *v += bv;
-        }
-    }
+    record_gemm(m, k, n);
+    gemm_dispatch(a, BSource::RowMajor(b), c, m, k, n, Epilogue::Bias(bias));
+}
+
+/// GEMM with bias and ReLU fused into the final write-back:
+/// `c = max(0, a * b + bias)` — the inference-style fused linear layer.
+pub fn gemm_bias_relu(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    assert_eq!(bias.len(), n, "bias length mismatch");
+    record_gemm(m, k, n);
+    gemm_dispatch(
+        a,
+        BSource::RowMajor(b),
+        c,
+        m,
+        k,
+        n,
+        Epilogue::BiasRelu(bias),
+    );
 }
 
 impl Tensor {
@@ -189,8 +589,8 @@ mod tests {
     }
 
     #[test]
-    fn large_spans_k_tiles_and_parallel_path() {
-        let (m, k, n) = (64, KC + 33, 70); // m*n > PAR_CELLS? 64*70=4480 no; force via k tiles
+    fn large_spans_k_tiles_and_packed_path() {
+        let (m, k, n) = (64, KC + 33, 70);
         let a: Vec<f32> = (0..m * k).map(|v| ((v % 13) as f32) * 0.25 - 1.0).collect();
         let b: Vec<f32> = (0..k * n).map(|v| ((v % 7) as f32) * 0.5 - 1.5).collect();
         let mut c = vec![0.0; m * n];
@@ -202,8 +602,8 @@ mod tests {
     }
 
     #[test]
-    fn parallel_path_matches_naive() {
-        let (m, k, n) = (130, 20, 140); // m*n = 18200 > PAR_CELLS
+    fn packed_path_matches_naive() {
+        let (m, k, n) = (130, 20, 140);
         let a: Vec<f32> = (0..m * k).map(|v| ((v % 23) as f32) * 0.1).collect();
         let b: Vec<f32> = (0..k * n).map(|v| ((v % 19) as f32) * 0.2 - 1.0).collect();
         let mut c = vec![0.0; m * n];
@@ -235,8 +635,8 @@ mod tests {
     }
 
     #[test]
-    fn gemm_nt_parallel_path_matches_naive() {
-        let (m, k, n) = (130, 20, 140); // m*n = 18200 > PAR_CELLS
+    fn gemm_nt_packed_path_matches_naive() {
+        let (m, k, n) = (130, 20, 140);
         let a: Vec<f32> = (0..m * k).map(|v| ((v % 23) as f32) * 0.1).collect();
         let b_t: Vec<f32> = (0..n * k).map(|v| ((v % 19) as f32) * 0.2 - 1.0).collect();
         let mut b = vec![0.0; k * n];
@@ -261,6 +661,76 @@ mod tests {
         let mut c = [0.0; 4];
         gemm_bias(&a, &b, &bias, &mut c, 2, 2, 2);
         assert_eq!(c, [11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn gemm_bias_relu_clamps_negatives() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [1.0, -2.0, 3.0, -4.0];
+        let bias = [0.5, 1.0];
+        let mut c = [0.0; 4];
+        gemm_bias_relu(&a, &b, &bias, &mut c, 2, 2, 2);
+        assert_eq!(c, [1.5, 0.0, 3.5, 0.0]);
+    }
+
+    #[test]
+    fn bias_epilogue_matches_unfused_on_packed_shapes() {
+        let (m, k, n) = (40, 300, 60); // spans two k blocks, packed path
+        let a: Vec<f32> = (0..m * k).map(|v| ((v % 13) as f32) * 0.1 - 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|v| ((v % 17) as f32) * 0.1 - 0.8).collect();
+        let bias: Vec<f32> = (0..n).map(|v| v as f32 * 0.01).collect();
+        let mut fused = vec![0.0; m * n];
+        gemm_bias(&a, &b, &bias, &mut fused, m, k, n);
+        let mut unfused = vec![0.0; m * n];
+        gemm(&a, &b, &mut unfused, m, k, n);
+        for (row, want) in unfused.chunks_exact_mut(n).zip(fused.chunks_exact(n)) {
+            for ((v, &bv), &w) in row.iter_mut().zip(bias.iter()).zip(want.iter()) {
+                *v += bv;
+                assert_eq!(*v, w, "fused bias must be bit-identical to unfused");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_in_b_propagates_through_zero_a_entry() {
+        // Regression: the old kernel skipped `a[i][kk] == 0.0` entries,
+        // silently masking NaN/Inf in B (IEEE: 0 * NaN = NaN). Divergence
+        // detection depends on NaN reaching C.
+        let (m, k, n) = (2, 3, 2);
+        let a = [0.0, 1.0, 2.0, 0.0, 0.0, 0.0];
+        let mut b = vec![1.0f32; k * n];
+        b[0] = f32::NAN; // row 0 of B, hit only through a zero A entry in row 1
+        let mut c = vec![0.0; m * n];
+        gemm(&a, &b, &mut c, m, k, n);
+        assert!(
+            c[0].is_nan() && c[2].is_nan(),
+            "0 * NaN must reach C, got {c:?}"
+        );
+        assert_eq!(c[3], 0.0, "NaN is confined to the column that holds it");
+        // And on the packed path.
+        let (m, k, n) = (32, 64, 48);
+        let a = vec![0.0f32; m * k];
+        let mut b = vec![1.0f32; k * n];
+        b[5] = f32::NAN;
+        let mut c = vec![0.0; m * n];
+        gemm(&a, &b, &mut c, m, k, n);
+        assert!(
+            c.iter().any(|v| v.is_nan()),
+            "packed path must propagate NaN through zero A"
+        );
+    }
+
+    #[test]
+    fn zero_inner_dimension_yields_epilogue_of_zero() {
+        let a: [f32; 0] = [];
+        let b: [f32; 0] = [];
+        let bias = [1.0, -2.0];
+        let mut c = [9.0; 4];
+        gemm_bias(&a, &b, &bias, &mut c, 2, 0, 2);
+        assert_eq!(c, [1.0, -2.0, 1.0, -2.0]);
+        let mut c = [9.0; 4];
+        gemm(&a, &b, &mut c, 2, 0, 2);
+        assert_eq!(c, [0.0; 4]);
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! HydroNAS reproduction. Everything is `f32`, row-major (C-contiguous), and
 //! CPU-only; heavy inner loops are parallelized with rayon across the
 //! outermost independent dimension (batch or output channel), following the
-//! data-parallel iterator idiom.
+//! data-parallel iterator idiom. The GEMM at the bottom of the stack is a
+//! packed, register-blocked kernel ([`gemm`]) with fused bias/ReLU
+//! epilogues, and kernel workspaces come from per-thread scratch arenas
+//! ([`arena`]) so the steady-state training loop performs no per-sample
+//! heap allocations.
 //!
 //! ## Quick example
 //!
@@ -23,6 +27,7 @@
 //! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
 //! ```
 
+pub mod arena;
 mod conv;
 mod gemm;
 mod init;
@@ -31,8 +36,9 @@ mod pool;
 mod shape;
 mod tensor;
 
+pub use arena::{scratch, scratch_zeroed, Scratch};
 pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dDims};
-pub use gemm::{gemm, gemm_bias, gemm_nt};
+pub use gemm::{gemm, gemm_bias, gemm_bias_relu, gemm_nt};
 pub use init::{kaiming_normal, kaiming_uniform, uniform, TensorRng};
 pub use pool::{avg_pool2d_global, max_pool2d, max_pool2d_backward, PoolDims};
 pub use shape::{conv_out_dim, Shape};

@@ -20,7 +20,10 @@ pub struct PoolDims {
 
 impl PoolDims {
     /// Validates and computes output extents; `None` when the window does
-    /// not fit.
+    /// not fit or the padding is oversized (`padding > kernel / 2` would
+    /// let all-padding windows win the max). Invalid geometry is a
+    /// candidate-rejection condition for the NAS scheduler, never a
+    /// panic.
     pub fn resolve(
         input_dims: &[usize],
         kernel: usize,
@@ -28,7 +31,9 @@ impl PoolDims {
         padding: usize,
     ) -> Option<PoolDims> {
         assert_eq!(input_dims.len(), 4, "pool input must be NCHW");
-        assert!(padding <= kernel / 2, "pool padding must be <= kernel/2");
+        if padding > kernel / 2 {
+            return None;
+        }
         let out_h = conv_out_dim(input_dims[2], kernel, stride, padding)?;
         let out_w = conv_out_dim(input_dims[3], kernel, stride, padding)?;
         Some(PoolDims {
@@ -274,5 +279,14 @@ mod tests {
     fn window_that_does_not_fit_is_rejected() {
         assert!(PoolDims::resolve(&[1, 1, 2, 2], 3, 2, 0).is_none());
         assert!(PoolDims::resolve(&[1, 1, 2, 2], 3, 2, 1).is_some());
+    }
+
+    #[test]
+    fn oversized_padding_is_rejected_not_a_panic() {
+        // padding > kernel/2: previously an assert!-abort, now a regular
+        // invalid-candidate rejection.
+        assert!(PoolDims::resolve(&[1, 1, 8, 8], 2, 2, 2).is_none());
+        assert!(PoolDims::resolve(&[1, 1, 8, 8], 3, 2, 2).is_none());
+        assert!(PoolDims::resolve(&[1, 1, 8, 8], 3, 2, 1).is_some());
     }
 }

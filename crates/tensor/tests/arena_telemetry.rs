@@ -1,0 +1,52 @@
+//! Arena-reuse telemetry: after a warmup pass, the conv2d/backward hot
+//! loops must perform zero per-sample heap allocations — `misses` stays
+//! frozen while `hits`/`bytes_reused` keep growing.
+//!
+//! Lives in its own integration binary: telemetry counters are
+//! process-global, so no other kernel-calling test may share the
+//! process while the session is active.
+
+use hydronas_tensor::{conv2d, conv2d_backward, uniform, Tensor, TensorRng};
+
+#[test]
+fn conv_loops_allocate_nothing_per_sample_once_warm() {
+    let mut rng = TensorRng::seed_from_u64(42);
+    let input = uniform(&[4, 3, 16, 16], -1.0, 1.0, &mut rng);
+    let weight = uniform(&[8, 3, 3, 3], -0.5, 0.5, &mut rng);
+
+    let session = hydronas_telemetry::session();
+
+    // Warmup: populates each thread's arena pool (first checkouts miss).
+    let out = conv2d(&input, &weight, 1, 1);
+    let grad_out = Tensor::ones(out.dims());
+    conv2d_backward(&input, &weight, &grad_out, 1, 1);
+    let warm = session.metrics();
+    let warm_misses = warm.counters.get("tensor.arena.misses").copied().unwrap();
+    let warm_hits = warm.counters.get("tensor.arena.hits").copied().unwrap_or(0);
+    assert!(warm_misses > 0, "first checkouts must allocate");
+
+    // Steady state: identical shapes, so every checkout must be a hit.
+    for _ in 0..5 {
+        let out = conv2d(&input, &weight, 1, 1);
+        conv2d_backward(&input, &weight, &grad_out, 1, 1);
+        drop(out);
+    }
+    let steady = session.metrics();
+    let steady_misses = steady.counters.get("tensor.arena.misses").copied().unwrap();
+    let steady_hits = steady.counters.get("tensor.arena.hits").copied().unwrap();
+    let bytes_reused = steady
+        .counters
+        .get("tensor.arena.bytes_reused")
+        .copied()
+        .unwrap();
+
+    assert_eq!(
+        steady_misses, warm_misses,
+        "steady-state conv loops must not allocate scratch"
+    );
+    assert!(
+        steady_hits > warm_hits,
+        "steady-state checkouts must be served from the arena"
+    );
+    assert!(bytes_reused > 0, "reuse must be accounted in bytes");
+}

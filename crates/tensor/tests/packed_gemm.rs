@@ -1,0 +1,160 @@
+//! Property-style validation of the packed GEMM against a naive
+//! reference: randomized shapes (including tails smaller than one
+//! register block), the transposed-B variant, fused epilogues, and the
+//! determinism contract (bit-identical output run-to-run and across
+//! concurrent callers on independent threads).
+
+use hydronas_tensor::{approx_eq, gemm, gemm_bias, gemm_bias_relu, gemm_nt, uniform, TensorRng};
+
+fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+fn random_operands(m: usize, k: usize, n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    let a = uniform(&[m * k], -1.0, 1.0, &mut rng).as_slice().to_vec();
+    let b = uniform(&[k * n], -1.0, 1.0, &mut rng).as_slice().to_vec();
+    (a, b)
+}
+
+/// Shapes chosen to cross every dispatch boundary: the small-problem
+/// path, the packed path, k spanning multiple KC=256 blocks, n spanning
+/// multiple NC=512 blocks, and m/n tails of 1..7 — smaller than the
+/// 4x8 register tile.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (3, 5, 7),
+    (4, 8, 8),
+    (5, 2000, 5),   // packed path, both dims a single partial panel
+    (65, 300, 33),  // one-row m tail, one-col n tail, two k blocks
+    (64, 256, 64),  // exact multiples everywhere
+    (67, 513, 70),  // k tail of 1 across the KC boundary
+    (12, 100, 515), // n crosses the NC=512 block boundary
+    (130, 31, 140), // wide-ish with odd k
+    (96, 96, 96),
+];
+
+#[test]
+fn randomized_shapes_match_naive_reference() {
+    for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let (a, b) = random_operands(m, k, n, 1000 + case as u64);
+        let mut c = vec![0.0; m * n];
+        gemm(&a, &b, &mut c, m, k, n);
+        let want = naive(&a, &b, m, k, n);
+        for (i, (x, y)) in c.iter().zip(want.iter()).enumerate() {
+            assert!(
+                approx_eq(*x, *y, 1e-3),
+                "shape ({m},{k},{n}) elem {i}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn randomized_shapes_match_naive_for_transposed_b() {
+    for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let (a, b) = random_operands(m, k, n, 2000 + case as u64);
+        let mut b_t = vec![0.0; n * k];
+        for r in 0..k {
+            for c in 0..n {
+                b_t[c * k + r] = b[r * n + c];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_nt(&a, &b_t, &mut c, m, k, n);
+        let want = naive(&a, &b, m, k, n);
+        for (i, (x, y)) in c.iter().zip(want.iter()).enumerate() {
+            assert!(
+                approx_eq(*x, *y, 1e-3),
+                "shape ({m},{k},{n}) elem {i}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_epilogues_match_unfused_bit_for_bit() {
+    for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let (a, b) = random_operands(m, k, n, 3000 + case as u64);
+        let mut rng = TensorRng::seed_from_u64(4000 + case as u64);
+        let bias = uniform(&[n], -0.5, 0.5, &mut rng).as_slice().to_vec();
+
+        let mut plain = vec![0.0; m * n];
+        gemm(&a, &b, &mut plain, m, k, n);
+        let mut fused = vec![0.0; m * n];
+        gemm_bias(&a, &b, &bias, &mut fused, m, k, n);
+        let mut fused_relu = vec![0.0; m * n];
+        gemm_bias_relu(&a, &b, &bias, &mut fused_relu, m, k, n);
+
+        for i in 0..m * n {
+            let want = plain[i] + bias[i % n];
+            assert_eq!(fused[i], want, "shape ({m},{k},{n}) elem {i}");
+            assert_eq!(fused_relu[i], want.max(0.0), "shape ({m},{k},{n}) elem {i}");
+        }
+    }
+}
+
+#[test]
+fn results_are_bit_identical_run_to_run() {
+    for (case, &(m, k, n)) in SHAPES.iter().enumerate() {
+        let (a, b) = random_operands(m, k, n, 5000 + case as u64);
+        let mut c1 = vec![0.0; m * n];
+        gemm(&a, &b, &mut c1, m, k, n);
+        let mut c2 = vec![7.0; m * n]; // dirty C: kernel must fully overwrite
+        gemm(&a, &b, &mut c2, m, k, n);
+        assert_eq!(c1, c2, "shape ({m},{k},{n})");
+    }
+}
+
+#[test]
+fn results_are_bit_identical_across_concurrent_worker_threads() {
+    // The NAS worker pool runs GEMMs on many OS threads at once, each
+    // with its own scratch arena. Every thread must produce exactly the
+    // serial result — the fixed k-accumulation-order contract.
+    let (m, k, n) = (67, 513, 129); // packed path, tails in every dimension
+    let (a, b) = random_operands(m, k, n, 6000);
+    let mut serial = vec![0.0; m * n];
+    gemm(&a, &b, &mut serial, m, k, n);
+
+    let results: Vec<Vec<f32>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut c = vec![0.0; m * n];
+                    // Twice per thread so the second call runs on a warm
+                    // (reused) arena.
+                    gemm(&a, &b, &mut c, m, k, n);
+                    gemm(&a, &b, &mut c, m, k, n);
+                    c
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (t, c) in results.iter().enumerate() {
+        assert_eq!(c, &serial, "thread {t} diverged from the serial result");
+    }
+}
+
+#[test]
+fn inf_propagates_like_nan() {
+    let (m, k, n) = (40, 280, 50); // packed path
+    let (a, mut b) = random_operands(m, k, n, 7000);
+    b[3] = f32::INFINITY;
+    let mut c = vec![0.0; m * n];
+    gemm(&a, &b, &mut c, m, k, n);
+    assert!(
+        c.iter().any(|v| !v.is_finite()),
+        "Inf in B must reach C even through zero/denormal A entries"
+    );
+}
