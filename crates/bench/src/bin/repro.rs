@@ -10,14 +10,59 @@
 //! repro --out DIR            # artifact directory (default repro_out)
 //! repro --resume JOURNAL     # write-ahead journal: resume a killed sweep
 //! repro --progress           # live sweep progress on stderr
+//! repro --trial-timeout SECS # fail trials over this simulated budget
+//! repro --max-wall SECS      # skip trials past this simulated deadline
 //! repro --trace PATH         # Chrome-trace (chrome://tracing / Perfetto)
 //! repro --metrics PATH       # telemetry counters/series + sweep stats
 //! repro --quiet              # errors only on stderr
 //! ```
+//!
+//! Ctrl-C cancels cooperatively: in-flight trials drain, the journal
+//! flushes, and partial artifacts are written with a degradation
+//! summary — re-run with the same `--resume` journal to continue.
 
 use hydronas::prelude::*;
 use hydronas_telemetry::{log_error, log_info, log_warn};
 use std::path::PathBuf;
+
+/// Cooperative Ctrl-C: the handler performs exactly one async-signal-safe
+/// atomic store through a process-global [`CancelToken`], and the sweep's
+/// workers observe it between trials.
+#[cfg(unix)]
+mod ctrl_c {
+    use hydronas::prelude::CancelToken;
+    use std::sync::OnceLock;
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+    extern "C" fn on_sigint(_signum: i32) {
+        if let Some(token) = TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    /// Routes SIGINT to `token`. Raw `signal(2)` keeps the binary free of
+    /// any FFI crate dependency.
+    pub fn install(token: CancelToken) {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        let _ = TOKEN.set(token);
+        let handler = on_sigint as extern "C" fn(i32);
+        unsafe {
+            signal(SIGINT, handler as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod ctrl_c {
+    use hydronas::prelude::CancelToken;
+
+    /// No signal plumbing off Unix; the token still works programmatically.
+    pub fn install(_token: CancelToken) {}
+}
 
 struct Args {
     table: Option<usize>,
@@ -29,12 +74,14 @@ struct Args {
     out: PathBuf,
     resume: Option<PathBuf>,
     progress: bool,
+    trial_timeout_s: Option<f64>,
+    max_wall_s: Option<f64>,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     quiet: bool,
 }
 
-const USAGE: &str = "usage: repro [--all|--table N|--figure N|--discussion|--ablation|--report] [--out DIR] [--resume JOURNAL] [--progress] [--trace PATH] [--metrics PATH] [--quiet]";
+const USAGE: &str = "usage: repro [--all|--table N|--figure N|--discussion|--ablation|--report] [--out DIR] [--resume JOURNAL] [--progress] [--trial-timeout SECS] [--max-wall SECS] [--trace PATH] [--metrics PATH] [--quiet]";
 
 fn usage_exit(problem: &str) -> ! {
     eprintln!("{problem}");
@@ -53,6 +100,8 @@ fn parse_args() -> Args {
         out: PathBuf::from("repro_out"),
         resume: None,
         progress: false,
+        trial_timeout_s: None,
+        max_wall_s: None,
         trace: None,
         metrics: None,
         quiet: false,
@@ -91,6 +140,24 @@ fn parse_args() -> Args {
                     })))
             }
             "--progress" => args.progress = true,
+            "--trial-timeout" => {
+                args.trial_timeout_s = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s: &f64| *s > 0.0)
+                        .unwrap_or_else(|| {
+                            usage_exit("--trial-timeout needs a positive seconds value")
+                        }),
+                )
+            }
+            "--max-wall" => {
+                args.max_wall_s = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s: &f64| *s > 0.0)
+                        .unwrap_or_else(|| usage_exit("--max-wall needs a positive seconds value")),
+                )
+            }
             "--trace" => {
                 args.trace = Some(PathBuf::from(
                     it.next()
@@ -143,12 +210,32 @@ fn main() {
     } else {
         None
     };
+    let cancel = CancelToken::new();
+    ctrl_c::install(cancel.clone());
+    let mut ctrl = RunControl::default().with_cancel(cancel);
+    if let Some(journal) = &args.resume {
+        ctrl = ctrl.with_journal(journal);
+    }
+    if let Some(limit_s) = args.trial_timeout_s {
+        ctrl = ctrl.with_trial_timeout_s(limit_s);
+    }
+    if let Some(budget_s) = args.max_wall_s {
+        ctrl = ctrl.with_max_wall_s(budget_s);
+    }
     let artifacts = ReproConfig::default()
-        .run_with(args.resume.as_deref(), sink)
+        .run_controlled(&ctrl, sink)
         .unwrap_or_else(|e| {
             log_error!("cannot use journal: {e}");
             std::process::exit(1);
         });
+    if artifacts.degradation.is_degraded() {
+        for line in artifacts.degradation.summary().lines() {
+            log_warn!("sweep degraded: {line}");
+        }
+        if artifacts.degradation.cancelled {
+            log_warn!("cancelled: artifacts below are partial; re-run with --resume to continue");
+        }
+    }
 
     // The sweep itself runs the surrogate evaluator; a miniature real
     // training pass fills the telemetry snapshot with genuine kernel

@@ -1,0 +1,148 @@
+//! The workspace-level error type.
+//!
+//! Every subsystem exposes its own focused error enum ([`SweepError`]
+//! for the sweep engine, [`GraphError`] / [`OnnxError`] for model
+//! construction and serialization, [`MetricsError`] for the
+//! graph-metrics cache, [`ModelImportError`] for weight import).
+//! [`HydroNasError`] rolls them into one facade-level
+//! type so end-to-end callers — the pipeline, the `repro` binary, user
+//! code built on the prelude — can use `?` across subsystem boundaries
+//! without flattening everything to strings.
+//!
+//! ```
+//! use hydronas::HydroNasError;
+//!
+//! fn import(blob: &[u8]) -> Result<hydronas_nn::ResNet, HydroNasError> {
+//!     Ok(hydronas_nn::ResNet::import(blob)?)
+//! }
+//!
+//! let err = match import(b"not a model") {
+//!     Err(err) => err,
+//!     Ok(_) => unreachable!("garbage must not import"),
+//! };
+//! assert!(matches!(err, HydroNasError::Import(_)));
+//! assert!(std::error::Error::source(&err).is_some());
+//! ```
+
+use hydronas_graph::{GraphError, OnnxError};
+use hydronas_nas::{MetricsError, SweepError};
+use hydronas_nn::ModelImportError;
+
+/// Any failure the HydroNAS stack can surface to an end-to-end caller.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm, so new
+/// subsystem errors can join without a breaking change.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HydroNasError {
+    /// The sweep engine failed (journal I/O, stale journal).
+    Sweep(SweepError),
+    /// An architecture would not build into a model graph.
+    Graph(GraphError),
+    /// An ONNX-like blob would not serialize or deserialize.
+    Onnx(OnnxError),
+    /// A cached graph-metrics lookup failed (carries the architecture).
+    Metrics(MetricsError),
+    /// Weights would not import into a model.
+    Import(ModelImportError),
+    /// Filesystem I/O outside the sweep engine (artifact writing).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HydroNasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HydroNasError::Sweep(e) => write!(f, "sweep: {e}"),
+            HydroNasError::Graph(e) => write!(f, "graph: {e}"),
+            HydroNasError::Onnx(e) => write!(f, "onnx: {e}"),
+            HydroNasError::Metrics(e) => write!(f, "metrics: {e}"),
+            HydroNasError::Import(e) => write!(f, "import: {e}"),
+            HydroNasError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HydroNasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HydroNasError::Sweep(e) => Some(e),
+            HydroNasError::Graph(e) => Some(e),
+            HydroNasError::Onnx(e) => Some(e),
+            HydroNasError::Metrics(e) => Some(e),
+            HydroNasError::Import(e) => Some(e),
+            HydroNasError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<SweepError> for HydroNasError {
+    fn from(e: SweepError) -> HydroNasError {
+        HydroNasError::Sweep(e)
+    }
+}
+
+impl From<GraphError> for HydroNasError {
+    fn from(e: GraphError) -> HydroNasError {
+        HydroNasError::Graph(e)
+    }
+}
+
+impl From<OnnxError> for HydroNasError {
+    fn from(e: OnnxError) -> HydroNasError {
+        HydroNasError::Onnx(e)
+    }
+}
+
+impl From<MetricsError> for HydroNasError {
+    fn from(e: MetricsError) -> HydroNasError {
+        HydroNasError::Metrics(e)
+    }
+}
+
+impl From<ModelImportError> for HydroNasError {
+    fn from(e: ModelImportError) -> HydroNasError {
+        HydroNasError::Import(e)
+    }
+}
+
+impl From<std::io::Error> for HydroNasError {
+    fn from(e: std::io::Error) -> HydroNasError {
+        HydroNasError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_displays_with_a_subsystem_prefix_and_a_source() {
+        let cases: Vec<(HydroNasError, &str)> = vec![
+            (
+                SweepError::StaleJournal {
+                    path: "j.jsonl".into(),
+                    trial_id: 7,
+                }
+                .into(),
+                "sweep:",
+            ),
+            (OnnxError::BadMagic.into(), "onnx:"),
+            (
+                std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into(),
+                "io:",
+            ),
+        ];
+        for (err, prefix) in cases {
+            let msg = err.to_string();
+            assert!(msg.starts_with(prefix), "{msg:?} missing {prefix:?}");
+            assert!(std::error::Error::source(&err).is_some(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn the_inner_error_stays_reachable_through_source() {
+        let err: HydroNasError = OnnxError::Truncated.into();
+        let source = std::error::Error::source(&err).unwrap();
+        assert_eq!(source.to_string(), OnnxError::Truncated.to_string());
+    }
+}

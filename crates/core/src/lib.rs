@@ -41,19 +41,62 @@
 //! let memory_mb = serialized_size_bytes(&graph) as f64 / 1e6;
 //! assert!(latency.mean_ms > 0.0 && memory_mb > 11.0);
 //! ```
+//!
+//! ## Running a sweep
+//!
+//! The sweep engine is driven through [`Sweep::builder`](hydronas_nas::Sweep::builder):
+//! trials, evaluator, retry policy, journaling, cancellation, deadlines
+//! and chaos injection are all `with_*` options, and the report carries
+//! a structured [`DegradationReport`](hydronas_nas::DegradationReport)
+//! when the run was cut short.
+//!
+//! ```no_run
+//! use hydronas::prelude::*;
+//!
+//! let trials = hydronas_nas::space::full_grid(&SearchSpace::paper());
+//! let cancel = CancelToken::new(); // hand a clone to a Ctrl-C handler
+//! let report = Sweep::builder()
+//!     .with_trials(trials)
+//!     .with_journal("sweep.journal.jsonl")
+//!     .with_max_wall_s(6.0 * 3600.0)
+//!     .with_cancel(cancel.clone())
+//!     .run()
+//!     .expect("journal I/O");
+//! if report.degradation.is_degraded() {
+//!     eprintln!("{}", report.degradation.summary());
+//! }
+//! ```
 
+pub mod error;
 pub mod figures;
 pub mod pipeline;
 pub mod report;
 pub mod tables;
 
-pub use pipeline::{kernel_probe, metrics_json, ReproArtifacts, ReproConfig};
+pub use error::HydroNasError;
+pub use pipeline::{kernel_probe, metrics_json, ReproArtifacts, ReproConfig, RunControl};
 pub use report::markdown_report;
 
 /// One-stop imports for examples and downstream users.
+///
+/// The working set for an end-to-end run is one import away:
+///
+/// ```no_run
+/// use hydronas::prelude::*;
+///
+/// let _session = session(); // telemetry: spans, counters, Chrome trace
+/// let ctrl = RunControl::default().with_journal("repro.journal.jsonl");
+/// let artifacts = ReproConfig::default()
+///     .run_controlled(&ctrl, None)
+///     .expect("journal I/O");
+/// println!("{}", artifacts.sweep_summary());
+/// ```
 pub mod prelude {
+    pub use crate::error::HydroNasError;
     pub use crate::figures::{figure1, figure2, figure3_csv, figure3_html, figure4_csv};
-    pub use crate::pipeline::{kernel_probe, metrics_json, ReproArtifacts, ReproConfig};
+    pub use crate::pipeline::{
+        kernel_probe, metrics_json, ReproArtifacts, ReproConfig, RunControl,
+    };
     pub use crate::report::markdown_report;
     pub use crate::tables::{table1, table2, table3, table4, table5};
     pub use hydronas_geodata::{
@@ -61,7 +104,7 @@ pub mod prelude {
     };
     pub use hydronas_graph::{
         architecture_summary, model_cost, quantized_size_bytes, serialized_size_bytes, ArchConfig,
-        ModelGraph, PoolConfig, Precision, BASELINE_RESNET18,
+        GraphError, ModelGraph, OnnxError, PoolConfig, Precision, BASELINE_RESNET18,
     };
     pub use hydronas_latency::{
         predict_all, predict_all_quantized, predict_energy, validate_table2, DeviceId,
@@ -69,14 +112,18 @@ pub mod prelude {
     };
     pub use hydronas_nas::{
         makespan_lpt, nsga2, profile_trial, random_search, read_journal, regularized_evolution,
-        run_full_grid, run_sweep, CollectingSink, Evaluator, EvolutionConfig, ExperimentDb,
-        InputCombo, Nsga2Config, ProgressSink, RealTrainer, SchedulerConfig, SearchSpace,
-        StderrTicker, SurrogateEvaluator, SweepOptions, SweepReport, SweepStats, TrialSpec,
+        run_full_grid, CancelToken, ChaosConfig, ChaosFault, CollectingSink, DegradationReport,
+        Evaluator, EvolutionConfig, ExperimentDb, FailureCause, InputCombo, MetricsError,
+        Nsga2Config, ProgressSink, RealTrainer, RetryPolicy, SchedulerConfig, SearchSpace,
+        StderrTicker, SurrogateEvaluator, Sweep, SweepBuilder, SweepError, SweepEvent, SweepReport,
+        SweepStats, TrialFailure, TrialOutcome, TrialSpec,
     };
     pub use hydronas_nn::{
-        augment_batch, kfold_cross_validate, train, Dataset, LrSchedule, ResNet, TrainConfig,
+        augment_batch, kfold_cross_validate, kfold_cross_validate_with_cancel, train,
+        train_with_cancel, Dataset, LrSchedule, ModelImportError, ResNet, TrainConfig,
     };
     pub use hydronas_pareto::{pareto_front, Objective, Point};
+    pub use hydronas_telemetry::{session, MetricsSnapshot, Session};
     pub use hydronas_tensor::{Tensor, TensorRng};
 }
 

@@ -1,12 +1,13 @@
 //! The end-to-end reproduction pipeline: run the full experiment and
 //! render every table and figure into an artifact bundle.
 
+use crate::error::HydroNasError;
 use crate::{figures, tables};
 use hydronas_graph::{ArchConfig, PoolConfig};
 use hydronas_nas::space::{full_grid, SearchSpace};
 use hydronas_nas::{
-    run_sweep, Evaluator, ExperimentDb, InputCombo, ProgressSink, RealTrainer, SchedulerConfig,
-    SurrogateEvaluator, SweepOptions, SweepStats, TrialSpec,
+    CancelToken, DegradationReport, Evaluator, ExperimentDb, InputCombo, ProgressSink, RealTrainer,
+    SchedulerConfig, Sweep, SweepStats, TrialSpec,
 };
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -39,6 +40,53 @@ impl Default for ReproConfig {
     }
 }
 
+/// Runtime controls of one pipeline run: everything that governs *how*
+/// the sweep executes without being part of the experiment's identity —
+/// journaling, cooperative cancellation, per-trial timeouts, and the
+/// simulated wall-clock budget.
+///
+/// `#[non_exhaustive]`: construct with [`RunControl::default`] and the
+/// `with_*` chainers, so future controls can join without breaking
+/// callers.
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct RunControl {
+    /// Write-ahead journal path; replayed on restart, so a killed run
+    /// resumes where it stopped.
+    pub journal: Option<PathBuf>,
+    /// Cooperative cancellation token — cancel it (e.g. from a Ctrl-C
+    /// handler) and the sweep drains in-flight trials and returns a
+    /// partial result.
+    pub cancel: CancelToken,
+    /// Per-trial simulated budget in seconds; trials over it fail with a
+    /// timeout status instead of running.
+    pub trial_timeout_s: Option<f64>,
+    /// Total simulated budget; trials past it are skipped deterministically.
+    pub max_wall_s: Option<f64>,
+}
+
+impl RunControl {
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> RunControl {
+        self.journal = Some(path.into());
+        self
+    }
+
+    pub fn with_cancel(mut self, cancel: CancelToken) -> RunControl {
+        self.cancel = cancel;
+        self
+    }
+
+    pub fn with_trial_timeout_s(mut self, limit_s: f64) -> RunControl {
+        self.trial_timeout_s = Some(limit_s);
+        self
+    }
+
+    pub fn with_max_wall_s(mut self, budget_s: f64) -> RunControl {
+        self.max_wall_s = Some(budget_s);
+        self
+    }
+}
+
 /// Everything the reproduction produces.
 #[derive(Clone, Debug)]
 pub struct ReproArtifacts {
@@ -57,18 +105,13 @@ pub struct ReproArtifacts {
     /// Execution counters of the sweep that produced `db`. Zeroed when
     /// artifacts are rendered from a pre-existing database.
     pub sweep: SweepStats,
+    /// How the sweep degraded, if it did (cancelled, deadline-limited,
+    /// timed-out trials). Default (healthy) when rendered from a
+    /// pre-existing database.
+    pub degradation: DegradationReport,
 }
 
 impl ReproConfig {
-    fn scheduler(&self) -> SchedulerConfig {
-        SchedulerConfig {
-            seed: self.seed,
-            input_hw: self.input_hw,
-            injected_failures: self.injected_failures,
-            ..SchedulerConfig::default()
-        }
-    }
-
     /// Runs the full 1,728-trial experiment (surrogate evaluator) and
     /// renders every artifact.
     pub fn run(&self) -> ReproArtifacts {
@@ -79,37 +122,89 @@ impl ReproConfig {
     /// [`ReproConfig::run`] with sweep machinery attached: an optional
     /// write-ahead journal (replayed on restart, so a killed run resumes
     /// where it stopped) and an optional progress sink. Errs only on
-    /// journal I/O problems — an unreadable/corrupt journal file or one
+    /// journal problems — an unreadable/corrupt journal file or one
     /// recorded against a different trial set.
     pub fn run_with(
         &self,
         journal: Option<&Path>,
         sink: Option<&mut dyn ProgressSink>,
-    ) -> std::io::Result<ReproArtifacts> {
+    ) -> Result<ReproArtifacts, HydroNasError> {
+        let ctrl = RunControl {
+            journal: journal.map(Path::to_path_buf),
+            ..RunControl::default()
+        };
+        self.run_controlled(&ctrl, sink)
+    }
+
+    /// [`ReproConfig::run_with`] under full runtime control: journaling,
+    /// cooperative cancellation, per-trial timeouts, and a simulated
+    /// wall-clock budget. A cancelled or deadline-limited run still
+    /// returns `Ok` — partial artifacts with
+    /// [`ReproArtifacts::degradation`] describing what was lost.
+    pub fn run_controlled(
+        &self,
+        ctrl: &RunControl,
+        sink: Option<&mut dyn ProgressSink>,
+    ) -> Result<ReproArtifacts, HydroNasError> {
         let trials = full_grid(&SearchSpace::paper());
         let report = {
             let mut span = hydronas_telemetry::span("repro.stage", "sweep");
             span.attr("trials", trials.len());
-            run_sweep(
-                &trials,
-                &SurrogateEvaluator::default(),
-                &self.scheduler(),
-                SweepOptions {
-                    journal,
-                    sink,
-                    workers: None,
-                },
-            )?
+            let mut builder = Sweep::builder()
+                .with_trials(trials)
+                .with_seed(self.seed)
+                .with_input_hw(self.input_hw)
+                .with_injected_failures(self.injected_failures)
+                .with_cancel(ctrl.cancel.clone());
+            if let Some(journal) = &ctrl.journal {
+                builder = builder.with_journal(journal);
+            }
+            if let Some(limit_s) = ctrl.trial_timeout_s {
+                builder = builder.with_trial_timeout_s(limit_s);
+            }
+            if let Some(budget_s) = ctrl.max_wall_s {
+                builder = builder.with_max_wall_s(budget_s);
+            }
+            match sink {
+                Some(sink) => builder.run_with(sink)?,
+                None => builder.run()?,
+            }
         };
         let mut artifacts = self.render(report.db);
         artifacts.sweep = report.stats;
+        artifacts.degradation = report.degradation;
         Ok(artifacts)
     }
 
     /// Renders artifacts from an existing database (e.g. loaded from
     /// JSON, or produced with a different evaluator).
+    ///
+    /// A database with no valid outcomes — a run cancelled before any
+    /// trial finished — renders placeholder text for the result tables
+    /// and figures instead of panicking, so a degraded pipeline still
+    /// produces a complete (if mostly empty) artifact bundle.
     pub fn render(&self, db: ExperimentDb) -> ReproArtifacts {
         let _span = hydronas_telemetry::span("repro.stage", "render");
+        if db.valid().is_empty() {
+            const EMPTY: &str =
+                "(no valid outcomes: the sweep degraded before any trial finished)\n";
+            return ReproArtifacts {
+                table1: tables::table1(),
+                table2: tables::table2(self.input_hw, TABLE2_VALIDATION_SEED),
+                table3: EMPTY.to_string(),
+                table4: EMPTY.to_string(),
+                table4_pool_grouped: EMPTY.to_string(),
+                table5: EMPTY.to_string(),
+                figure1: figures::figure1(self.input_hw),
+                figure2: figures::figure2(),
+                figure3_csv: EMPTY.to_string(),
+                figure4_csv: EMPTY.to_string(),
+                discussion: discussion_section(&db),
+                sweep: SweepStats::default(),
+                degradation: DegradationReport::default(),
+                db,
+            };
+        }
         let discussion = discussion_section(&db);
         ReproArtifacts {
             table1: tables::table1(),
@@ -128,6 +223,7 @@ impl ReproConfig {
             figure4_csv: figures::figure4_csv(&db),
             discussion,
             sweep: SweepStats::default(),
+            degradation: DegradationReport::default(),
             db,
         }
     }
@@ -208,10 +304,17 @@ pub fn kernel_probe(seed: u64) -> Option<f64> {
 impl ReproArtifacts {
     /// Human-readable sweep execution summary. Falls back to
     /// database-derived counts when the artifacts were rendered from a
-    /// pre-existing database (no live sweep ran).
+    /// pre-existing database (no live sweep ran). A degraded sweep
+    /// (cancelled, deadline-limited, timed-out trials) appends the
+    /// degradation breakdown.
     pub fn sweep_summary(&self) -> String {
         if self.sweep.scheduled > 0 {
-            self.sweep.summary()
+            let mut out = self.sweep.summary();
+            if self.degradation.is_degraded() {
+                out.push('\n');
+                out.push_str(&self.degradation.summary());
+            }
+            out
         } else {
             format!(
                 "scheduled : {}\ncompleted : {}\nfailed    : {}\n(reconstructed from the database; no live sweep ran)",
@@ -228,7 +331,13 @@ impl ReproArtifacts {
         let _span = hydronas_telemetry::span("repro.stage", "write");
         std::fs::create_dir_all(dir)?;
         let report = crate::report::markdown_report(self);
-        let figure3_html = crate::figures::figure3_html(&self.db);
+        let figure3_html = if self.db.valid().is_empty() {
+            "<!DOCTYPE html>\n<html><body><p>(no valid outcomes: the sweep \
+             degraded before any trial finished)</p></body></html>\n"
+                .to_string()
+        } else {
+            crate::figures::figure3_html(&self.db)
+        };
         let sweep = self.sweep_summary();
         let sweep_json = serde_json::to_string_pretty(&self.sweep).expect("sweep stats serialize");
         let entries: [(&str, &str); 16] = [
@@ -262,8 +371,8 @@ impl ReproArtifacts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hydronas_nas::run_experiment;
     use hydronas_nas::space::{full_grid, SearchSpace};
+    use hydronas_nas::{run_experiment, SurrogateEvaluator};
 
     /// A reduced pipeline over one input combination, for test speed.
     fn reduced_artifacts() -> ReproArtifacts {
@@ -346,6 +455,38 @@ mod tests {
         assert_eq!(b.db.to_json(), a.db.to_json());
         assert!(b.sweep_summary().contains("replayed  : 1728"));
         std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
+    fn cancelled_run_returns_partial_artifacts_not_an_error() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let ctrl = RunControl::default().with_cancel(cancel);
+        let a = ReproConfig::default().run_controlled(&ctrl, None).unwrap();
+        assert!(a.degradation.cancelled);
+        assert!(a.db.outcomes.is_empty());
+        // Partial artifacts still render; the summary says why.
+        assert!(a.sweep_summary().contains("cancelled"));
+        assert!(!a.table1.is_empty());
+        // The full bundle (report, HTML figure) writes without panicking
+        // even though no trial finished.
+        let dir = std::env::temp_dir().join(format!("hydronas_cancel_{}", std::process::id()));
+        let written = a.write_to(&dir).unwrap();
+        assert_eq!(written.len(), 16);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_wall_budget_limits_the_pipeline_run() {
+        let ctrl = RunControl::default().with_max_wall_s(3600.0);
+        let a = ReproConfig::default().run_controlled(&ctrl, None).unwrap();
+        assert!(a.degradation.deadline_exhausted);
+        assert!(!a.degradation.skipped.is_empty());
+        assert_eq!(
+            a.db.outcomes.len() + a.degradation.skipped.len(),
+            1728,
+            "every trial is either run or accounted for as skipped"
+        );
     }
 
     #[test]

@@ -13,7 +13,6 @@ fn code_block(s: &str) -> String {
 /// Renders the full markdown report.
 pub fn markdown_report(artifacts: &ReproArtifacts) -> String {
     let db = &artifacts.db;
-    let ranges = db.objective_ranges();
     let front = db.pareto_outcomes();
     let mut out = String::with_capacity(16 * 1024);
 
@@ -32,16 +31,23 @@ pub fn markdown_report(artifacts: &ReproArtifacts) -> String {
     out.push_str(&code_block(&artifacts.table2));
 
     out.push_str("\n## Objective ranges (Table 3)\n\n");
-    out.push_str(&format!(
-        "Accuracy spans **{:.2}-{:.2}%**, latency **{:.2}-{:.2} ms**, memory \
-         **{:.2}-{:.2} MB** over the valid outcomes.\n\n",
-        ranges.accuracy_min,
-        ranges.accuracy_max,
-        ranges.latency_min_ms,
-        ranges.latency_max_ms,
-        ranges.memory_min_mb,
-        ranges.memory_max_mb
-    ));
+    if db.valid().is_empty() {
+        // A run cancelled before any trial finished has no ranges to
+        // report; keep the section so the report structure is stable.
+        out.push_str("No valid outcomes: the sweep degraded before any trial finished.\n\n");
+    } else {
+        let ranges = db.objective_ranges();
+        out.push_str(&format!(
+            "Accuracy spans **{:.2}-{:.2}%**, latency **{:.2}-{:.2} ms**, memory \
+             **{:.2}-{:.2} MB** over the valid outcomes.\n\n",
+            ranges.accuracy_min,
+            ranges.accuracy_max,
+            ranges.latency_min_ms,
+            ranges.latency_max_ms,
+            ranges.memory_min_mb,
+            ranges.memory_max_mb
+        ));
+    }
     out.push_str(&code_block(&artifacts.table3));
 
     out.push_str(&format!(

@@ -27,6 +27,8 @@ pub use analysis::{model_cost, node_cost, ModelCost, NodeCost};
 pub use arch::{ArchConfig, PoolConfig, BASELINE_RESNET18};
 pub use dot::to_dot;
 pub use graph::{GraphError, ModelGraph, Node, NodeKind};
-pub use onnx::{deserialize_model, serialize_model, serialized_size_bytes, OnnxLikeModel};
+pub use onnx::{
+    deserialize_model, serialize_model, serialized_size_bytes, OnnxError, OnnxLikeModel,
+};
 pub use quantize::{quantize_tensor, quantized_size_bytes, Precision, QuantizedTensor};
 pub use summary::architecture_summary;

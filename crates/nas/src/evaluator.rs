@@ -5,11 +5,17 @@ use crate::space::TrialSpec;
 use crate::surrogate::surrogate_fold_accuracies;
 use hydronas_geodata::{build_dataset, ChannelMode, Region};
 use hydronas_graph::ModelGraph;
-use hydronas_nn::{kfold_cross_validate, Dataset, TrainConfig};
+use hydronas_nn::{kfold_cross_validate_with_cancel, CancelToken, Dataset, TrainConfig};
 use serde::{Deserialize, Serialize};
 
 /// Why a trial produced no outcome.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The journal serializes failures through their `Display` rendering,
+/// so every `Display` string here is part of the on-disk format: the
+/// pre-existing variants must render byte-identically forever, and new
+/// variants (the enum is `#[non_exhaustive]`) only ever *add* strings.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum TrialFailure {
     /// The stem collapsed the feature map (invalid configuration).
     InvalidArchitecture(String),
@@ -17,6 +23,18 @@ pub enum TrialFailure {
     EnvironmentFailure,
     /// Training diverged to non-finite loss.
     Diverged,
+    /// The trial's simulated training time exceeded the per-trial
+    /// deadline (`limit_s` seconds on the simulated clock).
+    Timeout { limit_s: f64 },
+    /// A [`CancelToken`] fired before or while the trial ran. Cancelled
+    /// outcomes never reach the journal or the database — they are
+    /// reported only through the sweep's `DegradationReport`, which is
+    /// what keeps cancel-then-resume byte-identical to an uninterrupted
+    /// run.
+    Cancelled,
+    /// The evaluator panicked; the payload is the captured panic message.
+    /// Treated as transient (retried with a fresh attempt seed).
+    Panicked(String),
 }
 
 impl std::fmt::Display for TrialFailure {
@@ -25,6 +43,66 @@ impl std::fmt::Display for TrialFailure {
             TrialFailure::InvalidArchitecture(why) => write!(f, "invalid architecture: {why}"),
             TrialFailure::EnvironmentFailure => write!(f, "environment failure"),
             TrialFailure::Diverged => write!(f, "training diverged"),
+            TrialFailure::Timeout { limit_s } => {
+                write!(f, "trial timeout: exceeded {limit_s} s simulated budget")
+            }
+            TrialFailure::Cancelled => write!(f, "cancelled"),
+            TrialFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+impl TrialFailure {
+    /// The coarse cause bucket this failure belongs to.
+    pub fn cause(&self) -> FailureCause {
+        match self {
+            TrialFailure::InvalidArchitecture(_) | TrialFailure::Diverged => FailureCause::Invalid,
+            TrialFailure::EnvironmentFailure | TrialFailure::Panicked(_) => FailureCause::Transient,
+            TrialFailure::Timeout { .. } => FailureCause::Timeout,
+            TrialFailure::Cancelled => FailureCause::Cancelled,
+        }
+    }
+
+    /// True when retrying with a fresh attempt seed could plausibly
+    /// succeed (environment failures and caught panics).
+    pub fn is_transient(&self) -> bool {
+        self.cause() == FailureCause::Transient
+    }
+}
+
+/// The coarse failure taxonomy used for retry decisions and degradation
+/// accounting. Every [`TrialFailure`] maps onto exactly one cause via
+/// [`TrialFailure::cause`]; journaled failure strings map back via
+/// [`FailureCause::from_status`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FailureCause {
+    /// Per-trial deadline exceeded.
+    Timeout,
+    /// A cancellation token fired.
+    Cancelled,
+    /// Recoverable by retrying (environment failure, caught panic).
+    Transient,
+    /// Deterministically wrong (invalid architecture, divergence) —
+    /// retrying cannot help.
+    Invalid,
+}
+
+impl FailureCause {
+    /// Classifies a journaled failure status string (the
+    /// `TrialFailure::to_string()` the journal stores verbatim).
+    /// Returns `None` for strings no known variant produces.
+    pub fn from_status(status: &str) -> Option<FailureCause> {
+        if status.starts_with("invalid architecture") || status == "training diverged" {
+            Some(FailureCause::Invalid)
+        } else if status == "environment failure" || status.starts_with("panicked") {
+            Some(FailureCause::Transient)
+        } else if status.starts_with("trial timeout") {
+            Some(FailureCause::Timeout)
+        } else if status == "cancelled" {
+            Some(FailureCause::Cancelled)
+        } else {
+            None
         }
     }
 }
@@ -111,6 +189,11 @@ pub struct RealTrainer {
     /// small-scale demonstrations can clamp width (documented distortion;
     /// `None` trains the exact candidate).
     pub max_features: Option<usize>,
+    /// Cooperative cancellation: checked before evaluation starts and at
+    /// every fold/epoch boundary inside the training loop. Share a clone
+    /// of the sweep's token here so Ctrl-C stops real training between
+    /// epochs instead of waiting for the trial to finish.
+    pub cancel: CancelToken,
 }
 
 impl RealTrainer {
@@ -124,6 +207,7 @@ impl RealTrainer {
             epochs: 6,
             learning_rate: 0.05,
             max_features: Some(8),
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -132,6 +216,9 @@ impl Evaluator for RealTrainer {
     fn evaluate(&self, spec: &TrialSpec, seed: u64) -> Result<EvalOutcome, TrialFailure> {
         let mut span = hydronas_telemetry::span("nas.evaluate", "real");
         span.attr("id", spec.id);
+        if self.cancel.is_cancelled() {
+            return Err(TrialFailure::Cancelled);
+        }
         let mut arch = spec.arch;
         if let Some(cap) = self.max_features {
             arch.initial_features = arch.initial_features.min(cap);
@@ -159,7 +246,11 @@ impl Evaluator for RealTrainer {
             ..Default::default()
         };
         let started = std::time::Instant::now();
-        let (mean_accuracy, folds) = kfold_cross_validate(&arch, &data, self.folds, &config);
+        let (mean_accuracy, folds) =
+            kfold_cross_validate_with_cancel(&arch, &data, self.folds, &config, &self.cancel);
+        if folds.len() < self.folds || folds.iter().any(|f| f.result.cancelled) {
+            return Err(TrialFailure::Cancelled);
+        }
         if folds.iter().any(|f| f.result.diverged) {
             return Err(TrialFailure::Diverged);
         }
@@ -270,5 +361,72 @@ mod tests {
     fn key_hash_is_stable_and_distinct() {
         assert_eq!(key_hash("abc"), key_hash("abc"));
         assert_ne!(key_hash("abc"), key_hash("abd"));
+    }
+
+    #[test]
+    fn failure_display_strings_are_part_of_the_journal_format() {
+        // These exact strings live in every journal written since PR 1;
+        // changing any of them breaks resume byte-identity.
+        assert_eq!(
+            TrialFailure::EnvironmentFailure.to_string(),
+            "environment failure"
+        );
+        assert_eq!(TrialFailure::Diverged.to_string(), "training diverged");
+        assert_eq!(
+            TrialFailure::InvalidArchitecture("why".into()).to_string(),
+            "invalid architecture: why"
+        );
+        assert_eq!(TrialFailure::Cancelled.to_string(), "cancelled");
+        assert!(TrialFailure::Timeout { limit_s: 1.5 }
+            .to_string()
+            .starts_with("trial timeout"));
+        assert!(TrialFailure::Panicked("boom".into())
+            .to_string()
+            .starts_with("panicked: boom"));
+    }
+
+    #[test]
+    fn every_failure_status_round_trips_through_the_cause_taxonomy() {
+        for failure in [
+            TrialFailure::InvalidArchitecture("x".into()),
+            TrialFailure::EnvironmentFailure,
+            TrialFailure::Diverged,
+            TrialFailure::Timeout { limit_s: 2.0 },
+            TrialFailure::Cancelled,
+            TrialFailure::Panicked("p".into()),
+        ] {
+            assert_eq!(
+                FailureCause::from_status(&failure.to_string()),
+                Some(failure.cause()),
+                "{failure}"
+            );
+        }
+        assert_eq!(FailureCause::from_status("not a failure string"), None);
+    }
+
+    #[test]
+    fn only_environment_and_panic_failures_are_transient() {
+        assert!(TrialFailure::EnvironmentFailure.is_transient());
+        assert!(TrialFailure::Panicked("p".into()).is_transient());
+        assert!(!TrialFailure::Diverged.is_transient());
+        assert!(!TrialFailure::Cancelled.is_transient());
+        assert!(!TrialFailure::Timeout { limit_s: 1.0 }.is_transient());
+    }
+
+    #[test]
+    fn cancelled_real_trainer_reports_cancelled_not_a_result() {
+        let trainer = RealTrainer::miniature();
+        trainer.cancel.cancel();
+        let arch = ArchConfig {
+            in_channels: 5,
+            kernel_size: 3,
+            stride: 2,
+            padding: 1,
+            pool: None,
+            initial_features: 8,
+            num_classes: 2,
+        };
+        let err = trainer.evaluate(&spec(arch, 8), 11).unwrap_err();
+        assert!(matches!(err, TrialFailure::Cancelled), "{err}");
     }
 }

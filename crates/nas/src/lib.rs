@@ -11,10 +11,18 @@
 //!   training-dynamics surrogate calibrated against the paper's Table 5
 //!   anchors (used for full-scale sweeps where A100-weeks are not
 //!   available).
+//! * [`sweep`] — the typed, builder-style public API: [`Sweep::builder`]
+//!   configures trials, evaluator, retry/backoff policy, journaling,
+//!   cancellation, deadlines, and chaos injection, and returns a
+//!   [`SweepReport`] carrying a structured [`DegradationReport`].
 //! * [`scheduler`] — thread-pool trial execution with deterministic
 //!   failure injection (the paper's 1,728 - 11 = 1,717 valid outcomes),
-//!   bounded retries of transient environment failures, and journaled
+//!   bounded retries of transient environment failures, cooperative
+//!   cancellation, simulated-clock deadlines, and journaled
 //!   crash/resume.
+//! * [`chaos`] — deterministic fault injection (timeouts, panics,
+//!   transient failures) for robustness tests.
+//! * [`error`] — the typed [`SweepError`] surface.
 //! * [`metrics_cache`] — memoized per-architecture latency/memory
 //!   metrics: the 1,728-trial grid holds only 360 distinct graphs
 //!   (batch size never reaches the graph, pool-less rows enumerate
@@ -32,7 +40,9 @@
 //!   paper's Section 5 runtime observations.
 
 pub mod analysis;
+pub mod chaos;
 pub mod clock;
+pub mod error;
 pub mod evaluator;
 pub mod experiment;
 pub mod halving;
@@ -44,24 +54,32 @@ pub mod scheduler;
 pub mod space;
 pub mod strategies;
 pub mod surrogate;
+pub mod sweep;
 
 pub use analysis::{
     main_effect, objective_correlations, pearson, sensitivity, sensitivity_table, spearman, Factor,
     MainEffect, Response,
 };
+pub use chaos::{ChaosConfig, ChaosFault};
 pub use clock::{
     experiment_wall_clock, makespan_lpt, profile_trial, trial_duration_s, TrialProfile,
 };
-pub use evaluator::{EvalOutcome, Evaluator, RealTrainer, SurrogateEvaluator, TrialFailure};
+pub use error::SweepError;
+pub use evaluator::{
+    EvalOutcome, Evaluator, FailureCause, RealTrainer, SurrogateEvaluator, TrialFailure,
+};
 pub use experiment::{ComboSummary, ExperimentDb, TrialOutcome, TrialStatus};
 pub use halving::{successive_halving, HalvingConfig, HalvingResult, Rung};
+pub use hydronas_nn::CancelToken;
 pub use journal::{read_journal, Journal, TrialRecord};
-pub use metrics_cache::{ArchMetrics, GraphMetricsCache};
+pub use metrics_cache::{ArchMetrics, GraphMetricsCache, MetricsError};
 pub use nsga2::{nsga2, Individual, Nsga2Config, Nsga2Result};
 pub use progress::{CollectingSink, ProgressSink, StderrTicker, SweepEvent, SweepStats};
+#[allow(deprecated)]
 pub use scheduler::{
     attempt_seed, injected_failure_ids, run_experiment, run_full_grid, run_sweep,
     transient_failure_ids, SchedulerConfig, SweepOptions, SweepReport,
 };
 pub use space::{InputCombo, SearchSpace, TrialSpec};
 pub use strategies::{random_search, regularized_evolution, EvolutionConfig, SearchResult};
+pub use sweep::{DegradationReport, RetryPolicy, Sweep, SweepBuilder};

@@ -10,12 +10,13 @@
 //! that the first arriving worker initializes while later readers take
 //! the fast already-initialized path — no mutex, no contention on hits.
 //!
-//! Failures are cached too: `ModelGraph::from_arch` errors are stored as
-//! the exact `to_string()` the scheduler previously produced inline, so
-//! a cached sweep's failure statuses are byte-identical to an uncached
-//! one.
+//! Failures are cached too: `ModelGraph::from_arch` errors are stored
+//! typed ([`GraphError`] inside a [`MetricsError`] that adds the
+//! architecture key), and the scheduler renders the *inner* graph error
+//! when journaling — so a cached sweep's failure statuses are
+//! byte-identical to an uncached one.
 
-use hydronas_graph::{serialized_size_bytes, ArchConfig, ModelGraph};
+use hydronas_graph::{serialized_size_bytes, ArchConfig, GraphError, ModelGraph};
 use hydronas_latency::{predict_all, LatencyPrediction};
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -31,10 +32,37 @@ pub struct ArchMetrics {
     pub memory_mb: f64,
 }
 
+/// Why a cached metrics lookup failed: the graph would not build for
+/// this architecture.
+///
+/// Carries the architecture key for context; the inner [`GraphError`]
+/// stays reachable (as a field and through `std::error::Error::source`)
+/// so callers that need the historical `from_arch` error string —
+/// the journal format — can render `err.graph` directly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsError {
+    /// The cache key of the offending architecture.
+    pub arch: String,
+    /// The graph-construction failure.
+    pub graph: GraphError,
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "architecture {}: {}", self.arch, self.graph)
+    }
+}
+
+impl std::error::Error for MetricsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.graph)
+    }
+}
+
 /// Computes the metrics for one architecture, or the graph-construction
-/// error string (exactly `e.to_string()` of the `from_arch` error).
-fn compute(arch: &ArchConfig, input_hw: usize) -> Result<ArchMetrics, String> {
-    let graph = ModelGraph::from_arch(arch, input_hw).map_err(|e| e.to_string())?;
+/// error (stored typed; its `Display` is exactly the `from_arch` error).
+fn compute(arch: &ArchConfig, input_hw: usize) -> Result<ArchMetrics, GraphError> {
+    let graph = ModelGraph::from_arch(arch, input_hw)?;
     Ok(ArchMetrics {
         latency: predict_all(&graph),
         memory_mb: serialized_size_bytes(&graph) as f64 / 1e6,
@@ -53,7 +81,7 @@ fn cache_key(arch: &ArchConfig) -> String {
 /// and share by reference across the worker pool.
 pub struct GraphMetricsCache {
     input_hw: usize,
-    entries: HashMap<String, OnceLock<Result<ArchMetrics, String>>>,
+    entries: HashMap<String, OnceLock<Result<ArchMetrics, GraphError>>>,
 }
 
 impl GraphMetricsCache {
@@ -86,10 +114,15 @@ impl GraphMetricsCache {
     /// only if callers evaluate trials the cache was not built from) is
     /// computed directly, uncached — correctness never depends on the
     /// seeding being complete.
-    pub fn get(&self, arch: &ArchConfig) -> Result<ArchMetrics, String> {
-        let Some(cell) = self.entries.get(&cache_key(arch)) else {
+    pub fn get(&self, arch: &ArchConfig) -> Result<ArchMetrics, MetricsError> {
+        let key = cache_key(arch);
+        let wrap = |e: &GraphError| MetricsError {
+            arch: key.clone(),
+            graph: e.clone(),
+        };
+        let Some(cell) = self.entries.get(&key) else {
             hydronas_telemetry::add("nas.graph_cache.misses", 1);
-            return compute(arch, self.input_hw);
+            return compute(arch, self.input_hw).map_err(|e| wrap(&e));
         };
         let mut computed = false;
         let result = cell.get_or_init(|| {
@@ -101,7 +134,7 @@ impl GraphMetricsCache {
         } else {
             hydronas_telemetry::add("nas.graph_cache.hits", 1);
         }
-        result.clone()
+        result.clone().map_err(|e| wrap(&e))
     }
 }
 
@@ -130,11 +163,11 @@ mod tests {
             .collect();
         let cache = GraphMetricsCache::for_trials(&trials, 32);
         for t in &trials {
-            let cached = cache.get(&t.arch);
+            let cached = cache.get(&t.arch).map_err(|e| e.graph);
             let direct = compute(&t.arch, 32);
             assert_eq!(cached, direct, "trial {}", t.id);
             // Second read serves the memoized value.
-            assert_eq!(cache.get(&t.arch), cached);
+            assert_eq!(cache.get(&t.arch).map_err(|e| e.graph), cached);
         }
     }
 
@@ -143,7 +176,7 @@ mod tests {
         let cache = GraphMetricsCache::for_trials([], 32);
         assert!(cache.is_empty());
         let arch = ArchConfig::baseline(5);
-        assert_eq!(cache.get(&arch), compute(&arch, 32));
+        assert_eq!(cache.get(&arch).map_err(|e| e.graph), compute(&arch, 32));
     }
 
     #[test]
@@ -160,9 +193,20 @@ mod tests {
         trials[0].arch.stride = 2;
         let input_hw = 4;
         let direct = compute(&trials[0].arch, input_hw);
-        assert!(direct.is_err(), "test premise: this graph must not build");
+        let direct_err = direct.expect_err("test premise: this graph must not build");
         let cache = GraphMetricsCache::for_trials(&trials, input_hw);
-        assert_eq!(cache.get(&trials[0].arch), direct);
-        assert_eq!(cache.get(&trials[0].arch), direct);
+        for _ in 0..2 {
+            let err = cache
+                .get(&trials[0].arch)
+                .expect_err("cached result must also fail");
+            // The inner graph error is the journal-format string: it
+            // must be byte-identical to the uncached computation.
+            assert_eq!(err.graph, direct_err);
+            assert_eq!(err.graph.to_string(), direct_err.to_string());
+            // The typed wrapper adds arch context on top.
+            assert!(err.to_string().contains(&err.arch), "{err}");
+            assert!(err.to_string().contains(&direct_err.to_string()), "{err}");
+            assert!(std::error::Error::source(&err).is_some());
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! recorder for tests and programmatic consumers).
 
 use crate::experiment::TrialOutcome;
+use crate::sweep::DegradationReport;
 use serde::{Deserialize, Serialize};
 
 /// Running counters of one sweep, updated as each trial finishes.
@@ -62,7 +63,12 @@ impl SweepStats {
 }
 
 /// One observable moment of a sweep.
+///
+/// `#[non_exhaustive]`: sinks outside this crate must carry a wildcard
+/// arm, so future events (like `Degraded`, added for the robustness
+/// subsystem) do not break them.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum SweepEvent<'a> {
     /// Emitted once before any trial runs; `stats` already carries the
     /// journal-replay counts.
@@ -73,6 +79,12 @@ pub enum SweepEvent<'a> {
         outcome: &'a TrialOutcome,
         attempts: usize,
         wall_s: f64,
+        stats: &'a SweepStats,
+    },
+    /// Emitted once, just before `Finished`, when the sweep degraded
+    /// (cancelled, deadline-limited, or lost trials to timeouts).
+    Degraded {
+        report: &'a DegradationReport,
         stats: &'a SweepStats,
     },
     /// Emitted once after the collector drains.
@@ -143,6 +155,11 @@ impl ProgressSink for StderrTicker {
                     eta
                 );
             }
+            SweepEvent::Degraded { report, .. } => {
+                for line in report.summary().lines() {
+                    eprintln!("[sweep] degraded: {line}");
+                }
+            }
             SweepEvent::Finished { stats } => {
                 eprintln!(
                     "[sweep] done: {} completed, {} failed, {} retried in {:.2}s",
@@ -161,6 +178,8 @@ pub struct CollectingSink {
     pub finished: usize,
     /// `(trial id, attempts, wall seconds)` per live trial event.
     pub trials: Vec<(usize, usize, f64)>,
+    /// Degradation snapshot from the `Degraded` event, if one fired.
+    pub degraded: Option<DegradationReport>,
     /// Stats snapshot from the `Finished` event.
     pub final_stats: Option<SweepStats>,
 }
@@ -176,6 +195,9 @@ impl ProgressSink for CollectingSink {
                 ..
             } => {
                 self.trials.push((outcome.spec.id, *attempts, *wall_s));
+            }
+            SweepEvent::Degraded { report, .. } => {
+                self.degraded = Some((*report).clone());
             }
             SweepEvent::Finished { stats } => {
                 self.finished += 1;

@@ -13,16 +13,21 @@
 //! k)` and the injected failure sets are seed-derived — so a sweep
 //! resumed from a journal is byte-identical to an uninterrupted one.
 
+use crate::chaos::{ChaosConfig, ChaosFault};
 use crate::clock::trial_duration_s;
-use crate::evaluator::{key_hash, Evaluator, TrialFailure};
+use crate::error::SweepError;
+use crate::evaluator::{key_hash, Evaluator, FailureCause, TrialFailure};
 use crate::experiment::{ExperimentDb, TrialOutcome, TrialStatus};
 use crate::journal::{Journal, TrialRecord};
 use crate::metrics_cache::GraphMetricsCache;
 use crate::progress::{ProgressSink, SweepEvent, SweepStats};
 use crate::space::{full_grid, SearchSpace, TrialSpec};
+use crate::sweep::{DegradationReport, RetryPolicy};
+use hydronas_nn::CancelToken;
 use std::collections::{HashMap, HashSet};
 use std::io;
-use std::path::Path;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -120,6 +125,30 @@ pub fn attempt_seed(seed: u64, attempt: usize) -> u64 {
     }
 }
 
+/// A blank outcome scaffold for `spec` (success status, zeroed
+/// objectives) that failure paths overwrite.
+fn base_outcome(spec: &TrialSpec) -> TrialOutcome {
+    TrialOutcome {
+        spec: spec.clone(),
+        status: TrialStatus::Succeeded,
+        accuracy: 0.0,
+        fold_accuracies: Vec::new(),
+        latency_ms: 0.0,
+        latency_std_ms: 0.0,
+        per_device_ms: Vec::new(),
+        memory_mb: 0.0,
+        train_seconds: 0.0,
+    }
+}
+
+/// A terminal failed outcome for `spec`.
+fn failed_outcome(spec: &TrialSpec, failure: TrialFailure) -> TrialOutcome {
+    TrialOutcome {
+        status: TrialStatus::Failed(failure.to_string()),
+        ..base_outcome(spec)
+    }
+}
+
 /// Runs one attempt of a trial end-to-end: accuracy via the evaluator,
 /// latency and memory via the shared graph-metrics cache (one graph
 /// build per distinct architecture, not per trial).
@@ -130,31 +159,23 @@ fn run_trial(
     fail: bool,
     seed: u64,
 ) -> TrialOutcome {
-    let base = TrialOutcome {
-        spec: spec.clone(),
-        status: TrialStatus::Succeeded,
-        accuracy: 0.0,
-        fold_accuracies: Vec::new(),
-        latency_ms: 0.0,
-        latency_std_ms: 0.0,
-        per_device_ms: Vec::new(),
-        memory_mb: 0.0,
-        train_seconds: 0.0,
-    };
+    let base = base_outcome(spec);
     if fail {
         return TrialOutcome {
             status: TrialStatus::Failed(TrialFailure::EnvironmentFailure.to_string()),
             ..base
         };
     }
-    // The cache stores `from_arch` error strings verbatim, so failure
-    // statuses match the previous build-a-graph-per-trial code byte for
-    // byte.
+    // The cache's error Display delegates to the inner `from_arch`
+    // error, so failure statuses match the previous
+    // build-a-graph-per-trial code byte for byte.
     let arch_metrics = match metrics.get(&spec.arch) {
         Ok(m) => m,
         Err(e) => {
             return TrialOutcome {
-                status: TrialStatus::Failed(TrialFailure::InvalidArchitecture(e).to_string()),
+                status: TrialStatus::Failed(
+                    TrialFailure::InvalidArchitecture(e.graph.to_string()).to_string(),
+                ),
                 ..base
             }
         }
@@ -174,45 +195,143 @@ fn run_trial(
     }
 }
 
-/// Is this terminal status a (retryable) environment failure?
-fn is_environment_failure(status: &TrialStatus) -> bool {
+/// Is this terminal status retryable? Transient causes only: environment
+/// failures and caught panics. (Environment failures were the only
+/// retryable class before the cause taxonomy existed, and panics cannot
+/// occur without chaos injection or an actually panicking evaluator, so
+/// default sweeps behave exactly as they always did.)
+fn is_retryable(status: &TrialStatus) -> bool {
     matches!(status, TrialStatus::Failed(msg)
-        if msg == &TrialFailure::EnvironmentFailure.to_string())
+        if FailureCause::from_status(msg) == Some(FailureCause::Transient))
 }
 
-/// Runs a trial with the bounded retry policy: environment failures are
-/// re-attempted up to `config.max_attempts` times, each attempt with its
-/// own deterministic seed. Returns the terminal outcome and the number
-/// of attempts spent.
+thread_local! {
+    /// True while this worker is inside an attempt whose panic (if any)
+    /// will be caught and converted to a [`TrialFailure::Panicked`]
+    /// outcome — the process-global hook stays quiet for it.
+    static PANIC_IS_CONTAINED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// [`catch_unwind`] without the default hook's stderr backtrace: a caught
+/// attempt panic is an *outcome* (journaled as `panicked: …`), not a
+/// crash, so it must not spray diagnostics over the progress output. The
+/// silencing hook is installed once, process-wide, and defers to the
+/// previously installed hook for every panic outside an attempt.
+fn silenced_catch_unwind<R>(body: AssertUnwindSafe<impl FnOnce() -> R>) -> std::thread::Result<R> {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !PANIC_IS_CONTAINED.with(|flag| flag.get()) {
+                previous(info);
+            }
+        }));
+    });
+    PANIC_IS_CONTAINED.with(|flag| flag.set(true));
+    let result = catch_unwind(body);
+    PANIC_IS_CONTAINED.with(|flag| flag.set(false));
+    result
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs a trial under the retry policy: transient failures (environment
+/// errors, caught panics) are re-attempted up to
+/// `params.retry.max_attempts` times, each attempt with its own
+/// deterministic seed. Panics — real or chaos-injected — are caught at
+/// the attempt boundary and converted to `TrialFailure::Panicked`, so a
+/// misbehaving evaluator degrades one trial instead of the whole sweep.
+/// Returns the terminal outcome, attempts spent, and simulated backoff
+/// seconds accrued.
 fn run_trial_with_retry(
     spec: &TrialSpec,
     evaluator: &dyn Evaluator,
-    config: &SchedulerConfig,
+    params: &SweepParams,
     metrics: &GraphMetricsCache,
     permanent_fail: bool,
     transient_fail: bool,
-) -> (TrialOutcome, usize) {
-    let max_attempts = config.max_attempts.max(1);
+) -> (TrialOutcome, usize, f64) {
+    // Per-trial deadline on the simulated clock: a pure function of the
+    // spec, checked before any work happens. Terminal — the simulated
+    // duration cannot shrink on retry.
+    if let Some(limit_s) = params.trial_timeout_s {
+        if trial_duration_s(spec) > limit_s {
+            hydronas_telemetry::add("nas.trial.timeout", 1);
+            return (
+                failed_outcome(spec, TrialFailure::Timeout { limit_s }),
+                1,
+                0.0,
+            );
+        }
+    }
+    let max_attempts = params.retry.max_attempts.max(1);
     let mut attempt = 1;
+    let mut backoff_s = 0.0;
     loop {
-        let inject = permanent_fail || (transient_fail && attempt == 1);
-        let outcome = run_trial(
-            spec,
-            evaluator,
-            metrics,
-            inject,
-            attempt_seed(config.seed, attempt),
-        );
-        if !is_environment_failure(&outcome.status) || attempt >= max_attempts {
-            return (outcome, attempt);
+        let fault = params
+            .chaos
+            .as_ref()
+            .and_then(|c| c.fault_for(spec.id, attempt));
+        if fault == Some(ChaosFault::Timeout) {
+            hydronas_telemetry::add("nas.trial.timeout", 1);
+            let limit_s = params
+                .trial_timeout_s
+                .unwrap_or_else(|| trial_duration_s(spec));
+            return (
+                failed_outcome(spec, TrialFailure::Timeout { limit_s }),
+                attempt,
+                backoff_s,
+            );
+        }
+        let inject = permanent_fail
+            || (transient_fail && attempt == 1)
+            || fault == Some(ChaosFault::Transient);
+        let caught = silenced_catch_unwind(AssertUnwindSafe(|| {
+            if fault == Some(ChaosFault::Panic) {
+                panic!(
+                    "chaos: injected panic (trial {}, attempt {attempt})",
+                    spec.id
+                );
+            }
+            run_trial(
+                spec,
+                evaluator,
+                metrics,
+                inject,
+                attempt_seed(params.seed, attempt),
+            )
+        }));
+        let outcome = match caught {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                hydronas_telemetry::add("nas.trial.panic", 1);
+                failed_outcome(spec, TrialFailure::Panicked(panic_message(payload)))
+            }
+        };
+        if !is_retryable(&outcome.status) || attempt >= max_attempts {
+            return (outcome, attempt, backoff_s);
         }
         attempt += 1;
+        backoff_s += params.retry.backoff_s(attempt);
     }
 }
 
 /// Optional sweep machinery: journaling, observability, worker sizing.
 /// `SweepOptions::default()` reproduces plain [`run_experiment`].
 #[derive(Default)]
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Sweep::builder()` with `with_journal` / `with_workers` and `run_with(sink)`"
+)]
 pub struct SweepOptions<'a, 'b> {
     /// Write-ahead journal: replayed if the file already has records,
     /// appended to as live trials finish.
@@ -226,11 +345,52 @@ pub struct SweepOptions<'a, 'b> {
     pub workers: Option<usize>,
 }
 
-/// A finished sweep: the ordered database plus its execution counters.
+/// A finished sweep: the ordered database, its execution counters, and
+/// an account of anything a degraded run lost.
 #[derive(Clone, Debug)]
 pub struct SweepReport {
     pub db: ExperimentDb,
     pub stats: SweepStats,
+    /// What was lost to cancellation, deadlines, or timeouts.
+    /// [`DegradationReport::is_degraded`] is `false` for healthy runs.
+    pub degradation: DegradationReport,
+}
+
+/// The resolved configuration `run_sweep_inner` executes — everything
+/// the builder collects, in one place. Internal: the public surface is
+/// [`crate::sweep::SweepBuilder`].
+pub(crate) struct SweepParams {
+    pub seed: u64,
+    pub input_hw: usize,
+    pub injected_failures: usize,
+    pub transient_failures: usize,
+    pub retry: RetryPolicy,
+    pub journal: Option<PathBuf>,
+    pub workers: Option<usize>,
+    pub cancel: CancelToken,
+    pub trial_timeout_s: Option<f64>,
+    pub max_wall_s: Option<f64>,
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl SweepParams {
+    /// Lifts a legacy [`SchedulerConfig`] (whose `max_attempts` the
+    /// retry policy subsumes) into the full parameter set.
+    pub(crate) fn from_config(config: &SchedulerConfig) -> SweepParams {
+        SweepParams {
+            seed: config.seed,
+            input_hw: config.input_hw,
+            injected_failures: config.injected_failures,
+            transient_failures: config.transient_failures,
+            retry: RetryPolicy::new(config.max_attempts),
+            journal: None,
+            workers: None,
+            cancel: CancelToken::new(),
+            trial_timeout_s: None,
+            max_wall_s: None,
+            chaos: None,
+        }
+    }
 }
 
 fn default_workers() -> usize {
@@ -239,40 +399,57 @@ fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs a set of trials on the worker pool and collects an ordered
-/// database, with optional journaling and progress reporting.
+/// Is this a terminal cancelled outcome (token fired mid-evaluation)?
+fn is_cancelled_outcome(outcome: &TrialOutcome) -> bool {
+    matches!(&outcome.status, TrialStatus::Failed(msg)
+        if FailureCause::from_status(msg) == Some(FailureCause::Cancelled))
+}
+
+/// The engine behind [`crate::sweep::Sweep`] and the deprecated
+/// [`run_sweep`] shim: runs `trials` on the worker pool and collects an
+/// ordered database, with optional journaling, progress reporting,
+/// cancellation, deadlines, and chaos injection.
 ///
-/// When `options.journal` points at a journal with existing records
-/// (e.g. from a killed sweep), those trials are replayed instead of
-/// re-run and only the missing ids are scheduled; the result is
-/// byte-identical to an uninterrupted sweep. Journal records that do not
-/// match the scheduled trial set (a stale or foreign journal) are
-/// rejected with `InvalidData`.
-pub fn run_sweep(
+/// When `params.journal` points at a journal with existing records
+/// (e.g. from a killed or cancelled sweep), those trials are replayed
+/// instead of re-run and only the missing ids are scheduled; the result
+/// is byte-identical to an uninterrupted sweep. Journal records that do
+/// not match the scheduled trial set are rejected as
+/// [`SweepError::StaleJournal`].
+///
+/// Degradation contract: cancellation and deadlines are *not* errors.
+/// A degraded sweep stops claiming trials, drains the ones in flight
+/// (discarding any that report `cancelled` — they are re-run on
+/// resume), flushes the journal, and returns a partial report whose
+/// [`DegradationReport`] lists per-cause counts and skipped ids.
+pub(crate) fn run_sweep_inner(
     trials: &[TrialSpec],
     evaluator: &dyn Evaluator,
-    config: &SchedulerConfig,
-    mut options: SweepOptions,
-) -> io::Result<SweepReport> {
+    params: &SweepParams,
+    mut sink: Option<&mut dyn ProgressSink>,
+) -> Result<SweepReport, SweepError> {
     // Build both failure sets once, up front — membership tests sit on
     // the per-trial hot path.
     let permanent: HashSet<usize> =
-        injected_failure_ids(trials, config.seed, config.injected_failures)
+        injected_failure_ids(trials, params.seed, params.injected_failures)
             .into_iter()
             .collect();
     // One lazily-filled metrics slot per distinct architecture, shared
     // read-only by the whole worker pool (4.8x fewer graph builds than
     // trials on the paper grid: 1,728 trials, 360 distinct graphs).
-    let metrics = GraphMetricsCache::for_trials(trials.iter(), config.input_hw);
+    let metrics = GraphMetricsCache::for_trials(trials.iter(), params.input_hw);
     let transient: HashSet<usize> =
-        transient_failure_ids(trials, config.seed, config.transient_failures, &permanent)
+        transient_failure_ids(trials, params.seed, params.transient_failures, &permanent)
             .into_iter()
             .collect();
 
     let mut journal = None;
     let mut replayed: HashMap<usize, TrialRecord> = HashMap::new();
-    if let Some(path) = options.journal {
-        let (j, records) = Journal::resume(path)?;
+    if let Some(path) = params.journal.as_deref() {
+        let (j, records) = Journal::resume(path).map_err(|source| SweepError::Journal {
+            path: path.to_path_buf(),
+            source,
+        })?;
         let by_id: HashMap<usize, &TrialSpec> = trials.iter().map(|t| (t.id, t)).collect();
         for record in records {
             let id = record.outcome.spec.id;
@@ -281,21 +458,44 @@ pub fn run_sweep(
                     replayed.insert(id, record);
                 }
                 _ => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!(
-                            "journal record for trial {id} does not match the scheduled trial set"
-                        ),
-                    ))
+                    return Err(SweepError::StaleJournal {
+                        path: path.to_path_buf(),
+                        trial_id: id,
+                    })
                 }
             }
         }
         journal = Some(j);
     }
 
+    let mut degradation = DegradationReport::default();
+
+    // Deadline pre-walk: admit trials in id order until their cumulative
+    // simulated cost exceeds the wall budget; skip the rest up front.
+    // Computed statically — before any scheduling — so the admitted set
+    // is identical for 1 worker or 32, and identical again on resume
+    // (replayed trials count as already-spent budget).
+    let mut deadline_skipped: HashSet<usize> = HashSet::new();
+    if let Some(budget_s) = params.max_wall_s {
+        let mut in_order: Vec<&TrialSpec> = trials.iter().collect();
+        in_order.sort_by_key(|t| t.id);
+        let mut spent_s = 0.0;
+        let mut exhausted = false;
+        for t in in_order {
+            if !exhausted {
+                spent_s += trial_duration_s(t);
+                exhausted = spent_s > budget_s;
+            }
+            if exhausted && !replayed.contains_key(&t.id) {
+                deadline_skipped.insert(t.id);
+            }
+        }
+        degradation.deadline_exhausted = !deadline_skipped.is_empty();
+    }
+
     let pending: Vec<&TrialSpec> = trials
         .iter()
-        .filter(|t| !replayed.contains_key(&t.id))
+        .filter(|t| !replayed.contains_key(&t.id) && !deadline_skipped.contains(&t.id))
         .collect();
 
     let mut stats = SweepStats {
@@ -321,24 +521,34 @@ pub fn run_sweep(
     sweep_span.sim_s(stats.sim_total_s);
 
     let started = Instant::now();
-    if let Some(sink) = options.sink.as_deref_mut() {
+    if let Some(sink) = sink.as_deref_mut() {
         sink.on_event(&SweepEvent::Started { stats: &stats });
     }
 
-    let workers = options
+    let workers = params
         .workers
         .unwrap_or_else(default_workers)
         .clamp(1, pending.len().max(1));
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(TrialOutcome, usize, f64)>();
+    let (tx, rx) = crossbeam::channel::unbounded::<(TrialOutcome, usize, f64, f64)>();
 
     let mut live: Vec<TrialRecord> = Vec::with_capacity(pending.len());
+    // Ids with a terminal outcome in the database (used to compute the
+    // skipped set after a cancellation).
+    let mut landed: HashSet<usize> = HashSet::new();
+    let cancel = &params.cancel;
     let (pending, cursor, permanent, transient, metrics) =
         (&pending, &cursor, &permanent, &transient, &metrics);
-    let collected: io::Result<()> = std::thread::scope(|s| {
+    let collected: Result<(), SweepError> = std::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
             s.spawn(move || loop {
+                // Cancellation point: checked before claiming each
+                // trial, so a fired token stops new work immediately
+                // while the trial in flight (if any) drains normally.
+                if cancel.is_cancelled() {
+                    break;
+                }
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = pending.get(idx) else { break };
                 // The `enabled` guard keeps the format! off the hot path
@@ -352,10 +562,10 @@ pub fn run_sweep(
                     sp
                 });
                 let t0 = Instant::now();
-                let (outcome, attempts) = run_trial_with_retry(
+                let (outcome, attempts, backoff_s) = run_trial_with_retry(
                     spec,
                     evaluator,
-                    config,
+                    params,
                     metrics,
                     permanent.contains(&spec.id),
                     transient.contains(&spec.id),
@@ -366,16 +576,38 @@ pub fn run_sweep(
                 drop(trial_span);
                 // A send error means the collector bailed on a journal
                 // I/O failure; just drain the remaining work.
-                let _ = tx.send((outcome, attempts, t0.elapsed().as_secs_f64()));
+                let _ = tx.send((outcome, attempts, t0.elapsed().as_secs_f64(), backoff_s));
             });
         }
         drop(tx);
-        for (outcome, attempts, wall_s) in rx.iter() {
+        for (outcome, attempts, wall_s, backoff_s) in rx.iter() {
+            degradation.backoff_sim_s += backoff_s;
+            // Cancelled outcomes never reach the journal or the
+            // database: the trial's real result is unknowable (training
+            // stopped mid-way), so a resumed sweep must re-run it.
+            // Recording it would freeze the torn state forever and break
+            // resume byte-identity.
+            if is_cancelled_outcome(&outcome) {
+                degradation.cancelled_in_flight += 1;
+                continue;
+            }
+            if let TrialStatus::Failed(msg) = &outcome.status {
+                match FailureCause::from_status(msg) {
+                    Some(FailureCause::Timeout) => degradation.timeout_trials += 1,
+                    Some(FailureCause::Transient) => degradation.transient_trials += 1,
+                    Some(FailureCause::Invalid) => degradation.invalid_trials += 1,
+                    _ => {}
+                }
+            }
+            landed.insert(outcome.spec.id);
             let record = TrialRecord { attempts, outcome };
             // Write-ahead: the journal line lands before the record is
             // admitted to the in-memory database.
             if let Some(j) = journal.as_mut() {
-                j.append(&record)?;
+                j.append(&record).map_err(|source| SweepError::Journal {
+                    path: params.journal.clone().expect("journal path set"),
+                    source,
+                })?;
             }
             if record.outcome.is_valid() {
                 stats.completed += 1;
@@ -397,7 +629,7 @@ pub fn run_sweep(
                     hydronas_telemetry::push_series("nas.sweep.eta_s", step, eta);
                 }
             }
-            if let Some(sink) = options.sink.as_deref_mut() {
+            if let Some(sink) = sink.as_deref_mut() {
                 sink.on_event(&SweepEvent::Trial {
                     outcome: &record.outcome,
                     attempts,
@@ -411,6 +643,28 @@ pub fn run_sweep(
     });
     collected?;
 
+    // Degradation accounting after the pool drains: anything scheduled
+    // but absent from the database is "skipped".
+    degradation.cancelled = params.cancel.is_cancelled();
+    let mut skipped: Vec<usize> = deadline_skipped.into_iter().collect();
+    if degradation.cancelled {
+        hydronas_telemetry::add("nas.sweep.cancelled", 1);
+        skipped.extend(
+            pending
+                .iter()
+                .filter(|t| !landed.contains(&t.id))
+                .map(|t| t.id),
+        );
+    }
+    skipped.sort_unstable();
+    degradation.skipped = skipped;
+    if !degradation.skipped.is_empty() {
+        hydronas_telemetry::add("nas.sweep.skipped", degradation.skipped.len() as u64);
+    }
+    if degradation.is_degraded() {
+        sweep_span.attr("degraded", degradation.summary());
+    }
+
     stats.wall_s = started.elapsed().as_secs_f64();
     let mut outcomes: Vec<TrialOutcome> = replayed
         .into_values()
@@ -418,13 +672,41 @@ pub fn run_sweep(
         .chain(live.into_iter().map(|r| r.outcome))
         .collect();
     outcomes.sort_by_key(|o| o.spec.id);
-    if let Some(sink) = options.sink.as_deref_mut() {
+    if let Some(sink) = sink {
+        if degradation.is_degraded() {
+            sink.on_event(&SweepEvent::Degraded {
+                report: &degradation,
+                stats: &stats,
+            });
+        }
         sink.on_event(&SweepEvent::Finished { stats: &stats });
     }
     Ok(SweepReport {
         db: ExperimentDb { outcomes },
         stats,
+        degradation,
     })
+}
+
+/// Runs a set of trials on the worker pool and collects an ordered
+/// database, with optional journaling and progress reporting.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Sweep::builder()` — e.g. `Sweep::builder().with_trials(trials).with_journal(path).run_with(sink)`"
+)]
+#[allow(deprecated)]
+pub fn run_sweep(
+    trials: &[TrialSpec],
+    evaluator: &dyn Evaluator,
+    config: &SchedulerConfig,
+    options: SweepOptions,
+) -> io::Result<SweepReport> {
+    let params = SweepParams {
+        journal: options.journal.map(Path::to_path_buf),
+        workers: options.workers,
+        ..SweepParams::from_config(config)
+    };
+    run_sweep_inner(trials, evaluator, &params, options.sink).map_err(io::Error::from)
 }
 
 /// Runs a set of trials in parallel and collects an ordered database.
@@ -433,7 +715,7 @@ pub fn run_experiment(
     evaluator: &dyn Evaluator,
     config: &SchedulerConfig,
 ) -> ExperimentDb {
-    run_sweep(trials, evaluator, config, SweepOptions::default())
+    run_sweep_inner(trials, evaluator, &SweepParams::from_config(config), None)
         .expect("a sweep without a journal performs no I/O")
         .db
 }
@@ -449,6 +731,7 @@ mod tests {
     use crate::evaluator::SurrogateEvaluator;
     use crate::progress::CollectingSink;
     use crate::space::{full_grid, SearchSpace};
+    use crate::sweep::Sweep;
 
     #[test]
     fn failure_injection_is_deterministic_and_exact() {
@@ -533,25 +816,17 @@ mod tests {
             .into_iter()
             .take(24)
             .collect();
-        let config = SchedulerConfig {
-            injected_failures: 0,
-            transient_failures: 3,
-            max_attempts: 3,
-            ..Default::default()
-        };
         let mut sink = CollectingSink::default();
-        let report = run_sweep(
-            &trials,
-            &SurrogateEvaluator::default(),
-            &config,
-            SweepOptions {
-                sink: Some(&mut sink),
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let report = Sweep::builder()
+            .with_trials(trials)
+            .with_injected_failures(0)
+            .with_transient_failures(3)
+            .with_retry(RetryPolicy::new(3))
+            .run_with(&mut sink)
+            .unwrap();
         // Every trial recovers; exactly the transient ones took 2 attempts.
         assert_eq!(report.db.valid().len(), 24);
+        assert!(!report.degradation.is_degraded());
         assert_eq!(report.stats.retried, 3);
         assert_eq!(
             sink.trials
@@ -570,19 +845,13 @@ mod tests {
             .into_iter()
             .take(12)
             .collect();
-        let config = SchedulerConfig {
-            injected_failures: 0,
-            transient_failures: 2,
-            max_attempts: 1,
-            ..Default::default()
-        };
-        let report = run_sweep(
-            &trials,
-            &SurrogateEvaluator::default(),
-            &config,
-            SweepOptions::default(),
-        )
-        .unwrap();
+        let report = Sweep::builder()
+            .with_trials(trials)
+            .with_injected_failures(0)
+            .with_transient_failures(2)
+            .with_retry(RetryPolicy::new(1))
+            .run()
+            .unwrap();
         assert_eq!(report.db.valid().len(), 10);
         assert_eq!(report.stats.failed, 2);
         assert_eq!(report.stats.retried, 0);
@@ -594,22 +863,13 @@ mod tests {
             .into_iter()
             .take(12)
             .collect();
-        let config = SchedulerConfig {
-            injected_failures: 2,
-            max_attempts: 3,
-            ..Default::default()
-        };
         let mut sink = CollectingSink::default();
-        let report = run_sweep(
-            &trials,
-            &SurrogateEvaluator::default(),
-            &config,
-            SweepOptions {
-                sink: Some(&mut sink),
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let report = Sweep::builder()
+            .with_trials(trials)
+            .with_injected_failures(2)
+            .with_retry(RetryPolicy::new(3))
+            .run_with(&mut sink)
+            .unwrap();
         assert_eq!(report.stats.failed, 2);
         // Each permanent failure burned all three attempts.
         assert_eq!(report.stats.retried, 4);
@@ -631,26 +891,201 @@ mod tests {
             .into_iter()
             .take(48)
             .collect();
-        let config = SchedulerConfig {
-            injected_failures: 2,
-            ..Default::default()
-        };
-        let ev = SurrogateEvaluator::default();
         let mut json = Vec::new();
         for workers in [1, 7, 32] {
-            let report = run_sweep(
-                &trials,
-                &ev,
-                &config,
-                SweepOptions {
-                    workers: Some(workers),
-                    ..Default::default()
-                },
-            )
-            .unwrap();
+            let report = Sweep::builder()
+                .with_trials(trials.clone())
+                .with_injected_failures(2)
+                .with_workers(workers)
+                .run()
+                .unwrap();
             json.push(report.db.to_json());
         }
         assert_eq!(json[0], json[1]);
         assert_eq!(json[0], json[2], "32 workers must match a serial sweep");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_sweep_shim_matches_the_builder() {
+        // The shim must stay a faithful adapter until callers migrate.
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(12)
+            .collect();
+        let config = SchedulerConfig {
+            injected_failures: 1,
+            ..Default::default()
+        };
+        let old = run_sweep(
+            &trials,
+            &SurrogateEvaluator::default(),
+            &config,
+            SweepOptions::default(),
+        )
+        .unwrap();
+        let new = Sweep::builder()
+            .with_trials(trials)
+            .with_injected_failures(1)
+            .run()
+            .unwrap();
+        assert_eq!(old.db.to_json(), new.db.to_json());
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_returns_an_empty_partial_report() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(12)
+            .collect();
+        let ids: Vec<usize> = trials.iter().map(|t| t.id).collect();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let mut sink = CollectingSink::default();
+        let report = Sweep::builder()
+            .with_trials(trials)
+            .with_cancel(cancel)
+            .run_with(&mut sink)
+            .unwrap();
+        assert_eq!(report.db.outcomes.len(), 0);
+        assert!(report.degradation.cancelled);
+        assert!(report.degradation.is_degraded());
+        assert_eq!(report.degradation.skipped, ids);
+        assert!(sink.degraded.is_some(), "sink must see the Degraded event");
+    }
+
+    #[test]
+    fn per_trial_timeout_fails_expensive_trials_deterministically() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(24)
+            .collect();
+        let limit_s = {
+            // Median simulated duration: roughly half the trials exceed.
+            let mut d: Vec<f64> = trials.iter().map(trial_duration_s).collect();
+            d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            d[d.len() / 2]
+        };
+        let expect_timeouts = trials
+            .iter()
+            .filter(|t| trial_duration_s(t) > limit_s)
+            .count();
+        assert!(expect_timeouts > 0, "test premise: some trials exceed");
+        let run = || {
+            Sweep::builder()
+                .with_trials(trials.clone())
+                .with_injected_failures(0)
+                .with_trial_timeout_s(limit_s)
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        assert_eq!(a.degradation.timeout_trials, expect_timeouts);
+        assert!(a.degradation.is_degraded());
+        assert_eq!(a.db.outcomes.len(), 24, "timeouts still land in the db");
+        assert_eq!(a.db.valid().len(), 24 - expect_timeouts);
+        assert_eq!(a.db.to_json(), run().db.to_json(), "timeouts are pure");
+    }
+
+    #[test]
+    fn max_wall_budget_admits_an_id_ordered_prefix() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(24)
+            .collect();
+        let total: f64 = trials.iter().map(trial_duration_s).sum();
+        let report = Sweep::builder()
+            .with_trials(trials.clone())
+            .with_injected_failures(0)
+            .with_max_wall_s(total / 2.0)
+            .run()
+            .unwrap();
+        assert!(report.degradation.deadline_exhausted);
+        let skipped = &report.degradation.skipped;
+        assert!(!skipped.is_empty());
+        // The skipped set is a suffix in id order: everything after the
+        // first trial that blew the budget.
+        let min_skipped = skipped[0];
+        for t in &trials {
+            assert_eq!(
+                skipped.contains(&t.id),
+                t.id >= min_skipped,
+                "trial {} breaks the prefix property",
+                t.id
+            );
+        }
+        assert_eq!(report.db.outcomes.len(), 24 - skipped.len());
+    }
+
+    #[test]
+    fn chaos_transients_are_absorbed_by_retries() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(24)
+            .collect();
+        let report = Sweep::builder()
+            .with_trials(trials)
+            .with_injected_failures(0)
+            .with_chaos(ChaosConfig::new(11).with_transients(200))
+            .with_retry(RetryPolicy::new(4).with_backoff(1.0, 2.0))
+            .run()
+            .unwrap();
+        // 20% per-attempt transient rate with 4 attempts: losing a trial
+        // needs 4 consecutive faults (p = 0.0016 per trial).
+        assert_eq!(report.db.valid().len(), 24);
+        assert!(report.stats.retried > 0, "chaos must have injected faults");
+        assert!(
+            report.degradation.backoff_sim_s > 0.0,
+            "retries must accrue simulated backoff"
+        );
+        assert!(!report.degradation.is_degraded());
+    }
+
+    #[test]
+    fn chaos_panics_are_caught_not_propagated() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(16)
+            .collect();
+        // Panic on every attempt: all trials exhaust retries and fail
+        // with a Panicked status, but the sweep itself survives.
+        let report = Sweep::builder()
+            .with_trials(trials)
+            .with_injected_failures(0)
+            .with_chaos(ChaosConfig::new(5).with_panics(1000))
+            .with_retry(RetryPolicy::new(2))
+            .run()
+            .unwrap();
+        assert_eq!(report.db.valid().len(), 0);
+        assert_eq!(report.stats.failed, 16);
+        assert_eq!(report.degradation.transient_trials, 16);
+        for o in &report.db.outcomes {
+            match &o.status {
+                TrialStatus::Failed(msg) => {
+                    assert!(msg.starts_with("panicked"), "{msg}")
+                }
+                other => panic!("expected failure, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_schedule_is_worker_count_invariant() {
+        let trials: Vec<_> = full_grid(&SearchSpace::paper())
+            .into_iter()
+            .take(24)
+            .collect();
+        let run = |workers| {
+            Sweep::builder()
+                .with_trials(trials.clone())
+                .with_chaos(ChaosConfig::new(9).with_timeouts(100).with_transients(200))
+                .with_workers(workers)
+                .run()
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a.db.to_json(), b.db.to_json());
+        assert_eq!(a.degradation, b.degradation);
     }
 }

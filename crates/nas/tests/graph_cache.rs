@@ -7,9 +7,7 @@
 //! process.
 
 use hydronas_nas::space::{full_grid, SearchSpace};
-use hydronas_nas::{
-    run_sweep, GraphMetricsCache, SchedulerConfig, SurrogateEvaluator, SweepOptions,
-};
+use hydronas_nas::{GraphMetricsCache, SchedulerConfig, Sweep};
 
 #[test]
 fn trials_sharing_an_architecture_hit_the_cache() {
@@ -32,13 +30,12 @@ fn trials_sharing_an_architecture_hit_the_cache() {
     );
 
     let session = hydronas_telemetry::session();
-    let report = run_sweep(
-        &trials,
-        &SurrogateEvaluator::default(),
-        &config,
-        SweepOptions::default(),
-    )
-    .unwrap();
+    let report = Sweep::builder()
+        .with_trials(trials.clone())
+        .with_injected_failures(0)
+        .with_input_hw(config.input_hw)
+        .run()
+        .unwrap();
     let metrics = session.metrics();
     drop(session);
 

@@ -5,9 +5,8 @@
 //! Own integration-test binary (own process) so span/counter assertions
 //! cannot race with unrelated tests.
 
-use hydronas_nas::evaluator::SurrogateEvaluator;
-use hydronas_nas::scheduler::{run_sweep, SchedulerConfig, SweepOptions};
 use hydronas_nas::space::{full_grid, SearchSpace, TrialSpec};
+use hydronas_nas::Sweep;
 
 fn trials(n: usize) -> Vec<TrialSpec> {
     full_grid(&SearchSpace::paper())
@@ -17,21 +16,14 @@ fn trials(n: usize) -> Vec<TrialSpec> {
 }
 
 fn sweep(trials: &[TrialSpec], workers: usize) -> String {
-    run_sweep(
-        trials,
-        &SurrogateEvaluator::default(),
-        &SchedulerConfig {
-            injected_failures: 1,
-            ..Default::default()
-        },
-        SweepOptions {
-            workers: Some(workers),
-            ..Default::default()
-        },
-    )
-    .unwrap()
-    .db
-    .to_json()
+    Sweep::builder()
+        .with_trials(trials.to_vec())
+        .with_injected_failures(1)
+        .with_workers(workers)
+        .run()
+        .unwrap()
+        .db
+        .to_json()
 }
 
 #[test]

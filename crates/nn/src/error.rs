@@ -1,0 +1,77 @@
+//! Typed errors for the training stack.
+//!
+//! The public `hydronas-nn` surface reports failures through
+//! [`ModelImportError`] instead of stringly-typed `Result<_, String>`;
+//! the workspace facade rolls it up into `hydronas::HydroNasError`.
+
+use hydronas_graph::OnnxError;
+
+/// Why [`crate::ResNet::import`] rejected a serialized model blob.
+///
+/// ```
+/// use hydronas_nn::{ModelImportError, ResNet};
+///
+/// match ResNet::import(b"not a model") {
+///     Err(err) => assert!(matches!(err, ModelImportError::Format(_))),
+///     Ok(_) => unreachable!("garbage cannot import"),
+/// }
+/// ```
+#[derive(Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ModelImportError {
+    /// The blob did not parse as a `HONX` model.
+    Format(OnnxError),
+    /// The blob parsed, but its flattened weight vector does not match
+    /// the parameter count of the architecture it declares.
+    WeightCount { expected: usize, actual: usize },
+}
+
+impl std::fmt::Display for ModelImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelImportError::Format(e) => write!(f, "model blob does not parse: {e}"),
+            ModelImportError::WeightCount { expected, actual } => write!(
+                f,
+                "weight count mismatch: blob has {actual}, model needs {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelImportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelImportError::Format(e) => Some(e),
+            ModelImportError::WeightCount { .. } => None,
+        }
+    }
+}
+
+impl From<OnnxError> for ModelImportError {
+    fn from(e: OnnxError) -> ModelImportError {
+        ModelImportError::Format(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_counts() {
+        let e = ModelImportError::WeightCount {
+            expected: 10,
+            actual: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10") && msg.contains('7'), "{msg}");
+    }
+
+    #[test]
+    fn format_errors_expose_their_source() {
+        use std::error::Error;
+        let e = ModelImportError::Format(OnnxError::BadMagic);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("bad magic"));
+    }
+}

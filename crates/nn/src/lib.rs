@@ -31,6 +31,8 @@
 
 mod augment;
 mod block;
+pub mod cancel;
+mod error;
 pub mod layers;
 mod loss;
 mod metrics;
@@ -42,6 +44,8 @@ mod trainer;
 
 pub use augment::{augment_batch, Augmentation};
 pub use block::BasicBlock;
+pub use cancel::CancelToken;
+pub use error::ModelImportError;
 pub use layers::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, Relu};
 pub use loss::CrossEntropyLoss;
 pub use metrics::{accuracy, confusion_matrix, f1_score, roc_auc, roc_curve, ClassificationReport};
@@ -49,4 +53,7 @@ pub use optim::{Adam, Optimizer, Sgd};
 pub use param::{Param, ParamVisitor};
 pub use resnet::ResNet;
 pub use schedule::LrSchedule;
-pub use trainer::{kfold_cross_validate, train, Dataset, FoldResult, TrainConfig, TrainResult};
+pub use trainer::{
+    kfold_cross_validate, kfold_cross_validate_with_cancel, train, train_with_cancel, Dataset,
+    FoldResult, TrainConfig, TrainResult,
+};

@@ -249,8 +249,8 @@ impl ResNet {
 
     /// Rebuilds a model from an exported blob. The architecture comes from
     /// the blob itself; weights are loaded in graph order.
-    pub fn import(blob: &[u8]) -> Result<ResNet, String> {
-        let model = hydronas_graph::deserialize_model(blob).map_err(|e| e.to_string())?;
+    pub fn import(blob: &[u8]) -> Result<ResNet, crate::ModelImportError> {
+        let model = hydronas_graph::deserialize_model(blob)?;
         let mut rng = TensorRng::seed_from_u64(0);
         let mut net = ResNet::new(&model.arch, &mut rng);
         let flat: Vec<f32> = model
@@ -259,11 +259,10 @@ impl ResNet {
             .flat_map(|(_, b)| b.iter().copied())
             .collect();
         if flat.len() != net.num_params() {
-            return Err(format!(
-                "weight count mismatch: blob has {}, model needs {}",
-                flat.len(),
-                net.num_params()
-            ));
+            return Err(crate::ModelImportError::WeightCount {
+                expected: net.num_params(),
+                actual: flat.len(),
+            });
         }
         net.load_flat_params(&flat);
         Ok(net)
@@ -297,6 +296,33 @@ mod export_tests {
 
     #[test]
     fn import_rejects_garbage() {
-        assert!(ResNet::import(b"not a model").is_err());
+        match ResNet::import(b"not a model") {
+            Err(err) => assert!(matches!(err, crate::ModelImportError::Format(_)), "{err}"),
+            Ok(_) => panic!("garbage blob imported"),
+        }
+    }
+
+    #[test]
+    fn import_rejects_truncated_blob() {
+        let arch = ArchConfig {
+            in_channels: 5,
+            kernel_size: 3,
+            stride: 2,
+            padding: 1,
+            pool: None,
+            initial_features: 4,
+            num_classes: 2,
+        };
+        let mut rng = TensorRng::seed_from_u64(6);
+        let mut model = ResNet::new(&arch, &mut rng);
+        let blob = model.export(32).unwrap();
+        match ResNet::import(&blob[..blob.len() - 4]) {
+            Err(err) => {
+                assert!(matches!(err, crate::ModelImportError::Format(_)), "{err}");
+                // The inner ONNX error stays reachable through source().
+                assert!(std::error::Error::source(&err).is_some());
+            }
+            Ok(_) => panic!("truncated blob imported"),
+        }
     }
 }

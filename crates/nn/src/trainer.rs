@@ -2,6 +2,7 @@
 //! cross-validation protocol.
 
 use crate::augment::augment_batch;
+use crate::cancel::CancelToken;
 use crate::loss::CrossEntropyLoss;
 use crate::metrics::ClassificationReport;
 use crate::optim::{Optimizer, Sgd};
@@ -124,6 +125,9 @@ pub struct TrainResult {
     pub report: ClassificationReport,
     /// True when a non-finite loss aborted training early.
     pub diverged: bool,
+    /// True when a [`CancelToken`] stopped training at an epoch boundary
+    /// before every configured epoch ran.
+    pub cancelled: bool,
 }
 
 /// Outcome of one cross-validation fold.
@@ -159,6 +163,20 @@ pub fn train(
     val_set: &Dataset,
     config: &TrainConfig,
 ) -> TrainResult {
+    train_with_cancel(arch, train_set, val_set, config, &CancelToken::new())
+}
+
+/// [`train`] with cooperative cancellation: the token is checked at every
+/// epoch boundary, so a cancelled run stops after the epoch in flight,
+/// evaluates the partially trained model, and reports
+/// [`TrainResult::cancelled`] instead of tearing anything down mid-step.
+pub fn train_with_cancel(
+    arch: &ArchConfig,
+    train_set: &Dataset,
+    val_set: &Dataset,
+    config: &TrainConfig,
+    cancel: &CancelToken,
+) -> TrainResult {
     assert_eq!(
         train_set.channels(),
         arch.in_channels,
@@ -181,8 +199,13 @@ pub fn train(
     let sample = dims[1] * dims[2] * dims[3];
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     let mut diverged = false;
+    let mut cancelled = false;
 
     'epochs: for epoch in 0..config.epochs {
+        if cancel.is_cancelled() {
+            cancelled = true;
+            break 'epochs;
+        }
         let lr = config
             .lr_schedule
             .rate(config.learning_rate, epoch, config.epochs);
@@ -263,6 +286,7 @@ pub fn train(
         epoch_losses,
         report,
         diverged,
+        cancelled,
     }
 }
 
@@ -274,23 +298,45 @@ pub fn kfold_cross_validate(
     k: usize,
     config: &TrainConfig,
 ) -> (f64, Vec<FoldResult>) {
+    kfold_cross_validate_with_cancel(arch, data, k, config, &CancelToken::new())
+}
+
+/// [`kfold_cross_validate`] with cooperative cancellation.
+///
+/// The token is checked at every fold boundary (and, via
+/// [`train_with_cancel`], at every epoch boundary inside a fold): a
+/// cancelled run stops scheduling new folds and returns the folds it
+/// finished. Callers can detect a partial result by comparing
+/// `results.len()` against `k` or by checking
+/// [`TrainResult::cancelled`] on the last fold. The mean accuracy is
+/// taken over the folds that actually ran.
+pub fn kfold_cross_validate_with_cancel(
+    arch: &ArchConfig,
+    data: &Dataset,
+    k: usize,
+    config: &TrainConfig,
+    cancel: &CancelToken,
+) -> (f64, Vec<FoldResult>) {
     let folds = data.kfold_indices(k, config.seed);
     let mut results = Vec::with_capacity(k);
     for (fold, (train_idx, val_idx)) in folds.into_iter().enumerate() {
+        if cancel.is_cancelled() {
+            break;
+        }
         let train_set = data.subset(&train_idx);
         let val_set = data.subset(&val_idx);
         let fold_config = TrainConfig {
             seed: config.seed.wrapping_add(fold as u64),
             ..*config
         };
-        let result = train(arch, &train_set, &val_set, &fold_config);
+        let result = train_with_cancel(arch, &train_set, &val_set, &fold_config, cancel);
         results.push(FoldResult { fold, result });
     }
     let mean_acc = results
         .iter()
         .map(|f| f.result.report.accuracy_pct)
         .sum::<f64>()
-        / k as f64;
+        / results.len().max(1) as f64;
     (mean_acc, results)
 }
 
@@ -505,6 +551,64 @@ mod tests {
         );
         assert!(!result.diverged);
         assert_eq!(result.epoch_losses.len(), 4);
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_every_epoch() {
+        let data = toy_dataset(16, 8, 20);
+        let idx: Vec<usize> = (0..16).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let config = TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            ..Default::default()
+        };
+        let result = train_with_cancel(
+            &tiny_arch(),
+            &data.subset(&idx),
+            &data.subset(&idx),
+            &config,
+            &token,
+        );
+        assert!(result.cancelled);
+        assert!(!result.diverged);
+        assert!(result.epoch_losses.is_empty());
+        // The untrained model is still evaluated: partial results stay usable.
+        assert_eq!(result.report.samples, 16);
+    }
+
+    #[test]
+    fn uncancelled_run_reports_cancelled_false() {
+        let data = toy_dataset(16, 8, 21);
+        let idx: Vec<usize> = (0..16).collect();
+        let config = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            ..Default::default()
+        };
+        let result = train(
+            &tiny_arch(),
+            &data.subset(&idx),
+            &data.subset(&idx),
+            &config,
+        );
+        assert!(!result.cancelled);
+        assert_eq!(result.epoch_losses.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_kfold_returns_partial_folds() {
+        let data = toy_dataset(20, 8, 22);
+        let config = TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let (_, folds) = kfold_cross_validate_with_cancel(&tiny_arch(), &data, 2, &config, &token);
+        assert!(folds.is_empty());
     }
 
     #[test]

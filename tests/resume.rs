@@ -5,7 +5,6 @@
 
 use hydronas::prelude::*;
 use hydronas_nas::space::{full_grid, SearchSpace};
-use hydronas_nas::{read_journal, run_sweep};
 use std::fs::OpenOptions;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -24,17 +23,21 @@ fn temp_journal(tag: &str) -> PathBuf {
     path
 }
 
+fn builder(trials: Vec<TrialSpec>, config: &SchedulerConfig, journal: Option<&Path>) -> Sweep {
+    let mut b = Sweep::builder()
+        .with_trials(trials)
+        .with_seed(config.seed)
+        .with_injected_failures(config.injected_failures)
+        .with_transient_failures(config.transient_failures)
+        .with_retry(RetryPolicy::new(config.max_attempts));
+    if let Some(path) = journal {
+        b = b.with_journal(path);
+    }
+    b.build()
+}
+
 fn sweep(config: &SchedulerConfig, journal: Option<&Path>) -> SweepReport {
-    run_sweep(
-        &trials(),
-        &SurrogateEvaluator::default(),
-        config,
-        SweepOptions {
-            journal,
-            ..Default::default()
-        },
-    )
-    .expect("sweep I/O")
+    builder(trials(), config, journal).run().expect("sweep I/O")
 }
 
 /// Simulates a crash: keep only the first `keep` journal lines, plus a
@@ -138,16 +141,15 @@ fn stale_journal_is_rejected() {
         .filter(|t| t.combo.channels == 7)
         .take(30)
         .collect();
-    let err = run_sweep(
-        &other,
-        &SurrogateEvaluator::default(),
-        &config,
-        SweepOptions {
-            journal: Some(&journal),
-            ..Default::default()
-        },
-    )
-    .unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let err = builder(other, &config, Some(&journal)).run().unwrap_err();
+    assert!(
+        matches!(err, SweepError::StaleJournal { .. }),
+        "expected a typed stale-journal error, got {err}"
+    );
+    // The shim keeps the historical io::Error contract for old callers.
+    assert_eq!(
+        std::io::Error::from(err).kind(),
+        std::io::ErrorKind::InvalidData
+    );
     std::fs::remove_file(&journal).ok();
 }

@@ -1,0 +1,230 @@
+//! Robustness contract of the sweep engine: cooperative cancellation,
+//! deadline determinism, and chaos tolerance.
+//!
+//! The load-bearing guarantee: a sweep cancelled mid-run and resumed
+//! from its journal produces an `ExperimentDb` byte-identical to an
+//! uninterrupted run — cancellation loses wall-clock, never results.
+
+use hydronas::prelude::*;
+use hydronas_nas::space::{full_grid, SearchSpace};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn trials(n: usize) -> Vec<TrialSpec> {
+    full_grid(&SearchSpace::paper())
+        .into_iter()
+        .take(n)
+        .collect()
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("hydronas_robust_{tag}_{}", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+/// Cancels the sweep's token after `after` live trial events land.
+struct CancelAfter {
+    remaining: usize,
+    token: CancelToken,
+}
+
+impl ProgressSink for CancelAfter {
+    fn on_event(&mut self, event: &SweepEvent) {
+        if let SweepEvent::Trial { .. } = event {
+            self.remaining = self.remaining.saturating_sub(1);
+            if self.remaining == 0 {
+                self.token.cancel();
+            }
+        }
+    }
+}
+
+fn sweep_with_journal(trials: Vec<TrialSpec>, journal: Option<&Path>) -> Sweep {
+    let mut b = Sweep::builder()
+        .with_trials(trials)
+        .with_injected_failures(3)
+        .with_transient_failures(4);
+    if let Some(path) = journal {
+        b = b.with_journal(path);
+    }
+    b.build()
+}
+
+#[test]
+fn cancel_mid_sweep_then_resume_is_byte_identical() {
+    let n = 288;
+    let uninterrupted = sweep_with_journal(trials(n), None).run().unwrap();
+    assert_eq!(uninterrupted.db.outcomes.len(), n);
+
+    let journal = temp_journal("cancel");
+    let token = CancelToken::new();
+    let mut sink = CancelAfter {
+        remaining: 5,
+        token: token.clone(),
+    };
+    let partial = Sweep::builder()
+        .with_trials(trials(n))
+        .with_injected_failures(3)
+        .with_transient_failures(4)
+        .with_journal(&journal)
+        .with_cancel(token)
+        .run_with(&mut sink)
+        .unwrap();
+    assert!(partial.degradation.cancelled);
+    // Every terminal outcome the cancelled run produced reached the
+    // journal before the engine returned (the flush-on-drain contract),
+    // and everything else is accounted for as skipped.
+    assert_eq!(
+        read_journal(&journal).unwrap().len(),
+        partial.stats.finished()
+    );
+    assert_eq!(
+        partial.db.outcomes.len() + partial.degradation.skipped.len(),
+        n
+    );
+    // The partial database is a subset of the uninterrupted run, not a
+    // divergent one: every landed outcome matches byte for byte.
+    let full_json = uninterrupted.db.to_json();
+    for outcome in &partial.db.outcomes {
+        let reference = uninterrupted
+            .db
+            .by_id(outcome.spec.id)
+            .expect("cancelled run cannot invent trials");
+        assert_eq!(
+            serde_json::to_string(outcome).unwrap(),
+            serde_json::to_string(reference).unwrap(),
+            "trial {} diverged under cancellation",
+            outcome.spec.id
+        );
+    }
+
+    // Resume without the cancel token: the journal replays and the final
+    // database is byte-identical to the uninterrupted run.
+    let resumed = sweep_with_journal(trials(n), Some(&journal)).run().unwrap();
+    assert_eq!(resumed.stats.replayed, partial.stats.finished());
+    assert_eq!(resumed.db.to_json(), full_json);
+    assert!(!resumed.degradation.is_degraded());
+    std::fs::remove_file(&journal).ok();
+}
+
+#[test]
+fn deadline_skips_identically_across_worker_counts() {
+    let specs = trials(96);
+    let budget_s: f64 = specs
+        .iter()
+        .map(hydronas_nas::trial_duration_s)
+        .sum::<f64>()
+        / 3.0;
+    let run = |workers: usize| {
+        Sweep::builder()
+            .with_trials(specs.clone())
+            .with_injected_failures(0)
+            .with_max_wall_s(budget_s)
+            .with_workers(workers)
+            .run()
+            .unwrap()
+    };
+    let serial = run(1);
+    assert!(serial.degradation.deadline_exhausted);
+    assert!(!serial.degradation.skipped.is_empty());
+    for workers in [8, 32] {
+        let parallel = run(workers);
+        assert_eq!(
+            parallel.db.to_json(),
+            serial.db.to_json(),
+            "{workers} workers changed the admitted database"
+        );
+        assert_eq!(
+            parallel.degradation, serial.degradation,
+            "{workers} workers changed the skipped set"
+        );
+    }
+}
+
+#[test]
+fn deadline_cutoff_survives_a_resume() {
+    // A deadline-limited run journals what it admitted; resuming with the
+    // same budget replays it and re-skips the same suffix.
+    let specs = trials(48);
+    let budget_s: f64 = specs
+        .iter()
+        .map(hydronas_nas::trial_duration_s)
+        .sum::<f64>()
+        / 2.0;
+    let journal = temp_journal("deadline");
+    let run = || {
+        Sweep::builder()
+            .with_trials(specs.clone())
+            .with_injected_failures(0)
+            .with_max_wall_s(budget_s)
+            .with_journal(&journal)
+            .run()
+            .unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(second.stats.replayed, first.stats.finished());
+    assert_eq!(second.db.to_json(), first.db.to_json());
+    assert_eq!(second.degradation.skipped, first.degradation.skipped);
+    std::fs::remove_file(&journal).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any mix of injected chaos faults terminates with a coherent
+    /// degradation report: every trial is either in the database or in
+    /// the skipped set, failure counts partition the failed total, and
+    /// the run is pure (same inputs, same bytes).
+    #[test]
+    fn chaos_always_terminates_with_a_coherent_report(
+        seed in 0u64..1000,
+        timeout_pm in 0u16..300,
+        panic_pm in 0u16..300,
+        transient_pm in 0u16..300,
+        max_attempts in 1usize..4,
+    ) {
+        let specs = trials(24);
+        let run = || {
+            Sweep::builder()
+                .with_trials(specs.clone())
+                .with_injected_failures(0)
+                .with_retry(RetryPolicy::new(max_attempts).with_backoff(0.5, 2.0))
+                .with_chaos(
+                    ChaosConfig::new(seed)
+                        .with_timeouts(timeout_pm)
+                        .with_panics(panic_pm)
+                        .with_transients(transient_pm),
+                )
+                .run()
+                .expect("chaos must never surface as an engine error")
+        };
+        let report = run();
+        let d = &report.degradation;
+        // No cancellation and no deadline: nothing may be skipped.
+        prop_assert!(d.skipped.is_empty());
+        prop_assert!(!d.cancelled && !d.deadline_exhausted);
+        prop_assert_eq!(report.db.outcomes.len(), specs.len());
+        prop_assert_eq!(
+            report.stats.completed + report.stats.failed,
+            specs.len()
+        );
+        // Failure causes partition the failed count.
+        prop_assert_eq!(
+            d.timeout_trials + d.transient_trials + d.invalid_trials,
+            report.stats.failed
+        );
+        prop_assert!(d.backoff_sim_s >= 0.0);
+        // Degradation flags stay truthful.
+        prop_assert_eq!(
+            d.is_degraded(),
+            d.timeout_trials > 0
+        );
+        // Chaos is deterministic: the same fault mix reproduces the
+        // same database and the same report.
+        let again = run();
+        prop_assert_eq!(report.db.to_json(), again.db.to_json());
+        prop_assert_eq!(d, &again.degradation);
+    }
+}
