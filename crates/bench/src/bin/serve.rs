@@ -1,0 +1,613 @@
+//! The serving benchmark runner: compiles Pareto-front models into
+//! execution plans, times the batching engine, and writes
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! serve [--smoke] [--out PATH] [--gate BASELINE.json]
+//! ```
+//!
+//! * `--smoke` — fewer repetitions and fewer engine requests. The sweep,
+//!   the deployment model, and the batch shapes are identical to a full
+//!   run, so every throughput stays gate-comparable to the committed
+//!   baseline.
+//! * `--out PATH` — where to write the report (default `BENCH_serve.json`).
+//! * `--gate BASELINE.json` — compare against a committed report and exit
+//!   non-zero if any throughput falls below 75% of the baseline.
+//!
+//! Beyond timing, the run *asserts* the structural claims of the serving
+//! work: whole-batch execution must deliver at least 2x the per-sample
+//! throughput on the deployment model (the batched im2col + single wide
+//! GEMM claim), int8 storage must compress weights at least 3x, the
+//! engine must batch concurrent clients (telemetry counters agree with
+//! engine stats), and the predictor-vs-measured validation must cover
+//! every Pareto-front model of the sweep.
+
+use hydronas_infer::{Engine, EngineConfig, ExecutionPlan, PlanConfig};
+use hydronas_nas::space::{full_grid, SearchSpace};
+use hydronas_nas::{run_experiment, SchedulerConfig, SurrogateEvaluator};
+use hydronas_nn::ResNet;
+use hydronas_tensor::{uniform, Tensor, TensorRng};
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Gate threshold: current throughput must be at least this fraction of
+/// the committed baseline.
+const GATE_FRACTION: f64 = 0.75;
+
+/// Tile edge for all measurements — the same edge the sweep's latency
+/// predictor and memory accounting use, so predicted and measured
+/// numbers describe the same workload.
+const INPUT_HW: usize = 32;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SingleStream {
+    /// Stable key of the deployment model (fastest Pareto-front arch).
+    arch: String,
+    input_hw: u64,
+    latency_ms: f64,
+    samples_per_s: f64,
+}
+
+/// The per-sample serving baseline: `ResNet::forward_eval` one request at
+/// a time — the path a deployment had before the plan/engine existed
+/// (unfused conv, separate BN and ReLU passes, per-request dispatch).
+#[derive(Debug, Serialize, Deserialize)]
+struct BaselineEval {
+    latency_ms: f64,
+    samples_per_s: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BatchPoint {
+    batch: u64,
+    ms_per_batch: f64,
+    samples_per_s: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Batched {
+    /// Best-throughput point of the curve below.
+    batch: u64,
+    ms_per_batch: f64,
+    samples_per_s: f64,
+    /// Batched samples/s over the per-sample `forward_eval` baseline —
+    /// the structural >= 2x claim.
+    speedup_vs_eval_baseline: f64,
+    /// Batched samples/s over the compiled plan's own batch=1 rate
+    /// (isolates the batching win from the compilation win).
+    speedup_vs_single_stream: f64,
+    /// Throughput at each measured batch size.
+    curve: Vec<BatchPoint>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Int8Serve {
+    fp32_weight_bytes: u64,
+    int8_weight_bytes: u64,
+    compression: f64,
+    fp32_ms: f64,
+    int8_ms: f64,
+    /// Largest absolute logit difference on a seeded batch.
+    max_logit_delta: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct EngineBench {
+    clients: u64,
+    requests: u64,
+    batches: u64,
+    mean_batch: f64,
+    max_batch_observed: u64,
+    samples_per_s: f64,
+    /// `infer.batches` / `infer.samples` telemetry counters, which must
+    /// agree with the engine's own stats.
+    telemetry_batches: u64,
+    telemetry_samples: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ParetoRow {
+    trial: u64,
+    arch: String,
+    predicted_ms: f64,
+    measured_ms: f64,
+    /// measured / predicted — a host-vs-modeled-device calibration
+    /// factor, expected similar across models if the predictor ranks
+    /// correctly.
+    ratio: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ParetoValidation {
+    sweep_trials: u64,
+    models: u64,
+    ratio_min: f64,
+    ratio_max: f64,
+    rows: Vec<ParetoRow>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    schema: String,
+    mode: String,
+    avx2_fma: bool,
+    baseline_eval: BaselineEval,
+    single_stream: SingleStream,
+    batched: Batched,
+    int8: Int8Serve,
+    engine: EngineBench,
+    pareto: ParetoValidation,
+}
+
+impl Report {
+    /// The higher-is-better numbers the regression gate compares.
+    fn throughputs(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            (
+                "baseline_eval.samples_per_s",
+                self.baseline_eval.samples_per_s,
+            ),
+            (
+                "single_stream.samples_per_s",
+                self.single_stream.samples_per_s,
+            ),
+            ("batched.samples_per_s", self.batched.samples_per_s),
+            ("engine.samples_per_s", self.engine.samples_per_s),
+        ]
+    }
+}
+
+/// Median wall time of `reps` calls, in seconds. One untimed warmup call
+/// populates caches and scratch arenas first.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Builds the seeded model for one sweep architecture (random weights:
+/// latency depends on shapes, not parameter values).
+fn model_for(arch: &hydronas_graph::ArchConfig) -> ResNet {
+    let mut rng = TensorRng::seed_from_u64(17);
+    ResNet::new(arch, &mut rng)
+}
+
+/// Compiles one sweep architecture into a served plan.
+fn plan_for(arch: &hydronas_graph::ArchConfig, config: &PlanConfig) -> ExecutionPlan {
+    ExecutionPlan::compile(&model_for(arch), config)
+}
+
+fn sample(channels: usize, seed: u64) -> Tensor {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    uniform(&[channels, INPUT_HW, INPUT_HW], -1.0, 1.0, &mut rng)
+}
+
+fn batch_of(channels: usize, n: usize, seed: u64) -> Tensor {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    uniform(&[n, channels, INPUT_HW, INPUT_HW], -1.0, 1.0, &mut rng)
+}
+
+/// Times batch=1 plan execution — the per-sample serving baseline.
+fn bench_single(plan: &ExecutionPlan, arch_key: String, reps: usize) -> SingleStream {
+    let x = sample(plan.arch().in_channels, 21);
+    let t = time_median(reps, || {
+        let _ = plan.run_single(&x);
+    });
+    SingleStream {
+        arch: arch_key,
+        input_hw: INPUT_HW as u64,
+        latency_ms: t * 1e3,
+        samples_per_s: 1.0 / t,
+    }
+}
+
+/// Times `forward_eval` one sample at a time — the pre-engine serving
+/// path every request would otherwise take.
+fn bench_baseline(model: &ResNet, channels: usize, reps: usize) -> BaselineEval {
+    let x = sample(channels, 21);
+    let dims = x.dims();
+    let batched = Tensor::from_vec(x.as_slice().to_vec(), &[1, dims[0], dims[1], dims[2]]);
+    let t = time_median(reps, || {
+        let _ = model.forward_eval(&batched);
+    });
+    BaselineEval {
+        latency_ms: t * 1e3,
+        samples_per_s: 1.0 / t,
+    }
+}
+
+/// Times whole-batch execution across a batch-size curve and reports the
+/// best point with its speedups over both baselines.
+fn bench_batched(
+    plan: &ExecutionPlan,
+    baseline: &BaselineEval,
+    single: &SingleStream,
+    reps: usize,
+) -> Batched {
+    let mut curve = Vec::new();
+    for batch in [4usize, 8, 16, 32] {
+        let x = batch_of(plan.arch().in_channels, batch, 22);
+        let t = time_median(reps, || {
+            let _ = plan.run_batch(&x);
+        });
+        curve.push(BatchPoint {
+            batch: batch as u64,
+            ms_per_batch: t * 1e3,
+            samples_per_s: batch as f64 / t,
+        });
+    }
+    let (batch, ms_per_batch, samples_per_s) = curve
+        .iter()
+        .max_by(|a, b| a.samples_per_s.total_cmp(&b.samples_per_s))
+        .map(|p| (p.batch, p.ms_per_batch, p.samples_per_s))
+        .expect("curve is non-empty");
+    Batched {
+        batch,
+        ms_per_batch,
+        samples_per_s,
+        speedup_vs_eval_baseline: samples_per_s / baseline.samples_per_s,
+        speedup_vs_single_stream: samples_per_s / single.samples_per_s,
+        curve,
+    }
+}
+
+/// Compares int8 (dequant-on-load) against fp32 on the same model:
+/// footprint, latency, and logit drift.
+fn bench_int8(arch: &hydronas_graph::ArchConfig, reps: usize) -> Int8Serve {
+    let fp32 = plan_for(arch, &PlanConfig::default());
+    let int8 = plan_for(
+        arch,
+        &PlanConfig {
+            precision: hydronas_graph::Precision::Int8,
+            ..PlanConfig::default()
+        },
+    );
+    let x = batch_of(arch.in_channels, 4, 23);
+    let t_fp32 = time_median(reps, || {
+        let _ = fp32.run_batch(&x);
+    });
+    let t_int8 = time_median(reps, || {
+        let _ = int8.run_batch(&x);
+    });
+    let a = fp32.run_batch(&x);
+    let b = int8.run_batch(&x);
+    let max_logit_delta = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(p, q)| (p - q).abs() as f64)
+        .fold(0.0, f64::max);
+    Int8Serve {
+        fp32_weight_bytes: fp32.weight_bytes(),
+        int8_weight_bytes: int8.weight_bytes(),
+        compression: fp32.weight_bytes() as f64 / int8.weight_bytes() as f64,
+        fp32_ms: t_fp32 * 1e3,
+        int8_ms: t_int8 * 1e3,
+        max_logit_delta,
+    }
+}
+
+/// Drives the batching engine with concurrent clients and checks that
+/// engine stats and telemetry counters tell the same story.
+fn bench_engine(plan: Arc<ExecutionPlan>, clients: usize, per_client: usize) -> EngineBench {
+    let session = hydronas_telemetry::session();
+    let engine = Arc::new(Engine::start(
+        plan,
+        EngineConfig {
+            workers: 2,
+            max_batch: 8,
+            max_wait_ticks: 2,
+            tick_us: 200,
+        },
+    ));
+    let channels = engine.plan().arch().in_channels;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for r in 0..per_client {
+                    let x = sample(channels, (c * per_client + r) as u64);
+                    let p = engine.infer(x).expect("engine serves while open");
+                    assert!(!p.logits.is_empty());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    let metrics = session.metrics();
+    drop(session);
+    let counter = |name: &str| metrics.counters.get(name).copied().unwrap_or(0);
+    EngineBench {
+        clients: clients as u64,
+        requests: stats.requests,
+        batches: stats.batches,
+        mean_batch: stats.mean_batch(),
+        max_batch_observed: stats.max_batch_observed,
+        samples_per_s: (clients * per_client) as f64 / elapsed,
+        telemetry_batches: counter("infer.batches"),
+        telemetry_samples: counter("infer.samples"),
+    }
+}
+
+/// Runs the surrogate sweep, then measures engine latency for *every*
+/// Pareto-front model and compares against the predictor's mean-device
+/// estimate.
+fn bench_pareto(
+    sweep_trials: usize,
+    reps: usize,
+) -> (ParetoValidation, hydronas_graph::ArchConfig) {
+    let trials: Vec<_> = full_grid(&SearchSpace::paper())
+        .into_iter()
+        .take(sweep_trials)
+        .collect();
+    let config = SchedulerConfig {
+        injected_failures: 0,
+        ..Default::default()
+    };
+    let db = run_experiment(&trials, &SurrogateEvaluator::default(), &config);
+    let front = db.pareto_outcomes();
+    assert!(!front.is_empty(), "sweep produced an empty Pareto front");
+
+    let mut rows = Vec::with_capacity(front.len());
+    let mut fastest: Option<(f64, hydronas_graph::ArchConfig)> = None;
+    for outcome in &front {
+        let arch = outcome.spec.arch;
+        let plan = plan_for(&arch, &PlanConfig::default());
+        let x = sample(arch.in_channels, 29);
+        let t = time_median(reps, || {
+            let _ = plan.run_single(&x);
+        });
+        let measured_ms = t * 1e3;
+        eprintln!(
+            "  trial {:>3} {}: predicted {:>7.2} ms, measured {:>7.2} ms",
+            outcome.spec.id,
+            outcome.spec.key(),
+            outcome.latency_ms,
+            measured_ms
+        );
+        rows.push(ParetoRow {
+            trial: outcome.spec.id as u64,
+            arch: outcome.spec.key(),
+            predicted_ms: outcome.latency_ms,
+            measured_ms,
+            ratio: measured_ms / outcome.latency_ms,
+        });
+        // `Option::is_none_or` needs rust 1.82; the workspace MSRV is 1.75.
+        #[allow(clippy::unnecessary_map_or)]
+        if fastest
+            .as_ref()
+            .map_or(true, |(best, _)| outcome.latency_ms < *best)
+        {
+            fastest = Some((outcome.latency_ms, arch));
+        }
+    }
+    let ratio_min = rows.iter().map(|r| r.ratio).fold(f64::INFINITY, f64::min);
+    let ratio_max = rows.iter().map(|r| r.ratio).fold(0.0, f64::max);
+    let validation = ParetoValidation {
+        sweep_trials: trials.len() as u64,
+        models: rows.len() as u64,
+        ratio_min,
+        ratio_max,
+        rows,
+    };
+    (validation, fastest.expect("front is non-empty").1)
+}
+
+/// Applies the regression gate: every throughput must hold at least
+/// [`GATE_FRACTION`] of the committed baseline.
+fn check_gate(current: &Report, baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read gate baseline {baseline_path}: {e}"))?;
+    let baseline: Report = serde_json::from_str(&text)
+        .map_err(|e| format!("gate baseline {baseline_path} is not a serve report: {e:?}"))?;
+    let base = baseline.throughputs();
+    let mut failures = Vec::new();
+    for (name, now) in current.throughputs() {
+        let Some((_, before)) = base.iter().find(|(n, _)| *n == name) else {
+            continue;
+        };
+        let ratio = now / before;
+        eprintln!(
+            "gate {name}: {now:.2} vs baseline {before:.2} ({:.0}%)",
+            ratio * 100.0
+        );
+        if ratio < GATE_FRACTION {
+            failures.push(format!(
+                "{name} regressed to {:.0}% of baseline ({now:.2} vs {before:.2})",
+                ratio * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut gate_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            "--gate" => gate_path = Some(args.next().expect("--gate requires a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: serve [--smoke] [--out PATH] [--gate BASELINE.json]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Smoke trims repetitions and per-client request counts only: the
+    // sweep (and therefore the deployment model) and the engine's batch
+    // shape stay identical to a full run, so smoke throughputs can be
+    // gated against the committed full-mode baseline.
+    let (reps, sweep_trials, clients, per_client) = if smoke {
+        (5, 288, 8, 4)
+    } else {
+        (11, 288, 8, 8)
+    };
+
+    eprintln!("sweeping {sweep_trials} trials and validating the Pareto front ({reps} reps)...");
+    let (pareto, deploy_arch) = bench_pareto(sweep_trials, reps);
+    eprintln!(
+        "  {} front models, measured/predicted ratio {:.2}..{:.2}",
+        pareto.models, pareto.ratio_min, pareto.ratio_max
+    );
+
+    let deploy_model = model_for(&deploy_arch);
+    let plan = Arc::new(ExecutionPlan::compile(
+        &deploy_model,
+        &PlanConfig::default(),
+    ));
+    let arch_label = format!(
+        "k{}s{}p{}f{}{}",
+        deploy_arch.kernel_size,
+        deploy_arch.stride,
+        deploy_arch.padding,
+        deploy_arch.initial_features,
+        match deploy_arch.pool {
+            Some(p) => format!("-pool{}s{}", p.kernel, p.stride),
+            None => String::from("-nopool"),
+        }
+    );
+    eprintln!("timing per-sample forward_eval baseline ({reps} reps)...");
+    let baseline_eval = bench_baseline(&deploy_model, deploy_arch.in_channels, reps);
+    eprintln!(
+        "  {:.3} ms ({:.1} samples/s) on {arch_label}",
+        baseline_eval.latency_ms, baseline_eval.samples_per_s
+    );
+    eprintln!("timing single-stream plan latency ({reps} reps)...");
+    let single_stream = bench_single(&plan, arch_label, reps);
+    eprintln!(
+        "  {:.3} ms ({:.1} samples/s)",
+        single_stream.latency_ms, single_stream.samples_per_s
+    );
+    eprintln!("timing whole-batch execution ({reps} reps)...");
+    let batched = bench_batched(&plan, &baseline_eval, &single_stream, reps);
+    for p in &batched.curve {
+        eprintln!(
+            "  batch {:>2}: {:.3} ms ({:.1} samples/s)",
+            p.batch, p.ms_per_batch, p.samples_per_s
+        );
+    }
+    eprintln!(
+        "  best batch {}: {:.2}x eval baseline, {:.2}x plan single-stream",
+        batched.batch, batched.speedup_vs_eval_baseline, batched.speedup_vs_single_stream
+    );
+    eprintln!("timing int8 vs fp32 ({reps} reps)...");
+    let int8 = bench_int8(&deploy_arch, reps);
+    eprintln!(
+        "  {:.2}x smaller, fp32 {:.3} ms vs int8 {:.3} ms, max logit delta {:.4}",
+        int8.compression, int8.fp32_ms, int8.int8_ms, int8.max_logit_delta
+    );
+    eprintln!("driving the batching engine ({clients} clients x {per_client} requests)...");
+    let engine = bench_engine(Arc::clone(&plan), clients, per_client);
+    eprintln!(
+        "  {} requests in {} batches (mean {:.2}, max {}), {:.1} samples/s",
+        engine.requests,
+        engine.batches,
+        engine.mean_batch,
+        engine.max_batch_observed,
+        engine.samples_per_s
+    );
+
+    let report = Report {
+        schema: "hydronas-bench-serve/v1".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        avx2_fma: avx2_fma(),
+        baseline_eval,
+        single_stream,
+        batched,
+        int8,
+        engine,
+        pareto,
+    };
+
+    // The structural claims are hard failures, not just numbers in a file.
+    let mut failed = Vec::new();
+    if report.batched.speedup_vs_eval_baseline < 2.0 {
+        failed.push(format!(
+            "batched throughput is only {:.2}x the per-sample eval baseline (must be >= 2x)",
+            report.batched.speedup_vs_eval_baseline
+        ));
+    }
+    if report.batched.speedup_vs_single_stream < 1.0 {
+        failed.push(format!(
+            "batching made the compiled plan slower ({:.2}x its own batch=1 rate)",
+            report.batched.speedup_vs_single_stream
+        ));
+    }
+    if report.int8.compression < 3.0 {
+        failed.push(format!(
+            "int8 compression {:.2}x is below the required 3x",
+            report.int8.compression
+        ));
+    }
+    if report.engine.telemetry_samples != report.engine.requests
+        || report.engine.telemetry_batches != report.engine.batches
+    {
+        failed.push(format!(
+            "telemetry disagrees with engine stats ({}/{} samples, {}/{} batches)",
+            report.engine.telemetry_samples,
+            report.engine.requests,
+            report.engine.telemetry_batches,
+            report.engine.batches
+        ));
+    }
+    if report.engine.max_batch_observed < 2 {
+        failed.push("engine never formed a batch from concurrent clients".to_string());
+    }
+    if report.pareto.models == 0 {
+        failed.push("no Pareto-front models were validated".to_string());
+    }
+    if report.pareto.rows.iter().any(|r| r.measured_ms <= 0.0) {
+        failed.push("a Pareto-front model measured non-positive latency".to_string());
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+
+    if let Some(path) = gate_path {
+        if let Err(msg) = check_gate(&report, &path) {
+            failed.push(msg);
+        }
+    }
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failed {
+            eprintln!("BENCH FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn avx2_fma() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}

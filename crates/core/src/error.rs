@@ -3,7 +3,8 @@
 //! Every subsystem exposes its own focused error enum ([`SweepError`]
 //! for the sweep engine, [`GraphError`] / [`OnnxError`] for model
 //! construction and serialization, [`MetricsError`] for the
-//! graph-metrics cache, [`ModelImportError`] for weight import).
+//! graph-metrics cache, [`ModelImportError`] for weight import,
+//! [`InferError`] for the serving engine).
 //! [`HydroNasError`] rolls them into one facade-level
 //! type so end-to-end callers — the pipeline, the `repro` binary, user
 //! code built on the prelude — can use `?` across subsystem boundaries
@@ -25,6 +26,7 @@
 //! ```
 
 use hydronas_graph::{GraphError, OnnxError};
+use hydronas_infer::InferError;
 use hydronas_nas::{MetricsError, SweepError};
 use hydronas_nn::ModelImportError;
 
@@ -45,6 +47,8 @@ pub enum HydroNasError {
     Metrics(MetricsError),
     /// Weights would not import into a model.
     Import(ModelImportError),
+    /// The serving engine rejected or could not answer a request.
+    Infer(InferError),
     /// Filesystem I/O outside the sweep engine (artifact writing).
     Io(std::io::Error),
 }
@@ -57,6 +61,7 @@ impl std::fmt::Display for HydroNasError {
             HydroNasError::Onnx(e) => write!(f, "onnx: {e}"),
             HydroNasError::Metrics(e) => write!(f, "metrics: {e}"),
             HydroNasError::Import(e) => write!(f, "import: {e}"),
+            HydroNasError::Infer(e) => write!(f, "infer: {e}"),
             HydroNasError::Io(e) => write!(f, "io: {e}"),
         }
     }
@@ -70,6 +75,7 @@ impl std::error::Error for HydroNasError {
             HydroNasError::Onnx(e) => Some(e),
             HydroNasError::Metrics(e) => Some(e),
             HydroNasError::Import(e) => Some(e),
+            HydroNasError::Infer(e) => Some(e),
             HydroNasError::Io(e) => Some(e),
         }
     }
@@ -105,6 +111,12 @@ impl From<ModelImportError> for HydroNasError {
     }
 }
 
+impl From<InferError> for HydroNasError {
+    fn from(e: InferError) -> HydroNasError {
+        HydroNasError::Infer(e)
+    }
+}
+
 impl From<std::io::Error> for HydroNasError {
     fn from(e: std::io::Error) -> HydroNasError {
         HydroNasError::Io(e)
@@ -127,6 +139,7 @@ mod tests {
                 "sweep:",
             ),
             (OnnxError::BadMagic.into(), "onnx:"),
+            (InferError::Closed.into(), "infer:"),
             (
                 std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into(),
                 "io:",

@@ -19,6 +19,7 @@
 //! | [`latency`](hydronas_latency) | nn-Meter v2.0 (4 device predictors) |
 //! | [`nas`](hydronas_nas) | NNI Retiarii (grid/random/evolution) |
 //! | [`pareto`](hydronas_pareto) | Pareto-front analysis notebook |
+//! | [`infer`](hydronas_infer) | deployment serving (plan compile + batching engine) |
 //!
 //! ## Quickstart
 //!
@@ -105,6 +106,10 @@ pub mod prelude {
     pub use hydronas_graph::{
         architecture_summary, model_cost, quantized_size_bytes, serialized_size_bytes, ArchConfig,
         GraphError, ModelGraph, OnnxError, PoolConfig, Precision, BASELINE_RESNET18,
+    };
+    pub use hydronas_infer::{
+        Engine, EngineConfig, EngineStats, ExecutionPlan, InferError, Numerics, PlanConfig,
+        Prediction, PredictionHandle,
     };
     pub use hydronas_latency::{
         predict_all, predict_all_quantized, predict_energy, validate_table2, DeviceId,

@@ -91,6 +91,43 @@ pub fn markdown_report(artifacts: &ReproArtifacts) -> String {
         ));
     }
 
+    // Serving footprint of the deployable candidates: the same weights the
+    // front was scored on, sized at fp32 and int8 storage — the two
+    // precisions `hydronas_infer::ExecutionPlan` can compile a model into.
+    out.push_str("\n## Deployment footprint (serving)\n\n");
+    if front.is_empty() {
+        out.push_str("No non-dominated solutions: nothing to deploy.\n");
+    } else {
+        out.push_str(
+            "Each non-dominated model compiles into an `ExecutionPlan` \
+             (conv+BN folded, weights packed) and serves through the \
+             batching engine; int8 storage trades a bounded logit delta \
+             for the compression below (see `BENCH_serve.json`).\n\n",
+        );
+        out.push_str("| model | fp32 | int8 | compression |\n|---|---|---|---|\n");
+        for o in &front {
+            let Ok(graph) = hydronas_graph::ModelGraph::from_arch(&o.spec.arch, 32) else {
+                continue;
+            };
+            let fp32 = hydronas_graph::serialized_size_bytes(&graph);
+            let Ok(int8) =
+                hydronas_graph::quantized_size_bytes(&graph, hydronas_graph::Precision::Int8)
+            else {
+                continue;
+            };
+            out.push_str(&format!(
+                "| {} ch, f{} k{} s{} | {:.2} MB | {:.2} MB | {:.1}x |\n",
+                o.spec.combo.channels,
+                o.spec.arch.initial_features,
+                o.spec.arch.kernel_size,
+                o.spec.arch.stride,
+                fp32 as f64 / 1e6,
+                int8 as f64 / 1e6,
+                fp32 as f64 / int8 as f64
+            ));
+        }
+    }
+
     out.push_str("\n## Sweep execution\n\n");
     out.push_str(&code_block(&artifacts.sweep_summary()));
 
@@ -157,6 +194,7 @@ mod tests {
             "## Objective ranges (Table 3)",
             "## Non-dominated solutions (Table 4)",
             "## ResNet-18 baselines (Table 5)",
+            "## Deployment footprint (serving)",
             "## Sweep execution",
             "## Search wall-clock (Section 5)",
             "## Figures",
@@ -174,6 +212,37 @@ mod tests {
         assert!(report.contains(&format!("{} solutions", a.db.pareto_outcomes().len())));
         // The speedup narrative exists.
         assert!(report.contains("x faster"));
+    }
+
+    #[test]
+    fn deployment_footprint_sizes_every_front_model_at_both_precisions() {
+        let a = artifacts();
+        let report = markdown_report(&a);
+        let section = report
+            .split("## Deployment footprint (serving)")
+            .nth(1)
+            .unwrap()
+            .split("\n## ")
+            .next()
+            .unwrap();
+        let rows: Vec<&str> = section
+            .lines()
+            .filter(|l| l.starts_with("| ") && l.ends_with("x |"))
+            .collect();
+        assert_eq!(rows.len(), a.db.pareto_outcomes().len());
+        // Int8 storage cuts weight payloads ~4x; whole-graph compression
+        // stays in (3, 4.1] once f32 metadata is counted.
+        for row in rows {
+            let ratio: f64 = row
+                .rsplit('|')
+                .nth(1)
+                .unwrap()
+                .trim()
+                .trim_end_matches('x')
+                .parse()
+                .unwrap();
+            assert!((3.0..=4.1).contains(&ratio), "{row}");
+        }
     }
 
     #[test]

@@ -59,6 +59,14 @@ pub enum GraphError {
         width: usize,
         kernel: usize,
     },
+    /// Quantized size accounting went negative: the counted fp32 weight
+    /// payload exceeds the serialized model size it should be a part of.
+    QuantizedSizeUnderflow {
+        /// Total serialized fp32 size in bytes.
+        serialized: u64,
+        /// Counted fp32 weight payload in bytes (`4 * params`).
+        payload: u64,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -72,6 +80,14 @@ impl std::fmt::Display for GraphError {
             } => write!(
                 f,
                 "feature map {height}x{width} collapsed under kernel {kernel} at {layer}"
+            ),
+            GraphError::QuantizedSizeUnderflow {
+                serialized,
+                payload,
+            } => write!(
+                f,
+                "quantized size underflow: fp32 weight payload {payload} B \
+                 exceeds serialized model size {serialized} B"
             ),
         }
     }
@@ -384,6 +400,7 @@ mod tests {
                 assert_eq!(layer, "stem.conv");
                 assert_eq!(kernel, 7);
             }
+            other => panic!("wrong error: {other}"),
         }
     }
 

@@ -7,7 +7,7 @@
 //! stored as `i8` values plus one `f32` scale (`w ≈ scale * q`).
 
 use crate::analysis::node_cost;
-use crate::graph::ModelGraph;
+use crate::graph::{GraphError, ModelGraph};
 use serde::{Deserialize, Serialize};
 
 /// Quantization precision for serialized weights.
@@ -65,13 +65,39 @@ impl QuantizedTensor {
     }
 }
 
+/// Int8 size accounting: replace the 4-byte weight payload inside the
+/// serialized fp32 size with a 1-byte payload plus one f32 scale per
+/// parameterized node.
+///
+/// The subtraction is checked: if the counted payload (`4 * params`) ever
+/// exceeds the serialized size — possible only if the serializer and the
+/// cost model disagree about which tensors are stored — this reports
+/// [`GraphError::QuantizedSizeUnderflow`] instead of wrapping to an
+/// astronomically large "size".
+fn int8_size_bytes(fp32: u64, params: u64, parameterized_nodes: u64) -> Result<u64, GraphError> {
+    let payload = 4 * params;
+    let stripped = fp32
+        .checked_sub(payload)
+        .ok_or(GraphError::QuantizedSizeUnderflow {
+            serialized: fp32,
+            payload,
+        })?;
+    Ok(stripped + params + 4 * parameterized_nodes)
+}
+
 /// Serialized size of the model at a given precision, in bytes. Int8
 /// models store one f32 scale per parameterized node; graph metadata is
 /// unchanged.
-pub fn quantized_size_bytes(graph: &ModelGraph, precision: Precision) -> u64 {
+///
+/// For the current `HONX` serializer the fp32 size always includes the full
+/// `4 * params` payload, so the int8 arithmetic cannot underflow; the
+/// `Result` contract guards the accounting against future serializer
+/// changes (e.g. compressed or externalized weights) rather than silently
+/// wrapping.
+pub fn quantized_size_bytes(graph: &ModelGraph, precision: Precision) -> Result<u64, GraphError> {
     let fp32 = crate::onnx::serialized_size_bytes(graph);
     match precision {
-        Precision::Fp32 => fp32,
+        Precision::Fp32 => Ok(fp32),
         Precision::Int8 => {
             let params: u64 = graph.nodes.iter().map(|n| node_cost(n).params).sum();
             let parameterized_nodes = graph
@@ -79,8 +105,7 @@ pub fn quantized_size_bytes(graph: &ModelGraph, precision: Precision) -> u64 {
                 .iter()
                 .filter(|n| node_cost(n).params > 0)
                 .count() as u64;
-            // Replace the 4-byte payload with 1-byte + per-node scales.
-            fp32 - 4 * params + params + 4 * parameterized_nodes
+            int8_size_bytes(fp32, params, parameterized_nodes)
         }
     }
 }
@@ -118,8 +143,8 @@ mod tests {
     #[test]
     fn int8_model_is_about_4x_smaller() {
         let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
-        let fp32 = quantized_size_bytes(&g, Precision::Fp32);
-        let int8 = quantized_size_bytes(&g, Precision::Int8);
+        let fp32 = quantized_size_bytes(&g, Precision::Fp32).unwrap();
+        let int8 = quantized_size_bytes(&g, Precision::Int8).unwrap();
         let ratio = fp32 as f64 / int8 as f64;
         assert!((3.5..4.1).contains(&ratio), "ratio {ratio}");
         // ~44.7 MB -> ~11.2 MB: the int8 ResNet-18 matches the fp32
@@ -131,9 +156,49 @@ mod tests {
     fn fp32_matches_the_onnx_size() {
         let g = ModelGraph::from_arch(&BASELINE_RESNET18, 32).unwrap();
         assert_eq!(
-            quantized_size_bytes(&g, Precision::Fp32),
+            quantized_size_bytes(&g, Precision::Fp32).unwrap(),
             crate::onnx::serialized_size_bytes(&g)
         );
+    }
+
+    #[test]
+    fn underflowing_payload_is_an_error_not_a_wrap() {
+        // 1000 params -> 4000 B of counted payload against a 100 B
+        // "serialized" size. The old unchecked subtraction wrapped this to
+        // ~1.8e19 bytes; it must surface as a typed error instead.
+        let err = int8_size_bytes(100, 1000, 3).unwrap_err();
+        assert_eq!(
+            err,
+            crate::graph::GraphError::QuantizedSizeUnderflow {
+                serialized: 100,
+                payload: 4000,
+            }
+        );
+        assert!(err.to_string().contains("underflow"), "{err}");
+        // The boundary case is fine: payload exactly consumes the size.
+        assert_eq!(int8_size_bytes(4000, 1000, 3).unwrap(), 1000 + 12);
+    }
+
+    #[test]
+    fn minimal_graph_accounting_is_consistent() {
+        // A minimal single-stage graph: the int8 size must stay positive,
+        // below fp32, and exactly match the closed-form accounting.
+        let arch = crate::arch::ArchConfig {
+            in_channels: 1,
+            kernel_size: 3,
+            stride: 2,
+            padding: 1,
+            pool: None,
+            initial_features: 4,
+            num_classes: 2,
+        };
+        let g = ModelGraph::from_arch(&arch, 16).unwrap();
+        let fp32 = quantized_size_bytes(&g, Precision::Fp32).unwrap();
+        let int8 = quantized_size_bytes(&g, Precision::Int8).unwrap();
+        let params: u64 = g.nodes.iter().map(|n| node_cost(n).params).sum();
+        let scales = g.nodes.iter().filter(|n| node_cost(n).params > 0).count() as u64;
+        assert!(int8 < fp32);
+        assert_eq!(int8, fp32 - 4 * params + params + 4 * scales);
     }
 
     #[test]

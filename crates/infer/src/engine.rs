@@ -1,0 +1,323 @@
+//! Multi-threaded batching front-end over one shared [`ExecutionPlan`].
+//!
+//! ## Batching policy
+//!
+//! Requests land in a single mutex-guarded queue. A worker that finds the
+//! queue non-empty starts a *collection window*: it keeps waiting in
+//! tick-sized slices (`tick_us` each) until either `max_batch` requests are
+//! pending or `max_wait_ticks` timeouts have elapsed, then drains up to
+//! `max_batch` requests and executes them as one stacked forward pass. The
+//! deadline counts observed timeouts rather than wall-clock timestamps — a
+//! simulated clock in the spirit of the latency simulator — so the policy
+//! is deterministic under test and never blocks an almost-full batch on a
+//! slow clock.
+//!
+//! The plan is shared via `Arc`: workers hold no model state of their own,
+//! so memory stays flat in the worker count (the whole point of the
+//! read-only plan — contrast `ResNet::forward`, which needs `&mut self`).
+
+use crate::plan::ExecutionPlan;
+use hydronas_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Batching and threading knobs for [`Engine::start`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Largest batch one worker will stack.
+    pub max_batch: usize,
+    /// Collection-window length, in ticks of `tick_us`.
+    pub max_wait_ticks: u64,
+    /// Duration of one simulated-clock tick, in microseconds.
+    pub tick_us: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 2,
+            max_batch: 8,
+            max_wait_ticks: 2,
+            tick_us: 200,
+        }
+    }
+}
+
+/// Why a request could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InferError {
+    /// The engine is shutting down (or a worker died before responding).
+    Closed,
+    /// Input was not `[C, H, W]` with the plan's channel count.
+    InputShape {
+        expected_channels: usize,
+        dims: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for InferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferError::Closed => write!(f, "inference engine is closed"),
+            InferError::InputShape {
+                expected_channels,
+                dims,
+            } => write!(
+                f,
+                "bad input shape {dims:?}: expected [C={expected_channels}, H, W]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
+
+/// One classification result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prediction {
+    /// Raw logits, one per class.
+    pub logits: Vec<f32>,
+    /// Argmax class (first index on ties, matching `argmax_rows`).
+    pub class: usize,
+    /// Size of the batch this request was served in.
+    pub batch_size: usize,
+}
+
+/// A pending request: wait on it to get the [`Prediction`].
+#[derive(Debug)]
+pub struct PredictionHandle {
+    rx: mpsc::Receiver<Prediction>,
+}
+
+impl PredictionHandle {
+    /// Blocks until the batch containing this request has executed.
+    pub fn wait(self) -> Result<Prediction, InferError> {
+        self.rx.recv().map_err(|_| InferError::Closed)
+    }
+}
+
+/// Aggregate serving statistics since engine start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    pub requests: u64,
+    pub batches: u64,
+    /// Sum of executed batch sizes (equals `requests` once drained).
+    pub batched_samples: u64,
+    /// Largest batch any worker executed.
+    pub max_batch_observed: u64,
+}
+
+impl EngineStats {
+    /// Mean executed batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_samples as f64 / self.batches as f64
+        }
+    }
+}
+
+struct Request {
+    input: Tensor,
+    tx: mpsc::Sender<Prediction>,
+}
+
+struct Queue {
+    pending: VecDeque<Request>,
+    open: bool,
+}
+
+struct Shared {
+    plan: Arc<ExecutionPlan>,
+    queue: Mutex<Queue>,
+    cv: Condvar,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    batched_samples: AtomicU64,
+    max_batch_observed: AtomicU64,
+}
+
+/// The serving front-end: submit `[C, H, W]` tensors, receive logits.
+pub struct Engine {
+    shared: Arc<Shared>,
+    config: EngineConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spawns `config.workers` threads over a shared compiled plan.
+    pub fn start(plan: Arc<ExecutionPlan>, config: EngineConfig) -> Engine {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        let shared = Arc::new(Shared {
+            plan,
+            queue: Mutex::new(Queue {
+                pending: VecDeque::new(),
+                open: true,
+            }),
+            cv: Condvar::new(),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_samples: AtomicU64::new(0),
+            max_batch_observed: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, &config))
+            })
+            .collect();
+        Engine {
+            shared,
+            config,
+            workers,
+        }
+    }
+
+    /// The plan this engine serves.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.shared.plan
+    }
+
+    /// The batching configuration in force.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Enqueues one `[C, H, W]` sample; returns a handle to wait on.
+    pub fn submit(&self, input: Tensor) -> Result<PredictionHandle, InferError> {
+        let expected = self.shared.plan.arch().in_channels;
+        if input.shape().ndim() != 3 || input.dims()[0] != expected {
+            return Err(InferError::InputShape {
+                expected_channels: expected,
+                dims: input.dims().to_vec(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if !q.open {
+                return Err(InferError::Closed);
+            }
+            q.pending.push_back(Request { input, tx });
+        }
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.cv.notify_one();
+        Ok(PredictionHandle { rx })
+    }
+
+    /// Submits and blocks for the result — the single-stream client path.
+    pub fn infer(&self, input: Tensor) -> Result<Prediction, InferError> {
+        self.submit(input)?.wait()
+    }
+
+    /// Statistics snapshot (monotonic counters, relaxed reads).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            batched_samples: self.shared.batched_samples.load(Ordering::Relaxed),
+            max_batch_observed: self.shared.max_batch_observed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting new requests; workers drain the queue then exit.
+    pub fn close(&self) {
+        self.shared.queue.lock().unwrap().open = false;
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, config: &EngineConfig) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap();
+            // Sleep until there is work or the engine closes.
+            while q.pending.is_empty() && q.open {
+                q = shared.cv.wait(q).unwrap();
+            }
+            if q.pending.is_empty() {
+                return; // closed and drained
+            }
+            // Collection window: give co-arriving requests `max_wait_ticks`
+            // simulated ticks to fill the batch. Only an elapsed timeout
+            // advances the clock; wakeups from new arrivals re-check for a
+            // full batch for free.
+            let mut elapsed = 0u64;
+            while q.pending.len() < config.max_batch && q.open && elapsed < config.max_wait_ticks {
+                let (guard, timeout) = shared
+                    .cv
+                    .wait_timeout(q, Duration::from_micros(config.tick_us))
+                    .unwrap();
+                q = guard;
+                if timeout.timed_out() {
+                    elapsed += 1;
+                }
+            }
+            let take = q.pending.len().min(config.max_batch);
+            if take == 0 {
+                // Another worker drained the queue during our collection
+                // window — go back to sleep instead of executing an empty
+                // batch.
+                continue;
+            }
+            q.pending.drain(..take).collect::<Vec<Request>>()
+        };
+        execute_batch(shared, batch);
+    }
+}
+
+fn execute_batch(shared: &Shared, batch: Vec<Request>) {
+    let size = batch.len();
+    let mut span = hydronas_telemetry::span("infer.batch", "batch");
+    span.attr("batch", size);
+    if hydronas_telemetry::enabled() {
+        hydronas_telemetry::add("infer.batches", 1);
+        hydronas_telemetry::add("infer.samples", size as u64);
+    }
+    let inputs: Vec<Tensor> = batch.iter().map(|r| r.input.clone()).collect();
+    let stacked = Tensor::stack(&inputs);
+    let logits = shared.plan.run_batch(&stacked);
+    // Count the batch before releasing any client: a caller that saw its
+    // prediction must also see it reflected in the stats.
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .batched_samples
+        .fetch_add(size as u64, Ordering::Relaxed);
+    shared
+        .max_batch_observed
+        .fetch_max(size as u64, Ordering::Relaxed);
+    let classes = logits.dims()[1];
+    let rows = logits.as_slice();
+    for (i, request) in batch.into_iter().enumerate() {
+        let row = &rows[i * classes..(i + 1) * classes];
+        // First index on ties, matching `Tensor::argmax_rows`.
+        let mut class = 0usize;
+        for (idx, &v) in row.iter().enumerate() {
+            if v > row[class] {
+                class = idx;
+            }
+        }
+        // Ignore send failures: the client may have dropped its handle.
+        let _ = request.tx.send(Prediction {
+            logits: row.to_vec(),
+            class,
+            batch_size: size,
+        });
+    }
+}

@@ -1,0 +1,360 @@
+//! # hydronas-infer
+//!
+//! The serving side of the HydroNAS workspace: compile a trained
+//! [`hydronas_nn::ResNet`] into an immutable [`ExecutionPlan`] (conv+BN
+//! folding into fused per-row bias/ReLU GEMM epilogues, optional int8
+//! weight storage with dequant-on-load) and serve it through a
+//! multi-threaded batching [`Engine`] that aggregates concurrent requests
+//! into stacked forward passes over one `Arc`-shared plan.
+//!
+//! The paper's deliverable is a deployment model — Pareto-selected CNNs
+//! classifying drainage crossings on resource-limited devices — and this
+//! crate closes the search→serve gap: the same architecture the NAS sweep
+//! scored with the latency predictor and the quantized-memory objective
+//! can now actually run behind a request front-end, with telemetry on the
+//! hot path and measured latency to validate the predictor against.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hydronas_infer::{Engine, EngineConfig, ExecutionPlan, PlanConfig};
+//! use hydronas_nn::ResNet;
+//! use hydronas_tensor::TensorRng;
+//! use std::sync::Arc;
+//!
+//! let mut arch = hydronas_graph::ArchConfig::baseline(5);
+//! arch.initial_features = 4; // tiny for doc-test speed
+//! let mut rng = TensorRng::seed_from_u64(0);
+//! let model = ResNet::new(&arch, &mut rng);
+//!
+//! let plan = Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()));
+//! let engine = Engine::start(plan, EngineConfig::default());
+//! let x = hydronas_tensor::uniform(&[5, 16, 16], -1.0, 1.0, &mut rng);
+//! let prediction = engine.infer(x).unwrap();
+//! assert_eq!(prediction.logits.len(), 2);
+//! ```
+
+mod engine;
+mod plan;
+
+pub use engine::{Engine, EngineConfig, EngineStats, InferError, Prediction, PredictionHandle};
+pub use plan::{ExecutionPlan, Numerics, PlanConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydronas_graph::{ArchConfig, PoolConfig, Precision};
+    use hydronas_nn::ResNet;
+    use hydronas_tensor::{approx_eq, uniform, Tensor, TensorRng};
+    use std::sync::Arc;
+
+    fn tiny_arch() -> ArchConfig {
+        ArchConfig {
+            in_channels: 5,
+            kernel_size: 3,
+            stride: 2,
+            padding: 1,
+            pool: None,
+            initial_features: 4,
+            num_classes: 2,
+        }
+    }
+
+    fn pooled_arch() -> ArchConfig {
+        ArchConfig {
+            in_channels: 3,
+            kernel_size: 7,
+            stride: 2,
+            padding: 3,
+            pool: Some(PoolConfig {
+                kernel: 3,
+                stride: 2,
+            }),
+            initial_features: 8,
+            num_classes: 4,
+        }
+    }
+
+    /// A model with non-trivial BN running stats (one train step's worth).
+    fn warmed_model(arch: &ArchConfig, seed: u64) -> ResNet {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        let mut model = ResNet::new(arch, &mut rng);
+        let warm = uniform(&[4, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+        let _ = model.forward(&warm, true);
+        model
+    }
+
+    #[test]
+    fn exact_plan_is_bit_identical_to_forward_eval() {
+        for (seed, arch) in [tiny_arch(), pooled_arch()].into_iter().enumerate() {
+            let model = warmed_model(&arch, seed as u64 + 1);
+            let plan = ExecutionPlan::compile(
+                &model,
+                &PlanConfig {
+                    precision: Precision::Fp32,
+                    numerics: Numerics::Exact,
+                },
+            );
+            let mut rng = TensorRng::seed_from_u64(99);
+            let x = uniform(&[3, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+            assert_eq!(plan.run_batch(&x), model.forward_eval(&x), "arch {arch:?}");
+        }
+    }
+
+    #[test]
+    fn fused_plan_matches_forward_eval_within_tolerance() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 7);
+        let plan = ExecutionPlan::compile(&model, &PlanConfig::default());
+        let mut rng = TensorRng::seed_from_u64(42);
+        let x = uniform(&[4, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+        let fused = plan.run_batch(&x);
+        let reference = model.forward_eval(&x);
+        for (a, b) in fused.as_slice().iter().zip(reference.as_slice()) {
+            assert!(approx_eq(*a, *b, 1e-3), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batched_rows_are_bit_identical_to_single_runs() {
+        // pooled_arch's deep stages hit the GEMM small/packed divergence
+        // zone (k = 8·initial_features·9 > 256 with tiny column counts),
+        // exactly where a dispatching kernel would change bits with batch
+        // size — the Fused path must hold its always-packed contract there.
+        for (arch, seed) in [(tiny_arch(), 11u64), (pooled_arch(), 12u64)] {
+            let model = warmed_model(&arch, seed);
+            for numerics in [Numerics::Exact, Numerics::Fused] {
+                let plan = ExecutionPlan::compile(
+                    &model,
+                    &PlanConfig {
+                        precision: Precision::Fp32,
+                        numerics,
+                    },
+                );
+                let mut rng = TensorRng::seed_from_u64(5);
+                let batch = uniform(&[3, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+                let batched = plan.run_batch(&batch);
+                let dims = batch.dims();
+                let sample = dims[1] * dims[2] * dims[3];
+                for i in 0..dims[0] {
+                    let single = Tensor::from_vec(
+                        batch.as_slice()[i * sample..(i + 1) * sample].to_vec(),
+                        &[dims[1], dims[2], dims[3]],
+                    );
+                    let classes = batched.dims()[1];
+                    assert_eq!(
+                        plan.run_single(&single),
+                        batched.as_slice()[i * classes..(i + 1) * classes].to_vec(),
+                        "row {i} under {numerics:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_plan_stays_close_to_fp32_and_is_4x_smaller() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 13);
+        let fp32 = ExecutionPlan::compile(&model, &PlanConfig::default());
+        let int8 = ExecutionPlan::compile(
+            &model,
+            &PlanConfig {
+                precision: Precision::Int8,
+                numerics: Numerics::Fused,
+            },
+        );
+        // Weight payloads shrink ~4x (biases/BN vectors stay f32, so the
+        // whole-plan ratio lands a bit under 4).
+        let ratio = fp32.weight_bytes() as f64 / int8.weight_bytes() as f64;
+        assert!((3.0..4.1).contains(&ratio), "ratio {ratio}");
+
+        let mut rng = TensorRng::seed_from_u64(3);
+        let x = uniform(&[4, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+        let a = fp32.run_batch(&x);
+        let b = int8.run_batch(&x);
+        // Bounded logit delta (quantization error accumulates through all
+        // eight blocks), and identical argmax on this seeded batch.
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((p - q).abs() < 0.25, "{p} vs {q}");
+        }
+        assert_eq!(a.argmax_rows(), b.argmax_rows());
+    }
+
+    #[test]
+    fn int8_quantize_dequantize_forward_eval_parity() {
+        // The satellite contract straight through the nn model: replace
+        // every weight by its quantize→dequantize image and compare
+        // forward_eval logits against fp32 on a seeded batch.
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 17);
+        let mut rng = TensorRng::seed_from_u64(23);
+        let x = uniform(&[4, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+        let reference = model.forward_eval(&x);
+
+        let mut quantized = warmed_model(&arch, 17);
+        use hydronas_nn::ParamVisitor;
+        quantized.visit_params(&mut |p| {
+            let q = hydronas_graph::quantize_tensor(p.value.as_slice());
+            let back = q.dequantize();
+            p.value.as_mut_slice().copy_from_slice(&back);
+        });
+        let logits = quantized.forward_eval(&x);
+        let mut worst = 0.0f32;
+        for (a, b) in logits.as_slice().iter().zip(reference.as_slice()) {
+            worst = worst.max((a - b).abs());
+        }
+        assert!(worst < 0.1, "worst logit delta {worst}");
+        assert_eq!(logits.argmax_rows(), reference.argmax_rows());
+    }
+
+    #[test]
+    fn engine_batch_of_one_is_bit_identical_to_forward_eval() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 19);
+        let plan = Arc::new(ExecutionPlan::compile(
+            &model,
+            &PlanConfig {
+                precision: Precision::Fp32,
+                numerics: Numerics::Exact,
+            },
+        ));
+        let engine = Engine::start(
+            plan,
+            EngineConfig {
+                workers: 1,
+                max_batch: 1, // forces batch=1 execution
+                max_wait_ticks: 0,
+                tick_us: 50,
+            },
+        );
+        let mut rng = TensorRng::seed_from_u64(31);
+        for _ in 0..4 {
+            let x = uniform(&[arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+            let dims = x.dims();
+            let batched = Tensor::from_vec(x.as_slice().to_vec(), &[1, dims[0], dims[1], dims[2]]);
+            let expected = model.forward_eval(&batched);
+            let got = engine.infer(x).unwrap();
+            assert_eq!(got.batch_size, 1);
+            assert_eq!(got.logits, expected.as_slice().to_vec());
+            assert_eq!(got.class, expected.argmax_rows()[0]);
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_get_correct_results_and_batches_form() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 23);
+        let plan = Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()));
+        let engine = Arc::new(Engine::start(
+            Arc::clone(&plan),
+            EngineConfig {
+                workers: 2,
+                max_batch: 4,
+                max_wait_ticks: 4,
+                tick_us: 500,
+            },
+        ));
+        let mut rng = TensorRng::seed_from_u64(37);
+        let inputs: Vec<Tensor> = (0..12)
+            .map(|_| uniform(&[arch.in_channels, 32, 32], -1.0, 1.0, &mut rng))
+            .collect();
+        let expected: Vec<Vec<f32>> = inputs.iter().map(|x| plan.run_single(x)).collect();
+
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|x| {
+                let engine = Arc::clone(&engine);
+                let x = x.clone();
+                std::thread::spawn(move || engine.infer(x).unwrap())
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let got = h.join().unwrap();
+            assert_eq!(got.logits, expected[i], "request {i}");
+            assert!(got.batch_size >= 1 && got.batch_size <= 4);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 12);
+        assert_eq!(stats.batched_samples, 12);
+        // With 12 co-arriving requests and max_batch 4, at least one
+        // worker must have stacked a multi-sample batch.
+        assert!(stats.batches < 12, "no batching happened: {stats:?}");
+        assert!(stats.max_batch_observed >= 2);
+    }
+
+    /// Regression test: with several workers, one worker can drain the
+    /// queue while another is still inside its collection window; the
+    /// loser used to execute an *empty* batch and panic in
+    /// `Tensor::stack`, silently killing the worker thread. Bursty
+    /// traffic over two workers makes the window collision overwhelmingly
+    /// likely; every request must still be answered and accounted for.
+    #[test]
+    fn racing_workers_never_execute_empty_batches() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 43);
+        let plan = Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()));
+        let engine = Arc::new(Engine::start(
+            plan,
+            EngineConfig {
+                workers: 2,
+                max_batch: 4,
+                max_wait_ticks: 2,
+                tick_us: 100,
+            },
+        ));
+        let clients = 6;
+        let per_client = 4;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let mut rng = TensorRng::seed_from_u64(100 + c as u64);
+                    for _ in 0..per_client {
+                        let x = uniform(&[5, 16, 16], -1.0, 1.0, &mut rng);
+                        engine.infer(x).expect("no worker may die mid-run");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, (clients * per_client) as u64);
+        assert_eq!(stats.batched_samples, stats.requests);
+    }
+
+    #[test]
+    fn engine_rejects_bad_shapes_and_closes_cleanly() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 29);
+        let plan = Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()));
+        let engine = Engine::start(plan, EngineConfig::default());
+        // Wrong channel count.
+        let bad = Tensor::zeros(&[2, 8, 8]);
+        match engine.submit(bad) {
+            Err(InferError::InputShape {
+                expected_channels, ..
+            }) => assert_eq!(expected_channels, 5),
+            other => panic!("expected shape error, got {other:?}"),
+        }
+        // Wrong rank.
+        assert!(engine.submit(Tensor::zeros(&[1, 5, 8, 8])).is_err());
+        engine.close();
+        let late = engine.submit(Tensor::zeros(&[5, 8, 8]));
+        assert_eq!(late.unwrap_err(), InferError::Closed);
+    }
+
+    #[test]
+    fn plan_weight_bytes_track_parameter_count() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 41);
+        let plan = ExecutionPlan::compile(&model, &PlanConfig::default());
+        // Fused fp32: 4 bytes per conv/fc weight scalar + 4 per folded bias
+        // and fc bias scalar. That must cover at least every model weight.
+        assert!(plan.weight_bytes() >= 4 * 9 * 4 * 5, "stem weights missing");
+        assert_eq!(plan.arch(), &arch);
+        assert_eq!(plan.config().numerics, Numerics::Fused);
+    }
+}

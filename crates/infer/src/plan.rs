@@ -1,0 +1,390 @@
+//! Compilation of a trained [`ResNet`] into a read-only execution plan.
+//!
+//! The plan is the serving-side twin of the trainable model: every layer is
+//! lowered to the exact tensors and fused kernels inference needs, and the
+//! result is immutable — one plan can be shared across worker threads behind
+//! an `Arc` with no per-thread clones and no interior mutability.
+//!
+//! ## Numerics modes
+//!
+//! * [`Numerics::Exact`] keeps conv and batch norm as separate passes using
+//!   the same kernel calls and the same per-element expressions as
+//!   [`ResNet::forward_eval`], so plan output is **bit-identical** to the
+//!   model's eval forward.
+//! * [`Numerics::Fused`] folds each batch norm into the preceding
+//!   convolution's weights and bias (`W'[o] = W[o]·γ[o]/√(var[o]+ε)`,
+//!   `b'[o] = β[o] − γ[o]·mean[o]/√(var[o]+ε)`) and executes through the
+//!   fused per-row bias/ReLU GEMM epilogues — one pass over each output
+//!   instead of three. Folding reassociates float arithmetic, so outputs
+//!   agree with eval forward only to within a small relative tolerance.
+//!
+//! ## Int8 weight storage
+//!
+//! With [`Precision::Int8`], every weight tensor is stored through
+//! `graph::quantize` (symmetric per-tensor int8 + one f32 scale) and
+//! dequantized back to f32 once at compile time ("dequant on load"): the
+//! serialized footprint shrinks 4x while execution stays on the f32 kernels,
+//! which is exactly the paper's deployment contract — int8 is a *storage*
+//! format scored by the memory objective, not a separate arithmetic path.
+
+use hydronas_graph::{quantize_tensor, Precision};
+use hydronas_nn::ResNet;
+use hydronas_tensor::{
+    avg_pool2d_global, conv2d, conv2d_bias_act_prepacked, max_pool2d, pack_conv_weight,
+    PackedConvWeight, Tensor,
+};
+
+/// Float-arithmetic contract of a compiled plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Numerics {
+    /// Separate conv and batch-norm passes, bit-identical to
+    /// [`ResNet::forward_eval`].
+    Exact,
+    /// Batch norm folded into conv weights and fused bias/ReLU epilogues;
+    /// equal to eval forward only up to float re-rounding.
+    Fused,
+}
+
+/// Compilation options for [`ExecutionPlan::compile`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanConfig {
+    /// Weight storage precision ([`Precision::Int8`] dequantizes on load).
+    pub precision: Precision,
+    /// Kernel fusion / float-rounding contract.
+    pub numerics: Numerics,
+}
+
+impl Default for PlanConfig {
+    fn default() -> PlanConfig {
+        PlanConfig {
+            precision: Precision::Fp32,
+            numerics: Numerics::Fused,
+        }
+    }
+}
+
+/// How one conv's batch norm is executed.
+enum ConvKind {
+    /// Post-conv batch norm applied as its own elementwise pass over the
+    /// running statistics, replicating the layer expression bit-for-bit.
+    /// Keeps the raw weight tensor because it must go through the same
+    /// `conv2d` call `forward_eval` makes.
+    Exact {
+        weight: Tensor,
+        gamma: Vec<f32>,
+        beta: Vec<f32>,
+        mean: Vec<f32>,
+        inv_std: Vec<f32>,
+    },
+    /// Batch norm folded into the conv weight, which is stored already
+    /// packed into GEMM panels ([`pack_conv_weight`]) — the per-call
+    /// weight-packing pass is paid once here at compile time. `bias`
+    /// rides the GEMM epilogue (per output-channel row).
+    Fused {
+        weight: PackedConvWeight,
+        bias: Vec<f32>,
+    },
+}
+
+/// One conv + batch-norm (+ optional ReLU) step of the plan.
+struct ConvBnOp {
+    stride: usize,
+    padding: usize,
+    relu: bool,
+    kind: ConvKind,
+}
+
+impl ConvBnOp {
+    fn apply(&self, input: &Tensor) -> Tensor {
+        match &self.kind {
+            ConvKind::Fused { weight, bias } => {
+                conv2d_bias_act_prepacked(input, weight, bias, self.relu, self.stride, self.padding)
+            }
+            ConvKind::Exact {
+                weight,
+                gamma,
+                beta,
+                mean,
+                inv_std,
+            } => {
+                let mut x = conv2d(input, weight, self.stride, self.padding);
+                let dims = x.dims().to_vec();
+                let (n, c, plane) = (dims[0], dims[1], dims[2] * dims[3]);
+                let data = x.as_mut_slice();
+                for b in 0..n {
+                    for ch in 0..c {
+                        let base = (b * c + ch) * plane;
+                        let (mu, is, gg, bb) = (mean[ch], inv_std[ch], gamma[ch], beta[ch]);
+                        for v in &mut data[base..base + plane] {
+                            // Same expression as BatchNorm2d's eval branch;
+                            // the trailing max is ReLU and keeps bit-identity
+                            // because it reads the already-rounded value.
+                            let xi = (*v - mu) * is;
+                            let y = gg * xi + bb;
+                            *v = if self.relu { y.max(0.0) } else { y };
+                        }
+                    }
+                }
+                x
+            }
+        }
+    }
+}
+
+/// One residual block: `conv1(+relu) -> conv2`, plus optional 1x1
+/// projection, then `relu(main + skip)`.
+struct BlockOp {
+    conv1: ConvBnOp,
+    conv2: ConvBnOp,
+    proj: Option<ConvBnOp>,
+}
+
+impl BlockOp {
+    fn apply(&self, input: &Tensor) -> Tensor {
+        let mut main = self.conv2.apply(&self.conv1.apply(input));
+        let skip_owned;
+        let skip = match &self.proj {
+            Some(p) => {
+                skip_owned = p.apply(input);
+                &skip_owned
+            }
+            None => input,
+        };
+        // One in-place pass for add + ReLU instead of clone/add/map. Per
+        // element this computes exactly `(main + skip).max(0.0)` — the
+        // same rounding as forward_eval's separate passes, so both
+        // numerics contracts survive the fusion.
+        assert_eq!(main.dims(), skip.dims(), "residual shapes must match");
+        for (m, s) in main.as_mut_slice().iter_mut().zip(skip.as_slice()) {
+            *m = (*m + *s).max(0.0);
+        }
+        main
+    }
+}
+
+/// Running tally of serialized weight bytes at the plan's precision.
+struct SizeLedger {
+    precision: Precision,
+    bytes: u64,
+}
+
+impl SizeLedger {
+    /// Stores `values` at the chosen precision, returning the execution
+    /// (dequantized) f32 copy. Int8 costs 1 byte per scalar + one f32
+    /// scale; f32 biases and BN vectors always cost 4 bytes per scalar.
+    fn store_weights(&mut self, values: &[f32]) -> Vec<f32> {
+        match self.precision {
+            Precision::Fp32 => {
+                self.bytes += 4 * values.len() as u64;
+                values.to_vec()
+            }
+            Precision::Int8 => {
+                self.bytes += values.len() as u64 + 4;
+                quantize_tensor(values).dequantize()
+            }
+        }
+    }
+
+    fn store_f32(&mut self, values: &[f32]) {
+        self.bytes += 4 * values.len() as u64;
+    }
+}
+
+/// An immutable, compiled inference program for one trained model.
+///
+/// `&self` everywhere: the plan owns only read-only tensors, so it is
+/// `Send + Sync` and one instance serves every engine worker.
+pub struct ExecutionPlan {
+    arch: hydronas_graph::ArchConfig,
+    config: PlanConfig,
+    stem: ConvBnOp,
+    stem_pool: Option<(usize, usize, usize)>,
+    blocks: Vec<BlockOp>,
+    fc_weight: Tensor,
+    fc_bias: Vec<f32>,
+    weight_bytes: u64,
+}
+
+fn compile_conv_bn(
+    conv: &hydronas_nn::Conv2d,
+    bn: &hydronas_nn::BatchNorm2d,
+    relu: bool,
+    numerics: Numerics,
+    ledger: &mut SizeLedger,
+) -> ConvBnOp {
+    let gamma = bn.gamma.value.as_slice();
+    let beta = bn.beta.value.as_slice();
+    let mean = bn.running_mean.as_slice();
+    let inv_std: Vec<f32> = bn
+        .running_var
+        .as_slice()
+        .iter()
+        .map(|&v| 1.0 / (v + bn.eps).sqrt())
+        .collect();
+    let w = &conv.weight.value;
+    let out_c = w.dims()[0];
+    let per_out = w.numel() / out_c;
+    match numerics {
+        Numerics::Exact => {
+            let stored = ledger.store_weights(w.as_slice());
+            ledger.store_f32(gamma);
+            ledger.store_f32(beta);
+            ledger.store_f32(mean);
+            ledger.store_f32(bn.running_var.as_slice());
+            ConvBnOp {
+                stride: conv.stride,
+                padding: conv.padding,
+                relu,
+                kind: ConvKind::Exact {
+                    weight: Tensor::from_vec(stored, w.dims()),
+                    gamma: gamma.to_vec(),
+                    beta: beta.to_vec(),
+                    mean: mean.to_vec(),
+                    inv_std,
+                },
+            }
+        }
+        Numerics::Fused => {
+            // W'[o] = W[o] * γ[o]/√(var[o]+ε) ; b'[o] = β[o] − γ[o]·mean[o]/√(var[o]+ε)
+            let mut folded = w.as_slice().to_vec();
+            let mut bias = vec![0.0f32; out_c];
+            for o in 0..out_c {
+                let g = gamma[o] * inv_std[o];
+                for v in &mut folded[o * per_out..(o + 1) * per_out] {
+                    *v *= g;
+                }
+                bias[o] = beta[o] - g * mean[o];
+            }
+            let stored = ledger.store_weights(&folded);
+            ledger.store_f32(&bias);
+            ConvBnOp {
+                stride: conv.stride,
+                padding: conv.padding,
+                relu,
+                kind: ConvKind::Fused {
+                    weight: pack_conv_weight(&Tensor::from_vec(stored, w.dims())),
+                    bias,
+                },
+            }
+        }
+    }
+}
+
+impl ExecutionPlan {
+    /// Compiles a trained model into an immutable plan.
+    pub fn compile(model: &ResNet, config: &PlanConfig) -> ExecutionPlan {
+        let mut ledger = SizeLedger {
+            precision: config.precision,
+            bytes: 0,
+        };
+        let stem = compile_conv_bn(
+            model.stem_conv(),
+            model.stem_bn(),
+            true,
+            config.numerics,
+            &mut ledger,
+        );
+        let stem_pool = model.stem_pool().map(|p| (p.kernel, p.stride, p.padding));
+        let blocks = model
+            .blocks()
+            .iter()
+            .map(|b| BlockOp {
+                conv1: compile_conv_bn(b.conv1(), b.bn1(), true, config.numerics, &mut ledger),
+                conv2: compile_conv_bn(b.conv2(), b.bn2(), false, config.numerics, &mut ledger),
+                proj: b.downsample().map(|(conv, bn)| {
+                    compile_conv_bn(conv, bn, false, config.numerics, &mut ledger)
+                }),
+            })
+            .collect();
+        let fc_w = &model.fc().weight.value;
+        let fc_bias = model.fc().bias.value.as_slice().to_vec();
+        let stored_fc = ledger.store_weights(fc_w.as_slice());
+        ledger.store_f32(&fc_bias);
+        ExecutionPlan {
+            arch: model.arch,
+            config: *config,
+            stem,
+            stem_pool,
+            blocks,
+            fc_weight: Tensor::from_vec(stored_fc, fc_w.dims()),
+            fc_bias,
+            weight_bytes: ledger.bytes,
+        }
+    }
+
+    /// The architecture this plan was compiled from.
+    pub fn arch(&self) -> &hydronas_graph::ArchConfig {
+        &self.arch
+    }
+
+    /// The compilation options used.
+    pub fn config(&self) -> &PlanConfig {
+        &self.config
+    }
+
+    /// Serialized weight footprint in bytes at the plan's precision
+    /// (int8 payloads count 1 byte per scalar plus one f32 scale per
+    /// tensor; biases and BN vectors stay f32).
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_bytes
+    }
+
+    /// Runs the plan over a batch: `[N, C, H, W] -> logits [N, classes]`.
+    ///
+    /// In [`Numerics::Fused`] mode every GEMM on this path goes through the
+    /// always-packed `_batched` entries, so row `i` of a batched run is
+    /// bit-identical to running sample `i` alone at any batch size. In
+    /// [`Numerics::Exact`] mode the plan instead mirrors
+    /// `ResNet::forward_eval` call-for-call, so its output is bit-identical
+    /// to the model's eval forward at the same batch size.
+    pub fn run_batch(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().ndim(), 4, "plan input must be NCHW");
+        assert_eq!(
+            input.dims()[1],
+            self.arch.in_channels,
+            "input channel mismatch"
+        );
+        let mut x = self.stem.apply(input);
+        if let Some((kernel, stride, padding)) = self.stem_pool {
+            x = max_pool2d(&x, kernel, stride, padding).0;
+        }
+        for block in &self.blocks {
+            x = block.apply(&x);
+        }
+        let pooled = avg_pool2d_global(&x);
+        let (n, in_f) = (pooled.dims()[0], pooled.dims()[1]);
+        let out_f = self.fc_weight.dims()[1];
+        let mut out = Tensor::zeros(&[n, out_f]);
+        match self.config.numerics {
+            Numerics::Fused => hydronas_tensor::gemm_bias_batched(
+                pooled.as_slice(),
+                self.fc_weight.as_slice(),
+                &self.fc_bias,
+                out.as_mut_slice(),
+                n,
+                in_f,
+                out_f,
+            ),
+            // Exact mode keeps the dispatching entry `forward_eval` uses so
+            // the bits match the model's own FC call.
+            Numerics::Exact => hydronas_tensor::gemm_bias(
+                pooled.as_slice(),
+                self.fc_weight.as_slice(),
+                &self.fc_bias,
+                out.as_mut_slice(),
+                n,
+                in_f,
+                out_f,
+            ),
+        }
+        out
+    }
+
+    /// Runs one `[C, H, W]` sample and returns its logits.
+    pub fn run_single(&self, input: &Tensor) -> Vec<f32> {
+        assert_eq!(input.shape().ndim(), 3, "single input must be CHW");
+        let dims = input.dims();
+        let batched = Tensor::from_vec(input.as_slice().to_vec(), &[1, dims[0], dims[1], dims[2]]);
+        self.run_batch(&batched).as_slice().to_vec()
+    }
+}

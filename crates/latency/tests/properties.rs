@@ -106,8 +106,8 @@ proptest! {
     #[test]
     fn size_relations(arch in arch_strategy()) {
         let graph = ModelGraph::from_arch(&arch, 32).unwrap();
-        let fp32 = quantized_size_bytes(&graph, Precision::Fp32);
-        let int8 = quantized_size_bytes(&graph, Precision::Int8);
+        let fp32 = quantized_size_bytes(&graph, Precision::Fp32).unwrap();
+        let int8 = quantized_size_bytes(&graph, Precision::Int8).unwrap();
         prop_assert_eq!(fp32, serialized_size_bytes(&graph));
         prop_assert!(int8 < fp32);
         prop_assert!(int8 * 3 > fp32 / 2, "int8 implausibly small");

@@ -41,6 +41,52 @@ impl BasicBlock {
         self.downsample.is_some()
     }
 
+    /// First 3x3 convolution of the main path.
+    pub fn conv1(&self) -> &Conv2d {
+        &self.conv1
+    }
+
+    /// Batch norm after `conv1`.
+    pub fn bn1(&self) -> &BatchNorm2d {
+        &self.bn1
+    }
+
+    /// Second 3x3 convolution of the main path.
+    pub fn conv2(&self) -> &Conv2d {
+        &self.conv2
+    }
+
+    /// Batch norm after `conv2`.
+    pub fn bn2(&self) -> &BatchNorm2d {
+        &self.bn2
+    }
+
+    /// The 1x1 projection on the skip path, when present.
+    pub fn downsample(&self) -> Option<(&Conv2d, &BatchNorm2d)> {
+        self.downsample.as_ref().map(|(c, b)| (c, b))
+    }
+
+    /// Read-only eval pass through the block: no layer caches, no running-stat
+    /// updates, shared access. Applies the same layer expressions as
+    /// [`BasicBlock::forward`] with `train = false`, so the output is
+    /// bit-identical.
+    pub fn forward_eval(&self, input: &Tensor) -> Tensor {
+        let mut main = self.conv1.forward_eval(input);
+        main = self.bn1.forward_eval(&main);
+        main = self.relu1.forward_eval(&main);
+        main = self.conv2.forward_eval(&main);
+        main = self.bn2.forward_eval(&main);
+        let skip = match self.downsample.as_ref() {
+            Some((conv, bn)) => {
+                let s = conv.forward_eval(input);
+                bn.forward_eval(&s)
+            }
+            None => input.clone(),
+        };
+        let sum = main.add(&skip);
+        self.relu2.forward_eval(&sum)
+    }
+
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut main = self.conv1.forward(input, train);
         main = self.bn1.forward(&main, train);

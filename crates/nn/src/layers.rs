@@ -43,6 +43,12 @@ impl Conv2d {
         out
     }
 
+    /// Read-only forward pass: no input caching, shared access. Output is
+    /// bit-identical to `forward(input, false)`.
+    pub fn forward_eval(&self, input: &Tensor) -> Tensor {
+        conv2d(input, &self.weight.value, self.stride, self.padding)
+    }
+
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self
             .cached_input
@@ -172,6 +178,43 @@ impl BatchNorm2d {
         out
     }
 
+    /// Read-only eval-mode pass over the running statistics: no cache,
+    /// no running-stat updates, shared access. The per-element expression
+    /// mirrors [`BatchNorm2d::forward`]'s eval branch exactly, so the
+    /// output is bit-identical to `forward(input, false)`.
+    pub fn forward_eval(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().ndim(), 4, "BatchNorm2d expects NCHW");
+        let (n, c, plane) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2] * input.dims()[3],
+        );
+        assert_eq!(c, self.channels(), "channel mismatch");
+        let x = input.as_slice();
+        let mean = self.running_mean.as_slice();
+        let inv_std: Vec<f32> = self
+            .running_var
+            .as_slice()
+            .iter()
+            .map(|&v| 1.0 / (v + self.eps).sqrt())
+            .collect();
+        let mut out = Tensor::zeros(input.dims());
+        let o = out.as_mut_slice();
+        let g = self.gamma.value.as_slice();
+        let bt = self.beta.value.as_slice();
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * plane;
+                let (mu, is, gg, bb) = (mean[ch], inv_std[ch], g[ch], bt[ch]);
+                for i in base..base + plane {
+                    let xi = (x[i] - mu) * is;
+                    o[i] = gg * xi + bb;
+                }
+            }
+        }
+        out
+    }
+
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = self
             .cache
@@ -247,6 +290,11 @@ impl Relu {
         input.map(|v| v.max(0.0))
     }
 
+    /// Read-only rectification: no mask caching, shared access.
+    pub fn forward_eval(&self, input: &Tensor) -> Tensor {
+        input.map(|v| v.max(0.0))
+    }
+
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mask = self
             .mask
@@ -287,6 +335,11 @@ impl MaxPool2d {
         out
     }
 
+    /// Read-only pooling: discards the argmax routing, shared access.
+    pub fn forward_eval(&self, input: &Tensor) -> Tensor {
+        max_pool2d(input, self.kernel, self.stride, self.padding).0
+    }
+
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let (dims, arg) = self
             .cache
@@ -311,6 +364,11 @@ impl GlobalAvgPool {
         if train {
             self.cached_dims = Some(input.dims().to_vec());
         }
+        avg_pool2d_global(input)
+    }
+
+    /// Read-only global average pooling: no dim caching, shared access.
+    pub fn forward_eval(&self, input: &Tensor) -> Tensor {
         avg_pool2d_global(input)
     }
 
@@ -365,6 +423,26 @@ impl Linear {
             out_f,
         );
         self.cached_input = train.then(|| input.clone());
+        out
+    }
+
+    /// Read-only affine map: no input caching, shared access. Uses the same
+    /// fused-bias GEMM as [`Linear::forward`], so the output is bit-identical
+    /// to `forward(input, false)`.
+    pub fn forward_eval(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().ndim(), 2, "Linear expects [N, in]");
+        let (n, in_f) = (input.dims()[0], input.dims()[1]);
+        let out_f = self.weight.value.dims()[1];
+        let mut out = Tensor::zeros(&[n, out_f]);
+        hydronas_tensor::gemm_bias(
+            input.as_slice(),
+            self.weight.value.as_slice(),
+            self.bias.value.as_slice(),
+            out.as_mut_slice(),
+            n,
+            in_f,
+            out_f,
+        );
         out
     }
 

@@ -2,19 +2,24 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Fraction of matching prediction/target pairs, in percent (paper
-/// convention).
-pub fn accuracy(predictions: &[usize], targets: &[usize]) -> f64 {
+/// Fraction of matching prediction/target pairs, **in percent** (paper
+/// convention: 0.0–100.0, not 0.0–1.0).
+///
+/// Empty input has no defined accuracy and returns `None` — the historical
+/// `0.0` was indistinguishable from "every prediction wrong", which let an
+/// accidentally empty validation split masquerade as a diverged model.
+/// (`roc_auc` rejects degenerate input for the same reason.)
+pub fn accuracy(predictions: &[usize], targets: &[usize]) -> Option<f64> {
     assert_eq!(predictions.len(), targets.len(), "length mismatch");
     if predictions.is_empty() {
-        return 0.0;
+        return None;
     }
     let hits = predictions
         .iter()
         .zip(targets)
         .filter(|(p, t)| p == t)
         .count();
-    100.0 * hits as f64 / predictions.len() as f64
+    Some(100.0 * hits as f64 / predictions.len() as f64)
 }
 
 /// `matrix[t][p]` = number of samples with target `t` predicted as `p`.
@@ -62,7 +67,9 @@ pub struct ClassificationReport {
 }
 
 impl ClassificationReport {
-    /// Builds the full report from raw predictions.
+    /// Builds the full report from raw predictions. Panics on an empty
+    /// evaluation set — a report over zero samples has no meaningful
+    /// accuracy, and every caller feeds a non-empty split.
     pub fn from_predictions(
         predictions: &[usize],
         targets: &[usize],
@@ -71,7 +78,8 @@ impl ClassificationReport {
         let confusion = confusion_matrix(predictions, targets, classes);
         let f1_per_class = (0..classes).map(|c| f1_score(&confusion, c)).collect();
         ClassificationReport {
-            accuracy_pct: accuracy(predictions, targets),
+            accuracy_pct: accuracy(predictions, targets)
+                .expect("classification report over an empty evaluation set"),
             confusion,
             f1_per_class,
             samples: predictions.len(),
@@ -85,9 +93,21 @@ mod tests {
 
     #[test]
     fn accuracy_basic() {
-        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 75.0);
-        assert_eq!(accuracy(&[], &[]), 0.0);
-        assert_eq!(accuracy(&[1, 1], &[1, 1]), 100.0);
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), Some(75.0));
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), Some(100.0));
+    }
+
+    #[test]
+    fn accuracy_of_empty_input_is_undefined_not_zero() {
+        // An empty split must be distinguishable from all-wrong predictions.
+        assert_eq!(accuracy(&[], &[]), None);
+        assert_eq!(accuracy(&[0], &[1]), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty evaluation set")]
+    fn empty_report_panics() {
+        let _ = ClassificationReport::from_predictions(&[], &[], 2);
     }
 
     #[test]

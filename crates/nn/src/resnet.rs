@@ -89,9 +89,60 @@ impl ResNet {
         self.stem_conv.backward(&g)
     }
 
+    /// Read-only forward pass: `[N, C, H, W] -> logits [N, num_classes]`.
+    ///
+    /// Unlike [`ResNet::forward`], this takes `&self` — no layer caches are
+    /// written and no batch-norm running statistics are updated — so a shared
+    /// model behind an `Arc` can serve concurrent evaluation. Every layer
+    /// applies the exact same eval-mode expression as `forward(input, false)`,
+    /// so the output is bit-identical (proven in `eval_forward_tests`).
+    pub fn forward_eval(&self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.dims()[1],
+            self.arch.in_channels,
+            "input channel mismatch"
+        );
+        let mut x = self.stem_conv.forward_eval(input);
+        x = self.stem_bn.forward_eval(&x);
+        x = self.stem_relu.forward_eval(&x);
+        if let Some(pool) = self.stem_pool.as_ref() {
+            x = pool.forward_eval(&x);
+        }
+        for block in self.stages.iter() {
+            x = block.forward_eval(&x);
+        }
+        let pooled = self.gap.forward_eval(&x);
+        self.fc.forward_eval(&pooled)
+    }
+
     /// Number of residual blocks (always 8 for ResNet-18).
     pub fn num_blocks(&self) -> usize {
         self.stages.len()
+    }
+
+    /// Stem convolution (read access for plan compilation).
+    pub fn stem_conv(&self) -> &Conv2d {
+        &self.stem_conv
+    }
+
+    /// Stem batch norm.
+    pub fn stem_bn(&self) -> &BatchNorm2d {
+        &self.stem_bn
+    }
+
+    /// Optional stem max-pool.
+    pub fn stem_pool(&self) -> Option<&MaxPool2d> {
+        self.stem_pool.as_ref()
+    }
+
+    /// The residual blocks in execution order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.stages
+    }
+
+    /// Final classifier head.
+    pub fn fc(&self) -> &Linear {
+        &self.fc
     }
 }
 
@@ -235,6 +286,69 @@ mod tests {
         let y2 = model2.forward(&x, false);
         // BN running stats are identical (both fresh), so outputs match.
         assert_eq!(y1, y2);
+    }
+}
+
+#[cfg(test)]
+mod eval_forward_tests {
+    use super::*;
+    use hydronas_graph::PoolConfig;
+    use hydronas_tensor::uniform;
+
+    fn archs() -> Vec<ArchConfig> {
+        vec![
+            ArchConfig {
+                in_channels: 5,
+                kernel_size: 3,
+                stride: 2,
+                padding: 1,
+                pool: None,
+                initial_features: 4,
+                num_classes: 2,
+            },
+            ArchConfig {
+                in_channels: 3,
+                kernel_size: 7,
+                stride: 2,
+                padding: 3,
+                pool: Some(PoolConfig {
+                    kernel: 3,
+                    stride: 2,
+                }),
+                initial_features: 8,
+                num_classes: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn forward_eval_is_bit_identical_to_eval_forward() {
+        for (seed, arch) in archs().into_iter().enumerate() {
+            let mut rng = TensorRng::seed_from_u64(seed as u64 + 10);
+            let mut model = ResNet::new(&arch, &mut rng);
+            let x = uniform(&[2, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+            // Populate non-trivial batch-norm running stats first, so the
+            // comparison exercises the real eval expression rather than the
+            // fresh mean=0 / var=1 initialization.
+            let warm = uniform(&[4, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+            let _ = model.forward(&warm, true);
+            let trained = model.forward(&x, false);
+            let eval = model.forward_eval(&x);
+            assert_eq!(trained, eval, "arch {arch:?}");
+        }
+    }
+
+    #[test]
+    fn forward_eval_leaves_model_state_untouched() {
+        let arch = archs().remove(0);
+        let mut rng = TensorRng::seed_from_u64(21);
+        let mut model = ResNet::new(&arch, &mut rng);
+        let x = uniform(&[2, arch.in_channels, 16, 16], -1.0, 1.0, &mut rng);
+        let before = model.forward(&x, false);
+        let shared = &model; // &self: compiles only because no state is written
+        let _ = shared.forward_eval(&x);
+        let _ = shared.forward_eval(&x);
+        assert_eq!(model.forward(&x, false), before);
     }
 }
 

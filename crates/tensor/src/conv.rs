@@ -5,7 +5,10 @@
 //! backward parallelize across the batch with rayon.
 
 use crate::arena::scratch;
-use crate::gemm::{gemm, gemm_nt};
+use crate::gemm::{
+    gemm, gemm_bias_relu_rows, gemm_bias_relu_rows_prepacked, gemm_bias_rows,
+    gemm_bias_rows_prepacked, gemm_nt, PackedA, PackedBLayout,
+};
 use crate::shape::conv_out_dim;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
@@ -77,15 +80,26 @@ impl Conv2dDims {
 
 /// Unfolds one CHW image into the `[in_c*k*k, out_h*out_w]` column matrix.
 pub fn im2col(img: &[f32], d: &Conv2dDims, col: &mut [f32]) {
-    assert_eq!(img.len(), d.in_c * d.in_h * d.in_w);
     assert_eq!(col.len(), d.col_rows() * d.col_cols());
+    im2col_into(img, d, col, d.col_cols(), 0);
+}
+
+/// [`im2col`] writing into an arbitrary row-major matrix: row `r` of the
+/// unfolded image lands at `out[r * row_stride + col0 ..][..col_cols]`.
+/// This lets the whole-batch fused conv scatter each sample's columns
+/// straight into its block of the shared `[cr, N*cc]` matrix with no
+/// staging copy.
+fn im2col_into(img: &[f32], d: &Conv2dDims, out: &mut [f32], row_stride: usize, col0: usize) {
+    assert_eq!(img.len(), d.in_c * d.in_h * d.in_w);
     let cols = d.col_cols();
+    assert!(col0 + cols <= row_stride);
+    assert!(out.len() >= (d.col_rows() - 1) * row_stride + col0 + cols);
     for c in 0..d.in_c {
         let plane = &img[c * d.in_h * d.in_w..(c + 1) * d.in_h * d.in_w];
         for ky in 0..d.kernel {
             for kx in 0..d.kernel {
                 let row = (c * d.kernel + ky) * d.kernel + kx;
-                let dst = &mut col[row * cols..(row + 1) * cols];
+                let dst = &mut out[row * row_stride + col0..row * row_stride + col0 + cols];
                 for oy in 0..d.out_h {
                     let iy = (oy * d.stride + ky) as isize - d.padding as isize;
                     let base = oy * d.out_w;
@@ -174,6 +188,308 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, padding: usize) ->
             // [out_c, col_rows] x [col_rows, col_cols] -> [out_c, col_cols]
             gemm(w, &col, out_n, d.out_c, d.col_rows(), d.col_cols());
         });
+    out
+}
+
+/// Fused inference convolution: `conv2d(input, weight) + bias` with an
+/// optional ReLU, all applied inside the GEMM's final write-back.
+///
+/// `bias` is per output channel (`len == out_c`), which in the im2col
+/// formulation `weight [out_c, cr] x col [cr, cc]` is a per-*row* bias —
+/// the [`gemm_bias_rows`] / [`gemm_bias_relu_rows`] epilogues. This is
+/// the execution shape of a conv whose following BatchNorm has been
+/// folded into the weights: one GEMM, no separate bias or activation
+/// pass over the output.
+pub fn conv2d_bias_act(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &[f32],
+    relu: bool,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let d = Conv2dDims::resolve(input.dims(), weight.dims(), stride, padding)
+        .expect("conv2d_bias_act: kernel does not fit input");
+    assert_eq!(bias.len(), d.out_c, "bias must be per output channel");
+    if hydronas_telemetry::enabled() {
+        hydronas_telemetry::add_all(&[
+            ("tensor.conv2d_fused.calls", 1),
+            (
+                "tensor.conv2d_fused.flops",
+                (d.batch * 2 * d.out_c * d.col_rows() * d.col_cols()) as u64,
+            ),
+        ]);
+    }
+    let mut out = Tensor::zeros(&[d.batch, d.out_c, d.out_h, d.out_w]);
+    let in_sz = d.in_c * d.in_h * d.in_w;
+    let out_sz = d.out_c * d.out_h * d.out_w;
+    let w = weight.as_slice();
+    let inp = input.as_slice();
+
+    out.as_mut_slice()
+        .par_chunks_mut(out_sz)
+        .enumerate()
+        .for_each(|(n, out_n)| {
+            let mut col = scratch(d.col_rows() * d.col_cols());
+            im2col(&inp[n * in_sz..(n + 1) * in_sz], &d, &mut col);
+            if relu {
+                gemm_bias_relu_rows(w, &col, bias, out_n, d.out_c, d.col_rows(), d.col_cols());
+            } else {
+                gemm_bias_rows(w, &col, bias, out_n, d.out_c, d.col_rows(), d.col_cols());
+            }
+        });
+    out
+}
+
+/// Whole-batch fused inference convolution: every sample's im2col columns
+/// are concatenated into one `[cr, N*cc]` matrix and multiplied in a
+/// single per-row-bias GEMM call.
+///
+/// This is the batching engine's conv kernel, and it wins twice on a
+/// serving box:
+/// * the `[out_c, cr]` weight panel is packed once per layer instead of
+///   once per sample, and
+/// * deep layers with tiny feature maps (`cc` of 1–16) fill the GEMM
+///   micro-tiles with real columns instead of padding, so the register
+///   kernel stops wasting most of its width.
+///
+/// Numerics: the GEMM goes through the always-packed `_batched` entries,
+/// so each output column's bits are independent of how many samples share
+/// the call — running a batch of one is bit-identical to any row of a
+/// larger batch.
+pub fn conv2d_bias_act_batched(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &[f32],
+    relu: bool,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let d = Conv2dDims::resolve(input.dims(), weight.dims(), stride, padding)
+        .expect("conv2d_bias_act_batched: kernel does not fit input");
+    assert_eq!(bias.len(), d.out_c, "bias must be per output channel");
+    if hydronas_telemetry::enabled() {
+        hydronas_telemetry::add_all(&[
+            ("tensor.conv2d_fused.calls", 1),
+            (
+                "tensor.conv2d_fused.flops",
+                (d.batch * 2 * d.out_c * d.col_rows() * d.col_cols()) as u64,
+            ),
+        ]);
+    }
+    let cr = d.col_rows();
+    let cc = d.col_cols();
+    let wide = d.batch * cc;
+    let in_sz = d.in_c * d.in_h * d.in_w;
+    let inp = input.as_slice();
+
+    // col_wide[r][s*cc + j] = im2col(sample s)[r][j], each sample unfolded
+    // directly into its column block — no staging copy.
+    let mut col_wide = scratch(cr * wide);
+    for s in 0..d.batch {
+        im2col_into(
+            &inp[s * in_sz..(s + 1) * in_sz],
+            &d,
+            &mut col_wide,
+            wide,
+            s * cc,
+        );
+    }
+
+    // [out_c, cr] x [cr, N*cc] -> [out_c, N*cc], bias per channel row.
+    let mut c_wide = scratch(d.out_c * wide);
+    if relu {
+        crate::gemm::gemm_bias_relu_rows_batched(
+            weight.as_slice(),
+            &col_wide,
+            bias,
+            &mut c_wide,
+            d.out_c,
+            cr,
+            wide,
+        );
+    } else {
+        crate::gemm::gemm_bias_rows_batched(
+            weight.as_slice(),
+            &col_wide,
+            bias,
+            &mut c_wide,
+            d.out_c,
+            cr,
+            wide,
+        );
+    }
+
+    // Scatter [out_c, N*cc] back to NCHW.
+    let mut out = Tensor::zeros(&[d.batch, d.out_c, d.out_h, d.out_w]);
+    let o = out.as_mut_slice();
+    for s in 0..d.batch {
+        for ch in 0..d.out_c {
+            let dst = (s * d.out_c + ch) * cc;
+            let src = ch * wide + s * cc;
+            o[dst..dst + cc].copy_from_slice(&c_wide[src..src + cc]);
+        }
+    }
+    out
+}
+
+/// A conv weight repacked once into GEMM A panels, for serving paths that
+/// run the same immutable weights on every request.
+pub struct PackedConvWeight {
+    out_c: usize,
+    in_c: usize,
+    kernel: usize,
+    a: PackedA,
+}
+
+impl PackedConvWeight {
+    /// Output channels.
+    pub fn out_c(&self) -> usize {
+        self.out_c
+    }
+
+    /// Input channels.
+    pub fn in_c(&self) -> usize {
+        self.in_c
+    }
+
+    /// Square kernel extent.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Packed floats held (panel padding included).
+    pub fn packed_len(&self) -> usize {
+        self.a.packed_len()
+    }
+}
+
+/// Packs an `[O, I, kh, kw]` conv weight into the GEMM panel layout
+/// [`conv2d_bias_act_prepacked`] consumes. Pack once at plan-compile time;
+/// every subsequent conv call skips its weight-packing pass entirely.
+pub fn pack_conv_weight(weight: &Tensor) -> PackedConvWeight {
+    let dims = weight.dims();
+    assert_eq!(dims.len(), 4, "conv weight must be [O,I,Kh,Kw]");
+    assert_eq!(dims[2], dims[3], "conv kernels are square");
+    let (out_c, in_c, kernel) = (dims[0], dims[1], dims[2]);
+    PackedConvWeight {
+        out_c,
+        in_c,
+        kernel,
+        a: PackedA::pack(weight.as_slice(), out_c, in_c * kernel * kernel),
+    }
+}
+
+/// [`im2col`] writing straight into a packed-B buffer: each unfolded row
+/// is staged in a cache-hot row buffer, then scattered to its panels in
+/// `NR`-wide chunks — the row-major `[cr, N*cc]` column matrix is never
+/// materialized, and the GEMM's `pack_b` pass disappears with it.
+fn im2col_packed(
+    img: &[f32],
+    d: &Conv2dDims,
+    layout: &PackedBLayout,
+    out: &mut [f32],
+    col0: usize,
+) {
+    assert_eq!(img.len(), d.in_c * d.in_h * d.in_w);
+    let cols = d.col_cols();
+    let mut rowbuf = scratch(cols);
+    for c in 0..d.in_c {
+        let plane = &img[c * d.in_h * d.in_w..(c + 1) * d.in_h * d.in_w];
+        for ky in 0..d.kernel {
+            for kx in 0..d.kernel {
+                let row = (c * d.kernel + ky) * d.kernel + kx;
+                for oy in 0..d.out_h {
+                    let iy = (oy * d.stride + ky) as isize - d.padding as isize;
+                    let base = oy * d.out_w;
+                    if iy < 0 || iy >= d.in_h as isize {
+                        rowbuf[base..base + d.out_w].fill(0.0);
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * d.in_w..(iy as usize + 1) * d.in_w];
+                    for ox in 0..d.out_w {
+                        let ix = (ox * d.stride + kx) as isize - d.padding as isize;
+                        rowbuf[base + ox] = if ix < 0 || ix >= d.in_w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+                layout.write_row(out, row, col0, &rowbuf);
+            }
+        }
+    }
+}
+
+/// [`conv2d_bias_act_batched`] over a pre-packed weight: the serving-path
+/// conv kernel.
+///
+/// On top of the whole-batch GEMM this removes every per-call packing
+/// pass: the weight panels were packed once at plan-compile time, and
+/// im2col writes the column matrix directly in packed panel layout
+/// (one write instead of a staging write plus `pack_b`'s read + write).
+/// Numerics are bit-identical to [`conv2d_bias_act_batched`] on the same
+/// operands — the packed panels hold the same floats in the same places,
+/// and the tile sweep accumulates in the same order.
+pub fn conv2d_bias_act_prepacked(
+    input: &Tensor,
+    weight: &PackedConvWeight,
+    bias: &[f32],
+    relu: bool,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let wdims = [weight.out_c, weight.in_c, weight.kernel, weight.kernel];
+    let d = Conv2dDims::resolve(input.dims(), &wdims, stride, padding)
+        .expect("conv2d_bias_act_prepacked: kernel does not fit input");
+    assert_eq!(bias.len(), d.out_c, "bias must be per output channel");
+    if hydronas_telemetry::enabled() {
+        hydronas_telemetry::add_all(&[
+            ("tensor.conv2d_fused.calls", 1),
+            (
+                "tensor.conv2d_fused.flops",
+                (d.batch * 2 * d.out_c * d.col_rows() * d.col_cols()) as u64,
+            ),
+        ]);
+    }
+    let cr = d.col_rows();
+    let cc = d.col_cols();
+    let wide = d.batch * cc;
+    let in_sz = d.in_c * d.in_h * d.in_w;
+    let inp = input.as_slice();
+
+    let layout = PackedBLayout::new(cr, wide);
+    let mut col_pack = scratch(layout.len());
+    for s in 0..d.batch {
+        im2col_packed(
+            &inp[s * in_sz..(s + 1) * in_sz],
+            &d,
+            &layout,
+            &mut col_pack,
+            s * cc,
+        );
+    }
+    layout.zero_pad_lanes(&mut col_pack);
+
+    // [out_c, cr] x [cr, N*cc] -> [out_c, N*cc], bias per channel row.
+    let mut c_wide = scratch(d.out_c * wide);
+    if relu {
+        gemm_bias_relu_rows_prepacked(&weight.a, &layout, &col_pack, bias, &mut c_wide);
+    } else {
+        gemm_bias_rows_prepacked(&weight.a, &layout, &col_pack, bias, &mut c_wide);
+    }
+
+    // Scatter [out_c, N*cc] back to NCHW.
+    let mut out = Tensor::zeros(&[d.batch, d.out_c, d.out_h, d.out_w]);
+    let o = out.as_mut_slice();
+    for s in 0..d.batch {
+        for ch in 0..d.out_c {
+            let dst = (s * d.out_c + ch) * cc;
+            let src = ch * wide + s * cc;
+            o[dst..dst + cc].copy_from_slice(&c_wide[src..src + cc]);
+        }
+    }
     out
 }
 
@@ -327,6 +643,133 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The whole-batch conv must be (a) correct against the dispatching
+    /// fused conv within float-reassociation tolerance and (b) bit-identical
+    /// per sample across batch sizes. The geometry sits in the GEMM
+    /// small/packed divergence zone (k = 32·3·3 = 288 > KC, per-sample
+    /// column count 9) where a dispatching kernel would flip paths — and
+    /// bits — as the batch grows.
+    #[test]
+    fn batched_fused_conv_is_correct_and_batch_size_invariant() {
+        let mut rng = TensorRng::seed_from_u64(43);
+        let (batch, in_c, out_c, h, k, s, p) = (4usize, 32usize, 8usize, 5usize, 3usize, 1, 0);
+        let input = uniform(&[batch, in_c, h, h], -1.0, 1.0, &mut rng);
+        let weight = uniform(&[out_c, in_c, k, k], -0.5, 0.5, &mut rng);
+        let bias: Vec<f32> = (0..out_c).map(|i| i as f32 * 0.1 - 0.3).collect();
+        for &relu in &[false, true] {
+            let wide = conv2d_bias_act_batched(&input, &weight, &bias, relu, s, p);
+            let reference = conv2d_bias_act(&input, &weight, &bias, relu, s, p);
+            assert_eq!(wide.dims(), reference.dims());
+            for (got, want) in wide.as_slice().iter().zip(reference.as_slice()) {
+                assert!(
+                    approx_eq(*got, *want, 1e-4),
+                    "batched conv drifted from fused reference: {got} vs {want}"
+                );
+            }
+            // Each sample re-run alone must reproduce its batched bits.
+            let in_sz = in_c * h * h;
+            for sample in 0..batch {
+                let one = Tensor::from_vec(
+                    input.as_slice()[sample * in_sz..(sample + 1) * in_sz].to_vec(),
+                    &[1, in_c, h, h],
+                );
+                let alone = conv2d_bias_act_batched(&one, &weight, &bias, relu, s, p);
+                let plane = alone.numel();
+                for (j, (got, want)) in wide.as_slice()[sample * plane..(sample + 1) * plane]
+                    .iter()
+                    .zip(alone.as_slice())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "sample {sample} elem {j} changed bits with batch size"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The prepacked conv is the batched conv with the packing moved to
+    /// build time — its output must match bit for bit across geometries
+    /// (stride, padding, multi-row-block out_c, multi-k-block cr).
+    #[test]
+    fn prepacked_conv_is_bit_identical_to_batched_fused_conv() {
+        let mut rng = TensorRng::seed_from_u64(47);
+        for &(in_c, out_c, h, k, s, p) in &[
+            (32usize, 100usize, 7usize, 3usize, 1usize, 1usize),
+            (32, 8, 9, 3, 2, 1),
+            (3, 24, 9, 7, 2, 3),
+        ] {
+            let input = uniform(&[3, in_c, h, h], -1.0, 1.0, &mut rng);
+            let weight = uniform(&[out_c, in_c, k, k], -0.5, 0.5, &mut rng);
+            let packed = pack_conv_weight(&weight);
+            let bias: Vec<f32> = (0..out_c).map(|i| i as f32 * 0.05 - 0.2).collect();
+            for &relu in &[false, true] {
+                let want = conv2d_bias_act_batched(&input, &weight, &bias, relu, s, p);
+                let got = conv2d_bias_act_prepacked(&input, &packed, &bias, relu, s, p);
+                assert_eq!(got.dims(), want.dims());
+                for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "in_c={in_c} out_c={out_c} h={h} k={k} s={s} p={p} relu={relu}: \
+                         prepacked conv diverged at {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bias_act_matches_unfused_bit_exactly() {
+        // The fused path must equal conv2d + per-channel bias (+ ReLU)
+        // bit-for-bit: same im2col, same GEMM accumulation order, the
+        // bias/activation merely folded into the write-back.
+        let mut rng = TensorRng::seed_from_u64(41);
+        for &(h, k, s, p) in &[(8, 3, 1, 1), (9, 7, 2, 3), (16, 3, 2, 1)] {
+            let input = uniform(&[3, 4, h, h], -1.0, 1.0, &mut rng);
+            let weight = uniform(&[6, 4, k, k], -0.5, 0.5, &mut rng);
+            let bias: Vec<f32> = (0..6).map(|i| i as f32 * 0.1 - 0.3).collect();
+            let plain = conv2d(&input, &weight, s, p);
+            let d = Conv2dDims::resolve(input.dims(), weight.dims(), s, p).unwrap();
+            let plane = d.out_h * d.out_w;
+            let with_bias: Vec<f32> = plain
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v + bias[(i / plane) % d.out_c])
+                .collect();
+
+            let fused = conv2d_bias_act(&input, &weight, &bias, false, s, p);
+            assert_eq!(fused.as_slice(), &with_bias[..], "h={h} k={k} s={s} p={p}");
+
+            let fused_relu = conv2d_bias_act(&input, &weight, &bias, true, s, p);
+            for (&a, &b) in fused_relu.as_slice().iter().zip(with_bias.iter()) {
+                assert_eq!(a, b.max(0.0), "h={h} k={k} s={s} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_conv_batch_rows_are_batch_invariant() {
+        // Per-sample processing + the GEMM determinism contract: a
+        // sample's fused-conv output cannot depend on its batch mates —
+        // the property the batching engine's bit-identity rests on.
+        let mut rng = TensorRng::seed_from_u64(42);
+        let a = uniform(&[1, 3, 10, 10], -1.0, 1.0, &mut rng);
+        let b = uniform(&[1, 3, 10, 10], -1.0, 1.0, &mut rng);
+        let weight = uniform(&[5, 3, 3, 3], -0.5, 0.5, &mut rng);
+        let bias = [0.1, -0.2, 0.3, 0.0, -0.4];
+        let both = Tensor::stack(&[a.clone(), b.clone()]).reshape(&[2, 3, 10, 10]);
+        let out_both = conv2d_bias_act(&both, &weight, &bias, true, 1, 1);
+        let out_a = conv2d_bias_act(&a, &weight, &bias, true, 1, 1);
+        let out_b = conv2d_bias_act(&b, &weight, &bias, true, 1, 1);
+        let half = out_a.numel();
+        assert_eq!(&out_both.as_slice()[..half], out_a.as_slice());
+        assert_eq!(&out_both.as_slice()[half..], out_b.as_slice());
     }
 
     #[test]

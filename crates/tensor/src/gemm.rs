@@ -56,6 +56,11 @@ const NC: usize = 512;
 const SMALL_FLOPS: usize = 32 * 1024;
 
 /// Fused operation applied to C while the last k block is written back.
+///
+/// Column-indexed bias serves the linear layer (`[N, in] x [in, out]`,
+/// one bias per output feature column); row-indexed bias serves the
+/// folded inference convolution (`[out_c, cr] x [cr, cc]`, one bias per
+/// output channel row).
 #[derive(Clone, Copy)]
 enum Epilogue<'a> {
     /// Plain `C = A * B`.
@@ -64,16 +69,23 @@ enum Epilogue<'a> {
     Bias(&'a [f32]),
     /// `C = relu(A * B + bias)`.
     BiasRelu(&'a [f32]),
+    /// `C = A * B + bias` (bias indexed by output row).
+    RowBias(&'a [f32]),
+    /// `C = relu(A * B + bias)` (bias indexed by output row).
+    RowBiasRelu(&'a [f32]),
 }
 
 impl Epilogue<'_> {
-    /// Applies the epilogue to one already-accumulated value.
+    /// Applies the epilogue to one already-accumulated value at the
+    /// given global C coordinates.
     #[inline(always)]
-    fn apply(&self, v: f32, col: usize) -> f32 {
+    fn apply(&self, v: f32, row: usize, col: usize) -> f32 {
         match self {
             Epilogue::None => v,
             Epilogue::Bias(bias) => v + bias[col],
             Epilogue::BiasRelu(bias) => (v + bias[col]).max(0.0),
+            Epilogue::RowBias(bias) => v + bias[row],
+            Epilogue::RowBiasRelu(bias) => (v + bias[row]).max(0.0),
         }
     }
 }
@@ -129,13 +141,16 @@ struct BlockArgs {
 /// determinism contract.
 #[derive(Clone, Copy)]
 struct Kernel {
-    /// Register tile width (columns of B per tile; the row-panel height
-    /// `MR` is baked into `block` by monomorphization).
+    /// Register tile width (columns of B per tile).
     nr: usize,
+    /// Register tile height (rows of A per panel).
+    mr: usize,
     /// Row-block height, the unit of parallel work (multiple of `mr`).
     mc: usize,
-    /// Computes one `mc x nc` row block from packed panels.
+    /// Computes one `mc x nc` row block from A storage + packed B.
     block: for<'a> fn(&[f32], &[f32], &mut [f32], BlockArgs, Epilogue<'a>),
+    /// Same sweep, but A arrives already packed ([`PackedA`]).
+    block_pre: for<'a> fn(&[f32], &[f32], &mut [f32], BlockArgs, Epilogue<'a>),
 }
 
 /// Returns the per-process microkernel: AVX2+FMA 6x16 when the CPU
@@ -151,14 +166,18 @@ fn kernel() -> Kernel {
         {
             return Kernel {
                 nr: 16,
+                mr: 6,
                 mc: 96,
                 block: row_block_avx2,
+                block_pre: row_block_avx2_pre,
             };
         }
         Kernel {
             nr: 8,
+            mr: 4,
             mc: 64,
             block: row_block_portable,
+            block_pre: row_block_portable_pre,
         }
     })
 }
@@ -269,6 +288,7 @@ fn micro_tile<const MR: usize, const NR: usize, const FMA: bool>(
 fn store_tile<const MR: usize, const NR: usize>(
     c_block: &mut [f32],
     n: usize,
+    row_base: usize,
     row0: usize,
     col0: usize,
     mr_eff: usize,
@@ -286,27 +306,27 @@ fn store_tile<const MR: usize, const NR: usize>(
                 v += *cj;
             }
             if last {
-                v = epi.apply(v, col0 + j);
+                // `row0` is block-relative; `row_base` restores the
+                // global row index the row-indexed epilogues need.
+                v = epi.apply(v, row_base + row0 + r, col0 + j);
             }
             *cj = v;
         }
     }
 }
 
-/// Computes one `mc x nc` row block: packs its A panels, then sweeps the
-/// `MR x NR` register tiles. Monomorphized per kernel so the tile loops
-/// have constant bounds and vectorize.
+/// Sweeps the `MR x NR` register tiles of one row block from
+/// already-packed A and B panels. Monomorphized per kernel so the tile
+/// loops have constant bounds and vectorize.
 #[inline(always)]
-fn row_block_body<const MR: usize, const NR: usize, const FMA: bool>(
-    a: &[f32],
+fn tile_sweep<const MR: usize, const NR: usize, const FMA: bool>(
+    a_pack: &[f32],
     b_pack: &[f32],
     c_block: &mut [f32],
     g: BlockArgs,
     epi: Epilogue,
 ) {
     let a_panels = g.mc.div_ceil(MR);
-    let mut a_pack = scratch(a_panels * MR * g.kc);
-    pack_a(a, &mut a_pack, g.k, g.ic, g.mc, g.pc, g.kc, MR);
     let b_panels = g.nc.div_ceil(NR);
     for pj in 0..b_panels {
         let b_panel = &b_pack[pj * NR * g.kc..][..NR * g.kc];
@@ -318,16 +338,43 @@ fn row_block_body<const MR: usize, const NR: usize, const FMA: bool>(
             let mr_eff = MR.min(g.mc - row0);
             let acc = micro_tile::<MR, NR, FMA>(a_panel, b_panel);
             store_tile::<MR, NR>(
-                c_block, g.n, row0, col0, mr_eff, nr_eff, &acc, g.first, g.last, epi,
+                c_block, g.n, g.ic, row0, col0, mr_eff, nr_eff, &acc, g.first, g.last, epi,
             );
         }
     }
+}
+
+/// Computes one `mc x nc` row block: packs its A panels, then sweeps the
+/// `MR x NR` register tiles.
+#[inline(always)]
+fn row_block_body<const MR: usize, const NR: usize, const FMA: bool>(
+    a: &[f32],
+    b_pack: &[f32],
+    c_block: &mut [f32],
+    g: BlockArgs,
+    epi: Epilogue,
+) {
+    let a_panels = g.mc.div_ceil(MR);
+    let mut a_pack = scratch(a_panels * MR * g.kc);
+    pack_a(a, &mut a_pack, g.k, g.ic, g.mc, g.pc, g.kc, MR);
+    tile_sweep::<MR, NR, FMA>(&a_pack, b_pack, c_block, g, epi);
 }
 
 /// Baseline instantiation: 4x8 tiles, plain mul+add. Correct on every
 /// target the workspace builds for.
 fn row_block_portable(a: &[f32], b_pack: &[f32], c_block: &mut [f32], g: BlockArgs, epi: Epilogue) {
     row_block_body::<4, 8, false>(a, b_pack, c_block, g, epi);
+}
+
+/// Portable row block over a pre-packed A slice.
+fn row_block_portable_pre(
+    a_pack: &[f32],
+    b_pack: &[f32],
+    c_block: &mut [f32],
+    g: BlockArgs,
+    epi: Epilogue,
+) {
+    tile_sweep::<4, 8, false>(a_pack, b_pack, c_block, g, epi);
 }
 
 /// AVX2+FMA instantiation: 6x16 tiles, `mul_add` lowered to vfmadd. The
@@ -351,6 +398,31 @@ unsafe fn row_block_avx2_impl(
 #[cfg(target_arch = "x86_64")]
 fn row_block_avx2(a: &[f32], b_pack: &[f32], c_block: &mut [f32], g: BlockArgs, epi: Epilogue) {
     unsafe { row_block_avx2_impl(a, b_pack, c_block, g, epi) }
+}
+
+/// AVX2+FMA row block over a pre-packed A slice.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn row_block_avx2_pre_impl(
+    a_pack: &[f32],
+    b_pack: &[f32],
+    c_block: &mut [f32],
+    g: BlockArgs,
+    epi: Epilogue,
+) {
+    tile_sweep::<6, 16, true>(a_pack, b_pack, c_block, g, epi);
+}
+
+/// Safe shim; same safety contract as [`row_block_avx2`].
+#[cfg(target_arch = "x86_64")]
+fn row_block_avx2_pre(
+    a_pack: &[f32],
+    b_pack: &[f32],
+    c_block: &mut [f32],
+    g: BlockArgs,
+    epi: Epilogue,
+) {
+    unsafe { row_block_avx2_pre_impl(a_pack, b_pack, c_block, g, epi) }
 }
 
 /// The packed path: NC/KC/MC blocking around the microkernel, row blocks
@@ -407,7 +479,7 @@ fn gemm_small(a: &[f32], b: BSource, c: &mut [f32], k: usize, n: usize, epi: Epi
                     }
                 }
                 for (j, cj) in c_row.iter_mut().enumerate() {
-                    *cj = epi.apply(*cj, j);
+                    *cj = epi.apply(*cj, i, j);
                 }
             }
         }
@@ -420,7 +492,7 @@ fn gemm_small(a: &[f32], b: BSource, c: &mut [f32], k: usize, n: usize, epi: Epi
                     for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
                         acc += av * bv;
                     }
-                    *cj = epi.apply(acc, j);
+                    *cj = epi.apply(acc, i, j);
                 }
             }
         }
@@ -443,9 +515,9 @@ fn gemm_dispatch(
     }
     if k == 0 {
         // Empty inner dimension: C is the epilogue of zero.
-        for row in c.chunks_exact_mut(n) {
+        for (i, row) in c.chunks_exact_mut(n).enumerate() {
             for (j, cj) in row.iter_mut().enumerate() {
-                *cj = epi.apply(0.0, j);
+                *cj = epi.apply(0.0, i, j);
             }
         }
         return;
@@ -520,6 +592,447 @@ pub fn gemm_bias_relu(
     );
 }
 
+/// GEMM with a per-output-row bias: `c[i][j] = (a * b)[i][j] + bias[i]`
+/// (bias length `m`), fused into the final write-back.
+///
+/// This is the epilogue shape of a bias-carrying convolution computed as
+/// `weight [out_c, cr] x col [cr, cc]`: the bias belongs to the output
+/// channel, which is a *row* of C, not a column. The inference engine's
+/// conv+BN folding depends on it.
+pub fn gemm_bias_rows(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    assert_eq!(bias.len(), m, "row bias length mismatch");
+    record_gemm(m, k, n);
+    gemm_dispatch(a, BSource::RowMajor(b), c, m, k, n, Epilogue::RowBias(bias));
+}
+
+/// GEMM with per-output-row bias and ReLU fused into the final
+/// write-back: `c[i][j] = max(0, (a * b)[i][j] + bias[i])` — the fused
+/// conv+BN+ReLU inference kernel.
+pub fn gemm_bias_relu_rows(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    assert_eq!(bias.len(), m, "row bias length mismatch");
+    record_gemm(m, k, n);
+    gemm_dispatch(
+        a,
+        BSource::RowMajor(b),
+        c,
+        m,
+        k,
+        n,
+        Epilogue::RowBiasRelu(bias),
+    );
+}
+
+/// Dispatch that never takes the small-problem path: degenerate extents
+/// are handled, everything else goes to the packed kernel.
+///
+/// The packed kernel accumulates each output element over fixed `KC`-deep
+/// k blocks, so its per-element float association depends only on `k` —
+/// never on `m` or `n`. The `_batched` entries below use this to give the
+/// inference engine its bit-stability contract: an output column computed
+/// inside a wide, multi-sample GEMM call is bit-identical to the same
+/// column computed alone, which the shape-based small/packed dispatch
+/// cannot promise (the small path re-associates k once a problem crosses
+/// the size threshold).
+fn gemm_dispatch_packed(
+    a: &[f32],
+    b: BSource,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for (i, row) in c.chunks_exact_mut(n).enumerate() {
+            for (j, cj) in row.iter_mut().enumerate() {
+                *cj = epi.apply(0.0, i, j);
+            }
+        }
+        return;
+    }
+    gemm_packed(a, b, c, m, k, n, epi);
+}
+
+/// [`gemm_bias`] with batch-invariant numerics: always the packed path,
+/// so results do not change bits when rows are batched into one call.
+pub fn gemm_bias_batched(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    assert_eq!(bias.len(), n, "bias length mismatch");
+    record_gemm(m, k, n);
+    gemm_dispatch_packed(a, BSource::RowMajor(b), c, m, k, n, Epilogue::Bias(bias));
+}
+
+/// [`gemm_bias_rows`] with batch-invariant numerics: always the packed
+/// path, so an output column keeps its bits no matter how many samples'
+/// columns share the call.
+pub fn gemm_bias_rows_batched(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    assert_eq!(bias.len(), m, "row bias length mismatch");
+    record_gemm(m, k, n);
+    gemm_dispatch_packed(a, BSource::RowMajor(b), c, m, k, n, Epilogue::RowBias(bias));
+}
+
+/// [`gemm_bias_relu_rows`] with batch-invariant numerics (see
+/// [`gemm_bias_rows_batched`]).
+pub fn gemm_bias_relu_rows_batched(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    assert_eq!(bias.len(), m, "row bias length mismatch");
+    record_gemm(m, k, n);
+    gemm_dispatch_packed(
+        a,
+        BSource::RowMajor(b),
+        c,
+        m,
+        k,
+        n,
+        Epilogue::RowBiasRelu(bias),
+    );
+}
+
+/// An A operand packed once into the kernel's `MR`-row panels, reusable
+/// across any number of GEMM calls.
+///
+/// `pack_a` normally runs inside every row-block task — for a weight
+/// matrix that never changes (the inference plan's folded conv weights)
+/// that work is identical on every call *and* repeated once per column
+/// block of B. Packing ahead of time removes it from the serving hot path
+/// entirely. Panel contents and traversal order match `pack_a` exactly,
+/// so results stay bit-identical to the `_batched` entries.
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    mr: usize,
+    mc: usize,
+    row_blocks: usize,
+    /// Panel-group offsets indexed `[pc_idx * row_blocks + row_block]`.
+    offsets: Vec<usize>,
+    buf: Vec<f32>,
+}
+
+impl PackedA {
+    /// Packs a row-major `[m x k]` matrix into kernel panels.
+    pub fn pack(a: &[f32], m: usize, k: usize) -> PackedA {
+        assert_eq!(a.len(), m * k, "A size mismatch");
+        assert!(m > 0 && k > 0, "PackedA requires non-degenerate extents");
+        let kern = kernel();
+        let row_blocks = m.div_ceil(kern.mc);
+        let k_blocks = k.div_ceil(KC);
+        let mut offsets = Vec::with_capacity(k_blocks * row_blocks);
+        let mut len = 0usize;
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for ib in 0..row_blocks {
+                let mc = kern.mc.min(m - ib * kern.mc);
+                offsets.push(len);
+                len += mc.div_ceil(kern.mr) * kern.mr * kc;
+            }
+        }
+        let mut buf = vec![0.0f32; len];
+        for (pc_idx, pc) in (0..k).step_by(KC).enumerate() {
+            let kc = KC.min(k - pc);
+            for ib in 0..row_blocks {
+                let ic = ib * kern.mc;
+                let mc = kern.mc.min(m - ic);
+                let off = offsets[pc_idx * row_blocks + ib];
+                let group = mc.div_ceil(kern.mr) * kern.mr * kc;
+                pack_a(a, &mut buf[off..off + group], k, ic, mc, pc, kc, kern.mr);
+            }
+        }
+        PackedA {
+            m,
+            k,
+            mr: kern.mr,
+            mc: kern.mc,
+            row_blocks,
+            offsets,
+            buf,
+        }
+    }
+
+    /// Output rows (`m`).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Inner dimension (`k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Packed floats held (panel padding included) — the plan's memory
+    /// accounting reads this.
+    pub fn packed_len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Addressing scheme of a packed B operand, letting producers write B in
+/// packed panel layout directly instead of materializing a row-major
+/// matrix that `pack_b` would immediately re-copy.
+///
+/// The fused-im2col convolution is the customer: each unfolded image row
+/// lands straight in its panels, which turns three passes over the column
+/// matrix (im2col write, `pack_b` read + write) into one.
+pub struct PackedBLayout {
+    k: usize,
+    n: usize,
+    nr: usize,
+    k_blocks: usize,
+    /// Block offsets indexed `[jc_idx * k_blocks + pc_idx]`.
+    offsets: Vec<usize>,
+    len: usize,
+}
+
+impl PackedBLayout {
+    /// Layout for a `[k x n]` B operand under the process kernel.
+    pub fn new(k: usize, n: usize) -> PackedBLayout {
+        assert!(
+            k > 0 && n > 0,
+            "PackedBLayout requires non-degenerate extents"
+        );
+        let nr = kernel().nr;
+        let k_blocks = k.div_ceil(KC);
+        let mut offsets = Vec::with_capacity(n.div_ceil(NC) * k_blocks);
+        let mut len = 0usize;
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                offsets.push(len);
+                len += nc.div_ceil(nr) * nr * kc;
+            }
+        }
+        PackedBLayout {
+            k,
+            n,
+            nr,
+            k_blocks,
+            offsets,
+            len,
+        }
+    }
+
+    /// Floats a packed buffer must hold (callers allocate, typically from
+    /// the scratch arena).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True only for layouts that hold no floats (never: extents are
+    /// non-degenerate by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inner dimension (`k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output columns (`n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Scatters the contiguous B-row segment `b[r][col0 .. col0+src.len()]`
+    /// into its packed panels. Segments may cross panel and column-block
+    /// boundaries; each chunk is one `copy_from_slice`.
+    #[inline]
+    pub fn write_row(&self, buf: &mut [f32], r: usize, col0: usize, src: &[f32]) {
+        debug_assert!(r < self.k, "row out of range");
+        debug_assert!(col0 + src.len() <= self.n, "segment exceeds columns");
+        let pc_idx = r / KC;
+        let kk = r - pc_idx * KC;
+        let kc = KC.min(self.k - pc_idx * KC);
+        let mut j = col0;
+        let mut si = 0usize;
+        while si < src.len() {
+            let jc_idx = j / NC;
+            let jn0 = jc_idx * NC;
+            let block = self.offsets[jc_idx * self.k_blocks + pc_idx];
+            let pj = (j - jn0) / self.nr;
+            let lane = (j - jn0) % self.nr;
+            let take = (self.nr - lane).min(src.len() - si).min(jn0 + NC - j);
+            let dst = block + (pj * kc + kk) * self.nr + lane;
+            buf[dst..dst + take].copy_from_slice(&src[si..si + take]);
+            j += take;
+            si += take;
+        }
+    }
+
+    /// Zeroes the padding lanes past column `n` in the final partial panel
+    /// (the layout rounds each column block up to a multiple of `nr`), so
+    /// callers may hand in uninitialized scratch and write only real
+    /// columns. Keeps stale garbage — subnormals, NaNs — out of the
+    /// microkernel's discarded lanes.
+    pub fn zero_pad_lanes(&self, buf: &mut [f32]) {
+        let last_jc = (self.n - 1) / NC * NC;
+        let nc = self.n - last_jc;
+        let lane0 = nc % self.nr;
+        if lane0 == 0 {
+            return;
+        }
+        let jc_idx = last_jc / NC;
+        let pj = nc / self.nr;
+        for pc_idx in 0..self.k_blocks {
+            let kc = KC.min(self.k - pc_idx * KC);
+            let block = self.offsets[jc_idx * self.k_blocks + pc_idx];
+            for kk in 0..kc {
+                let dst = block + (pj * kc + kk) * self.nr + lane0;
+                buf[dst..dst + self.nr - lane0].fill(0.0);
+            }
+        }
+    }
+
+    /// Packs a full row-major `[k x n]` matrix — the offline counterpart
+    /// of [`PackedBLayout::write_row`] for callers that already hold B.
+    pub fn pack(&self, b: &[f32], buf: &mut [f32]) {
+        assert_eq!(b.len(), self.k * self.n, "B size mismatch");
+        assert!(buf.len() >= self.len, "packed buffer too small");
+        for r in 0..self.k {
+            self.write_row(buf, r, 0, &b[r * self.n..(r + 1) * self.n]);
+        }
+        self.zero_pad_lanes(buf);
+    }
+}
+
+/// Packed-path driver over pre-packed operands: identical NC/KC/MC
+/// blocking and tile traversal to [`gemm_packed`], minus every per-call
+/// packing pass.
+fn gemm_packed_prepacked(
+    a: &PackedA,
+    layout: &PackedBLayout,
+    b_buf: &[f32],
+    c: &mut [f32],
+    epi: Epilogue,
+) {
+    let kern = kernel();
+    debug_assert_eq!(a.mr, kern.mr, "PackedA built under a different kernel");
+    debug_assert_eq!(a.mc, kern.mc, "PackedA built under a different kernel");
+    let (m, k, n) = (a.m, a.k, layout.n);
+    assert_eq!(a.k, layout.k, "inner dimension mismatch");
+    assert!(b_buf.len() >= layout.len, "packed B buffer too small");
+    for (jc_idx, jc) in (0..n).step_by(NC).enumerate() {
+        let nc = NC.min(n - jc);
+        let b_group = nc.div_ceil(kern.nr) * kern.nr;
+        for (pc_idx, pc) in (0..k).step_by(KC).enumerate() {
+            let kc = KC.min(k - pc);
+            let first = pc == 0;
+            let last = pc + kc == k;
+            let b_pack =
+                &b_buf[layout.offsets[jc_idx * layout.k_blocks + pc_idx]..][..b_group * kc];
+            c.par_chunks_mut(kern.mc * n)
+                .enumerate()
+                .for_each(|(bi, c_block)| {
+                    let ic = bi * kern.mc;
+                    let mc = kern.mc.min(m - ic);
+                    let a_group = mc.div_ceil(a.mr) * a.mr;
+                    let a_pack = &a.buf[a.offsets[pc_idx * a.row_blocks + bi]..][..a_group * kc];
+                    let g = BlockArgs {
+                        k,
+                        n,
+                        ic,
+                        mc,
+                        pc,
+                        kc,
+                        jc,
+                        nc,
+                        first,
+                        last,
+                    };
+                    (kern.block_pre)(a_pack, b_pack, c_block, g, epi);
+                });
+        }
+    }
+}
+
+/// [`gemm_bias_rows_batched`] over pre-packed operands: A packed once
+/// ahead of time ([`PackedA`]), B written directly in panel layout by the
+/// producer ([`PackedBLayout`]). Bit-identical to the `_batched` entries —
+/// same panels, same accumulation order — with zero per-call packing.
+pub fn gemm_bias_rows_prepacked(
+    a: &PackedA,
+    layout: &PackedBLayout,
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(c.len(), a.m * layout.n, "C size mismatch");
+    assert_eq!(bias.len(), a.m, "row bias length mismatch");
+    record_gemm(a.m, a.k, layout.n);
+    gemm_packed_prepacked(a, layout, b, c, Epilogue::RowBias(bias));
+}
+
+/// [`gemm_bias_relu_rows_batched`] over pre-packed operands (see
+/// [`gemm_bias_rows_prepacked`]).
+pub fn gemm_bias_relu_rows_prepacked(
+    a: &PackedA,
+    layout: &PackedBLayout,
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(c.len(), a.m * layout.n, "C size mismatch");
+    assert_eq!(bias.len(), a.m, "row bias length mismatch");
+    record_gemm(a.m, a.k, layout.n);
+    gemm_packed_prepacked(a, layout, b, c, Epilogue::RowBiasRelu(bias));
+}
+
 impl Tensor {
     /// Matrix product of two 2-d tensors.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
@@ -558,6 +1071,172 @@ mod tests {
             }
         }
         c
+    }
+
+    /// The `_batched` entries must give bit-identical results for a column
+    /// (or row) whether it is computed alone or inside a wider call. The
+    /// shape is chosen inside the small/packed divergence zone (`k > KC`,
+    /// per-sample `m*k*n < SMALL_FLOPS`) where the dispatching entries
+    /// would flip kernels — and therefore bits — as the batch grows.
+    #[test]
+    fn batched_entries_are_batch_size_invariant() {
+        let (m, k, cc, samples) = (8usize, 300usize, 4usize, 6usize);
+        assert!(k > KC && m * k * cc < SMALL_FLOPS);
+        let wide = samples * cc;
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.03)
+            .collect();
+        let b: Vec<f32> = (0..k * wide)
+            .map(|i| ((i * 53 % 97) as f32 - 48.0) * 0.02)
+            .collect();
+        let row_bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.1 - 0.4).collect();
+        let mut c_wide = vec![0.0f32; m * wide];
+        gemm_bias_relu_rows_batched(&a, &b, &row_bias, &mut c_wide, m, k, wide);
+        for s in 0..samples {
+            // Extract sample s's [k, cc] column block and run it alone.
+            let mut bs = vec![0.0f32; k * cc];
+            for r in 0..k {
+                bs[r * cc..(r + 1) * cc]
+                    .copy_from_slice(&b[r * wide + s * cc..r * wide + (s + 1) * cc]);
+            }
+            let mut cs = vec![0.0f32; m * cc];
+            gemm_bias_relu_rows_batched(&a, &bs, &row_bias, &mut cs, m, k, cc);
+            for i in 0..m {
+                for j in 0..cc {
+                    assert_eq!(
+                        c_wide[i * wide + s * cc + j].to_bits(),
+                        cs[i * cc + j].to_bits(),
+                        "rows variant diverged at sample {s}, ({i},{j})"
+                    );
+                }
+            }
+        }
+
+        // Same contract for the column-bias entry, batching samples as
+        // rows (the FC layout: one pooled feature vector per row).
+        let (rows, kf, nf) = (6usize, 300usize, 4usize);
+        let af: Vec<f32> = (0..rows * kf)
+            .map(|i| ((i * 41 % 89) as f32 - 44.0) * 0.025)
+            .collect();
+        let bf: Vec<f32> = (0..kf * nf)
+            .map(|i| ((i * 29 % 83) as f32 - 41.0) * 0.03)
+            .collect();
+        let col_bias: Vec<f32> = (0..nf).map(|j| j as f32 * 0.2 - 0.3).collect();
+        let mut c_all = vec![0.0f32; rows * nf];
+        gemm_bias_batched(&af, &bf, &col_bias, &mut c_all, rows, kf, nf);
+        for s in 0..rows {
+            let mut c_one = vec![0.0f32; nf];
+            gemm_bias_batched(
+                &af[s * kf..(s + 1) * kf],
+                &bf,
+                &col_bias,
+                &mut c_one,
+                1,
+                kf,
+                nf,
+            );
+            for j in 0..nf {
+                assert_eq!(
+                    c_all[s * nf + j].to_bits(),
+                    c_one[j].to_bits(),
+                    "column-bias variant diverged at row {s}, col {j}"
+                );
+            }
+        }
+    }
+
+    /// The prepacked entries must reproduce the `_batched` entries bit for
+    /// bit: same panels, same blocking, same accumulation order — only the
+    /// packing moment moves. The shape spans multiple row blocks (`m` >
+    /// both kernels' MC), two k blocks, and two column blocks with a
+    /// ragged final panel, so every offset path is exercised.
+    #[test]
+    fn prepacked_entries_match_batched_bit_for_bit() {
+        let (m, k, n) = (150usize, 300usize, NC + 23);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.03)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 53 % 97) as f32 - 48.0) * 0.02)
+            .collect();
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.01 - 0.6).collect();
+        let packed_a = PackedA::pack(&a, m, k);
+        let layout = PackedBLayout::new(k, n);
+        // Poison the packed buffer to prove zero_pad_lanes covers every
+        // lane the kernel could read beyond column n.
+        let mut b_pack = vec![f32::NAN; layout.len()];
+        layout.pack(&b, &mut b_pack);
+
+        let mut want = vec![0.0f32; m * n];
+        let mut got = vec![0.0f32; m * n];
+        gemm_bias_rows_batched(&a, &b, &bias, &mut want, m, k, n);
+        gemm_bias_rows_prepacked(&packed_a, &layout, &b_pack, &bias, &mut got);
+        for (i, (x, y)) in got.iter().zip(want.iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "row-bias diverged at {i}");
+        }
+        gemm_bias_relu_rows_batched(&a, &b, &bias, &mut want, m, k, n);
+        gemm_bias_relu_rows_prepacked(&packed_a, &layout, &b_pack, &bias, &mut got);
+        for (i, (x, y)) in got.iter().zip(want.iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "relu variant diverged at {i}");
+        }
+
+        // write_row with arbitrary segment splits must land every element
+        // where a full-row pack puts it.
+        let mut split = vec![f32::NAN; layout.len()];
+        for r in 0..k {
+            let row = &b[r * n..(r + 1) * n];
+            let cut = 1 + (r * 131) % (n - 1);
+            layout.write_row(&mut split, r, 0, &row[..cut]);
+            layout.write_row(&mut split, r, cut, &row[cut..]);
+        }
+        layout.zero_pad_lanes(&mut split);
+        for (i, (x, y)) in split.iter().zip(b_pack.iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "split write diverged at {i}");
+        }
+    }
+
+    /// `_batched` entries still have to be *correct*, not just stable.
+    #[test]
+    fn batched_entries_match_naive_reference() {
+        let (m, k, n) = (5usize, 300usize, 7usize);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 31 % 71) as f32 - 35.0) * 0.02)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 43 % 79) as f32 - 39.0) * 0.02)
+            .collect();
+        let reference = naive(&a, &b, m, k, n);
+        let row_bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.3 - 0.6).collect();
+        let col_bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.2 - 0.5).collect();
+
+        let mut c = vec![0.0f32; m * n];
+        gemm_bias_rows_batched(&a, &b, &row_bias, &mut c, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                assert!(approx_eq(
+                    c[i * n + j],
+                    reference[i * n + j] + row_bias[i],
+                    1e-4
+                ));
+            }
+        }
+        gemm_bias_relu_rows_batched(&a, &b, &row_bias, &mut c, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let want = (reference[i * n + j] + row_bias[i]).max(0.0);
+                assert!(approx_eq(c[i * n + j], want, 1e-4));
+            }
+        }
+        gemm_bias_batched(&a, &b, &col_bias, &mut c, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                assert!(approx_eq(
+                    c[i * n + j],
+                    reference[i * n + j] + col_bias[j],
+                    1e-4
+                ));
+            }
+        }
     }
 
     #[test]
@@ -671,6 +1350,67 @@ mod tests {
         let mut c = [0.0; 4];
         gemm_bias_relu(&a, &b, &bias, &mut c, 2, 2, 2);
         assert_eq!(c, [1.5, 0.0, 3.5, 0.0]);
+    }
+
+    #[test]
+    fn gemm_bias_rows_adds_per_row() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let bias = [10.0, 20.0];
+        let mut c = [0.0; 4];
+        gemm_bias_rows(&a, &b, &bias, &mut c, 2, 2, 2);
+        assert_eq!(c, [11.0, 12.0, 23.0, 24.0]);
+    }
+
+    #[test]
+    fn gemm_bias_relu_rows_clamps_negatives() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [1.0, -2.0, 3.0, -4.0];
+        let bias = [0.5, 1.0];
+        let mut c = [0.0; 4];
+        gemm_bias_relu_rows(&a, &b, &bias, &mut c, 2, 2, 2);
+        assert_eq!(c, [1.5, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn row_bias_epilogue_matches_unfused_on_packed_shapes() {
+        // Spans multiple row blocks (m > MC on both kernels), two k
+        // blocks, and the packed path — exercises the global-row index
+        // reconstruction inside store_tile.
+        let (m, k, n) = (150, 300, 40);
+        let a: Vec<f32> = (0..m * k).map(|v| ((v % 13) as f32) * 0.1 - 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|v| ((v % 17) as f32) * 0.1 - 0.8).collect();
+        let bias: Vec<f32> = (0..m).map(|v| v as f32 * 0.01 - 0.4).collect();
+        let mut fused = vec![0.0; m * n];
+        gemm_bias_rows(&a, &b, &bias, &mut fused, m, k, n);
+        let mut unfused = vec![0.0; m * n];
+        gemm(&a, &b, &mut unfused, m, k, n);
+        for (i, (row, want)) in unfused
+            .chunks_exact_mut(n)
+            .zip(fused.chunks_exact(n))
+            .enumerate()
+        {
+            for (v, &w) in row.iter_mut().zip(want.iter()) {
+                *v += bias[i];
+                assert_eq!(*v, w, "fused row bias must be bit-identical to unfused");
+            }
+        }
+        // And the ReLU variant is exactly max(0, unfused + bias).
+        let mut relu = vec![0.0; m * n];
+        gemm_bias_relu_rows(&a, &b, &bias, &mut relu, m, k, n);
+        for (v, &w) in unfused.iter().zip(relu.iter()) {
+            assert_eq!(v.max(0.0), w);
+        }
+    }
+
+    #[test]
+    fn row_bias_zero_inner_dimension_is_epilogue_of_zero() {
+        let a: [f32; 0] = [];
+        let b: [f32; 0] = [];
+        let bias = [1.0, -2.0];
+        let mut c = [9.0; 4];
+        gemm_bias_rows(&a, &b, &bias, &mut c, 2, 0, 2);
+        assert_eq!(c, [1.0, 1.0, -2.0, -2.0]);
     }
 
     #[test]

@@ -37,8 +37,15 @@ mod shape;
 mod tensor;
 
 pub use arena::{scratch, scratch_zeroed, Scratch};
-pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dDims};
-pub use gemm::{gemm, gemm_bias, gemm_bias_relu, gemm_nt};
+pub use conv::{
+    col2im, conv2d, conv2d_backward, conv2d_bias_act, conv2d_bias_act_batched,
+    conv2d_bias_act_prepacked, im2col, pack_conv_weight, Conv2dDims, PackedConvWeight,
+};
+pub use gemm::{
+    gemm, gemm_bias, gemm_bias_batched, gemm_bias_relu, gemm_bias_relu_rows,
+    gemm_bias_relu_rows_batched, gemm_bias_relu_rows_prepacked, gemm_bias_rows,
+    gemm_bias_rows_batched, gemm_bias_rows_prepacked, gemm_nt, PackedA, PackedBLayout,
+};
 pub use init::{kaiming_normal, kaiming_uniform, uniform, TensorRng};
 pub use pool::{avg_pool2d_global, max_pool2d, max_pool2d_backward, PoolDims};
 pub use shape::{conv_out_dim, Shape};

@@ -42,7 +42,7 @@ fn main() {
     //    weight-bound regime — but still behind the NAS front.
     let base_graph = ModelGraph::from_arch(&baseline.spec.arch, 32).unwrap();
     let int8_lat = predict_all_quantized(&base_graph);
-    let int8_mem = quantized_size_bytes(&base_graph, Precision::Int8) as f64 / 1e6;
+    let int8_mem = quantized_size_bytes(&base_graph, Precision::Int8).unwrap() as f64 / 1e6;
     row(
         "ResNet-18 int8",
         baseline.accuracy,
@@ -60,7 +60,7 @@ fn main() {
             o.memory_mb,
         );
         let q_lat = predict_all_quantized(&g);
-        let q_mem = quantized_size_bytes(&g, Precision::Int8) as f64 / 1e6;
+        let q_mem = quantized_size_bytes(&g, Precision::Int8).unwrap() as f64 / 1e6;
         row(
             &format!("NAS {} int8", o.spec.arch.key()),
             o.accuracy,

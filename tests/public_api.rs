@@ -22,52 +22,61 @@ mod types {
     pub type A04 = prelude::ChaosConfig;
     pub type A05 = prelude::ChaosFault;
     pub type A06 = prelude::CollectingSink;
-    pub type A07 = prelude::DegradationReport;
-    pub type A08 = prelude::Dataset;
+    pub type A07 = prelude::Dataset;
+    pub type A08 = prelude::DegradationReport;
     pub type A09 = prelude::DeviceId;
     pub type A10 = prelude::EnergyPrediction;
-    pub type A11 = prelude::EvolutionConfig;
-    pub type A12 = prelude::ExperimentDb;
-    pub type A13 = prelude::FailureCause;
-    pub type A14 = prelude::GraphError;
-    pub type A15 = prelude::HydroNasError;
-    pub type A16 = prelude::InputCombo;
-    pub type A17 = prelude::LatencyPrediction;
-    pub type A18 = prelude::LrSchedule;
-    pub type A19 = prelude::MetricsError;
-    pub type A20 = prelude::MetricsSnapshot;
-    pub type A21 = prelude::ModelGraph;
-    pub type A22 = prelude::ModelImportError;
-    pub type A23 = prelude::Nsga2Config;
-    pub type A24 = prelude::Objective;
-    pub type A25 = prelude::OnnxError;
-    pub type A26 = prelude::Point;
-    pub type A27 = prelude::PoolConfig;
-    pub type A28 = prelude::Precision;
-    pub type A29 = prelude::RealTrainer;
-    pub type A30 = prelude::ReproArtifacts;
-    pub type A31 = prelude::ReproConfig;
-    pub type A32 = prelude::ResNet;
-    pub type A33 = prelude::RetryPolicy;
-    pub type A34 = prelude::RunControl;
-    pub type A35 = prelude::SchedulerConfig;
-    pub type A36 = prelude::SearchSpace;
-    pub type A37 = prelude::Session;
-    pub type A38 = prelude::StderrTicker;
-    pub type A39 = prelude::SurrogateEvaluator;
-    pub type A40 = prelude::Sweep;
-    pub type A41 = prelude::SweepBuilder;
-    pub type A42 = prelude::SweepError;
-    pub type A43 = prelude::SweepEvent<'static>;
-    pub type A44 = prelude::SweepReport;
-    pub type A45 = prelude::SweepStats;
-    pub type A46 = prelude::Tensor;
-    pub type A47 = prelude::TensorRng;
-    pub type A48 = prelude::TileSet;
-    pub type A49 = prelude::TrainConfig;
-    pub type A50 = prelude::TrialFailure;
-    pub type A51 = prelude::TrialSpec;
-    pub type A52 = prelude::TrialOutcome;
+    pub type A11 = prelude::Engine;
+    pub type A12 = prelude::EngineConfig;
+    pub type A13 = prelude::EngineStats;
+    pub type A14 = prelude::EvolutionConfig;
+    pub type A15 = prelude::ExecutionPlan;
+    pub type A16 = prelude::ExperimentDb;
+    pub type A17 = prelude::FailureCause;
+    pub type A18 = prelude::GraphError;
+    pub type A19 = prelude::HydroNasError;
+    pub type A20 = prelude::InferError;
+    pub type A21 = prelude::InputCombo;
+    pub type A22 = prelude::LatencyPrediction;
+    pub type A23 = prelude::LrSchedule;
+    pub type A24 = prelude::MetricsError;
+    pub type A25 = prelude::MetricsSnapshot;
+    pub type A26 = prelude::ModelGraph;
+    pub type A27 = prelude::ModelImportError;
+    pub type A28 = prelude::Nsga2Config;
+    pub type A29 = prelude::Numerics;
+    pub type A30 = prelude::Objective;
+    pub type A31 = prelude::OnnxError;
+    pub type A32 = prelude::PlanConfig;
+    pub type A33 = prelude::Point;
+    pub type A34 = prelude::PoolConfig;
+    pub type A35 = prelude::Precision;
+    pub type A36 = prelude::Prediction;
+    pub type A37 = prelude::PredictionHandle;
+    pub type A38 = prelude::RealTrainer;
+    pub type A39 = prelude::ReproArtifacts;
+    pub type A40 = prelude::ReproConfig;
+    pub type A41 = prelude::ResNet;
+    pub type A42 = prelude::RetryPolicy;
+    pub type A43 = prelude::RunControl;
+    pub type A44 = prelude::SchedulerConfig;
+    pub type A45 = prelude::SearchSpace;
+    pub type A46 = prelude::Session;
+    pub type A47 = prelude::StderrTicker;
+    pub type A48 = prelude::SurrogateEvaluator;
+    pub type A49 = prelude::Sweep;
+    pub type A50 = prelude::SweepBuilder;
+    pub type A51 = prelude::SweepError;
+    pub type A52 = prelude::SweepEvent<'static>;
+    pub type A53 = prelude::SweepReport;
+    pub type A54 = prelude::SweepStats;
+    pub type A55 = prelude::Tensor;
+    pub type A56 = prelude::TensorRng;
+    pub type A57 = prelude::TileSet;
+    pub type A58 = prelude::TrainConfig;
+    pub type A59 = prelude::TrialFailure;
+    pub type A60 = prelude::TrialOutcome;
+    pub type A61 = prelude::TrialSpec;
 
     pub trait UsesTraits: prelude::Evaluator + prelude::ProgressSink {}
 }
@@ -117,11 +126,16 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
         "DegradationReport",
         "DeviceId",
         "EnergyPrediction",
+        "Engine",
+        "EngineConfig",
+        "EngineStats",
         "EvolutionConfig",
+        "ExecutionPlan",
         "ExperimentDb",
         "FailureCause",
         "GraphError",
         "HydroNasError",
+        "InferError",
         "InputCombo",
         "LatencyPrediction",
         "LrSchedule",
@@ -130,11 +144,15 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
         "ModelGraph",
         "ModelImportError",
         "Nsga2Config",
+        "Numerics",
         "Objective",
         "OnnxError",
+        "PlanConfig",
         "Point",
         "PoolConfig",
         "Precision",
+        "Prediction",
+        "PredictionHandle",
         "RealTrainer",
         "ReproArtifacts",
         "ReproConfig",
@@ -170,7 +188,7 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
     }
     // One aliased type per snapshot row (plus the two traits pinned in
     // `types::UsesTraits`).
-    assert_eq!(EXPECTED.len(), 52);
+    assert_eq!(EXPECTED.len(), 61);
 }
 
 /// The error taxonomy stays typed: the facade error wraps each
