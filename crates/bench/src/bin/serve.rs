@@ -3,7 +3,8 @@
 //! `BENCH_serve.json`.
 //!
 //! ```text
-//! serve [--smoke] [--out PATH] [--gate BASELINE.json]
+//! serve [--smoke] [--out PATH] [--gate BASELINE.json] [--slo-p99-ms N]
+//!       [--trace PATH] [--metrics PATH]
 //! ```
 //!
 //! * `--smoke` — fewer repetitions and fewer engine requests. The sweep,
@@ -12,7 +13,14 @@
 //!   baseline.
 //! * `--out PATH` — where to write the report (default `BENCH_serve.json`).
 //! * `--gate BASELINE.json` — compare against a committed report and exit
-//!   non-zero if any throughput falls below 75% of the baseline.
+//!   non-zero if any throughput falls below 75% of the baseline or the
+//!   engine p99 total latency exceeds 1/75% of the baseline's.
+//! * `--slo-p99-ms N` — absolute SLO: exit non-zero when the engine's
+//!   p99 end-to-end request latency exceeds `N` milliseconds.
+//! * `--trace PATH` — write the engine run's Chrome trace (request
+//!   lifecycles linked across threads via flow events; open in Perfetto).
+//! * `--metrics PATH` — write the engine run's `metrics.json` snapshot
+//!   (counters, gauges, histograms, quantile histograms, span rollups).
 //!
 //! Beyond timing, the run *asserts* the structural claims of the serving
 //! work: whole-batch execution must deliver at least 2x the per-sample
@@ -22,10 +30,11 @@
 //! engine stats), and the predictor-vs-measured validation must cover
 //! every Pareto-front model of the sweep.
 
-use hydronas_infer::{Engine, EngineConfig, ExecutionPlan, PlanConfig};
+use hydronas_infer::{Engine, EngineConfig, ExecutionPlan, LayerProfile, PlanConfig};
 use hydronas_nas::space::{full_grid, SearchSpace};
 use hydronas_nas::{run_experiment, SchedulerConfig, SurrogateEvaluator};
 use hydronas_nn::ResNet;
+use hydronas_telemetry::{MetricsSnapshot, QuantileHistogram, QuantileSnapshot};
 use hydronas_tensor::{uniform, Tensor, TensorRng};
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
@@ -101,10 +110,64 @@ struct EngineBench {
     mean_batch: f64,
     max_batch_observed: u64,
     samples_per_s: f64,
+    /// Deepest the request queue ever got.
+    queue_peak: u64,
+    /// Mean queue wait per request (enqueue → drain), milliseconds.
+    mean_wait_ms: f64,
+    /// Mean batch execution time, milliseconds.
+    mean_exec_ms: f64,
     /// `infer.batches` / `infer.samples` telemetry counters, which must
     /// agree with the engine's own stats.
     telemetry_batches: u64,
     telemetry_samples: u64,
+}
+
+/// p50/p95/p99/p99.9 of one latency population, milliseconds.
+#[derive(Debug, Serialize, Deserialize)]
+struct Quantiles {
+    count: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+}
+
+impl Quantiles {
+    fn from_snapshot(s: &QuantileSnapshot) -> Quantiles {
+        Quantiles {
+            count: s.count,
+            p50_ms: s.p50,
+            p95_ms: s.p95,
+            p99_ms: s.p99,
+            p999_ms: s.p999,
+        }
+    }
+}
+
+/// The latency-distribution block: tail behaviour of the serving path,
+/// single-stream and batched-engine.
+#[derive(Debug, Serialize, Deserialize)]
+struct LatencyDistribution {
+    /// Sequential `run_single` calls — no queueing, pure compute.
+    single_stream: Quantiles,
+    /// End-to-end request latency through the engine (enqueue →
+    /// complete), including queue wait and collection-window stall.
+    engine_total: Quantiles,
+    /// Queue-wait phase alone (enqueue → batch drain).
+    engine_wait: Quantiles,
+    /// Batch-execution phase alone (per batch, not per request).
+    engine_exec: Quantiles,
+}
+
+/// What the engine run's telemetry session captured, beyond the
+/// throughput numbers: quantile snapshots for the latency block plus
+/// the exportable trace/metrics payloads.
+struct EngineObservability {
+    total: QuantileSnapshot,
+    wait: QuantileSnapshot,
+    exec: QuantileSnapshot,
+    trace_json: String,
+    metrics: MetricsSnapshot,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -138,6 +201,9 @@ struct Report {
     batched: Batched,
     int8: Int8Serve,
     engine: EngineBench,
+    latency: LatencyDistribution,
+    /// Per-layer cost table of the deployment model at batch 8.
+    layer_profile: LayerProfile,
     pareto: ParetoValidation,
 }
 
@@ -155,6 +221,20 @@ impl Report {
             ),
             ("batched.samples_per_s", self.batched.samples_per_s),
             ("engine.samples_per_s", self.engine.samples_per_s),
+        ]
+    }
+
+    /// The lower-is-better tail latencies the regression gate compares.
+    fn tail_latencies(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            (
+                "latency.engine_total.p99_ms",
+                self.latency.engine_total.p99_ms,
+            ),
+            (
+                "latency.single_stream.p99_ms",
+                self.latency.single_stream.p99_ms,
+            ),
         ]
     }
 }
@@ -295,9 +375,29 @@ fn bench_int8(arch: &hydronas_graph::ArchConfig, reps: usize) -> Int8Serve {
     }
 }
 
+/// Measures the single-stream latency *distribution*: `n` sequential
+/// `run_single` calls through a local quantile histogram.
+fn single_stream_distribution(plan: &ExecutionPlan, n: usize) -> Quantiles {
+    let x = sample(plan.arch().in_channels, 21);
+    let _ = plan.run_single(&x); // warmup
+    let mut h = QuantileHistogram::default();
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let _ = plan.run_single(&x);
+        h.observe(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    Quantiles::from_snapshot(&h.snapshot())
+}
+
 /// Drives the batching engine with concurrent clients and checks that
-/// engine stats and telemetry counters tell the same story.
-fn bench_engine(plan: Arc<ExecutionPlan>, clients: usize, per_client: usize) -> EngineBench {
+/// engine stats and telemetry counters tell the same story. Also
+/// captures the session's quantile histograms, Chrome trace, and full
+/// metrics snapshot for the report and the `--trace`/`--metrics` flags.
+fn bench_engine(
+    plan: Arc<ExecutionPlan>,
+    clients: usize,
+    per_client: usize,
+) -> (EngineBench, EngineObservability) {
     let session = hydronas_telemetry::session();
     let engine = Arc::new(Engine::start(
         plan,
@@ -327,19 +427,40 @@ fn bench_engine(plan: Arc<ExecutionPlan>, clients: usize, per_client: usize) -> 
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let stats = engine.stats();
+    // Join the workers before snapshotting so every span has closed.
+    drop(engine);
     let metrics = session.metrics();
+    let trace_json = session.chrome_trace();
     drop(session);
     let counter = |name: &str| metrics.counters.get(name).copied().unwrap_or(0);
-    EngineBench {
+    let quantile = |name: &str| {
+        metrics
+            .quantiles
+            .get(name)
+            .unwrap_or_else(|| panic!("engine run recorded no `{name}` quantiles"))
+            .clone()
+    };
+    let bench = EngineBench {
         clients: clients as u64,
         requests: stats.requests,
         batches: stats.batches,
         mean_batch: stats.mean_batch(),
         max_batch_observed: stats.max_batch_observed,
         samples_per_s: (clients * per_client) as f64 / elapsed,
+        queue_peak: stats.queue_peak,
+        mean_wait_ms: stats.mean_wait_ms(),
+        mean_exec_ms: stats.mean_exec_ms(),
         telemetry_batches: counter("infer.batches"),
         telemetry_samples: counter("infer.samples"),
-    }
+    };
+    let observability = EngineObservability {
+        total: quantile("infer.request.total_wall_ms"),
+        wait: quantile("infer.request.wait_wall_ms"),
+        exec: quantile("infer.batch.exec_wall_ms"),
+        trace_json,
+        metrics,
+    };
+    (bench, observability)
 }
 
 /// Runs the surrogate sweep, then measures engine latency for *every*
@@ -407,7 +528,9 @@ fn bench_pareto(
 }
 
 /// Applies the regression gate: every throughput must hold at least
-/// [`GATE_FRACTION`] of the committed baseline.
+/// [`GATE_FRACTION`] of the committed baseline, and every gated tail
+/// latency must stay below `baseline / GATE_FRACTION` (the same 25%
+/// headroom, applied to a lower-is-better number).
 fn check_gate(current: &Report, baseline_path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read gate baseline {baseline_path}: {e}"))?;
@@ -431,6 +554,19 @@ fn check_gate(current: &Report, baseline_path: &str) -> Result<(), String> {
             ));
         }
     }
+    let base_tails = baseline.tail_latencies();
+    for (name, now) in current.tail_latencies() {
+        let Some((_, before)) = base_tails.iter().find(|(n, _)| *n == name) else {
+            continue;
+        };
+        let limit = before / GATE_FRACTION;
+        eprintln!("gate {name}: {now:.2} ms vs baseline {before:.2} ms (limit {limit:.2} ms)");
+        if now > limit {
+            failures.push(format!(
+                "{name} regressed to {now:.2} ms (baseline {before:.2} ms, limit {limit:.2} ms)"
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -442,15 +578,31 @@ fn main() -> ExitCode {
     let mut smoke = false;
     let mut out_path = String::from("BENCH_serve.json");
     let mut gate_path: Option<String> = None;
+    let mut slo_p99_ms: Option<f64> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = args.next().expect("--out requires a path"),
             "--gate" => gate_path = Some(args.next().expect("--gate requires a path")),
+            "--slo-p99-ms" => {
+                let value = args.next().expect("--slo-p99-ms requires a number");
+                slo_p99_ms = Some(
+                    value
+                        .parse::<f64>()
+                        .unwrap_or_else(|e| panic!("--slo-p99-ms {value}: {e}")),
+                );
+            }
+            "--trace" => trace_path = Some(args.next().expect("--trace requires a path")),
+            "--metrics" => metrics_path = Some(args.next().expect("--metrics requires a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: serve [--smoke] [--out PATH] [--gate BASELINE.json]");
+                eprintln!(
+                    "usage: serve [--smoke] [--out PATH] [--gate BASELINE.json] \
+                     [--slo-p99-ms N] [--trace PATH] [--metrics PATH]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -459,10 +611,10 @@ fn main() -> ExitCode {
     // sweep (and therefore the deployment model) and the engine's batch
     // shape stay identical to a full run, so smoke throughputs can be
     // gated against the committed full-mode baseline.
-    let (reps, sweep_trials, clients, per_client) = if smoke {
-        (5, 288, 8, 4)
+    let (reps, sweep_trials, clients, per_client, dist_n) = if smoke {
+        (5, 288, 8, 4, 100)
     } else {
-        (11, 288, 8, 8)
+        (11, 288, 8, 8, 300)
     };
 
     eprintln!("sweeping {sweep_trials} trials and validating the Pareto front ({reps} reps)...");
@@ -519,7 +671,7 @@ fn main() -> ExitCode {
         int8.compression, int8.fp32_ms, int8.int8_ms, int8.max_logit_delta
     );
     eprintln!("driving the batching engine ({clients} clients x {per_client} requests)...");
-    let engine = bench_engine(Arc::clone(&plan), clients, per_client);
+    let (engine, observability) = bench_engine(Arc::clone(&plan), clients, per_client);
     eprintln!(
         "  {} requests in {} batches (mean {:.2}, max {}), {:.1} samples/s",
         engine.requests,
@@ -528,9 +680,36 @@ fn main() -> ExitCode {
         engine.max_batch_observed,
         engine.samples_per_s
     );
+    eprintln!(
+        "  queue peak {}, mean wait {:.3} ms, mean exec {:.3} ms",
+        engine.queue_peak, engine.mean_wait_ms, engine.mean_exec_ms
+    );
+    eprintln!("measuring single-stream latency distribution ({dist_n} samples)...");
+    let latency = LatencyDistribution {
+        single_stream: single_stream_distribution(&plan, dist_n),
+        engine_total: Quantiles::from_snapshot(&observability.total),
+        engine_wait: Quantiles::from_snapshot(&observability.wait),
+        engine_exec: Quantiles::from_snapshot(&observability.exec),
+    };
+    eprintln!(
+        "  single-stream p50/p99 {:.3}/{:.3} ms, engine total p50/p99 {:.3}/{:.3} ms",
+        latency.single_stream.p50_ms,
+        latency.single_stream.p99_ms,
+        latency.engine_total.p50_ms,
+        latency.engine_total.p99_ms
+    );
+    eprintln!("profiling per-layer costs (batch 8)...");
+    let profile_input = batch_of(deploy_arch.in_channels, 8, 27);
+    let (_, layer_profile) = plan.profile_batch(&profile_input);
+    for layer in &layer_profile.layers {
+        eprintln!(
+            "  {:<16} {:>8.3} ms {:>5.1}% {:>12} flops",
+            layer.name, layer.wall_ms, layer.pct, layer.flops
+        );
+    }
 
     let report = Report {
-        schema: "hydronas-bench-serve/v1".to_string(),
+        schema: "hydronas-bench-serve/v2".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         avx2_fma: avx2_fma(),
         baseline_eval,
@@ -538,6 +717,8 @@ fn main() -> ExitCode {
         batched,
         int8,
         engine,
+        latency,
+        layer_profile,
         pareto,
     };
 
@@ -581,11 +762,54 @@ fn main() -> ExitCode {
     if report.pareto.rows.iter().any(|r| r.measured_ms <= 0.0) {
         failed.push("a Pareto-front model measured non-positive latency".to_string());
     }
+    if report.latency.engine_total.count != report.engine.requests {
+        failed.push(format!(
+            "latency distribution covers {} requests but the engine served {}",
+            report.latency.engine_total.count, report.engine.requests
+        ));
+    }
+    if report.layer_profile.layers.is_empty()
+        || report.layer_profile.layers.first().map(|l| l.name.as_str()) != Some("stem")
+        || report.layer_profile.layers.last().map(|l| l.name.as_str()) != Some("fc")
+        || !report.layer_profile.layers.iter().any(|l| l.flops > 0)
+    {
+        failed.push("layer profile is missing layers or FLOP attribution".to_string());
+    }
+    // The trace must link each request's lifecycle across threads: flow
+    // arrows ("s"/"f") and the async envelope ("b"/"e") must be present.
+    for ph in [
+        "\"ph\": \"b\"",
+        "\"ph\": \"e\"",
+        "\"ph\": \"s\"",
+        "\"ph\": \"f\"",
+    ] {
+        if !observability.trace_json.contains(ph) {
+            failed.push(format!("engine trace is missing {ph} flow events"));
+        }
+    }
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("write report");
     eprintln!("wrote {out_path}");
+    if let Some(path) = &trace_path {
+        std::fs::write(path, &observability.trace_json).expect("write trace");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &metrics_path {
+        let json = serde_json::to_string_pretty(&observability.metrics).expect("metrics serialize");
+        std::fs::write(path, json + "\n").expect("write metrics");
+        eprintln!("wrote {path}");
+    }
 
+    if let Some(slo) = slo_p99_ms {
+        let p99 = report.latency.engine_total.p99_ms;
+        eprintln!("slo: engine p99 {p99:.2} ms vs threshold {slo:.2} ms");
+        if p99 > slo {
+            failed.push(format!(
+                "SLO violation: engine p99 latency {p99:.2} ms exceeds --slo-p99-ms {slo:.2}"
+            ));
+        }
+    }
     if let Some(path) = gate_path {
         if let Err(msg) = check_gate(&report, &path) {
             failed.push(msg);

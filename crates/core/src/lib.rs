@@ -108,8 +108,8 @@ pub mod prelude {
         GraphError, ModelGraph, OnnxError, PoolConfig, Precision, BASELINE_RESNET18,
     };
     pub use hydronas_infer::{
-        Engine, EngineConfig, EngineStats, ExecutionPlan, InferError, Numerics, PlanConfig,
-        Prediction, PredictionHandle,
+        Engine, EngineConfig, EngineStats, ExecutionPlan, InferError, LayerCost, LayerProfile,
+        Numerics, PlanConfig, Prediction, PredictionHandle,
     };
     pub use hydronas_latency::{
         predict_all, predict_all_quantized, predict_energy, validate_table2, DeviceId,
@@ -128,7 +128,7 @@ pub mod prelude {
         train_with_cancel, Dataset, LrSchedule, ModelImportError, ResNet, TrainConfig,
     };
     pub use hydronas_pareto::{pareto_front, Objective, Point};
-    pub use hydronas_telemetry::{session, MetricsSnapshot, Session};
+    pub use hydronas_telemetry::{session, Gauge, MetricsSnapshot, QuantileHistogram, Session};
     pub use hydronas_tensor::{Tensor, TensorRng};
 }
 

@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Batching and threading knobs for [`Engine::start`].
 #[derive(Clone, Copy, Debug)]
@@ -110,6 +110,16 @@ pub struct EngineStats {
     pub batched_samples: u64,
     /// Largest batch any worker executed.
     pub max_batch_observed: u64,
+    /// Requests whose prediction has been computed (equals `requests`
+    /// once drained; completion is counted before the client wakes).
+    pub completed: u64,
+    /// Deepest the pending queue has ever been.
+    pub queue_peak: u64,
+    /// Total wall-clock microseconds requests spent queued (enqueue →
+    /// batch drain), summed over all completed requests.
+    pub wait_us_total: u64,
+    /// Total wall-clock microseconds workers spent executing batches.
+    pub exec_us_total: u64,
 }
 
 impl EngineStats {
@@ -121,11 +131,36 @@ impl EngineStats {
             self.batched_samples as f64 / self.batches as f64
         }
     }
+
+    /// Mean per-request queue wait (enqueue → drain), milliseconds.
+    pub fn mean_wait_ms(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.wait_us_total as f64 / 1e3 / self.completed as f64
+        }
+    }
+
+    /// Mean per-batch execution time, milliseconds.
+    pub fn mean_exec_ms(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.exec_us_total as f64 / 1e3 / self.batches as f64
+        }
+    }
 }
 
 struct Request {
+    /// Dense per-engine request number (1-based submission order).
+    id: u64,
     input: Tensor,
     tx: mpsc::Sender<Prediction>,
+    /// When `submit` enqueued this request (for wait-time accounting).
+    enqueued: Instant,
+    /// Telemetry flow id linking this request's spans across threads;
+    /// `None` when no session was active at submit time.
+    flow: Option<u64>,
 }
 
 struct Queue {
@@ -137,10 +172,15 @@ struct Shared {
     plan: Arc<ExecutionPlan>,
     queue: Mutex<Queue>,
     cv: Condvar,
+    next_request: AtomicU64,
     requests: AtomicU64,
     batches: AtomicU64,
     batched_samples: AtomicU64,
     max_batch_observed: AtomicU64,
+    completed: AtomicU64,
+    queue_peak: AtomicU64,
+    wait_us: AtomicU64,
+    exec_us: AtomicU64,
 }
 
 /// The serving front-end: submit `[C, H, W]` tensors, receive logits.
@@ -162,10 +202,15 @@ impl Engine {
                 open: true,
             }),
             cv: Condvar::new(),
+            next_request: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_samples: AtomicU64::new(0),
             max_batch_observed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            wait_us: AtomicU64::new(0),
+            exec_us: AtomicU64::new(0),
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -200,14 +245,49 @@ impl Engine {
             });
         }
         let (tx, rx) = mpsc::channel();
+        let telemetry = hydronas_telemetry::enabled();
+        let id = self.shared.next_request.fetch_add(1, Ordering::Relaxed) + 1;
+        let flow = if telemetry {
+            Some(hydronas_telemetry::next_flow_id())
+        } else {
+            None
+        };
         {
+            // The enqueue span lives on the client thread; the flow id
+            // links it to the batch/complete spans on the worker thread.
+            let mut sp = hydronas_telemetry::span(
+                "infer.request.enqueue",
+                &if telemetry {
+                    format!("request {id}")
+                } else {
+                    String::new()
+                },
+            );
+            if let Some(flow) = flow {
+                sp.flow(flow);
+                sp.attr("request", id);
+            }
             let mut q = self.shared.queue.lock().unwrap();
             if !q.open {
                 return Err(InferError::Closed);
             }
-            q.pending.push_back(Request { input, tx });
+            q.pending.push_back(Request {
+                id,
+                input,
+                tx,
+                enqueued: Instant::now(),
+                flow,
+            });
+            self.shared
+                .queue_peak
+                .fetch_max(q.pending.len() as u64, Ordering::Relaxed);
         }
         self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        if telemetry {
+            hydronas_telemetry::add("infer.requests", 1);
+            hydronas_telemetry::gauge_add("infer.queue.depth", 1);
+            hydronas_telemetry::gauge_add("infer.inflight", 1);
+        }
         self.shared.cv.notify_one();
         Ok(PredictionHandle { rx })
     }
@@ -224,6 +304,10 @@ impl Engine {
             batches: self.shared.batches.load(Ordering::Relaxed),
             batched_samples: self.shared.batched_samples.load(Ordering::Relaxed),
             max_batch_observed: self.shared.max_batch_observed.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            queue_peak: self.shared.queue_peak.load(Ordering::Relaxed),
+            wait_us_total: self.shared.wait_us.load(Ordering::Relaxed),
+            exec_us_total: self.shared.exec_us.load(Ordering::Relaxed),
         }
     }
 
@@ -245,7 +329,7 @@ impl Drop for Engine {
 
 fn worker_loop(shared: &Shared, config: &EngineConfig) {
     loop {
-        let batch = {
+        let (batch, collect_us) = {
             let mut q = shared.queue.lock().unwrap();
             // Sleep until there is work or the engine closes.
             while q.pending.is_empty() && q.open {
@@ -258,6 +342,7 @@ fn worker_loop(shared: &Shared, config: &EngineConfig) {
             // simulated ticks to fill the batch. Only an elapsed timeout
             // advances the clock; wakeups from new arrivals re-check for a
             // full batch for free.
+            let window_start = Instant::now();
             let mut elapsed = 0u64;
             while q.pending.len() < config.max_batch && q.open && elapsed < config.max_wait_ticks {
                 let (guard, timeout) = shared
@@ -276,25 +361,49 @@ fn worker_loop(shared: &Shared, config: &EngineConfig) {
                 // batch.
                 continue;
             }
-            q.pending.drain(..take).collect::<Vec<Request>>()
+            let batch = q.pending.drain(..take).collect::<Vec<Request>>();
+            (batch, window_start.elapsed().as_micros() as u64)
         };
-        execute_batch(shared, batch);
+        // Queue-wait accounting at drain time: the wait phase ends here,
+        // before execution begins.
+        let mut wait_us_sum = 0u64;
+        for request in &batch {
+            wait_us_sum += request.enqueued.elapsed().as_micros() as u64;
+        }
+        shared.wait_us.fetch_add(wait_us_sum, Ordering::Relaxed);
+        if hydronas_telemetry::enabled() {
+            hydronas_telemetry::gauge_add("infer.queue.depth", -(batch.len() as i64));
+            hydronas_telemetry::record_quantile(
+                "infer.batch.collect_wall_ms",
+                collect_us as f64 / 1e3,
+            );
+            for request in &batch {
+                hydronas_telemetry::record_quantile(
+                    "infer.request.wait_wall_ms",
+                    request.enqueued.elapsed().as_micros() as f64 / 1e3,
+                );
+            }
+        }
+        execute_batch(shared, config, batch);
     }
 }
 
-fn execute_batch(shared: &Shared, batch: Vec<Request>) {
+fn execute_batch(shared: &Shared, config: &EngineConfig, batch: Vec<Request>) {
     let size = batch.len();
-    let mut span = hydronas_telemetry::span("infer.batch", "batch");
-    span.attr("batch", size);
-    if hydronas_telemetry::enabled() {
-        hydronas_telemetry::add("infer.batches", 1);
-        hydronas_telemetry::add("infer.samples", size as u64);
-    }
-    let inputs: Vec<Tensor> = batch.iter().map(|r| r.input.clone()).collect();
-    let stacked = Tensor::stack(&inputs);
-    let logits = shared.plan.run_batch(&stacked);
+    let exec_start = Instant::now();
+    // The batch span closes before any client is released, so a session
+    // snapshot taken by a woken client always sees it.
+    let logits = {
+        let mut span = hydronas_telemetry::span("infer.batch", "batch");
+        span.attr("batch", size);
+        let inputs: Vec<Tensor> = batch.iter().map(|r| r.input.clone()).collect();
+        let stacked = Tensor::stack(&inputs);
+        shared.plan.run_batch(&stacked)
+    };
+    let exec_us = exec_start.elapsed().as_micros() as u64;
     // Count the batch before releasing any client: a caller that saw its
     // prediction must also see it reflected in the stats.
+    shared.exec_us.fetch_add(exec_us, Ordering::Relaxed);
     shared.batches.fetch_add(1, Ordering::Relaxed);
     shared
         .batched_samples
@@ -302,6 +411,16 @@ fn execute_batch(shared: &Shared, batch: Vec<Request>) {
     shared
         .max_batch_observed
         .fetch_max(size as u64, Ordering::Relaxed);
+    if hydronas_telemetry::enabled() {
+        hydronas_telemetry::add("infer.batches", 1);
+        hydronas_telemetry::add("infer.samples", size as u64);
+        hydronas_telemetry::record_quantile("infer.batch.exec_wall_ms", exec_us as f64 / 1e3);
+        hydronas_telemetry::record_value("infer.batch.size", size as f64);
+        hydronas_telemetry::record_value(
+            "infer.batch.fill_pct",
+            size as f64 * 100.0 / config.max_batch as f64,
+        );
+    }
     let classes = logits.dims()[1];
     let rows = logits.as_slice();
     for (i, request) in batch.into_iter().enumerate() {
@@ -313,6 +432,26 @@ fn execute_batch(shared: &Shared, batch: Vec<Request>) {
                 class = idx;
             }
         }
+        // All per-request telemetry lands before the send wakes the
+        // client, so a returned `infer()` implies recorded metrics.
+        if hydronas_telemetry::enabled() {
+            {
+                let mut sp = hydronas_telemetry::span(
+                    "infer.request.complete",
+                    &format!("request {}", request.id),
+                );
+                if let Some(flow) = request.flow {
+                    sp.flow(flow);
+                }
+                sp.attr("batch", size);
+            }
+            hydronas_telemetry::record_quantile(
+                "infer.request.total_wall_ms",
+                request.enqueued.elapsed().as_micros() as f64 / 1e3,
+            );
+            hydronas_telemetry::gauge_add("infer.inflight", -1);
+        }
+        shared.completed.fetch_add(1, Ordering::Relaxed);
         // Ignore send failures: the client may have dropped its handle.
         let _ = request.tx.send(Prediction {
             logits: row.to_vec(),

@@ -38,7 +38,7 @@ mod engine;
 mod plan;
 
 pub use engine::{Engine, EngineConfig, EngineStats, InferError, Prediction, PredictionHandle};
-pub use plan::{ExecutionPlan, Numerics, PlanConfig};
+pub use plan::{ExecutionPlan, LayerCost, LayerProfile, Numerics, PlanConfig};
 
 #[cfg(test)]
 mod tests {
@@ -344,6 +344,87 @@ mod tests {
         engine.close();
         let late = engine.submit(Tensor::zeros(&[5, 8, 8]));
         assert_eq!(late.unwrap_err(), InferError::Closed);
+    }
+
+    #[test]
+    fn profile_batch_is_bit_identical_to_run_batch() {
+        // The profiler is a mirror implementation of the forward pass;
+        // this test is the guard that keeps the two in lockstep.
+        for (arch, seed) in [(tiny_arch(), 51u64), (pooled_arch(), 52u64)] {
+            let model = warmed_model(&arch, seed);
+            for numerics in [Numerics::Exact, Numerics::Fused] {
+                let plan = ExecutionPlan::compile(
+                    &model,
+                    &PlanConfig {
+                        precision: Precision::Fp32,
+                        numerics,
+                    },
+                );
+                let mut rng = TensorRng::seed_from_u64(53);
+                let x = uniform(&[3, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+                let expected = plan.run_batch(&x);
+                let (got, profile) = plan.profile_batch(&x);
+                assert_eq!(got, expected, "under {numerics:?}");
+                assert_eq!(profile.batch, 3);
+                let names: Vec<&str> = profile.layers.iter().map(|l| l.name.as_str()).collect();
+                assert_eq!(names.first(), Some(&"stem"));
+                assert_eq!(names.last(), Some(&"fc"));
+                assert!(names.contains(&"block0.conv1"));
+                assert!(names.contains(&"global_avg_pool"));
+                // pooled_arch has a stem pool; tiny_arch does not.
+                assert_eq!(names.contains(&"stem.pool"), arch.pool.is_some());
+                // Conv layers must pick up FLOPs from op accounting, and
+                // percentages must sum to ~100.
+                let stem = &profile.layers[0];
+                assert!(stem.flops > 0, "stem FLOPs missing under {numerics:?}");
+                let pct_sum: f64 = profile.layers.iter().map(|l| l.pct).sum();
+                assert!((pct_sum - 100.0).abs() < 1e-6, "pct sum {pct_sum}");
+                assert!(profile.total_wall_ms >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_works_inside_a_caller_session_without_polluting_counts() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 57);
+        let plan = ExecutionPlan::compile(&model, &PlanConfig::default());
+        let mut rng = TensorRng::seed_from_u64(58);
+        let x = uniform(&[2, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+        let session = hydronas_telemetry::session();
+        let (_, profile) = plan.profile_batch(&x);
+        assert!(profile.layers.iter().any(|l| l.flops > 0));
+        // The caller's session stays active and keeps the op counters.
+        assert!(hydronas_telemetry::enabled());
+        let m = session.metrics();
+        assert!(m.counters.keys().any(|k| k.ends_with(".flops")));
+    }
+
+    #[test]
+    fn stats_track_wait_exec_and_queue_peak() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 61);
+        let plan = Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()));
+        let engine = Engine::start(
+            plan,
+            EngineConfig {
+                workers: 1,
+                max_batch: 1,
+                max_wait_ticks: 0,
+                tick_us: 50,
+            },
+        );
+        let mut rng = TensorRng::seed_from_u64(62);
+        for _ in 0..3 {
+            let x = uniform(&[arch.in_channels, 16, 16], -1.0, 1.0, &mut rng);
+            engine.infer(x).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 3);
+        assert!(stats.queue_peak >= 1, "{stats:?}");
+        assert!(stats.exec_us_total > 0, "{stats:?}");
+        assert!(stats.mean_exec_ms() > 0.0);
+        assert!(stats.mean_wait_ms() >= 0.0);
     }
 
     #[test]

@@ -33,6 +33,8 @@ use hydronas_tensor::{
     avg_pool2d_global, conv2d, conv2d_bias_act_prepacked, max_pool2d, pack_conv_weight,
     PackedConvWeight, Tensor,
 };
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Float-arithmetic contract of a compiled plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -386,5 +388,159 @@ impl ExecutionPlan {
         let dims = input.dims();
         let batched = Tensor::from_vec(input.as_slice().to_vec(), &[1, dims[0], dims[1], dims[2]]);
         self.run_batch(&batched).as_slice().to_vec()
+    }
+
+    /// Runs the plan like [`run_batch`](Self::run_batch) while timing
+    /// every layer, returning the logits (bit-identical to `run_batch`)
+    /// plus a [`LayerProfile`] with per-layer wall time, FLOPs, bytes,
+    /// and share of the forward pass.
+    ///
+    /// FLOPs and bytes come from the tensor op-accounting counters, so
+    /// they need a telemetry session: if none is active this opens a
+    /// private one for the duration of the call (which, like any
+    /// session, **clears previously recorded telemetry data**). Counts
+    /// are best-effort per op coverage — fused conv kernels report
+    /// FLOPs but not bytes, pooling reports bytes but not FLOPs.
+    pub fn profile_batch(&self, input: &Tensor) -> (Tensor, LayerProfile) {
+        assert_eq!(input.shape().ndim(), 4, "plan input must be NCHW");
+        assert_eq!(
+            input.dims()[1],
+            self.arch.in_channels,
+            "input channel mismatch"
+        );
+        let mut prof = Profiler::new();
+        let mut x = prof.step("stem", || self.stem.apply(input));
+        if let Some((kernel, stride, padding)) = self.stem_pool {
+            x = prof.step("stem.pool", || max_pool2d(&x, kernel, stride, padding).0);
+        }
+        for (idx, block) in self.blocks.iter().enumerate() {
+            // Mirrors `BlockOp::apply` op-for-op (conv1 → conv2 →
+            // projection → in-place add+ReLU) so the result stays
+            // bit-identical to the unprofiled path.
+            let block_in = x;
+            let c1 = prof.step(&format!("block{idx}.conv1"), || {
+                block.conv1.apply(&block_in)
+            });
+            let mut main = prof.step(&format!("block{idx}.conv2"), || block.conv2.apply(&c1));
+            let skip_owned = block
+                .proj
+                .as_ref()
+                .map(|p| prof.step(&format!("block{idx}.proj"), || p.apply(&block_in)));
+            let skip = skip_owned.as_ref().unwrap_or(&block_in);
+            prof.step(&format!("block{idx}.add_relu"), || {
+                assert_eq!(main.dims(), skip.dims(), "residual shapes must match");
+                for (m, s) in main.as_mut_slice().iter_mut().zip(skip.as_slice()) {
+                    *m = (*m + *s).max(0.0);
+                }
+            });
+            x = main;
+        }
+        let pooled = prof.step("global_avg_pool", || avg_pool2d_global(&x));
+        let (n, in_f) = (pooled.dims()[0], pooled.dims()[1]);
+        let out_f = self.fc_weight.dims()[1];
+        let out = prof.step("fc", || {
+            let mut out = Tensor::zeros(&[n, out_f]);
+            match self.config.numerics {
+                Numerics::Fused => hydronas_tensor::gemm_bias_batched(
+                    pooled.as_slice(),
+                    self.fc_weight.as_slice(),
+                    &self.fc_bias,
+                    out.as_mut_slice(),
+                    n,
+                    in_f,
+                    out_f,
+                ),
+                Numerics::Exact => hydronas_tensor::gemm_bias(
+                    pooled.as_slice(),
+                    self.fc_weight.as_slice(),
+                    &self.fc_bias,
+                    out.as_mut_slice(),
+                    n,
+                    in_f,
+                    out_f,
+                ),
+            }
+            out
+        });
+        (out, prof.finish(n))
+    }
+}
+
+/// Cost of one profiled layer (see [`ExecutionPlan::profile_batch`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Layer label, e.g. `"stem"`, `"block2.conv1"`, `"fc"`.
+    pub name: String,
+    /// Wall-clock time spent in this layer, milliseconds (wall field).
+    pub wall_ms: f64,
+    /// FLOPs attributed by the tensor op-accounting counters.
+    pub flops: u64,
+    /// Bytes moved per the op-accounting counters (0 where an op does
+    /// not report bytes, e.g. fused conv kernels).
+    pub bytes: u64,
+    /// Share of the whole forward pass's wall time, percent.
+    pub pct: f64,
+}
+
+/// Per-layer cost table for one profiled forward pass.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Batch size the profiled pass ran at.
+    pub batch: usize,
+    /// Whole forward pass wall time, milliseconds (wall field).
+    pub total_wall_ms: f64,
+    /// Layers in execution order.
+    pub layers: Vec<LayerCost>,
+}
+
+/// Times closures and snapshots op-accounting counter deltas around
+/// them. Holds a private telemetry session when the caller had none, so
+/// FLOP/byte counters are live either way.
+struct Profiler {
+    _session: Option<hydronas_telemetry::Session>,
+    layers: Vec<LayerCost>,
+}
+
+impl Profiler {
+    fn new() -> Profiler {
+        let session = if hydronas_telemetry::enabled() {
+            None
+        } else {
+            Some(hydronas_telemetry::session())
+        };
+        Profiler {
+            _session: session,
+            layers: Vec::new(),
+        }
+    }
+
+    fn step<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let flops_before = hydronas_telemetry::counter_suffix_sum(".flops");
+        let bytes_before = hydronas_telemetry::counter_suffix_sum(".bytes");
+        let start = Instant::now();
+        let out = f();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.layers.push(LayerCost {
+            name: name.to_string(),
+            wall_ms,
+            flops: hydronas_telemetry::counter_suffix_sum(".flops").saturating_sub(flops_before),
+            bytes: hydronas_telemetry::counter_suffix_sum(".bytes").saturating_sub(bytes_before),
+            pct: 0.0,
+        });
+        out
+    }
+
+    fn finish(mut self, batch: usize) -> LayerProfile {
+        let total_wall_ms: f64 = self.layers.iter().map(|l| l.wall_ms).sum();
+        if total_wall_ms > 0.0 {
+            for layer in &mut self.layers {
+                layer.pct = layer.wall_ms * 100.0 / total_wall_ms;
+            }
+        }
+        LayerProfile {
+            batch,
+            total_wall_ms,
+            layers: self.layers,
+        }
     }
 }

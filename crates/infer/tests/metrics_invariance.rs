@@ -1,0 +1,122 @@
+//! Worker-count invariance of engine serving metrics (satellite: a
+//! multi-worker `Engine` run must produce metrics whose deterministic
+//! sections are byte-identical at 1/4/8 workers).
+//!
+//! The workload is single-stream (each `infer` blocks before the next
+//! submit) with `max_batch = 1` and a zero-tick collection window, so
+//! the batch composition is identical no matter how many workers race:
+//! every request executes alone, and batch-size/fill histograms see the
+//! same exactly-representable values in the same multiset.
+
+use hydronas_infer::{Engine, EngineConfig, ExecutionPlan, PlanConfig};
+use hydronas_nn::ResNet;
+use hydronas_tensor::{uniform, Tensor, TensorRng};
+use std::sync::Arc;
+
+const REQUESTS: usize = 10;
+
+fn tiny_plan() -> Arc<ExecutionPlan> {
+    let mut arch = hydronas_graph::ArchConfig::baseline(5);
+    arch.initial_features = 4;
+    let mut rng = TensorRng::seed_from_u64(7);
+    let model = ResNet::new(&arch, &mut rng);
+    Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()))
+}
+
+fn fixed_inputs() -> Vec<Tensor> {
+    let mut rng = TensorRng::seed_from_u64(11);
+    (0..REQUESTS)
+        .map(|_| uniform(&[5, 16, 16], -1.0, 1.0, &mut rng))
+        .collect()
+}
+
+/// Runs the fixed single-stream workload under a session and returns
+/// the serialized deterministic metric sections plus quantile counts.
+fn serve_with_workers(workers: usize) -> (String, String, String, Vec<(String, u64)>) {
+    let plan = tiny_plan();
+    let session = hydronas_telemetry::session();
+    {
+        let engine = Engine::start(
+            plan,
+            EngineConfig {
+                workers,
+                max_batch: 1,
+                max_wait_ticks: 0,
+                tick_us: 50,
+            },
+        );
+        for x in fixed_inputs() {
+            engine.infer(x).unwrap();
+        }
+    } // drop joins workers, so every span/metric is recorded
+    let m = session.metrics();
+    let quantile_counts = m
+        .quantiles
+        .iter()
+        .map(|(k, v)| (k.clone(), v.count))
+        .collect();
+    // Scratch-arena counters are per-thread cache statistics (each
+    // worker warms its own arena), so they scale with worker count by
+    // design and sit outside the invariance contract.
+    let counters: std::collections::BTreeMap<String, u64> = m
+        .counters
+        .iter()
+        .filter(|(k, _)| !k.contains(".arena."))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    (
+        serde_json::to_string(&counters).unwrap(),
+        serde_json::to_string(&m.gauges).unwrap(),
+        serde_json::to_string(&m.histograms).unwrap(),
+        quantile_counts,
+    )
+}
+
+#[test]
+fn serving_metrics_are_worker_count_invariant() {
+    let (c1, g1, h1, q1) = serve_with_workers(1);
+    let (c4, g4, h4, q4) = serve_with_workers(4);
+    let (c8, g8, h8, q8) = serve_with_workers(8);
+
+    // Counters: requests/batches/samples are pure functions of the
+    // workload here (single-stream, batch-of-one).
+    assert_eq!(c1, c4, "counters differ between 1 and 4 workers");
+    assert_eq!(c1, c8, "counters differ between 1 and 8 workers");
+    assert!(c1.contains("\"infer.requests\":10"), "{c1}");
+    assert!(c1.contains("\"infer.batches\":10"), "{c1}");
+    assert!(c1.contains("\"infer.samples\":10"), "{c1}");
+
+    // Gauges: depth/inflight return to 0 and peak at 1 (single-stream).
+    assert_eq!(g1, g4, "gauges differ between 1 and 4 workers");
+    assert_eq!(g1, g8, "gauges differ between 1 and 8 workers");
+    assert!(g1.contains("infer.queue.depth"), "{g1}");
+    assert!(g1.contains("infer.inflight"), "{g1}");
+
+    // Histograms: batch size is always 1.0 and fill 100.0 — exactly
+    // representable, so even the float sums agree bytewise.
+    assert_eq!(h1, h4, "histograms differ between 1 and 4 workers");
+    assert_eq!(h1, h8, "histograms differ between 1 and 8 workers");
+    assert!(h1.contains("infer.batch.size"), "{h1}");
+    assert!(h1.contains("infer.batch.fill_pct"), "{h1}");
+
+    // Quantile histograms hold wall-clock latencies, so only their
+    // counts (one observation per request/batch) are invariant.
+    assert_eq!(q1, q4, "quantile counts differ between 1 and 4 workers");
+    assert_eq!(q1, q8, "quantile counts differ between 1 and 8 workers");
+    let keys: Vec<&str> = q1.iter().map(|(k, _)| k.as_str()).collect();
+    for key in [
+        "infer.request.wait_wall_ms",
+        "infer.request.total_wall_ms",
+        "infer.batch.exec_wall_ms",
+        "infer.batch.collect_wall_ms",
+    ] {
+        assert!(
+            keys.contains(&key),
+            "missing quantile key {key} in {keys:?}"
+        );
+    }
+    for (key, count) in &q1 {
+        let expected = REQUESTS as u64;
+        assert_eq!(*count, expected, "unexpected count for {key}");
+    }
+}

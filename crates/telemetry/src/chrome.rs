@@ -7,12 +7,21 @@
 //! construction; thread-name metadata (`"ph": "M"`) events label each
 //! worker lane.
 //!
+//! Spans tagged with a flow id ([`SpanGuard::flow`]) additionally
+//! produce an async envelope (`"b"`/`"e"` on the `flow` category) plus
+//! flow arrows (`"s"`/`"t"`/`"f"`) connecting every span in the group,
+//! so a request's enqueue-on-client-thread → execute-on-worker-thread
+//! lifecycle renders as one linked track in Perfetto.
+//!
 //! Output ordering is stable for a given span set: events are sorted by
-//! `(ts, span id)` before serialization, so the multi-worker pool's
-//! nondeterministic completion order never reaches the file.
+//! `(ts, phase rank, id)` before serialization, so the multi-worker
+//! pool's nondeterministic completion order never reaches the file.
+//!
+//! [`SpanGuard::flow`]: crate::SpanGuard::flow
 
 use crate::registry::SpanRecord;
 use serde_json::Value;
+use std::collections::BTreeMap;
 
 fn string(v: impl Into<String>) -> Value {
     Value::Str(v.into())
@@ -27,9 +36,26 @@ fn object(entries: Vec<(&str, Value)>) -> Value {
     )
 }
 
+/// Deterministic tiebreak rank for events sharing a timestamp: the
+/// enclosing slice (`X`) first, then the async begin, then arrows in
+/// start → step → finish order, then the async end.
+fn phase_rank(ph: &str) -> u8 {
+    match ph {
+        "X" => 0,
+        "b" => 1,
+        "s" => 2,
+        "t" => 3,
+        "f" => 4,
+        "e" => 5,
+        _ => 6,
+    }
+}
+
 /// Renders spans as Chrome-trace JSON. Timestamps are microseconds since
 /// session start (the `ts`/`dur` fields are wall-clock); a span's
-/// simulated duration, attributes, and parent id travel in `args`.
+/// simulated duration, flow id, attributes, and parent id travel in
+/// `args`. Flow-tagged span groups additionally emit async + flow
+/// events (see module docs).
 pub fn chrome_trace(spans: &[SpanRecord]) -> String {
     let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
     sorted.sort_by_key(|s| (s.start_us, s.id));
@@ -50,7 +76,11 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
             ),
         ]));
     }
-    for s in sorted {
+
+    // Timed events carry a (ts, phase rank, id) sort key so output is a
+    // pure function of the span set.
+    let mut timed: Vec<(u64, u8, u64, Value)> = Vec::with_capacity(sorted.len());
+    for s in &sorted {
         let mut args: Vec<(String, Value)> = vec![("span_id".to_string(), Value::U64(s.id))];
         if let Some(parent) = s.parent {
             args.push(("parent_id".to_string(), Value::U64(parent)));
@@ -58,20 +88,96 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
         if let Some(sim) = s.sim_s {
             args.push(("sim_s".to_string(), Value::F64(sim)));
         }
+        if let Some(flow) = s.flow {
+            args.push(("flow_id".to_string(), Value::U64(flow)));
+        }
         for (k, v) in &s.attrs {
             args.push((k.clone(), string(v.clone())));
         }
-        events.push(object(vec![
-            ("ph", string("X")),
-            ("name", string(s.name.clone())),
-            ("cat", string(s.category.clone())),
-            ("pid", Value::U64(1)),
-            ("tid", Value::U64(s.tid)),
-            ("ts", Value::U64(s.start_us)),
-            ("dur", Value::U64(s.end_us - s.start_us)),
-            ("args", Value::Map(args)),
-        ]));
+        timed.push((
+            s.start_us,
+            phase_rank("X"),
+            s.id,
+            object(vec![
+                ("ph", string("X")),
+                ("name", string(s.name.clone())),
+                ("cat", string(s.category.clone())),
+                ("pid", Value::U64(1)),
+                ("tid", Value::U64(s.tid)),
+                ("ts", Value::U64(s.start_us)),
+                ("dur", Value::U64(s.end_us - s.start_us)),
+                ("args", Value::Map(args)),
+            ]),
+        ));
     }
+
+    // Group flow-tagged spans; each group becomes one async envelope
+    // plus flow arrows connecting consecutive spans across threads.
+    let mut flows: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in &sorted {
+        if let Some(flow) = s.flow {
+            flows.entry(flow).or_default().push(s);
+        }
+    }
+    for (flow_id, group) in flows {
+        let first = group[0];
+        let last_end = group
+            .iter()
+            .max_by_key(|s| (s.end_us, s.id))
+            .expect("group is non-empty");
+        let flow_event = |ph: &str, tid: u64, ts: u64, extra: Option<(&str, Value)>| {
+            let mut entries = vec![
+                ("ph", string(ph)),
+                ("name", string(first.name.clone())),
+                ("cat", string("flow")),
+                ("id", Value::U64(flow_id)),
+                ("pid", Value::U64(1)),
+                ("tid", Value::U64(tid)),
+                ("ts", Value::U64(ts)),
+            ];
+            if let Some((k, v)) = extra {
+                entries.push((k, v));
+            }
+            object(entries)
+        };
+        // Async begin/end: the group's full extent as one track.
+        timed.push((
+            first.start_us,
+            phase_rank("b"),
+            flow_id,
+            flow_event("b", first.tid, first.start_us, None),
+        ));
+        timed.push((
+            last_end.end_us,
+            phase_rank("e"),
+            flow_id,
+            flow_event("e", last_end.tid, last_end.end_us, None),
+        ));
+        // Flow arrows need at least two spans to connect.
+        if group.len() >= 2 {
+            for (i, s) in group.iter().enumerate() {
+                let ph = if i == 0 {
+                    "s"
+                } else if i + 1 == group.len() {
+                    "f"
+                } else {
+                    "t"
+                };
+                // `bp: "e"` binds the finish arrow to the enclosing
+                // slice rather than the next slice's start.
+                let extra = (ph == "f").then(|| ("bp", string("e")));
+                timed.push((
+                    s.start_us,
+                    phase_rank(ph),
+                    flow_id,
+                    flow_event(ph, s.tid, s.start_us, extra),
+                ));
+            }
+        }
+    }
+    timed.sort_by_key(|&(ts, rank, id, _)| (ts, rank, id));
+    events.extend(timed.into_iter().map(|(_, _, _, e)| e));
+
     let root = object(vec![
         ("traceEvents", Value::Seq(events)),
         ("displayTimeUnit", string("ms")),
@@ -93,6 +199,7 @@ mod tests {
             start_us: start,
             end_us: end,
             sim_s: None,
+            flow: None,
             attrs: Vec::new(),
         }
     }
@@ -170,5 +277,84 @@ mod tests {
         assert_eq!(*get(args, "sim_s"), Value::F64(12.5));
         assert_eq!(*get(args, "trial"), Value::Str("42".into()));
         assert_eq!(*get(e, "cat"), Value::Str("test.cat".into()));
+    }
+
+    #[test]
+    fn flow_groups_emit_async_envelope_and_arrows() {
+        // One request: enqueue on tid 1, execute + complete on tid 2.
+        let mut enqueue = record(1, 1, 0, 10);
+        enqueue.flow = Some(42);
+        let mut exec = record(2, 2, 30, 70);
+        exec.flow = Some(42);
+        let mut complete = record(3, 2, 70, 75);
+        complete.flow = Some(42);
+        let all = events(&chrome_trace(&[complete.clone(), enqueue, exec]));
+
+        let by_phase =
+            |ph: &str| -> Vec<&Value> { all.iter().filter(|e| phase(e) == ph).collect() };
+        // Async envelope spans the full extent of the group.
+        let b = by_phase("b");
+        let e = by_phase("e");
+        assert_eq!(b.len(), 1);
+        assert_eq!(e.len(), 1);
+        assert_eq!(as_u64(get(b[0], "ts")), 0);
+        assert_eq!(as_u64(get(b[0], "tid")), 1);
+        assert_eq!(as_u64(get(e[0], "ts")), 75);
+        assert_eq!(as_u64(get(e[0], "tid")), 2);
+        assert_eq!(as_u64(get(b[0], "id")), 42);
+        // Arrows: s on the first span's thread, t on the middle, f on
+        // the last, all sharing the flow id and name.
+        let s = by_phase("s");
+        let t = by_phase("t");
+        let f = by_phase("f");
+        assert_eq!((s.len(), t.len(), f.len()), (1, 1, 1));
+        assert_eq!(as_u64(get(s[0], "tid")), 1);
+        assert_eq!(as_u64(get(f[0], "tid")), 2);
+        assert_eq!(*get(f[0], "bp"), Value::Str("e".into()));
+        for arrow in s.iter().chain(&t).chain(&f) {
+            assert_eq!(as_u64(get(arrow, "id")), 42);
+            assert_eq!(*get(arrow, "cat"), Value::Str("flow".into()));
+            assert_eq!(get(arrow, "name"), get(b[0], "name"));
+        }
+        // X events carry the flow id in args for cross-referencing.
+        let xs = by_phase("X");
+        assert_eq!(xs.len(), 3);
+        for x in xs {
+            assert_eq!(as_u64(get(get(x, "args"), "flow_id")), 42);
+        }
+    }
+
+    #[test]
+    fn single_span_flows_skip_arrows_but_keep_envelope() {
+        let mut s = record(1, 1, 5, 9);
+        s.flow = Some(7);
+        let all = events(&chrome_trace(&[s]));
+        let phases: Vec<String> = all.iter().map(phase).collect();
+        assert!(phases.contains(&"b".to_string()));
+        assert!(phases.contains(&"e".to_string()));
+        assert!(!phases.contains(&"s".to_string()));
+        assert!(!phases.contains(&"f".to_string()));
+    }
+
+    #[test]
+    fn names_and_attrs_with_quotes_and_backslashes_round_trip() {
+        // Regression guard: hostile span names/attr values must survive
+        // export → parse with the vendored serde-json untouched.
+        let hostile = "he said \"hi\\there\"\nand {more}: \t\u{1}";
+        let mut s = record(1, 1, 0, 10);
+        s.name = hostile.to_string();
+        s.attrs = vec![
+            (hostile.to_string(), hostile.to_string()),
+            ("plain".to_string(), "\\\"".to_string()),
+        ];
+        s.flow = Some(3); // flow events reuse the hostile name too
+        let trace = chrome_trace(&[s]);
+        let all = events(&trace); // parse fails loudly on bad escaping
+        let x = all.iter().find(|e| phase(e) == "X").unwrap();
+        assert_eq!(*get(x, "name"), Value::Str(hostile.into()));
+        assert_eq!(*get(get(x, "args"), hostile), Value::Str(hostile.into()));
+        assert_eq!(*get(get(x, "args"), "plain"), Value::Str("\\\"".into()));
+        let b = all.iter().find(|e| phase(e) == "b").unwrap();
+        assert_eq!(*get(b, "name"), Value::Str(hostile.into()));
     }
 }

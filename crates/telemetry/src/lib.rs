@@ -21,9 +21,18 @@
 //!   attributes. Exported as Chrome-trace complete (`"X"`) events.
 //! * **Counters** ([`add`]) — monotonic `u64` sums (op calls, FLOPs,
 //!   bytes moved).
+//! * **Gauges** ([`gauge_add`]) — signed levels with high-watermark
+//!   tracking (queue depth, in-flight requests).
 //! * **Histograms** ([`record_value`]) — count/sum/min/max summaries.
+//! * **Quantile histograms** ([`record_quantile`]) — deterministic
+//!   log-bucketed distributions answering p50/p95/p99/p99.9 (serving
+//!   latencies). Bucket boundaries are fixed constants, so identical
+//!   observation multisets snapshot byte-identically in any order.
 //! * **Series** ([`push_series`]) — ordered `(step, value)` points
 //!   (per-epoch loss, accuracy, throughput, learning rate).
+//! * **Flows** ([`next_flow_id`] + [`SpanGuard::flow`]) — link spans on
+//!   different threads into one logical operation; the Chrome exporter
+//!   renders the group as connected flow/async events.
 //! * **Logger** ([`log`], [`log_error!`]..[`log_debug!`]) — a leveled
 //!   stderr logger for the binaries, independent of the session state.
 //!
@@ -53,11 +62,14 @@
 
 pub mod chrome;
 pub mod logger;
+pub mod quantile;
 mod registry;
 
 pub use chrome::chrome_trace;
 pub use logger::{log, log_enabled, log_level, set_log_level, Level};
+pub use quantile::{BucketCount, QuantileHistogram, QuantileSnapshot};
 pub use registry::{
-    add, add_all, enabled, push_series, record_value, session, span, Histogram, MetricsSnapshot,
-    SeriesPoint, Session, SpanGuard, SpanRecord, SpanSummary,
+    add, add_all, counter_suffix_sum, enabled, gauge_add, next_flow_id, push_series,
+    record_quantile, record_value, session, span, Gauge, Histogram, MetricsSnapshot, SeriesPoint,
+    Session, SpanGuard, SpanRecord, SpanSummary,
 };

@@ -1,0 +1,367 @@
+//! Deterministic log-bucketed quantile histogram.
+//!
+//! [`QuantileHistogram`] answers "what was the p99?" without storing
+//! samples: observations land in buckets whose boundaries grow
+//! geometrically by `2^(1/8)` (≈ 9.05% relative width), and
+//! [`quantile`](QuantileHistogram::quantile) walks the counts to the
+//! bucket holding the requested rank, returning that bucket's upper
+//! bound — an answer within one bucket's relative width of the exact
+//! sample quantile.
+//!
+//! ## Determinism contract
+//!
+//! The bucket layout is **fixed at compile time**: boundaries are
+//! `2^e * 2^(k/8)` for `e` in `-20..30`, `k` in `0..8`, computed with
+//! exact power-of-two scaling and hard-coded `2^(k/8)` literals — no
+//! `log`/`powf` calls whose libm rounding could vary. Bucket assignment
+//! reads the float's exponent and mantissa bits directly. Counts are
+//! integers, so aggregation commutes: the same multiset of observations
+//! produces byte-identical snapshots regardless of observation order,
+//! thread interleaving, or worker count. (Contrast the plain
+//! [`Histogram`](crate::Histogram), whose `sum` is a float accumulated
+//! in arrival order.)
+//!
+//! Values below `2^-20` (≈ 9.5e-7) or non-positive land in the
+//! underflow bucket and report as the range floor; values at or above
+//! `2^30` (≈ 1.07e9) land in the overflow bucket and report as the
+//! range ceiling; non-finite values are dropped. In milliseconds the
+//! covered range spans one nanosecond to about twelve days.
+
+use serde::{Deserialize, Serialize};
+
+/// Buckets per power of two; relative bucket width is `2^(1/SUBBUCKETS)`.
+const SUBBUCKETS: usize = 8;
+/// Lower edge of the first finite bucket is `2^MIN_EXP`.
+const MIN_EXP: i32 = -20;
+/// Upper edge of the last finite bucket is `2^MAX_EXP`.
+const MAX_EXP: i32 = 30;
+/// Total finite bucket count (400).
+const BUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) * SUBBUCKETS;
+
+/// `2^(k/8)` for `k = 0..=8`, as shortest-round-trip decimal literals.
+/// Parsing a decimal literal to the nearest f64 is exact and
+/// platform-independent, unlike computing `powf(2.0, k/8.0)` at runtime.
+const GROWTH: [f64; 9] = [
+    1.0,
+    1.0905077326652577,
+    1.189207115002721,
+    1.2968395546510096,
+    std::f64::consts::SQRT_2,
+    1.5422108254079407,
+    1.681792830507429,
+    1.8340080864093424,
+    2.0,
+];
+
+/// `2^e` for `e` in the supported exponent range, built from bits (exact).
+fn exp2i(e: i32) -> f64 {
+    debug_assert!((MIN_EXP..=MAX_EXP).contains(&e));
+    f64::from_bits(((1023 + e) as u64) << 52)
+}
+
+/// Where one observation lands.
+enum Slot {
+    Under,
+    Over,
+    At(usize),
+}
+
+fn slot_for(v: f64) -> Slot {
+    if v.is_nan() || v <= 0.0 {
+        return Slot::Under; // zero, negatives, and stray NaN
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if exp < MIN_EXP {
+        return Slot::Under; // includes all subnormals
+    }
+    if exp >= MAX_EXP {
+        return Slot::Over; // includes +inf
+    }
+    // Mantissa re-based into [1, 2): monotone in the original value
+    // within one binade, so plain float compares find the sub-bucket.
+    let mant = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000);
+    let mut k = 0;
+    while k + 1 < SUBBUCKETS && mant >= GROWTH[k + 1] {
+        k += 1;
+    }
+    Slot::At(((exp - MIN_EXP) as usize) * SUBBUCKETS + k)
+}
+
+/// `[lower, upper)` boundaries of the finite bucket at `index`.
+pub fn bucket_bounds(index: usize) -> (f64, f64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    let e = MIN_EXP + (index / SUBBUCKETS) as i32;
+    let k = index % SUBBUCKETS;
+    (exp2i(e) * GROWTH[k], exp2i(e) * GROWTH[k + 1])
+}
+
+/// A fixed-layout log-bucketed histogram supporting quantile queries.
+///
+/// `observe` is O(1), `quantile` is O(buckets), and the whole structure
+/// is 400 `u64` counts — no samples are retained.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuantileHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Default for QuantileHistogram {
+    fn default() -> QuantileHistogram {
+        QuantileHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+}
+
+impl QuantileHistogram {
+    /// Records one observation. Non-finite values are dropped;
+    /// non-positive values count as underflow.
+    pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        match slot_for(value) {
+            Slot::Under => self.underflow += 1,
+            Slot::Over => self.overflow += 1,
+            Slot::At(i) => self.counts[i] += 1,
+        }
+        self.count += 1;
+    }
+
+    /// Total recorded observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds another histogram into this one. Pure integer addition, so
+    /// merging in any order produces the same result.
+    pub fn merge(&mut self, other: &QuantileHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// The relative width of one bucket (`2^(1/8)`): the estimate
+    /// returned by [`quantile`](Self::quantile) is at most this factor
+    /// above the exact sample quantile (and never below it) for
+    /// in-range values.
+    pub fn relative_width() -> f64 {
+        GROWTH[1]
+    }
+
+    /// Upper bound of the bucket containing the rank `ceil(q * count)`
+    /// observation (rank clamped to `1..=count`). Returns 0.0 when
+    /// empty; underflow reports the range floor `2^-20`, overflow the
+    /// range ceiling `2^30`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return exp2i(MIN_EXP);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                return bucket_bounds(i).1;
+            }
+        }
+        exp2i(MAX_EXP)
+    }
+
+    /// Deterministic snapshot: derived quantiles plus the sparse
+    /// non-empty buckets with their fixed boundaries.
+    pub fn snapshot(&self) -> QuantileSnapshot {
+        QuantileSnapshot {
+            count: self.count,
+            underflow: self.underflow,
+            overflow: self.overflow,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| {
+                    let (lo, hi) = bucket_bounds(i);
+                    BucketCount {
+                        index: i as u64,
+                        lo,
+                        hi,
+                        count: c,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty bucket of a [`QuantileSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BucketCount {
+    pub index: u64,
+    /// Inclusive lower bound (fixed by the layout, not data-dependent).
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+    pub count: u64,
+}
+
+/// Serialized form of a [`QuantileHistogram`]: counts plus derived
+/// p50/p95/p99/p99.9. Byte-identical for identical observation
+/// multisets, independent of recording order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSnapshot {
+    pub count: u64,
+    pub underflow: u64,
+    pub overflow: u64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub p999: f64,
+    pub buckets: Vec<BucketCount>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = QuantileHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert!(h.snapshot().buckets.is_empty());
+    }
+
+    #[test]
+    fn bucket_boundaries_are_fixed_and_contiguous() {
+        // Adjacent buckets share an edge and widths grow by exactly
+        // GROWTH[1] in ratio.
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(hi, lo_next, "bucket {i} edge mismatch");
+        }
+        assert_eq!(bucket_bounds(0).0, exp2i(MIN_EXP));
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, exp2i(MAX_EXP));
+        // Every lower bound maps back to its own bucket.
+        for i in (0..BUCKETS).step_by(7) {
+            let (lo, hi) = bucket_bounds(i);
+            match slot_for(lo) {
+                Slot::At(j) => assert_eq!(j, i, "lower bound of {i}"),
+                _ => panic!("lower bound of {i} out of range"),
+            }
+            // Just below the upper bound stays in the bucket.
+            let inside = hi - hi * 1e-9;
+            match slot_for(inside) {
+                Slot::At(j) => assert_eq!(j, i, "interior of {i}"),
+                _ => panic!("interior of {i} out of range"),
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_brackets_the_exact_sample_quantile() {
+        let mut h = QuantileHistogram::default();
+        let mut values: Vec<f64> = (1..=1000).map(|i| i as f64 * 0.37).collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        values.sort_by(f64::total_cmp);
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let got = h.quantile(q);
+            assert!(got >= exact, "q={q}: {got} < exact {exact}");
+            assert!(
+                got <= exact * QuantileHistogram::relative_width() * (1.0 + 1e-12),
+                "q={q}: {got} more than one bucket above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn under_and_overflow_are_counted_and_clamped() {
+        let mut h = QuantileHistogram::default();
+        h.observe(0.0);
+        h.observe(-3.0);
+        h.observe(1e-12);
+        h.observe(1e12);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NAN); // dropped
+        assert_eq!(h.count(), 5);
+        let s = h.snapshot();
+        assert_eq!(s.underflow, 3);
+        assert_eq!(s.overflow, 2);
+        assert_eq!(h.quantile(0.0), exp2i(MIN_EXP));
+        assert_eq!(h.quantile(1.0), exp2i(MAX_EXP));
+    }
+
+    #[test]
+    fn snapshot_is_observation_order_independent() {
+        let values = [0.004, 3.1, 3.1, 250.0, 0.004, 17.0, 9e5];
+        let mut a = QuantileHistogram::default();
+        let mut b = QuantileHistogram::default();
+        for &v in &values {
+            a.observe(v);
+        }
+        for &v in values.iter().rev() {
+            b.observe(v);
+        }
+        assert_eq!(a, b);
+        let sa = serde_json::to_string(&a.snapshot()).unwrap();
+        let sb = serde_json::to_string(&b.snapshot()).unwrap();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn merge_commutes() {
+        let mut a = QuantileHistogram::default();
+        let mut b = QuantileHistogram::default();
+        for v in [1.0, 2.0, 4.0] {
+            a.observe(v);
+        }
+        for v in [8.0, 1e-9, 1e10] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 6);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut h = QuantileHistogram::default();
+        for v in [0.25, 0.5, 1.0, 2.0, 1e7] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: QuantileSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

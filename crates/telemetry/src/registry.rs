@@ -9,6 +9,7 @@
 //! thread-local stack); only span *exit* and the counter updates take
 //! the state lock.
 
+use crate::quantile::{QuantileHistogram, QuantileSnapshot};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -28,6 +29,15 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// from a previous session can detect they are orphaned.
 static GENERATION: AtomicU64 = AtomicU64::new(0);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_FLOW_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique flow id for linking spans into one
+/// logical operation (e.g. one request's lifecycle across threads).
+/// Attach it to each participating span via [`SpanGuard::flow`]; the
+/// Chrome exporter turns the group into connected flow/async events.
+pub fn next_flow_id() -> u64 {
+    NEXT_FLOW_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Process-wide monotonic time anchor; all timestamps are microseconds
 /// since this instant and are re-based to the session start on record.
@@ -54,7 +64,9 @@ struct State {
     next_tid: u64,
     spans: Vec<SpanRecord>,
     counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, Gauge>,
     histograms: BTreeMap<&'static str, Histogram>,
+    quantiles: BTreeMap<&'static str, QuantileHistogram>,
     series: BTreeMap<&'static str, Vec<SeriesPoint>>,
 }
 
@@ -125,10 +137,16 @@ impl Session {
                 .iter()
                 .map(|(k, v)| (k.to_string(), *v))
                 .collect(),
+            gauges: s.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             histograms: s
                 .histograms
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            quantiles: s
+                .quantiles
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.snapshot()))
                 .collect(),
             series: s
                 .series
@@ -178,6 +196,10 @@ pub struct SpanRecord {
     pub end_us: u64,
     /// Simulated duration from the sweep cost model, if any.
     pub sim_s: Option<f64>,
+    /// Flow id linking this span to others in the same logical
+    /// operation (see [`next_flow_id`]); exported as Chrome flow/async
+    /// events so the group renders connected across threads.
+    pub flow: Option<u64>,
     /// Attribute key/value pairs, in attachment order.
     pub attrs: Vec<(String, String)>,
 }
@@ -196,6 +218,7 @@ struct OpenSpan {
     name: String,
     start_abs_us: u64,
     sim_s: Option<f64>,
+    flow: Option<u64>,
     attrs: Vec<(String, String)>,
 }
 
@@ -231,6 +254,7 @@ pub fn span(category: &'static str, name: &str) -> SpanGuard {
         name: name.to_string(),
         start_abs_us: now_us(),
         sim_s: None,
+        flow: None,
         attrs: Vec::new(),
     }))
 }
@@ -247,6 +271,14 @@ impl SpanGuard {
     pub fn sim_s(&mut self, seconds: f64) {
         if let Some(open) = self.0.as_mut() {
             open.sim_s = Some(seconds);
+        }
+    }
+
+    /// Tags this span with a flow id from [`next_flow_id`], linking it
+    /// to every other span carrying the same id across threads.
+    pub fn flow(&mut self, id: u64) {
+        if let Some(open) = self.0.as_mut() {
+            open.flow = Some(id);
         }
     }
 }
@@ -279,6 +311,7 @@ impl Drop for SpanGuard {
             start_us,
             end_us,
             sim_s: open.sim_s,
+            flow: open.flow,
             attrs: open.attrs,
         });
     }
@@ -316,6 +349,44 @@ pub fn record_value(name: &'static str, value: f64) {
     s.histograms.entry(name).or_default().observe(value);
 }
 
+/// Records one observation into the named log-bucketed quantile
+/// histogram (see [`QuantileHistogram`]). No-op without a session.
+pub fn record_quantile(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut s = lock_or_recover(state());
+    s.quantiles.entry(name).or_default().observe(value);
+}
+
+/// Adds `delta` (may be negative) to the named gauge and updates its
+/// high watermark. No-op without a session.
+pub fn gauge_add(name: &'static str, delta: i64) {
+    if !enabled() {
+        return;
+    }
+    let mut s = lock_or_recover(state());
+    let g = s.gauges.entry(name).or_default();
+    g.value += delta;
+    g.high_watermark = g.high_watermark.max(g.value);
+}
+
+/// Sum of every counter whose name ends with `suffix` — e.g.
+/// `counter_suffix_sum(".flops")` totals FLOPs across all op
+/// categories. Returns 0 without a session. Used by the per-layer
+/// profiler to snapshot op-accounting deltas around a layer.
+pub fn counter_suffix_sum(suffix: &str) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    let s = lock_or_recover(state());
+    s.counters
+        .iter()
+        .filter(|(k, _)| k.ends_with(suffix))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
 /// Appends one `(step, value)` point to the named time series. No-op
 /// without a session.
 pub fn push_series(name: &'static str, step: f64, value: f64) {
@@ -330,27 +401,29 @@ pub fn push_series(name: &'static str, step: f64, value: f64) {
 }
 
 /// Count/sum/min/max summary of observed values.
+///
+/// `min`/`max` are `None` until the first observation, so an empty
+/// histogram serializes them as `null` rather than as two phantom
+/// `0.0` observations.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     pub count: u64,
     pub sum: f64,
-    pub min: f64,
-    pub max: f64,
+    pub min: Option<f64>,
+    pub max: Option<f64>,
 }
 
 impl Histogram {
     fn observe(&mut self, value: f64) {
-        if self.count == 0 {
-            self.min = value;
-            self.max = value;
-        } else {
-            self.min = self.min.min(value);
-            self.max = self.max.max(value);
-        }
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
         self.count += 1;
         self.sum += value;
     }
 
+    /// Arithmetic mean of all observations; `0.0` when empty (the
+    /// empty histogram has no mean — callers that need to distinguish
+    /// should check `count` first).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -358,6 +431,16 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+}
+
+/// An instantaneous level with its session-lifetime peak, e.g. queue
+/// depth or in-flight request count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gauge {
+    /// Current level (sum of all deltas so far).
+    pub value: i64,
+    /// Highest level ever reached this session.
+    pub high_watermark: i64,
 }
 
 /// One point of a time series.
@@ -384,7 +467,13 @@ pub struct SpanSummary {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
+    /// Gauges with high-watermark tracking (queue depth, in-flight).
+    pub gauges: BTreeMap<String, Gauge>,
     pub histograms: BTreeMap<String, Histogram>,
+    /// Log-bucketed quantile histograms (p50/p95/p99/p99.9); bucket
+    /// boundaries are fixed, so identical observation multisets
+    /// serialize byte-identically regardless of recording order.
+    pub quantiles: BTreeMap<String, QuantileSnapshot>,
     pub series: BTreeMap<String, Vec<SeriesPoint>>,
     /// Span aggregates keyed by category.
     pub spans: BTreeMap<String, SpanSummary>,
@@ -413,8 +502,8 @@ mod tests {
         assert_eq!(m.counters["t.calls"], 5);
         let h = &m.histograms["t.ms"];
         assert_eq!(h.count, 3);
-        assert_eq!(h.min, 1.0);
-        assert_eq!(h.max, 7.0);
+        assert_eq!(h.min, Some(1.0));
+        assert_eq!(h.max, Some(7.0));
         assert!((h.mean() - 4.0).abs() < 1e-12);
         assert_eq!(
             m.series["t.loss"],
@@ -521,11 +610,16 @@ mod tests {
         assert!(!enabled());
         add("t.noop", 1);
         record_value("t.noop", 1.0);
+        record_quantile("t.noop", 1.0);
+        gauge_add("t.noop", 1);
         push_series("t.noop", 0.0, 1.0);
         drop(span("t.noop", "noop"));
+        assert_eq!(counter_suffix_sum(".noop"), 0);
         let s = lock_or_recover(state());
         assert_eq!(s.counters.get("t.noop"), None);
         assert!(!s.histograms.contains_key("t.noop"));
+        assert!(!s.quantiles.contains_key("t.noop"));
+        assert!(!s.gauges.contains_key("t.noop"));
         assert!(!s.series.contains_key("t.noop"));
         assert!(!s.spans.iter().any(|r| r.category == "t.noop"));
     }
@@ -535,6 +629,8 @@ mod tests {
         let session = session();
         add("t.rt", 7);
         record_value("t.rt.h", 0.5);
+        record_quantile("t.rt.q", 3.0);
+        gauge_add("t.rt.g", 2);
         push_series("t.rt.s", 1.0, 2.0);
         {
             let _sp = span("t.rt.span", "x");
@@ -544,11 +640,86 @@ mod tests {
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         // wall_s aside, the payload is exact.
         assert_eq!(back.counters, m.counters);
+        assert_eq!(back.gauges, m.gauges);
         assert_eq!(back.histograms, m.histograms);
+        assert_eq!(back.quantiles, m.quantiles);
         assert_eq!(back.series, m.series);
         assert_eq!(
             back.spans.keys().collect::<Vec<_>>(),
             m.spans.keys().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn empty_histogram_serializes_null_min_max() {
+        // Regression: an empty histogram used to serialize
+        // `min: 0.0, max: 0.0`, indistinguishable from two real
+        // observations of zero.
+        let h = Histogram::default();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.min, None);
+        assert_eq!(h.max, None);
+        assert_eq!(h.mean(), 0.0);
+        let json = serde_json::to_string(&h).unwrap();
+        assert!(json.contains("\"min\":null"), "{json}");
+        assert!(json.contains("\"max\":null"), "{json}");
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn gauges_track_level_and_high_watermark() {
+        let session = session();
+        gauge_add("t.depth", 3);
+        gauge_add("t.depth", 2);
+        gauge_add("t.depth", -4);
+        gauge_add("t.depth", 1);
+        let m = session.metrics();
+        let g = m.gauges["t.depth"];
+        assert_eq!(g.value, 2);
+        assert_eq!(g.high_watermark, 5);
+    }
+
+    #[test]
+    fn quantile_recording_reaches_snapshot() {
+        let session = session();
+        for v in [1.0, 2.0, 4.0, 8.0, 16.0] {
+            record_quantile("t.lat", v);
+        }
+        let m = session.metrics();
+        let q = &m.quantiles["t.lat"];
+        assert_eq!(q.count, 5);
+        assert!(q.p50 >= 4.0 && q.p50 <= 4.0 * 1.091, "p50 = {}", q.p50);
+    }
+
+    #[test]
+    fn counter_suffix_sum_totals_matching_counters() {
+        let session = session();
+        add("t.op_a.flops", 100);
+        add("t.op_b.flops", 50);
+        add("t.op_a.bytes", 7);
+        assert_eq!(counter_suffix_sum(".flops"), 150);
+        assert_eq!(counter_suffix_sum(".bytes"), 7);
+        assert_eq!(counter_suffix_sum(".missing"), 0);
+        drop(session);
+    }
+
+    #[test]
+    fn span_flow_ids_survive_to_records() {
+        let session = session();
+        let flow = next_flow_id();
+        {
+            let mut a = span("t.flow.a", "enqueue");
+            a.flow(flow);
+        }
+        {
+            let mut b = span("t.flow.b", "complete");
+            b.flow(flow);
+        }
+        let spans = session.spans();
+        let a = spans.iter().find(|s| s.category == "t.flow.a").unwrap();
+        let b = spans.iter().find(|s| s.category == "t.flow.b").unwrap();
+        assert_eq!(a.flow, Some(flow));
+        assert_eq!(b.flow, Some(flow));
     }
 }

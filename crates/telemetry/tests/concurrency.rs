@@ -1,0 +1,81 @@
+//! Worker-count invariance of aggregated metrics (satellite: the same
+//! observation multiset must serialize byte-identically no matter how
+//! many threads recorded it or in what interleaving).
+//!
+//! Observations are integer-valued f64s, so even the plain
+//! `Histogram`'s floating-point `sum` is exact in any accumulation
+//! order; `QuantileHistogram` and counters are integer-based and
+//! order-free by construction.
+
+use hydronas_telemetry::{add, gauge_add, record_quantile, record_value, session};
+use serde_json::to_string;
+
+/// The fixed observation multiset: integer-valued, spread across
+/// several quantile buckets.
+fn observations() -> Vec<f64> {
+    (0..240).map(|i| ((i * 7) % 100 + 1) as f64).collect()
+}
+
+/// Records the multiset sharded round-robin over `workers` threads and
+/// returns the serialized deterministic sections of the snapshot.
+fn record_with_workers(workers: usize) -> (String, String, String, u64) {
+    let s = session();
+    let values = observations();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let shard: Vec<f64> = values.iter().copied().skip(w).step_by(workers).collect();
+            scope.spawn(move || {
+                for v in shard {
+                    add("inv.ops", 1);
+                    record_value("inv.h", v);
+                    record_quantile("inv.q", v);
+                    gauge_add("inv.g", 1);
+                    gauge_add("inv.g", -1);
+                }
+            });
+        }
+    });
+    let m = s.metrics();
+    // The gauge's final value is interleaving-independent (every +1 is
+    // matched by a -1 before the join), but its high watermark is not —
+    // it depends on how many threads were mid-increment at once — so it
+    // is checked separately, not byte-compared.
+    let watermark = m.gauges["inv.g"].high_watermark as u64;
+    (
+        to_string(&m.counters).unwrap(),
+        to_string(&m.histograms).unwrap(),
+        to_string(&m.quantiles).unwrap(),
+        watermark,
+    )
+}
+
+#[test]
+fn metrics_are_worker_count_invariant() {
+    let (c1, h1, q1, w1) = record_with_workers(1);
+    let (c4, h4, q4, w4) = record_with_workers(4);
+    let (c8, h8, q8, w8) = record_with_workers(8);
+
+    assert_eq!(c1, c4, "counters differ between 1 and 4 workers");
+    assert_eq!(c1, c8, "counters differ between 1 and 8 workers");
+    assert_eq!(h1, h4, "histograms differ between 1 and 4 workers");
+    assert_eq!(h1, h8, "histograms differ between 1 and 8 workers");
+    assert_eq!(q1, q4, "quantiles differ between 1 and 4 workers");
+    assert_eq!(q1, q8, "quantiles differ between 1 and 8 workers");
+
+    // Watermarks are bounded by concurrency but always at least 1.
+    for (w, n) in [(w1, 1), (w4, 4), (w8, 8)] {
+        assert!(
+            w >= 1 && w <= n,
+            "watermark {w} out of range for {n} workers"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let (c_a, h_a, q_a, _) = record_with_workers(4);
+    let (c_b, h_b, q_b, _) = record_with_workers(4);
+    assert_eq!(c_a, c_b);
+    assert_eq!(h_a, h_b);
+    assert_eq!(q_a, q_b);
+}

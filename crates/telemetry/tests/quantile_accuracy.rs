@@ -1,0 +1,101 @@
+//! Property tests for `QuantileHistogram` accuracy (satellite: quantile
+//! estimates must sit within one bucket's relative width of the exact
+//! sample quantile, across log-spaced and adversarial distributions).
+
+use hydronas_telemetry::QuantileHistogram;
+use proptest::prelude::*;
+
+/// Exact sample quantile under the histogram's own rank convention:
+/// the rank `ceil(q * n)` order statistic, rank clamped to `1..=n`.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Asserts the histogram's estimate brackets the exact quantile:
+/// `exact <= estimate <= exact * 2^(1/8)` for strictly in-range values.
+fn assert_within_one_bucket(values: &[f64], qs: &[f64]) {
+    let mut h = QuantileHistogram::default();
+    for &v in values {
+        h.observe(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let width = QuantileHistogram::relative_width();
+    for &q in qs {
+        let exact = exact_quantile(&sorted, q);
+        let got = h.quantile(q);
+        assert!(got >= exact, "q={q}: estimate {got} below exact {exact}");
+        assert!(
+            got <= exact * width * (1.0 + 1e-12),
+            "q={q}: estimate {got} more than one bucket above exact {exact}"
+        );
+    }
+}
+
+const QS: [f64; 7] = [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Log-spaced values spanning nine decades: microseconds to days in
+    /// milliseconds, the range serving latencies actually occupy.
+    #[test]
+    fn log_spaced_samples(
+        exponents in proptest::collection::vec(-6.0f64..8.0, 1..200),
+    ) {
+        let values: Vec<f64> = exponents
+            .iter()
+            .map(|&e| 10.0f64.powf(e))
+            .collect();
+        assert_within_one_bucket(&values, &QS);
+    }
+
+    /// Every sample in one bucket: any quantile must report that
+    /// bucket's upper bound, still within one width of every sample.
+    #[test]
+    fn single_bucket_distribution(
+        base in 1.0f64..1e6,
+        jitter in proptest::collection::vec(0.0f64..1e-6, 1..100),
+    ) {
+        let values: Vec<f64> = jitter.iter().map(|j| base * (1.0 + j)).collect();
+        assert_within_one_bucket(&values, &QS);
+    }
+
+    /// Bimodal: a fast mode and a slow mode far apart — the adversarial
+    /// case for mean-based summaries, which quantiles must resolve.
+    #[test]
+    fn bimodal_distribution(
+        fast in proptest::collection::vec(0.5f64..2.0, 1..100),
+        slow in proptest::collection::vec(500.0f64..2000.0, 1..100),
+    ) {
+        let mut values = fast;
+        values.extend_from_slice(&slow);
+        assert_within_one_bucket(&values, &QS);
+    }
+
+    /// Arbitrary positive finite values inside the histogram range.
+    #[test]
+    fn arbitrary_in_range_samples(
+        values in proptest::collection::vec(1e-5f64..1e8, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        assert_within_one_bucket(&values, &[q]);
+    }
+}
+
+#[test]
+fn p99_separates_bimodal_tail() {
+    // 95 fast requests at ~1ms, 5 slow at ~800ms: p50 must report the
+    // fast mode, p99 the slow mode.
+    let mut h = QuantileHistogram::default();
+    for _ in 0..95 {
+        h.observe(1.0);
+    }
+    for _ in 0..5 {
+        h.observe(800.0);
+    }
+    assert!(h.quantile(0.5) < 2.0, "p50 = {}", h.quantile(0.5));
+    assert!(h.quantile(0.99) > 700.0, "p99 = {}", h.quantile(0.99));
+}

@@ -33,50 +33,54 @@ mod types {
     pub type A15 = prelude::ExecutionPlan;
     pub type A16 = prelude::ExperimentDb;
     pub type A17 = prelude::FailureCause;
-    pub type A18 = prelude::GraphError;
-    pub type A19 = prelude::HydroNasError;
-    pub type A20 = prelude::InferError;
-    pub type A21 = prelude::InputCombo;
-    pub type A22 = prelude::LatencyPrediction;
-    pub type A23 = prelude::LrSchedule;
-    pub type A24 = prelude::MetricsError;
-    pub type A25 = prelude::MetricsSnapshot;
-    pub type A26 = prelude::ModelGraph;
-    pub type A27 = prelude::ModelImportError;
-    pub type A28 = prelude::Nsga2Config;
-    pub type A29 = prelude::Numerics;
-    pub type A30 = prelude::Objective;
-    pub type A31 = prelude::OnnxError;
-    pub type A32 = prelude::PlanConfig;
-    pub type A33 = prelude::Point;
-    pub type A34 = prelude::PoolConfig;
-    pub type A35 = prelude::Precision;
-    pub type A36 = prelude::Prediction;
-    pub type A37 = prelude::PredictionHandle;
-    pub type A38 = prelude::RealTrainer;
-    pub type A39 = prelude::ReproArtifacts;
-    pub type A40 = prelude::ReproConfig;
-    pub type A41 = prelude::ResNet;
-    pub type A42 = prelude::RetryPolicy;
-    pub type A43 = prelude::RunControl;
-    pub type A44 = prelude::SchedulerConfig;
-    pub type A45 = prelude::SearchSpace;
-    pub type A46 = prelude::Session;
-    pub type A47 = prelude::StderrTicker;
-    pub type A48 = prelude::SurrogateEvaluator;
-    pub type A49 = prelude::Sweep;
-    pub type A50 = prelude::SweepBuilder;
-    pub type A51 = prelude::SweepError;
-    pub type A52 = prelude::SweepEvent<'static>;
-    pub type A53 = prelude::SweepReport;
-    pub type A54 = prelude::SweepStats;
-    pub type A55 = prelude::Tensor;
-    pub type A56 = prelude::TensorRng;
-    pub type A57 = prelude::TileSet;
-    pub type A58 = prelude::TrainConfig;
-    pub type A59 = prelude::TrialFailure;
-    pub type A60 = prelude::TrialOutcome;
-    pub type A61 = prelude::TrialSpec;
+    pub type A18 = prelude::Gauge;
+    pub type A19 = prelude::GraphError;
+    pub type A20 = prelude::HydroNasError;
+    pub type A21 = prelude::InferError;
+    pub type A22 = prelude::InputCombo;
+    pub type A23 = prelude::LatencyPrediction;
+    pub type A24 = prelude::LayerCost;
+    pub type A25 = prelude::LayerProfile;
+    pub type A26 = prelude::LrSchedule;
+    pub type A27 = prelude::MetricsError;
+    pub type A28 = prelude::MetricsSnapshot;
+    pub type A29 = prelude::ModelGraph;
+    pub type A30 = prelude::ModelImportError;
+    pub type A31 = prelude::Nsga2Config;
+    pub type A32 = prelude::Numerics;
+    pub type A33 = prelude::Objective;
+    pub type A34 = prelude::OnnxError;
+    pub type A35 = prelude::PlanConfig;
+    pub type A36 = prelude::Point;
+    pub type A37 = prelude::PoolConfig;
+    pub type A38 = prelude::Precision;
+    pub type A39 = prelude::Prediction;
+    pub type A40 = prelude::PredictionHandle;
+    pub type A41 = prelude::QuantileHistogram;
+    pub type A42 = prelude::RealTrainer;
+    pub type A43 = prelude::ReproArtifacts;
+    pub type A44 = prelude::ReproConfig;
+    pub type A45 = prelude::ResNet;
+    pub type A46 = prelude::RetryPolicy;
+    pub type A47 = prelude::RunControl;
+    pub type A48 = prelude::SchedulerConfig;
+    pub type A49 = prelude::SearchSpace;
+    pub type A50 = prelude::Session;
+    pub type A51 = prelude::StderrTicker;
+    pub type A52 = prelude::SurrogateEvaluator;
+    pub type A53 = prelude::Sweep;
+    pub type A54 = prelude::SweepBuilder;
+    pub type A55 = prelude::SweepError;
+    pub type A56 = prelude::SweepEvent<'static>;
+    pub type A57 = prelude::SweepReport;
+    pub type A58 = prelude::SweepStats;
+    pub type A59 = prelude::Tensor;
+    pub type A60 = prelude::TensorRng;
+    pub type A61 = prelude::TileSet;
+    pub type A62 = prelude::TrainConfig;
+    pub type A63 = prelude::TrialFailure;
+    pub type A64 = prelude::TrialOutcome;
+    pub type A65 = prelude::TrialSpec;
 
     pub trait UsesTraits: prelude::Evaluator + prelude::ProgressSink {}
 }
@@ -133,11 +137,14 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
         "ExecutionPlan",
         "ExperimentDb",
         "FailureCause",
+        "Gauge",
         "GraphError",
         "HydroNasError",
         "InferError",
         "InputCombo",
         "LatencyPrediction",
+        "LayerCost",
+        "LayerProfile",
         "LrSchedule",
         "MetricsError",
         "MetricsSnapshot",
@@ -153,6 +160,7 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
         "Precision",
         "Prediction",
         "PredictionHandle",
+        "QuantileHistogram",
         "RealTrainer",
         "ReproArtifacts",
         "ReproConfig",
@@ -188,7 +196,7 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
     }
     // One aliased type per snapshot row (plus the two traits pinned in
     // `types::UsesTraits`).
-    assert_eq!(EXPECTED.len(), 61);
+    assert_eq!(EXPECTED.len(), 65);
 }
 
 /// The error taxonomy stays typed: the facade error wraps each
