@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! serve [--smoke] [--out PATH] [--gate BASELINE.json] [--slo-p99-ms N]
-//!       [--trace PATH] [--metrics PATH]
+//!       [--trace PATH] [--metrics PATH] [--overload] [--overload-trace PATH]
 //! ```
 //!
 //! * `--smoke` — fewer repetitions and fewer engine requests. The sweep,
@@ -21,6 +21,14 @@
 //!   lifecycles linked across threads via flow events; open in Perfetto).
 //! * `--metrics PATH` — write the engine run's `metrics.json` snapshot
 //!   (counters, gauges, histograms, quantile histograms, span rollups).
+//! * `--overload` — also run the overload scenario: offer requests at 2x
+//!   the engine's measured closed-loop throughput against a bounded
+//!   queue with per-request deadlines and the `DropOldest` shed policy,
+//!   then drain gracefully. The outcome lands in the report's `overload`
+//!   block and its invariants (bounded queue peak, nonzero shedding,
+//!   tail latency within the deadline budget, clean drain, three-way
+//!   stats/client/telemetry agreement) are hard failures.
+//! * `--overload-trace PATH` — write the overload run's Chrome trace.
 //!
 //! Beyond timing, the run *asserts* the structural claims of the serving
 //! work: whole-batch execution must deliver at least 2x the per-sample
@@ -30,7 +38,9 @@
 //! engine stats), and the predictor-vs-measured validation must cover
 //! every Pareto-front model of the sweep.
 
-use hydronas_infer::{Engine, EngineConfig, ExecutionPlan, LayerProfile, PlanConfig};
+use hydronas_infer::{
+    Engine, EngineConfig, ExecutionPlan, InferError, LayerProfile, PlanConfig, ShedPolicy,
+};
 use hydronas_nas::space::{full_grid, SearchSpace};
 use hydronas_nas::{run_experiment, SchedulerConfig, SurrogateEvaluator};
 use hydronas_nn::ResNet;
@@ -39,7 +49,7 @@ use hydronas_tensor::{uniform, Tensor, TensorRng};
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Gate threshold: current throughput must be at least this fraction of
 /// the committed baseline.
@@ -205,12 +215,17 @@ struct Report {
     /// Per-layer cost table of the deployment model at batch 8.
     layer_profile: LayerProfile,
     pareto: ParetoValidation,
+    /// Present when the run included `--overload` (null otherwise — the
+    /// field itself is always serialized so v3 reports round-trip).
+    overload: Option<OverloadBench>,
 }
 
 impl Report {
     /// The higher-is-better numbers the regression gate compares.
+    /// Overload entries appear only when the block was measured; the
+    /// gate skips names absent from either side.
     fn throughputs(&self) -> Vec<(&'static str, f64)> {
-        vec![
+        let mut v = vec![
             (
                 "baseline_eval.samples_per_s",
                 self.baseline_eval.samples_per_s,
@@ -221,12 +236,16 @@ impl Report {
             ),
             ("batched.samples_per_s", self.batched.samples_per_s),
             ("engine.samples_per_s", self.engine.samples_per_s),
-        ]
+        ];
+        if let Some(o) = &self.overload {
+            v.push(("overload.goodput_per_s", o.goodput_per_s));
+        }
+        v
     }
 
     /// The lower-is-better tail latencies the regression gate compares.
     fn tail_latencies(&self) -> Vec<(&'static str, f64)> {
-        vec![
+        let mut v = vec![
             (
                 "latency.engine_total.p99_ms",
                 self.latency.engine_total.p99_ms,
@@ -235,7 +254,11 @@ impl Report {
                 "latency.single_stream.p99_ms",
                 self.latency.single_stream.p99_ms,
             ),
-        ]
+        ];
+        if let Some(o) = &self.overload {
+            v.push(("overload.total.p99_ms", o.total.p99_ms));
+        }
+        v
     }
 }
 
@@ -406,6 +429,7 @@ fn bench_engine(
             max_batch: 8,
             max_wait_ticks: 2,
             tick_us: 200,
+            ..EngineConfig::default()
         },
     ));
     let channels = engine.plan().arch().in_channels;
@@ -461,6 +485,237 @@ fn bench_engine(
         metrics,
     };
     (bench, observability)
+}
+
+/// How `close_and_drain` ended the overload run.
+#[derive(Debug, Serialize, Deserialize)]
+struct OverloadDrain {
+    /// Requests still queued at close, failed with `Closed`. Must be 0
+    /// here: every handle was awaited before the drain.
+    failed: u64,
+    timed_out: bool,
+}
+
+/// The overload scenario: open-loop arrivals at `target_multiplier`
+/// times the engine's measured closed-loop throughput, a bounded queue,
+/// per-request deadlines, and a graceful drain at the end.
+#[derive(Debug, Serialize, Deserialize)]
+struct OverloadBench {
+    queue_capacity: u64,
+    shed_policy: String,
+    /// Per-request deadline on the engine's tick clock...
+    deadline_ticks: u64,
+    /// ...and its wall equivalent at the configured tick length.
+    deadline_ms: f64,
+    /// Latency budget for *completed* requests: deadline + collection
+    /// window + batch-execution allowance. `p99_within_budget` gates
+    /// the total-latency p99 against this.
+    budget_ms: f64,
+    target_multiplier: f64,
+    offered_per_s: f64,
+    /// What the pacer actually achieved (sleep granularity).
+    achieved_offer_per_s: f64,
+    submitted: u64,
+    accepted: u64,
+    completed: u64,
+    /// Refused at submit time (`QueueFull`; zero under `DropOldest`).
+    rejected: u64,
+    /// Evicted from the bounded queue to admit a newer arrival.
+    shed: u64,
+    /// Deadline passed while queued; refused at drain time.
+    expired: u64,
+    acceptance_rate: f64,
+    /// Fraction of submitted requests refused one way or another.
+    shed_rate: f64,
+    /// Completed requests per second of wall time — the number the
+    /// regression gate compares, since it is capacity- not load-bound.
+    goodput_per_s: f64,
+    queue_peak: u64,
+    /// End-to-end latency of completed requests.
+    total: Quantiles,
+    /// Queue-wait of requests that reached a batch.
+    wait: Quantiles,
+    p99_within_budget: bool,
+    drain: OverloadDrain,
+}
+
+/// Offers requests at 2x the engine's measured closed-loop rate and
+/// verifies the overload-protection invariants: the queue stays
+/// bounded, excess load is shed with structured errors, completed
+/// requests stay within the deadline budget, engine stats agree with
+/// client-observed outcomes and telemetry, and the drain leaves nothing
+/// stuck. Violations come back as hard failures.
+fn bench_overload(
+    plan: Arc<ExecutionPlan>,
+    engine_bench: &EngineBench,
+    smoke: bool,
+) -> (OverloadBench, String, Vec<String>) {
+    const DEADLINE_TICKS: u64 = 300;
+    let config = EngineConfig {
+        workers: 2,
+        max_batch: 8,
+        max_wait_ticks: 2,
+        tick_us: 200,
+        queue_capacity: 16,
+        shed_policy: ShedPolicy::DropOldest,
+        manual_clock: false,
+    };
+    let deadline_ms = DEADLINE_TICKS as f64 * config.tick_us as f64 / 1e3;
+    let window_ms = config.max_wait_ticks as f64 * config.tick_us as f64 / 1e3;
+    let budget_ms = deadline_ms + window_ms + (10.0 * engine_bench.mean_exec_ms).max(10.0);
+    let target_multiplier = 2.0;
+    let offered_per_s = target_multiplier * engine_bench.samples_per_s;
+    let duration_s = if smoke { 0.6 } else { 1.5 };
+    let n = ((offered_per_s * duration_s).ceil() as usize).clamp(64, 20_000);
+
+    let session = hydronas_telemetry::session();
+    let engine = Engine::start(plan, config);
+    let channels = engine.plan().arch().in_channels;
+    let mut handles = Vec::with_capacity(n);
+    let mut rejected = 0u64;
+    let t0 = Instant::now();
+    for k in 0..n {
+        // Absolute-schedule pacing: self-corrects for sleep overshoot,
+        // so the offered rate holds on average.
+        let due = Duration::from_secs_f64(k as f64 / offered_per_s);
+        let now = t0.elapsed();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let x = sample(channels, 40_000 + k as u64);
+        match engine.submit_with_deadline(x, DEADLINE_TICKS) {
+            Ok(h) => handles.push(h),
+            Err(InferError::QueueFull) => rejected += 1,
+            Err(e) => panic!("overload submit failed: {e:?}"),
+        }
+    }
+    let offer_elapsed = t0.elapsed().as_secs_f64();
+    let (mut completed, mut shed, mut expired) = (0u64, 0u64, 0u64);
+    for h in handles {
+        match h.wait() {
+            Ok(_) => completed += 1,
+            Err(InferError::Shed) => shed += 1,
+            Err(InferError::DeadlineExceeded) => expired += 1,
+            Err(e) => panic!("overload request resolved unexpectedly: {e:?}"),
+        }
+    }
+    let total_elapsed = t0.elapsed().as_secs_f64();
+    let drain = engine.close_and_drain(5_000);
+    let stats = engine.stats();
+    drop(engine);
+    let metrics = session.metrics();
+    let trace_json = session.chrome_trace();
+    drop(session);
+
+    let submitted = n as u64;
+    let accepted = submitted - rejected;
+    let counter = |name: &str| metrics.counters.get(name).copied().unwrap_or(0);
+    let quantile_count = |name: &str| metrics.quantiles.get(name).map_or(0, |q| q.count);
+    let empty = QuantileHistogram::default().snapshot();
+    let total_q = metrics
+        .quantiles
+        .get("infer.request.total_wall_ms")
+        .cloned()
+        .unwrap_or_else(|| empty.clone());
+    let wait_q = metrics
+        .quantiles
+        .get("infer.request.wait_wall_ms")
+        .cloned()
+        .unwrap_or(empty);
+
+    let mut failures = Vec::new();
+    let mut check = |ok: bool, msg: String| {
+        if !ok {
+            failures.push(format!("overload: {msg}"));
+        }
+    };
+    check(
+        stats.queue_peak <= config.queue_capacity as u64,
+        format!(
+            "queue peak {} exceeded capacity {}",
+            stats.queue_peak, config.queue_capacity
+        ),
+    );
+    check(
+        rejected + shed + expired > 0,
+        format!("{target_multiplier}x offered load produced no shedding at all"),
+    );
+    check(
+        completed + rejected + shed + expired == submitted,
+        format!(
+            "request bookkeeping leaks: {completed} + {rejected} + {shed} + {expired} != {submitted}"
+        ),
+    );
+    check(
+        stats.completed == completed
+            && stats.shed == shed
+            && stats.expired == expired
+            && stats.rejected == rejected,
+        format!("engine stats disagree with client-observed outcomes: {stats:?}"),
+    );
+    check(
+        counter("infer.shed") == shed && counter("infer.expired") == expired,
+        format!(
+            "telemetry counters disagree: shed {} vs {shed}, expired {} vs {expired}",
+            counter("infer.shed"),
+            counter("infer.expired")
+        ),
+    );
+    check(
+        total_q.count == completed,
+        format!(
+            "total-latency quantile covers {} requests, engine completed {completed}",
+            total_q.count
+        ),
+    );
+    check(
+        quantile_count("infer.request.shed_wall_ms") == shed,
+        format!(
+            "shed-latency quantile covers {} requests, engine shed {shed}",
+            quantile_count("infer.request.shed_wall_ms")
+        ),
+    );
+    check(
+        drain.failed == 0 && !drain.timed_out,
+        format!("drain left requests stuck: {drain:?}"),
+    );
+    let p99_within_budget = total_q.p99 <= budget_ms;
+    check(
+        p99_within_budget,
+        format!(
+            "completed-request p99 {:.2} ms exceeds the {budget_ms:.2} ms deadline budget",
+            total_q.p99
+        ),
+    );
+
+    let bench = OverloadBench {
+        queue_capacity: config.queue_capacity as u64,
+        shed_policy: "drop_oldest".to_string(),
+        deadline_ticks: DEADLINE_TICKS,
+        deadline_ms,
+        budget_ms,
+        target_multiplier,
+        offered_per_s,
+        achieved_offer_per_s: submitted as f64 / offer_elapsed,
+        submitted,
+        accepted,
+        completed,
+        rejected,
+        shed,
+        expired,
+        acceptance_rate: accepted as f64 / submitted as f64,
+        shed_rate: (rejected + shed + expired) as f64 / submitted as f64,
+        goodput_per_s: completed as f64 / total_elapsed,
+        queue_peak: stats.queue_peak,
+        total: Quantiles::from_snapshot(&total_q),
+        wait: Quantiles::from_snapshot(&wait_q),
+        p99_within_budget,
+        drain: OverloadDrain {
+            failed: drain.failed,
+            timed_out: drain.timed_out,
+        },
+    };
+    (bench, trace_json, failures)
 }
 
 /// Runs the surrogate sweep, then measures engine latency for *every*
@@ -581,6 +836,8 @@ fn main() -> ExitCode {
     let mut slo_p99_ms: Option<f64> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut overload = false;
+    let mut overload_trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -597,11 +854,16 @@ fn main() -> ExitCode {
             }
             "--trace" => trace_path = Some(args.next().expect("--trace requires a path")),
             "--metrics" => metrics_path = Some(args.next().expect("--metrics requires a path")),
+            "--overload" => overload = true,
+            "--overload-trace" => {
+                overload_trace_path = Some(args.next().expect("--overload-trace requires a path"));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: serve [--smoke] [--out PATH] [--gate BASELINE.json] \
-                     [--slo-p99-ms N] [--trace PATH] [--metrics PATH]"
+                     [--slo-p99-ms N] [--trace PATH] [--metrics PATH] \
+                     [--overload] [--overload-trace PATH]"
                 );
                 return ExitCode::from(2);
             }
@@ -684,6 +946,38 @@ fn main() -> ExitCode {
         "  queue peak {}, mean wait {:.3} ms, mean exec {:.3} ms",
         engine.queue_peak, engine.mean_wait_ms, engine.mean_exec_ms
     );
+    let mut overload_failures = Vec::new();
+    let mut overload_trace = None;
+    let overload_bench = if overload {
+        let offered = 2.0 * engine.samples_per_s;
+        eprintln!(
+            "driving the overload scenario ({offered:.0} offered requests/s, 2x capacity)..."
+        );
+        let (bench, trace, failures) = bench_overload(Arc::clone(&plan), &engine, smoke);
+        eprintln!(
+            "  {} submitted: {} completed, {} shed, {} expired, {} rejected (shed rate {:.0}%)",
+            bench.submitted,
+            bench.completed,
+            bench.shed,
+            bench.expired,
+            bench.rejected,
+            bench.shed_rate * 100.0
+        );
+        eprintln!(
+            "  queue peak {}/{}, goodput {:.1}/s, total p99 {:.2} ms (budget {:.2} ms), drain {:?}",
+            bench.queue_peak,
+            bench.queue_capacity,
+            bench.goodput_per_s,
+            bench.total.p99_ms,
+            bench.budget_ms,
+            bench.drain
+        );
+        overload_failures = failures;
+        overload_trace = Some(trace);
+        Some(bench)
+    } else {
+        None
+    };
     eprintln!("measuring single-stream latency distribution ({dist_n} samples)...");
     let latency = LatencyDistribution {
         single_stream: single_stream_distribution(&plan, dist_n),
@@ -709,7 +1003,7 @@ fn main() -> ExitCode {
     }
 
     let report = Report {
-        schema: "hydronas-bench-serve/v2".to_string(),
+        schema: "hydronas-bench-serve/v3".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         avx2_fma: avx2_fma(),
         baseline_eval,
@@ -720,10 +1014,11 @@ fn main() -> ExitCode {
         latency,
         layer_profile,
         pareto,
+        overload: overload_bench,
     };
 
     // The structural claims are hard failures, not just numbers in a file.
-    let mut failed = Vec::new();
+    let mut failed = overload_failures;
     if report.batched.speedup_vs_eval_baseline < 2.0 {
         failed.push(format!(
             "batched throughput is only {:.2}x the per-sample eval baseline (must be >= 2x)",
@@ -798,6 +1093,13 @@ fn main() -> ExitCode {
     if let Some(path) = &metrics_path {
         let json = serde_json::to_string_pretty(&observability.metrics).expect("metrics serialize");
         std::fs::write(path, json + "\n").expect("write metrics");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &overload_trace_path {
+        let trace = overload_trace
+            .as_ref()
+            .expect("--overload-trace requires --overload");
+        std::fs::write(path, trace).expect("write overload trace");
         eprintln!("wrote {path}");
     }
 

@@ -108,8 +108,8 @@ pub mod prelude {
         GraphError, ModelGraph, OnnxError, PoolConfig, Precision, BASELINE_RESNET18,
     };
     pub use hydronas_infer::{
-        Engine, EngineConfig, EngineStats, ExecutionPlan, InferError, LayerCost, LayerProfile,
-        Numerics, PlanConfig, Prediction, PredictionHandle,
+        DrainStats, Engine, EngineConfig, EngineStats, ExecutionPlan, InferError, LayerCost,
+        LayerProfile, Numerics, PlanConfig, Prediction, PredictionHandle, RetryConfig, ShedPolicy,
     };
     pub use hydronas_latency::{
         predict_all, predict_all_quantized, predict_energy, validate_table2, DeviceId,

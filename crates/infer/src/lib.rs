@@ -37,7 +37,10 @@
 mod engine;
 mod plan;
 
-pub use engine::{Engine, EngineConfig, EngineStats, InferError, Prediction, PredictionHandle};
+pub use engine::{
+    DrainStats, Engine, EngineConfig, EngineStats, InferError, Prediction, PredictionHandle,
+    RetryConfig, ShedPolicy,
+};
 pub use plan::{ExecutionPlan, LayerCost, LayerProfile, Numerics, PlanConfig};
 
 #[cfg(test)]
@@ -226,6 +229,7 @@ mod tests {
                 max_batch: 1, // forces batch=1 execution
                 max_wait_ticks: 0,
                 tick_us: 50,
+                ..EngineConfig::default()
             },
         );
         let mut rng = TensorRng::seed_from_u64(31);
@@ -253,6 +257,7 @@ mod tests {
                 max_batch: 4,
                 max_wait_ticks: 4,
                 tick_us: 500,
+                ..EngineConfig::default()
             },
         ));
         let mut rng = TensorRng::seed_from_u64(37);
@@ -301,6 +306,7 @@ mod tests {
                 max_batch: 4,
                 max_wait_ticks: 2,
                 tick_us: 100,
+                ..EngineConfig::default()
             },
         ));
         let clients = 6;
@@ -412,6 +418,7 @@ mod tests {
                 max_batch: 1,
                 max_wait_ticks: 0,
                 tick_us: 50,
+                ..EngineConfig::default()
             },
         );
         let mut rng = TensorRng::seed_from_u64(62);

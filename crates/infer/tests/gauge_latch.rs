@@ -1,0 +1,79 @@
+//! Satellite regression: the telemetry decision is latched once per
+//! request at submit time. A request admitted *before* a session opens
+//! must not touch that session's gauges when it completes *inside* the
+//! session — the old code re-checked `enabled()` on each side and leaked
+//! a permanent `-1` into `infer.inflight`.
+//!
+//! This test is alone in its binary on purpose: its premise is that no
+//! session is active during the pre-session submit, which no other
+//! in-process test may be allowed to violate.
+
+use hydronas_infer::{Engine, EngineConfig, ExecutionPlan, PlanConfig, ShedPolicy};
+use hydronas_nn::ResNet;
+use hydronas_tensor::{uniform, Tensor, TensorRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn input(seed: u64) -> Tensor {
+    let mut rng = TensorRng::seed_from_u64(seed);
+    uniform(&[5, 16, 16], -1.0, 1.0, &mut rng)
+}
+
+#[test]
+fn session_starting_mid_request_sees_no_gauge_leak() {
+    let mut arch = hydronas_graph::ArchConfig::baseline(5);
+    arch.initial_features = 4;
+    let mut rng = TensorRng::seed_from_u64(7);
+    let model = ResNet::new(&arch, &mut rng);
+    let plan = Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()));
+    let engine = Engine::start(
+        plan,
+        EngineConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait_ticks: 2,
+            tick_us: 200,
+            queue_capacity: 16,
+            shed_policy: ShedPolicy::RejectNew,
+            manual_clock: true,
+        },
+    );
+
+    // Submitted with no session active: telemetry latched off.
+    let before = engine.submit(input(1)).unwrap();
+
+    // The session opens while that request is still queued.
+    let session = hydronas_telemetry::session();
+    while engine.stats().completed < 1 {
+        engine.advance_ticks(1);
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    before.wait().unwrap();
+
+    let m = session.metrics();
+    assert!(
+        !m.gauges.contains_key("infer.inflight"),
+        "pre-session request leaked into the session's inflight gauge: {:?}",
+        m.gauges.get("infer.inflight")
+    );
+    assert!(
+        !m.gauges.contains_key("infer.queue.depth"),
+        "pre-session request leaked into the session's depth gauge: {:?}",
+        m.gauges.get("infer.queue.depth")
+    );
+
+    // A request submitted inside the session balances the gauge cleanly.
+    let inside = engine.submit(input(2)).unwrap();
+    while engine.stats().completed < 2 {
+        engine.advance_ticks(1);
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    inside.wait().unwrap();
+    let m = session.metrics();
+    let inflight = m.gauges.get("infer.inflight").expect("in-session gauge");
+    assert_eq!(inflight.value, 0, "inflight must return to zero");
+    assert_eq!(inflight.high_watermark, 1);
+    let depth = m.gauges.get("infer.queue.depth").expect("in-session gauge");
+    assert_eq!(depth.value, 0);
+    assert_eq!(depth.high_watermark, 1);
+}

@@ -43,6 +43,7 @@ fn serve_with_workers(workers: usize) -> (String, String, String, Vec<(String, u
                 max_batch: 1,
                 max_wait_ticks: 0,
                 tick_us: 50,
+                ..EngineConfig::default()
             },
         );
         for x in fixed_inputs() {

@@ -25,62 +25,65 @@ mod types {
     pub type A07 = prelude::Dataset;
     pub type A08 = prelude::DegradationReport;
     pub type A09 = prelude::DeviceId;
-    pub type A10 = prelude::EnergyPrediction;
-    pub type A11 = prelude::Engine;
-    pub type A12 = prelude::EngineConfig;
-    pub type A13 = prelude::EngineStats;
-    pub type A14 = prelude::EvolutionConfig;
-    pub type A15 = prelude::ExecutionPlan;
-    pub type A16 = prelude::ExperimentDb;
-    pub type A17 = prelude::FailureCause;
-    pub type A18 = prelude::Gauge;
-    pub type A19 = prelude::GraphError;
-    pub type A20 = prelude::HydroNasError;
-    pub type A21 = prelude::InferError;
-    pub type A22 = prelude::InputCombo;
-    pub type A23 = prelude::LatencyPrediction;
-    pub type A24 = prelude::LayerCost;
-    pub type A25 = prelude::LayerProfile;
-    pub type A26 = prelude::LrSchedule;
-    pub type A27 = prelude::MetricsError;
-    pub type A28 = prelude::MetricsSnapshot;
-    pub type A29 = prelude::ModelGraph;
-    pub type A30 = prelude::ModelImportError;
-    pub type A31 = prelude::Nsga2Config;
-    pub type A32 = prelude::Numerics;
-    pub type A33 = prelude::Objective;
-    pub type A34 = prelude::OnnxError;
-    pub type A35 = prelude::PlanConfig;
-    pub type A36 = prelude::Point;
-    pub type A37 = prelude::PoolConfig;
-    pub type A38 = prelude::Precision;
-    pub type A39 = prelude::Prediction;
-    pub type A40 = prelude::PredictionHandle;
-    pub type A41 = prelude::QuantileHistogram;
-    pub type A42 = prelude::RealTrainer;
-    pub type A43 = prelude::ReproArtifacts;
-    pub type A44 = prelude::ReproConfig;
-    pub type A45 = prelude::ResNet;
-    pub type A46 = prelude::RetryPolicy;
-    pub type A47 = prelude::RunControl;
-    pub type A48 = prelude::SchedulerConfig;
-    pub type A49 = prelude::SearchSpace;
-    pub type A50 = prelude::Session;
-    pub type A51 = prelude::StderrTicker;
-    pub type A52 = prelude::SurrogateEvaluator;
-    pub type A53 = prelude::Sweep;
-    pub type A54 = prelude::SweepBuilder;
-    pub type A55 = prelude::SweepError;
-    pub type A56 = prelude::SweepEvent<'static>;
-    pub type A57 = prelude::SweepReport;
-    pub type A58 = prelude::SweepStats;
-    pub type A59 = prelude::Tensor;
-    pub type A60 = prelude::TensorRng;
-    pub type A61 = prelude::TileSet;
-    pub type A62 = prelude::TrainConfig;
-    pub type A63 = prelude::TrialFailure;
-    pub type A64 = prelude::TrialOutcome;
-    pub type A65 = prelude::TrialSpec;
+    pub type A10 = prelude::DrainStats;
+    pub type A11 = prelude::EnergyPrediction;
+    pub type A12 = prelude::Engine;
+    pub type A13 = prelude::EngineConfig;
+    pub type A14 = prelude::EngineStats;
+    pub type A15 = prelude::EvolutionConfig;
+    pub type A16 = prelude::ExecutionPlan;
+    pub type A17 = prelude::ExperimentDb;
+    pub type A18 = prelude::FailureCause;
+    pub type A19 = prelude::Gauge;
+    pub type A20 = prelude::GraphError;
+    pub type A21 = prelude::HydroNasError;
+    pub type A22 = prelude::InferError;
+    pub type A23 = prelude::InputCombo;
+    pub type A24 = prelude::LatencyPrediction;
+    pub type A25 = prelude::LayerCost;
+    pub type A26 = prelude::LayerProfile;
+    pub type A27 = prelude::LrSchedule;
+    pub type A28 = prelude::MetricsError;
+    pub type A29 = prelude::MetricsSnapshot;
+    pub type A30 = prelude::ModelGraph;
+    pub type A31 = prelude::ModelImportError;
+    pub type A32 = prelude::Nsga2Config;
+    pub type A33 = prelude::Numerics;
+    pub type A34 = prelude::Objective;
+    pub type A35 = prelude::OnnxError;
+    pub type A36 = prelude::PlanConfig;
+    pub type A37 = prelude::Point;
+    pub type A38 = prelude::PoolConfig;
+    pub type A39 = prelude::Precision;
+    pub type A40 = prelude::Prediction;
+    pub type A41 = prelude::PredictionHandle;
+    pub type A42 = prelude::QuantileHistogram;
+    pub type A43 = prelude::RealTrainer;
+    pub type A44 = prelude::ReproArtifacts;
+    pub type A45 = prelude::ReproConfig;
+    pub type A46 = prelude::ResNet;
+    pub type A47 = prelude::RetryConfig;
+    pub type A48 = prelude::RetryPolicy;
+    pub type A49 = prelude::RunControl;
+    pub type A50 = prelude::SchedulerConfig;
+    pub type A51 = prelude::SearchSpace;
+    pub type A52 = prelude::Session;
+    pub type A53 = prelude::ShedPolicy;
+    pub type A54 = prelude::StderrTicker;
+    pub type A55 = prelude::SurrogateEvaluator;
+    pub type A56 = prelude::Sweep;
+    pub type A57 = prelude::SweepBuilder;
+    pub type A58 = prelude::SweepError;
+    pub type A59 = prelude::SweepEvent<'static>;
+    pub type A60 = prelude::SweepReport;
+    pub type A61 = prelude::SweepStats;
+    pub type A62 = prelude::Tensor;
+    pub type A63 = prelude::TensorRng;
+    pub type A64 = prelude::TileSet;
+    pub type A65 = prelude::TrainConfig;
+    pub type A66 = prelude::TrialFailure;
+    pub type A67 = prelude::TrialOutcome;
+    pub type A68 = prelude::TrialSpec;
 
     pub trait UsesTraits: prelude::Evaluator + prelude::ProgressSink {}
 }
@@ -129,6 +132,7 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
         "Dataset",
         "DegradationReport",
         "DeviceId",
+        "DrainStats",
         "EnergyPrediction",
         "Engine",
         "EngineConfig",
@@ -165,11 +169,13 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
         "ReproArtifacts",
         "ReproConfig",
         "ResNet",
+        "RetryConfig",
         "RetryPolicy",
         "RunControl",
         "SchedulerConfig",
         "SearchSpace",
         "Session",
+        "ShedPolicy",
         "StderrTicker",
         "SurrogateEvaluator",
         "Sweep",
@@ -196,7 +202,7 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
     }
     // One aliased type per snapshot row (plus the two traits pinned in
     // `types::UsesTraits`).
-    assert_eq!(EXPECTED.len(), 65);
+    assert_eq!(EXPECTED.len(), 68);
 }
 
 /// The error taxonomy stays typed: the facade error wraps each
