@@ -39,7 +39,8 @@
 //! every Pareto-front model of the sweep.
 
 use hydronas_infer::{
-    Engine, EngineConfig, ExecutionPlan, InferError, LayerProfile, PlanConfig, ShedPolicy,
+    Engine, EngineConfig, ExecutionPlan, InferError, InferRequest, LayerProfile, PlanConfig,
+    ShedPolicy,
 };
 use hydronas_nas::space::{full_grid, SearchSpace};
 use hydronas_nas::{run_experiment, SchedulerConfig, SurrogateEvaluator};
@@ -206,6 +207,8 @@ struct Report {
     schema: String,
     mode: String,
     avx2_fma: bool,
+    /// Compute-pool thread count the run was measured at (`HYDRONAS_THREADS`).
+    compute_threads: u64,
     baseline_eval: BaselineEval,
     single_stream: SingleStream,
     batched: Batched,
@@ -216,7 +219,7 @@ struct Report {
     layer_profile: LayerProfile,
     pareto: ParetoValidation,
     /// Present when the run included `--overload` (null otherwise — the
-    /// field itself is always serialized so v3 reports round-trip).
+    /// field itself is always serialized so reports round-trip).
     overload: Option<OverloadBench>,
 }
 
@@ -583,7 +586,7 @@ fn bench_overload(
             std::thread::sleep(due - now);
         }
         let x = sample(channels, 40_000 + k as u64);
-        match engine.submit_with_deadline(x, DEADLINE_TICKS) {
+        match engine.submit(InferRequest::new(x).deadline_ticks(DEADLINE_TICKS)) {
             Ok(h) => handles.push(h),
             Err(InferError::QueueFull) => rejected += 1,
             Err(e) => panic!("overload submit failed: {e:?}"),
@@ -1003,9 +1006,10 @@ fn main() -> ExitCode {
     }
 
     let report = Report {
-        schema: "hydronas-bench-serve/v3".to_string(),
+        schema: "hydronas-bench-serve/v4".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         avx2_fma: avx2_fma(),
+        compute_threads: hydronas_tensor::compute_threads() as u64,
         baseline_eval,
         single_stream,
         batched,

@@ -12,7 +12,7 @@
 //!
 //! | crate | replaces |
 //! |---|---|
-//! | [`tensor`](hydronas_tensor) | PyTorch tensor runtime (CPU, rayon) |
+//! | [`tensor`](hydronas_tensor) | PyTorch tensor runtime (CPU, deterministic thread pool) |
 //! | [`nn`](hydronas_nn) | torch.nn / torch.optim (manual backprop) |
 //! | [`geodata`](hydronas_geodata) | HRDEM + NAIP datasets (procedural) |
 //! | [`graph`](hydronas_graph) | ONNX export + model analysis |
@@ -108,8 +108,9 @@ pub mod prelude {
         GraphError, ModelGraph, OnnxError, PoolConfig, Precision, BASELINE_RESNET18,
     };
     pub use hydronas_infer::{
-        DrainStats, Engine, EngineConfig, EngineStats, ExecutionPlan, InferError, LayerCost,
-        LayerProfile, Numerics, PlanConfig, Prediction, PredictionHandle, RetryConfig, ShedPolicy,
+        DrainStats, Engine, EngineConfig, EngineConfigBuilder, EngineStats, ExecutionPlan,
+        InferError, InferRequest, LayerCost, LayerProfile, Numerics, PlanConfig, Prediction,
+        PredictionHandle, RetryConfig, ShedPolicy,
     };
     pub use hydronas_latency::{
         predict_all, predict_all_quantized, predict_energy, validate_table2, DeviceId,
@@ -129,7 +130,7 @@ pub mod prelude {
     };
     pub use hydronas_pareto::{pareto_front, Objective, Point};
     pub use hydronas_telemetry::{session, Gauge, MetricsSnapshot, QuantileHistogram, Session};
-    pub use hydronas_tensor::{Tensor, TensorRng};
+    pub use hydronas_tensor::{compute_threads, set_compute_threads, Tensor, TensorRng};
 }
 
 /// Re-export of `hydronas_geodata::dataset::build_paper_dataset` is pulled

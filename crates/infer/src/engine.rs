@@ -25,7 +25,7 @@
 //!
 //! ## Deadlines
 //!
-//! [`Engine::submit_with_deadline`] stamps a request with a budget in
+//! [`InferRequest::deadline_ticks`] stamps a request with a budget in
 //! ticks of the same clock the collection window counts. Expiry is
 //! checked once, at drain time: an expired request is failed with
 //! [`InferError::DeadlineExceeded`] *before* batch assembly, so it never
@@ -57,7 +57,7 @@ pub enum ShedPolicy {
     /// Refuse the new request: `submit` returns [`InferError::QueueFull`]
     /// and the queue is untouched. Favors requests already queued (their
     /// deadlines are closer) and gives the client an immediate,
-    /// retryable signal — pair with [`Engine::infer_with_retry`].
+    /// retryable signal — pair with [`InferRequest::retry`].
     #[default]
     RejectNew,
     /// Admit the new request and shed the *oldest* queued one, whose
@@ -67,6 +67,15 @@ pub enum ShedPolicy {
 }
 
 /// Batching and threading knobs for [`Engine::start`].
+///
+/// Construct via [`EngineConfig::builder`] to get validation with typed
+/// errors ([`InferError::InvalidConfig`]); the struct-literal path stays
+/// available but degenerate values (`workers == 0`, `max_batch == 0`,
+/// `queue_capacity == 0`, `tick_us == 0`) panic at [`Engine::start`].
+///
+/// Defaults: 2 workers, batches of up to 8, a 2-tick collection window,
+/// 200 µs ticks, a queue bounded at 1024 requests,
+/// [`ShedPolicy::RejectNew`], wall clock.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Worker threads executing batches.
@@ -103,6 +112,107 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Starts a validating builder over the default configuration.
+    ///
+    /// [`EngineConfigBuilder::build`] rejects values that would make the
+    /// engine hang or panic at spawn — zero workers, a zero-size batch or
+    /// queue, a zero-length tick — with [`InferError::InvalidConfig`]
+    /// naming the offending knob, instead of asserting inside
+    /// [`Engine::start`].
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`EngineConfig`]; see [`EngineConfig::builder`].
+///
+/// Every setter takes and returns the builder by value, so a config reads
+/// as one chain:
+///
+/// ```
+/// use hydronas_infer::{EngineConfig, ShedPolicy};
+///
+/// let config = EngineConfig::builder()
+///     .workers(4)
+///     .max_batch(16)
+///     .shed_policy(ShedPolicy::DropOldest)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.workers, 4);
+/// assert!(EngineConfig::builder().workers(0).build().is_err());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Worker threads executing batches (default 2; zero is rejected).
+    pub fn workers(mut self, workers: usize) -> EngineConfigBuilder {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Largest batch one worker will stack (default 8; zero is rejected).
+    pub fn max_batch(mut self, max_batch: usize) -> EngineConfigBuilder {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Collection-window length in ticks (default 2; zero means workers
+    /// drain whatever is queued without waiting — valid).
+    pub fn max_wait_ticks(mut self, ticks: u64) -> EngineConfigBuilder {
+        self.config.max_wait_ticks = ticks;
+        self
+    }
+
+    /// Microseconds per tick (default 200; zero is rejected — the wall
+    /// clock divides by it).
+    pub fn tick_us(mut self, tick_us: u64) -> EngineConfigBuilder {
+        self.config.tick_us = tick_us;
+        self
+    }
+
+    /// Bounded queue capacity (default 1024; zero is rejected — nothing
+    /// could ever be admitted).
+    pub fn queue_capacity(mut self, capacity: usize) -> EngineConfigBuilder {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// How a full queue sheds load (default [`ShedPolicy::RejectNew`]).
+    pub fn shed_policy(mut self, policy: ShedPolicy) -> EngineConfigBuilder {
+        self.config.shed_policy = policy;
+        self
+    }
+
+    /// Manual tick clock for deterministic tests (default off).
+    pub fn manual_clock(mut self, manual: bool) -> EngineConfigBuilder {
+        self.config.manual_clock = manual;
+        self
+    }
+
+    /// Validates and returns the configuration, or
+    /// [`InferError::InvalidConfig`] naming the first degenerate knob.
+    pub fn build(self) -> Result<EngineConfig, InferError> {
+        let c = &self.config;
+        for (field, degenerate) in [
+            ("workers", c.workers == 0),
+            ("max_batch", c.max_batch == 0),
+            ("queue_capacity", c.queue_capacity == 0),
+            ("tick_us", c.tick_us == 0),
+        ] {
+            if degenerate {
+                return Err(InferError::InvalidConfig { field });
+            }
+        }
+        Ok(self.config)
+    }
+}
+
 /// Why a request could not be served.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InferError {
@@ -121,6 +231,9 @@ pub enum InferError {
         expected_channels: usize,
         dims: Vec<usize>,
     },
+    /// A degenerate [`EngineConfig`] knob was rejected by
+    /// [`EngineConfigBuilder::build`]; `field` names the offender.
+    InvalidConfig { field: &'static str },
 }
 
 impl std::fmt::Display for InferError {
@@ -139,14 +252,18 @@ impl std::fmt::Display for InferError {
                 f,
                 "bad input shape {dims:?}: expected [C={expected_channels}, H, W]"
             ),
+            InferError::InvalidConfig { field } => {
+                write!(f, "invalid engine config: {field} must be positive")
+            }
         }
     }
 }
 
 impl std::error::Error for InferError {}
 
-/// Client-side retry policy for [`Engine::infer_with_retry`]: bounded
-/// attempts with exponential backoff over [`InferError::QueueFull`].
+/// Client-side retry policy attached to a request via
+/// [`InferRequest::retry`]: bounded attempts with exponential backoff
+/// over [`InferError::QueueFull`].
 ///
 /// The same shape as the sweep engine's `RetryPolicy`, with backoff
 /// measured in engine ticks instead of simulated seconds.
@@ -193,6 +310,68 @@ impl Default for RetryConfig {
     /// Three attempts with a one-tick doubling backoff.
     fn default() -> RetryConfig {
         RetryConfig::new(3).with_backoff(1, 2.0)
+    }
+}
+
+/// One typed inference request: the input tensor plus every per-request
+/// policy, submitted via [`Engine::submit`].
+///
+/// This is the single entry point that replaced the accreted
+/// `submit` / `submit_with_deadline` / `infer_with_retry` trio: a bare
+/// [`Tensor`] converts into a plain request (`engine.submit(tensor)` and
+/// `engine.infer(tensor)` keep working unchanged), and deadlines or
+/// retries chain on as builder calls:
+///
+/// ```no_run
+/// # use hydronas_infer::{Engine, EngineConfig, InferRequest, RetryConfig};
+/// # use hydronas_tensor::Tensor;
+/// # fn demo(engine: &Engine, x: Tensor) {
+/// let handle = engine
+///     .submit(InferRequest::new(x).deadline_ticks(50).retry(RetryConfig::new(3)))
+///     .unwrap();
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct InferRequest {
+    input: Tensor,
+    deadline_ticks: Option<u64>,
+    retry: Option<RetryConfig>,
+}
+
+impl InferRequest {
+    /// A request for one `[C, H, W]` sample with no deadline and no
+    /// retries.
+    pub fn new(input: Tensor) -> InferRequest {
+        InferRequest {
+            input,
+            deadline_ticks: None,
+            retry: None,
+        }
+    }
+
+    /// Expires the request after `ticks` engine ticks: if no worker
+    /// drains it within the budget it resolves to
+    /// [`InferError::DeadlineExceeded`] instead of occupying a batch
+    /// slot. A budget of `0` expires as soon as the clock moves at all.
+    pub fn deadline_ticks(mut self, ticks: u64) -> InferRequest {
+        self.deadline_ticks = Some(ticks);
+        self
+    }
+
+    /// Retries [`InferError::QueueFull`] rejections inside
+    /// [`Engine::submit`] with the given bounded-backoff policy (each
+    /// backoff tick sleeps `tick_us` wall microseconds). Admission
+    /// rejection is synchronous, so the retry loop lives in `submit`
+    /// itself: the handle you get back is for an admitted request.
+    pub fn retry(mut self, retry: RetryConfig) -> InferRequest {
+        self.retry = Some(retry);
+        self
+    }
+}
+
+impl From<Tensor> for InferRequest {
+    fn from(input: Tensor) -> InferRequest {
+        InferRequest::new(input)
     }
 }
 
@@ -435,15 +614,50 @@ impl Engine {
         &self.config
     }
 
-    /// Enqueues one `[C, H, W]` sample; returns a handle to wait on.
-    pub fn submit(&self, input: Tensor) -> Result<PredictionHandle, InferError> {
-        self.submit_inner(input, None)
+    /// Enqueues one typed request; returns a handle to wait on.
+    ///
+    /// Accepts anything convertible into an [`InferRequest`] — a bare
+    /// `[C, H, W]` [`Tensor`] submits with no deadline or retry, and
+    /// [`InferRequest::new`] chains `.deadline_ticks(n)` / `.retry(cfg)`
+    /// for the per-request policies. With a retry policy,
+    /// [`InferError::QueueFull`] rejections are retried here (bounded
+    /// attempts, exponential backoff in wall-clock ticks) before the
+    /// final error is surfaced; a returned handle is always for an
+    /// admitted request.
+    pub fn submit(&self, request: impl Into<InferRequest>) -> Result<PredictionHandle, InferError> {
+        let InferRequest {
+            input,
+            deadline_ticks,
+            retry,
+        } = request.into();
+        let Some(retry) = retry else {
+            return self.submit_inner(input, deadline_ticks);
+        };
+        let mut attempt = 1;
+        loop {
+            match self.submit_inner(input.clone(), deadline_ticks) {
+                Err(InferError::QueueFull) if attempt < retry.max_attempts => {
+                    attempt += 1;
+                    if hydronas_telemetry::enabled() {
+                        hydronas_telemetry::add("infer.retry", 1);
+                    }
+                    let backoff = retry.backoff_ticks(attempt);
+                    if backoff > 0 {
+                        std::thread::sleep(Duration::from_micros(
+                            backoff.saturating_mul(self.config.tick_us),
+                        ));
+                    }
+                }
+                other => return other,
+            }
+        }
     }
 
-    /// Enqueues one sample with a deadline of `ticks` engine ticks. If no
-    /// worker drains the request within the budget it resolves to
-    /// [`InferError::DeadlineExceeded`] instead of occupying a batch
-    /// slot. A budget of `0` expires as soon as the clock moves at all.
+    /// Enqueues one sample with a deadline of `ticks` engine ticks.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use Engine::submit(InferRequest::new(input).deadline_ticks(ticks))"
+    )]
     pub fn submit_with_deadline(
         &self,
         input: Tensor,
@@ -534,38 +748,22 @@ impl Engine {
     }
 
     /// Submits and blocks for the result — the single-stream client path.
-    pub fn infer(&self, input: Tensor) -> Result<Prediction, InferError> {
-        self.submit(input)?.wait()
+    /// Accepts the same typed requests as [`Engine::submit`].
+    pub fn infer(&self, request: impl Into<InferRequest>) -> Result<Prediction, InferError> {
+        self.submit(request)?.wait()
     }
 
-    /// Submits and blocks, retrying [`InferError::QueueFull`] rejections
-    /// with bounded exponential backoff (each backoff tick sleeps
-    /// `tick_us` wall microseconds). Any other error — and the last
-    /// `QueueFull` once attempts are exhausted — is returned as-is.
+    /// Submits and blocks, retrying [`InferError::QueueFull`] rejections.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use Engine::infer(InferRequest::new(input).retry(retry))"
+    )]
     pub fn infer_with_retry(
         &self,
         input: Tensor,
         retry: &RetryConfig,
     ) -> Result<Prediction, InferError> {
-        let mut attempt = 1;
-        loop {
-            match self.submit(input.clone()) {
-                Ok(handle) => return handle.wait(),
-                Err(InferError::QueueFull) if attempt < retry.max_attempts => {
-                    attempt += 1;
-                    if hydronas_telemetry::enabled() {
-                        hydronas_telemetry::add("infer.retry", 1);
-                    }
-                    let backoff = retry.backoff_ticks(attempt);
-                    if backoff > 0 {
-                        std::thread::sleep(Duration::from_micros(
-                            backoff.saturating_mul(self.config.tick_us),
-                        ));
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
+        self.infer(InferRequest::new(input).retry(*retry))
     }
 
     /// Statistics snapshot (monotonic counters, relaxed reads).

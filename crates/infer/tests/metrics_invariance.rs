@@ -57,18 +57,27 @@ fn serve_with_workers(workers: usize) -> (String, String, String, Vec<(String, u
         .map(|(k, v)| (k.clone(), v.count))
         .collect();
     // Scratch-arena counters are per-thread cache statistics (each
-    // worker warms its own arena), so they scale with worker count by
-    // design and sit outside the invariance contract.
+    // worker warms its own arena) and compute-pool counters are
+    // scheduling statistics (steal/starvation counts are racy by
+    // design), so both sit outside the invariance contract. Numeric
+    // *outputs* stay byte-identical at any thread count — only the
+    // cache/scheduling bookkeeping varies.
     let counters: std::collections::BTreeMap<String, u64> = m
         .counters
         .iter()
-        .filter(|(k, _)| !k.contains(".arena."))
+        .filter(|(k, _)| !k.contains(".arena.") && !k.contains(".pool."))
         .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    let histograms: std::collections::BTreeMap<String, _> = m
+        .histograms
+        .iter()
+        .filter(|(k, _)| !k.contains(".pool."))
+        .map(|(k, v)| (k.clone(), v.clone()))
         .collect();
     (
         serde_json::to_string(&counters).unwrap(),
         serde_json::to_string(&m.gauges).unwrap(),
-        serde_json::to_string(&m.histograms).unwrap(),
+        serde_json::to_string(&histograms).unwrap(),
         quantile_counts,
     )
 }

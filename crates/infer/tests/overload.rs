@@ -16,7 +16,8 @@
 //! lapsed, not on how many extra ticks follow — changes no outcome.
 
 use hydronas_infer::{
-    Engine, EngineConfig, ExecutionPlan, InferError, PlanConfig, RetryConfig, ShedPolicy,
+    Engine, EngineConfig, ExecutionPlan, InferError, InferRequest, PlanConfig, RetryConfig,
+    ShedPolicy,
 };
 use hydronas_nn::ResNet;
 use hydronas_telemetry::QuantileHistogram;
@@ -85,7 +86,7 @@ fn overload_run(workers: usize, shed_policy: ShedPolicy) -> RunFingerprint {
     let mut handles = Vec::new();
     let mut outcomes = vec![""; 12];
     for k in 0..12u64 {
-        match engine.submit_with_deadline(input(100 + k), 0) {
+        match engine.submit(InferRequest::new(input(100 + k)).deadline_ticks(0)) {
             Ok(h) => handles.push((k as usize, h)),
             Err(InferError::QueueFull) => outcomes[k as usize] = "queue_full",
             Err(e) => panic!("unexpected submit error {e:?}"),
@@ -105,20 +106,28 @@ fn overload_run(workers: usize, shed_policy: ShedPolicy) -> RunFingerprint {
     let stats = engine.stats();
     drop(engine);
     let m = session.metrics();
-    // Scratch-arena counters are per-thread cache statistics and sit
-    // outside the invariance contract (as in the serving-metrics
-    // invariance test); everything else must be byte-identical.
+    // Scratch-arena counters are per-thread cache statistics and
+    // compute-pool counters/histograms are scheduling statistics
+    // (steal/starvation counts are racy by design); both sit outside
+    // the invariance contract (as in the serving-metrics invariance
+    // test). Everything else must be byte-identical.
     let counters: std::collections::BTreeMap<String, u64> = m
         .counters
         .iter()
-        .filter(|(k, _)| !k.contains(".arena."))
+        .filter(|(k, _)| !k.contains(".arena.") && !k.contains(".pool."))
         .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    let histograms: std::collections::BTreeMap<String, _> = m
+        .histograms
+        .iter()
+        .filter(|(k, _)| !k.contains(".pool."))
+        .map(|(k, v)| (k.clone(), v.clone()))
         .collect();
     RunFingerprint {
         stats: format!("{stats:?}"),
         counters: serde_json::to_string(&counters).unwrap(),
         gauges: serde_json::to_string(&m.gauges).unwrap(),
-        histograms: serde_json::to_string(&m.histograms).unwrap(),
+        histograms: serde_json::to_string(&histograms).unwrap(),
         quantile_counts: m
             .quantiles
             .iter()
@@ -242,8 +251,12 @@ fn expired_requests_do_not_occupy_batch_slots() {
     let _session = hydronas_telemetry::session();
     let plan = tiny_plan();
     let engine = Engine::start(plan, parked_config(1, 8, ShedPolicy::RejectNew));
-    let alive = engine.submit_with_deadline(input(1), 1_000_000).unwrap();
-    let doomed = engine.submit_with_deadline(input(2), 0).unwrap();
+    let alive = engine
+        .submit(InferRequest::new(input(1)).deadline_ticks(1_000_000))
+        .unwrap();
+    let doomed = engine
+        .submit(InferRequest::new(input(2)).deadline_ticks(0))
+        .unwrap();
     advance_until(&engine, "one served, one expired", || {
         let s = engine.stats();
         s.completed == 1 && s.expired == 1
@@ -347,7 +360,7 @@ fn queue_wait_is_measured_once_and_all_sinks_agree() {
     assert_eq!(recorded, &expected.snapshot());
 }
 
-/// `infer_with_retry` gives up after `max_attempts` queue-full
+/// A retrying request gives up after `max_attempts` queue-full
 /// rejections, and every refused attempt is visible in the stats.
 #[test]
 fn retry_exhausts_against_a_parked_full_queue() {
@@ -356,13 +369,13 @@ fn retry_exhausts_against_a_parked_full_queue() {
     let engine = Engine::start(plan, parked_config(1, 1, ShedPolicy::RejectNew));
     let _filler = engine.submit(input(1)).unwrap();
     let err = engine
-        .infer_with_retry(input(2), &RetryConfig::new(3))
+        .infer(InferRequest::new(input(2)).retry(RetryConfig::new(3)))
         .unwrap_err();
     assert_eq!(err, InferError::QueueFull);
     assert_eq!(engine.stats().rejected, 3, "one rejection per attempt");
 }
 
-/// `infer_with_retry` rides out transient overload: once the parked
+/// A retrying request rides out transient overload: once the parked
 /// queue drains, a later attempt is admitted and served.
 #[test]
 fn retry_succeeds_once_the_queue_drains() {
@@ -375,7 +388,8 @@ fn retry_succeeds_once_the_queue_drains() {
     let filler = engine.submit(input(1)).unwrap();
     let retry_engine = Arc::clone(&engine);
     let retrier = std::thread::spawn(move || {
-        retry_engine.infer_with_retry(input(2), &RetryConfig::new(4000).with_backoff(1, 1.0))
+        retry_engine
+            .infer(InferRequest::new(input(2)).retry(RetryConfig::new(4000).with_backoff(1, 1.0)))
     });
     // Guarantee the retrier observed at least one rejection before the
     // queue is allowed to drain.

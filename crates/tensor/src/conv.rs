@@ -1,17 +1,21 @@
 //! 2-d convolution via im2col + GEMM, with full backward passes.
 //!
 //! Layout conventions follow PyTorch: activations are NCHW, weights are
-//! `[out_c, in_c, kh, kw]`. Batch samples are independent, so forward and
-//! backward parallelize across the batch with rayon.
+//! `[out_c, in_c, kh, kw]`. Batch samples are independent, so forward,
+//! backward, and im2col packing fan out across the batch on the
+//! deterministic compute pool ([`crate::parallel`]): each sample's task
+//! owns that sample's output slice (or column block) and its GEMM runs
+//! inline inside the task, so results are bit-identical at any thread
+//! count.
 
 use crate::arena::scratch;
 use crate::gemm::{
     gemm, gemm_bias_relu_rows, gemm_bias_relu_rows_prepacked, gemm_bias_rows,
     gemm_bias_rows_prepacked, gemm_nt, PackedA, PackedBLayout,
 };
+use crate::parallel::{self, SharedSlice};
 use crate::shape::conv_out_dim;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
 /// Resolved convolution geometry for one (input, kernel) pairing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,6 +94,27 @@ pub fn im2col(img: &[f32], d: &Conv2dDims, col: &mut [f32]) {
 /// straight into its block of the shared `[cr, N*cc]` matrix with no
 /// staging copy.
 fn im2col_into(img: &[f32], d: &Conv2dDims, out: &mut [f32], row_stride: usize, col0: usize) {
+    let shard = SharedSlice::new(out);
+    // SAFETY: exclusive borrow of `out` — no concurrent shards exist.
+    unsafe { im2col_into_shared(img, d, &shard, row_stride, col0) }
+}
+
+/// [`im2col_into`] through a [`SharedSlice`], so the whole-batch conv can
+/// unfold samples from concurrent pool tasks: sample `s`'s writes land at
+/// columns `[col0, col0 + col_cols)` of every row — disjoint element sets
+/// that interleave through the shared wide matrix and therefore cannot be
+/// expressed as contiguous `&mut` chunks.
+///
+/// # Safety
+/// Concurrent callers must target disjoint `(row_stride, col0)` column
+/// ranges of the same logical matrix.
+unsafe fn im2col_into_shared(
+    img: &[f32],
+    d: &Conv2dDims,
+    out: &SharedSlice<'_, f32>,
+    row_stride: usize,
+    col0: usize,
+) {
     assert_eq!(img.len(), d.in_c * d.in_h * d.in_w);
     let cols = d.col_cols();
     assert!(col0 + cols <= row_stride);
@@ -99,7 +124,7 @@ fn im2col_into(img: &[f32], d: &Conv2dDims, out: &mut [f32], row_stride: usize, 
         for ky in 0..d.kernel {
             for kx in 0..d.kernel {
                 let row = (c * d.kernel + ky) * d.kernel + kx;
-                let dst = &mut out[row * row_stride + col0..row * row_stride + col0 + cols];
+                let dst = out.slice_mut(row * row_stride + col0, cols);
                 for oy in 0..d.out_h {
                     let iy = (oy * d.stride + ky) as isize - d.padding as isize;
                     let base = oy * d.out_w;
@@ -176,18 +201,15 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, padding: usize) ->
     let w = weight.as_slice();
     let inp = input.as_slice();
 
-    out.as_mut_slice()
-        .par_chunks_mut(out_sz)
-        .enumerate()
-        .for_each(|(n, out_n)| {
-            // im2col fully overwrites the column matrix, so the scratch
-            // checkout never clears — zero allocations per sample once
-            // the per-thread arena is warm.
-            let mut col = scratch(d.col_rows() * d.col_cols());
-            im2col(&inp[n * in_sz..(n + 1) * in_sz], &d, &mut col);
-            // [out_c, col_rows] x [col_rows, col_cols] -> [out_c, col_cols]
-            gemm(w, &col, out_n, d.out_c, d.col_rows(), d.col_cols());
-        });
+    parallel::par_chunks_mut(out.as_mut_slice(), out_sz, |n, out_n| {
+        // im2col fully overwrites the column matrix, so the scratch
+        // checkout never clears — zero allocations per sample once
+        // the per-thread arena is warm (pool workers included).
+        let mut col = scratch(d.col_rows() * d.col_cols());
+        im2col(&inp[n * in_sz..(n + 1) * in_sz], &d, &mut col);
+        // [out_c, col_rows] x [col_rows, col_cols] -> [out_c, col_cols]
+        gemm(w, &col, out_n, d.out_c, d.col_rows(), d.col_cols());
+    });
     out
 }
 
@@ -226,18 +248,15 @@ pub fn conv2d_bias_act(
     let w = weight.as_slice();
     let inp = input.as_slice();
 
-    out.as_mut_slice()
-        .par_chunks_mut(out_sz)
-        .enumerate()
-        .for_each(|(n, out_n)| {
-            let mut col = scratch(d.col_rows() * d.col_cols());
-            im2col(&inp[n * in_sz..(n + 1) * in_sz], &d, &mut col);
-            if relu {
-                gemm_bias_relu_rows(w, &col, bias, out_n, d.out_c, d.col_rows(), d.col_cols());
-            } else {
-                gemm_bias_rows(w, &col, bias, out_n, d.out_c, d.col_rows(), d.col_cols());
-            }
-        });
+    parallel::par_chunks_mut(out.as_mut_slice(), out_sz, |n, out_n| {
+        let mut col = scratch(d.col_rows() * d.col_cols());
+        im2col(&inp[n * in_sz..(n + 1) * in_sz], &d, &mut col);
+        if relu {
+            gemm_bias_relu_rows(w, &col, bias, out_n, d.out_c, d.col_rows(), d.col_cols());
+        } else {
+            gemm_bias_rows(w, &col, bias, out_n, d.out_c, d.col_rows(), d.col_cols());
+        }
+    });
     out
 }
 
@@ -284,16 +303,18 @@ pub fn conv2d_bias_act_batched(
     let inp = input.as_slice();
 
     // col_wide[r][s*cc + j] = im2col(sample s)[r][j], each sample unfolded
-    // directly into its column block — no staging copy.
+    // directly into its column block — no staging copy. Samples unfold in
+    // parallel: each task owns columns [s*cc, (s+1)*cc) of every row,
+    // disjoint-but-interleaved shards of the wide matrix.
     let mut col_wide = scratch(cr * wide);
-    for s in 0..d.batch {
-        im2col_into(
-            &inp[s * in_sz..(s + 1) * in_sz],
-            &d,
-            &mut col_wide,
-            wide,
-            s * cc,
-        );
+    {
+        let shard = SharedSlice::new(&mut col_wide);
+        parallel::run_tasks(d.batch, |s| {
+            // SAFETY: per-sample column blocks are pairwise disjoint.
+            unsafe {
+                im2col_into_shared(&inp[s * in_sz..(s + 1) * in_sz], &d, &shard, wide, s * cc);
+            }
+        });
     }
 
     // [out_c, cr] x [cr, N*cc] -> [out_c, N*cc], bias per channel row.
@@ -384,11 +405,19 @@ pub fn pack_conv_weight(weight: &Tensor) -> PackedConvWeight {
 /// is staged in a cache-hot row buffer, then scattered to its panels in
 /// `NR`-wide chunks — the row-major `[cr, N*cc]` column matrix is never
 /// materialized, and the GEMM's `pack_b` pass disappears with it.
-fn im2col_packed(
+/// Shared-shard variant of the packed im2col (see [`im2col_into_shared`]
+/// for the shape of the argument): the panel layout maps each sample's
+/// logical columns to element-disjoint positions, so samples may unfold
+/// from concurrent pool tasks.
+///
+/// # Safety
+/// Concurrent callers must target disjoint `col0` column blocks of the
+/// same layout.
+unsafe fn im2col_packed(
     img: &[f32],
     d: &Conv2dDims,
     layout: &PackedBLayout,
-    out: &mut [f32],
+    out: &SharedSlice<'_, f32>,
     col0: usize,
 ) {
     assert_eq!(img.len(), d.in_c * d.in_h * d.in_w);
@@ -416,7 +445,7 @@ fn im2col_packed(
                         };
                     }
                 }
-                layout.write_row(out, row, col0, &rowbuf);
+                layout.write_row_shared(out, row, col0, &rowbuf);
             }
         }
     }
@@ -461,14 +490,21 @@ pub fn conv2d_bias_act_prepacked(
 
     let layout = PackedBLayout::new(cr, wide);
     let mut col_pack = scratch(layout.len());
-    for s in 0..d.batch {
-        im2col_packed(
-            &inp[s * in_sz..(s + 1) * in_sz],
-            &d,
-            &layout,
-            &mut col_pack,
-            s * cc,
-        );
+    {
+        let shard = SharedSlice::new(&mut col_pack);
+        parallel::run_tasks(d.batch, |s| {
+            // SAFETY: per-sample column blocks are pairwise disjoint, and
+            // the panel mapping keeps them disjoint in the packed buffer.
+            unsafe {
+                im2col_packed(
+                    &inp[s * in_sz..(s + 1) * in_sz],
+                    &d,
+                    &layout,
+                    &shard,
+                    s * cc,
+                );
+            }
+        });
     }
     layout.zero_pad_lanes(&mut col_pack);
 
@@ -539,12 +575,12 @@ pub fn conv2d_backward(
     let gw_sz = d.out_c * cr;
     let mut grad_input = Tensor::zeros(input.dims());
     let mut gw_all = scratch(d.batch * gw_sz);
-    grad_input
-        .as_mut_slice()
-        .par_chunks_mut(in_sz)
-        .zip(gw_all.par_chunks_mut(gw_sz))
-        .enumerate()
-        .for_each(|(n, (gi_n, gw_n))| {
+    parallel::par_chunks_mut2(
+        grad_input.as_mut_slice(),
+        in_sz,
+        &mut gw_all,
+        gw_sz,
+        |n, gi_n, gw_n| {
             let go_n = &go[n * out_sz..(n + 1) * out_sz];
             // grad wrt columns: W^T [cr, out_c] x grad_out [out_c, cc].
             // The GEMM fully overwrites gcol, so unspecified scratch
@@ -561,7 +597,8 @@ pub fn conv2d_backward(
             let mut col = scratch(cr * cc);
             im2col(&inp[n * in_sz..(n + 1) * in_sz], &d, &mut col);
             gemm_nt(go_n, &col, gw_n, d.out_c, cc, cr);
-        });
+        },
+    );
 
     let mut grad_weight = Tensor::zeros(weight.dims());
     for gw in gw_all.chunks_exact(gw_sz) {

@@ -43,8 +43,8 @@
 //! trainer (`Diverged` trial failures) depends on this.
 
 use crate::arena::scratch;
+use crate::parallel;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 use std::sync::OnceLock;
 
 /// k-block depth: one `KC x NC` B panel plus an `MC x KC` A panel stay
@@ -425,10 +425,31 @@ fn row_block_avx2_pre(
     unsafe { row_block_avx2_pre_impl(a_pack, b_pack, c_block, g, epi) }
 }
 
+/// Height of one parallel row-block task, always a multiple of `mr` and
+/// capped at `kern.mc` (the cache-blocking height).
+///
+/// The task height is a *scheduling* choice, not a numeric one: every C
+/// element accumulates in its own scalar register over a strictly
+/// ascending k order fixed by the k-blocking, and row panels are `mr`-row
+/// groups whose contents depend only on the global row index (any task
+/// start `ic` is a multiple of `mr`, so panel boundaries never move).
+/// Outputs are therefore `to_bits`-identical for any height this returns —
+/// which lets it adapt to the pool size (~2 tasks per thread for load
+/// balance) without violating the determinism contract.
+fn par_row_block(m: usize, kern: &Kernel) -> usize {
+    let threads = parallel::compute_threads();
+    if threads <= 1 {
+        return kern.mc;
+    }
+    let per = m.div_ceil(2 * threads);
+    per.next_multiple_of(kern.mr).clamp(kern.mr, kern.mc)
+}
+
 /// The packed path: NC/KC/MC blocking around the microkernel, row blocks
-/// fanned out as independent parallel tasks.
+/// fanned out as independent compute-pool tasks.
 fn gemm_packed(a: &[f32], b: BSource, c: &mut [f32], m: usize, k: usize, n: usize, epi: Epilogue) {
     let kern = kernel();
+    let mc_task = par_row_block(m, &kern);
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         let b_panels = nc.div_ceil(kern.nr);
@@ -441,25 +462,23 @@ fn gemm_packed(a: &[f32], b: BSource, c: &mut [f32], m: usize, k: usize, n: usiz
             let mut b_pack = scratch(b_panels * kern.nr * kc);
             pack_b(b, &mut b_pack, k, n, pc, kc, jc, nc, kern.nr);
             let b_pack = &b_pack[..];
-            c.par_chunks_mut(kern.mc * n)
-                .enumerate()
-                .for_each(|(bi, c_block)| {
-                    let ic = bi * kern.mc;
-                    let mc = kern.mc.min(m - ic);
-                    let g = BlockArgs {
-                        k,
-                        n,
-                        ic,
-                        mc,
-                        pc,
-                        kc,
-                        jc,
-                        nc,
-                        first,
-                        last,
-                    };
-                    (kern.block)(a, b_pack, c_block, g, epi);
-                });
+            parallel::par_chunks_mut(c, mc_task * n, |bi, c_block| {
+                let ic = bi * mc_task;
+                let mc = mc_task.min(m - ic);
+                let g = BlockArgs {
+                    k,
+                    n,
+                    ic,
+                    mc,
+                    pc,
+                    kc,
+                    jc,
+                    nc,
+                    first,
+                    last,
+                };
+                (kern.block)(a, b_pack, c_block, g, epi);
+            });
         }
     }
 }
@@ -894,6 +913,29 @@ impl PackedBLayout {
     /// boundaries; each chunk is one `copy_from_slice`.
     #[inline]
     pub fn write_row(&self, buf: &mut [f32], r: usize, col0: usize, src: &[f32]) {
+        let shard = parallel::SharedSlice::new(buf);
+        // SAFETY: exclusive borrow of `buf` — no concurrent shards exist.
+        unsafe { self.write_row_shared(&shard, r, col0, src) }
+    }
+
+    /// [`PackedBLayout::write_row`] through a [`parallel::SharedSlice`],
+    /// for producers scattering disjoint column ranges of the panel
+    /// buffer from concurrent pool tasks (the panel layout interleaves
+    /// columns, so the per-task writes cannot be expressed as contiguous
+    /// `&mut` chunks).
+    ///
+    /// # Safety
+    /// Concurrent callers must target disjoint `(r, col0..col0 + src
+    /// .len())` element sets of the logical `[k x n]` matrix; the panel
+    /// mapping is injective, so logical disjointness implies disjoint
+    /// writes into `buf`.
+    pub unsafe fn write_row_shared(
+        &self,
+        buf: &parallel::SharedSlice<'_, f32>,
+        r: usize,
+        col0: usize,
+        src: &[f32],
+    ) {
         debug_assert!(r < self.k, "row out of range");
         debug_assert!(col0 + src.len() <= self.n, "segment exceeds columns");
         let pc_idx = r / KC;
@@ -909,7 +951,8 @@ impl PackedBLayout {
             let lane = (j - jn0) % self.nr;
             let take = (self.nr - lane).min(src.len() - si).min(jn0 + NC - j);
             let dst = block + (pj * kc + kk) * self.nr + lane;
-            buf[dst..dst + take].copy_from_slice(&src[si..si + take]);
+            buf.slice_mut(dst, take)
+                .copy_from_slice(&src[si..si + take]);
             j += take;
             si += take;
         }
@@ -967,6 +1010,7 @@ fn gemm_packed_prepacked(
     let (m, k, n) = (a.m, a.k, layout.n);
     assert_eq!(a.k, layout.k, "inner dimension mismatch");
     assert!(b_buf.len() >= layout.len, "packed B buffer too small");
+    let mc_task = par_row_block(m, &kern);
     for (jc_idx, jc) in (0..n).step_by(NC).enumerate() {
         let nc = NC.min(n - jc);
         let b_group = nc.div_ceil(kern.nr) * kern.nr;
@@ -976,27 +1020,32 @@ fn gemm_packed_prepacked(
             let last = pc + kc == k;
             let b_pack =
                 &b_buf[layout.offsets[jc_idx * layout.k_blocks + pc_idx]..][..b_group * kc];
-            c.par_chunks_mut(kern.mc * n)
-                .enumerate()
-                .for_each(|(bi, c_block)| {
-                    let ic = bi * kern.mc;
-                    let mc = kern.mc.min(m - ic);
-                    let a_group = mc.div_ceil(a.mr) * a.mr;
-                    let a_pack = &a.buf[a.offsets[pc_idx * a.row_blocks + bi]..][..a_group * kc];
-                    let g = BlockArgs {
-                        k,
-                        n,
-                        ic,
-                        mc,
-                        pc,
-                        kc,
-                        jc,
-                        nc,
-                        first,
-                        last,
-                    };
-                    (kern.block_pre)(a_pack, b_pack, c_block, g, epi);
-                });
+            // Within one pc group the `mr`-row panels of consecutive MC
+            // blocks are laid out back to back (only the final block may
+            // be short), so a task starting at row `ic` — any multiple of
+            // `mr` — addresses its panels at a linear offset from the
+            // group base. That frees the task height from the `kern.mc`
+            // packing granularity.
+            let pc_base = a.offsets[pc_idx * a.row_blocks];
+            parallel::par_chunks_mut(c, mc_task * n, |bi, c_block| {
+                let ic = bi * mc_task;
+                let mc = mc_task.min(m - ic);
+                let a_group = mc.div_ceil(a.mr) * a.mr;
+                let a_pack = &a.buf[pc_base + (ic / a.mr) * a.mr * kc..][..a_group * kc];
+                let g = BlockArgs {
+                    k,
+                    n,
+                    ic,
+                    mc,
+                    pc,
+                    kc,
+                    jc,
+                    nc,
+                    first,
+                    last,
+                };
+                (kern.block_pre)(a_pack, b_pack, c_block, g, epi);
+            });
         }
     }
 }

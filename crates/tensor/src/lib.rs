@@ -8,13 +8,14 @@
 //!
 //! This crate is the substrate that replaces PyTorch's tensor runtime in the
 //! HydroNAS reproduction. Everything is `f32`, row-major (C-contiguous), and
-//! CPU-only; heavy inner loops are parallelized with rayon across the
-//! outermost independent dimension (batch or output channel), following the
-//! data-parallel iterator idiom. The GEMM at the bottom of the stack is a
-//! packed, register-blocked kernel ([`gemm`]) with fused bias/ReLU
+//! CPU-only; heavy inner loops fan out across the deterministic compute
+//! pool ([`parallel`]) along the outermost independent dimension (batch or
+//! row block), sized by `HYDRONAS_THREADS` / [`set_compute_threads`] and
+//! bit-identical at any thread count. The GEMM at the bottom of the stack
+//! is a packed, register-blocked kernel ([`gemm`]) with fused bias/ReLU
 //! epilogues, and kernel workspaces come from per-thread scratch arenas
-//! ([`arena`]) so the steady-state training loop performs no per-sample
-//! heap allocations.
+//! ([`arena`]) — pool workers included — so the steady-state training loop
+//! performs no per-sample heap allocations.
 //!
 //! ## Quick example
 //!
@@ -32,6 +33,7 @@ mod conv;
 mod gemm;
 mod init;
 mod ops;
+pub mod parallel;
 mod pool;
 mod shape;
 mod tensor;
@@ -47,6 +49,7 @@ pub use gemm::{
     gemm_bias_rows_batched, gemm_bias_rows_prepacked, gemm_nt, PackedA, PackedBLayout,
 };
 pub use init::{kaiming_normal, kaiming_uniform, uniform, TensorRng};
+pub use parallel::{compute_threads, set_compute_threads};
 pub use pool::{avg_pool2d_global, max_pool2d, max_pool2d_backward, PoolDims};
 pub use shape::{conv_out_dim, Shape};
 pub use tensor::Tensor;

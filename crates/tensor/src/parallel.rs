@@ -1,0 +1,584 @@
+//! Deterministic intra-op compute pool.
+//!
+//! Every prior PR's kernel "parallelism" ran through the vendored rayon
+//! shim, which executes `par_*` sequentially on the calling thread — on
+//! the paper's multi-core edge targets that leaves most of the machine
+//! idle. This module is the real thing: a lazily-spawned, process-wide
+//! worker pool that fans an *index grid* of tasks out across threads
+//! while preserving the workspace's bit-identity contract.
+//!
+//! ## Determinism contract
+//!
+//! [`run_tasks`] executes tasks `0..total` exactly once each, with no
+//! ordering guarantee *between* tasks. Callers keep results bit-identical
+//! across thread counts by construction, not by scheduling:
+//!
+//! * each task owns a disjoint slice of the output (tile ownership — no
+//!   two tasks ever write the same element), and
+//! * each task's computation is a pure function of the task index and
+//!   the shared inputs (never of the executing thread or claim order),
+//!   with any floating-point accumulation order fixed *inside* the task.
+//!
+//! Under those two rules the value written to every output element is
+//! identical whether the grid runs on 1, 2, or N threads — which is
+//! exactly how the packed GEMM uses it (each row block accumulates its
+//! k products in a fixed ascending order regardless of who computes it).
+//!
+//! ## Sizing
+//!
+//! The pool size is `HYDRONAS_THREADS` when set, else the machine's
+//! available parallelism; [`set_compute_threads`] overrides either at
+//! runtime (the thread-count-invariance tests sweep 1/2/8 in-process).
+//! Worker threads spawn lazily on the first parallel job and persist for
+//! the process lifetime, so steady-state jobs pay two condvar signals,
+//! not a thread spawn. Nested jobs (a GEMM inside a parallel conv task)
+//! and single-task grids run inline on the current thread.
+//!
+//! ## Scratch arenas
+//!
+//! Pool workers are ordinary long-lived threads, so the per-thread
+//! scratch arena ([`crate::arena`]) extends to them unchanged: each
+//! worker warms its own buffer pool on first use and steady-state tasks
+//! allocate nothing. Arena and pool counters are per-thread cache and
+//! scheduling statistics — both sit outside the metric-invariance
+//! contract (they scale with thread count by design).
+//!
+//! ## Telemetry
+//!
+//! With a session active, each job records `tensor.pool.jobs` /
+//! `tensor.pool.jobs.sequential`, `tensor.pool.tasks`,
+//! `tensor.pool.tasks.stolen` (tasks executed by a thread other than the
+//! submitter — the steal counter), `tensor.pool.worker.starved` (a woken
+//! worker that claimed no task — the idle counter), and the per-job
+//! parallel fraction histogram `tensor.pool.parallel_fraction_pct`.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Environment variable consulted for the default pool size.
+pub const THREADS_ENV: &str = "HYDRONAS_THREADS";
+
+/// Upper bound on configurable threads (a typo guard, not a target).
+const MAX_THREADS: usize = 256;
+
+/// Runtime override set by [`set_compute_threads`]; 0 means "unset, use
+/// the env/hardware default".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// The env/hardware default, resolved once.
+static DEFAULT: OnceLock<usize> = OnceLock::new();
+
+fn default_threads() -> usize {
+    if let Ok(val) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = val.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Threads the compute pool will use for the next job: the
+/// [`set_compute_threads`] override if one is set, else `HYDRONAS_THREADS`,
+/// else the machine's available parallelism. Always at least 1 (the
+/// submitting thread itself participates in every job).
+pub fn compute_threads() -> usize {
+    match CONFIGURED.load(Ordering::Relaxed) {
+        0 => *DEFAULT.get_or_init(default_threads),
+        n => n,
+    }
+}
+
+/// Overrides the compute-pool size at runtime (clamped to `1..=256`).
+///
+/// Takes effect on the next job: lowering the count idles surplus
+/// workers (they are never despawned), raising it spawns more lazily.
+/// Results are bit-identical across any setting — see the module docs —
+/// so this is a throughput knob, never a correctness one.
+pub fn set_compute_threads(threads: usize) {
+    CONFIGURED.store(threads.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+std::thread_local! {
+    /// True while this thread is executing inside a pool task (always
+    /// true on worker threads); nested [`run_tasks`] calls run inline.
+    static IN_POOL_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// One submitted task grid. Lives behind an `Arc` so slow-waking workers
+/// may still poke the counters after the job completes; the erased
+/// closure pointer is only ever dereferenced for a successfully claimed
+/// index, all of which complete before the submitter returns.
+struct Job {
+    /// Lifetime-erased `&(dyn Fn(usize) + Sync)` from the submitter's
+    /// stack; valid until `pending` reaches 0 (the submitter blocks).
+    func: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed task index (claimed via `fetch_add`).
+    next: AtomicUsize,
+    /// Tasks not yet finished executing.
+    pending: AtomicUsize,
+    total: usize,
+    /// Worker-participation cap: worker `w` joins only if `w + 1` is
+    /// below the thread count configured at submit time.
+    cap: usize,
+    /// Telemetry decision latched at submit (workers must not record
+    /// into a session the submitter never saw).
+    telemetry: bool,
+}
+
+// SAFETY: the raw closure pointer is only dereferenced while the
+// submitting stack frame is alive (see `Job::func`); the counters are
+// atomics.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct Slot {
+    job: Option<Arc<Job>>,
+    /// Bumped once per submitted job so workers can tell a fresh job
+    /// from the one they already exhausted.
+    epoch: u64,
+    /// Worker threads spawned so far.
+    spawned: usize,
+}
+
+struct Pool {
+    slot: Mutex<Slot>,
+    /// Workers sleep here between jobs.
+    work_cv: Condvar,
+    /// The submitter sleeps here until `pending` hits 0.
+    done_cv: Condvar,
+    /// Serializes jobs: one grid runs at a time (concurrent submitters
+    /// queue here — intra-op parallelism, inter-op serialization).
+    submit: Mutex<()>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        slot: Mutex::new(Slot {
+            job: None,
+            epoch: 0,
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        submit: Mutex::new(()),
+    })
+}
+
+/// Claims and executes tasks from `job` until the grid is exhausted.
+/// Returns how many tasks this thread executed.
+fn execute(p: &'static Pool, job: &Job) -> usize {
+    let mut ran = 0usize;
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.total {
+            return ran;
+        }
+        // SAFETY: a claimed index < total implies pending > 0, so the
+        // submitter is still blocked and the closure is alive.
+        let f = unsafe { &*job.func };
+        f(i);
+        ran += 1;
+        // AcqRel chains every task's writes into the release sequence
+        // the submitter's final acquire load synchronizes with.
+        if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = p.slot.lock().unwrap();
+            p.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(p: &'static Pool, worker_id: usize) {
+    IN_POOL_TASK.with(|flag| flag.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut slot = p.slot.lock().unwrap();
+            loop {
+                if slot.epoch != seen_epoch {
+                    seen_epoch = slot.epoch;
+                    if let Some(job) = slot.job.clone() {
+                        break job;
+                    }
+                }
+                slot = p.work_cv.wait(slot).unwrap();
+            }
+        };
+        if worker_id + 1 >= job.cap {
+            // Surplus worker from an earlier, larger configuration:
+            // honor the current thread cap by sitting this job out.
+            continue;
+        }
+        let ran = execute(p, &job);
+        if ran == 0 && job.telemetry {
+            hydronas_telemetry::add("tensor.pool.worker.starved", 1);
+        }
+    }
+}
+
+/// Ensures at least `want` workers exist (spawned lazily, kept forever).
+fn ensure_workers(p: &'static Pool, want: usize) {
+    let mut slot = p.slot.lock().unwrap();
+    while slot.spawned < want {
+        let id = slot.spawned;
+        std::thread::Builder::new()
+            .name(format!("hydronas-pool-{id}"))
+            .spawn(move || worker_loop(pool(), id))
+            .expect("spawn compute-pool worker");
+        slot.spawned += 1;
+        if hydronas_telemetry::enabled() {
+            hydronas_telemetry::add("tensor.pool.workers.spawned", 1);
+        }
+    }
+}
+
+/// Executes tasks `0..total` across the compute pool, blocking until all
+/// complete. The submitting thread participates, so a pool of size 1 —
+/// or a single-task grid, or a nested call from inside a pool task —
+/// degenerates to a plain sequential loop with no synchronization.
+///
+/// Determinism: see the module docs — tasks must own disjoint outputs
+/// and be pure functions of their index, in exchange for bit-identical
+/// results at any thread count.
+pub fn run_tasks<F: Fn(usize) + Sync>(total: usize, f: F) {
+    if total == 0 {
+        return;
+    }
+    let threads = compute_threads();
+    let nested = IN_POOL_TASK.with(|flag| flag.get());
+    if total == 1 || threads <= 1 || nested {
+        if hydronas_telemetry::enabled() {
+            hydronas_telemetry::add("tensor.pool.jobs.sequential", 1);
+        }
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+    let p = pool();
+    // One grid at a time; later submitters queue here.
+    let _submit = p.submit.lock().unwrap();
+    ensure_workers(p, threads - 1);
+    let telemetry = hydronas_telemetry::enabled();
+    // SAFETY: `job.func` is dereferenced only for claimed indices, all of
+    // which finish before `pending` reaches 0 — and this frame does not
+    // return until it does, so the borrow outlives every dereference.
+    let func: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync + 'static)>(
+            &f,
+        )
+    };
+    let job = Arc::new(Job {
+        func,
+        next: AtomicUsize::new(0),
+        pending: AtomicUsize::new(total),
+        total,
+        cap: threads,
+        telemetry,
+    });
+    {
+        let mut slot = p.slot.lock().unwrap();
+        slot.job = Some(Arc::clone(&job));
+        slot.epoch += 1;
+    }
+    p.work_cv.notify_all();
+    // Participate (inside the pool-task scope so nested grids inline).
+    IN_POOL_TASK.with(|flag| flag.set(true));
+    let mine = execute(p, &job);
+    IN_POOL_TASK.with(|flag| flag.set(false));
+    {
+        let mut slot = p.slot.lock().unwrap();
+        while job.pending.load(Ordering::Acquire) != 0 {
+            slot = p.done_cv.wait(slot).unwrap();
+        }
+        slot.job = None;
+    }
+    if telemetry {
+        let stolen = (total - mine) as u64;
+        hydronas_telemetry::add_all(&[
+            ("tensor.pool.jobs", 1),
+            ("tensor.pool.tasks", total as u64),
+            ("tensor.pool.tasks.stolen", stolen),
+        ]);
+        hydronas_telemetry::record_value(
+            "tensor.pool.parallel_fraction_pct",
+            stolen as f64 * 100.0 / total as f64,
+        );
+    }
+}
+
+/// `*mut T` that may cross the pool boundary (tasks reconstruct disjoint
+/// subslices from it). Accessed through [`SendPtr::get`] so closures
+/// capture the `Sync` wrapper, not the raw pointer field.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Parallel-for over `chunk`-sized mutable chunks of `data` (the last
+/// chunk may be shorter): `f(chunk_index, chunk)`. Chunks are disjoint,
+/// so this upholds the tile-ownership half of the determinism contract
+/// by construction.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    run_tasks(len.div_ceil(chunk), |i| {
+        let start = i * chunk;
+        let n = chunk.min(len - start);
+        // SAFETY: task i owns exactly [start, start + n), and chunks are
+        // pairwise disjoint; the borrow of `data` outlives run_tasks.
+        let part = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), n) };
+        f(i, part);
+    });
+}
+
+/// [`par_chunks_mut`] over two slices chunked in lockstep (the zipped
+/// form the conv backward pass needs): task `i` gets chunk `i` of both.
+pub fn par_chunks_mut2<A, B, F>(a: &mut [A], chunk_a: usize, b: &mut [B], chunk_b: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert!(chunk_a > 0 && chunk_b > 0, "chunk sizes must be positive");
+    let tasks = a.len().div_ceil(chunk_a);
+    assert_eq!(
+        tasks,
+        b.len().div_ceil(chunk_b),
+        "zipped slices must chunk into the same task count"
+    );
+    if tasks == 0 {
+        return;
+    }
+    let (len_a, len_b) = (a.len(), b.len());
+    let pa = SendPtr(a.as_mut_ptr());
+    let pb = SendPtr(b.as_mut_ptr());
+    run_tasks(tasks, |i| {
+        let (sa, sb) = (i * chunk_a, i * chunk_b);
+        // SAFETY: disjoint chunk ownership per task, as in par_chunks_mut.
+        let ca =
+            unsafe { std::slice::from_raw_parts_mut(pa.get().add(sa), chunk_a.min(len_a - sa)) };
+        let cb =
+            unsafe { std::slice::from_raw_parts_mut(pb.get().add(sb), chunk_b.min(len_b - sb)) };
+        f(i, ca, cb);
+    });
+}
+
+/// A shard-writable view over a mutable slice, for task grids whose
+/// per-task output elements are disjoint but *interleaved* (so no
+/// contiguous-chunk split exists — e.g. each sample's im2col columns
+/// land strided through the shared wide matrix).
+///
+/// Tasks call [`SharedSlice::slice_mut`] only on ranges they own; the
+/// unsafe contract is that concurrently-materialized ranges never
+/// overlap, which keeps the aliasing model happy without handing any
+/// task a `&mut` over another task's elements.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is delegated to `slice_mut`, whose contract forbids
+// overlapping concurrent ranges.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps an exclusively-borrowed slice for sharded writing.
+    pub fn new(data: &'a mut [T]) -> SharedSlice<'a, T> {
+        SharedSlice {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Elements in the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reborrows `[start, start + len)` mutably. Bounds are checked.
+    ///
+    /// # Safety
+    /// Ranges materialized concurrently (across pool tasks, or held at
+    /// the same time on one thread) must be pairwise disjoint.
+    // `&mut` from `&self` is the point of the type: disjointness (the
+    // safety contract) stands in for the exclusivity the borrow checker
+    // cannot see through the raw pointer.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(
+            start <= self.len && len <= self.len - start,
+            "shard [{start}, {start}+{len}) out of bounds for slice of {}",
+            self.len
+        );
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate the global thread configuration.
+    fn config_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once_at_any_thread_count() {
+        let _guard = config_lock();
+        for threads in [1, 2, 8] {
+            set_compute_threads(threads);
+            let total = 257;
+            let hits: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+            run_tasks(total, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "task {i} at {threads} threads"
+                );
+            }
+        }
+        set_compute_threads(1);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_are_visible_and_disjoint() {
+        let _guard = config_lock();
+        set_compute_threads(4);
+        let mut data = vec![0u64; 1000];
+        par_chunks_mut(&mut data, 7, |i, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 7 + j) as u64;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+        set_compute_threads(1);
+    }
+
+    #[test]
+    fn zipped_chunks_stay_in_lockstep() {
+        let _guard = config_lock();
+        set_compute_threads(3);
+        let mut a = vec![0usize; 40]; // chunk 10 -> 4 tasks
+        let mut b = vec![0usize; 8]; // chunk 2  -> 4 tasks
+        par_chunks_mut2(&mut a, 10, &mut b, 2, |i, ca, cb| {
+            ca.fill(i + 1);
+            cb.fill(i + 1);
+        });
+        for (i, v) in a.iter().enumerate() {
+            assert_eq!(*v, i / 10 + 1);
+        }
+        for (i, v) in b.iter().enumerate() {
+            assert_eq!(*v, i / 2 + 1);
+        }
+        set_compute_threads(1);
+    }
+
+    #[test]
+    fn nested_grids_run_inline_without_deadlock() {
+        let _guard = config_lock();
+        set_compute_threads(4);
+        let outer = 6;
+        let counter = AtomicUsize::new(0);
+        run_tasks(outer, |_| {
+            // A nested grid from inside a task must not re-enter the
+            // submit lock (deadlock) — it runs inline.
+            run_tasks(5, |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), outer * 5);
+        set_compute_threads(1);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize_without_loss() {
+        let _guard = config_lock();
+        set_compute_threads(4);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10 {
+                        run_tasks(16, |_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 10 * 16);
+        set_compute_threads(1);
+    }
+
+    #[test]
+    fn shared_slice_shards_land_where_addressed() {
+        let _guard = config_lock();
+        set_compute_threads(4);
+        // Interleaved ownership: task i owns elements i, i+S, i+2S, ...
+        let samples = 8usize;
+        let rows = 11usize;
+        let mut data = vec![0usize; samples * rows];
+        {
+            let shard = SharedSlice::new(&mut data);
+            run_tasks(samples, |s| {
+                for r in 0..rows {
+                    // SAFETY: (r, s) cells are pairwise disjoint.
+                    let cell = unsafe { shard.slice_mut(r * samples + s, 1) };
+                    cell[0] = s * 1000 + r;
+                }
+            });
+        }
+        for r in 0..rows {
+            for s in 0..samples {
+                assert_eq!(data[r * samples + s], s * 1000 + r);
+            }
+        }
+        set_compute_threads(1);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_and_readable() {
+        let _guard = config_lock();
+        set_compute_threads(0);
+        assert_eq!(compute_threads(), 1);
+        set_compute_threads(100_000);
+        assert_eq!(compute_threads(), 256);
+        set_compute_threads(1);
+        assert_eq!(compute_threads(), 1);
+    }
+}

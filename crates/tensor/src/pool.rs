@@ -1,8 +1,8 @@
 //! Max pooling (with backward) and global average pooling.
 
+use crate::parallel;
 use crate::shape::conv_out_dim;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
 /// Resolved pooling geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,11 +75,12 @@ pub fn max_pool2d(
     let plane_out = d.out_h * d.out_w;
     let inp = input.as_slice();
 
-    out.as_mut_slice()
-        .par_chunks_mut(plane_out)
-        .zip(argmax.par_chunks_mut(plane_out))
-        .enumerate()
-        .for_each(|(pc, (out_p, arg_p))| {
+    parallel::par_chunks_mut2(
+        out.as_mut_slice(),
+        plane_out,
+        &mut argmax,
+        plane_out,
+        |pc, out_p, arg_p| {
             let src = &inp[pc * plane_in..(pc + 1) * plane_in];
             for oy in 0..d.out_h {
                 for ox in 0..d.out_w {
@@ -106,7 +107,8 @@ pub fn max_pool2d(
                     arg_p[oy * d.out_w + ox] = best_i as u32;
                 }
             }
-        });
+        },
+    );
     (out, argmax)
 }
 
@@ -128,17 +130,13 @@ pub fn max_pool2d_backward(
     let plane_out = d.out_h * d.out_w;
     let go = grad_out.as_slice();
 
-    grad_in
-        .as_mut_slice()
-        .par_chunks_mut(plane_in)
-        .enumerate()
-        .for_each(|(pc, gi_p)| {
-            let go_p = &go[pc * plane_out..(pc + 1) * plane_out];
-            let arg_p = &argmax[pc * plane_out..(pc + 1) * plane_out];
-            for (g, &a) in go_p.iter().zip(arg_p.iter()) {
-                gi_p[a as usize] += g;
-            }
-        });
+    parallel::par_chunks_mut(grad_in.as_mut_slice(), plane_in, |pc, gi_p| {
+        let go_p = &go[pc * plane_out..(pc + 1) * plane_out];
+        let arg_p = &argmax[pc * plane_out..(pc + 1) * plane_out];
+        for (g, &a) in go_p.iter().zip(arg_p.iter()) {
+            gi_p[a as usize] += g;
+        }
+    });
     grad_in
 }
 

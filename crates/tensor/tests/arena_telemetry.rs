@@ -6,10 +6,19 @@
 //! process-global, so no other kernel-calling test may share the
 //! process while the session is active.
 
-use hydronas_tensor::{conv2d, conv2d_backward, uniform, Tensor, TensorRng};
+use hydronas_tensor::{
+    conv2d, conv2d_backward, set_compute_threads, uniform, Tensor, TensorRng,
+};
 
 #[test]
 fn conv_loops_allocate_nothing_per_sample_once_warm() {
+    // Pin the compute pool to one thread: task claiming is racy, so
+    // under a multi-thread pool a worker starved during the warmup pass
+    // can take its first (cold, allocating) task mid-measurement. The
+    // zero-alloc claim is per-thread; one thread measures it exactly.
+    // (`thread_invariance.rs` covers the multi-thread steady state with
+    // a loop-until-stable protocol.)
+    set_compute_threads(1);
     let mut rng = TensorRng::seed_from_u64(42);
     let input = uniform(&[4, 3, 16, 16], -1.0, 1.0, &mut rng);
     let weight = uniform(&[8, 3, 3, 3], -0.5, 0.5, &mut rng);

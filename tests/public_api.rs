@@ -29,61 +29,63 @@ mod types {
     pub type A11 = prelude::EnergyPrediction;
     pub type A12 = prelude::Engine;
     pub type A13 = prelude::EngineConfig;
-    pub type A14 = prelude::EngineStats;
-    pub type A15 = prelude::EvolutionConfig;
-    pub type A16 = prelude::ExecutionPlan;
-    pub type A17 = prelude::ExperimentDb;
-    pub type A18 = prelude::FailureCause;
-    pub type A19 = prelude::Gauge;
-    pub type A20 = prelude::GraphError;
-    pub type A21 = prelude::HydroNasError;
-    pub type A22 = prelude::InferError;
-    pub type A23 = prelude::InputCombo;
-    pub type A24 = prelude::LatencyPrediction;
-    pub type A25 = prelude::LayerCost;
-    pub type A26 = prelude::LayerProfile;
-    pub type A27 = prelude::LrSchedule;
-    pub type A28 = prelude::MetricsError;
-    pub type A29 = prelude::MetricsSnapshot;
-    pub type A30 = prelude::ModelGraph;
-    pub type A31 = prelude::ModelImportError;
-    pub type A32 = prelude::Nsga2Config;
-    pub type A33 = prelude::Numerics;
-    pub type A34 = prelude::Objective;
-    pub type A35 = prelude::OnnxError;
-    pub type A36 = prelude::PlanConfig;
-    pub type A37 = prelude::Point;
-    pub type A38 = prelude::PoolConfig;
-    pub type A39 = prelude::Precision;
-    pub type A40 = prelude::Prediction;
-    pub type A41 = prelude::PredictionHandle;
-    pub type A42 = prelude::QuantileHistogram;
-    pub type A43 = prelude::RealTrainer;
-    pub type A44 = prelude::ReproArtifacts;
-    pub type A45 = prelude::ReproConfig;
-    pub type A46 = prelude::ResNet;
-    pub type A47 = prelude::RetryConfig;
-    pub type A48 = prelude::RetryPolicy;
-    pub type A49 = prelude::RunControl;
-    pub type A50 = prelude::SchedulerConfig;
-    pub type A51 = prelude::SearchSpace;
-    pub type A52 = prelude::Session;
-    pub type A53 = prelude::ShedPolicy;
-    pub type A54 = prelude::StderrTicker;
-    pub type A55 = prelude::SurrogateEvaluator;
-    pub type A56 = prelude::Sweep;
-    pub type A57 = prelude::SweepBuilder;
-    pub type A58 = prelude::SweepError;
-    pub type A59 = prelude::SweepEvent<'static>;
-    pub type A60 = prelude::SweepReport;
-    pub type A61 = prelude::SweepStats;
-    pub type A62 = prelude::Tensor;
-    pub type A63 = prelude::TensorRng;
-    pub type A64 = prelude::TileSet;
-    pub type A65 = prelude::TrainConfig;
-    pub type A66 = prelude::TrialFailure;
-    pub type A67 = prelude::TrialOutcome;
-    pub type A68 = prelude::TrialSpec;
+    pub type A14 = prelude::EngineConfigBuilder;
+    pub type A15 = prelude::EngineStats;
+    pub type A16 = prelude::EvolutionConfig;
+    pub type A17 = prelude::ExecutionPlan;
+    pub type A18 = prelude::ExperimentDb;
+    pub type A19 = prelude::FailureCause;
+    pub type A20 = prelude::Gauge;
+    pub type A21 = prelude::GraphError;
+    pub type A22 = prelude::HydroNasError;
+    pub type A23 = prelude::InferError;
+    pub type A24 = prelude::InferRequest;
+    pub type A25 = prelude::InputCombo;
+    pub type A26 = prelude::LatencyPrediction;
+    pub type A27 = prelude::LayerCost;
+    pub type A28 = prelude::LayerProfile;
+    pub type A29 = prelude::LrSchedule;
+    pub type A30 = prelude::MetricsError;
+    pub type A31 = prelude::MetricsSnapshot;
+    pub type A32 = prelude::ModelGraph;
+    pub type A33 = prelude::ModelImportError;
+    pub type A34 = prelude::Nsga2Config;
+    pub type A35 = prelude::Numerics;
+    pub type A36 = prelude::Objective;
+    pub type A37 = prelude::OnnxError;
+    pub type A38 = prelude::PlanConfig;
+    pub type A39 = prelude::Point;
+    pub type A40 = prelude::PoolConfig;
+    pub type A41 = prelude::Precision;
+    pub type A42 = prelude::Prediction;
+    pub type A43 = prelude::PredictionHandle;
+    pub type A44 = prelude::QuantileHistogram;
+    pub type A45 = prelude::RealTrainer;
+    pub type A46 = prelude::ReproArtifacts;
+    pub type A47 = prelude::ReproConfig;
+    pub type A48 = prelude::ResNet;
+    pub type A49 = prelude::RetryConfig;
+    pub type A50 = prelude::RetryPolicy;
+    pub type A51 = prelude::RunControl;
+    pub type A52 = prelude::SchedulerConfig;
+    pub type A53 = prelude::SearchSpace;
+    pub type A54 = prelude::Session;
+    pub type A55 = prelude::ShedPolicy;
+    pub type A56 = prelude::StderrTicker;
+    pub type A57 = prelude::SurrogateEvaluator;
+    pub type A58 = prelude::Sweep;
+    pub type A59 = prelude::SweepBuilder;
+    pub type A60 = prelude::SweepError;
+    pub type A61 = prelude::SweepEvent<'static>;
+    pub type A62 = prelude::SweepReport;
+    pub type A63 = prelude::SweepStats;
+    pub type A64 = prelude::Tensor;
+    pub type A65 = prelude::TensorRng;
+    pub type A66 = prelude::TileSet;
+    pub type A67 = prelude::TrainConfig;
+    pub type A68 = prelude::TrialFailure;
+    pub type A69 = prelude::TrialOutcome;
+    pub type A70 = prelude::TrialSpec;
 
     pub trait UsesTraits: prelude::Evaluator + prelude::ProgressSink {}
 }
@@ -95,6 +97,7 @@ fn prelude_functions_exist() {
     let _ = prelude::augment_batch;
     let _ = prelude::build_dataset;
     let _ = prelude::build_paper_dataset;
+    let _ = prelude::compute_threads;
     let _ = prelude::kernel_probe;
     let _ = prelude::kfold_cross_validate;
     let _ = prelude::kfold_cross_validate_with_cancel;
@@ -111,6 +114,7 @@ fn prelude_functions_exist() {
     let _ = prelude::run_full_grid;
     let _ = prelude::serialized_size_bytes;
     let _ = prelude::session;
+    let _ = prelude::set_compute_threads;
     let _ = prelude::study_regions;
     let _ = prelude::train;
     let _ = prelude::train_with_cancel;
@@ -136,6 +140,7 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
         "EnergyPrediction",
         "Engine",
         "EngineConfig",
+        "EngineConfigBuilder",
         "EngineStats",
         "EvolutionConfig",
         "ExecutionPlan",
@@ -145,6 +150,7 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
         "GraphError",
         "HydroNasError",
         "InferError",
+        "InferRequest",
         "InputCombo",
         "LatencyPrediction",
         "LayerCost",
@@ -202,7 +208,7 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
     }
     // One aliased type per snapshot row (plus the two traits pinned in
     // `types::UsesTraits`).
-    assert_eq!(EXPECTED.len(), 68);
+    assert_eq!(EXPECTED.len(), 70);
 }
 
 /// The error taxonomy stays typed: the facade error wraps each
