@@ -29,7 +29,8 @@ use hydronas_nas::space::{full_grid, SearchSpace};
 use hydronas_nas::{run_experiment, SchedulerConfig, SurrogateEvaluator};
 use hydronas_nn::{CrossEntropyLoss, Optimizer, ParamVisitor, ResNet, Sgd};
 use hydronas_tensor::{
-    compute_threads, conv2d, conv2d_backward, gemm, set_compute_threads, uniform, Tensor, TensorRng,
+    compute_threads, conv2d, conv2d_backward, gemm, qgemm_nt_row_scaled, set_compute_threads,
+    uniform, Tensor, TensorRng,
 };
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
@@ -46,6 +47,25 @@ struct GemmBench {
     reference_gflops: f64,
     live_gflops: f64,
     speedup: f64,
+}
+
+/// The packed i8 x i8 -> i32 GEMM (requantizing epilogue included)
+/// against the f32 packed GEMM at the same shape. The int8 kernel's win
+/// is exactness (integer accumulation, bit-identical at any thread
+/// count) and 4x-smaller operands, not necessarily raw speed: on hosts
+/// whose f32 path runs AVX2+FMA the two land close together, so the
+/// ratio is recorded honestly and only the int8 throughput itself is
+/// gated against the committed baseline.
+#[derive(Debug, Serialize, Deserialize)]
+struct Int8GemmBench {
+    /// `m = k = n` of the timed problem.
+    size: u64,
+    f32_gflops: f64,
+    /// Billions of i8 multiply-accumulates per second.
+    int8_gops: f64,
+    /// int8 over f32 wall-clock at the same shape (recorded, not gated).
+    speedup_vs_f32: f64,
+    avx2: bool,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -103,6 +123,7 @@ struct Report {
     mode: String,
     avx2_fma: bool,
     gemm: GemmBench,
+    int8_gemm: Int8GemmBench,
     parallel: ParallelBench,
     conv2d: ConvBench,
     train_step: TrainBench,
@@ -115,6 +136,7 @@ impl Report {
     fn throughputs(&self) -> Vec<(&'static str, f64)> {
         vec![
             ("gemm.live_gflops", self.gemm.live_gflops),
+            ("int8_gemm.int8_gops", self.int8_gemm.int8_gops),
             ("conv2d.forward_per_s", 1e3 / self.conv2d.forward_live_ms),
             ("conv2d.backward_per_s", 1e3 / self.conv2d.backward_live_ms),
             ("train_step.samples_per_s", self.train_step.samples_per_s),
@@ -156,6 +178,49 @@ fn bench_gemm(reps: usize) -> GemmBench {
         reference_gflops: flops / t_ref / 1e9,
         live_gflops: flops / t_live / 1e9,
         speedup: t_ref / t_live,
+    }
+}
+
+/// Times the packed int8 NT GEMM (with its fused requantize epilogue)
+/// against the packed f32 GEMM at the same 256^3 shape. Operands fill
+/// the full [-127, 127] range deterministically.
+fn bench_int8_gemm(reps: usize) -> Int8GemmBench {
+    let size = 256usize;
+    let mut rng = TensorRng::seed_from_u64(16);
+    let a32 = uniform(&[size * size], -1.0, 1.0, &mut rng)
+        .as_slice()
+        .to_vec();
+    let b32 = uniform(&[size * size], -1.0, 1.0, &mut rng)
+        .as_slice()
+        .to_vec();
+    let mut c32 = vec![0.0f32; size * size];
+    let flops = 2.0 * (size as f64).powi(3);
+    let t_f32 = time_median(reps, || gemm(&a32, &b32, &mut c32, size, size, size));
+
+    let fill = |salt: u64| -> Vec<i8> {
+        (0..size * size)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(salt);
+                (((h >> 32) % 255) as i32 - 127) as i8
+            })
+            .collect()
+    };
+    let a = fill(1);
+    let bt = fill(2);
+    let scales = vec![1.0f32 / 127.0; size];
+    let bias = vec![0.0f32; size];
+    let mut c = vec![0.0f32; size * size];
+    let t_int8 = time_median(reps, || {
+        qgemm_nt_row_scaled(&a, &bt, &scales, &bias, false, &mut c, size, size, size);
+    });
+    Int8GemmBench {
+        size: size as u64,
+        f32_gflops: flops / t_f32 / 1e9,
+        int8_gops: flops / t_int8 / 1e9,
+        speedup_vs_f32: t_f32 / t_int8,
+        avx2: avx2(),
     }
 }
 
@@ -375,6 +440,12 @@ fn main() -> ExitCode {
         "  reference {:.2} GFLOP/s, live {:.2} GFLOP/s ({:.2}x)",
         gemm.reference_gflops, gemm.live_gflops, gemm.speedup
     );
+    eprintln!("timing int8 gemm 256^3 vs f32 ({reps} reps)...");
+    let int8_gemm = bench_int8_gemm(reps);
+    eprintln!(
+        "  f32 {:.2} GFLOP/s, int8 {:.2} GOP/s ({:.2}x, avx2 {})",
+        int8_gemm.f32_gflops, int8_gemm.int8_gops, int8_gemm.speedup_vs_f32, int8_gemm.avx2
+    );
     eprintln!("timing parallel gemm 512^3, 1 vs 8 threads ({reps} reps)...");
     let parallel = bench_parallel(reps);
     eprintln!(
@@ -415,10 +486,11 @@ fn main() -> ExitCode {
     );
 
     let report = Report {
-        schema: "hydronas-bench-compute/v2".to_string(),
+        schema: "hydronas-bench-compute/v3".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         avx2_fma: avx2_fma(),
         gemm,
+        int8_gemm,
         parallel,
         conv2d,
         train_step,
@@ -439,6 +511,12 @@ fn main() -> ExitCode {
         failed.push(format!(
             "parallel GEMM speedup {:.2}x on {} cores is below the required 2x",
             report.parallel.speedup, report.parallel.host_cores
+        ));
+    }
+    if !report.int8_gemm.int8_gops.is_finite() || report.int8_gemm.int8_gops <= 0.0 {
+        failed.push(format!(
+            "int8 GEMM throughput {:.2} GOP/s is not a positive finite number",
+            report.int8_gemm.int8_gops
         ));
     }
     if report.arena.steady_state_allocs != 0 {
@@ -474,6 +552,18 @@ fn avx2_fma() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The int8 dot kernel needs AVX2 alone (madd, no FMA).
+fn avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
     }
     #[cfg(not(target_arch = "x86_64"))]
     {

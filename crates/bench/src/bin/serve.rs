@@ -33,18 +33,22 @@
 //! Beyond timing, the run *asserts* the structural claims of the serving
 //! work: whole-batch execution must deliver at least 2x the per-sample
 //! throughput on the deployment model (the batched im2col + single wide
-//! GEMM claim), int8 storage must compress weights at least 3x, the
-//! engine must batch concurrent clients (telemetry counters agree with
-//! engine stats), and the predictor-vs-measured validation must cover
-//! every Pareto-front model of the sweep.
+//! GEMM claim), the true-int8 plan must compress weights at least 3x,
+//! shrink the activation footprint, and cost at most 0.5% eval accuracy
+//! against the fp32 plan of the same trained weights, the engine must
+//! batch concurrent clients (telemetry counters agree with engine
+//! stats), and the predictor-vs-measured validation must cover every
+//! Pareto-front model of the sweep.
 
+use hydronas_geodata::{build_dataset, study_regions, ChannelMode, TileSet};
+use hydronas_graph::CalibrationMethod;
 use hydronas_infer::{
-    Engine, EngineConfig, ExecutionPlan, InferError, InferRequest, LayerProfile, PlanConfig,
-    ShedPolicy,
+    Engine, EngineConfig, ExecutionPlan, InferError, InferRequest, LayerProfile, Numerics,
+    QuantizationScheme, ShedPolicy,
 };
 use hydronas_nas::space::{full_grid, SearchSpace};
 use hydronas_nas::{run_experiment, SchedulerConfig, SurrogateEvaluator};
-use hydronas_nn::ResNet;
+use hydronas_nn::{CrossEntropyLoss, Optimizer, ParamVisitor, ResNet, Sgd};
 use hydronas_telemetry::{MetricsSnapshot, QuantileHistogram, QuantileSnapshot};
 use hydronas_tensor::{uniform, Tensor, TensorRng};
 use serde::{Deserialize, Serialize};
@@ -102,14 +106,48 @@ struct Batched {
     curve: Vec<BatchPoint>,
 }
 
+/// True int8 execution on the deployment model: the plan quantizes the
+/// folded conv/linear weights per output channel, calibrates activation
+/// scales on seeded training tiles, and runs every conv and the
+/// classifier head through the packed i8 GEMM kernels — no
+/// dequantize-on-load anywhere on the hot path.
+///
+/// The accuracy comparison runs on a *briefly trained* copy of the
+/// deployment model (random weights have no decision margins, so their
+/// argmax is pure noise); the latency comparison is weight-value
+/// independent either way.
 #[derive(Debug, Serialize, Deserialize)]
 struct Int8Serve {
     fp32_weight_bytes: u64,
     int8_weight_bytes: u64,
     compression: f64,
+    /// Peak live activation footprint at the measured batch size —
+    /// the int8 plan's im2col buffer packs 1-byte lanes.
+    fp32_activation_bytes: u64,
+    int8_activation_bytes: u64,
+    /// How activation scales were fixed at plan-build time.
+    calibration: String,
+    calibration_samples: u64,
+    train_tiles: u64,
+    eval_tiles: u64,
+    batch: u64,
     fp32_ms: f64,
     int8_ms: f64,
-    /// Largest absolute logit difference on a seeded batch.
+    /// fp32 batch time over int8 batch time. Recorded honestly, not
+    /// gated: on wide-SIMD f32 hosts the int8 path can land near or
+    /// below 1x — the int8 win this block *does* gate is footprint
+    /// (compression >= 3x) and accuracy (drop <= 0.5%), plus its own
+    /// throughput row against the committed baseline.
+    speedup_vs_fp32: f64,
+    int8_single_stream_ms: f64,
+    /// Gate row: int8 whole-batch throughput.
+    int8_samples_per_s: f64,
+    /// Eval accuracy of each plan on the held-out seeded tiles.
+    fp32_accuracy: f64,
+    int8_accuracy: f64,
+    /// fp32 minus int8 accuracy; hard failure above 0.005.
+    accuracy_drop: f64,
+    /// Largest absolute logit difference across the whole eval set.
     max_logit_delta: f64,
 }
 
@@ -238,6 +276,7 @@ impl Report {
                 self.single_stream.samples_per_s,
             ),
             ("batched.samples_per_s", self.batched.samples_per_s),
+            ("int8.samples_per_s", self.int8.int8_samples_per_s),
             ("engine.samples_per_s", self.engine.samples_per_s),
         ];
         if let Some(o) = &self.overload {
@@ -286,9 +325,11 @@ fn model_for(arch: &hydronas_graph::ArchConfig) -> ResNet {
     ResNet::new(arch, &mut rng)
 }
 
-/// Compiles one sweep architecture into a served plan.
-fn plan_for(arch: &hydronas_graph::ArchConfig, config: &PlanConfig) -> ExecutionPlan {
-    ExecutionPlan::compile(&model_for(arch), config)
+/// Compiles one sweep architecture into a served fp32 plan.
+fn plan_for(arch: &hydronas_graph::ArchConfig) -> ExecutionPlan {
+    ExecutionPlan::builder(&model_for(arch))
+        .build()
+        .expect("fp32 plan needs no quantization scheme")
 }
 
 fn sample(channels: usize, seed: u64) -> Tensor {
@@ -365,38 +406,150 @@ fn bench_batched(
     }
 }
 
-/// Compares int8 (dequant-on-load) against fp32 on the same model:
-/// footprint, latency, and logit drift.
+/// The first `n` tiles of a set as one NCHW batch tensor.
+fn tile_batch(set: &TileSet, n: usize) -> Tensor {
+    let n = n.min(set.len());
+    let dims = set.features.dims();
+    let sample = dims[1] * dims[2] * dims[3];
+    Tensor::from_vec(
+        set.features.as_slice()[..n * sample].to_vec(),
+        &[n, dims[1], dims[2], dims[3]],
+    )
+}
+
+/// Trains the deployment architecture briefly on seeded tiles so the
+/// int8-vs-fp32 accuracy comparison runs against real decision margins
+/// instead of the argmax noise of random weights. Sequential batches,
+/// fixed seed: the trained weights are identical run to run.
+fn trained_deploy_model(arch: &hydronas_graph::ArchConfig, train: &TileSet) -> ResNet {
+    let mut rng = TensorRng::seed_from_u64(17);
+    let mut model = ResNet::new(arch, &mut rng);
+    let mut opt = Sgd::new(0.01, 0.9, 1e-4);
+    let loss_fn = CrossEntropyLoss;
+    let dims = train.features.dims();
+    let sample = dims[1] * dims[2] * dims[3];
+    let src = train.features.as_slice();
+    let n = train.len();
+    let batch = 16.min(n);
+    for _epoch in 0..4 {
+        let mut i = 0usize;
+        while i < n {
+            let j = (i + batch).min(n);
+            let x = Tensor::from_vec(
+                src[i * sample..j * sample].to_vec(),
+                &[j - i, dims[1], dims[2], dims[3]],
+            );
+            model.zero_grad();
+            let logits = model.forward(&x, true);
+            let (_, grad) = loss_fn.forward_backward(&logits, &train.labels[i..j]);
+            model.backward(&grad);
+            opt.step(&mut model);
+            i = j;
+        }
+    }
+    model
+}
+
+/// Classifies every tile of `set` through the plan (batches of 32) and
+/// returns the accuracy plus the flattened logits for delta comparison.
+fn plan_accuracy(plan: &ExecutionPlan, set: &TileSet) -> (f64, Vec<f32>) {
+    let dims = set.features.dims();
+    let sample = dims[1] * dims[2] * dims[3];
+    let src = set.features.as_slice();
+    let n = set.len();
+    let classes = plan.arch().num_classes;
+    let mut logits = Vec::with_capacity(n * classes);
+    let mut i = 0usize;
+    while i < n {
+        let j = (i + 32).min(n);
+        let x = Tensor::from_vec(
+            src[i * sample..j * sample].to_vec(),
+            &[j - i, dims[1], dims[2], dims[3]],
+        );
+        logits.extend_from_slice(plan.run_batch(&x).as_slice());
+        i = j;
+    }
+    let mut correct = 0usize;
+    for (row, &label) in logits.chunks_exact(classes).zip(&set.labels) {
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, _)| k)
+            .expect("num_classes >= 1");
+        correct += usize::from(pred == label);
+    }
+    (correct as f64 / n as f64, logits)
+}
+
+/// Runs the deployment model end to end in int8 — per-channel weight
+/// quantization, min/max activation calibration on seeded training
+/// tiles, packed i8 GEMM convs and classifier — and compares footprint,
+/// latency, and eval accuracy against the fp32 plan of the same
+/// (briefly trained) weights.
 fn bench_int8(arch: &hydronas_graph::ArchConfig, reps: usize) -> Int8Serve {
-    let fp32 = plan_for(arch, &PlanConfig::default());
-    let int8 = plan_for(
-        arch,
-        &PlanConfig {
-            precision: hydronas_graph::Precision::Int8,
-            ..PlanConfig::default()
-        },
-    );
-    let x = batch_of(arch.in_channels, 4, 23);
+    let mode = ChannelMode::from_channels(arch.in_channels);
+    let train = build_dataset(&study_regions()[..1], mode, INPUT_HW, 0.05, 61);
+    let eval = build_dataset(&study_regions()[..1], mode, INPUT_HW, 0.15, 62);
+    let model = trained_deploy_model(arch, &train);
+
+    let fp32 = ExecutionPlan::builder(&model)
+        .build()
+        .expect("fp32 plan needs no quantization scheme");
+    let calibration_samples = 32usize.min(train.len());
+    let calib = tile_batch(&train, calibration_samples);
+    let int8 = ExecutionPlan::builder(&model)
+        .numerics(Numerics::QuantizedInt8)
+        .quantization(
+            QuantizationScheme::per_channel().calibrate(CalibrationMethod::MinMax, &calib),
+        )
+        .build()
+        .expect("int8 plan builds from a calibrated scheme");
+
+    let batch = 8usize;
+    let x = tile_batch(&eval, batch);
     let t_fp32 = time_median(reps, || {
         let _ = fp32.run_batch(&x);
     });
     let t_int8 = time_median(reps, || {
         let _ = int8.run_batch(&x);
     });
-    let a = fp32.run_batch(&x);
-    let b = int8.run_batch(&x);
-    let max_logit_delta = a
-        .as_slice()
+    let dims = eval.features.dims();
+    let one = Tensor::from_vec(
+        eval.features.as_slice()[..dims[1] * dims[2] * dims[3]].to_vec(),
+        &[dims[1], dims[2], dims[3]],
+    );
+    let t_single = time_median(reps, || {
+        let _ = int8.run_single(&one);
+    });
+
+    let (fp32_accuracy, fp32_logits) = plan_accuracy(&fp32, &eval);
+    let (int8_accuracy, int8_logits) = plan_accuracy(&int8, &eval);
+    let max_logit_delta = fp32_logits
         .iter()
-        .zip(b.as_slice())
-        .map(|(p, q)| (p - q).abs() as f64)
+        .zip(&int8_logits)
+        .map(|(p, q)| f64::from((p - q).abs()))
         .fold(0.0, f64::max);
+
     Int8Serve {
         fp32_weight_bytes: fp32.weight_bytes(),
         int8_weight_bytes: int8.weight_bytes(),
         compression: fp32.weight_bytes() as f64 / int8.weight_bytes() as f64,
+        fp32_activation_bytes: fp32.activation_bytes(batch, INPUT_HW),
+        int8_activation_bytes: int8.activation_bytes(batch, INPUT_HW),
+        calibration: "per_channel/minmax".to_string(),
+        calibration_samples: calibration_samples as u64,
+        train_tiles: train.len() as u64,
+        eval_tiles: eval.len() as u64,
+        batch: batch as u64,
         fp32_ms: t_fp32 * 1e3,
         int8_ms: t_int8 * 1e3,
+        speedup_vs_fp32: t_fp32 / t_int8,
+        int8_single_stream_ms: t_single * 1e3,
+        int8_samples_per_s: batch as f64 / t_int8,
+        fp32_accuracy,
+        int8_accuracy,
+        accuracy_drop: fp32_accuracy - int8_accuracy,
         max_logit_delta,
     }
 }
@@ -744,7 +897,7 @@ fn bench_pareto(
     let mut fastest: Option<(f64, hydronas_graph::ArchConfig)> = None;
     for outcome in &front {
         let arch = outcome.spec.arch;
-        let plan = plan_for(&arch, &PlanConfig::default());
+        let plan = plan_for(&arch);
         let x = sample(arch.in_channels, 29);
         let t = time_median(reps, || {
             let _ = plan.run_single(&x);
@@ -890,10 +1043,11 @@ fn main() -> ExitCode {
     );
 
     let deploy_model = model_for(&deploy_arch);
-    let plan = Arc::new(ExecutionPlan::compile(
-        &deploy_model,
-        &PlanConfig::default(),
-    ));
+    let plan = Arc::new(
+        ExecutionPlan::builder(&deploy_model)
+            .build()
+            .expect("fp32 plan needs no quantization scheme"),
+    );
     let arch_label = format!(
         "k{}s{}p{}f{}{}",
         deploy_arch.kernel_size,
@@ -929,11 +1083,15 @@ fn main() -> ExitCode {
         "  best batch {}: {:.2}x eval baseline, {:.2}x plan single-stream",
         batched.batch, batched.speedup_vs_eval_baseline, batched.speedup_vs_single_stream
     );
-    eprintln!("timing int8 vs fp32 ({reps} reps)...");
+    eprintln!("training the deployment model and timing int8 vs fp32 execution ({reps} reps)...");
     let int8 = bench_int8(&deploy_arch, reps);
     eprintln!(
-        "  {:.2}x smaller, fp32 {:.3} ms vs int8 {:.3} ms, max logit delta {:.4}",
-        int8.compression, int8.fp32_ms, int8.int8_ms, int8.max_logit_delta
+        "  {:.2}x smaller, fp32 {:.3} ms vs int8 {:.3} ms ({:.2}x), max logit delta {:.4}",
+        int8.compression, int8.fp32_ms, int8.int8_ms, int8.speedup_vs_fp32, int8.max_logit_delta
+    );
+    eprintln!(
+        "  accuracy fp32 {:.4} vs int8 {:.4} (drop {:+.4}) on {} eval tiles",
+        int8.fp32_accuracy, int8.int8_accuracy, int8.accuracy_drop, int8.eval_tiles
     );
     eprintln!("driving the batching engine ({clients} clients x {per_client} requests)...");
     let (engine, observability) = bench_engine(Arc::clone(&plan), clients, per_client);
@@ -1006,7 +1164,7 @@ fn main() -> ExitCode {
     }
 
     let report = Report {
-        schema: "hydronas-bench-serve/v4".to_string(),
+        schema: "hydronas-bench-serve/v5".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         avx2_fma: avx2_fma(),
         compute_threads: hydronas_tensor::compute_threads() as u64,
@@ -1039,6 +1197,24 @@ fn main() -> ExitCode {
         failed.push(format!(
             "int8 compression {:.2}x is below the required 3x",
             report.int8.compression
+        ));
+    }
+    if report.int8.accuracy_drop > 0.005 {
+        failed.push(format!(
+            "int8 eval accuracy dropped {:.4} vs fp32 (must be <= 0.005)",
+            report.int8.accuracy_drop
+        ));
+    }
+    if !report.int8.max_logit_delta.is_finite() || report.int8.max_logit_delta > 5.0 {
+        failed.push(format!(
+            "int8 logits drifted {:.4} from fp32 (must stay finite and < 5)",
+            report.int8.max_logit_delta
+        ));
+    }
+    if report.int8.int8_activation_bytes >= report.int8.fp32_activation_bytes {
+        failed.push(format!(
+            "int8 activation footprint {} B did not shrink below fp32's {} B",
+            report.int8.int8_activation_bytes, report.int8.fp32_activation_bytes
         ));
     }
     if report.engine.telemetry_samples != report.engine.requests

@@ -105,12 +105,13 @@ pub mod prelude {
     };
     pub use hydronas_graph::{
         architecture_summary, model_cost, quantized_size_bytes, serialized_size_bytes, ArchConfig,
-        GraphError, ModelGraph, OnnxError, PoolConfig, Precision, BASELINE_RESNET18,
+        CalibrationMethod, GraphError, ModelGraph, OnnxError, PoolConfig, Precision,
+        BASELINE_RESNET18,
     };
     pub use hydronas_infer::{
         DrainStats, Engine, EngineConfig, EngineConfigBuilder, EngineStats, ExecutionPlan,
-        InferError, InferRequest, LayerCost, LayerProfile, Numerics, PlanConfig, Prediction,
-        PredictionHandle, RetryConfig, ShedPolicy,
+        InferError, InferRequest, LayerCost, LayerProfile, Numerics, PlanBuilder, PlanConfig,
+        Prediction, PredictionHandle, QuantizationScheme, RetryConfig, ShedPolicy,
     };
     pub use hydronas_latency::{
         predict_all, predict_all_quantized, predict_energy, validate_table2, DeviceId,

@@ -30,5 +30,8 @@ pub use graph::{GraphError, ModelGraph, Node, NodeKind};
 pub use onnx::{
     deserialize_model, serialize_model, serialized_size_bytes, OnnxError, OnnxLikeModel,
 };
-pub use quantize::{quantize_tensor, quantized_size_bytes, Precision, QuantizedTensor};
+pub use quantize::{
+    quantize_per_channel, quantize_tensor, quantized_size_bytes, ActivationObserver,
+    CalibrationMethod, ChannelQuantizedTensor, Precision, QuantizedTensor,
+};
 pub use summary::architecture_summary;

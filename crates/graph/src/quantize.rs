@@ -39,15 +39,188 @@ pub struct QuantizedTensor {
 /// Symmetric per-tensor quantization of a weight blob.
 ///
 /// The scale maps the largest-magnitude weight to ±127; an all-zero blob
-/// gets scale 1 (any scale dequantizes zeros to zeros).
+/// gets scale 1 (any scale dequantizes zeros to zeros). A blob whose
+/// largest magnitude is subnormally small gets the minimum positive normal
+/// scale: without the floor, `max_abs / 127` can underflow to 0, making
+/// `w / scale` produce NaN/inf that `as i8` silently collapses to 0 and
+/// `dequantize` cannot invert.
 pub fn quantize_tensor(weights: &[f32]) -> QuantizedTensor {
     let max_abs = weights.iter().fold(0.0f32, |acc, &w| acc.max(w.abs()));
-    let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+    let scale = symmetric_scale(max_abs);
     let values = weights
         .iter()
         .map(|&w| (w / scale).round().clamp(-127.0, 127.0) as i8)
         .collect();
     QuantizedTensor { scale, values }
+}
+
+/// Maps a maximum observed magnitude to a symmetric int8 scale, flooring at
+/// `f32::MIN_POSITIVE` so division by the scale can never overflow to
+/// inf/NaN (see [`quantize_tensor`]).
+fn symmetric_scale(max_abs: f32) -> f32 {
+    if max_abs > 0.0 {
+        (max_abs / 127.0).max(f32::MIN_POSITIVE)
+    } else {
+        1.0
+    }
+}
+
+/// Per-channel symmetrically quantized tensor: `channels` independent
+/// scales, each covering one equal-length contiguous chunk of `values`.
+///
+/// For a conv weight `[out_c, in_c·k·k]` each output channel's filter gets
+/// its own scale, which preserves dynamic range when per-channel magnitudes
+/// differ by orders of magnitude — exactly the regime BN-folded weights
+/// land in, where the folded `γ/σ` factor stretches channels unevenly.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChannelQuantizedTensor {
+    /// One scale per channel, in channel order.
+    pub scales: Vec<f32>,
+    /// Quantized payload, `[channels, len/channels]` row-major.
+    pub values: Vec<i8>,
+}
+
+/// Per-channel symmetric quantization: splits `weights` into `channels`
+/// equal contiguous chunks and quantizes each with its own scale.
+///
+/// Panics if `channels` is zero or does not divide `weights.len()`.
+pub fn quantize_per_channel(weights: &[f32], channels: usize) -> ChannelQuantizedTensor {
+    assert!(channels > 0, "need at least one channel");
+    assert_eq!(
+        weights.len() % channels,
+        0,
+        "weight length {} not divisible into {} channels",
+        weights.len(),
+        channels
+    );
+    let per_channel = weights.len() / channels;
+    let mut scales = Vec::with_capacity(channels);
+    let mut values = Vec::with_capacity(weights.len());
+    for chunk in weights.chunks_exact(per_channel) {
+        let q = quantize_tensor(chunk);
+        scales.push(q.scale);
+        values.extend_from_slice(&q.values);
+    }
+    ChannelQuantizedTensor { scales, values }
+}
+
+impl ChannelQuantizedTensor {
+    /// Number of channels (= number of scales).
+    pub fn channels(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Reconstructs approximate fp32 weights, channel by channel.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let per_channel = self.values.len() / self.scales.len().max(1);
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| f32::from(q) * self.scales[i / per_channel])
+            .collect()
+    }
+
+    /// Worst-case absolute reconstruction error within channel `ch`.
+    pub fn max_error(&self, ch: usize) -> f32 {
+        self.scales[ch] * 0.5
+    }
+}
+
+/// How an activation-range observer turns observed magnitudes into a
+/// clipping range (and thus an int8 scale).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CalibrationMethod {
+    /// Clip at the largest magnitude seen: zero clipping error, but one
+    /// outlier can stretch the scale and waste resolution.
+    MinMax,
+    /// Clip at the given quantile of observed magnitudes, in `(0, 1]`
+    /// (e.g. `Percentile(0.999)`): trades bounded clipping of outliers for
+    /// finer resolution in the bulk of the distribution.
+    Percentile(f64),
+}
+
+impl CalibrationMethod {
+    /// Validates the method's parameters; `Err` holds a human-readable
+    /// reason. `Percentile(1.0)` is exactly `MinMax`.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            CalibrationMethod::MinMax => Ok(()),
+            CalibrationMethod::Percentile(p) => {
+                if p.is_finite() && p > 0.0 && p <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!("percentile must be in (0, 1], got {p}"))
+                }
+            }
+        }
+    }
+}
+
+/// Streams activation values and produces a deterministic symmetric int8
+/// scale for them.
+///
+/// Determinism contract: the resulting scale depends only on the multiset
+/// of observed values and the method — never on observation batching,
+/// ordering, or thread count. `MinMax` folds a max (associative,
+/// order-free); `Percentile` stores every magnitude and sorts with
+/// `total_cmp` (a total order, so ties cannot reorder nondeterministically)
+/// before indexing.
+#[derive(Clone, Debug)]
+pub struct ActivationObserver {
+    method: CalibrationMethod,
+    max_abs: f32,
+    magnitudes: Vec<f32>,
+}
+
+impl ActivationObserver {
+    /// New observer; panics if the method's parameters are invalid
+    /// (validate with [`CalibrationMethod::validate`] first for a typed
+    /// error path).
+    pub fn new(method: CalibrationMethod) -> Self {
+        method.validate().expect("invalid calibration method");
+        ActivationObserver {
+            method,
+            max_abs: 0.0,
+            magnitudes: Vec::new(),
+        }
+    }
+
+    /// Folds a batch of activations into the observer. Non-finite values
+    /// are ignored (they would otherwise poison the scale forever).
+    pub fn observe(&mut self, values: &[f32]) {
+        match self.method {
+            CalibrationMethod::MinMax => {
+                for &v in values {
+                    if v.is_finite() {
+                        self.max_abs = self.max_abs.max(v.abs());
+                    }
+                }
+            }
+            CalibrationMethod::Percentile(_) => {
+                self.magnitudes
+                    .extend(values.iter().filter(|v| v.is_finite()).map(|v| v.abs()));
+            }
+        }
+    }
+
+    /// The symmetric int8 scale for everything observed so far. An
+    /// observer that saw nothing (or only zeros) returns scale 1.
+    pub fn scale(&self) -> f32 {
+        let clip = match self.method {
+            CalibrationMethod::MinMax => self.max_abs,
+            CalibrationMethod::Percentile(p) => {
+                if self.magnitudes.is_empty() {
+                    0.0
+                } else {
+                    let mut sorted = self.magnitudes.clone();
+                    sorted.sort_unstable_by(f32::total_cmp);
+                    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+                    sorted[idx.min(sorted.len() - 1)]
+                }
+            }
+        };
+        symmetric_scale(clip)
+    }
 }
 
 impl QuantizedTensor {
@@ -199,6 +372,132 @@ mod tests {
         let scales = g.nodes.iter().filter(|n| node_cost(n).params > 0).count() as u64;
         assert!(int8 < fp32);
         assert_eq!(int8, fp32 - 4 * params + params + 4 * scales);
+    }
+
+    #[test]
+    fn subnormal_tensor_quantizes_without_nan() {
+        // Regression: max_abs in the subnormal range made `max_abs / 127`
+        // underflow to 0.0, so `w / scale` was NaN (0/0) or inf, which
+        // `as i8` silently collapsed to 0 — and dequantize could then
+        // produce NaN. The minimum-scale floor keeps everything finite.
+        let tiny = f32::MIN_POSITIVE / 2.0; // subnormal
+        let q = quantize_tensor(&[tiny, -tiny, 0.0]);
+        assert!(q.scale > 0.0 && q.scale.is_finite(), "scale {}", q.scale);
+        assert!(
+            q.dequantize().iter().all(|v| v.is_finite()),
+            "dequantize must stay finite: {:?}",
+            q.dequantize()
+        );
+        // Constant tensors hit the same guard through their shared max.
+        let q2 = quantize_tensor(&[tiny; 5]);
+        assert!(q2.scale > 0.0 && q2.dequantize().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn per_channel_roundtrip_bounds_error_per_channel() {
+        // Two channels with very different ranges: per-channel scales keep
+        // the small channel's error proportional to *its* range, not the
+        // large channel's.
+        let big: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 2.0).collect();
+        let small: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 1e-3).collect();
+        let mut weights = big.clone();
+        weights.extend_from_slice(&small);
+        let q = quantize_per_channel(&weights, 2);
+        assert_eq!(q.channels(), 2);
+        assert!(q.scales[0] > 100.0 * q.scales[1]);
+        let back = q.dequantize();
+        for (i, (w, b)) in weights.iter().zip(&back).enumerate() {
+            let ch = i / 16;
+            assert!(
+                (w - b).abs() <= q.max_error(ch) + 1e-9,
+                "ch {ch}: {w} vs {b}"
+            );
+        }
+        // A per-tensor scale on the same blob would round the entire small
+        // channel to zero; per-channel must not.
+        assert!(back[16..].iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn per_channel_matches_per_tensor_per_chunk() {
+        let weights: Vec<f32> = (0..24).map(|i| (i as f32) * 0.1 - 1.0).collect();
+        let q = quantize_per_channel(&weights, 3);
+        for ch in 0..3 {
+            let chunk = &weights[ch * 8..][..8];
+            let single = quantize_tensor(chunk);
+            assert_eq!(q.scales[ch], single.scale);
+            assert_eq!(&q.values[ch * 8..][..8], &single.values[..]);
+        }
+    }
+
+    #[test]
+    fn minmax_observer_is_order_and_batch_invariant() {
+        let data: Vec<f32> = (0..100)
+            .map(|i| ((i * 37) % 100) as f32 * 0.03 - 1.5)
+            .collect();
+        let mut one_shot = ActivationObserver::new(CalibrationMethod::MinMax);
+        one_shot.observe(&data);
+        let mut chunked = ActivationObserver::new(CalibrationMethod::MinMax);
+        for chunk in data.chunks(7) {
+            chunked.observe(chunk);
+        }
+        let mut reversed = ActivationObserver::new(CalibrationMethod::MinMax);
+        let rev: Vec<f32> = data.iter().rev().copied().collect();
+        reversed.observe(&rev);
+        assert_eq!(one_shot.scale().to_bits(), chunked.scale().to_bits());
+        assert_eq!(one_shot.scale().to_bits(), reversed.scale().to_bits());
+        assert!((one_shot.scale() - 1.5 / 127.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_observer_clips_outliers() {
+        // 999 values in [0, 1] plus one huge outlier: MinMax stretches the
+        // scale to the outlier, Percentile(0.99) ignores it.
+        let mut data: Vec<f32> = (0..999).map(|i| i as f32 / 999.0).collect();
+        data.push(1000.0);
+        let mut minmax = ActivationObserver::new(CalibrationMethod::MinMax);
+        minmax.observe(&data);
+        let mut pct = ActivationObserver::new(CalibrationMethod::Percentile(0.99));
+        pct.observe(&data);
+        assert!((minmax.scale() - 1000.0 / 127.0).abs() < 1e-3);
+        assert!(pct.scale() < 1.0 / 127.0 + 1e-3, "scale {}", pct.scale());
+        // Percentile(1.0) degenerates to MinMax exactly.
+        let mut full = ActivationObserver::new(CalibrationMethod::Percentile(1.0));
+        full.observe(&data);
+        assert_eq!(full.scale().to_bits(), minmax.scale().to_bits());
+    }
+
+    #[test]
+    fn percentile_observer_is_batch_invariant() {
+        let data: Vec<f32> = (0..500).map(|i| ((i * 73) % 500) as f32 * 0.01).collect();
+        let mut one_shot = ActivationObserver::new(CalibrationMethod::Percentile(0.95));
+        one_shot.observe(&data);
+        let mut chunked = ActivationObserver::new(CalibrationMethod::Percentile(0.95));
+        for chunk in data.chunks(13) {
+            chunked.observe(chunk);
+        }
+        assert_eq!(one_shot.scale().to_bits(), chunked.scale().to_bits());
+    }
+
+    #[test]
+    fn observers_ignore_non_finite_and_empty_input() {
+        let mut obs = ActivationObserver::new(CalibrationMethod::MinMax);
+        obs.observe(&[f32::NAN, f32::INFINITY, f32::NEG_INFINITY]);
+        assert_eq!(obs.scale(), 1.0); // nothing (finite) observed
+        obs.observe(&[0.5]);
+        assert!((obs.scale() - 0.5 / 127.0).abs() < 1e-9);
+        let empty = ActivationObserver::new(CalibrationMethod::Percentile(0.9));
+        assert_eq!(empty.scale(), 1.0);
+    }
+
+    #[test]
+    fn calibration_method_validation() {
+        assert!(CalibrationMethod::MinMax.validate().is_ok());
+        assert!(CalibrationMethod::Percentile(0.999).validate().is_ok());
+        assert!(CalibrationMethod::Percentile(1.0).validate().is_ok());
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(CalibrationMethod::Percentile(bad).validate().is_err());
+        }
     }
 
     #[test]

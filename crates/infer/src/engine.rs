@@ -234,6 +234,11 @@ pub enum InferError {
     /// A degenerate [`EngineConfig`] knob was rejected by
     /// [`EngineConfigBuilder::build`]; `field` names the offender.
     InvalidConfig { field: &'static str },
+    /// A quantized plan could not be built: missing or uncalibrated
+    /// [`QuantizationScheme`](crate::QuantizationScheme), invalid
+    /// calibration parameters, or a calibration batch whose shape does not
+    /// match the model (see [`PlanBuilder::build`](crate::PlanBuilder::build)).
+    InvalidQuantization { reason: String },
 }
 
 impl std::fmt::Display for InferError {
@@ -254,6 +259,9 @@ impl std::fmt::Display for InferError {
             ),
             InferError::InvalidConfig { field } => {
                 write!(f, "invalid engine config: {field} must be positive")
+            }
+            InferError::InvalidQuantization { reason } => {
+                write!(f, "invalid quantization: {reason}")
             }
         }
     }

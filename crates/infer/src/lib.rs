@@ -17,7 +17,7 @@
 //! ## Quick example
 //!
 //! ```
-//! use hydronas_infer::{Engine, EngineConfig, ExecutionPlan, PlanConfig};
+//! use hydronas_infer::{Engine, EngineConfig, ExecutionPlan};
 //! use hydronas_nn::ResNet;
 //! use hydronas_tensor::TensorRng;
 //! use std::sync::Arc;
@@ -27,11 +27,35 @@
 //! let mut rng = TensorRng::seed_from_u64(0);
 //! let model = ResNet::new(&arch, &mut rng);
 //!
-//! let plan = Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()));
+//! let plan = Arc::new(ExecutionPlan::builder(&model).build().unwrap());
 //! let engine = Engine::start(plan, EngineConfig::default());
 //! let x = hydronas_tensor::uniform(&[5, 16, 16], -1.0, 1.0, &mut rng);
 //! let prediction = engine.infer(x).unwrap();
 //! assert_eq!(prediction.logits.len(), 2);
+//! ```
+//!
+//! For true int8 serving, calibrate a quantized plan through the builder:
+//!
+//! ```
+//! use hydronas_graph::CalibrationMethod;
+//! use hydronas_infer::{ExecutionPlan, Numerics, QuantizationScheme};
+//! use hydronas_nn::ResNet;
+//! use hydronas_tensor::TensorRng;
+//!
+//! let mut arch = hydronas_graph::ArchConfig::baseline(5);
+//! arch.initial_features = 4;
+//! let mut rng = TensorRng::seed_from_u64(0);
+//! let model = ResNet::new(&arch, &mut rng);
+//! let batch = hydronas_tensor::uniform(&[2, 5, 16, 16], -1.0, 1.0, &mut rng);
+//!
+//! let plan = ExecutionPlan::builder(&model)
+//!     .numerics(Numerics::QuantizedInt8)
+//!     .quantization(
+//!         QuantizationScheme::per_channel().calibrate(CalibrationMethod::MinMax, &batch),
+//!     )
+//!     .build()
+//!     .unwrap();
+//! assert!(plan.weight_bytes() > 0);
 //! ```
 
 mod engine;
@@ -41,12 +65,14 @@ pub use engine::{
     DrainStats, Engine, EngineConfig, EngineConfigBuilder, EngineStats, InferError, InferRequest,
     Prediction, PredictionHandle, RetryConfig, ShedPolicy,
 };
-pub use plan::{ExecutionPlan, LayerCost, LayerProfile, Numerics, PlanConfig};
+pub use plan::{
+    ExecutionPlan, LayerCost, LayerProfile, Numerics, PlanBuilder, PlanConfig, QuantizationScheme,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hydronas_graph::{ArchConfig, PoolConfig, Precision};
+    use hydronas_graph::{ArchConfig, CalibrationMethod, PoolConfig, Precision};
     use hydronas_nn::ResNet;
     use hydronas_tensor::{approx_eq, uniform, Tensor, TensorRng};
     use std::sync::Arc;
@@ -91,13 +117,10 @@ mod tests {
     fn exact_plan_is_bit_identical_to_forward_eval() {
         for (seed, arch) in [tiny_arch(), pooled_arch()].into_iter().enumerate() {
             let model = warmed_model(&arch, seed as u64 + 1);
-            let plan = ExecutionPlan::compile(
-                &model,
-                &PlanConfig {
-                    precision: Precision::Fp32,
-                    numerics: Numerics::Exact,
-                },
-            );
+            let plan = ExecutionPlan::builder(&model)
+                .numerics(Numerics::Exact)
+                .build()
+                .unwrap();
             let mut rng = TensorRng::seed_from_u64(99);
             let x = uniform(&[3, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
             assert_eq!(plan.run_batch(&x), model.forward_eval(&x), "arch {arch:?}");
@@ -108,7 +131,7 @@ mod tests {
     fn fused_plan_matches_forward_eval_within_tolerance() {
         let arch = tiny_arch();
         let model = warmed_model(&arch, 7);
-        let plan = ExecutionPlan::compile(&model, &PlanConfig::default());
+        let plan = ExecutionPlan::builder(&model).build().unwrap();
         let mut rng = TensorRng::seed_from_u64(42);
         let x = uniform(&[4, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
         let fused = plan.run_batch(&x);
@@ -127,13 +150,10 @@ mod tests {
         for (arch, seed) in [(tiny_arch(), 11u64), (pooled_arch(), 12u64)] {
             let model = warmed_model(&arch, seed);
             for numerics in [Numerics::Exact, Numerics::Fused] {
-                let plan = ExecutionPlan::compile(
-                    &model,
-                    &PlanConfig {
-                        precision: Precision::Fp32,
-                        numerics,
-                    },
-                );
+                let plan = ExecutionPlan::builder(&model)
+                    .numerics(numerics)
+                    .build()
+                    .unwrap();
                 let mut rng = TensorRng::seed_from_u64(5);
                 let batch = uniform(&[3, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
                 let batched = plan.run_batch(&batch);
@@ -159,14 +179,11 @@ mod tests {
     fn int8_plan_stays_close_to_fp32_and_is_4x_smaller() {
         let arch = tiny_arch();
         let model = warmed_model(&arch, 13);
-        let fp32 = ExecutionPlan::compile(&model, &PlanConfig::default());
-        let int8 = ExecutionPlan::compile(
-            &model,
-            &PlanConfig {
-                precision: Precision::Int8,
-                numerics: Numerics::Fused,
-            },
-        );
+        let fp32 = ExecutionPlan::builder(&model).build().unwrap();
+        let int8 = ExecutionPlan::builder(&model)
+            .precision(Precision::Int8)
+            .build()
+            .unwrap();
         // Weight payloads shrink ~4x (biases/BN vectors stay f32, so the
         // whole-plan ratio lands a bit under 4).
         let ratio = fp32.weight_bytes() as f64 / int8.weight_bytes() as f64;
@@ -215,13 +232,12 @@ mod tests {
     fn engine_batch_of_one_is_bit_identical_to_forward_eval() {
         let arch = tiny_arch();
         let model = warmed_model(&arch, 19);
-        let plan = Arc::new(ExecutionPlan::compile(
-            &model,
-            &PlanConfig {
-                precision: Precision::Fp32,
-                numerics: Numerics::Exact,
-            },
-        ));
+        let plan = Arc::new(
+            ExecutionPlan::builder(&model)
+                .numerics(Numerics::Exact)
+                .build()
+                .unwrap(),
+        );
         let engine = Engine::start(
             plan,
             EngineConfig {
@@ -249,7 +265,7 @@ mod tests {
     fn concurrent_clients_get_correct_results_and_batches_form() {
         let arch = tiny_arch();
         let model = warmed_model(&arch, 23);
-        let plan = Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()));
+        let plan = Arc::new(ExecutionPlan::builder(&model).build().unwrap());
         let engine = Arc::new(Engine::start(
             Arc::clone(&plan),
             EngineConfig {
@@ -298,7 +314,7 @@ mod tests {
     fn racing_workers_never_execute_empty_batches() {
         let arch = tiny_arch();
         let model = warmed_model(&arch, 43);
-        let plan = Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()));
+        let plan = Arc::new(ExecutionPlan::builder(&model).build().unwrap());
         let engine = Arc::new(Engine::start(
             plan,
             EngineConfig {
@@ -335,7 +351,7 @@ mod tests {
     fn engine_rejects_bad_shapes_and_closes_cleanly() {
         let arch = tiny_arch();
         let model = warmed_model(&arch, 29);
-        let plan = Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()));
+        let plan = Arc::new(ExecutionPlan::builder(&model).build().unwrap());
         let engine = Engine::start(plan, EngineConfig::default());
         // Wrong channel count.
         let bad = Tensor::zeros(&[2, 8, 8]);
@@ -359,13 +375,10 @@ mod tests {
         for (arch, seed) in [(tiny_arch(), 51u64), (pooled_arch(), 52u64)] {
             let model = warmed_model(&arch, seed);
             for numerics in [Numerics::Exact, Numerics::Fused] {
-                let plan = ExecutionPlan::compile(
-                    &model,
-                    &PlanConfig {
-                        precision: Precision::Fp32,
-                        numerics,
-                    },
-                );
+                let plan = ExecutionPlan::builder(&model)
+                    .numerics(numerics)
+                    .build()
+                    .unwrap();
                 let mut rng = TensorRng::seed_from_u64(53);
                 let x = uniform(&[3, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
                 let expected = plan.run_batch(&x);
@@ -394,7 +407,7 @@ mod tests {
     fn profile_works_inside_a_caller_session_without_polluting_counts() {
         let arch = tiny_arch();
         let model = warmed_model(&arch, 57);
-        let plan = ExecutionPlan::compile(&model, &PlanConfig::default());
+        let plan = ExecutionPlan::builder(&model).build().unwrap();
         let mut rng = TensorRng::seed_from_u64(58);
         let x = uniform(&[2, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
         let session = hydronas_telemetry::session();
@@ -410,7 +423,7 @@ mod tests {
     fn stats_track_wait_exec_and_queue_peak() {
         let arch = tiny_arch();
         let model = warmed_model(&arch, 61);
-        let plan = Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()));
+        let plan = Arc::new(ExecutionPlan::builder(&model).build().unwrap());
         let engine = Engine::start(
             plan,
             EngineConfig {
@@ -438,11 +451,269 @@ mod tests {
     fn plan_weight_bytes_track_parameter_count() {
         let arch = tiny_arch();
         let model = warmed_model(&arch, 41);
-        let plan = ExecutionPlan::compile(&model, &PlanConfig::default());
+        let plan = ExecutionPlan::builder(&model).build().unwrap();
         // Fused fp32: 4 bytes per conv/fc weight scalar + 4 per folded bias
         // and fc bias scalar. That must cover at least every model weight.
         assert!(plan.weight_bytes() >= 4 * 9 * 4 * 5, "stem weights missing");
         assert_eq!(plan.arch(), &arch);
         assert_eq!(plan.config().numerics, Numerics::Fused);
+    }
+
+    /// Seeded calibration batch for quantized-plan tests.
+    fn calibration_batch(arch: &ArchConfig, seed: u64) -> Tensor {
+        let mut rng = TensorRng::seed_from_u64(seed);
+        uniform(&[4, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng)
+    }
+
+    /// Bounds the int8-vs-fp32 logit drift and checks argmax agreement on
+    /// every row whose fp32 top-2 margin comfortably exceeds the drift —
+    /// quantization can only legitimately flip a decision when the margin
+    /// is inside the perturbation. (The ≤0.5% *accuracy* contract runs on
+    /// a trained model in the workspace-level quantized-serving test;
+    /// these models are untrained, so raw argmax equality would test
+    /// noise.)
+    fn assert_quantization_agreement(fp32: &Tensor, int8: &Tensor, delta_bound: f32) {
+        let classes = fp32.dims()[1];
+        let mut worst = 0.0f32;
+        for (p, q) in fp32.as_slice().iter().zip(int8.as_slice()) {
+            worst = worst.max((p - q).abs());
+        }
+        assert!(worst < delta_bound, "worst logit delta {worst}");
+        for (i, (f, q)) in fp32
+            .argmax_rows()
+            .iter()
+            .zip(&int8.argmax_rows())
+            .enumerate()
+        {
+            let row = &fp32.as_slice()[i * classes..(i + 1) * classes];
+            let mut sorted = row.to_vec();
+            sorted.sort_by(f32::total_cmp);
+            let margin = sorted[classes - 1] - sorted[classes - 2];
+            if margin > 2.0 * worst {
+                assert_eq!(f, q, "row {i} flipped despite fp32 margin {margin}");
+            }
+        }
+    }
+
+    fn quantized_plan(model: &ResNet, batch: &Tensor) -> ExecutionPlan {
+        ExecutionPlan::builder(model)
+            .numerics(Numerics::QuantizedInt8)
+            .quantization(
+                QuantizationScheme::per_channel().calibrate(CalibrationMethod::MinMax, batch),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_invalid_quantization_setups() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 71);
+        let batch = calibration_batch(&arch, 72);
+        let reason = |r: Result<ExecutionPlan, InferError>| match r {
+            Err(InferError::InvalidQuantization { reason }) => reason,
+            Ok(_) => panic!("expected InvalidQuantization, got a plan"),
+            Err(other) => panic!("expected InvalidQuantization, got {other:?}"),
+        };
+        // Quantized numerics without a scheme.
+        let r = reason(
+            ExecutionPlan::builder(&model)
+                .numerics(Numerics::QuantizedInt8)
+                .build(),
+        );
+        assert!(r.contains("QuantizationScheme"), "{r}");
+        // A scheme that was never calibrated.
+        let r = reason(
+            ExecutionPlan::builder(&model)
+                .numerics(Numerics::QuantizedInt8)
+                .quantization(QuantizationScheme::per_channel())
+                .build(),
+        );
+        assert!(r.contains("calibrat"), "{r}");
+        // A scheme attached to f32 numerics.
+        let r = reason(
+            ExecutionPlan::builder(&model)
+                .quantization(
+                    QuantizationScheme::per_channel().calibrate(CalibrationMethod::MinMax, &batch),
+                )
+                .build(),
+        );
+        assert!(r.contains("QuantizedInt8"), "{r}");
+        // An out-of-range percentile.
+        let r = reason(
+            ExecutionPlan::builder(&model)
+                .numerics(Numerics::QuantizedInt8)
+                .quantization(
+                    QuantizationScheme::per_channel()
+                        .calibrate(CalibrationMethod::Percentile(1.5), &batch),
+                )
+                .build(),
+        );
+        assert!(r.contains("percentile"), "{r}");
+        // A calibration batch with the wrong channel count.
+        let bad = Tensor::zeros(&[2, arch.in_channels + 1, 16, 16]);
+        let r = reason(
+            ExecutionPlan::builder(&model)
+                .numerics(Numerics::QuantizedInt8)
+                .quantization(
+                    QuantizationScheme::per_channel().calibrate(CalibrationMethod::MinMax, &bad),
+                )
+                .build(),
+        );
+        assert!(r.contains("channels"), "{r}");
+        // A calibration batch that is not NCHW.
+        let flat = Tensor::zeros(&[arch.in_channels, 16, 16]);
+        let r = reason(
+            ExecutionPlan::builder(&model)
+                .numerics(Numerics::QuantizedInt8)
+                .quantization(
+                    QuantizationScheme::per_channel().calibrate(CalibrationMethod::MinMax, &flat),
+                )
+                .build(),
+        );
+        assert!(r.contains("NCHW"), "{r}");
+        // The error Displays with context.
+        let err = InferError::InvalidQuantization {
+            reason: "xyz".to_string(),
+        };
+        assert!(err.to_string().contains("invalid quantization: xyz"));
+    }
+
+    #[test]
+    fn quantized_plan_tracks_fp32_and_shrinks_weights() {
+        for (arch, seed) in [(tiny_arch(), 81u64), (pooled_arch(), 82u64)] {
+            let model = warmed_model(&arch, seed);
+            let batch = calibration_batch(&arch, seed + 100);
+            let fp32 = ExecutionPlan::builder(&model).build().unwrap();
+            let int8 = quantized_plan(&model, &batch);
+            assert_eq!(int8.config().numerics, Numerics::QuantizedInt8);
+            assert_eq!(int8.config().precision, Precision::Int8);
+            // True int8 storage: ~4x smaller than the fp32 plan (biases and
+            // per-channel scales keep it under exactly 4).
+            let ratio = fp32.weight_bytes() as f64 / int8.weight_bytes() as f64;
+            assert!((3.0..4.2).contains(&ratio), "ratio {ratio} for {arch:?}");
+
+            let mut rng = TensorRng::seed_from_u64(seed + 200);
+            let x = uniform(&[4, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+            let a = fp32.run_batch(&x);
+            let b = int8.run_batch(&x);
+            assert_quantization_agreement(&a, &b, 0.8);
+        }
+    }
+
+    #[test]
+    fn quantized_rows_are_bit_identical_to_single_runs() {
+        // Static calibration scales mean batch composition cannot leak into
+        // per-sample results; integer kernels make each sample exact.
+        let arch = pooled_arch();
+        let model = warmed_model(&arch, 83);
+        let batch = calibration_batch(&arch, 84);
+        let plan = quantized_plan(&model, &batch);
+        let mut rng = TensorRng::seed_from_u64(85);
+        let x = uniform(&[3, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+        let batched = plan.run_batch(&x);
+        let dims = x.dims();
+        let sample = dims[1] * dims[2] * dims[3];
+        let classes = batched.dims()[1];
+        for i in 0..dims[0] {
+            let single = Tensor::from_vec(
+                x.as_slice()[i * sample..(i + 1) * sample].to_vec(),
+                &[dims[1], dims[2], dims[3]],
+            );
+            assert_eq!(
+                plan.run_single(&single),
+                batched.as_slice()[i * classes..(i + 1) * classes].to_vec(),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_profile_batch_is_bit_identical_to_run_batch() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 87);
+        let batch = calibration_batch(&arch, 88);
+        let plan = quantized_plan(&model, &batch);
+        let mut rng = TensorRng::seed_from_u64(89);
+        let x = uniform(&[2, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+        let expected = plan.run_batch(&x);
+        let (got, profile) = plan.profile_batch(&x);
+        assert_eq!(got, expected);
+        // The int8 conv kernel reports FLOPs through op accounting too.
+        let stem = &profile.layers[0];
+        assert!(stem.flops > 0, "quantized stem FLOPs missing");
+    }
+
+    #[test]
+    fn quantized_engine_serves_bit_identical_to_plan() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 91);
+        let batch = calibration_batch(&arch, 92);
+        let plan = Arc::new(quantized_plan(&model, &batch));
+        let engine = Engine::start(Arc::clone(&plan), EngineConfig::default());
+        let mut rng = TensorRng::seed_from_u64(93);
+        for _ in 0..3 {
+            let x = uniform(&[arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+            let expected = plan.run_single(&x);
+            let got = engine.infer(x).unwrap();
+            assert_eq!(got.logits, expected);
+        }
+    }
+
+    #[test]
+    fn activation_bytes_reflect_geometry_and_precision() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 95);
+        let batch = calibration_batch(&arch, 96);
+        let fp32 = ExecutionPlan::builder(&model).build().unwrap();
+        let int8 = quantized_plan(&model, &batch);
+        let f = fp32.activation_bytes(8, 32);
+        let q = int8.activation_bytes(8, 32);
+        assert!(f > 0 && q > 0);
+        // The quantized path's im2col columns are 1 byte/element vs 4.
+        assert!(q < f, "int8 transient bytes {q} not below fp32 {f}");
+        // Scaling the batch scales the transient footprint.
+        assert!(fp32.activation_bytes(16, 32) > f);
+    }
+
+    #[test]
+    fn per_tensor_scheme_builds_and_stores_fewer_scale_bytes() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 97);
+        let batch = calibration_batch(&arch, 98);
+        let per_channel = quantized_plan(&model, &batch);
+        let per_tensor = ExecutionPlan::builder(&model)
+            .numerics(Numerics::QuantizedInt8)
+            .quantization(
+                QuantizationScheme::per_tensor().calibrate(CalibrationMethod::MinMax, &batch),
+            )
+            .build()
+            .unwrap();
+        // Same payload, fewer stored scales.
+        assert!(per_tensor.weight_bytes() < per_channel.weight_bytes());
+        // Still close enough to fp32 to agree on this batch's argmax.
+        let mut rng = TensorRng::seed_from_u64(99);
+        let x = uniform(&[4, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+        let fp32 = ExecutionPlan::builder(&model).build().unwrap();
+        assert_quantization_agreement(&fp32.run_batch(&x), &per_tensor.run_batch(&x), 1.2);
+    }
+
+    #[test]
+    fn percentile_calibration_builds_and_stays_close() {
+        let arch = tiny_arch();
+        let model = warmed_model(&arch, 101);
+        let batch = calibration_batch(&arch, 102);
+        let plan = ExecutionPlan::builder(&model)
+            .numerics(Numerics::QuantizedInt8)
+            .quantization(
+                QuantizationScheme::per_channel()
+                    .calibrate(CalibrationMethod::Percentile(0.999), &batch),
+            )
+            .build()
+            .unwrap();
+        let fp32 = ExecutionPlan::builder(&model).build().unwrap();
+        let mut rng = TensorRng::seed_from_u64(103);
+        let x = uniform(&[4, arch.in_channels, 32, 32], -1.0, 1.0, &mut rng);
+        assert_quantization_agreement(&fp32.run_batch(&x), &plan.run_batch(&x), 0.8);
     }
 }

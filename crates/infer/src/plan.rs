@@ -5,6 +5,10 @@
 //! result is immutable — one plan can be shared across worker threads behind
 //! an `Arc` with no per-thread clones and no interior mutability.
 //!
+//! Plans are built through the typed [`PlanBuilder`]
+//! (`ExecutionPlan::builder(&model)…build()?`); the old
+//! [`ExecutionPlan::compile`] entry survives as a deprecated shim.
+//!
 //! ## Numerics modes
 //!
 //! * [`Numerics::Exact`] keeps conv and batch norm as separate passes using
@@ -17,24 +21,41 @@
 //!   fused per-row bias/ReLU GEMM epilogues — one pass over each output
 //!   instead of three. Folding reassociates float arithmetic, so outputs
 //!   agree with eval forward only to within a small relative tolerance.
+//! * [`Numerics::QuantizedInt8`] folds batch norms the same way, then
+//!   quantizes every conv/FC weight to int8 (per-channel or per-tensor
+//!   symmetric) and fixes one static input scale per layer from a
+//!   calibration batch. At run time convs and the FC execute in pure
+//!   i8×i8→i32 arithmetic with a fused requantize+bias+ReLU epilogue
+//!   (`acc_i32 × (w_scale·in_scale) + bias`); activations travel between
+//!   layers as f32 and are re-quantized at each layer's static scale.
+//!   There is **no dequant-on-load**: the stored weights are the bytes the
+//!   kernels read. Scales are fixed at build time — never derived from the
+//!   batch being served — so quantized output keeps the same
+//!   batch-composition invariance as the f32 paths, and the integer
+//!   accumulation makes it bit-identical at any thread count.
 //!
-//! ## Int8 weight storage
+//! ## Int8 weight storage (`Precision::Int8` + f32 numerics)
 //!
-//! With [`Precision::Int8`], every weight tensor is stored through
-//! `graph::quantize` (symmetric per-tensor int8 + one f32 scale) and
-//! dequantized back to f32 once at compile time ("dequant on load"): the
-//! serialized footprint shrinks 4x while execution stays on the f32 kernels,
-//! which is exactly the paper's deployment contract — int8 is a *storage*
-//! format scored by the memory objective, not a separate arithmetic path.
+//! With [`Precision::Int8`] under `Exact`/`Fused` numerics, weight tensors
+//! are stored through `graph::quantize` (symmetric per-tensor int8 + one
+//! f32 scale) and dequantized back to f32 once at compile time ("dequant on
+//! load"): the serialized footprint shrinks 4x while execution stays on the
+//! f32 kernels. [`Numerics::QuantizedInt8`] supersedes this for serving —
+//! it keeps the 4x footprint *and* runs integer kernels.
 
-use hydronas_graph::{quantize_tensor, Precision};
+use hydronas_graph::{
+    quantize_per_channel, quantize_tensor, ActivationObserver, CalibrationMethod, Precision,
+};
 use hydronas_nn::ResNet;
 use hydronas_tensor::{
-    avg_pool2d_global, conv2d, conv2d_bias_act_prepacked, max_pool2d, pack_conv_weight,
-    PackedConvWeight, Tensor,
+    avg_pool2d_global, conv2d, conv2d_bias_act, conv2d_bias_act_prepacked, conv2d_q8, conv_out_dim,
+    max_pool2d, pack_conv_weight, qgemm_nt_col_scaled, quantize_slice_i8, PackedConvWeight,
+    QuantizedConvWeight, Tensor,
 };
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+use crate::engine::InferError;
 
 /// Float-arithmetic contract of a compiled plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,12 +66,19 @@ pub enum Numerics {
     /// Batch norm folded into conv weights and fused bias/ReLU epilogues;
     /// equal to eval forward only up to float re-rounding.
     Fused,
+    /// True int8 execution: BN-folded weights quantized to i8, static
+    /// calibrated activation scales, conv/FC running on i8×i8→i32 kernels
+    /// with fused requantization. Requires a calibrated
+    /// [`QuantizationScheme`] via [`PlanBuilder::quantization`].
+    QuantizedInt8,
 }
 
-/// Compilation options for [`ExecutionPlan::compile`].
+/// Compilation options for the deprecated [`ExecutionPlan::compile`] entry;
+/// also readable back from any plan via [`ExecutionPlan::config`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlanConfig {
-    /// Weight storage precision ([`Precision::Int8`] dequantizes on load).
+    /// Weight storage precision ([`Precision::Int8`] dequantizes on load
+    /// under f32 numerics; reported as `Int8` for quantized plans).
     pub precision: Precision,
     /// Kernel fusion / float-rounding contract.
     pub numerics: Numerics,
@@ -61,6 +89,157 @@ impl Default for PlanConfig {
         PlanConfig {
             precision: Precision::Fp32,
             numerics: Numerics::Fused,
+        }
+    }
+}
+
+/// Weight-scale granularity of a [`QuantizationScheme`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Granularity {
+    PerChannel,
+    PerTensor,
+}
+
+/// How a [`Numerics::QuantizedInt8`] plan quantizes weights and calibrates
+/// activation scales.
+///
+/// Construct with [`per_channel`](Self::per_channel) (one weight scale per
+/// output channel — the right default once batch norm is folded in, which
+/// stretches channel magnitudes unevenly) or
+/// [`per_tensor`](Self::per_tensor) (one scale per weight tensor), then
+/// attach a calibration batch:
+///
+/// ```ignore
+/// QuantizationScheme::per_channel().calibrate(CalibrationMethod::MinMax, &batch)
+/// ```
+#[derive(Clone, Debug)]
+pub struct QuantizationScheme {
+    granularity: Granularity,
+    method: Option<CalibrationMethod>,
+    calibration: Option<Tensor>,
+}
+
+impl QuantizationScheme {
+    /// Per-output-channel symmetric weight scales.
+    pub fn per_channel() -> QuantizationScheme {
+        QuantizationScheme {
+            granularity: Granularity::PerChannel,
+            method: None,
+            calibration: None,
+        }
+    }
+
+    /// One symmetric weight scale per tensor. Cheaper metadata, coarser
+    /// resolution — see DESIGN.md for the trade-off.
+    pub fn per_tensor() -> QuantizationScheme {
+        QuantizationScheme {
+            granularity: Granularity::PerTensor,
+            method: None,
+            calibration: None,
+        }
+    }
+
+    /// Attaches the activation-calibration method and the NCHW batch the
+    /// observers run over. The batch fixes every layer's static input
+    /// scale at build time; serving never derives scales from live data.
+    pub fn calibrate(mut self, method: CalibrationMethod, batch: &Tensor) -> QuantizationScheme {
+        self.method = Some(method);
+        self.calibration = Some(batch.clone());
+        self
+    }
+}
+
+/// Typed builder for [`ExecutionPlan`] — see [`ExecutionPlan::builder`].
+///
+/// Invalid combinations surface as
+/// [`InferError::InvalidQuantization`] from [`build`](Self::build) instead
+/// of panicking mid-compile.
+pub struct PlanBuilder<'m> {
+    model: &'m ResNet,
+    precision: Precision,
+    numerics: Numerics,
+    quantization: Option<QuantizationScheme>,
+}
+
+impl<'m> PlanBuilder<'m> {
+    /// Selects the numerics contract (default [`Numerics::Fused`]).
+    pub fn numerics(mut self, numerics: Numerics) -> PlanBuilder<'m> {
+        self.numerics = numerics;
+        self
+    }
+
+    /// Selects the weight *storage* precision for f32 numerics modes
+    /// (default [`Precision::Fp32`]). Ignored under
+    /// [`Numerics::QuantizedInt8`], which is int8 storage by construction.
+    pub fn precision(mut self, precision: Precision) -> PlanBuilder<'m> {
+        self.precision = precision;
+        self
+    }
+
+    /// Attaches the quantization scheme. Required for — and only valid
+    /// with — [`Numerics::QuantizedInt8`].
+    pub fn quantization(mut self, scheme: QuantizationScheme) -> PlanBuilder<'m> {
+        self.quantization = Some(scheme);
+        self
+    }
+
+    /// Compiles the plan, validating the quantization setup first.
+    pub fn build(self) -> Result<ExecutionPlan, InferError> {
+        let invalid = |reason: String| InferError::InvalidQuantization { reason };
+        match self.numerics {
+            Numerics::Exact | Numerics::Fused => {
+                if self.quantization.is_some() {
+                    return Err(invalid(
+                        "a QuantizationScheme only applies to Numerics::QuantizedInt8; \
+                         drop .quantization(..) or switch numerics"
+                            .to_string(),
+                    ));
+                }
+                Ok(compile_f32(
+                    self.model,
+                    &PlanConfig {
+                        precision: self.precision,
+                        numerics: self.numerics,
+                    },
+                ))
+            }
+            Numerics::QuantizedInt8 => {
+                let scheme = self.quantization.ok_or_else(|| {
+                    invalid(
+                        "Numerics::QuantizedInt8 needs a QuantizationScheme; \
+                         call .quantization(QuantizationScheme::per_channel().calibrate(..))"
+                            .to_string(),
+                    )
+                })?;
+                let method = scheme.method.ok_or_else(|| {
+                    invalid(
+                        "QuantizationScheme has no calibration; \
+                         call .calibrate(CalibrationMethod, &batch)"
+                            .to_string(),
+                    )
+                })?;
+                method.validate().map_err(invalid)?;
+                let batch = scheme
+                    .calibration
+                    .expect("calibrate() always sets the batch");
+                if batch.shape().ndim() != 4 {
+                    return Err(invalid(format!(
+                        "calibration batch must be NCHW, got {} dims",
+                        batch.shape().ndim()
+                    )));
+                }
+                if batch.dims()[0] == 0 {
+                    return Err(invalid("calibration batch is empty".to_string()));
+                }
+                if batch.dims()[1] != self.model.arch.in_channels {
+                    return Err(invalid(format!(
+                        "calibration batch has {} channels but the model expects {}",
+                        batch.dims()[1],
+                        self.model.arch.in_channels
+                    )));
+                }
+                compile_quantized(self.model, scheme.granularity, method, &batch)
+            }
         }
     }
 }
@@ -86,6 +265,14 @@ enum ConvKind {
         weight: PackedConvWeight,
         bias: Vec<f32>,
     },
+    /// BN-folded weight quantized to int8; executes through
+    /// [`conv2d_q8`]'s i8×i8→i32 kernel with the static calibrated
+    /// `input_scale` and a fused requantize+bias(+ReLU) epilogue.
+    Quantized {
+        weight: QuantizedConvWeight,
+        input_scale: f32,
+        bias: Vec<f32>,
+    },
 }
 
 /// One conv + batch-norm (+ optional ReLU) step of the plan.
@@ -102,6 +289,19 @@ impl ConvBnOp {
             ConvKind::Fused { weight, bias } => {
                 conv2d_bias_act_prepacked(input, weight, bias, self.relu, self.stride, self.padding)
             }
+            ConvKind::Quantized {
+                weight,
+                input_scale,
+                bias,
+            } => conv2d_q8(
+                input,
+                weight,
+                *input_scale,
+                bias,
+                self.relu,
+                self.stride,
+                self.padding,
+            ),
             ConvKind::Exact {
                 weight,
                 gamma,
@@ -130,6 +330,22 @@ impl ConvBnOp {
                 x
             }
         }
+    }
+
+    /// `(out_c, in_c, kernel)` of this conv, whatever its storage.
+    fn geometry(&self) -> (usize, usize, usize) {
+        match &self.kind {
+            ConvKind::Exact { weight, .. } => {
+                let d = weight.dims();
+                (d[0], d[1], d[2])
+            }
+            ConvKind::Fused { weight, .. } => (weight.out_c(), weight.in_c(), weight.kernel()),
+            ConvKind::Quantized { weight, .. } => (weight.out_c(), weight.in_c(), weight.kernel()),
+        }
+    }
+
+    fn is_quantized(&self) -> bool {
+        matches!(self.kind, ConvKind::Quantized { .. })
     }
 }
 
@@ -164,6 +380,32 @@ impl BlockOp {
     }
 }
 
+/// The plan's fully-connected head.
+enum FcOp {
+    /// f32 weight `[in_f, out_f]` (the layout `forward_eval` multiplies).
+    F32 { weight: Tensor, bias: Vec<f32> },
+    /// Quantized transposed weight `[out_f, in_f]` for the NT int8 GEMM.
+    /// `scales[j]` is the combined `w_scale[j] × input_scale` applied in
+    /// the column-scaled epilogue.
+    Quantized {
+        wt: Vec<i8>,
+        scales: Vec<f32>,
+        input_scale: f32,
+        in_f: usize,
+        out_f: usize,
+        bias: Vec<f32>,
+    },
+}
+
+impl FcOp {
+    fn out_features(&self) -> usize {
+        match self {
+            FcOp::F32 { weight, .. } => weight.dims()[1],
+            FcOp::Quantized { out_f, .. } => *out_f,
+        }
+    }
+}
+
 /// Running tally of serialized weight bytes at the plan's precision.
 struct SizeLedger {
     precision: Precision,
@@ -187,6 +429,13 @@ impl SizeLedger {
         }
     }
 
+    /// Records a truly int8-stored tensor: 1 byte per scalar, one f32 per
+    /// stored weight scale, plus one f32 for the layer's static input
+    /// scale.
+    fn store_int8(&mut self, scalars: usize, stored_scales: usize) {
+        self.bytes += scalars as u64 + 4 * stored_scales as u64 + 4;
+    }
+
     fn store_f32(&mut self, values: &[f32]) {
         self.bytes += 4 * values.len() as u64;
     }
@@ -202,8 +451,7 @@ pub struct ExecutionPlan {
     stem: ConvBnOp,
     stem_pool: Option<(usize, usize, usize)>,
     blocks: Vec<BlockOp>,
-    fc_weight: Tensor,
-    fc_bias: Vec<f32>,
+    fc: FcOp,
     weight_bytes: u64,
 }
 
@@ -224,8 +472,6 @@ fn compile_conv_bn(
         .map(|&v| 1.0 / (v + bn.eps).sqrt())
         .collect();
     let w = &conv.weight.value;
-    let out_c = w.dims()[0];
-    let per_out = w.numel() / out_c;
     match numerics {
         Numerics::Exact => {
             let stored = ledger.store_weights(w.as_slice());
@@ -247,71 +493,329 @@ fn compile_conv_bn(
             }
         }
         Numerics::Fused => {
-            // W'[o] = W[o] * γ[o]/√(var[o]+ε) ; b'[o] = β[o] − γ[o]·mean[o]/√(var[o]+ε)
-            let mut folded = w.as_slice().to_vec();
-            let mut bias = vec![0.0f32; out_c];
-            for o in 0..out_c {
-                let g = gamma[o] * inv_std[o];
-                for v in &mut folded[o * per_out..(o + 1) * per_out] {
-                    *v *= g;
-                }
-                bias[o] = beta[o] - g * mean[o];
-            }
-            let stored = ledger.store_weights(&folded);
-            ledger.store_f32(&bias);
+            let folded = fold_conv_bn(conv, bn, relu);
+            let stored = ledger.store_weights(folded.weight.as_slice());
+            ledger.store_f32(&folded.bias);
             ConvBnOp {
                 stride: conv.stride,
                 padding: conv.padding,
                 relu,
                 kind: ConvKind::Fused {
                     weight: pack_conv_weight(&Tensor::from_vec(stored, w.dims())),
-                    bias,
+                    bias: folded.bias,
                 },
             }
+        }
+        Numerics::QuantizedInt8 => {
+            unreachable!("quantized plans are compiled by compile_quantized")
         }
     }
 }
 
-impl ExecutionPlan {
-    /// Compiles a trained model into an immutable plan.
-    pub fn compile(model: &ResNet, config: &PlanConfig) -> ExecutionPlan {
-        let mut ledger = SizeLedger {
-            precision: config.precision,
-            bytes: 0,
-        };
-        let stem = compile_conv_bn(
-            model.stem_conv(),
-            model.stem_bn(),
-            true,
-            config.numerics,
-            &mut ledger,
-        );
-        let stem_pool = model.stem_pool().map(|p| (p.kernel, p.stride, p.padding));
-        let blocks = model
-            .blocks()
-            .iter()
-            .map(|b| BlockOp {
-                conv1: compile_conv_bn(b.conv1(), b.bn1(), true, config.numerics, &mut ledger),
-                conv2: compile_conv_bn(b.conv2(), b.bn2(), false, config.numerics, &mut ledger),
-                proj: b.downsample().map(|(conv, bn)| {
-                    compile_conv_bn(conv, bn, false, config.numerics, &mut ledger)
-                }),
-            })
-            .collect();
-        let fc_w = &model.fc().weight.value;
-        let fc_bias = model.fc().bias.value.as_slice().to_vec();
-        let stored_fc = ledger.store_weights(fc_w.as_slice());
-        ledger.store_f32(&fc_bias);
-        ExecutionPlan {
-            arch: model.arch,
-            config: *config,
-            stem,
-            stem_pool,
-            blocks,
-            fc_weight: Tensor::from_vec(stored_fc, fc_w.dims()),
-            fc_bias,
-            weight_bytes: ledger.bytes,
+/// One BN-folded conv held as plain f32 — the intermediate form the
+/// quantized compile pipeline calibrates on before quantizing.
+struct FoldedConv {
+    weight: Tensor,
+    bias: Vec<f32>,
+    stride: usize,
+    padding: usize,
+    relu: bool,
+}
+
+impl FoldedConv {
+    fn apply(&self, x: &Tensor) -> Tensor {
+        conv2d_bias_act(
+            x,
+            &self.weight,
+            &self.bias,
+            self.relu,
+            self.stride,
+            self.padding,
+        )
+    }
+}
+
+/// Folds a batch norm into its preceding conv:
+/// `W'[o] = W[o]·γ[o]/√(var[o]+ε)`, `b'[o] = β[o] − γ[o]·mean[o]/√(var[o]+ε)`.
+fn fold_conv_bn(
+    conv: &hydronas_nn::Conv2d,
+    bn: &hydronas_nn::BatchNorm2d,
+    relu: bool,
+) -> FoldedConv {
+    let gamma = bn.gamma.value.as_slice();
+    let beta = bn.beta.value.as_slice();
+    let mean = bn.running_mean.as_slice();
+    let w = &conv.weight.value;
+    let out_c = w.dims()[0];
+    let per_out = w.numel() / out_c;
+    let mut folded = w.as_slice().to_vec();
+    let mut bias = vec![0.0f32; out_c];
+    for o in 0..out_c {
+        let inv_std = 1.0 / (bn.running_var.as_slice()[o] + bn.eps).sqrt();
+        let g = gamma[o] * inv_std;
+        for v in &mut folded[o * per_out..(o + 1) * per_out] {
+            *v *= g;
         }
+        bias[o] = beta[o] - g * mean[o];
+    }
+    FoldedConv {
+        weight: Tensor::from_vec(folded, w.dims()),
+        bias,
+        stride: conv.stride,
+        padding: conv.padding,
+        relu,
+    }
+}
+
+/// Quantizes one BN-folded conv with the calibrated `input_scale`.
+fn quantize_folded(
+    folded: FoldedConv,
+    input_scale: f32,
+    granularity: Granularity,
+    ledger: &mut SizeLedger,
+) -> ConvBnOp {
+    let dims = folded.weight.dims().to_vec();
+    let (out_c, in_c, kernel) = (dims[0], dims[1], dims[2]);
+    let (values, scales, stored_scales) = match granularity {
+        Granularity::PerChannel => {
+            let q = quantize_per_channel(folded.weight.as_slice(), out_c);
+            (q.values, q.scales, out_c)
+        }
+        Granularity::PerTensor => {
+            let q = quantize_tensor(folded.weight.as_slice());
+            (q.values, vec![q.scale; out_c], 1)
+        }
+    };
+    ledger.store_int8(values.len(), stored_scales);
+    ledger.store_f32(&folded.bias);
+    ConvBnOp {
+        stride: folded.stride,
+        padding: folded.padding,
+        relu: folded.relu,
+        kind: ConvKind::Quantized {
+            weight: QuantizedConvWeight::new(values, scales, out_c, in_c, kernel),
+            input_scale,
+            bias: folded.bias,
+        },
+    }
+}
+
+/// Compiles an f32 plan (`Exact`/`Fused`, optional int8 *storage*).
+fn compile_f32(model: &ResNet, config: &PlanConfig) -> ExecutionPlan {
+    let mut ledger = SizeLedger {
+        precision: config.precision,
+        bytes: 0,
+    };
+    let stem = compile_conv_bn(
+        model.stem_conv(),
+        model.stem_bn(),
+        true,
+        config.numerics,
+        &mut ledger,
+    );
+    let stem_pool = model.stem_pool().map(|p| (p.kernel, p.stride, p.padding));
+    let blocks = model
+        .blocks()
+        .iter()
+        .map(|b| BlockOp {
+            conv1: compile_conv_bn(b.conv1(), b.bn1(), true, config.numerics, &mut ledger),
+            conv2: compile_conv_bn(b.conv2(), b.bn2(), false, config.numerics, &mut ledger),
+            proj: b
+                .downsample()
+                .map(|(conv, bn)| compile_conv_bn(conv, bn, false, config.numerics, &mut ledger)),
+        })
+        .collect();
+    let fc_w = &model.fc().weight.value;
+    let fc_bias = model.fc().bias.value.as_slice().to_vec();
+    let stored_fc = ledger.store_weights(fc_w.as_slice());
+    ledger.store_f32(&fc_bias);
+    ExecutionPlan {
+        arch: model.arch,
+        config: *config,
+        stem,
+        stem_pool,
+        blocks,
+        fc: FcOp::F32 {
+            weight: Tensor::from_vec(stored_fc, fc_w.dims()),
+            bias: fc_bias,
+        },
+        weight_bytes: ledger.bytes,
+    }
+}
+
+/// Compiles a [`Numerics::QuantizedInt8`] plan: fold every BN, run the
+/// calibration batch through the folded f32 network **in exact runtime op
+/// order**, observing each quantization point with an
+/// [`ActivationObserver`], then quantize weights per the scheme.
+///
+/// The observation order matters for nothing but clarity — each observer
+/// sees exactly the tensor its layer will quantize at serve time, and the
+/// observers themselves are order-invariant (see `graph::quantize`).
+fn compile_quantized(
+    model: &ResNet,
+    granularity: Granularity,
+    method: CalibrationMethod,
+    batch: &Tensor,
+) -> Result<ExecutionPlan, InferError> {
+    // 1. Fold every conv+BN to plain f32.
+    let stem_f = fold_conv_bn(model.stem_conv(), model.stem_bn(), true);
+    let stem_pool = model.stem_pool().map(|p| (p.kernel, p.stride, p.padding));
+    let blocks_f: Vec<(FoldedConv, FoldedConv, Option<FoldedConv>)> = model
+        .blocks()
+        .iter()
+        .map(|b| {
+            (
+                fold_conv_bn(b.conv1(), b.bn1(), true),
+                fold_conv_bn(b.conv2(), b.bn2(), false),
+                b.downsample()
+                    .map(|(conv, bn)| fold_conv_bn(conv, bn, false)),
+            )
+        })
+        .collect();
+
+    // 2. Calibration walk over the folded f32 network.
+    let mut stem_obs = ActivationObserver::new(method);
+    stem_obs.observe(batch.as_slice());
+    let mut x = stem_f.apply(batch);
+    if let Some((kernel, stride, padding)) = stem_pool {
+        x = max_pool2d(&x, kernel, stride, padding).0;
+    }
+    // (conv1_scale, conv2_scale, proj_scale) per block.
+    let mut block_scales: Vec<(f32, f32, Option<f32>)> = Vec::with_capacity(blocks_f.len());
+    for (c1, c2, proj) in &blocks_f {
+        let mut o1 = ActivationObserver::new(method);
+        o1.observe(x.as_slice());
+        let y1 = c1.apply(&x);
+        let mut o2 = ActivationObserver::new(method);
+        o2.observe(y1.as_slice());
+        let mut main = c2.apply(&y1);
+        let proj_scale = proj.as_ref().map(|p| {
+            // The projection reads the same block input conv1 reads, but
+            // gets its own observer so a future per-layer method tweak
+            // cannot silently couple the two.
+            let mut op = ActivationObserver::new(method);
+            op.observe(x.as_slice());
+            let s = op.scale();
+            x = p.apply(&x);
+            s
+        });
+        for (m, s) in main.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *m = (*m + *s).max(0.0);
+        }
+        block_scales.push((o1.scale(), o2.scale(), proj_scale));
+        x = main;
+    }
+    let pooled = avg_pool2d_global(&x);
+    let mut fc_obs = ActivationObserver::new(method);
+    fc_obs.observe(pooled.as_slice());
+
+    // 3. Quantize weights with the calibrated input scales.
+    let mut ledger = SizeLedger {
+        precision: Precision::Int8,
+        bytes: 0,
+    };
+    let stem = quantize_folded(stem_f, stem_obs.scale(), granularity, &mut ledger);
+    let blocks: Vec<BlockOp> = blocks_f
+        .into_iter()
+        .zip(block_scales)
+        .map(|((c1, c2, proj), (s1, s2, sp))| BlockOp {
+            conv1: quantize_folded(c1, s1, granularity, &mut ledger),
+            conv2: quantize_folded(c2, s2, granularity, &mut ledger),
+            proj: proj.map(|p| {
+                quantize_folded(
+                    p,
+                    sp.expect("projection always calibrated"),
+                    granularity,
+                    &mut ledger,
+                )
+            }),
+        })
+        .collect();
+
+    // FC: transpose [in_f, out_f] -> [out_f, in_f] so each output feature
+    // is one contiguous NT-GEMM row with its own channel scale.
+    let fc_w = &model.fc().weight.value;
+    let (in_f, out_f) = (fc_w.dims()[0], fc_w.dims()[1]);
+    let mut wt = vec![0.0f32; in_f * out_f];
+    let w = fc_w.as_slice();
+    for i in 0..in_f {
+        for o in 0..out_f {
+            wt[o * in_f + i] = w[i * out_f + o];
+        }
+    }
+    let input_scale = fc_obs.scale();
+    let (values, w_scales, stored_scales) = match granularity {
+        Granularity::PerChannel => {
+            let q = quantize_per_channel(&wt, out_f);
+            (q.values, q.scales, out_f)
+        }
+        Granularity::PerTensor => {
+            let q = quantize_tensor(&wt);
+            (q.values, vec![q.scale; out_f], 1)
+        }
+    };
+    let combined: Vec<f32> = w_scales.iter().map(|s| s * input_scale).collect();
+    let fc_bias = model.fc().bias.value.as_slice().to_vec();
+    ledger.store_int8(values.len(), stored_scales);
+    ledger.store_f32(&fc_bias);
+
+    Ok(ExecutionPlan {
+        arch: model.arch,
+        config: PlanConfig {
+            precision: Precision::Int8,
+            numerics: Numerics::QuantizedInt8,
+        },
+        stem,
+        stem_pool,
+        blocks,
+        fc: FcOp::Quantized {
+            wt: values,
+            scales: combined,
+            input_scale,
+            in_f,
+            out_f,
+            bias: fc_bias,
+        },
+        weight_bytes: ledger.bytes,
+    })
+}
+
+impl ExecutionPlan {
+    /// Starts a typed plan build:
+    ///
+    /// ```ignore
+    /// let plan = ExecutionPlan::builder(&model)
+    ///     .numerics(Numerics::QuantizedInt8)
+    ///     .quantization(
+    ///         QuantizationScheme::per_channel()
+    ///             .calibrate(CalibrationMethod::MinMax, &calibration_batch),
+    ///     )
+    ///     .build()?;
+    /// ```
+    ///
+    /// Defaults match [`PlanConfig::default`]: [`Numerics::Fused`] at
+    /// [`Precision::Fp32`].
+    pub fn builder(model: &ResNet) -> PlanBuilder<'_> {
+        PlanBuilder {
+            model,
+            precision: Precision::Fp32,
+            numerics: Numerics::Fused,
+            quantization: None,
+        }
+    }
+
+    /// Compiles a trained model into an immutable plan.
+    ///
+    /// Deprecated shim over [`ExecutionPlan::builder`]. Panics if `config`
+    /// asks for [`Numerics::QuantizedInt8`] — the quantized mode needs a
+    /// calibrated [`QuantizationScheme`], which only the builder carries.
+    #[deprecated(note = "use ExecutionPlan::builder(&model)…build()")]
+    pub fn compile(model: &ResNet, config: &PlanConfig) -> ExecutionPlan {
+        ExecutionPlan::builder(model)
+            .precision(config.precision)
+            .numerics(config.numerics)
+            .build()
+            .expect("compile() cannot express QuantizedInt8; use ExecutionPlan::builder")
     }
 
     /// The architecture this plan was compiled from.
@@ -324,11 +828,141 @@ impl ExecutionPlan {
         &self.config
     }
 
-    /// Serialized weight footprint in bytes at the plan's precision
-    /// (int8 payloads count 1 byte per scalar plus one f32 scale per
-    /// tensor; biases and BN vectors stay f32).
+    /// Serialized weight footprint in bytes at the plan's precision.
+    ///
+    /// For quantized plans this is the true serving footprint: 1 byte per
+    /// weight scalar, one f32 per stored weight scale (per output channel
+    /// or per tensor), one f32 static input scale per layer, and f32
+    /// biases. For f32 plans with [`Precision::Int8`] storage it counts
+    /// the serialized int8 payload (execution still reads dequantized
+    /// f32).
     pub fn weight_bytes(&self) -> u64 {
         self.weight_bytes
+    }
+
+    /// Peak transient activation bytes for one forward pass at the given
+    /// batch size and square input extent — the serving-memory half of the
+    /// Pareto trade-off next to [`weight_bytes`](Self::weight_bytes).
+    ///
+    /// Counts, per layer, the resident input + im2col column matrix +
+    /// output for convs (columns are 1 byte/element on the quantized path,
+    /// 4 on f32 paths) and input + quantized staging + output for the FC,
+    /// and returns the largest. Pooling and the residual add are reads
+    /// over already-counted buffers and never dominate.
+    pub fn activation_bytes(&self, batch: usize, input_hw: usize) -> u64 {
+        let conv_bytes =
+            |op: &ConvBnOp, h: usize, w: usize| -> Option<(u64, usize, usize, usize)> {
+                let (out_c, in_c, kernel) = op.geometry();
+                let oh = conv_out_dim(h, kernel, op.stride, op.padding)?;
+                let ow = conv_out_dim(w, kernel, op.stride, op.padding)?;
+                let col_elem: u64 = if op.is_quantized() { 1 } else { 4 };
+                let input = 4 * (batch * in_c * h * w) as u64;
+                let col = col_elem * (batch * in_c * kernel * kernel * oh * ow) as u64;
+                let output = 4 * (batch * out_c * oh * ow) as u64;
+                Some((input + col + output, out_c, oh, ow))
+            };
+        let mut peak = 0u64;
+        let (mut h, mut w) = (input_hw, input_hw);
+        let Some((stem_bytes, mut c, mut oh, mut ow)) = conv_bytes(&self.stem, h, w) else {
+            return 0;
+        };
+        peak = peak.max(stem_bytes);
+        if let Some((kernel, stride, padding)) = self.stem_pool {
+            let Some(ph) = conv_out_dim(oh, kernel, stride, padding) else {
+                return peak;
+            };
+            let Some(pw) = conv_out_dim(ow, kernel, stride, padding) else {
+                return peak;
+            };
+            (oh, ow) = (ph, pw);
+        }
+        (h, w) = (oh, ow);
+        for block in &self.blocks {
+            let Some((b1, _c1_out, h1, w1)) = conv_bytes(&block.conv1, h, w) else {
+                return peak;
+            };
+            peak = peak.max(b1);
+            let Some((b2, c2_out, h2, w2)) = conv_bytes(&block.conv2, h1, w1) else {
+                return peak;
+            };
+            peak = peak.max(b2);
+            if let Some(proj) = &block.proj {
+                if let Some((bp, ..)) = conv_bytes(proj, h, w) {
+                    peak = peak.max(bp);
+                }
+            }
+            (c, h, w) = (c2_out, h2, w2);
+        }
+        let in_f = c;
+        let out_f = self.fc.out_features();
+        let fc_staging: u64 = match &self.fc {
+            FcOp::F32 { .. } => 0,
+            FcOp::Quantized { .. } => (batch * in_f) as u64,
+        };
+        let fc_bytes = 4 * (batch * in_f) as u64 + fc_staging + 4 * (batch * out_f) as u64;
+        peak.max(fc_bytes)
+    }
+
+    /// The shared FC head: `pooled [N, in_f] -> logits [N, out_f]`.
+    fn fc_forward(&self, pooled: &Tensor) -> Tensor {
+        let (n, in_f) = (pooled.dims()[0], pooled.dims()[1]);
+        match &self.fc {
+            FcOp::F32 { weight, bias } => {
+                let out_f = weight.dims()[1];
+                let mut out = Tensor::zeros(&[n, out_f]);
+                match self.config.numerics {
+                    Numerics::Fused => hydronas_tensor::gemm_bias_batched(
+                        pooled.as_slice(),
+                        weight.as_slice(),
+                        bias,
+                        out.as_mut_slice(),
+                        n,
+                        in_f,
+                        out_f,
+                    ),
+                    // Exact mode keeps the dispatching entry `forward_eval`
+                    // uses so the bits match the model's own FC call.
+                    Numerics::Exact => hydronas_tensor::gemm_bias(
+                        pooled.as_slice(),
+                        weight.as_slice(),
+                        bias,
+                        out.as_mut_slice(),
+                        n,
+                        in_f,
+                        out_f,
+                    ),
+                    Numerics::QuantizedInt8 => {
+                        unreachable!("quantized plans hold FcOp::Quantized")
+                    }
+                }
+                out
+            }
+            FcOp::Quantized {
+                wt,
+                scales,
+                input_scale,
+                in_f: fin,
+                out_f,
+                bias,
+            } => {
+                assert_eq!(in_f, *fin, "pooled feature width mismatch");
+                let mut staged = vec![0i8; n * in_f];
+                quantize_slice_i8(pooled.as_slice(), *input_scale, &mut staged);
+                let mut out = Tensor::zeros(&[n, *out_f]);
+                qgemm_nt_col_scaled(
+                    &staged,
+                    wt,
+                    scales,
+                    bias,
+                    false,
+                    out.as_mut_slice(),
+                    n,
+                    in_f,
+                    *out_f,
+                );
+                out
+            }
+        }
     }
 
     /// Runs the plan over a batch: `[N, C, H, W] -> logits [N, classes]`.
@@ -339,6 +973,9 @@ impl ExecutionPlan {
     /// [`Numerics::Exact`] mode the plan instead mirrors
     /// `ResNet::forward_eval` call-for-call, so its output is bit-identical
     /// to the model's eval forward at the same batch size.
+    /// [`Numerics::QuantizedInt8`] keeps both properties at once: scales
+    /// are static and per-sample, and the integer kernels are exact, so
+    /// batched rows match single runs bit-for-bit at any thread count.
     pub fn run_batch(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().ndim(), 4, "plan input must be NCHW");
         assert_eq!(
@@ -354,32 +991,7 @@ impl ExecutionPlan {
             x = block.apply(&x);
         }
         let pooled = avg_pool2d_global(&x);
-        let (n, in_f) = (pooled.dims()[0], pooled.dims()[1]);
-        let out_f = self.fc_weight.dims()[1];
-        let mut out = Tensor::zeros(&[n, out_f]);
-        match self.config.numerics {
-            Numerics::Fused => hydronas_tensor::gemm_bias_batched(
-                pooled.as_slice(),
-                self.fc_weight.as_slice(),
-                &self.fc_bias,
-                out.as_mut_slice(),
-                n,
-                in_f,
-                out_f,
-            ),
-            // Exact mode keeps the dispatching entry `forward_eval` uses so
-            // the bits match the model's own FC call.
-            Numerics::Exact => hydronas_tensor::gemm_bias(
-                pooled.as_slice(),
-                self.fc_weight.as_slice(),
-                &self.fc_bias,
-                out.as_mut_slice(),
-                n,
-                in_f,
-                out_f,
-            ),
-        }
-        out
+        self.fc_forward(&pooled)
     }
 
     /// Runs one `[C, H, W]` sample and returns its logits.
@@ -436,32 +1048,8 @@ impl ExecutionPlan {
             x = main;
         }
         let pooled = prof.step("global_avg_pool", || avg_pool2d_global(&x));
-        let (n, in_f) = (pooled.dims()[0], pooled.dims()[1]);
-        let out_f = self.fc_weight.dims()[1];
-        let out = prof.step("fc", || {
-            let mut out = Tensor::zeros(&[n, out_f]);
-            match self.config.numerics {
-                Numerics::Fused => hydronas_tensor::gemm_bias_batched(
-                    pooled.as_slice(),
-                    self.fc_weight.as_slice(),
-                    &self.fc_bias,
-                    out.as_mut_slice(),
-                    n,
-                    in_f,
-                    out_f,
-                ),
-                Numerics::Exact => hydronas_tensor::gemm_bias(
-                    pooled.as_slice(),
-                    self.fc_weight.as_slice(),
-                    &self.fc_bias,
-                    out.as_mut_slice(),
-                    n,
-                    in_f,
-                    out_f,
-                ),
-            }
-            out
-        });
+        let out = prof.step("fc", || self.fc_forward(&pooled));
+        let n = pooled.dims()[0];
         (out, prof.finish(n))
     }
 }

@@ -5,8 +5,7 @@
 //! and the plain struct-literal path must keep working for valid configs.
 
 use hydronas_infer::{
-    Engine, EngineConfig, ExecutionPlan, InferError, InferRequest, PlanConfig, RetryConfig,
-    ShedPolicy,
+    Engine, EngineConfig, ExecutionPlan, InferError, InferRequest, RetryConfig, ShedPolicy,
 };
 use hydronas_nn::ResNet;
 use hydronas_tensor::{uniform, TensorRng};
@@ -17,7 +16,7 @@ fn tiny_plan() -> Arc<ExecutionPlan> {
     arch.initial_features = 4;
     let mut rng = TensorRng::seed_from_u64(7);
     let model = ResNet::new(&arch, &mut rng);
-    Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()))
+    Arc::new(ExecutionPlan::builder(&model).build().unwrap())
 }
 
 #[test]

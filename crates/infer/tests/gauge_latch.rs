@@ -8,7 +8,7 @@
 //! session is active during the pre-session submit, which no other
 //! in-process test may be allowed to violate.
 
-use hydronas_infer::{Engine, EngineConfig, ExecutionPlan, PlanConfig, ShedPolicy};
+use hydronas_infer::{Engine, EngineConfig, ExecutionPlan, ShedPolicy};
 use hydronas_nn::ResNet;
 use hydronas_tensor::{uniform, Tensor, TensorRng};
 use std::sync::Arc;
@@ -25,7 +25,7 @@ fn session_starting_mid_request_sees_no_gauge_leak() {
     arch.initial_features = 4;
     let mut rng = TensorRng::seed_from_u64(7);
     let model = ResNet::new(&arch, &mut rng);
-    let plan = Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()));
+    let plan = Arc::new(ExecutionPlan::builder(&model).build().unwrap());
     let engine = Engine::start(
         plan,
         EngineConfig {

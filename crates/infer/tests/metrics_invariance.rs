@@ -8,7 +8,7 @@
 //! every request executes alone, and batch-size/fill histograms see the
 //! same exactly-representable values in the same multiset.
 
-use hydronas_infer::{Engine, EngineConfig, ExecutionPlan, PlanConfig};
+use hydronas_infer::{Engine, EngineConfig, ExecutionPlan};
 use hydronas_nn::ResNet;
 use hydronas_tensor::{uniform, Tensor, TensorRng};
 use std::sync::Arc;
@@ -20,7 +20,7 @@ fn tiny_plan() -> Arc<ExecutionPlan> {
     arch.initial_features = 4;
     let mut rng = TensorRng::seed_from_u64(7);
     let model = ResNet::new(&arch, &mut rng);
-    Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()))
+    Arc::new(ExecutionPlan::builder(&model).build().unwrap())
 }
 
 fn fixed_inputs() -> Vec<Tensor> {

@@ -16,8 +16,7 @@
 //! lapsed, not on how many extra ticks follow — changes no outcome.
 
 use hydronas_infer::{
-    Engine, EngineConfig, ExecutionPlan, InferError, InferRequest, PlanConfig, RetryConfig,
-    ShedPolicy,
+    Engine, EngineConfig, ExecutionPlan, InferError, InferRequest, RetryConfig, ShedPolicy,
 };
 use hydronas_nn::ResNet;
 use hydronas_telemetry::QuantileHistogram;
@@ -30,7 +29,7 @@ fn tiny_plan() -> Arc<ExecutionPlan> {
     arch.initial_features = 4;
     let mut rng = TensorRng::seed_from_u64(7);
     let model = ResNet::new(&arch, &mut rng);
-    Arc::new(ExecutionPlan::compile(&model, &PlanConfig::default()))
+    Arc::new(ExecutionPlan::builder(&model).build().unwrap())
 }
 
 fn input(seed: u64) -> Tensor {

@@ -35,6 +35,7 @@ mod init;
 mod ops;
 pub mod parallel;
 mod pool;
+mod quant;
 mod shape;
 mod tensor;
 
@@ -51,6 +52,10 @@ pub use gemm::{
 pub use init::{kaiming_normal, kaiming_uniform, uniform, TensorRng};
 pub use parallel::{compute_threads, set_compute_threads};
 pub use pool::{avg_pool2d_global, max_pool2d, max_pool2d_backward, PoolDims};
+pub use quant::{
+    conv2d_q8, qgemm_nt_col_scaled, qgemm_nt_i32, qgemm_nt_row_scaled, quantize_slice_i8,
+    QuantizedConvWeight,
+};
 pub use shape::{conv_out_dim, Shape};
 pub use tensor::Tensor;
 

@@ -6,9 +6,7 @@
 //! process-global, so no other kernel-calling test may share the
 //! process while the session is active.
 
-use hydronas_tensor::{
-    conv2d, conv2d_backward, set_compute_threads, uniform, Tensor, TensorRng,
-};
+use hydronas_tensor::{conv2d, conv2d_backward, set_compute_threads, uniform, Tensor, TensorRng};
 
 #[test]
 fn conv_loops_allocate_nothing_per_sample_once_warm() {

@@ -11,8 +11,9 @@
 
 use hydronas_tensor::{
     conv2d, conv2d_backward, conv2d_bias_act, conv2d_bias_act_batched, conv2d_bias_act_prepacked,
-    gemm, gemm_bias_relu_rows_prepacked, max_pool2d, max_pool2d_backward, pack_conv_weight,
-    set_compute_threads, uniform, PackedA, PackedBLayout, Tensor, TensorRng,
+    conv2d_q8, gemm, gemm_bias_relu_rows_prepacked, max_pool2d, max_pool2d_backward,
+    pack_conv_weight, qgemm_nt_row_scaled, quantize_slice_i8, set_compute_threads, uniform,
+    PackedA, PackedBLayout, QuantizedConvWeight, Tensor, TensorRng,
 };
 use std::sync::{Mutex, MutexGuard};
 
@@ -234,4 +235,53 @@ fn pool_worker_arenas_reach_zero_steady_state_allocations() {
         stable_iters >= 5,
         "arena misses never stabilized under the parallel conv loop"
     );
+}
+
+#[test]
+fn int8_gemm_is_thread_count_invariant() {
+    let _guard = config_lock();
+    // Awkward extents again: odd m/n so row chunks split unevenly across
+    // tasks, k crossing the 32-lane SIMD boundary with a scalar tail. The
+    // int8 path is exact integer arithmetic, so this must hold bit-for-bit
+    // by construction — the test guards against a future blocked/split-k
+    // rewrite silently breaking the contract.
+    let (m, k, n) = (37, 97, 53);
+    let a: Vec<i8> = (0..m * k)
+        .map(|i| (((i as i32) * 31 + 7) % 255 - 127) as i8)
+        .collect();
+    let bt: Vec<i8> = (0..n * k)
+        .map(|i| (((i as i32) * 17 + 3) % 255 - 127) as i8)
+        .collect();
+    let scales: Vec<f32> = (0..m).map(|i| 1e-3 + i as f32 * 1e-5).collect();
+    let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.01 - 0.1).collect();
+    assert_thread_invariant("qgemm row-scaled", || {
+        let mut c = vec![0.0f32; m * n];
+        qgemm_nt_row_scaled(&a, &bt, &scales, &bias, true, &mut c, m, k, n);
+        c
+    });
+}
+
+#[test]
+fn int8_conv_is_thread_count_invariant() {
+    let _guard = config_lock();
+    let mut rng = TensorRng::seed_from_u64(73);
+    let input = uniform(&[5, 3, 17, 17], -1.0, 1.0, &mut rng);
+    let out_c = 6;
+    let per_out = 3 * 3 * 3;
+    let weight_f = uniform(&[out_c, 3, 3, 3], -0.5, 0.5, &mut rng);
+    let mut values = vec![0i8; out_c * per_out];
+    let mut scales = vec![0.0f32; out_c];
+    for o in 0..out_c {
+        let row = &weight_f.as_slice()[o * per_out..][..per_out];
+        let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        scales[o] = (max_abs / 127.0).max(f32::MIN_POSITIVE);
+        quantize_slice_i8(row, scales[o], &mut values[o * per_out..][..per_out]);
+    }
+    let weight = QuantizedConvWeight::new(values, scales, out_c, 3, 3);
+    let bias: Vec<f32> = (0..out_c).map(|i| i as f32 * 0.1 - 0.2).collect();
+    assert_thread_invariant("conv2d_q8", || {
+        conv2d_q8(&input, &weight, 1.0 / 127.0, &bias, true, 2, 1)
+            .as_slice()
+            .to_vec()
+    });
 }

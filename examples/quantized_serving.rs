@@ -1,0 +1,141 @@
+//! Quantized serving walkthrough: train a drainage-crossing classifier
+//! on the seeded tiles, compile it into an fp32 plan and a true-int8
+//! plan through the typed plan builder, and compare footprint, latency,
+//! and eval accuracy — the deploy-on-a-resource-limited-device story,
+//! executed rather than predicted.
+//!
+//! Run with: `cargo run --release --example quantized_serving`
+
+use hydronas::prelude::*;
+use hydronas_nn::{CrossEntropyLoss, Optimizer, ParamVisitor, Sgd};
+use std::time::Instant;
+
+fn main() {
+    // 1. Seeded tiles from one study region; a held-out split for eval.
+    let tile = 32usize;
+    let train = build_dataset(&study_regions()[..1], ChannelMode::Five, tile, 0.05, 61);
+    let eval = build_dataset(&study_regions()[..1], ChannelMode::Five, tile, 0.1, 62);
+    println!(
+        "dataset: {} training tiles, {} eval tiles ({} channels, {tile}x{tile})",
+        train.len(),
+        eval.len(),
+        train.features.dims()[1]
+    );
+
+    // 2. Train a compact stride-2 model briefly — enough for real
+    //    decision margins, which is what makes the int8 comparison mean
+    //    something.
+    let arch = ArchConfig {
+        in_channels: 5,
+        kernel_size: 3,
+        stride: 2,
+        padding: 1,
+        pool: None,
+        initial_features: 8,
+        num_classes: 2,
+    };
+    let mut rng = TensorRng::seed_from_u64(17);
+    let mut model = ResNet::new(&arch, &mut rng);
+    let mut opt = Sgd::new(0.01, 0.9, 1e-4);
+    let loss_fn = CrossEntropyLoss;
+    let dims = train.features.dims();
+    let sample = dims[1] * dims[2] * dims[3];
+    let src = train.features.as_slice();
+    for epoch in 0..4 {
+        let mut epoch_loss = 0.0f32;
+        let mut steps = 0usize;
+        let mut i = 0usize;
+        while i < train.len() {
+            let j = (i + 16).min(train.len());
+            let x = Tensor::from_vec(
+                src[i * sample..j * sample].to_vec(),
+                &[j - i, dims[1], dims[2], dims[3]],
+            );
+            model.zero_grad();
+            let logits = model.forward(&x, true);
+            let (loss, grad) = loss_fn.forward_backward(&logits, &train.labels[i..j]);
+            model.backward(&grad);
+            opt.step(&mut model);
+            epoch_loss += loss;
+            steps += 1;
+            i = j;
+        }
+        println!("epoch {epoch}: mean loss {:.4}", epoch_loss / steps as f32);
+    }
+
+    // 3. Compile both plans through the typed builder. The int8 plan
+    //    quantizes folded conv/linear weights per output channel and
+    //    fixes activation scales from a calibration batch at build time
+    //    — served batches never influence the numerics.
+    let fp32 = ExecutionPlan::builder(&model)
+        .build()
+        .expect("fp32 plan builds without a scheme");
+    let calib = Tensor::from_vec(
+        src[..32.min(train.len()) * sample].to_vec(),
+        &[32.min(train.len()), dims[1], dims[2], dims[3]],
+    );
+    let int8 = ExecutionPlan::builder(&model)
+        .numerics(Numerics::QuantizedInt8)
+        .quantization(
+            QuantizationScheme::per_channel()
+                .calibrate(hydronas_graph::CalibrationMethod::MinMax, &calib),
+        )
+        .build()
+        .expect("int8 plan builds from a calibrated scheme");
+    println!(
+        "\nweights:     fp32 {} B vs int8 {} B ({:.2}x smaller)",
+        fp32.weight_bytes(),
+        int8.weight_bytes(),
+        fp32.weight_bytes() as f64 / int8.weight_bytes() as f64
+    );
+    println!(
+        "activations: fp32 {} B vs int8 {} B at batch 8",
+        fp32.activation_bytes(8, tile),
+        int8.activation_bytes(8, tile)
+    );
+
+    // 4. Accuracy and latency, side by side.
+    let accuracy = |plan: &ExecutionPlan| -> f64 {
+        let mut correct = 0usize;
+        let esrc = eval.features.as_slice();
+        let mut i = 0usize;
+        while i < eval.len() {
+            let j = (i + 32).min(eval.len());
+            let x = Tensor::from_vec(
+                esrc[i * sample..j * sample].to_vec(),
+                &[j - i, dims[1], dims[2], dims[3]],
+            );
+            let logits = plan.run_batch(&x);
+            for (row, &label) in logits.as_slice().chunks_exact(2).zip(&eval.labels[i..j]) {
+                correct += usize::from((row[1] > row[0]) == (label == 1));
+            }
+            i = j;
+        }
+        correct as f64 / eval.len() as f64
+    };
+    let time_batch = |plan: &ExecutionPlan| -> f64 {
+        let x = Tensor::from_vec(
+            eval.features.as_slice()[..8 * sample].to_vec(),
+            &[8, dims[1], dims[2], dims[3]],
+        );
+        let _ = plan.run_batch(&x); // warm the scratch arenas
+        let t0 = Instant::now();
+        for _ in 0..20 {
+            let _ = plan.run_batch(&x);
+        }
+        t0.elapsed().as_secs_f64() / 20.0 * 1e3
+    };
+    let (acc32, acc8) = (accuracy(&fp32), accuracy(&int8));
+    println!(
+        "\naccuracy:    fp32 {:.2}% vs int8 {:.2}% (drop {:+.2} pp on {} tiles)",
+        acc32 * 100.0,
+        acc8 * 100.0,
+        (acc32 - acc8) * 100.0,
+        eval.len()
+    );
+    println!(
+        "latency:     fp32 {:.2} ms vs int8 {:.2} ms per batch of 8",
+        time_batch(&fp32),
+        time_batch(&int8)
+    );
+}

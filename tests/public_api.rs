@@ -17,75 +17,78 @@ mod types {
     use hydronas::prelude;
 
     pub type A01 = prelude::ArchConfig;
-    pub type A02 = prelude::CancelToken;
-    pub type A03 = prelude::ChannelMode;
-    pub type A04 = prelude::ChaosConfig;
-    pub type A05 = prelude::ChaosFault;
-    pub type A06 = prelude::CollectingSink;
-    pub type A07 = prelude::Dataset;
-    pub type A08 = prelude::DegradationReport;
-    pub type A09 = prelude::DeviceId;
-    pub type A10 = prelude::DrainStats;
-    pub type A11 = prelude::EnergyPrediction;
-    pub type A12 = prelude::Engine;
-    pub type A13 = prelude::EngineConfig;
-    pub type A14 = prelude::EngineConfigBuilder;
-    pub type A15 = prelude::EngineStats;
-    pub type A16 = prelude::EvolutionConfig;
-    pub type A17 = prelude::ExecutionPlan;
-    pub type A18 = prelude::ExperimentDb;
-    pub type A19 = prelude::FailureCause;
-    pub type A20 = prelude::Gauge;
-    pub type A21 = prelude::GraphError;
-    pub type A22 = prelude::HydroNasError;
-    pub type A23 = prelude::InferError;
-    pub type A24 = prelude::InferRequest;
-    pub type A25 = prelude::InputCombo;
-    pub type A26 = prelude::LatencyPrediction;
-    pub type A27 = prelude::LayerCost;
-    pub type A28 = prelude::LayerProfile;
-    pub type A29 = prelude::LrSchedule;
-    pub type A30 = prelude::MetricsError;
-    pub type A31 = prelude::MetricsSnapshot;
-    pub type A32 = prelude::ModelGraph;
-    pub type A33 = prelude::ModelImportError;
-    pub type A34 = prelude::Nsga2Config;
-    pub type A35 = prelude::Numerics;
-    pub type A36 = prelude::Objective;
-    pub type A37 = prelude::OnnxError;
-    pub type A38 = prelude::PlanConfig;
-    pub type A39 = prelude::Point;
-    pub type A40 = prelude::PoolConfig;
-    pub type A41 = prelude::Precision;
-    pub type A42 = prelude::Prediction;
-    pub type A43 = prelude::PredictionHandle;
-    pub type A44 = prelude::QuantileHistogram;
-    pub type A45 = prelude::RealTrainer;
-    pub type A46 = prelude::ReproArtifacts;
-    pub type A47 = prelude::ReproConfig;
-    pub type A48 = prelude::ResNet;
-    pub type A49 = prelude::RetryConfig;
-    pub type A50 = prelude::RetryPolicy;
-    pub type A51 = prelude::RunControl;
-    pub type A52 = prelude::SchedulerConfig;
-    pub type A53 = prelude::SearchSpace;
-    pub type A54 = prelude::Session;
-    pub type A55 = prelude::ShedPolicy;
-    pub type A56 = prelude::StderrTicker;
-    pub type A57 = prelude::SurrogateEvaluator;
-    pub type A58 = prelude::Sweep;
-    pub type A59 = prelude::SweepBuilder;
-    pub type A60 = prelude::SweepError;
-    pub type A61 = prelude::SweepEvent<'static>;
-    pub type A62 = prelude::SweepReport;
-    pub type A63 = prelude::SweepStats;
-    pub type A64 = prelude::Tensor;
-    pub type A65 = prelude::TensorRng;
-    pub type A66 = prelude::TileSet;
-    pub type A67 = prelude::TrainConfig;
-    pub type A68 = prelude::TrialFailure;
-    pub type A69 = prelude::TrialOutcome;
-    pub type A70 = prelude::TrialSpec;
+    pub type A02 = prelude::CalibrationMethod;
+    pub type A03 = prelude::CancelToken;
+    pub type A04 = prelude::ChannelMode;
+    pub type A05 = prelude::ChaosConfig;
+    pub type A06 = prelude::ChaosFault;
+    pub type A07 = prelude::CollectingSink;
+    pub type A08 = prelude::Dataset;
+    pub type A09 = prelude::DegradationReport;
+    pub type A10 = prelude::DeviceId;
+    pub type A11 = prelude::DrainStats;
+    pub type A12 = prelude::EnergyPrediction;
+    pub type A13 = prelude::Engine;
+    pub type A14 = prelude::EngineConfig;
+    pub type A15 = prelude::EngineConfigBuilder;
+    pub type A16 = prelude::EngineStats;
+    pub type A17 = prelude::EvolutionConfig;
+    pub type A18 = prelude::ExecutionPlan;
+    pub type A19 = prelude::ExperimentDb;
+    pub type A20 = prelude::FailureCause;
+    pub type A21 = prelude::Gauge;
+    pub type A22 = prelude::GraphError;
+    pub type A23 = prelude::HydroNasError;
+    pub type A24 = prelude::InferError;
+    pub type A25 = prelude::InferRequest;
+    pub type A26 = prelude::InputCombo;
+    pub type A27 = prelude::LatencyPrediction;
+    pub type A28 = prelude::LayerCost;
+    pub type A29 = prelude::LayerProfile;
+    pub type A30 = prelude::LrSchedule;
+    pub type A31 = prelude::MetricsError;
+    pub type A32 = prelude::MetricsSnapshot;
+    pub type A33 = prelude::ModelGraph;
+    pub type A34 = prelude::ModelImportError;
+    pub type A35 = prelude::Nsga2Config;
+    pub type A36 = prelude::Numerics;
+    pub type A37 = prelude::Objective;
+    pub type A38 = prelude::OnnxError;
+    pub type A39 = prelude::PlanBuilder<'static>;
+    pub type A40 = prelude::PlanConfig;
+    pub type A41 = prelude::Point;
+    pub type A42 = prelude::PoolConfig;
+    pub type A43 = prelude::Precision;
+    pub type A44 = prelude::Prediction;
+    pub type A45 = prelude::PredictionHandle;
+    pub type A46 = prelude::QuantileHistogram;
+    pub type A47 = prelude::QuantizationScheme;
+    pub type A48 = prelude::RealTrainer;
+    pub type A49 = prelude::ReproArtifacts;
+    pub type A50 = prelude::ReproConfig;
+    pub type A51 = prelude::ResNet;
+    pub type A52 = prelude::RetryConfig;
+    pub type A53 = prelude::RetryPolicy;
+    pub type A54 = prelude::RunControl;
+    pub type A55 = prelude::SchedulerConfig;
+    pub type A56 = prelude::SearchSpace;
+    pub type A57 = prelude::Session;
+    pub type A58 = prelude::ShedPolicy;
+    pub type A59 = prelude::StderrTicker;
+    pub type A60 = prelude::SurrogateEvaluator;
+    pub type A61 = prelude::Sweep;
+    pub type A62 = prelude::SweepBuilder;
+    pub type A63 = prelude::SweepError;
+    pub type A64 = prelude::SweepEvent<'static>;
+    pub type A65 = prelude::SweepReport;
+    pub type A66 = prelude::SweepStats;
+    pub type A67 = prelude::Tensor;
+    pub type A68 = prelude::TensorRng;
+    pub type A69 = prelude::TileSet;
+    pub type A70 = prelude::TrainConfig;
+    pub type A71 = prelude::TrialFailure;
+    pub type A72 = prelude::TrialOutcome;
+    pub type A73 = prelude::TrialSpec;
 
     pub trait UsesTraits: prelude::Evaluator + prelude::ProgressSink {}
 }
@@ -128,6 +131,7 @@ fn prelude_functions_exist() {
 fn type_snapshot_is_sorted_and_duplicate_free() {
     const EXPECTED: &[&str] = &[
         "ArchConfig",
+        "CalibrationMethod",
         "CancelToken",
         "ChannelMode",
         "ChaosConfig",
@@ -164,6 +168,7 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
         "Numerics",
         "Objective",
         "OnnxError",
+        "PlanBuilder",
         "PlanConfig",
         "Point",
         "PoolConfig",
@@ -171,6 +176,7 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
         "Prediction",
         "PredictionHandle",
         "QuantileHistogram",
+        "QuantizationScheme",
         "RealTrainer",
         "ReproArtifacts",
         "ReproConfig",
@@ -208,7 +214,7 @@ fn type_snapshot_is_sorted_and_duplicate_free() {
     }
     // One aliased type per snapshot row (plus the two traits pinned in
     // `types::UsesTraits`).
-    assert_eq!(EXPECTED.len(), 70);
+    assert_eq!(EXPECTED.len(), 73);
 }
 
 /// The error taxonomy stays typed: the facade error wraps each

@@ -1,0 +1,149 @@
+//! The int8 accuracy contract, end to end: train a small model on the
+//! seeded drainage tiles, compile it into an fp32 plan and a true-int8
+//! plan (per-channel weights, min/max activation calibration on training
+//! tiles), and require the quantized plan to stay within 0.5% eval
+//! accuracy and a bounded worst-case logit delta of the fp32 reference.
+//!
+//! This is the trained-model counterpart of the unit-level checks in
+//! `hydronas_infer`: random weights have no decision margins, so only a
+//! trained network makes "accuracy drop" a meaningful number.
+
+use hydronas::prelude::*;
+use hydronas_graph::CalibrationMethod;
+use hydronas_nn::{CrossEntropyLoss, Optimizer, ParamVisitor, Sgd};
+
+fn small_arch() -> ArchConfig {
+    ArchConfig {
+        in_channels: 5,
+        kernel_size: 3,
+        stride: 2,
+        padding: 1,
+        pool: None,
+        initial_features: 8,
+        num_classes: 2,
+    }
+}
+
+/// The first `n` tiles of a set as one NCHW batch.
+fn tile_batch(set: &TileSet, n: usize) -> Tensor {
+    let n = n.min(set.len());
+    let dims = set.features.dims();
+    let sample = dims[1] * dims[2] * dims[3];
+    Tensor::from_vec(
+        set.features.as_slice()[..n * sample].to_vec(),
+        &[n, dims[1], dims[2], dims[3]],
+    )
+}
+
+/// Deterministic training: sequential batches, fixed seed, no shuffle.
+fn train_model(arch: &ArchConfig, set: &TileSet, epochs: usize) -> ResNet {
+    let mut rng = TensorRng::seed_from_u64(17);
+    let mut model = ResNet::new(arch, &mut rng);
+    let mut opt = Sgd::new(0.01, 0.9, 1e-4);
+    let loss_fn = CrossEntropyLoss;
+    let dims = set.features.dims();
+    let sample = dims[1] * dims[2] * dims[3];
+    let src = set.features.as_slice();
+    let n = set.len();
+    let batch = 16.min(n);
+    for _ in 0..epochs {
+        let mut i = 0usize;
+        while i < n {
+            let j = (i + batch).min(n);
+            let x = Tensor::from_vec(
+                src[i * sample..j * sample].to_vec(),
+                &[j - i, dims[1], dims[2], dims[3]],
+            );
+            model.zero_grad();
+            let logits = model.forward(&x, true);
+            let (loss, grad) = loss_fn.forward_backward(&logits, &set.labels[i..j]);
+            assert!(loss.is_finite(), "training diverged");
+            model.backward(&grad);
+            opt.step(&mut model);
+            i = j;
+        }
+    }
+    model
+}
+
+/// Accuracy and flattened logits of a plan over a tile set.
+fn evaluate(plan: &ExecutionPlan, set: &TileSet) -> (f64, Vec<f32>) {
+    let dims = set.features.dims();
+    let sample = dims[1] * dims[2] * dims[3];
+    let src = set.features.as_slice();
+    let classes = plan.arch().num_classes;
+    let mut logits = Vec::with_capacity(set.len() * classes);
+    let mut i = 0usize;
+    while i < set.len() {
+        let j = (i + 32).min(set.len());
+        let x = Tensor::from_vec(
+            src[i * sample..j * sample].to_vec(),
+            &[j - i, dims[1], dims[2], dims[3]],
+        );
+        logits.extend_from_slice(plan.run_batch(&x).as_slice());
+        i = j;
+    }
+    let mut correct = 0usize;
+    for (row, &label) in logits.chunks_exact(classes).zip(&set.labels) {
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, _)| k)
+            .expect("two classes");
+        correct += usize::from(pred == label);
+    }
+    (correct as f64 / set.len() as f64, logits)
+}
+
+#[test]
+fn quantized_plan_holds_eval_accuracy_within_half_a_percent() {
+    let tile = 32usize;
+    let train = build_dataset(&study_regions()[..1], ChannelMode::Five, tile, 0.05, 61);
+    let eval = build_dataset(&study_regions()[..1], ChannelMode::Five, tile, 0.1, 62);
+    let model = train_model(&small_arch(), &train, 4);
+
+    let fp32 = ExecutionPlan::builder(&model)
+        .build()
+        .expect("fp32 plan builds without a scheme");
+    let calib = tile_batch(&train, 32);
+    let int8 = ExecutionPlan::builder(&model)
+        .numerics(Numerics::QuantizedInt8)
+        .quantization(
+            QuantizationScheme::per_channel().calibrate(CalibrationMethod::MinMax, &calib),
+        )
+        .build()
+        .expect("int8 plan builds from a calibrated scheme");
+
+    // The quantized plan really stores int8: >= 3x smaller weights.
+    let ratio = fp32.weight_bytes() as f64 / int8.weight_bytes() as f64;
+    assert!(
+        (3.0..4.2).contains(&ratio),
+        "int8 weight compression {ratio:.2}x outside the expected 3..4.2x"
+    );
+
+    let (fp32_acc, fp32_logits) = evaluate(&fp32, &eval);
+    let (int8_acc, int8_logits) = evaluate(&int8, &eval);
+    assert!(
+        fp32_acc > 0.55,
+        "training never got above chance ({fp32_acc:.3}); the accuracy-drop bound would be vacuous"
+    );
+
+    let drop = fp32_acc - int8_acc;
+    assert!(
+        drop <= 0.005,
+        "int8 eval accuracy dropped {drop:.4} ({int8_acc:.4} vs fp32 {fp32_acc:.4}, \
+         {} eval tiles) — the contract allows at most 0.005",
+        eval.len()
+    );
+
+    let worst = fp32_logits
+        .iter()
+        .zip(&int8_logits)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        worst < 1.0,
+        "worst int8 logit delta {worst:.4} is out of bounds for calibrated per-channel quantization"
+    );
+}

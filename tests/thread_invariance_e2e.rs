@@ -75,10 +75,11 @@ fn served_logits_and_metric_sections_are_thread_count_invariant() {
     let _guard = config_lock();
     let plan = {
         let mut rng = TensorRng::seed_from_u64(7);
-        Arc::new(ExecutionPlan::compile(
-            &ResNet::new(&tiny_arch(), &mut rng),
-            &PlanConfig::default(),
-        ))
+        Arc::new(
+            ExecutionPlan::builder(&ResNet::new(&tiny_arch(), &mut rng))
+                .build()
+                .unwrap(),
+        )
     };
     let inputs: Vec<Tensor> = (0..6)
         .map(|i| {
